@@ -1,0 +1,73 @@
+//! Error type for ZIP reading/writing.
+
+use std::fmt;
+
+/// Result alias for archive operations.
+pub type Result<T> = std::result::Result<T, ArchiveError>;
+
+/// Errors produced while building or parsing an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// The end-of-central-directory record could not be located.
+    MissingEndOfCentralDirectory,
+    /// A structure had an unexpected signature; contains (expected, found).
+    BadSignature(u32, u32),
+    /// The archive ended before a structure was complete.
+    Truncated(&'static str),
+    /// An entry uses a compression method other than "stored".
+    UnsupportedCompression(u16),
+    /// The stored CRC-32 does not match the entry data.
+    CrcMismatch { name: String, expected: u32, actual: u32 },
+    /// An entry name is not valid UTF-8.
+    InvalidEntryName,
+    /// An entry name was rejected (empty, absolute, or containing `..`).
+    UnsafeEntryName(String),
+    /// Two entries share the same name.
+    DuplicateEntry(String),
+    /// The requested entry does not exist.
+    EntryNotFound(String),
+    /// An entry or the archive exceeds format limits (e.g. > 4 GiB).
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::MissingEndOfCentralDirectory => {
+                write!(f, "not a ZIP archive: end-of-central-directory record not found")
+            }
+            ArchiveError::BadSignature(expected, found) => {
+                write!(f, "bad ZIP signature: expected {expected:#010x}, found {found:#010x}")
+            }
+            ArchiveError::Truncated(what) => write!(f, "archive truncated while reading {what}"),
+            ArchiveError::UnsupportedCompression(method) => {
+                write!(f, "unsupported compression method {method} (only stored entries are supported)")
+            }
+            ArchiveError::CrcMismatch { name, expected, actual } => write!(
+                f,
+                "CRC mismatch for entry {name:?}: header says {expected:#010x}, data hashes to {actual:#010x}"
+            ),
+            ArchiveError::InvalidEntryName => write!(f, "entry name is not valid UTF-8"),
+            ArchiveError::UnsafeEntryName(name) => write!(f, "unsafe entry name {name:?}"),
+            ArchiveError::DuplicateEntry(name) => write!(f, "duplicate entry {name:?}"),
+            ArchiveError::EntryNotFound(name) => write!(f, "entry {name:?} not found"),
+            ArchiveError::TooLarge(what) => write!(f, "{what} exceeds ZIP format limits"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = ArchiveError::CrcMismatch { name: "a.json".into(), expected: 1, actual: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("a.json"));
+        assert!(msg.contains("0x00000001"));
+        assert!(ArchiveError::UnsupportedCompression(8).to_string().contains("stored"));
+    }
+}

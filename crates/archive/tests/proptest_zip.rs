@@ -1,0 +1,65 @@
+//! Property tests: arbitrary file sets round-trip through the ZIP container.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tw_archive::{ZipReader, ZipWriter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_file_sets_round_trip(
+        files in prop::collection::btree_map("[a-z0-9_]{1,12}(\\.json)?", prop::collection::vec(any::<u8>(), 0..512), 0..20)
+    ) {
+        let mut w = ZipWriter::new();
+        for (name, data) in &files {
+            w.add_file(name, data).unwrap();
+        }
+        let bytes = w.finish();
+        let r = ZipReader::parse(&bytes).unwrap();
+        prop_assert_eq!(r.len(), files.len());
+        for (name, data) in &files {
+            prop_assert_eq!(r.read(name).unwrap(), data.as_slice());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ZipReader::parse(&data);
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_archives(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8)
+    ) {
+        let mut w = ZipWriter::new();
+        w.add_file("a.json", b"{\"name\":\"A\"}").unwrap();
+        w.add_file("b.json", &[7u8; 100]).unwrap();
+        let mut bytes = w.finish();
+        for (pos, xor) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= xor;
+        }
+        // Must either parse (if the flip hit a harmless byte) or error; never panic.
+        let _ = ZipReader::parse(&bytes);
+    }
+
+    #[test]
+    fn nested_paths_round_trip(segments in prop::collection::vec("[a-z]{1,8}", 1..5), data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let name = segments.join("/");
+        let mut w = ZipWriter::new();
+        w.add_file(&name, &data).unwrap();
+        let bytes = w.finish();
+        let r = ZipReader::parse(&bytes).unwrap();
+        prop_assert_eq!(r.read(&name).unwrap(), data.as_slice());
+    }
+}
+
+#[test]
+fn crc_of_btreemap_ordering_is_stable() {
+    // Guard that the proptest strategy above (BTreeMap) gives deterministic order.
+    let mut m = BTreeMap::new();
+    m.insert("b", 1);
+    m.insert("a", 2);
+    assert_eq!(m.keys().collect::<Vec<_>>(), vec![&"a", &"b"]);
+}

@@ -1,0 +1,167 @@
+//! E-F1 … E-F10 — regenerate every figure of the paper and benchmark the code
+//! paths that produce them.
+//!
+//! * Fig. 1 — Hello World in GDScript, run in the `tw-script` interpreter.
+//! * Fig. 2 — the training-level scene tree.
+//! * Fig. 3 — the Inspector view of the pallet controller's exported variables.
+//! * Fig. 4 — the X/Y axis-label nodes populated from the module file.
+//! * Fig. 5 — the training level's 2-D view, 3-D view and packets-placed view.
+//! * Figs. 6–10 — the traffic-pattern panels (topologies, notional attack,
+//!   security/defense/deterrence, DDoS, graph theory).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tw_bench::{banner, quick_criterion};
+use tw_core::engine::{Inspector, Variant};
+use tw_core::game::{TrainingLevel, WarehouseScene};
+use tw_core::patterns::{classify, patterns_for_figure, Figure};
+use tw_core::prelude::*;
+use tw_core::render::render_matrix_2d;
+use tw_script::{Interpreter, HELLO_WORLD_GDSCRIPT, PALLET_CONTROLLER_GDSCRIPT};
+
+fn print_fig1() {
+    banner("E-F1", "Fig. 1: Hello World in GDScript, executed by the tw-script interpreter");
+    let mut tree = tw_core::engine::SceneTree::new("Fig1");
+    let host = tree.spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node).unwrap();
+    let mut interp = Interpreter::attach(HELLO_WORLD_GDSCRIPT, host, &[]).unwrap();
+    interp.ready(&mut tree).unwrap();
+    println!("script output: {:?}", interp.output);
+    assert_eq!(interp.output, vec!["Hello, world!"]);
+}
+
+fn print_fig2_to_4() {
+    banner("E-F2", "Fig. 2: training-level scene tree");
+    let module = tw_core::game::training::training_module();
+    let scene = WarehouseScene::build(&module);
+    println!("{}", scene.tree.print_tree());
+
+    banner("E-F3", "Fig. 3: Inspector view of the pallet controller's exported variables");
+    let controller = scene.controller;
+    let mut tree = scene.tree;
+    let inspector = Inspector::new(&mut tree);
+    println!("{}", inspector.render(controller).unwrap());
+
+    banner("E-F4", "Fig. 4: X and Y axis-label nodes populated from the module file");
+    let scene = WarehouseScene::build(&tw_core::module::template_10x10());
+    let mut tree = scene.tree;
+    let controller_state =
+        tw_core::game::PalletLabelController::ready(&mut tree, scene.controller).unwrap();
+    assert!(controller_state.errors.is_empty());
+    for axis in [scene.x_axis, scene.y_axis] {
+        let axis_name = &tree.node(axis).unwrap().name;
+        let labels: Vec<String> = tree
+            .children(axis)
+            .unwrap()
+            .iter()
+            .map(|&holder| {
+                let text = tree.children(holder).unwrap()[1];
+                tree.node(text).unwrap().get("text").unwrap().as_str().unwrap_or("").to_string()
+            })
+            .collect();
+        println!("{axis_name} axis labels: {labels:?}");
+    }
+}
+
+fn print_fig5() {
+    banner("E-F5", "Fig. 5: training level — 2-D view, 3-D view, packets placed");
+    let mut training = TrainingLevel::start().unwrap();
+    println!("(a) 2-D matrix view:\n{}", training.level.scene.module().matrix.to_ascii());
+    let [_a, b, c] = training.render_figure_panels(96);
+    println!("(b) 3-D view before packet placement ({} pixels covered)", b.covered_pixels());
+    println!("{}", b.downsample(2).to_ascii());
+    println!("(c) 3-D view with all packets placed ({} pixels covered)", c.covered_pixels());
+    println!("{}", c.downsample(2).to_ascii());
+}
+
+fn print_pattern_figures() {
+    for figure in Figure::all() {
+        let experiment = format!("E-F{}", figure.number());
+        banner(&experiment, &format!("Fig. {}: {}", figure.number(), figure.title()));
+        for pattern in patterns_for_figure(figure) {
+            let profile = tw_core::matrix::MatrixProfile::of(&pattern.matrix);
+            let classification = classify(&pattern.matrix);
+            println!(
+                "{:<28} packets={:<4} links={:<3} supernodes={:<2} classifier={} ({:.2})",
+                pattern.name,
+                profile.total_packets,
+                profile.nonzero_links,
+                profile.supernodes.len(),
+                classification.best_id,
+                classification.best_score
+            );
+            println!("{}", pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+        }
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_fig1();
+    print_fig2_to_4();
+    print_fig5();
+    print_pattern_figures();
+
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig1_hello_world_interpreter", |b| {
+        b.iter(|| {
+            let mut tree = tw_core::engine::SceneTree::new("Fig1");
+            let host = tree.spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node).unwrap();
+            let mut interp = Interpreter::attach(HELLO_WORLD_GDSCRIPT, host, &[]).unwrap();
+            interp.ready(&mut tree).unwrap();
+            black_box(interp.output.len())
+        })
+    });
+    group.bench_function("fig1_controller_script_ready", |b| {
+        let module = tw_core::module::template_10x10();
+        b.iter(|| {
+            let scene = WarehouseScene::build(&module);
+            let mut tree = scene.tree;
+            let exported = [
+                ("x_axis", Variant::NodeRef(scene.x_axis.0)),
+                ("y_axis", Variant::NodeRef(scene.y_axis.0)),
+                ("pallets", Variant::NodeRef(scene.pallets.0)),
+                ("pallets_are_colored", Variant::Bool(false)),
+            ];
+            let mut interp =
+                Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
+            interp.ready(&mut tree).unwrap();
+            black_box(interp.errors.len())
+        })
+    });
+    group.bench_function("fig2_scene_tree_build_10x10", |b| {
+        let module = tw_core::module::template_10x10();
+        b.iter(|| black_box(WarehouseScene::build(&module).tree.len()))
+    });
+    group.bench_function("fig5_training_3d_render_96px", |b| {
+        let mut training = TrainingLevel::start().unwrap();
+        training.level.view.toggle_mode();
+        b.iter(|| black_box(training.level.render(96, 96).covered_pixels()))
+    });
+    group.bench_function("fig6_to_10_pattern_generation", |b| {
+        b.iter(|| black_box(all_patterns().len()))
+    });
+    group.bench_function("fig6_to_10_pattern_2d_render", |b| {
+        let patterns = all_patterns();
+        b.iter(|| {
+            let mut covered = 0usize;
+            for p in &patterns {
+                covered += render_matrix_2d(&p.matrix, Some(&p.colors)).covered_pixels();
+            }
+            black_box(covered)
+        })
+    });
+    group.bench_function("fig6_to_10_classifier", |b| {
+        let patterns = all_patterns();
+        b.iter(|| {
+            let hits = patterns.iter().filter(|p| classify(&p.matrix).best_id == p.id).count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_figures
+}
+criterion_main!(benches);

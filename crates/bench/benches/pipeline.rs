@@ -1,0 +1,111 @@
+//! E-S4 — the module pipeline cost: JSON parse → validate → scene build →
+//! render, per module size, plus bundle (ZIP) round-trip and the full
+//! game-session throughput. This quantifies the paper's claim that the JSON
+//! architecture makes new material cheap to produce and load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tw_bench::{banner, quick_criterion};
+use tw_core::game::{GameSession, WarehouseScene};
+use tw_core::prelude::*;
+use tw_core::render::render_matrix_2d;
+
+/// Build a synthetic module of dimension `n` with a ring-plus-diagonal pattern.
+fn synthetic_module(n: usize) -> LearningModule {
+    let labels: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+    let mut builder = ModuleBuilder::new(&format!("{n}x{n} synthetic"), "bench")
+        .labels(labels)
+        .expect("labels are distinct");
+    for i in 0..n {
+        builder = builder.cell(i, (i + 1) % n, 2).expect("in range");
+        builder = builder.cell(i, i, 1).expect("in range");
+    }
+    builder.question("Which pattern is this?", ["A ring", "A star", "A clique"], 0).build()
+}
+
+fn print_pipeline_summary() {
+    banner("E-S4", "Module pipeline cost: JSON parse -> validate -> scene build -> render");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14}",
+        "size", "json bytes", "zip bytes", "scene nodes", "2-D pixels"
+    );
+    for &n in &[6usize, 10, 16, 24] {
+        let module = synthetic_module(n);
+        let json = module.to_json();
+        let mut bundle = ModuleBundle::new("bench");
+        bundle.push(module.clone());
+        let zip = bundle.to_zip().unwrap();
+        let scene = WarehouseScene::build(&module);
+        let fb = render_matrix_2d(&module.matrix, Some(&module.colors));
+        println!(
+            "{n:>6} {:>12} {:>12} {:>12} {:>14}",
+            json.len(),
+            zip.len(),
+            scene.tree.len(),
+            fb.covered_pixels()
+        );
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    print_pipeline_summary();
+
+    let mut group = c.benchmark_group("module_pipeline");
+    for &n in &[6usize, 10, 16] {
+        let module = synthetic_module(n);
+        let json = module.to_json();
+        group.bench_with_input(BenchmarkId::new("parse_and_validate", n), &json, |b, json| {
+            b.iter(|| {
+                let (module, report) = tw_core::load_module(json).unwrap();
+                black_box((module.dimension(), report.is_valid()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scene_build", n), &module, |b, module| {
+            b.iter(|| black_box(WarehouseScene::build(module).tree.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("render_2d", n), &module, |b, module| {
+            b.iter(|| black_box(render_matrix_2d(&module.matrix, Some(&module.colors)).covered_pixels()))
+        });
+        let scene = WarehouseScene::build(&module);
+        let mut view = tw_core::game::ViewState::new();
+        view.toggle_mode();
+        group.bench_with_input(BenchmarkId::new("render_3d_96px", n), &scene, |b, scene| {
+            b.iter(|| black_box(scene.render(&view, 96, 96).covered_pixels()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bundle_and_session");
+    let library_bundle: ModuleBundle = tw_core::module::library::full_curriculum().into_iter().collect();
+    let zip = library_bundle.to_zip().unwrap();
+    group.bench_function("zip_full_curriculum_26_modules", |b| {
+        b.iter(|| black_box(library_bundle.to_zip().unwrap().len()))
+    });
+    group.bench_function("unzip_full_curriculum_26_modules", |b| {
+        b.iter(|| black_box(tw_core::load_bundle("bench", &zip).unwrap().len()))
+    });
+    group.bench_function("game_session_autoplay_ddos_bundle", |b| {
+        let bundle = tw_core::module::library::figure_bundle(Figure::Ddos);
+        b.iter(|| {
+            let mut session = GameSession::start(bundle.clone(), 3).unwrap();
+            session.autoplay(|_| true).unwrap();
+            black_box(session.score().correct)
+        })
+    });
+    group.bench_function("voxel_asset_obj_export", |b| {
+        b.iter(|| {
+            let mesh = tw_core::voxel::greedy_mesh(&tw_core::voxel::pallet_asset(
+                tw_core::voxel::palette::ACCENT_BLUE,
+            ));
+            black_box(tw_core::voxel::to_obj(&mesh, "pallet").len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E-T1 / E-T2 — regenerate the paper's Tables I and II (technology decision
+//! matrices) and benchmark the decision-matrix evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tw_bench::{banner, quick_criterion};
+use tw_core::sim::{engine_comparison, modeling_comparison};
+
+fn print_tables() {
+    banner("E-T1", "Table I: game engine comparison (Godot vs Unity vs Unreal)");
+    println!("{}", engine_comparison().render());
+    banner("E-T2", "Table II: modeling tool comparison (MagicaVoxel vs Blender vs Maya)");
+    println!("{}", modeling_comparison().render());
+    assert_eq!(engine_comparison().winner(), "Godot");
+    assert_eq!(modeling_comparison().winner(), "MagicaVoxel");
+    println!("Reproduced selections match the paper: Godot (Table I), MagicaVoxel (Table II).");
+}
+
+fn bench_tables(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_engine_decision", |b| {
+        b.iter(|| {
+            let table = engine_comparison();
+            black_box((table.scores(), table.winner()))
+        })
+    });
+    group.bench_function("table2_modeling_decision", |b| {
+        b.iter(|| {
+            let table = modeling_comparison();
+            black_box((table.scores(), table.winner()))
+        })
+    });
+    group.bench_function("table_render_text", |b| {
+        b.iter(|| black_box(engine_comparison().render().len() + modeling_comparison().render().len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_tables
+}
+criterion_main!(benches);

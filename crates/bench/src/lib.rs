@@ -1,0 +1,23 @@
+//! Shared helpers for the Traffic Warehouse benchmark harness.
+//!
+//! Each Criterion bench target regenerates one group of artifacts from the
+//! paper (see DESIGN.md's per-experiment index) and prints the reproduced
+//! rows/series before timing the code paths that produce them, so
+//! `bench_output.txt` doubles as the experiment record.
+
+/// Print a banner separating one experiment's output in the bench log.
+pub fn banner(experiment: &str, description: &str) {
+    println!("\n================================================================");
+    println!("[{experiment}] {description}");
+    println!("================================================================");
+}
+
+/// Criterion settings shared by all benches: small sample counts so the whole
+/// suite completes quickly while still producing stable medians.
+pub fn quick_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .without_plots()
+}

@@ -1,0 +1,382 @@
+//! # tw-cli
+//!
+//! The `traffic-warehouse` command-line tool: the headless delivery vehicle
+//! for the game. Educators use it to validate and preview module files and to
+//! export the built-in library; students (or scripts) can play a bundle from
+//! the terminal.
+//!
+//! ```text
+//! traffic-warehouse validate <module.json>
+//! traffic-warehouse render   <module.json> [--three-d] [--colors] [--out out.ppm]
+//! traffic-warehouse play     <bundle.zip>  [--seed N]
+//! traffic-warehouse export-library <directory>
+//! traffic-warehouse obfuscate <module.json>
+//! traffic-warehouse curriculum
+//! traffic-warehouse figures
+//! ```
+
+use std::fmt::Write as _;
+use tw_core::game::{GameSession, ViewState, WarehouseScene};
+use tw_core::module::{default_curriculum, from_json_maybe_obfuscated, to_obfuscated_json, validate};
+use tw_core::patterns::{patterns_for_figure, Figure};
+use tw_core::prelude::*;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Validate a module JSON file.
+    Validate { path: String },
+    /// Render a module to ASCII (and optionally a PPM file).
+    Render { path: String, three_d: bool, colors: bool, out: Option<String> },
+    /// Auto-play a bundle and print the transcript.
+    Play { path: String, seed: u64 },
+    /// Write the initial library's ZIP bundles into a directory.
+    ExportLibrary { directory: String },
+    /// Re-emit a module with its correct answer obfuscated.
+    Obfuscate { path: String },
+    /// Print the default curriculum with prerequisites.
+    Curriculum,
+    /// Print the figure gallery.
+    Figures,
+    /// Print usage.
+    Help,
+}
+
+/// An error produced while parsing arguments or running a command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "traffic-warehouse <command>
+
+Commands:
+  validate <module.json>                      check a learning module against the authoring guidance
+  render <module.json> [--three-d] [--colors] [--out file.ppm]
+                                              preview a module (ASCII to stdout, optional PPM)
+  play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
+  export-library <directory>                  write the built-in module bundles as .zip files
+  obfuscate <module.json>                     re-emit the module with its answer obfuscated
+  curriculum                                  print the default hierarchical curriculum
+  figures                                     print every figure's traffic pattern
+  help                                        show this message
+";
+
+/// Parse command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut iter = args.iter();
+    let command = iter.next().map(String::as_str).unwrap_or("help");
+    match command {
+        "validate" => {
+            let path = iter.next().ok_or(CliError("validate needs a module path".to_string()))?;
+            Ok(Command::Validate { path: path.clone() })
+        }
+        "render" => {
+            let path = iter.next().ok_or(CliError("render needs a module path".to_string()))?.clone();
+            let mut three_d = false;
+            let mut colors = false;
+            let mut out = None;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--three-d" | "--3d" => three_d = true,
+                    "--colors" => colors = true,
+                    "--out" => {
+                        out = Some(
+                            iter.next().ok_or(CliError("--out needs a file path".to_string()))?.clone(),
+                        )
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Render { path, three_d, colors, out })
+        }
+        "play" => {
+            let path = iter.next().ok_or(CliError("play needs a bundle path".to_string()))?.clone();
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = iter
+                            .next()
+                            .ok_or(CliError("--seed needs a value".to_string()))?
+                            .parse()
+                            .map_err(|_| CliError("--seed must be an integer".to_string()))?
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Play { path, seed })
+        }
+        "export-library" => {
+            let directory =
+                iter.next().ok_or(CliError("export-library needs a directory".to_string()))?;
+            Ok(Command::ExportLibrary { directory: directory.clone() })
+        }
+        "obfuscate" => {
+            let path = iter.next().ok_or(CliError("obfuscate needs a module path".to_string()))?;
+            Ok(Command::Obfuscate { path: path.clone() })
+        }
+        "curriculum" => Ok(Command::Curriculum),
+        "figures" => Ok(Command::Figures),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown command {other:?}; run `traffic-warehouse help`"))),
+    }
+}
+
+/// Run a command, returning the text to print.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Validate { path } => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
+            Ok(render_validation(&module))
+        }
+        Command::Render { path, three_d, colors, out } => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
+            let (ascii, ppm) = render_module(&module, *three_d, *colors);
+            if let Some(out_path) = out {
+                std::fs::write(out_path, ppm).map_err(|e| CliError(format!("{out_path}: {e}")))?;
+            }
+            Ok(ascii)
+        }
+        Command::Play { path, seed } => {
+            let bytes = std::fs::read(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let bundle =
+                tw_core::load_bundle(path, &bytes).map_err(|e| CliError(e.to_string()))?;
+            play_bundle(bundle, *seed)
+        }
+        Command::ExportLibrary { directory } => {
+            std::fs::create_dir_all(directory).map_err(|e| CliError(format!("{directory}: {e}")))?;
+            let mut out = String::new();
+            for (name, bytes) in tw_core::initial_library_zips() {
+                let slug: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                    .collect();
+                let path = format!("{directory}/{slug}.zip");
+                std::fs::write(&path, &bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
+                let _ = writeln!(out, "wrote {path} ({} bytes)", bytes.len());
+            }
+            Ok(out)
+        }
+        Command::Obfuscate { path } => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
+            to_obfuscated_json(&module).map_err(|e| CliError(e.to_string()))
+        }
+        Command::Curriculum => Ok(render_curriculum()),
+        Command::Figures => Ok(render_figures()),
+    }
+}
+
+/// Validation report as printable text.
+pub fn render_validation(module: &LearningModule) -> String {
+    let report = validate(module);
+    let mut out = format!(
+        "{} ({}x{}, by {}): ",
+        module.name,
+        module.dimension(),
+        module.dimension(),
+        module.author
+    );
+    if report.issues.is_empty() {
+        out.push_str("OK, no issues\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s)",
+            report.errors().count(),
+            report.warnings().count()
+        );
+        for issue in &report.issues {
+            let _ = writeln!(out, "  [{:?}] {}: {}", issue.severity, issue.field, issue.message);
+        }
+    }
+    out
+}
+
+/// Render a module: returns `(ascii preview, ppm bytes)`.
+pub fn render_module(module: &LearningModule, three_d: bool, colors: bool) -> (String, Vec<u8>) {
+    if three_d {
+        let scene = WarehouseScene::build(module);
+        let mut view = ViewState::new();
+        view.toggle_mode();
+        view.colors_on = colors;
+        let fb = scene.render(&view, 120, 60);
+        (fb.to_ascii(), fb.to_ppm())
+    } else {
+        let color_plane = colors.then_some(&module.colors);
+        let fb = render_matrix_2d(&module.matrix, color_plane);
+        let ascii = module.matrix.to_ascii_with_colors(color_plane);
+        (ascii, fb.to_ppm())
+    }
+}
+
+/// Auto-play a bundle and produce a transcript.
+pub fn play_bundle(bundle: ModuleBundle, seed: u64) -> Result<String, CliError> {
+    let mut out = format!("Playing {:?}: {} module(s)\n", bundle.name, bundle.len());
+    let mut session = GameSession::start(bundle, seed).map_err(|e| CliError(e.to_string()))?;
+    while !session.is_finished() {
+        let (name, question) = {
+            let level = session.current_level().expect("not finished");
+            (level.name().to_string(), level.question().cloned())
+        };
+        let _ = writeln!(out, "\n--- {} ---", name);
+        match question {
+            Some(q) => {
+                out.push_str(&q.to_text());
+                let outcome = session.answer(q.correct_index);
+                let _ = writeln!(out, "answered: {} -> {:?}", q.correct_answer(), outcome.expect("answer accepted"));
+            }
+            None => {
+                let _ = writeln!(out, "(no question; skipping)");
+                session.skip().map_err(|e| CliError(e.to_string()))?;
+                continue;
+            }
+        }
+        session.advance().map_err(|e| CliError(e.to_string()))?;
+    }
+    let _ = writeln!(out, "\nFinal score: {}", session.score().summary());
+    Ok(out)
+}
+
+fn render_curriculum() -> String {
+    let curriculum = default_curriculum();
+    let mut out = String::from("Default Traffic Warehouse curriculum:\n");
+    for unit in curriculum.schedule().expect("default curriculum is well-formed") {
+        let _ = writeln!(
+            out,
+            "  {:<42} {:>2} module(s)   requires: {}",
+            unit.name,
+            unit.bundle.len(),
+            if unit.prerequisites.is_empty() { "-".to_string() } else { unit.prerequisites.join(", ") }
+        );
+    }
+    out
+}
+
+fn render_figures() -> String {
+    let mut out = String::new();
+    for figure in Figure::all() {
+        let _ = writeln!(out, "Figure {}: {}", figure.number(), figure.title());
+        for pattern in patterns_for_figure(figure) {
+            let _ = writeln!(out, "\n[{}] {}", pattern.id, pattern.relevant_to);
+            out.push_str(&pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_commands_and_flags() {
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["validate", "m.json"])).unwrap(),
+            Command::Validate { path: "m.json".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["render", "m.json", "--three-d", "--colors", "--out", "x.ppm"])).unwrap(),
+            Command::Render { path: "m.json".into(), three_d: true, colors: true, out: Some("x.ppm".into()) }
+        );
+        assert_eq!(
+            parse_args(&args(&["play", "b.zip", "--seed", "9"])).unwrap(),
+            Command::Play { path: "b.zip".into(), seed: 9 }
+        );
+        assert_eq!(parse_args(&args(&["curriculum"])).unwrap(), Command::Curriculum);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse_args(&args(&["validate"])).is_err());
+        assert!(parse_args(&args(&["render"])).is_err());
+        assert!(parse_args(&args(&["render", "m.json", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["play", "b.zip", "--seed", "abc"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn validate_and_render_helpers() {
+        let module = tw_core::module::template_10x10();
+        let report = render_validation(&module);
+        assert!(report.contains("OK, no issues"));
+
+        let (ascii_2d, ppm_2d) = render_module(&module, false, true);
+        assert!(ascii_2d.contains("WS1"));
+        assert!(ppm_2d.starts_with(b"P6\n"));
+        let (ascii_3d, ppm_3d) = render_module(&module, true, true);
+        assert!(!ascii_3d.is_empty());
+        assert!(ppm_3d.len() > ppm_2d.len() / 4);
+    }
+
+    #[test]
+    fn play_transcript_reports_the_score() {
+        let bundle = tw_core::module::library::figure_bundle(Figure::Posture);
+        let transcript = play_bundle(bundle, 3).unwrap();
+        assert!(transcript.contains("3/3 correct"));
+        assert!(transcript.contains("Security"));
+        assert!(transcript.contains("Deterrence"));
+    }
+
+    #[test]
+    fn curriculum_and_figures_render() {
+        let curriculum = render_curriculum();
+        assert!(curriculum.contains("DDoS"));
+        assert!(curriculum.contains("requires"));
+        let figures = render_figures();
+        assert!(figures.contains("Figure 10: Graph Theory"));
+        assert!(figures.contains("ddos/attack"));
+    }
+
+    #[test]
+    fn file_commands_round_trip_through_a_temp_directory() {
+        let dir = std::env::temp_dir().join(format!("tw-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let module_path = dir.join("module.json");
+        std::fs::write(&module_path, tw_core::module::template_6x6().to_json()).unwrap();
+
+        let validate_out =
+            run(&Command::Validate { path: module_path.to_string_lossy().into_owned() }).unwrap();
+        assert!(validate_out.contains("OK"));
+
+        let obfuscated =
+            run(&Command::Obfuscate { path: module_path.to_string_lossy().into_owned() }).unwrap();
+        assert!(obfuscated.contains("correct_answer_token"));
+
+        let export_out = run(&Command::ExportLibrary {
+            directory: dir.join("library").to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert_eq!(export_out.lines().count(), 6);
+        let play_target = dir.join("library/ddos_attack.zip");
+        assert!(play_target.exists());
+        let play_out = run(&Command::Play {
+            path: play_target.to_string_lossy().into_owned(),
+            seed: 1,
+        })
+        .unwrap();
+        assert!(play_out.contains("4/4 correct"));
+
+        let missing = run(&Command::Validate { path: dir.join("nope.json").to_string_lossy().into_owned() });
+        assert!(missing.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

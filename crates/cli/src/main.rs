@@ -1,0 +1,13 @@
+//! The `traffic-warehouse` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tw_cli::parse_args(&args).and_then(|command| tw_cli::run(&command)) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("{}", tw_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

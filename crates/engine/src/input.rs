@@ -1,0 +1,139 @@
+//! Input events and the action map.
+//!
+//! The paper describes three controls: "The student has the ability to go into
+//! a 3D mode by pressing the spacebar key. The student can rotate the view
+//! using the Q and E keys." The input map binds physical keys to named actions
+//! so the game logic never references key codes directly (mirroring Godot's
+//! InputMap).
+
+/// A physical key relevant to Traffic Warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// The spacebar (toggle 2-D/3-D view).
+    Space,
+    /// The Q key (rotate counter-clockwise).
+    Q,
+    /// The E key (rotate clockwise).
+    E,
+    /// The C key (toggle pallet colors; bound to the on-screen button too).
+    C,
+    /// Number row 1-9 (answer selection).
+    Digit(u8),
+    /// The Enter key (confirm / advance to the next module).
+    Enter,
+    /// The Escape key (back to the module menu).
+    Escape,
+}
+
+/// An input event delivered to the game loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputEvent {
+    /// A key was pressed.
+    Pressed(Key),
+    /// A key was released.
+    Released(Key),
+}
+
+/// The named game actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Toggle between the 2-D and 3-D views.
+    ToggleView,
+    /// Rotate the 3-D view counter-clockwise.
+    RotateLeft,
+    /// Rotate the 3-D view clockwise.
+    RotateRight,
+    /// Toggle pallet colors.
+    ToggleColors,
+    /// Choose answer option N (0-based).
+    ChooseAnswer(u8),
+    /// Confirm / advance.
+    Advance,
+    /// Go back to the menu.
+    Back,
+}
+
+/// Maps keys to actions.
+#[derive(Debug, Clone)]
+pub struct InputMap {
+    bindings: Vec<(Key, Action)>,
+}
+
+impl Default for InputMap {
+    fn default() -> Self {
+        let mut bindings = vec![
+            (Key::Space, Action::ToggleView),
+            (Key::Q, Action::RotateLeft),
+            (Key::E, Action::RotateRight),
+            (Key::C, Action::ToggleColors),
+            (Key::Enter, Action::Advance),
+            (Key::Escape, Action::Back),
+        ];
+        for d in 1..=9u8 {
+            bindings.push((Key::Digit(d), Action::ChooseAnswer(d - 1)));
+        }
+        InputMap { bindings }
+    }
+}
+
+impl InputMap {
+    /// The default Traffic Warehouse bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebind a key to an action (replacing any existing binding for that key).
+    pub fn bind(&mut self, key: Key, action: Action) {
+        self.bindings.retain(|(k, _)| *k != key);
+        self.bindings.push((key, action));
+    }
+
+    /// The action for a key press, if bound.
+    pub fn action_for(&self, key: Key) -> Option<Action> {
+        self.bindings.iter().find(|(k, _)| *k == key).map(|(_, a)| *a)
+    }
+
+    /// Translate an input event into an action. Only presses trigger actions.
+    pub fn translate(&self, event: InputEvent) -> Option<Action> {
+        match event {
+            InputEvent::Pressed(key) => self.action_for(key),
+            InputEvent::Released(_) => None,
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True when no keys are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bindings_match_the_paper() {
+        let map = InputMap::new();
+        assert_eq!(map.translate(InputEvent::Pressed(Key::Space)), Some(Action::ToggleView));
+        assert_eq!(map.translate(InputEvent::Pressed(Key::Q)), Some(Action::RotateLeft));
+        assert_eq!(map.translate(InputEvent::Pressed(Key::E)), Some(Action::RotateRight));
+        assert_eq!(map.translate(InputEvent::Pressed(Key::Digit(1))), Some(Action::ChooseAnswer(0)));
+        assert_eq!(map.translate(InputEvent::Pressed(Key::Digit(3))), Some(Action::ChooseAnswer(2)));
+        assert_eq!(map.translate(InputEvent::Released(Key::Q)), None);
+        assert_eq!(map.len(), 6 + 9);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn rebinding_replaces_the_old_action() {
+        let mut map = InputMap::new();
+        map.bind(Key::Space, Action::Advance);
+        assert_eq!(map.action_for(Key::Space), Some(Action::Advance));
+        assert_eq!(map.len(), 15, "rebinding must not grow the map");
+    }
+}

@@ -1,0 +1,131 @@
+//! The Inspector view of a node's exported properties.
+//!
+//! The paper's Fig. 3 shows "the Inspector tab which allows editing of various
+//! properties of our node. By manually exporting several variables they can be
+//! edited in this environment." The headless equivalent lists a node's
+//! exported properties with their values and lets tooling edit them by name,
+//! which is how the figure bench regenerates Fig. 3.
+
+use crate::node::NodeId;
+use crate::tree::{SceneTree, TreeError};
+use crate::variant::Variant;
+
+/// One exported property as shown in the Inspector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportedProperty {
+    /// The property name (e.g. `pallets_are_colored`).
+    pub name: String,
+    /// The property's current value.
+    pub value: Variant,
+    /// The value's type name, shown next to the field in the editor.
+    pub type_name: &'static str,
+}
+
+/// Read/write access to a node's exported properties.
+pub struct Inspector<'tree> {
+    tree: &'tree mut SceneTree,
+}
+
+impl<'tree> Inspector<'tree> {
+    /// Open an inspector over a tree.
+    pub fn new(tree: &'tree mut SceneTree) -> Self {
+        Inspector { tree }
+    }
+
+    /// List a node's exported properties in declaration order.
+    pub fn exported_properties(&self, id: NodeId) -> Result<Vec<ExportedProperty>, TreeError> {
+        let node = self.tree.node(id)?;
+        Ok(node
+            .exported()
+            .iter()
+            .map(|name| {
+                let value = node.get_or_nil(name);
+                ExportedProperty { name: name.clone(), type_name: value.type_name(), value }
+            })
+            .collect())
+    }
+
+    /// Edit an exported property. Editing a non-exported property is rejected,
+    /// matching the editor's behaviour of only exposing exported variables.
+    pub fn set(&mut self, id: NodeId, name: &str, value: Variant) -> Result<(), TreeError> {
+        let node = self.tree.node_mut(id)?;
+        if !node.exported().iter().any(|e| e == name) {
+            return Err(TreeError::PathNotFound {
+                path: format!("{name} (exported property)"),
+                failed_segment: name.to_string(),
+            });
+        }
+        node.set(name, value);
+        Ok(())
+    }
+
+    /// Render the Inspector panel as text (one `name: type = value` line per
+    /// property), used to regenerate Fig. 3.
+    pub fn render(&self, id: NodeId) -> Result<String, TreeError> {
+        let node_name = self.tree.node(id)?.name.clone();
+        let mut out = format!("Inspector — {node_name}\n");
+        for prop in self.exported_properties(id)? {
+            out.push_str(&format!("  {}: {} = {}\n", prop.name, prop.type_name, prop.value));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn controller_tree() -> (SceneTree, NodeId) {
+        let mut tree = SceneTree::new("Level");
+        let controller = tree.spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D).unwrap();
+        let node = tree.node_mut(controller).unwrap();
+        // The export variables from the paper's script listing.
+        node.export_with("y_axis", Variant::NodeRef(0));
+        node.export_with("x_axis", Variant::NodeRef(0));
+        node.export_with("pallets", Variant::NodeRef(0));
+        node.export_with("pallets_are_colored", false);
+        node.set("internal_only", 42i64);
+        (tree, controller)
+    }
+
+    #[test]
+    fn lists_exported_properties_in_declaration_order() {
+        let (mut tree, controller) = controller_tree();
+        let inspector = Inspector::new(&mut tree);
+        let props = inspector.exported_properties(controller).unwrap();
+        let names: Vec<&str> = props.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["y_axis", "x_axis", "pallets", "pallets_are_colored"]);
+        assert_eq!(props[3].value, Variant::Bool(false));
+        assert_eq!(props[3].type_name, "bool");
+    }
+
+    #[test]
+    fn editing_exported_properties() {
+        let (mut tree, controller) = controller_tree();
+        let mut inspector = Inspector::new(&mut tree);
+        inspector.set(controller, "pallets_are_colored", Variant::Bool(true)).unwrap();
+        assert_eq!(
+            tree.node(controller).unwrap().get("pallets_are_colored"),
+            Some(&Variant::Bool(true))
+        );
+    }
+
+    #[test]
+    fn non_exported_properties_are_not_editable() {
+        let (mut tree, controller) = controller_tree();
+        let mut inspector = Inspector::new(&mut tree);
+        assert!(inspector.set(controller, "internal_only", Variant::Int(0)).is_err());
+        assert!(inspector.set(controller, "does_not_exist", Variant::Int(0)).is_err());
+    }
+
+    #[test]
+    fn render_produces_the_fig3_panel() {
+        let (mut tree, controller) = controller_tree();
+        let inspector = Inspector::new(&mut tree);
+        let text = inspector.render(controller).unwrap();
+        assert!(text.starts_with("Inspector — Pallet and label controller"));
+        assert!(text.contains("pallets_are_colored: bool = false"));
+        assert!(!text.contains("internal_only"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # tw-engine
+//!
+//! A headless scene-graph engine standing in for Godot in the Traffic
+//! Warehouse reproduction.
+//!
+//! The paper's implementation section (§IV) is entirely about Godot's
+//! node-and-scene model: "In Godot a node is the smallest component that can
+//! be modified and used to build a scene", export variables editable in the
+//! Inspector, `@onready` lookups of sibling nodes by path (`$"../Data"`), the
+//! `_ready()` lifecycle hook and per-node scripts that walk their children.
+//! This crate provides those mechanics without a GUI so every behaviour the
+//! paper describes — building the warehouse scene from the JSON module file,
+//! assigning axis labels to the label nodes, toggling pallet materials — can
+//! be implemented, exercised and tested deterministically.
+//!
+//! What is intentionally *not* reproduced: GPU rendering (see `tw-render` for
+//! the software renderer), audio, physics and the editor UI, none of which the
+//! paper's game uses beyond static visuals.
+
+pub mod input;
+pub mod inspector;
+pub mod node;
+pub mod signal;
+pub mod tree;
+pub mod variant;
+
+pub use input::{InputEvent, InputMap, Key};
+pub use inspector::{ExportedProperty, Inspector};
+pub use node::{Node, NodeId, NodeKind};
+pub use signal::{Connection, SignalBus, SignalEmission};
+pub use tree::{SceneTree, TreeError};
+pub use variant::Variant;

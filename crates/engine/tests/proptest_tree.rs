@@ -1,0 +1,86 @@
+//! Property tests for the scene tree: structural invariants hold for
+//! arbitrary build/remove sequences.
+
+use proptest::prelude::*;
+use tw_engine::{Node, NodeKind, SceneTree};
+
+/// Build a tree from a sequence of (parent-choice, remove-choice) operations.
+fn build_tree(ops: &[(u8, bool)]) -> SceneTree {
+    let mut tree = SceneTree::new("Root");
+    let mut alive = vec![tree.root()];
+    for (i, &(parent_choice, remove)) in ops.iter().enumerate() {
+        let parent = alive[parent_choice as usize % alive.len()];
+        if remove && alive.len() > 1 {
+            // Remove a non-root node (and forget any of its descendants lazily).
+            let victim = alive[(parent_choice as usize % (alive.len() - 1)) + 1];
+            if tree.node(victim).is_ok() {
+                tree.remove(victim).unwrap();
+            }
+            alive.retain(|&n| tree.node(n).is_ok());
+        } else if tree.node(parent).is_ok() {
+            let id = tree.add_child(parent, Node::new(&format!("N{i}"), NodeKind::Node3D)).unwrap();
+            alive.push(id);
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lifecycle_orders_cover_every_node_exactly_once(ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..40)) {
+        let tree = build_tree(&ops);
+        let ready = tree.ready_order();
+        let process = tree.process_order();
+        prop_assert_eq!(ready.len(), tree.len());
+        prop_assert_eq!(process.len(), tree.len());
+        let mut sorted_ready = ready.clone();
+        sorted_ready.sort();
+        sorted_ready.dedup();
+        prop_assert_eq!(sorted_ready.len(), tree.len(), "ready order must not repeat nodes");
+        // Root is last in ready order and first in process order.
+        prop_assert_eq!(*ready.last().unwrap(), tree.root());
+        prop_assert_eq!(process[0], tree.root());
+    }
+
+    #[test]
+    fn children_ready_before_parents_and_after_in_process(ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..40)) {
+        let tree = build_tree(&ops);
+        let ready = tree.ready_order();
+        let process = tree.process_order();
+        let ready_pos = |id| ready.iter().position(|&n| n == id).unwrap();
+        let process_pos = |id| process.iter().position(|&n| n == id).unwrap();
+        for &node in &ready {
+            if let Ok(Some(parent)) = tree.parent(node) {
+                prop_assert!(ready_pos(node) < ready_pos(parent));
+                prop_assert!(process_pos(node) > process_pos(parent));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_round_trip_for_every_node(ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..30)) {
+        let tree = build_tree(&ops);
+        for node in tree.process_order() {
+            let path = tree.path_of(node).unwrap();
+            prop_assert!(path.starts_with("/Root"));
+            let resolved = tree.get_node(tree.root(), path.trim_start_matches('/')).unwrap_or_else(|_| {
+                // Absolute form must always resolve.
+                tree.get_node(tree.root(), &path).unwrap()
+            });
+            prop_assert_eq!(resolved, node, "path {} did not resolve back", path);
+        }
+    }
+
+    #[test]
+    fn removal_never_leaves_dangling_children(ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..40)) {
+        let tree = build_tree(&ops);
+        for node in tree.process_order() {
+            for child in tree.children(node).unwrap() {
+                prop_assert!(tree.node(child).is_ok(), "child list references a freed node");
+                prop_assert_eq!(tree.parent(child).unwrap(), Some(node));
+            }
+        }
+    }
+}

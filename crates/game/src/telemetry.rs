@@ -1,0 +1,110 @@
+//! Gameplay telemetry.
+//!
+//! The paper's future work calls for "measuring the outcome and effect on the
+//! student"; the telemetry hub is the hook for that: every significant game
+//! event is published on a channel that an educator dashboard (or, here, the
+//! classroom simulator in `tw-sim`) can consume without coupling to the game
+//! loop.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// A gameplay event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A bundle was opened; contains the bundle name and module count.
+    BundleLoaded { name: String, modules: usize },
+    /// A module was presented; contains its index and name.
+    ModuleStarted { index: usize, name: String },
+    /// The student toggled between the 2-D and 3-D views.
+    ViewToggled { now_3d: bool },
+    /// The student rotated the 3-D view; contains the new step count.
+    ViewRotated { steps: i32 },
+    /// The student toggled pallet colors.
+    ColorsToggled { now_colored: bool },
+    /// The student answered the module's question.
+    Answered { module_index: usize, correct: bool },
+    /// The module was completed (question answered or skipped).
+    ModuleCompleted { index: usize },
+    /// The whole bundle was completed; contains the final correct/answered counts.
+    SessionCompleted { correct: usize, answered: usize },
+}
+
+/// A telemetry publisher/consumer pair backed by an unbounded channel.
+#[derive(Debug, Clone)]
+pub struct TelemetryHub {
+    sender: Sender<TelemetryEvent>,
+    receiver: Receiver<TelemetryEvent>,
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryHub {
+    /// Create a hub.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        TelemetryHub { sender, receiver }
+    }
+
+    /// Publish an event (never blocks).
+    pub fn publish(&self, event: TelemetryEvent) {
+        // The receiver half lives as long as self, so send cannot fail.
+        let _ = self.sender.send(event);
+    }
+
+    /// A sender handle that can be moved to another thread.
+    pub fn sender(&self) -> Sender<TelemetryEvent> {
+        self.sender.clone()
+    }
+
+    /// Drain every event published so far.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        let mut events = Vec::new();
+        loop {
+            match self.receiver.try_recv() {
+                Ok(event) => events.push(event),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        events
+    }
+
+    /// Number of events waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_drain_in_order() {
+        let hub = TelemetryHub::new();
+        hub.publish(TelemetryEvent::BundleLoaded { name: "DDoS".into(), modules: 4 });
+        hub.publish(TelemetryEvent::ModuleStarted { index: 0, name: "C2".into() });
+        assert_eq!(hub.pending(), 2);
+        let events = hub.drain();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], TelemetryEvent::BundleLoaded { ref name, modules: 4 } if name == "DDoS"));
+        assert_eq!(hub.pending(), 0);
+        assert!(hub.drain().is_empty());
+    }
+
+    #[test]
+    fn senders_work_across_threads() {
+        let hub = TelemetryHub::new();
+        let sender = hub.sender();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                sender.send(TelemetryEvent::ModuleCompleted { index: i }).unwrap();
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(hub.drain().len(), 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! The 2-D/3-D view state and its controls.
+//!
+//! "When the student starts the game they are first shown a network traffic
+//! matrix in a top-down 2D view. … The student has the ability to go into a 3D
+//! mode by pressing the spacebar key. The student can rotate the view using
+//! the Q and E keys."
+
+use tw_engine::input::{Action, InputEvent, InputMap};
+use tw_render::Camera;
+
+/// Which of the two views is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewMode {
+    /// The spreadsheet-style top-down view (the starting view).
+    #[default]
+    TwoD,
+    /// The rotatable warehouse view.
+    ThreeD,
+}
+
+/// The complete view state of a level.
+#[derive(Debug, Clone)]
+pub struct ViewState {
+    /// Current view mode.
+    pub mode: ViewMode,
+    /// Number of Q/E rotation steps applied (positive = E/clockwise).
+    pub rotation_steps: i32,
+    /// Whether pallet colors are toggled on.
+    pub colors_on: bool,
+    /// How many packets have been placed so far (`None` = all; used by the
+    /// training level's placement walk-through).
+    pub packets_placed: Option<usize>,
+    input: InputMap,
+}
+
+impl Default for ViewState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViewState {
+    /// The starting state: 2-D view, no rotation, default pallet materials.
+    pub fn new() -> Self {
+        ViewState {
+            mode: ViewMode::TwoD,
+            rotation_steps: 0,
+            colors_on: false,
+            packets_placed: None,
+            input: InputMap::new(),
+        }
+    }
+
+    /// Toggle between 2-D and 3-D (the spacebar).
+    pub fn toggle_mode(&mut self) {
+        self.mode = match self.mode {
+            ViewMode::TwoD => ViewMode::ThreeD,
+            ViewMode::ThreeD => ViewMode::TwoD,
+        };
+    }
+
+    /// Rotate the 3-D view. Rotation in the 2-D view is ignored, as the paper's
+    /// top-down view has no rotation control.
+    pub fn rotate(&mut self, steps: i32) {
+        if self.mode == ViewMode::ThreeD {
+            self.rotation_steps += steps;
+        }
+    }
+
+    /// Toggle pallet colors (the on-screen button / C key).
+    pub fn toggle_colors(&mut self) {
+        self.colors_on = !self.colors_on;
+    }
+
+    /// Apply a raw input event; returns the action it mapped to, if any.
+    /// Answer-selection and navigation actions are returned but not applied
+    /// here — they belong to the session state machine.
+    pub fn handle_input(&mut self, event: InputEvent) -> Option<Action> {
+        let action = self.input.translate(event)?;
+        match action {
+            Action::ToggleView => self.toggle_mode(),
+            Action::RotateLeft => self.rotate(-1),
+            Action::RotateRight => self.rotate(1),
+            Action::ToggleColors => self.toggle_colors(),
+            Action::ChooseAnswer(_) | Action::Advance | Action::Back => {}
+        }
+        Some(action)
+    }
+
+    /// The camera for the current view over a floor of the given extent.
+    pub fn camera(&self, extent: f64) -> Camera {
+        match self.mode {
+            ViewMode::TwoD => Camera::top_down(extent),
+            ViewMode::ThreeD => Camera::orbit_steps(extent, self.rotation_steps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_engine::input::Key;
+
+    #[test]
+    fn starts_in_2d_with_default_materials() {
+        let v = ViewState::new();
+        assert_eq!(v.mode, ViewMode::TwoD);
+        assert!(!v.colors_on);
+        assert_eq!(v.rotation_steps, 0);
+        assert_eq!(v.packets_placed, None);
+    }
+
+    #[test]
+    fn spacebar_toggles_and_qe_rotate_only_in_3d() {
+        let mut v = ViewState::new();
+        v.handle_input(InputEvent::Pressed(Key::Q));
+        assert_eq!(v.rotation_steps, 0, "rotation is ignored in the 2-D view");
+        v.handle_input(InputEvent::Pressed(Key::Space));
+        assert_eq!(v.mode, ViewMode::ThreeD);
+        v.handle_input(InputEvent::Pressed(Key::E));
+        v.handle_input(InputEvent::Pressed(Key::E));
+        v.handle_input(InputEvent::Pressed(Key::Q));
+        assert_eq!(v.rotation_steps, 1);
+        v.handle_input(InputEvent::Pressed(Key::Space));
+        assert_eq!(v.mode, ViewMode::TwoD);
+    }
+
+    #[test]
+    fn color_toggle_and_answer_actions() {
+        let mut v = ViewState::new();
+        assert_eq!(v.handle_input(InputEvent::Pressed(Key::C)), Some(Action::ToggleColors));
+        assert!(v.colors_on);
+        v.toggle_colors();
+        assert!(!v.colors_on);
+        // Answer keys are reported but do not mutate the view.
+        assert_eq!(
+            v.handle_input(InputEvent::Pressed(Key::Digit(2))),
+            Some(Action::ChooseAnswer(1))
+        );
+        assert_eq!(v.handle_input(InputEvent::Released(Key::C)), None);
+    }
+
+    #[test]
+    fn camera_selection_follows_the_mode() {
+        let mut v = ViewState::new();
+        let top = v.camera(10.0);
+        v.toggle_mode();
+        v.rotate(2);
+        let orbit = v.camera(10.0);
+        assert_ne!(top.eye, orbit.eye);
+        assert!(matches!(top.projection, tw_render::Projection::Orthographic { .. }));
+        assert!(matches!(orbit.projection, tw_render::Projection::Perspective { .. }));
+    }
+}

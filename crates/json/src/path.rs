@@ -1,0 +1,140 @@
+//! Simple dotted-path queries into JSON documents.
+//!
+//! Validators and tests frequently need to reach into a module file
+//! (`"question"`, `"traffic_matrix.3.7"`); `JsonPath` provides that without
+//! repetitive `get(..).and_then(..)` chains and with good error messages.
+
+use crate::error::{ErrorKind, JsonError, Result};
+use crate::value::Value;
+
+/// A parsed dotted path such as `traffic_matrix.3.7` or `answers.0`.
+///
+/// Segments are either object keys or array indices; a numeric segment is
+/// tried as an array index first and falls back to an object key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonPath {
+    segments: Vec<Segment>,
+    source: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Key(String),
+    Index(usize),
+}
+
+impl JsonPath {
+    /// Parse a dotted path. An empty string addresses the root value.
+    pub fn parse(path: &str) -> Self {
+        let segments = if path.is_empty() {
+            Vec::new()
+        } else {
+            path.split('.')
+                .map(|seg| match seg.parse::<usize>() {
+                    Ok(i) => Segment::Index(i),
+                    Err(_) => Segment::Key(seg.to_string()),
+                })
+                .collect()
+        };
+        JsonPath { segments, source: path.to_string() }
+    }
+
+    /// Number of segments in the path.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the path addresses the root.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Resolve the path against a value, returning `None` when it is absent.
+    pub fn lookup<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        let mut current = value;
+        for seg in &self.segments {
+            current = match seg {
+                Segment::Key(k) => current.get(k)?,
+                Segment::Index(i) => match current {
+                    Value::Array(items) => items.get(*i)?,
+                    Value::Object(map) => map.get(&i.to_string())?,
+                    _ => return None,
+                },
+            };
+        }
+        Some(current)
+    }
+
+    /// Resolve the path, producing a descriptive error when it is absent.
+    pub fn require<'v>(&self, value: &'v Value) -> Result<&'v Value> {
+        self.lookup(value).ok_or_else(|| {
+            JsonError::new(ErrorKind::PathError(format!(
+                "path {:?} not found in {} value",
+                self.source,
+                value.type_name()
+            )))
+        })
+    }
+}
+
+/// Convenience wrapper: `get_path(v, "a.b.0")`.
+pub fn get_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+    JsonPath::parse(path).lookup(value)
+}
+
+/// Convenience wrapper returning an error when the path is missing.
+pub fn require_path<'v>(value: &'v Value, path: &str) -> Result<&'v Value> {
+    JsonPath::parse(path).require(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn doc() -> Value {
+        parse(
+            r#"{
+                "name": "DDoS",
+                "traffic_matrix": [[0, 5], [7, 0]],
+                "answers": ["0", "1", "2"],
+                "meta": {"author": "MIT", "2": "numeric key"}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_keys_and_indices() {
+        let d = doc();
+        assert_eq!(get_path(&d, "name").unwrap().as_str(), Some("DDoS"));
+        assert_eq!(get_path(&d, "traffic_matrix.0.1").unwrap().as_i64(), Some(5));
+        assert_eq!(get_path(&d, "traffic_matrix.1.0").unwrap().as_i64(), Some(7));
+        assert_eq!(get_path(&d, "answers.2").unwrap().as_str(), Some("2"));
+        assert_eq!(get_path(&d, "meta.author").unwrap().as_str(), Some("MIT"));
+    }
+
+    #[test]
+    fn numeric_segment_falls_back_to_object_key() {
+        let d = doc();
+        assert_eq!(get_path(&d, "meta.2").unwrap().as_str(), Some("numeric key"));
+    }
+
+    #[test]
+    fn empty_path_is_root() {
+        let d = doc();
+        assert_eq!(get_path(&d, ""), Some(&d));
+        assert!(JsonPath::parse("").is_empty());
+        assert_eq!(JsonPath::parse("a.b").len(), 2);
+    }
+
+    #[test]
+    fn missing_paths() {
+        let d = doc();
+        assert!(get_path(&d, "nope").is_none());
+        assert!(get_path(&d, "traffic_matrix.9.9").is_none());
+        assert!(get_path(&d, "name.0").is_none());
+        let err = require_path(&d, "question").unwrap_err();
+        assert!(err.to_string().contains("question"));
+    }
+}

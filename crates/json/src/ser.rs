@@ -1,0 +1,218 @@
+//! JSON serialization: compact and pretty printers.
+//!
+//! Output is always strict RFC 8259 (no trailing commas or comments), so a
+//! module authored with the relaxed syntax re-serializes into a portable file.
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Options controlling pretty-printed output.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Number of spaces per indentation level.
+    pub indent: usize,
+    /// Emit numeric grids (arrays whose elements are all numbers) on a single
+    /// line even in pretty mode, which keeps `traffic_matrix` rows readable —
+    /// the paper stresses the matrix is "a list of lists to make it intuitive
+    /// for an educator to type out exactly what the student will see".
+    pub compact_numeric_rows: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: 2, compact_numeric_rows: true }
+    }
+}
+
+/// Serialize a value into compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+/// Serialize a value into human-readable, indented JSON.
+pub fn to_string_pretty(value: &Value) -> String {
+    to_string_pretty_with(value, &WriteOptions::default())
+}
+
+/// Serialize a value into indented JSON with explicit options.
+pub fn to_string_pretty_with(value: &Value, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_pretty(value, &mut out, options, 0);
+    out
+}
+
+/// Escape a string into a JSON string literal (including surrounding quotes).
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(s, &mut out);
+    out
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn is_numeric_row(value: &Value) -> bool {
+    match value {
+        Value::Array(items) => items.iter().all(|v| matches!(v, Value::Number(_))),
+        _ => false,
+    }
+}
+
+fn write_pretty(value: &Value, out: &mut String, options: &WriteOptions, level: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            if options.compact_numeric_rows && is_numeric_row(value) {
+                write_compact(value, out);
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, options, level + 1);
+                write_pretty(item, out, options, level + 1);
+            }
+            out.push('\n');
+            push_indent(out, options, level);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, options, level + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, options, level + 1);
+            }
+            out.push('\n');
+            push_indent(out, options, level);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, options: &WriteOptions, level: usize) {
+    for _ in 0..level * options.indent {
+        out.push(' ');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::value::{Map, Value};
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"{"name":"Training","labels":["WS1","ADV1"],"matrix":[[1,0],[0,2]],"active":true,"note":null}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(to_string(&v), src);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_string("a\"b"), r#""a\"b""#);
+        assert_eq!(escape_string("line\nbreak"), r#""line\nbreak""#);
+        assert_eq!(escape_string("tab\tcontrol\u{0001}"), "\"tab\\tcontrol\\u0001\"");
+        let v = Value::from("emoji 😀 stays");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_keeps_matrix_rows_on_one_line() {
+        let src = r#"{"traffic_matrix":[[1,0,2],[0,1,0]],"name":"x"}"#;
+        let v = parse(src).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("[1,0,2]"), "rows should stay compact:\n{pretty}");
+        assert!(pretty.contains("\n"), "top level should still be indented");
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_expands_non_numeric_arrays() {
+        let v = parse(r#"{"answers":["0","1","2"]}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\n    \"0\""), "{pretty}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut m = Map::new();
+        m.insert("a", Value::Array(vec![]));
+        m.insert("b", Value::Object(Map::new()));
+        let v = Value::Object(m);
+        assert_eq!(to_string(&v), r#"{"a":[],"b":{}}"#);
+        let pretty = to_string_pretty(&v);
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_indent_width_is_configurable() {
+        let v = parse(r#"{"a": {"b": "c"}}"#).unwrap();
+        let opts = WriteOptions { indent: 4, compact_numeric_rows: true };
+        let pretty = to_string_pretty_with(&v, &opts);
+        assert!(pretty.contains("\n    \"a\""), "{pretty}");
+        assert!(pretty.contains("\n        \"b\""), "{pretty}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Cell color planes.
+//!
+//! The paper's `traffic_matrix_colors` field assigns every matrix cell one of
+//! three colors — grey (0), blue (1) or red (2) — "an important aid for
+//! illustrating important cybersecurity concepts such as internal networks
+//! (blue) and adversarial networks (red)".
+
+use crate::error::{MatrixError, Result};
+use crate::labels::LabelSet;
+
+/// The color of one traffic-matrix cell, as encoded in module files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellColor {
+    /// Neutral / grey space (code 0). The default.
+    #[default]
+    Grey,
+    /// Defended / blue space (code 1).
+    Blue,
+    /// Adversarial / red space (code 2).
+    Red,
+}
+
+impl CellColor {
+    /// Decode the paper's numeric color code. Unknown codes map to `None`;
+    /// the game renders unknown codes with a black "error" material, which the
+    /// caller can model by treating `None` specially.
+    pub fn from_code(code: u32) -> Option<CellColor> {
+        match code {
+            0 => Some(CellColor::Grey),
+            1 => Some(CellColor::Blue),
+            2 => Some(CellColor::Red),
+            _ => None,
+        }
+    }
+
+    /// Encode back to the numeric code used in module files.
+    pub fn code(&self) -> u32 {
+        match self {
+            CellColor::Grey => 0,
+            CellColor::Blue => 1,
+            CellColor::Red => 2,
+        }
+    }
+
+    /// A one-character glyph used by the ASCII views (`.` grey, `b` blue, `r` red).
+    pub fn glyph(&self) -> char {
+        match self {
+            CellColor::Grey => '.',
+            CellColor::Blue => 'b',
+            CellColor::Red => 'r',
+        }
+    }
+}
+
+/// A square matrix of cell colors, parallel to a traffic matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorMatrix {
+    dimension: usize,
+    cells: Vec<CellColor>,
+}
+
+impl ColorMatrix {
+    /// An all-grey color matrix of the given dimension.
+    pub fn grey(dimension: usize) -> Self {
+        ColorMatrix { dimension, cells: vec![CellColor::Grey; dimension * dimension] }
+    }
+
+    /// Build from a row-major grid of color codes (the module-file encoding).
+    /// Unknown codes are rejected.
+    pub fn from_codes(grid: &[Vec<u32>]) -> Result<Self> {
+        let dimension = grid.len();
+        let mut cells = Vec::with_capacity(dimension * dimension);
+        for (r, row) in grid.iter().enumerate() {
+            if row.len() != dimension {
+                return Err(MatrixError::RaggedRows { row: r, expected: dimension, actual: row.len() });
+            }
+            for &code in row {
+                let color = CellColor::from_code(code).ok_or_else(|| {
+                    MatrixError::DimensionMismatch(format!("invalid color code {code} in row {r}"))
+                })?;
+                cells.push(color);
+            }
+        }
+        Ok(ColorMatrix { dimension, cells })
+    }
+
+    /// Matrix dimension (rows == columns).
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The color at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> Option<CellColor> {
+        if row < self.dimension && col < self.dimension {
+            Some(self.cells[row * self.dimension + col])
+        } else {
+            None
+        }
+    }
+
+    /// Set the color at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, color: CellColor) -> Result<()> {
+        if row >= self.dimension {
+            return Err(MatrixError::IndexOutOfBounds { index: row, bound: self.dimension, axis: "row" });
+        }
+        if col >= self.dimension {
+            return Err(MatrixError::IndexOutOfBounds { index: col, bound: self.dimension, axis: "column" });
+        }
+        self.cells[row * self.dimension + col] = color;
+        Ok(())
+    }
+
+    /// Fill the rectangle `rows × cols` with a color (inclusive index lists).
+    pub fn fill_block(&mut self, rows: &[usize], cols: &[usize], color: CellColor) -> Result<()> {
+        for &r in rows {
+            for &c in cols {
+                self.set(r, c, color)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode back into the module-file grid representation.
+    pub fn to_codes(&self) -> Vec<Vec<u32>> {
+        (0..self.dimension)
+            .map(|r| (0..self.dimension).map(|c| self.cells[r * self.dimension + c].code()).collect())
+            .collect()
+    }
+
+    /// Count of cells with each color, as (grey, blue, red).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for c in &self.cells {
+            match c {
+                CellColor::Grey => counts.0 += 1,
+                CellColor::Blue => counts.1 += 1,
+                CellColor::Red => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The standard color plane the paper's figures use: cells whose source
+    /// *and* destination are blue-space nodes are blue, cells touching an
+    /// adversary node are red, everything else grey.
+    ///
+    /// This matches the 10×10 template listing in §II, where the blue block is
+    /// the adversary-rows × blue-columns quadrant and the red block is the
+    /// blue-rows × adversary-columns quadrant.
+    pub fn from_label_classes(labels: &LabelSet) -> Self {
+        let n = labels.len();
+        let mut m = ColorMatrix::grey(n);
+        let blue = labels.blue_indices();
+        let red = labels.red_indices();
+        // Traffic *to* adversary space (blue rows × red columns) is flagged red.
+        m.fill_block(&blue, &red, CellColor::Red).expect("indices are in range");
+        // Traffic *from* adversary space into blue space is shown on blue pallets.
+        m.fill_block(&red, &blue, CellColor::Blue).expect("indices are in range");
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..3 {
+            assert_eq!(CellColor::from_code(code).unwrap().code(), code);
+        }
+        assert_eq!(CellColor::from_code(3), None);
+        assert_eq!(CellColor::default(), CellColor::Grey);
+    }
+
+    #[test]
+    fn from_codes_matches_paper_template() {
+        // The color grid from the paper's 10×10 template listing.
+        let mut grid = vec![vec![0u32; 10]; 10];
+        for r in 0..4 {
+            for c in 6..10 {
+                grid[r][c] = 2;
+            }
+        }
+        for r in 6..10 {
+            for c in 0..4 {
+                grid[r][c] = 1;
+            }
+        }
+        let m = ColorMatrix::from_codes(&grid).unwrap();
+        assert_eq!(m.get(0, 6), Some(CellColor::Red));
+        assert_eq!(m.get(9, 3), Some(CellColor::Blue));
+        assert_eq!(m.get(4, 4), Some(CellColor::Grey));
+        assert_eq!(m.counts(), (100 - 32, 16, 16));
+        assert_eq!(m.to_codes(), grid);
+        // And the label-class constructor reproduces exactly this plane.
+        let derived = ColorMatrix::from_label_classes(&LabelSet::paper_default_10());
+        assert_eq!(derived, m);
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(ColorMatrix::from_codes(&[vec![0, 1], vec![0]]).is_err());
+        assert!(ColorMatrix::from_codes(&[vec![0, 9], vec![0, 0]]).is_err());
+    }
+
+    #[test]
+    fn set_and_bounds() {
+        let mut m = ColorMatrix::grey(3);
+        assert_eq!(m.dimension(), 3);
+        m.set(1, 2, CellColor::Red).unwrap();
+        assert_eq!(m.get(1, 2), Some(CellColor::Red));
+        assert!(m.set(3, 0, CellColor::Blue).is_err());
+        assert!(m.set(0, 3, CellColor::Blue).is_err());
+        assert_eq!(m.get(5, 5), None);
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let glyphs = [CellColor::Grey.glyph(), CellColor::Blue.glyph(), CellColor::Red.glyph()];
+        assert_eq!(glyphs.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

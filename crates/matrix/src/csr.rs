@@ -1,0 +1,233 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the workhorse format for the analytics side of the reproduction:
+//! row-oriented traversal makes `mxv`, row reduction and degree computation a
+//! single contiguous scan per row, which also parallelizes cleanly across rows.
+
+use crate::error::{MatrixError, Result};
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
+    /// An empty matrix with the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from triples that are already sorted by `(row, col)` with no
+    /// duplicates (the post-condition of [`crate::coo::CooMatrix::coalesce`]).
+    pub fn from_sorted_triples(rows: usize, cols: usize, triples: &[(usize, usize, T)]) -> Self {
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in triples {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = Vec::with_capacity(triples.len());
+        let mut values = Vec::with_capacity(triples.len());
+        for &(_, c, v) in triples {
+            col_idx.push(c);
+            values.push(v);
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Build from a dense row-major grid, dropping `T::default()` entries.
+    pub fn from_dense(grid: &[Vec<T>]) -> Result<Self> {
+        let rows = grid.len();
+        let cols = grid.first().map(|r| r.len()).unwrap_or(0);
+        let mut triples = Vec::new();
+        for (r, row) in grid.iter().enumerate() {
+            if row.len() != cols {
+                return Err(MatrixError::RaggedRows { row: r, expected: cols, actual: row.len() });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if v != T::default() {
+                    triples.push((r, c, v));
+                }
+            }
+        }
+        Ok(Self::from_sorted_triples(rows, cols, &triples))
+    }
+
+    /// The shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at `(row, col)`, or `T::default()` when not stored.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        if row >= self.rows {
+            return T::default();
+        }
+        let (start, end) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        // Column indices within a row are sorted; binary search.
+        match self.col_idx[start..end].binary_search(&col) {
+            Ok(offset) => self.values[start + offset],
+            Err(_) => T::default(),
+        }
+    }
+
+    /// The `(column, value)` pairs of one row.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let (start, end) = if row < self.rows {
+            (self.row_ptr[row], self.row_ptr[row + 1])
+        } else {
+            (0, 0)
+        };
+        self.col_idx[start..end].iter().copied().zip(self.values[start..end].iter().copied())
+    }
+
+    /// Number of stored entries in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        if row < self.rows {
+            self.row_ptr[row + 1] - self.row_ptr[row]
+        } else {
+            0
+        }
+    }
+
+    /// Iterate over all `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Internal row pointer array (exposed for parallel kernels and tests).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Internal column index array.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Internal value array.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The transpose (CSC of the original, re-expressed as CSR).
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let mut triples: Vec<(usize, usize, T)> =
+            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        CsrMatrix::from_sorted_triples(self.cols, self.rows, &triples)
+    }
+
+    /// Convert back to a dense row-major grid.
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        let mut grid = vec![vec![T::default(); self.cols]; self.rows];
+        for (r, c, v) in self.iter() {
+            grid[r][c] = v;
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<u32> {
+        // 3x4:
+        // [0 2 0 1]
+        // [0 0 0 0]
+        // [5 0 3 0]
+        CsrMatrix::from_dense(&[vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 3, 0]]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 2);
+        assert_eq!(m.row_nnz(99), 0);
+    }
+
+    #[test]
+    fn get_and_row_iteration() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 2);
+        assert_eq!(m.get(0, 0), 0);
+        assert_eq!(m.get(2, 0), 5);
+        assert_eq!(m.get(99, 0), 0);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 2), (3, 1)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(7).count(), 0);
+    }
+
+    #[test]
+    fn iter_and_to_dense_round_trip() {
+        let m = sample();
+        let dense = m.to_dense();
+        assert_eq!(dense, vec![vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 3, 0]]);
+        let rebuilt = CsrMatrix::from_dense(&dense).unwrap();
+        assert_eq!(rebuilt, m);
+        assert_eq!(m.iter().count(), 4);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.get(1, 0), 2);
+        assert_eq!(t.get(0, 2), 5);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn from_dense_rejects_ragged() {
+        assert!(CsrMatrix::<u32>::from_dense(&[vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::<u32>::empty(5, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(2, 2), 0);
+        assert_eq!(m.iter().count(), 0);
+        let m0 = CsrMatrix::<u32>::empty(0, 0);
+        assert_eq!(m0.shape(), (0, 0));
+    }
+
+    #[test]
+    fn internal_arrays_are_consistent() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.col_indices(), &[1, 3, 0, 2]);
+        assert_eq!(m.values(), &[2, 1, 5, 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Errors for matrix construction and operations.
+
+use std::fmt;
+
+/// Result alias for matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors produced by matrix construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands have incompatible dimensions; contains a description.
+    DimensionMismatch(String),
+    /// A row or column index is out of bounds; contains (index, bound, axis).
+    IndexOutOfBounds { index: usize, bound: usize, axis: &'static str },
+    /// A dense grid had ragged rows; contains (row, expected, actual).
+    RaggedRows { row: usize, expected: usize, actual: usize },
+    /// The label list length does not match the matrix dimension.
+    LabelCountMismatch { labels: usize, dimension: usize },
+    /// A label appears more than once in a label set.
+    DuplicateLabel(String),
+    /// A matrix was empty where a non-empty one is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            MatrixError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (dimension is {bound})")
+            }
+            MatrixError::RaggedRows { row, expected, actual } => write!(
+                f,
+                "ragged matrix: row {row} has {actual} columns but previous rows have {expected}"
+            ),
+            MatrixError::LabelCountMismatch { labels, dimension } => write!(
+                f,
+                "label count mismatch: {labels} axis labels for a dimension of {dimension}"
+            ),
+            MatrixError::DuplicateLabel(l) => write!(f, "duplicate axis label {l:?}"),
+            MatrixError::Empty(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MatrixError::IndexOutOfBounds { index: 12, bound: 10, axis: "row" };
+        assert!(e.to_string().contains("row index 12"));
+        let e = MatrixError::LabelCountMismatch { labels: 6, dimension: 10 };
+        assert!(e.to_string().contains("6 axis labels"));
+        let e = MatrixError::RaggedRows { row: 3, expected: 10, actual: 9 };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

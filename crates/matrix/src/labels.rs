@@ -1,0 +1,242 @@
+//! Axis labels and node classification.
+//!
+//! The paper uses a single list of axis labels applied to both axes, with a
+//! naming convention that encodes the security role of each node: work
+//! stations (`WS`), servers (`SRV`), external/grey-space hosts (`EXT`) and
+//! adversary/red-space hosts (`ADV`). "Shorter all caps labels are easier to
+//! view in the game."
+
+use crate::error::{MatrixError, Result};
+
+/// The security-space classification of a node, inferred from its label prefix.
+///
+/// The learning modules color traffic by whether it involves the student's own
+/// network (blue space), neutral external networks (grey space) or adversary
+/// networks (red space); node classes are the vertex-level version of that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// A workstation inside the defended (blue) network, label prefix `WS`.
+    Workstation,
+    /// A server inside the defended (blue) network, label prefix `SRV`.
+    Server,
+    /// An external, neutral (grey space) host, label prefix `EXT`.
+    External,
+    /// An adversary-controlled (red space) host, label prefix `ADV`.
+    Adversary,
+    /// Any label that does not follow the WS/SRV/EXT/ADV convention.
+    Other,
+}
+
+impl NodeClass {
+    /// Infer the class from a label using the paper's prefix convention.
+    pub fn from_label(label: &str) -> NodeClass {
+        let upper = label.to_ascii_uppercase();
+        if upper.starts_with("WS") {
+            NodeClass::Workstation
+        } else if upper.starts_with("SRV") {
+            NodeClass::Server
+        } else if upper.starts_with("EXT") {
+            NodeClass::External
+        } else if upper.starts_with("ADV") {
+            NodeClass::Adversary
+        } else {
+            NodeClass::Other
+        }
+    }
+
+    /// True when the node belongs to the defended "blue space".
+    pub fn is_blue(&self) -> bool {
+        matches!(self, NodeClass::Workstation | NodeClass::Server)
+    }
+
+    /// True when the node is adversary-controlled "red space".
+    pub fn is_red(&self) -> bool {
+        matches!(self, NodeClass::Adversary)
+    }
+
+    /// True when the node is neutral "grey space".
+    pub fn is_grey(&self) -> bool {
+        matches!(self, NodeClass::External | NodeClass::Other)
+    }
+}
+
+/// An ordered set of axis labels, applied to both rows and columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSet {
+    labels: Vec<String>,
+}
+
+impl LabelSet {
+    /// Create a label set, rejecting duplicates and empty labels.
+    pub fn new<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Result<Self> {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.is_empty() {
+            return Err(MatrixError::Empty("label set"));
+        }
+        for (i, label) in labels.iter().enumerate() {
+            if label.is_empty() {
+                return Err(MatrixError::DuplicateLabel(String::new()));
+            }
+            if labels[..i].contains(label) {
+                return Err(MatrixError::DuplicateLabel(label.clone()));
+            }
+        }
+        Ok(LabelSet { labels })
+    }
+
+    /// Numeric labels `"0" .. "n-1"`, the graph-theory default in the paper's
+    /// formal definition ("i and j are chosen from pre-fixed initial segments
+    /// of the positive integers").
+    pub fn numeric(n: usize) -> Self {
+        LabelSet { labels: (0..n).map(|i| i.to_string()).collect() }
+    }
+
+    /// The default 10-node labelling used by most of the paper's figures:
+    /// `WS1-WS3, SRV1, EXT1-EXT2, ADV1-ADV4`.
+    pub fn paper_default_10() -> Self {
+        LabelSet::new([
+            "WS1", "WS2", "WS3", "SRV1", "EXT1", "EXT2", "ADV1", "ADV2", "ADV3", "ADV4",
+        ])
+        .expect("static labels are valid")
+    }
+
+    /// A 6-node labelling matching the 6×6 template: `WS1-WS2, SRV1, EXT1, ADV1-ADV2`.
+    pub fn paper_default_6() -> Self {
+        LabelSet::new(["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2"]).expect("static labels are valid")
+    }
+
+    /// Number of labels (the matrix dimension).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label at `index`, if in range.
+    pub fn get(&self, index: usize) -> Option<&str> {
+        self.labels.get(index).map(String::as_str)
+    }
+
+    /// The index of a label, if present.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The inferred [`NodeClass`] of each label, in order.
+    pub fn classes(&self) -> Vec<NodeClass> {
+        self.labels.iter().map(|l| NodeClass::from_label(l)).collect()
+    }
+
+    /// Indices of all labels with the given class.
+    pub fn indices_of_class(&self, class: NodeClass) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| NodeClass::from_label(l) == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of blue-space nodes (workstations and servers).
+    pub fn blue_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| NodeClass::from_label(l).is_blue())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of red-space nodes (adversaries).
+    pub fn red_indices(&self) -> Vec<usize> {
+        self.indices_of_class(NodeClass::Adversary)
+    }
+
+    /// Indices of grey-space nodes (external and unclassified).
+    pub fn grey_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| NodeClass::from_label(l).is_grey())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The length of the longest label, used for layout in views and reports.
+    pub fn max_label_width(&self) -> usize {
+        self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_follow_paper_convention() {
+        assert_eq!(NodeClass::from_label("WS1"), NodeClass::Workstation);
+        assert_eq!(NodeClass::from_label("ws2"), NodeClass::Workstation);
+        assert_eq!(NodeClass::from_label("SRV1"), NodeClass::Server);
+        assert_eq!(NodeClass::from_label("EXT2"), NodeClass::External);
+        assert_eq!(NodeClass::from_label("ADV4"), NodeClass::Adversary);
+        assert_eq!(NodeClass::from_label("7"), NodeClass::Other);
+        assert!(NodeClass::Workstation.is_blue());
+        assert!(NodeClass::Server.is_blue());
+        assert!(NodeClass::Adversary.is_red());
+        assert!(NodeClass::External.is_grey());
+        assert!(NodeClass::Other.is_grey());
+    }
+
+    #[test]
+    fn paper_default_10_matches_listing() {
+        let l = LabelSet::paper_default_10();
+        assert_eq!(l.len(), 10);
+        assert_eq!(l.get(0), Some("WS1"));
+        assert_eq!(l.get(3), Some("SRV1"));
+        assert_eq!(l.get(6), Some("ADV1"));
+        assert_eq!(l.blue_indices(), vec![0, 1, 2, 3]);
+        assert_eq!(l.grey_indices(), vec![4, 5]);
+        assert_eq!(l.red_indices(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn paper_default_6_shape() {
+        let l = LabelSet::paper_default_6();
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.blue_indices(), vec![0, 1, 2]);
+        assert_eq!(l.grey_indices(), vec![3]);
+        assert_eq!(l.red_indices(), vec![4, 5]);
+    }
+
+    #[test]
+    fn numeric_labels() {
+        let l = LabelSet::numeric(4);
+        assert_eq!(l.labels(), &["0", "1", "2", "3"]);
+        assert_eq!(l.index_of("2"), Some(2));
+        assert!(l.classes().iter().all(|c| *c == NodeClass::Other));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(LabelSet::new(["WS1", "WS1"]).is_err());
+        assert!(LabelSet::new(Vec::<String>::new()).is_err());
+        assert!(LabelSet::new(["WS1", ""]).is_err());
+    }
+
+    #[test]
+    fn lookup_and_width() {
+        let l = LabelSet::paper_default_10();
+        assert_eq!(l.index_of("ADV3"), Some(8));
+        assert_eq!(l.index_of("NOPE"), None);
+        assert_eq!(l.max_label_width(), 4);
+        assert!(!l.is_empty());
+    }
+}

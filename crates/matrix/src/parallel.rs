@@ -1,0 +1,207 @@
+//! Rayon-parallel kernels.
+//!
+//! The serial kernels in [`crate::ops`] are the reference implementations;
+//! these parallel versions exist for the scaling experiment (DESIGN.md E-S2),
+//! which reproduces the shape of the paper's motivating claim that matrix
+//! methods scale to very large traffic volumes. All parallel functions are
+//! bit-for-bit equivalent to their serial counterparts (verified by tests and
+//! property tests), because row partitions are independent.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+use crate::semiring::Semiring;
+use crate::stream::PacketEvent;
+use rayon::prelude::*;
+
+/// Parallel sparse matrix × dense vector (row-parallel).
+pub fn par_mxv<T, S>(semiring: &S, a: &CsrMatrix<T>, x: &[T]) -> Result<Vec<T>>
+where
+    T: Copy + Default + PartialEq + Send + Sync,
+    S: Semiring<T> + Sync,
+{
+    if x.len() != a.cols() {
+        return Err(MatrixError::DimensionMismatch(format!(
+            "par_mxv: matrix has {} columns but vector has {} entries",
+            a.cols(),
+            x.len()
+        )));
+    }
+    Ok((0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            let mut acc = semiring.zero();
+            for (c, v) in a.row(r) {
+                acc = semiring.add(acc, semiring.mul(v, x[c]));
+            }
+            acc
+        })
+        .collect())
+}
+
+/// Parallel row reduction.
+pub fn par_reduce_rows<T, S>(semiring: &S, a: &CsrMatrix<T>) -> Vec<T>
+where
+    T: Copy + Default + PartialEq + Send + Sync,
+    S: Semiring<T> + Sync,
+{
+    (0..a.rows())
+        .into_par_iter()
+        .map(|r| a.row(r).fold(semiring.zero(), |acc, (_, v)| semiring.add(acc, v)))
+        .collect()
+}
+
+/// Parallel whole-matrix reduction.
+pub fn par_reduce_all<T, S>(semiring: &S, a: &CsrMatrix<T>) -> T
+where
+    T: Copy + Default + PartialEq + Send + Sync,
+    S: Semiring<T> + Sync,
+{
+    par_reduce_rows(semiring, a)
+        .into_par_iter()
+        .reduce(|| semiring.zero(), |x, y| semiring.add(x, y))
+}
+
+/// Parallel sparse matrix × sparse matrix (row-parallel Gustavson).
+pub fn par_mxm<T, S>(semiring: &S, a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>>
+where
+    T: Copy + Default + PartialEq + Send + Sync,
+    S: Semiring<T> + Sync,
+{
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch(format!(
+            "par_mxm: left has {} columns but right has {} rows",
+            a.cols(),
+            b.rows()
+        )));
+    }
+    let row_results: Vec<Vec<(usize, usize, T)>> = (0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            let mut accumulator: Vec<Option<T>> = vec![None; b.cols()];
+            let mut touched: Vec<usize> = Vec::new();
+            for (k, av) in a.row(r) {
+                for (c, bv) in b.row(k) {
+                    let contribution = semiring.mul(av, bv);
+                    match accumulator[c] {
+                        Some(existing) => {
+                            accumulator[c] = Some(semiring.add(existing, contribution))
+                        }
+                        None => {
+                            accumulator[c] = Some(contribution);
+                            touched.push(c);
+                        }
+                    }
+                }
+            }
+            touched.sort_unstable();
+            touched
+                .into_iter()
+                .filter_map(|c| {
+                    let v = accumulator[c].take()?;
+                    (!semiring.is_zero(v)).then_some((r, c, v))
+                })
+                .collect()
+        })
+        .collect();
+    let triples: Vec<(usize, usize, T)> = row_results.into_iter().flatten().collect();
+    Ok(CsrMatrix::from_sorted_triples(a.rows(), b.cols(), &triples))
+}
+
+/// Build a traffic matrix from packet events in parallel: events are sharded,
+/// each shard builds a COO matrix, and the shards are merged and coalesced.
+///
+/// Equivalent to pushing every event into one [`CooMatrix`] serially.
+pub fn par_matrix_from_events(node_count: usize, events: &[PacketEvent]) -> CsrMatrix<u64> {
+    let shard_size = (events.len() / rayon::current_num_threads().max(1)).max(1024);
+    let shards: Vec<CooMatrix<u64>> = events
+        .par_chunks(shard_size)
+        .map(|chunk| {
+            let mut coo = CooMatrix::with_capacity(node_count, node_count, chunk.len());
+            for e in chunk {
+                coo.push(e.source as usize, e.destination as usize, e.packets as u64);
+            }
+            coo
+        })
+        .collect();
+    let mut merged = CooMatrix::with_capacity(node_count, node_count, events.len());
+    for shard in &shards {
+        merged.extend_from(shard).expect("shards share the aggregate shape");
+    }
+    merged.to_csr()
+}
+
+/// Serial reference for [`par_matrix_from_events`], used by tests and benches.
+pub fn serial_matrix_from_events(node_count: usize, events: &[PacketEvent]) -> CsrMatrix<u64> {
+    let mut coo = CooMatrix::with_capacity(node_count, node_count, events.len());
+    for e in events {
+        coo.push(e.source as usize, e.destination as usize, e.packets as u64);
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{mxm, mxv, reduce_all, reduce_rows};
+    use crate::semiring::PlusTimes;
+    use crate::stream::synthetic_events;
+
+    fn random_sparse(n: usize, nnz: usize, seed: u64) -> CsrMatrix<u64> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..nnz {
+            coo.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..10u64));
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn par_mxv_matches_serial() {
+        let a = random_sparse(200, 3000, 1);
+        let x: Vec<u64> = (0..200).map(|i| (i % 7) as u64).collect();
+        assert_eq!(par_mxv(&PlusTimes, &a, &x).unwrap(), mxv(&PlusTimes, &a, &x).unwrap());
+        assert!(par_mxv(&PlusTimes, &a, &x[..10]).is_err());
+    }
+
+    #[test]
+    fn par_reductions_match_serial() {
+        let a = random_sparse(150, 2000, 2);
+        assert_eq!(par_reduce_rows(&PlusTimes, &a), reduce_rows(&PlusTimes, &a));
+        assert_eq!(par_reduce_all(&PlusTimes, &a), reduce_all(&PlusTimes, &a));
+    }
+
+    #[test]
+    fn par_mxm_matches_serial() {
+        let a = random_sparse(80, 800, 3);
+        let b = random_sparse(80, 800, 4);
+        let serial = mxm(&PlusTimes, &a, &b).unwrap();
+        let parallel = par_mxm(&PlusTimes, &a, &b).unwrap();
+        assert_eq!(serial, parallel);
+        let mismatched = CsrMatrix::<u64>::empty(81, 81);
+        assert!(par_mxm(&PlusTimes, &a, &mismatched).is_err());
+    }
+
+    #[test]
+    fn par_event_construction_matches_serial() {
+        let events = synthetic_events(64, 50_000, 5);
+        let serial = serial_matrix_from_events(64, &events);
+        let parallel = par_matrix_from_events(64, &events);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            reduce_all(&PlusTimes, &parallel),
+            events.iter().map(|e| e.packets as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn par_event_construction_handles_tiny_inputs() {
+        let events = synthetic_events(8, 3, 6);
+        let parallel = par_matrix_from_events(8, &events);
+        assert_eq!(parallel, serial_matrix_from_events(8, &events));
+        let empty: Vec<PacketEvent> = Vec::new();
+        assert_eq!(par_matrix_from_events(8, &empty).nnz(), 0);
+    }
+}

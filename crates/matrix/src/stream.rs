@@ -1,0 +1,190 @@
+//! Building traffic matrices from packet event streams.
+//!
+//! The paper's motivation cites GraphBLAS pipelines that construct traffic
+//! matrices from streaming network telemetry ("anonymized high performance
+//! streaming of network traffic"). This module provides the synthetic
+//! equivalent: a packet-event type, a generator for realistic event mixes and
+//! a windowed aggregator that turns an event stream into sparse matrices.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One observed packet (or flow record) on the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketEvent {
+    /// Anonymized source index.
+    pub source: u32,
+    /// Anonymized destination index.
+    pub destination: u32,
+    /// Number of packets represented by this event (flow aggregation).
+    pub packets: u32,
+    /// Timestamp in microseconds since the window epoch.
+    pub timestamp_us: u64,
+}
+
+/// Generate a synthetic event stream with a heavy-tailed endpoint distribution
+/// (a few "supernode" servers receive most traffic, as in real networks).
+///
+/// `node_count` is the address space, `event_count` the number of events and
+/// `seed` makes the stream reproducible.
+pub fn synthetic_events(node_count: u32, event_count: usize, seed: u64) -> Vec<PacketEvent> {
+    assert!(node_count >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let supernode_count = (node_count / 20).max(1);
+    let mut events = Vec::with_capacity(event_count);
+    for i in 0..event_count {
+        // 70% of traffic goes to a supernode destination, sources are uniform.
+        let source = rng.gen_range(0..node_count);
+        let destination = if rng.gen_bool(0.7) {
+            rng.gen_range(0..supernode_count)
+        } else {
+            rng.gen_range(0..node_count)
+        };
+        let destination = if destination == source {
+            (destination + 1) % node_count
+        } else {
+            destination
+        };
+        events.push(PacketEvent {
+            source,
+            destination,
+            packets: rng.gen_range(1..16),
+            timestamp_us: i as u64 * 100 + rng.gen_range(0..100),
+        });
+    }
+    events
+}
+
+/// Aggregates packet events into fixed-duration window matrices.
+#[derive(Debug)]
+pub struct StreamAggregator {
+    node_count: usize,
+    window_us: u64,
+    current_window: u64,
+    current: CooMatrix<u64>,
+    completed: Vec<CsrMatrix<u64>>,
+    total_events: u64,
+}
+
+impl StreamAggregator {
+    /// Create an aggregator over `node_count` addresses with windows of
+    /// `window_us` microseconds.
+    pub fn new(node_count: usize, window_us: u64) -> Self {
+        assert!(window_us > 0, "window must be positive");
+        StreamAggregator {
+            node_count,
+            window_us,
+            current_window: 0,
+            current: CooMatrix::new(node_count, node_count),
+            completed: Vec::new(),
+            total_events: 0,
+        }
+    }
+
+    /// Number of addresses per axis.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total events ingested so far.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Ingest one event. Events must be fed in non-decreasing timestamp order;
+    /// an event belonging to a later window finalizes the current one.
+    pub fn ingest(&mut self, event: &PacketEvent) {
+        let window = event.timestamp_us / self.window_us;
+        while window > self.current_window {
+            self.rotate();
+        }
+        self.current.push(event.source as usize, event.destination as usize, event.packets as u64);
+        self.total_events += 1;
+    }
+
+    /// Ingest a batch of events.
+    pub fn ingest_all(&mut self, events: &[PacketEvent]) {
+        for e in events {
+            self.ingest(e);
+        }
+    }
+
+    fn rotate(&mut self) {
+        let full = std::mem::replace(&mut self.current, CooMatrix::new(self.node_count, self.node_count));
+        self.completed.push(full.to_csr());
+        self.current_window += 1;
+    }
+
+    /// Finalize the in-progress window and return all window matrices.
+    pub fn finish(mut self) -> Vec<CsrMatrix<u64>> {
+        self.rotate();
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reduce_all;
+    use crate::semiring::PlusTimes;
+
+    #[test]
+    fn synthetic_events_are_reproducible_and_valid() {
+        let a = synthetic_events(100, 1000, 7);
+        let b = synthetic_events(100, 1000, 7);
+        assert_eq!(a, b);
+        let c = synthetic_events(100, 1000, 8);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|e| e.source < 100 && e.destination < 100));
+        assert!(a.iter().all(|e| e.packets >= 1 && e.packets < 16));
+        assert!(a.iter().all(|e| e.source != e.destination));
+        // Timestamps are non-decreasing by construction.
+        assert!(a.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn supernode_destinations_dominate() {
+        let events = synthetic_events(200, 20_000, 42);
+        let to_supernodes =
+            events.iter().filter(|e| e.destination < 10).count() as f64 / events.len() as f64;
+        assert!(to_supernodes > 0.5, "expected heavy-tailed destinations, got {to_supernodes}");
+    }
+
+    #[test]
+    fn aggregator_windows_preserve_packet_totals() {
+        let events = synthetic_events(50, 5_000, 3);
+        let total_packets: u64 = events.iter().map(|e| e.packets as u64).sum();
+        let mut agg = StreamAggregator::new(50, 50_000);
+        agg.ingest_all(&events);
+        assert_eq!(agg.total_events(), 5_000);
+        assert_eq!(agg.node_count(), 50);
+        let windows = agg.finish();
+        assert!(!windows.is_empty());
+        let recovered: u64 = windows.iter().map(|w| reduce_all(&PlusTimes, w)).sum();
+        assert_eq!(recovered, total_packets);
+    }
+
+    #[test]
+    fn aggregator_rotates_on_window_boundaries() {
+        let mut agg = StreamAggregator::new(4, 1_000);
+        agg.ingest(&PacketEvent { source: 0, destination: 1, packets: 2, timestamp_us: 10 });
+        agg.ingest(&PacketEvent { source: 1, destination: 2, packets: 3, timestamp_us: 2_500 });
+        agg.ingest(&PacketEvent { source: 2, destination: 3, packets: 1, timestamp_us: 3_100 });
+        let windows = agg.finish();
+        // Windows 0..=3 exist (0, 1 empty, 2, 3).
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].get(0, 1), 2);
+        assert_eq!(windows[1].nnz(), 0);
+        assert_eq!(windows[2].get(1, 2), 3);
+        assert_eq!(windows[3].get(2, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = StreamAggregator::new(4, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the matrix substrate's core invariants.
+
+use proptest::prelude::*;
+use tw_matrix::ops::{ewise_add, ewise_mul, mxm, mxv, reduce_all, reduce_cols, reduce_rows};
+use tw_matrix::parallel::{par_mxm, par_mxv, par_reduce_all};
+use tw_matrix::{CooMatrix, CsrMatrix, LabelSet, MatrixProfile, PlusTimes, TrafficMatrix};
+
+/// Strategy for a small dense grid (n×n, n in 1..=12, values 0..15 as the paper suggests).
+fn arb_grid() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (1usize..=12).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0u32..15, n..=n), n..=n)
+    })
+}
+
+fn arb_triples(n: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    prop::collection::vec((0..n, 0..n, 1u64..20), 0..(n * n))
+}
+
+fn csr_from(n: usize, triples: &[(usize, usize, u64)]) -> CsrMatrix<u64> {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in triples {
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dense_grid_round_trips(grid in arb_grid()) {
+        let labels = LabelSet::numeric(grid.len());
+        let m = TrafficMatrix::from_grid(labels, &grid).unwrap();
+        prop_assert_eq!(m.to_grid(), grid);
+    }
+
+    #[test]
+    fn transpose_is_involution_and_preserves_totals(grid in arb_grid()) {
+        let m = TrafficMatrix::from_grid(LabelSet::numeric(grid.len()), &grid).unwrap();
+        let t = m.transpose();
+        prop_assert_eq!(t.transpose(), m.clone());
+        prop_assert_eq!(t.total_packets(), m.total_packets());
+        prop_assert_eq!(t.out_degrees(), m.in_degrees());
+        prop_assert_eq!(t.in_fanout(), m.out_fanout());
+    }
+
+    #[test]
+    fn degrees_sum_to_total(grid in arb_grid()) {
+        let m = TrafficMatrix::from_grid(LabelSet::numeric(grid.len()), &grid).unwrap();
+        let out_sum: u64 = m.out_degrees().iter().sum();
+        let in_sum: u64 = m.in_degrees().iter().sum();
+        prop_assert_eq!(out_sum, m.total_packets());
+        prop_assert_eq!(in_sum, m.total_packets());
+    }
+
+    #[test]
+    fn dense_to_sparse_preserves_structure(grid in arb_grid()) {
+        let m = TrafficMatrix::from_grid(LabelSet::numeric(grid.len()), &grid).unwrap();
+        let csr = m.to_coo().to_csr();
+        prop_assert_eq!(csr.nnz(), m.nonzero_count());
+        for (r, c, v) in m.iter_nonzero() {
+            prop_assert_eq!(csr.get(r, c), v);
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative(grid_a in arb_grid(), grid_b in arb_grid()) {
+        let n = grid_a.len().min(grid_b.len());
+        let cut = |g: &Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            g.iter().take(n).map(|row| row.iter().take(n).copied().collect()).collect()
+        };
+        let labels = LabelSet::numeric(n);
+        let a = TrafficMatrix::from_grid(labels.clone(), &cut(&grid_a)).unwrap();
+        let b = TrafficMatrix::from_grid(labels, &cut(&grid_b)).unwrap();
+        prop_assert_eq!(a.combine(&b).unwrap(), b.combine(&a).unwrap());
+    }
+
+    #[test]
+    fn profile_class_totals_sum_to_total_packets(grid in arb_grid()) {
+        let n = grid.len();
+        let labels = if n == 10 { LabelSet::paper_default_10() } else { LabelSet::numeric(n) };
+        let m = TrafficMatrix::from_grid(labels, &grid).unwrap();
+        let p = MatrixProfile::of(&m);
+        let class_sum: u64 = p.packets_by_class.iter().sum();
+        prop_assert_eq!(class_sum, m.total_packets());
+    }
+
+    #[test]
+    fn coalesce_preserves_value_sums(n in 2usize..10, triples in arb_triples(9)) {
+        let triples: Vec<_> = triples.into_iter().map(|(r, c, v)| (r % n, c % n, v)).collect();
+        let total: u64 = triples.iter().map(|&(_, _, v)| v).sum();
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in &triples {
+            coo.push(r, c, v);
+        }
+        coo.coalesce();
+        let coalesced_total: u64 = coo.entries().iter().map(|&(_, _, v)| v).sum();
+        prop_assert_eq!(coalesced_total, total);
+        let csr = csr_from(n, &triples);
+        prop_assert_eq!(reduce_all(&PlusTimes, &csr), total);
+    }
+
+    #[test]
+    fn mxv_distributes_over_unit_vectors(triples in arb_triples(8)) {
+        // A·e_j is the j-th column of A.
+        let a = csr_from(8, &triples);
+        for j in 0..8 {
+            let mut e = vec![0u64; 8];
+            e[j] = 1;
+            let col = mxv(&PlusTimes, &a, &e).unwrap();
+            for (r, value) in col.iter().enumerate() {
+                prop_assert_eq!(*value, a.get(r, j));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_rows_and_cols_agree_with_total(triples in arb_triples(10)) {
+        let a = csr_from(10, &triples);
+        let row_total: u64 = reduce_rows(&PlusTimes, &a).iter().sum();
+        let col_total: u64 = reduce_cols(&PlusTimes, &a).iter().sum();
+        prop_assert_eq!(row_total, col_total);
+        prop_assert_eq!(row_total, reduce_all(&PlusTimes, &a));
+    }
+
+    #[test]
+    fn ewise_add_total_is_sum_of_totals(ta in arb_triples(7), tb in arb_triples(7)) {
+        let a = csr_from(7, &ta);
+        let b = csr_from(7, &tb);
+        let c = ewise_add(&PlusTimes, &a, &b).unwrap();
+        prop_assert_eq!(
+            reduce_all(&PlusTimes, &c),
+            reduce_all(&PlusTimes, &a) + reduce_all(&PlusTimes, &b)
+        );
+    }
+
+    #[test]
+    fn ewise_mul_pattern_is_intersection(ta in arb_triples(7), tb in arb_triples(7)) {
+        let a = csr_from(7, &ta);
+        let b = csr_from(7, &tb);
+        let c = ewise_mul(&PlusTimes, &a, &b).unwrap();
+        for (r, col, v) in c.iter() {
+            prop_assert!(a.get(r, col) > 0 && b.get(r, col) > 0);
+            prop_assert_eq!(v, a.get(r, col) * b.get(r, col));
+        }
+    }
+
+    #[test]
+    fn mxm_transpose_identity(ta in arb_triples(6), tb in arb_triples(6)) {
+        // (A·B)^T == B^T · A^T
+        let a = csr_from(6, &ta);
+        let b = csr_from(6, &tb);
+        let left = mxm(&PlusTimes, &a, &b).unwrap().transpose();
+        let right = mxm(&PlusTimes, &b.transpose(), &a.transpose()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial(triples in arb_triples(12)) {
+        let a = csr_from(12, &triples);
+        let x: Vec<u64> = (0..12).map(|i| (i * 3 % 5) as u64).collect();
+        prop_assert_eq!(par_mxv(&PlusTimes, &a, &x).unwrap(), mxv(&PlusTimes, &a, &x).unwrap());
+        prop_assert_eq!(par_reduce_all(&PlusTimes, &a), reduce_all(&PlusTimes, &a));
+        prop_assert_eq!(par_mxm(&PlusTimes, &a, &a).unwrap(), mxm(&PlusTimes, &a, &a).unwrap());
+    }
+}

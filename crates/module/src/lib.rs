@@ -1,0 +1,49 @@
+//! # tw-module
+//!
+//! The extensible learning-module file format — the paper's core
+//! architectural contribution: "The key design choice of the Traffic Warehouse
+//! game was to define the learning modules via easily editable JSON files that
+//! a non-game developer could use to create new learning modules."
+//!
+//! A learning module is a JSON object with the fields shown in the paper's
+//! Section II listings:
+//!
+//! ```json
+//! {
+//!   "name": "10x10 Template",
+//!   "size": "10x10",
+//!   "author": "Chasen Milner",
+//!   "axis_labels": ["WS1", "WS2", ...],
+//!   "traffic_matrix": [[1,0,...], ...],
+//!   "traffic_matrix_colors": [[0,0,...], ...],
+//!   "has_question": true,
+//!   "question": "How many packets did WS1 send to ADV4?",
+//!   "answers": ["0", "1", "2"],
+//!   "correct_answer_element": 2
+//! }
+//! ```
+//!
+//! Modules are distributed as ZIP bundles of JSON files which the game loads
+//! and presents sequentially. This crate provides the schema
+//! ([`LearningModule`]), a validator with educator-friendly diagnostics
+//! ([`validate`]), the 6×6/10×10 templates, a builder API, bundle I/O and the
+//! paper's initial module library ([`library`]).
+
+pub mod builder;
+pub mod bundle;
+pub mod curriculum;
+pub mod error;
+pub mod library;
+pub mod obfuscate;
+pub mod schema;
+pub mod template;
+pub mod validate;
+
+pub use builder::ModuleBuilder;
+pub use bundle::ModuleBundle;
+pub use curriculum::{default_curriculum, Curriculum, CurriculumUnit};
+pub use error::{ModuleError, Result};
+pub use obfuscate::{from_json_maybe_obfuscated, to_obfuscated_json};
+pub use schema::{LearningModule, MatrixSize, Question};
+pub use template::{template_10x10, template_6x6};
+pub use validate::{validate, Severity, ValidationIssue, ValidationReport};

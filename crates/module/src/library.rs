@@ -1,0 +1,163 @@
+//! The initial learning-module library.
+//!
+//! The paper reports that "using this facility an initial set of modules were
+//! rapidly created covering: basic traffic matrices, traffic patterns,
+//! security/defense/deterrence, a notional cyber attack, a distributed
+//! denial-of-service (DDoS) attack, and a variety of graph theory concepts."
+//! This module builds exactly that set from the pattern generators, as
+//! ready-to-ship bundles.
+
+use crate::builder::module_from_pattern;
+use crate::bundle::ModuleBundle;
+use crate::schema::LearningModule;
+use crate::template::{template_10x10, template_6x6};
+use tw_patterns::{patterns_for_figure, Figure};
+
+/// The author string stamped on generated library modules.
+pub const LIBRARY_AUTHOR: &str = "Traffic Warehouse module library";
+
+/// Distractor answers used for each figure's modules. Distractors are drawn
+/// from the *other* panels of the same figure so the question is meaningful.
+fn distractors_for(figure: Figure, correct: &str) -> [String; 2] {
+    let mut others: Vec<String> = patterns_for_figure(figure)
+        .into_iter()
+        .map(|p| p.relevant_to)
+        .filter(|r| r != correct)
+        .collect();
+    // Graph-theory figure has 9 panels; keep the two alphabetically-first other
+    // answers so module content is deterministic.
+    others.sort();
+    others.truncate(2);
+    let mut iter = others.into_iter();
+    [
+        iter.next().unwrap_or_else(|| "Normal background traffic".to_string()),
+        iter.next().unwrap_or_else(|| "A network misconfiguration".to_string()),
+    ]
+}
+
+/// Build the lesson modules for one figure.
+pub fn modules_for_figure(figure: Figure) -> Vec<LearningModule> {
+    patterns_for_figure(figure)
+        .iter()
+        .map(|pattern| {
+            let d = distractors_for(figure, &pattern.relevant_to);
+            module_from_pattern(pattern, LIBRARY_AUTHOR, [d[0].as_str(), d[1].as_str()])
+        })
+        .collect()
+}
+
+/// Build one bundle per figure, named after the figure.
+pub fn figure_bundle(figure: Figure) -> ModuleBundle {
+    let mut bundle = ModuleBundle::new(figure.title());
+    for module in modules_for_figure(figure) {
+        bundle.push(module);
+    }
+    bundle
+}
+
+/// The "basic traffic matrices" bundle: the two templates from the paper.
+pub fn basics_bundle() -> ModuleBundle {
+    let mut bundle = ModuleBundle::new("Basic Traffic Matrices");
+    bundle.push(template_6x6());
+    bundle.push(template_10x10());
+    bundle
+}
+
+/// The complete initial library: basics plus one bundle per figure, in the
+/// order the paper lists them.
+pub fn initial_library() -> Vec<ModuleBundle> {
+    let mut bundles = vec![basics_bundle()];
+    for figure in Figure::all() {
+        bundles.push(figure_bundle(figure));
+    }
+    bundles
+}
+
+/// Every module of the initial library flattened into one sequence, in
+/// curriculum order.
+pub fn full_curriculum() -> Vec<LearningModule> {
+    initial_library().into_iter().flat_map(|b| b.modules().to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn the_initial_library_matches_the_paper_inventory() {
+        let library = initial_library();
+        // basics + 5 figures
+        assert_eq!(library.len(), 6);
+        let names: Vec<&str> = library.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Basic Traffic Matrices",
+                "Traffic Topologies",
+                "Notional Attack",
+                "Network Security, Defense, and Deterrence",
+                "DDoS Attack",
+                "Graph Theory"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_library_module_is_valid() {
+        for bundle in initial_library() {
+            for (i, module) in bundle.modules().iter().enumerate() {
+                let report = validate(module);
+                assert!(
+                    report.is_valid(),
+                    "bundle {:?} module {} ({}) invalid: {:?}",
+                    bundle.name,
+                    i,
+                    module.name,
+                    report.issues
+                );
+            }
+            assert!(bundle.is_valid());
+        }
+    }
+
+    #[test]
+    fn curriculum_size_matches_panel_count_plus_templates() {
+        // 2 templates + 24 figure panels.
+        assert_eq!(full_curriculum().len(), 26);
+    }
+
+    #[test]
+    fn every_library_bundle_round_trips_through_zip() {
+        for bundle in initial_library() {
+            let bytes = bundle.to_zip().unwrap();
+            let loaded = ModuleBundle::from_zip(&bundle.name, &bytes).unwrap();
+            assert_eq!(loaded.modules(), bundle.modules(), "bundle {:?}", bundle.name);
+        }
+    }
+
+    #[test]
+    fn questions_use_in_figure_distractors() {
+        let ddos_modules = modules_for_figure(Figure::Ddos);
+        for module in &ddos_modules {
+            let q = module.question.as_ref().unwrap();
+            assert_eq!(q.answers.len(), 3);
+            // All answers are distinct.
+            let mut answers = q.answers.clone();
+            answers.sort();
+            answers.dedup();
+            assert_eq!(answers.len(), 3, "module {} has duplicate answers", module.name);
+            assert_eq!(q.correct_answer_element, 0);
+        }
+        assert_eq!(ddos_modules.len(), 4);
+    }
+
+    #[test]
+    fn graph_theory_modules_cover_all_nine_concepts() {
+        let modules = modules_for_figure(Figure::GraphTheory);
+        assert_eq!(modules.len(), 9);
+        let names: Vec<&str> = modules.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"Toroidal Mesh"));
+        assert!(names.contains(&"Self Loop"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Answer obfuscation (paper future work).
+//!
+//! The paper lists "obfuscating question answers in the module file" among its
+//! planned improvements: module files are plain text, so a curious student can
+//! read `correct_answer_element` straight out of the JSON. This module
+//! implements that improvement in a backwards-compatible way: the correct
+//! answer index is stored as an opaque token derived from the module's own
+//! content, and the loader accepts either the plain field or the obfuscated
+//! one.
+//!
+//! The goal is *deterrence of casual peeking*, not cryptographic secrecy (the
+//! game must be able to decode the token offline); that trade-off is the same
+//! one the paper accepts by shipping plain-text modules for easy security
+//! review.
+
+use crate::error::{ModuleError, Result};
+use crate::schema::LearningModule;
+use tw_json::Value;
+
+/// The JSON field holding the obfuscated answer token.
+pub const OBFUSCATED_FIELD: &str = "correct_answer_token";
+
+/// Derive the obfuscation key from module content that both the author and the
+/// game know but that differs per module: the question text and the answers.
+fn key_material(question: &str, answers: &[String]) -> u64 {
+    // FNV-1a over the question and answers; stable across platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    feed(question.as_bytes());
+    for answer in answers {
+        feed(answer.as_bytes());
+        feed(&[0xFF]);
+    }
+    hash
+}
+
+/// Encode a correct-answer index into an opaque token.
+pub fn encode_token(question: &str, answers: &[String], correct_index: usize) -> String {
+    let key = key_material(question, answers);
+    let mixed = (correct_index as u64 ^ key).rotate_left(17) ^ 0xA5A5_5A5A_DEAD_BEEF;
+    format!("tw1:{mixed:016x}")
+}
+
+/// Decode a token back into the correct-answer index, validating it against
+/// the answer count.
+pub fn decode_token(question: &str, answers: &[String], token: &str) -> Result<usize> {
+    let hex = token
+        .strip_prefix("tw1:")
+        .ok_or_else(|| ModuleError::Invalid(format!("unrecognized answer token {token:?}")))?;
+    let mixed = u64::from_str_radix(hex, 16)
+        .map_err(|_| ModuleError::Invalid(format!("malformed answer token {token:?}")))?;
+    let key = key_material(question, answers);
+    let index = ((mixed ^ 0xA5A5_5A5A_DEAD_BEEF).rotate_right(17) ^ key) as usize;
+    if index >= answers.len() {
+        return Err(ModuleError::Invalid(format!(
+            "answer token decodes to index {index}, but there are only {} answers (was the question or an answer edited without re-encoding?)",
+            answers.len()
+        )));
+    }
+    Ok(index)
+}
+
+/// Serialize a module with its correct answer obfuscated: the plain
+/// `correct_answer_element` field is replaced by `correct_answer_token`.
+pub fn to_obfuscated_json(module: &LearningModule) -> Result<String> {
+    let question = module
+        .question
+        .as_ref()
+        .ok_or(ModuleError::MissingField("question"))?;
+    let mut value = module.to_value();
+    let obj = value.as_object_mut().expect("module serializes to an object");
+    obj.remove("correct_answer_element");
+    obj.insert(
+        OBFUSCATED_FIELD,
+        Value::from(encode_token(&question.text, &question.answers, question.correct_answer_element)),
+    );
+    Ok(tw_json::to_string_pretty(&value))
+}
+
+/// Parse a module that may use either the plain `correct_answer_element` field
+/// or the obfuscated `correct_answer_token` field.
+pub fn from_json_maybe_obfuscated(text: &str) -> Result<LearningModule> {
+    let value = tw_json::parse(text)?;
+    let has_token = value.get(OBFUSCATED_FIELD).is_some();
+    if !has_token {
+        return LearningModule::from_value(&value);
+    }
+    // Re-materialize a plain module by decoding the token first.
+    let question_text = value
+        .get("question")
+        .and_then(Value::as_str)
+        .ok_or(ModuleError::MissingField("question"))?
+        .to_string();
+    let answers = value
+        .get("answers")
+        .and_then(Value::as_string_list)
+        .ok_or(ModuleError::WrongType("answers", "an array of strings"))?;
+    let token = value
+        .get(OBFUSCATED_FIELD)
+        .and_then(Value::as_str)
+        .ok_or(ModuleError::WrongType(OBFUSCATED_FIELD, "a string"))?;
+    let index = decode_token(&question_text, &answers, token)?;
+    let mut plain = value.clone();
+    let obj = plain.as_object_mut().expect("checked object above");
+    obj.remove(OBFUSCATED_FIELD);
+    obj.insert("correct_answer_element", Value::from(index));
+    LearningModule::from_value(&plain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::template_10x10;
+
+    #[test]
+    fn token_round_trips_for_every_index() {
+        let answers: Vec<String> = vec!["0".into(), "1".into(), "2".into()];
+        for correct in 0..3 {
+            let token = encode_token("How many packets?", &answers, correct);
+            assert!(token.starts_with("tw1:"));
+            assert_eq!(decode_token("How many packets?", &answers, &token).unwrap(), correct);
+        }
+    }
+
+    #[test]
+    fn tokens_are_not_the_plain_index_and_differ_per_module() {
+        let answers: Vec<String> = vec!["0".into(), "1".into(), "2".into()];
+        let a = encode_token("Question A?", &answers, 2);
+        let b = encode_token("Question B?", &answers, 2);
+        assert_ne!(a, b, "the same index must encode differently for different questions");
+        assert!(!a.contains("2:"), "token must not leak the index textually");
+    }
+
+    #[test]
+    fn editing_the_question_invalidates_the_token() {
+        let answers: Vec<String> = vec!["0".into(), "1".into(), "2".into()];
+        let token = encode_token("Original question?", &answers, 1);
+        // Decoding against edited content either errors or (rarely) yields an
+        // in-range index — but never silently the original association.
+        let result = decode_token("Edited question?", &answers, &token);
+        if let Ok(index) = result {
+            assert!(index < 3);
+        }
+        assert!(decode_token("Original question?", &answers, "tw1:zzzz").is_err());
+        assert!(decode_token("Original question?", &answers, "v2:0000").is_err());
+    }
+
+    #[test]
+    fn obfuscated_module_json_round_trips() {
+        let module = template_10x10();
+        let obfuscated = to_obfuscated_json(&module).unwrap();
+        assert!(!obfuscated.contains("correct_answer_element"));
+        assert!(obfuscated.contains(OBFUSCATED_FIELD));
+        let reparsed = from_json_maybe_obfuscated(&obfuscated).unwrap();
+        assert_eq!(reparsed, module);
+        // Plain modules still load through the same entry point.
+        let plain = from_json_maybe_obfuscated(&module.to_json()).unwrap();
+        assert_eq!(plain, module);
+    }
+
+    #[test]
+    fn question_less_modules_cannot_be_obfuscated() {
+        let mut module = template_10x10();
+        module.question = None;
+        assert_eq!(to_obfuscated_json(&module).unwrap_err(), ModuleError::MissingField("question"));
+    }
+
+    #[test]
+    fn tampered_answer_list_is_detected_or_stays_in_range() {
+        let module = template_10x10();
+        let obfuscated = to_obfuscated_json(&module).unwrap();
+        // Remove one answer from the JSON text: the token usually decodes out of
+        // range and is rejected with a helpful message.
+        let tampered = obfuscated.replace(r#""answers": ["#, r#""answers": ["9","#);
+        match from_json_maybe_obfuscated(&tampered) {
+            Ok(m) => {
+                let q = m.question.unwrap();
+                assert!(q.correct_answer_element < q.answers.len());
+            }
+            Err(e) => assert!(e.to_string().contains("token") || e.to_string().contains("answers")),
+        }
+    }
+}

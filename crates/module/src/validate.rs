@@ -1,0 +1,260 @@
+//! Semantic validation of learning modules.
+//!
+//! The validator goes beyond schema checks and enforces (or warns about) the
+//! authoring guidance from the paper: the declared `size` must match the
+//! matrix, the paper recommends fewer than 15 packets per cell for legibility,
+//! three answer options, short all-caps labels, and a correct-answer index
+//! that actually points into the answer list.
+
+use crate::schema::LearningModule;
+
+/// The maximum per-cell packet count the paper found to display well.
+pub const DISPLAY_PACKET_LIMIT: u32 = 15;
+/// The answer-option count the paper argues for (three-option MCQ).
+pub const RECOMMENDED_ANSWER_COUNT: usize = 3;
+/// Labels longer than this trigger a legibility warning ("shorter all caps
+/// labels are easier to view in the game").
+pub const RECOMMENDED_LABEL_LENGTH: usize = 6;
+
+/// How serious a validation finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The module cannot be used as-is.
+    Error,
+    /// The module will load but violates authoring guidance.
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Whether the finding blocks use of the module.
+    pub severity: Severity,
+    /// The module field the finding concerns.
+    pub field: &'static str,
+    /// A human-readable description for the module author.
+    pub message: String,
+}
+
+/// The full set of findings for one module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// All findings, errors first.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// True when no error-severity findings exist.
+    pub fn is_valid(&self) -> bool {
+        !self.issues.iter().any(|i| i.severity == Severity::Error)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+    }
+
+    fn error(&mut self, field: &'static str, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Error, field, message });
+    }
+
+    fn warning(&mut self, field: &'static str, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Warning, field, message });
+    }
+}
+
+/// Validate a module against the paper's authoring guidance.
+pub fn validate(module: &LearningModule) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    if module.name.trim().is_empty() {
+        report.error("name", "the lesson title must not be empty".to_string());
+    }
+    if module.author.trim().is_empty() {
+        report.warning("author", "the author field is empty".to_string());
+    }
+
+    let declared = module.size.dimension();
+    let actual = module.matrix.dimension();
+    if declared != actual {
+        report.error(
+            "size",
+            format!("declared size is {declared}x{declared} but the traffic matrix is {actual}x{actual}"),
+        );
+    }
+    if module.colors.dimension() != actual {
+        report.error(
+            "traffic_matrix_colors",
+            format!(
+                "color matrix is {0}x{0} but the traffic matrix is {actual}x{actual}",
+                module.colors.dimension()
+            ),
+        );
+    }
+
+    let max = module.matrix.max_value();
+    if max >= DISPLAY_PACKET_LIMIT {
+        report.warning(
+            "traffic_matrix",
+            format!(
+                "a cell contains {max} packets; fewer than {DISPLAY_PACKET_LIMIT} per cell displays well in the warehouse view"
+            ),
+        );
+    }
+    if module.matrix.total_packets() == 0 {
+        report.warning("traffic_matrix", "the traffic matrix is empty (all zeros)".to_string());
+    }
+
+    for label in module.matrix.labels().labels() {
+        if label.chars().count() > RECOMMENDED_LABEL_LENGTH {
+            report.warning(
+                "axis_labels",
+                format!("label {label:?} is long; shorter all-caps labels are easier to view in the game"),
+            );
+        }
+        if label.chars().any(|c| c.is_ascii_lowercase()) {
+            report.warning(
+                "axis_labels",
+                format!("label {label:?} contains lowercase characters; all-caps labels are recommended"),
+            );
+        }
+    }
+
+    if let Some(q) = &module.question {
+        if q.text.trim().is_empty() {
+            report.error("question", "has_question is true but the question text is empty".to_string());
+        }
+        if q.answers.is_empty() {
+            report.error("answers", "the answer list is empty".to_string());
+        } else {
+            if q.correct_answer_element >= q.answers.len() {
+                report.error(
+                    "correct_answer_element",
+                    format!(
+                        "correct_answer_element is {} but there are only {} answers",
+                        q.correct_answer_element,
+                        q.answers.len()
+                    ),
+                );
+            }
+            if q.answers.len() != RECOMMENDED_ANSWER_COUNT {
+                report.warning(
+                    "answers",
+                    format!(
+                        "{} answer options; the paper recommends {RECOMMENDED_ANSWER_COUNT} to balance question quality against assessment value",
+                        q.answers.len()
+                    ),
+                );
+            }
+            let mut deduped = q.answers.clone();
+            deduped.sort();
+            deduped.dedup();
+            if deduped.len() != q.answers.len() {
+                report.error("answers", "answer options must be distinct".to_string());
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::schema::{MatrixSize, Question};
+    use crate::template::template_10x10;
+
+    #[test]
+    fn the_paper_template_is_valid() {
+        let report = validate(&template_10x10());
+        assert!(report.is_valid(), "issues: {:?}", report.issues);
+        assert_eq!(report.errors().count(), 0);
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error() {
+        let mut module = template_10x10();
+        module.size = MatrixSize(6);
+        let report = validate(&module);
+        assert!(!report.is_valid());
+        assert!(report.errors().any(|i| i.field == "size"));
+    }
+
+    #[test]
+    fn excessive_packets_is_a_warning_not_an_error() {
+        let mut module = template_10x10();
+        module.matrix.set(0, 1, 40).unwrap();
+        let report = validate(&module);
+        assert!(report.is_valid());
+        assert!(report.warnings().any(|i| i.field == "traffic_matrix" && i.message.contains("40")));
+    }
+
+    #[test]
+    fn bad_correct_answer_index_is_an_error() {
+        let mut module = template_10x10();
+        module.question = Some(Question {
+            text: "Q?".into(),
+            answers: vec!["0".into(), "1".into(), "2".into()],
+            correct_answer_element: 5,
+        });
+        let report = validate(&module);
+        assert!(!report.is_valid());
+        assert!(report.errors().any(|i| i.field == "correct_answer_element"));
+    }
+
+    #[test]
+    fn duplicate_answers_are_an_error() {
+        let mut module = template_10x10();
+        module.question = Some(Question {
+            text: "Q?".into(),
+            answers: vec!["1".into(), "1".into(), "2".into()],
+            correct_answer_element: 2,
+        });
+        assert!(!validate(&module).is_valid());
+    }
+
+    #[test]
+    fn non_three_answer_counts_warn() {
+        let mut module = template_10x10();
+        module.question = Some(Question {
+            text: "Q?".into(),
+            answers: vec!["0".into(), "1".into(), "2".into(), "3".into()],
+            correct_answer_element: 0,
+        });
+        let report = validate(&module);
+        assert!(report.is_valid());
+        assert!(report.warnings().any(|i| i.field == "answers"));
+    }
+
+    #[test]
+    fn label_style_warnings() {
+        let module = ModuleBuilder::new("Style", "tester")
+            .labels(["workstation_one", "B"])
+            .unwrap()
+            .cell(0, 1, 1)
+            .unwrap()
+            .build();
+        let report = validate(&module);
+        assert!(report.is_valid());
+        let warning_fields: Vec<_> = report.warnings().map(|w| w.field).collect();
+        assert!(warning_fields.contains(&"axis_labels"));
+        // Both the too-long and the lowercase warnings fire for the same label.
+        assert!(report.warnings().filter(|w| w.field == "axis_labels").count() >= 2);
+    }
+
+    #[test]
+    fn empty_matrix_and_name_are_flagged() {
+        let module = ModuleBuilder::new("", "").labels(["A", "B"]).unwrap().build();
+        let report = validate(&module);
+        assert!(!report.is_valid());
+        assert!(report.errors().any(|i| i.field == "name"));
+        assert!(report.warnings().any(|i| i.field == "traffic_matrix"));
+        assert!(report.warnings().any(|i| i.field == "author"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: arbitrary well-formed modules survive the JSON and ZIP
+//! round trips, and the validator never panics on schema-valid input.
+
+use proptest::prelude::*;
+use tw_matrix::{CellColor, ColorMatrix, LabelSet, TrafficMatrix};
+use tw_module::{validate, LearningModule, MatrixSize, ModuleBundle, Question};
+
+/// Strategy for an arbitrary module with consistent dimensions.
+fn arb_module() -> impl Strategy<Value = LearningModule> {
+    (2usize..=12).prop_flat_map(|n| {
+        let labels: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let matrix = prop::collection::vec(prop::collection::vec(0u32..20, n..=n), n..=n);
+        let colors = prop::collection::vec(prop::collection::vec(0u32..3, n..=n), n..=n);
+        let question = prop::option::of((
+            "[A-Za-z ?]{1,40}",
+            prop::collection::vec("[a-z0-9 ]{1,10}", 3..=3),
+            0usize..3,
+        ));
+        (Just(labels), matrix, colors, question, "[A-Za-z0-9 ]{1,20}", "[A-Za-z ]{0,16}").prop_map(
+            move |(labels, grid, colors, question, name, author)| {
+                let label_set = LabelSet::new(labels.clone()).unwrap();
+                let matrix = TrafficMatrix::from_grid(label_set, &grid).unwrap();
+                let colors = ColorMatrix::from_codes(&colors).unwrap();
+                let question = question.map(|(text, mut answers, correct)| {
+                    // Ensure distinct answers by suffixing indices.
+                    for (i, a) in answers.iter_mut().enumerate() {
+                        a.push_str(&format!("_{i}"));
+                    }
+                    Question { text, answers, correct_answer_element: correct }
+                });
+                LearningModule {
+                    name,
+                    size: MatrixSize(n),
+                    author,
+                    matrix,
+                    colors,
+                    question,
+                    hint: None,
+                }
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_round_trip(module in arb_module()) {
+        let text = module.to_json();
+        let reparsed = LearningModule::from_json(&text).expect("round trip parse");
+        prop_assert_eq!(reparsed, module);
+    }
+
+    #[test]
+    fn zip_round_trip(modules in prop::collection::vec(arb_module(), 1..6)) {
+        let bundle: ModuleBundle = modules.clone().into_iter().collect();
+        let bytes = bundle.to_zip().unwrap();
+        let loaded = ModuleBundle::from_zip("prop", &bytes).unwrap();
+        prop_assert_eq!(loaded.modules(), &modules[..]);
+    }
+
+    #[test]
+    fn validator_never_panics_and_size_always_consistent(module in arb_module()) {
+        let report = validate(&module);
+        // Generated modules always have consistent size, so size errors never fire.
+        prop_assert!(report.errors().all(|i| i.field != "size"));
+    }
+
+    #[test]
+    fn serialized_color_codes_stay_in_range(module in arb_module()) {
+        for row in module.colors.to_codes() {
+            for code in row {
+                prop_assert!(code <= 2);
+                prop_assert!(CellColor::from_code(code).is_some());
+            }
+        }
+    }
+}

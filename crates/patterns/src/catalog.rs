@@ -1,0 +1,104 @@
+//! The pattern catalog: every figure panel, addressable by figure.
+
+use crate::{attack, ddos, graph_theory, posture, topology, Pattern};
+
+/// The figures of the paper's learning-module section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Fig. 6 — basic traffic topologies.
+    Topologies,
+    /// Fig. 7 — the notional attack stages.
+    NotionalAttack,
+    /// Fig. 8 — security, defense, deterrence.
+    Posture,
+    /// Fig. 9 — DDoS components.
+    Ddos,
+    /// Fig. 10 — graph-theory concepts.
+    GraphTheory,
+}
+
+impl Figure {
+    /// All figures in paper order.
+    pub fn all() -> [Figure; 5] {
+        [
+            Figure::Topologies,
+            Figure::NotionalAttack,
+            Figure::Posture,
+            Figure::Ddos,
+            Figure::GraphTheory,
+        ]
+    }
+
+    /// The paper's figure number.
+    pub fn number(&self) -> u32 {
+        match self {
+            Figure::Topologies => 6,
+            Figure::NotionalAttack => 7,
+            Figure::Posture => 8,
+            Figure::Ddos => 9,
+            Figure::GraphTheory => 10,
+        }
+    }
+
+    /// The figure's caption title.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Figure::Topologies => "Traffic Topologies",
+            Figure::NotionalAttack => "Notional Attack",
+            Figure::Posture => "Network Security, Defense, and Deterrence",
+            Figure::Ddos => "DDoS Attack",
+            Figure::GraphTheory => "Graph Theory",
+        }
+    }
+}
+
+/// The panels of one figure, in the order they appear in the paper.
+pub fn patterns_for_figure(figure: Figure) -> Vec<Pattern> {
+    match figure {
+        Figure::Topologies => topology::all(),
+        Figure::NotionalAttack => attack::all(),
+        Figure::Posture => posture::all(),
+        Figure::Ddos => ddos::all(),
+        Figure::GraphTheory => graph_theory::all(),
+    }
+}
+
+/// Every panel of every figure, in paper order.
+pub fn all_patterns() -> Vec<Pattern> {
+    Figure::all().into_iter().flat_map(patterns_for_figure).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_numbers_and_titles() {
+        assert_eq!(Figure::Topologies.number(), 6);
+        assert_eq!(Figure::GraphTheory.number(), 10);
+        assert_eq!(Figure::Ddos.title(), "DDoS Attack");
+        assert_eq!(Figure::all().len(), 5);
+    }
+
+    #[test]
+    fn panel_counts_match_the_paper() {
+        assert_eq!(patterns_for_figure(Figure::Topologies).len(), 4);
+        assert_eq!(patterns_for_figure(Figure::NotionalAttack).len(), 4);
+        assert_eq!(patterns_for_figure(Figure::Posture).len(), 3);
+        assert_eq!(patterns_for_figure(Figure::Ddos).len(), 4);
+        assert_eq!(patterns_for_figure(Figure::GraphTheory).len(), 9);
+        assert_eq!(all_patterns().len(), 24);
+    }
+
+    #[test]
+    fn security_patterns_carry_hints_and_graph_patterns_do_not() {
+        for figure in [Figure::Topologies, Figure::NotionalAttack, Figure::Posture, Figure::Ddos] {
+            for p in patterns_for_figure(figure) {
+                assert!(p.hint.is_some(), "{} should carry a hint", p.id);
+            }
+        }
+        for p in patterns_for_figure(Figure::GraphTheory) {
+            assert!(p.hint.is_none(), "{} should not carry a hint", p.id);
+        }
+    }
+}

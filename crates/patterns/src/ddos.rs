@@ -1,0 +1,191 @@
+//! Distributed denial-of-service attack components (paper Fig. 9).
+//!
+//! "Botnet command and control (C2) is shown by representing the
+//! communications in red space. The communication from the C2 servers to the
+//! individual clients can be represented by identical communications between
+//! the C2 nodes and the botnet clients. The attack is then represented by
+//! communication from the botnet clients to the blue controlled servers,
+//! followed by the backscatter when the servers reply back to the illegitimate
+//! traffic."
+
+use crate::Pattern;
+use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
+
+/// Hint reference for the DDoS patterns (reference [52]).
+pub const DDOS_HINT: &str =
+    "Kepner et al., 'Zero Botnets: An Observe-Pursue-Counter Approach' (Belfer Center 2021)";
+
+/// Index of the node acting as the C2 server (`ADV1`).
+pub const C2_NODE: usize = 6;
+/// Indices of the botnet clients: compromised grey-space hosts plus the
+/// remaining adversary nodes.
+pub const BOTNET_CLIENTS: [usize; 5] = [4, 5, 7, 8, 9];
+/// Index of the victim server (`SRV1`).
+pub const VICTIM: usize = 3;
+/// Packets per client used in the attack panel (kept under the paper's
+/// 15-packet display guidance).
+pub const ATTACK_PACKETS: u32 = 9;
+
+fn base() -> (LabelSet, TrafficMatrix, ColorMatrix) {
+    let labels = LabelSet::paper_default_10();
+    let matrix = TrafficMatrix::zeros(labels.clone());
+    let colors = ColorMatrix::from_label_classes(&labels);
+    (labels, matrix, colors)
+}
+
+/// Fig. 9a — command and control: the C2 server coordinates with the other
+/// adversary nodes in red space.
+pub fn command_and_control() -> Pattern {
+    let (labels, mut m, colors) = base();
+    for &adv in &labels.red_indices() {
+        if adv != C2_NODE {
+            m.set(C2_NODE, adv, 2).unwrap();
+            m.set(adv, C2_NODE, 1).unwrap();
+        }
+    }
+    Pattern::new(
+        "ddos/command_and_control",
+        "Command and Control (C2)",
+        "Botnet command and control",
+        "The command-and-control server coordinates with the other adversary nodes entirely within red space.",
+        Some(DDOS_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 9b — botnet clients: identical tasking flows from the C2 server to
+/// every client.
+pub fn botnet_clients() -> Pattern {
+    let (_labels, mut m, colors) = base();
+    for &client in &BOTNET_CLIENTS {
+        m.set(C2_NODE, client, 2).unwrap();
+    }
+    Pattern::new(
+        "ddos/botnet_clients",
+        "Botnet Clients",
+        "Botnet client tasking",
+        "The C2 server sends identical instructions to every botnet client, producing a row of equal values under the C2 node.",
+        Some(DDOS_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 9c — the attack: every client floods the victim server.
+pub fn attack() -> Pattern {
+    let (_labels, mut m, colors) = base();
+    for &client in &BOTNET_CLIENTS {
+        m.set(client, VICTIM, ATTACK_PACKETS).unwrap();
+    }
+    Pattern::new(
+        "ddos/attack",
+        "DDoS Attack",
+        "A distributed denial-of-service attack",
+        "Every botnet client sends a high volume of traffic at the same blue server, producing a heavily loaded column over the victim.",
+        Some(DDOS_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 9d — backscatter: the victim replies to the spoofed/illegitimate sources.
+pub fn backscatter() -> Pattern {
+    let (_labels, mut m, colors) = base();
+    for &client in &BOTNET_CLIENTS {
+        m.set(VICTIM, client, 1).unwrap();
+    }
+    Pattern::new(
+        "ddos/backscatter",
+        "Backscatter",
+        "DDoS backscatter",
+        "The victim server replies to the illegitimate traffic, producing a mirrored row of small responses from the server back toward the clients.",
+        Some(DDOS_HINT),
+        m,
+        colors,
+    )
+}
+
+/// All four panels of Fig. 9 in figure order.
+pub fn all() -> Vec<Pattern> {
+    vec![command_and_control(), botnet_clients(), attack(), backscatter()]
+}
+
+/// The combined DDoS picture (all components overlaid), which the paper
+/// suggests as a follow-on exercise.
+pub fn combined() -> Pattern {
+    let parts = all();
+    let mut matrix = parts[0].matrix.clone();
+    for part in &parts[1..] {
+        matrix = matrix.combine(&part.matrix).expect("parts share labels");
+    }
+    Pattern::new(
+        "ddos/combined",
+        "Combined DDoS",
+        "A distributed denial-of-service attack",
+        "C2 coordination, client tasking, the flood toward the victim and the backscatter replies all shown together.",
+        Some(DDOS_HINT),
+        matrix,
+        parts[0].colors.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_matrix::{LinkClass, MatrixProfile};
+
+    #[test]
+    fn c2_stays_in_red_space() {
+        let p = command_and_control();
+        let profile = MatrixProfile::of(&p.matrix);
+        assert_eq!(profile.packets_for(LinkClass::IntraRed), p.matrix.total_packets());
+    }
+
+    #[test]
+    fn botnet_tasking_is_identical_per_client() {
+        let p = botnet_clients();
+        let values: Vec<u32> =
+            BOTNET_CLIENTS.iter().map(|&c| p.matrix.get(C2_NODE, c).unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "tasking must be identical");
+        assert_eq!(p.matrix.nonzero_count(), BOTNET_CLIENTS.len());
+    }
+
+    #[test]
+    fn attack_concentrates_on_the_victim_column() {
+        let p = attack();
+        let in_deg = p.matrix.in_degrees();
+        let victim_load = in_deg[VICTIM];
+        assert_eq!(victim_load, p.matrix.total_packets());
+        assert_eq!(p.matrix.in_fanout()[VICTIM], BOTNET_CLIENTS.len());
+        assert!(p.matrix.max_value() < 15);
+    }
+
+    #[test]
+    fn backscatter_mirrors_the_attack() {
+        let a = attack();
+        let b = backscatter();
+        for &client in &BOTNET_CLIENTS {
+            assert!(a.matrix.get(client, VICTIM).unwrap() > 0);
+            assert!(b.matrix.get(VICTIM, client).unwrap() > 0);
+        }
+        // Backscatter is much smaller than the attack itself.
+        assert!(b.matrix.total_packets() < a.matrix.total_packets());
+    }
+
+    #[test]
+    fn combined_preserves_component_totals() {
+        let parts = all();
+        let total: u64 = parts.iter().map(|p| p.matrix.total_packets()).sum();
+        assert_eq!(combined().matrix.total_packets(), total);
+    }
+
+    #[test]
+    fn figure_order() {
+        let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["Command and Control (C2)", "Botnet Clients", "DDoS Attack", "Backscatter"]
+        );
+    }
+}

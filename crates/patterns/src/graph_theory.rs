@@ -1,0 +1,282 @@
+//! Graph-theory concept patterns (paper Fig. 10).
+//!
+//! "This module demonstrates star, clique, bipartite, tree, ring, mesh,
+//! toroidal mesh, self loops, and triangle graphs … to show that the
+//! information that can be displayed in Traffic Warehouse is not limited just
+//! to network communication."
+//!
+//! Graph-theory patterns use numeric labels (the paper's formal definition of
+//! an adjacency matrix indexes vertices by integers) and an all-grey color
+//! plane, since they are not about security spaces.
+
+use crate::Pattern;
+use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
+
+/// Dimension used by all graph-theory patterns (the paper shows them on 10×10).
+pub const GRAPH_DIMENSION: usize = 10;
+
+fn base() -> (TrafficMatrix, ColorMatrix) {
+    let labels = LabelSet::numeric(GRAPH_DIMENSION);
+    (TrafficMatrix::zeros(labels), ColorMatrix::grey(GRAPH_DIMENSION))
+}
+
+fn pattern(id: &str, name: &str, explanation: &str, m: TrafficMatrix, c: ColorMatrix) -> Pattern {
+    Pattern::new(
+        &format!("graph/{id}"),
+        name,
+        &format!("A {} graph", name.to_lowercase()),
+        explanation,
+        None,
+        m,
+        c,
+    )
+}
+
+/// Fig. 10a — star: one hub connected to every other vertex.
+pub fn star() -> Pattern {
+    let (mut m, c) = base();
+    for peer in 1..GRAPH_DIMENSION {
+        m.set(0, peer, 1).unwrap();
+        m.set(peer, 0, 1).unwrap();
+    }
+    pattern("star", "Star", "A single hub vertex is connected to every other vertex; the hub's row and column are full while the rest of the matrix is empty.", m, c)
+}
+
+/// Fig. 10b — clique: a fully connected subset of vertices.
+pub fn clique() -> Pattern {
+    let (mut m, c) = base();
+    for a in 0..5 {
+        for b in 0..5 {
+            if a != b {
+                m.set(a, b, 1).unwrap();
+            }
+        }
+    }
+    pattern("clique", "Clique", "A subset of vertices in which every pair is connected, forming a dense square block (minus the diagonal).", m, c)
+}
+
+/// Fig. 10c — bipartite: two vertex sets with edges only between the sets.
+pub fn bipartite() -> Pattern {
+    let (mut m, c) = base();
+    for a in 0..5 {
+        for b in 5..GRAPH_DIMENSION {
+            m.set(a, b, 1).unwrap();
+        }
+    }
+    pattern("bipartite", "Bipartite", "Vertices split into two sets with edges only between the sets, producing one off-diagonal block.", m, c)
+}
+
+/// Fig. 10d — tree: a connected acyclic graph (here a binary tree rooted at 0).
+pub fn tree() -> Pattern {
+    let (mut m, c) = base();
+    for child in 1..GRAPH_DIMENSION {
+        let parent = (child - 1) / 2;
+        m.set(parent, child, 1).unwrap();
+    }
+    pattern("tree", "Tree", "A connected graph with no cycles: every vertex except the root has exactly one incoming edge from its parent.", m, c)
+}
+
+/// Fig. 10e — ring: every vertex connected to the next, wrapping around.
+pub fn ring() -> Pattern {
+    let (mut m, c) = base();
+    for v in 0..GRAPH_DIMENSION {
+        m.set(v, (v + 1) % GRAPH_DIMENSION, 1).unwrap();
+    }
+    pattern("ring", "Ring", "Each vertex is connected to the next in a cycle, producing a super-diagonal stripe with one wrap-around entry.", m, c)
+}
+
+/// Fig. 10f — mesh: a 2×5 grid where each vertex connects to its horizontal and
+/// vertical neighbours.
+pub fn mesh() -> Pattern {
+    let (mut m, c) = base();
+    let (rows, cols) = (2usize, 5usize);
+    for r in 0..rows {
+        for col in 0..cols {
+            let v = r * cols + col;
+            if col + 1 < cols {
+                let right = v + 1;
+                m.set(v, right, 1).unwrap();
+                m.set(right, v, 1).unwrap();
+            }
+            if r + 1 < rows {
+                let down = v + cols;
+                m.set(v, down, 1).unwrap();
+                m.set(down, v, 1).unwrap();
+            }
+        }
+    }
+    pattern("mesh", "Mesh", "Vertices arranged in a grid are connected to their horizontal and vertical neighbours.", m, c)
+}
+
+/// Fig. 10g — toroidal mesh: the mesh with wrap-around connections.
+pub fn toroidal_mesh() -> Pattern {
+    let (mut m, c) = base();
+    let (rows, cols) = (2usize, 5usize);
+    for r in 0..rows {
+        for col in 0..cols {
+            let v = r * cols + col;
+            let right = r * cols + (col + 1) % cols;
+            let down = ((r + 1) % rows) * cols + col;
+            for peer in [right, down] {
+                if peer != v {
+                    m.add(v, peer, 1).unwrap();
+                    m.add(peer, v, 1).unwrap();
+                }
+            }
+        }
+    }
+    // Clamp duplicated wrap edges back to single edges for display clarity.
+    let grid: Vec<Vec<u32>> = m
+        .to_grid()
+        .into_iter()
+        .map(|row| row.into_iter().map(|v| v.min(1)).collect())
+        .collect();
+    let m = TrafficMatrix::from_grid(LabelSet::numeric(GRAPH_DIMENSION), &grid).unwrap();
+    pattern("toroidal_mesh", "Toroidal Mesh", "A mesh whose rows and columns wrap around, so every vertex has the same number of neighbours.", m, c)
+}
+
+/// Fig. 10h — self loop: vertices connected to themselves (the matrix diagonal).
+pub fn self_loop() -> Pattern {
+    let (mut m, c) = base();
+    for v in 0..GRAPH_DIMENSION {
+        m.set(v, v, 1).unwrap();
+    }
+    pattern("self_loop", "Self Loop", "Each vertex has an edge to itself, filling the matrix diagonal.", m, c)
+}
+
+/// Fig. 10i — triangle: a 3-cycle.
+pub fn triangle() -> Pattern {
+    let (mut m, c) = base();
+    for (a, b) in [(0usize, 1usize), (1, 2), (2, 0)] {
+        m.set(a, b, 1).unwrap();
+        m.set(b, a, 1).unwrap();
+    }
+    pattern("triangle", "Triangle", "Three vertices each connected to the other two: the smallest cycle and the building block of clustering metrics.", m, c)
+}
+
+/// All nine panels of Fig. 10 in figure order.
+pub fn all() -> Vec<Pattern> {
+    vec![
+        star(),
+        clique(),
+        bipartite(),
+        tree(),
+        ring(),
+        mesh(),
+        toroidal_mesh(),
+        self_loop(),
+        triangle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_matrix::MatrixProfile;
+
+    #[test]
+    fn star_has_one_hub() {
+        let p = star();
+        let profile = MatrixProfile::of(&p.matrix);
+        assert_eq!(profile.supernodes, vec![0]);
+        assert_eq!(profile.degrees.max_fanout[0], GRAPH_DIMENSION - 1);
+        assert!(p.matrix.is_symmetric());
+    }
+
+    #[test]
+    fn clique_block_is_dense() {
+        let p = clique();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(p.matrix.get(a, b).unwrap(), u32::from(a != b));
+            }
+        }
+        assert_eq!(p.matrix.nonzero_count(), 5 * 4);
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_set_edges() {
+        let p = bipartite();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(p.matrix.get(a, b), Some(0));
+                assert_eq!(p.matrix.get(a + 5, b + 5), Some(0));
+            }
+        }
+        assert_eq!(p.matrix.nonzero_count(), 25);
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges_and_no_cycles() {
+        let p = tree();
+        assert_eq!(p.matrix.nonzero_count(), GRAPH_DIMENSION - 1);
+        // Every non-root vertex has exactly one parent.
+        let in_fan = p.matrix.in_fanout();
+        assert_eq!(in_fan[0], 0);
+        assert!(in_fan[1..].iter().all(|&f| f == 1));
+    }
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let p = ring();
+        assert_eq!(p.matrix.nonzero_count(), GRAPH_DIMENSION);
+        assert!(p.matrix.out_fanout().iter().all(|&f| f == 1));
+        assert!(p.matrix.in_fanout().iter().all(|&f| f == 1));
+        assert_eq!(p.matrix.get(GRAPH_DIMENSION - 1, 0), Some(1));
+    }
+
+    #[test]
+    fn mesh_degrees_match_grid_structure() {
+        let p = mesh();
+        assert!(p.matrix.is_symmetric());
+        // Corner vertices of a 2×5 grid have 2 neighbours; middle-edge vertices 3.
+        let fanout = p.matrix.out_fanout();
+        assert_eq!(fanout[0], 2);
+        assert_eq!(fanout[2], 3);
+    }
+
+    #[test]
+    fn toroidal_mesh_is_regular() {
+        let p = toroidal_mesh();
+        assert!(p.matrix.is_symmetric());
+        let fanout = p.matrix.out_fanout();
+        // Every vertex of a 2×5 torus has neighbours left/right (2 distinct) and
+        // up/down (1 distinct, since wrapping in a 2-row torus reaches the same
+        // vertex both ways) = 3 distinct neighbours.
+        assert!(fanout.iter().all(|&f| f == 3), "fanout was {fanout:?}");
+    }
+
+    #[test]
+    fn self_loop_fills_the_diagonal() {
+        let p = self_loop();
+        let profile = MatrixProfile::of(&p.matrix);
+        assert_eq!(profile.self_loops, GRAPH_DIMENSION);
+        assert_eq!(p.matrix.nonzero_count(), GRAPH_DIMENSION);
+    }
+
+    #[test]
+    fn triangle_is_three_mutual_edges() {
+        let p = triangle();
+        assert_eq!(p.matrix.nonzero_count(), 6);
+        assert!(p.matrix.is_symmetric());
+    }
+
+    #[test]
+    fn figure_order_and_count() {
+        let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Star",
+                "Clique",
+                "Bipartite",
+                "Tree",
+                "Ring",
+                "Mesh",
+                "Toroidal Mesh",
+                "Self Loop",
+                "Triangle"
+            ]
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! # tw-patterns
+//!
+//! Generators for the traffic patterns shown in every figure of the paper's
+//! learning-module section (§V), plus background-noise mixing and a pattern
+//! classifier.
+//!
+//! Every generator returns a [`Pattern`]: a labelled traffic matrix, a color
+//! plane, the multiple-choice answer the pattern is "most relevant to" (the
+//! single question type used by all of the paper's modules) and a short
+//! explanation an educator can show after the question is answered.
+//!
+//! | Paper figure | Module here |
+//! |---|---|
+//! | Fig. 6 — isolated links, single links, internal/external supernodes | [`topology`] |
+//! | Fig. 7 — planning, staging, infiltration, lateral movement | [`attack`] |
+//! | Fig. 8 — security, defense, deterrence | [`posture`] |
+//! | Fig. 9 — C2, botnet clients, DDoS attack, backscatter | [`ddos`] |
+//! | Fig. 10 — star, clique, bipartite, tree, ring, mesh, toroidal mesh, self loop, triangle | [`graph_theory`] |
+
+pub mod attack;
+pub mod catalog;
+pub mod classify;
+pub mod ddos;
+pub mod graph_theory;
+pub mod noise;
+pub mod posture;
+pub mod topology;
+
+pub use catalog::{all_patterns, patterns_for_figure, Figure};
+pub use classify::{classify, Classification};
+pub use noise::{add_background_noise, NoiseConfig};
+
+use tw_matrix::{ColorMatrix, TrafficMatrix};
+
+/// The canonical question asked about every pattern, quoted from the paper:
+/// "Which choice is the displayed traffic pattern most relevant to?"
+pub const CANONICAL_QUESTION: &str =
+    "Which choice is the displayed traffic pattern most relevant to?";
+
+/// The default number of packets used for an emphasized link. The paper notes
+/// that "fewer than 15 packets between any source and destination displays
+/// well"; generators stay well under that.
+pub const DEFAULT_PACKETS: u32 = 2;
+
+/// A generated learning pattern: one panel of one of the paper's figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Stable identifier, e.g. `"topology/internal_supernode"`.
+    pub id: String,
+    /// Human-readable name, e.g. `"Internal Supernode"`.
+    pub name: String,
+    /// The answer to the canonical question that this pattern illustrates.
+    pub relevant_to: String,
+    /// One-sentence explanation shown after answering.
+    pub explanation: String,
+    /// Optional external reference ("hint") the paper points students at.
+    pub hint: Option<String>,
+    /// The traffic matrix displayed on the warehouse floor.
+    pub matrix: TrafficMatrix,
+    /// The pallet color plane.
+    pub colors: ColorMatrix,
+}
+
+impl Pattern {
+    /// Convenience constructor used by the generator modules.
+    pub(crate) fn new(
+        id: &str,
+        name: &str,
+        relevant_to: &str,
+        explanation: &str,
+        hint: Option<&str>,
+        matrix: TrafficMatrix,
+        colors: ColorMatrix,
+    ) -> Self {
+        Pattern {
+            id: id.to_string(),
+            name: name.to_string(),
+            relevant_to: relevant_to.to_string(),
+            explanation: explanation.to_string(),
+            hint: hint.map(str::to_string),
+            matrix,
+            colors,
+        }
+    }
+
+    /// The matrix dimension of this pattern.
+    pub fn dimension(&self) -> usize {
+        self.matrix.dimension()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pattern_is_well_formed() {
+        for pattern in all_patterns() {
+            assert!(!pattern.id.is_empty());
+            assert!(!pattern.name.is_empty());
+            assert!(!pattern.relevant_to.is_empty());
+            assert!(!pattern.explanation.is_empty());
+            assert_eq!(
+                pattern.matrix.dimension(),
+                pattern.colors.dimension(),
+                "matrix/color dimensions must agree for {}",
+                pattern.id
+            );
+            assert!(pattern.matrix.total_packets() > 0, "{} has no traffic", pattern.id);
+            assert!(
+                pattern.matrix.max_value() < 15,
+                "{} exceeds the paper's 15-packet display guidance",
+                pattern.id
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_ids_are_unique() {
+        let patterns = all_patterns();
+        let mut ids: Vec<&str> = patterns.iter().map(|p| p.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        // The paper's figures contain 4 + 4 + 3 + 4 + 9 = 24 panels.
+        assert_eq!(before, 24);
+    }
+}

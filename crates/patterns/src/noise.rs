@@ -1,0 +1,162 @@
+//! Background-noise mixing.
+//!
+//! The paper repeatedly suggests that, once the clean patterns are understood,
+//! "they could all be combined together or potentially mixed in with random
+//! background noise for a student to analyze and determine what is happening
+//! in the network." This module provides that mixing, deterministically from a
+//! seed so a module author can reproduce a specific exercise.
+
+use crate::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tw_matrix::TrafficMatrix;
+
+/// Configuration for background-noise injection.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Probability that any given empty cell receives noise traffic.
+    pub cell_probability: f64,
+    /// Maximum packets added to a noisy cell (uniform in `1..=max_packets`).
+    pub max_packets: u32,
+    /// Whether noise may also land on already-occupied cells.
+    pub overlay_existing: bool,
+    /// Whether noise may land on the diagonal (self-loops).
+    pub allow_self_loops: bool,
+    /// RNG seed, so the same exercise can be regenerated.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            cell_probability: 0.08,
+            max_packets: 3,
+            overlay_existing: false,
+            allow_self_loops: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Add background noise to a matrix according to `config`, returning the noisy
+/// matrix and the number of cells that received noise.
+pub fn add_noise_to_matrix(matrix: &TrafficMatrix, config: &NoiseConfig) -> (TrafficMatrix, usize) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = matrix.clone();
+    let n = matrix.dimension();
+    let mut noisy_cells = 0usize;
+    for r in 0..n {
+        for c in 0..n {
+            if r == c && !config.allow_self_loops {
+                continue;
+            }
+            let occupied = matrix.get(r, c).unwrap_or(0) > 0;
+            if occupied && !config.overlay_existing {
+                continue;
+            }
+            if rng.gen_bool(config.cell_probability.clamp(0.0, 1.0)) {
+                let packets = rng.gen_range(1..=config.max_packets.max(1));
+                out.add(r, c, packets).expect("indices in range");
+                noisy_cells += 1;
+            }
+        }
+    }
+    (out, noisy_cells)
+}
+
+/// Wrap a pattern with background noise, renaming it so module listings make
+/// the difficulty visible.
+pub fn add_background_noise(pattern: &Pattern, config: &NoiseConfig) -> Pattern {
+    let (matrix, noisy_cells) = add_noise_to_matrix(&pattern.matrix, config);
+    Pattern {
+        id: format!("{}+noise", pattern.id),
+        name: format!("{} (with background noise)", pattern.name),
+        relevant_to: pattern.relevant_to.clone(),
+        explanation: format!(
+            "{} {} cells of random background traffic have been added; the underlying pattern is still visible.",
+            pattern.explanation, noisy_cells
+        ),
+        hint: pattern.hint.clone(),
+        matrix,
+        colors: pattern.colors.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddos;
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let p = ddos::attack();
+        let config = NoiseConfig { seed: 7, ..NoiseConfig::default() };
+        let a = add_background_noise(&p, &config);
+        let b = add_background_noise(&p, &config);
+        assert_eq!(a.matrix, b.matrix);
+        let c = add_background_noise(&p, &NoiseConfig { seed: 8, ..config });
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn noise_preserves_the_original_signal() {
+        let p = ddos::attack();
+        let noisy = add_background_noise(
+            &p,
+            &NoiseConfig { cell_probability: 0.3, seed: 1, ..NoiseConfig::default() },
+        );
+        // Every original non-zero cell keeps at least its original value.
+        for (r, c, v) in p.matrix.iter_nonzero() {
+            assert!(noisy.matrix.get(r, c).unwrap() >= v);
+        }
+        assert!(noisy.matrix.total_packets() > p.matrix.total_packets());
+        assert!(noisy.id.ends_with("+noise"));
+    }
+
+    #[test]
+    fn zero_probability_adds_nothing() {
+        let p = ddos::backscatter();
+        let (noisy, cells) = add_noise_to_matrix(
+            &p.matrix,
+            &NoiseConfig { cell_probability: 0.0, seed: 3, ..NoiseConfig::default() },
+        );
+        assert_eq!(cells, 0);
+        assert_eq!(noisy, p.matrix);
+    }
+
+    #[test]
+    fn self_loops_respect_configuration() {
+        let p = ddos::attack();
+        let config = NoiseConfig {
+            cell_probability: 1.0,
+            allow_self_loops: false,
+            overlay_existing: false,
+            max_packets: 1,
+            seed: 0,
+        };
+        let (noisy, _) = add_noise_to_matrix(&p.matrix, &config);
+        for i in 0..noisy.dimension() {
+            assert_eq!(noisy.get(i, i), Some(0), "diagonal must stay empty");
+        }
+        let with_loops = NoiseConfig { allow_self_loops: true, ..config };
+        let (noisy, _) = add_noise_to_matrix(&p.matrix, &with_loops);
+        assert!((0..noisy.dimension()).any(|i| noisy.get(i, i).unwrap() > 0));
+    }
+
+    #[test]
+    fn full_probability_fills_every_empty_off_diagonal_cell() {
+        let p = ddos::botnet_clients();
+        let config = NoiseConfig {
+            cell_probability: 1.0,
+            max_packets: 2,
+            overlay_existing: false,
+            allow_self_loops: false,
+            seed: 11,
+        };
+        let (noisy, cells) = add_noise_to_matrix(&p.matrix, &config);
+        let n = p.matrix.dimension();
+        let empty_off_diagonal = n * n - n - p.matrix.nonzero_count();
+        assert_eq!(cells, empty_off_diagonal);
+        assert_eq!(noisy.nonzero_count(), p.matrix.nonzero_count() + empty_off_diagonal);
+    }
+}

@@ -1,0 +1,182 @@
+//! Basic traffic topologies (paper Fig. 6).
+//!
+//! "The basic traffic topologies module presents traffic patterns shown for
+//! isolated links, single links, internal supernodes, and external supernodes
+//! with additional color coding to help provide context for these patterns."
+//!
+//! All patterns use the paper's standard 10-node labelling
+//! (`WS1-3, SRV1, EXT1-2, ADV1-4`) and the hint points at the multi-temporal
+//! traffic analysis paper the figure references ([50] in the paper).
+
+use crate::{Pattern, DEFAULT_PACKETS};
+use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
+
+/// Hint reference attached to the topology patterns (reference [50]).
+pub const TOPOLOGY_HINT: &str =
+    "Kepner et al., 'Multi-temporal analysis and scaling relations of 100,000,000,000 network packets', HPEC 2020";
+
+fn base() -> (LabelSet, TrafficMatrix, ColorMatrix) {
+    let labels = LabelSet::paper_default_10();
+    let matrix = TrafficMatrix::zeros(labels.clone());
+    let colors = ColorMatrix::from_label_classes(&labels);
+    (labels, matrix, colors)
+}
+
+/// Fig. 6a — isolated links: pairs of nodes that exchange traffic exclusively
+/// with each other.
+pub fn isolated_links() -> Pattern {
+    let (_labels, mut m, colors) = base();
+    // Three isolated pairs, one per space: WS1↔WS2, EXT1↔EXT2, ADV3↔ADV4.
+    for (a, b) in [(0usize, 1usize), (4, 5), (8, 9)] {
+        m.set(a, b, DEFAULT_PACKETS).unwrap();
+        m.set(b, a, DEFAULT_PACKETS).unwrap();
+    }
+    Pattern::new(
+        "topology/isolated_links",
+        "Isolated Links",
+        "Isolated links",
+        "Each pair of nodes exchanges traffic only with its partner, forming links that are disconnected from the rest of the network.",
+        Some(TOPOLOGY_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 6b — single links: individual one-directional flows between otherwise
+/// quiet nodes.
+pub fn single_links() -> Pattern {
+    let (_labels, mut m, colors) = base();
+    // One-directional links, each node participating in at most one.
+    m.set(0, 3, DEFAULT_PACKETS).unwrap(); // WS1 → SRV1
+    m.set(4, 1, DEFAULT_PACKETS).unwrap(); // EXT1 → WS2
+    m.set(6, 5, DEFAULT_PACKETS).unwrap(); // ADV1 → EXT2
+    m.set(8, 7, DEFAULT_PACKETS).unwrap(); // ADV3 → ADV2
+    Pattern::new(
+        "topology/single_links",
+        "Single Links",
+        "Single links",
+        "Each flow is a lone source-to-destination link with no reply traffic and no other activity at either endpoint.",
+        Some(TOPOLOGY_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 6c — internal supernode: a node inside the defended network (the
+/// server) communicating with many peers.
+pub fn internal_supernode() -> Pattern {
+    let (labels, mut m, colors) = base();
+    let hub = labels.index_of("SRV1").expect("SRV1 exists");
+    // Every workstation and external host talks to the server and gets replies.
+    for peer in [0usize, 1, 2, 4, 5] {
+        m.set(peer, hub, DEFAULT_PACKETS).unwrap();
+        m.set(hub, peer, 1).unwrap();
+    }
+    Pattern::new(
+        "topology/internal_supernode",
+        "Internal Supernode",
+        "Internal supernode",
+        "A single node inside the defended network (the server) exchanges traffic with many peers, dominating one row and one column of the matrix.",
+        Some(TOPOLOGY_HINT),
+        m,
+        colors,
+    )
+}
+
+/// Fig. 6d — external supernode: a node outside the defended network acting as
+/// the hub.
+pub fn external_supernode() -> Pattern {
+    let (labels, mut m, colors) = base();
+    let hub = labels.index_of("EXT1").expect("EXT1 exists");
+    for peer in [0usize, 1, 2, 3, 6, 7] {
+        m.set(peer, hub, 1).unwrap();
+        m.set(hub, peer, DEFAULT_PACKETS).unwrap();
+    }
+    Pattern::new(
+        "topology/external_supernode",
+        "External Supernode",
+        "External supernode",
+        "A single node in grey space is the hub of the traffic: many internal and external peers all communicate through it.",
+        Some(TOPOLOGY_HINT),
+        m,
+        colors,
+    )
+}
+
+/// All four panels of Fig. 6 in figure order.
+pub fn all() -> Vec<Pattern> {
+    vec![isolated_links(), single_links(), internal_supernode(), external_supernode()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_matrix::{CellColor, MatrixProfile, NodeClass};
+
+    #[test]
+    fn isolated_links_are_actually_isolated() {
+        let p = isolated_links();
+        let profile = MatrixProfile::of(&p.matrix);
+        assert_eq!(profile.isolated_pairs, vec![(0, 1), (4, 5), (8, 9)]);
+        assert!(p.matrix.is_symmetric());
+        assert_eq!(profile.supernodes, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_links_have_fanout_one_and_no_replies() {
+        let p = single_links();
+        assert!(!p.matrix.is_symmetric());
+        for fanout in p.matrix.out_fanout() {
+            assert!(fanout <= 1);
+        }
+        for fanout in p.matrix.in_fanout() {
+            assert!(fanout <= 1);
+        }
+        assert_eq!(p.matrix.nonzero_count(), 4);
+    }
+
+    #[test]
+    fn internal_supernode_is_the_server() {
+        let p = internal_supernode();
+        let profile = MatrixProfile::of(&p.matrix);
+        let srv = p.matrix.labels().index_of("SRV1").unwrap();
+        assert_eq!(profile.supernodes, vec![srv]);
+        assert!(NodeClass::from_label("SRV1").is_blue());
+        assert!(profile.degrees.max_fanout[srv] >= 5);
+    }
+
+    #[test]
+    fn external_supernode_is_in_grey_space() {
+        let p = external_supernode();
+        let profile = MatrixProfile::of(&p.matrix);
+        let ext = p.matrix.labels().index_of("EXT1").unwrap();
+        assert_eq!(profile.supernodes, vec![ext]);
+        assert!(NodeClass::from_label("EXT1").is_grey());
+    }
+
+    #[test]
+    fn colors_follow_label_classes() {
+        for p in all() {
+            // A blue→adv cell is red-coded in every topology pattern's color plane.
+            assert_eq!(p.colors.get(0, 9), Some(CellColor::Red));
+            assert_eq!(p.colors.get(9, 0), Some(CellColor::Blue));
+            assert_eq!(p.colors.get(4, 4), Some(CellColor::Grey));
+        }
+    }
+
+    #[test]
+    fn all_returns_figure_order() {
+        let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["Isolated Links", "Single Links", "Internal Supernode", "External Supernode"]
+        );
+    }
+
+    #[test]
+    fn hints_reference_the_scaling_paper() {
+        for p in all() {
+            assert_eq!(p.hint.as_deref(), Some(TOPOLOGY_HINT));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # tw-quiz
+//!
+//! The question side of Traffic Warehouse: presenting a module's
+//! multiple-choice question with shuffled options ("Traffic Warehouse will
+//! randomize the list that has the answers when they are displayed, so the
+//! first element will not always be the first option given"), recording the
+//! student's responses, scoring a session and computing the assessment
+//! statistics used by the 3-option-vs-4-option experiment (DESIGN.md E-S3).
+
+pub mod assessment;
+pub mod presentation;
+pub mod score;
+pub mod session;
+
+pub use assessment::{AssessmentDesign, AssessmentStats};
+pub use presentation::{PresentedQuestion, ShuffleSeed};
+pub use score::{QuestionOutcome, SessionScore};
+pub use session::{QuizSession, ResponseRecord};

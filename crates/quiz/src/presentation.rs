@@ -1,0 +1,122 @@
+//! Presenting a question with shuffled answer options.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tw_module::Question;
+
+/// A deterministic seed for answer shuffling, so a presentation can be
+/// reproduced (e.g. when regenerating a figure or replaying a session log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuffleSeed(pub u64);
+
+/// A question as shown on screen: options in display order, with the index of
+/// the correct option tracked through the shuffle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresentedQuestion {
+    /// The question text.
+    pub text: String,
+    /// Answer options in display order.
+    pub options: Vec<String>,
+    /// Index into `options` of the correct answer.
+    pub correct_index: usize,
+    /// For each display position, the index of that option in the authored list.
+    pub authored_indices: Vec<usize>,
+}
+
+impl PresentedQuestion {
+    /// Shuffle a module question for display.
+    pub fn present(question: &Question, seed: ShuffleSeed) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.0);
+        let mut order: Vec<usize> = (0..question.answers.len()).collect();
+        order.shuffle(&mut rng);
+        let options: Vec<String> = order.iter().map(|&i| question.answers[i].clone()).collect();
+        let correct_index = order
+            .iter()
+            .position(|&i| i == question.correct_answer_element)
+            .unwrap_or(0);
+        PresentedQuestion {
+            text: question.text.clone(),
+            options,
+            correct_index,
+            authored_indices: order,
+        }
+    }
+
+    /// The correct answer's display text.
+    pub fn correct_answer(&self) -> &str {
+        &self.options[self.correct_index]
+    }
+
+    /// Whether choosing display option `index` is correct.
+    pub fn is_correct(&self, index: usize) -> bool {
+        index == self.correct_index
+    }
+
+    /// Number of options.
+    pub fn option_count(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Render the question as terminal text with `A)`, `B)`, … option letters.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{}\n", self.text);
+        for (i, option) in self.options.iter().enumerate() {
+            let letter = (b'A' + i as u8) as char;
+            out.push_str(&format!("  {letter}) {option}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn question() -> Question {
+        Question {
+            text: "How many packets did WS1 send to ADV4?".into(),
+            answers: vec!["0".into(), "1".into(), "2".into()],
+            correct_answer_element: 2,
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_options_and_tracks_correct_answer() {
+        let q = question();
+        for seed in 0..50u64 {
+            let p = PresentedQuestion::present(&q, ShuffleSeed(seed));
+            assert_eq!(p.option_count(), 3);
+            let mut sorted = p.options.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec!["0", "1", "2"]);
+            assert_eq!(p.correct_answer(), "2");
+            assert!(p.is_correct(p.correct_index));
+            assert_eq!(p.authored_indices.len(), 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed_and_varies_across_seeds() {
+        let q = question();
+        let a = PresentedQuestion::present(&q, ShuffleSeed(1));
+        let b = PresentedQuestion::present(&q, ShuffleSeed(1));
+        assert_eq!(a, b);
+        // Across many seeds the correct answer must not always land first:
+        // that is the whole point of shuffling.
+        let first_positions: Vec<usize> =
+            (0..32).map(|s| PresentedQuestion::present(&q, ShuffleSeed(s)).correct_index).collect();
+        assert!(first_positions.iter().any(|&i| i != 0));
+        assert!(first_positions.iter().any(|&i| i == 0));
+    }
+
+    #[test]
+    fn text_rendering_includes_letters() {
+        let p = PresentedQuestion::present(&question(), ShuffleSeed(3));
+        let text = p.to_text();
+        assert!(text.contains("A)"));
+        assert!(text.contains("B)"));
+        assert!(text.contains("C)"));
+        assert!(text.starts_with("How many packets"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Scoring of individual questions and whole sessions.
+
+/// The outcome of answering (or skipping) one module's question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuestionOutcome {
+    /// The student picked the correct option.
+    Correct,
+    /// The student picked a distractor.
+    Incorrect,
+    /// The module had its question toggled off, or the student skipped it.
+    Skipped,
+}
+
+/// Aggregate score for one play-through of a bundle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionScore {
+    /// Number of questions answered correctly.
+    pub correct: usize,
+    /// Number answered incorrectly.
+    pub incorrect: usize,
+    /// Number skipped (including question-less modules).
+    pub skipped: usize,
+}
+
+impl SessionScore {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: QuestionOutcome) {
+        match outcome {
+            QuestionOutcome::Correct => self.correct += 1,
+            QuestionOutcome::Incorrect => self.incorrect += 1,
+            QuestionOutcome::Skipped => self.skipped += 1,
+        }
+    }
+
+    /// Total questions seen (answered or skipped).
+    pub fn total(&self) -> usize {
+        self.correct + self.incorrect + self.skipped
+    }
+
+    /// Questions actually answered.
+    pub fn answered(&self) -> usize {
+        self.correct + self.incorrect
+    }
+
+    /// Fraction of answered questions that were correct, in `[0, 1]`.
+    /// Returns `None` when nothing was answered.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.answered() == 0 {
+            None
+        } else {
+            Some(self.correct as f64 / self.answered() as f64)
+        }
+    }
+
+    /// A letter-style summary line for the end-of-session screen.
+    pub fn summary(&self) -> String {
+        match self.accuracy() {
+            Some(acc) => format!(
+                "{}/{} correct ({:.0}%), {} skipped",
+                self.correct,
+                self.answered(),
+                acc * 100.0,
+                self.skipped
+            ),
+            None => format!("no questions answered, {} skipped", self.skipped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_accuracy() {
+        let mut s = SessionScore::default();
+        s.record(QuestionOutcome::Correct);
+        s.record(QuestionOutcome::Correct);
+        s.record(QuestionOutcome::Incorrect);
+        s.record(QuestionOutcome::Skipped);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.answered(), 3);
+        assert!((s.accuracy().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.summary().contains("2/3"));
+        assert!(s.summary().contains("1 skipped"));
+    }
+
+    #[test]
+    fn empty_session_has_no_accuracy() {
+        let s = SessionScore::default();
+        assert_eq!(s.accuracy(), None);
+        assert!(s.summary().contains("no questions answered"));
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn all_skipped_session() {
+        let mut s = SessionScore::default();
+        for _ in 0..5 {
+            s.record(QuestionOutcome::Skipped);
+        }
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.answered(), 0);
+        assert_eq!(s.accuracy(), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cameras: the top-down 2-D view and the orbiting 3-D view.
+
+/// The projection used by a camera.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Projection {
+    /// Orthographic projection with the given half-extent of the view volume.
+    Orthographic { half_extent: f64 },
+    /// Perspective projection with the given vertical field of view in radians.
+    Perspective { fov_y: f64 },
+}
+
+/// A simple look-at camera.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Camera position in world space.
+    pub eye: [f64; 3],
+    /// The point the camera looks at.
+    pub target: [f64; 3],
+    /// The up direction.
+    pub up: [f64; 3],
+    /// Projection parameters.
+    pub projection: Projection,
+}
+
+/// The rotation step applied per Q/E key press, in radians (15°).
+pub const ROTATE_STEP: f64 = std::f64::consts::PI / 12.0;
+
+impl Camera {
+    /// The 2-D view: an orthographic camera looking straight down at the
+    /// centre of a warehouse floor spanning `extent × extent` world units.
+    pub fn top_down(extent: f64) -> Self {
+        Camera {
+            eye: [extent / 2.0, extent * 2.0, extent / 2.0],
+            target: [extent / 2.0, 0.0, extent / 2.0],
+            // Looking straight down, so "up" on screen maps to -z (row 0 at the top).
+            up: [0.0, 0.0, -1.0],
+            projection: Projection::Orthographic { half_extent: extent * 0.55 },
+        }
+    }
+
+    /// The 3-D view: a perspective camera orbiting the floor centre at the
+    /// given yaw angle (radians). Yaw 0 looks from the front-right corner.
+    pub fn orbit(extent: f64, yaw: f64) -> Self {
+        let centre = [extent / 2.0, 0.0, extent / 2.0];
+        let radius = extent * 1.4;
+        let height = extent * 0.9;
+        let eye = [
+            centre[0] + radius * yaw.cos(),
+            height,
+            centre[2] + radius * yaw.sin(),
+        ];
+        Camera {
+            eye,
+            target: centre,
+            up: [0.0, 1.0, 0.0],
+            projection: Projection::Perspective { fov_y: 50f64.to_radians() },
+        }
+    }
+
+    /// The orbit camera after `steps` presses of E (positive) or Q (negative).
+    pub fn orbit_steps(extent: f64, steps: i32) -> Self {
+        Self::orbit(extent, steps as f64 * ROTATE_STEP)
+    }
+
+    /// Transform a world-space point into view space (x right, y up, z depth
+    /// away from the camera).
+    pub fn view_transform(&self, point: [f64; 3]) -> [f64; 3] {
+        let forward = normalize(sub(self.target, self.eye));
+        let right = normalize(cross(forward, self.up));
+        let true_up = cross(right, forward);
+        let rel = sub(point, self.eye);
+        [dot(rel, right), dot(rel, true_up), dot(rel, forward)]
+    }
+
+    /// Project a world-space point to normalized device coordinates
+    /// `([-1,1], [-1,1])` plus depth. Returns `None` when the point is behind
+    /// the camera (perspective only).
+    pub fn project(&self, point: [f64; 3]) -> Option<([f64; 2], f64)> {
+        let view = self.view_transform(point);
+        match self.projection {
+            Projection::Orthographic { half_extent } => {
+                Some(([view[0] / half_extent, view[1] / half_extent], view[2]))
+            }
+            Projection::Perspective { fov_y } => {
+                if view[2] <= 1e-6 {
+                    return None;
+                }
+                let scale = 1.0 / (fov_y / 2.0).tan();
+                Some(([view[0] * scale / view[2], view[1] * scale / view[2]], view[2]))
+            }
+        }
+    }
+
+    /// Map normalized device coordinates to pixel coordinates for a buffer.
+    pub fn ndc_to_pixel(ndc: [f64; 2], width: usize, height: usize) -> [f64; 2] {
+        [
+            (ndc[0] * 0.5 + 0.5) * (width.saturating_sub(1)) as f64,
+            (1.0 - (ndc[1] * 0.5 + 0.5)) * (height.saturating_sub(1)) as f64,
+        ]
+    }
+}
+
+pub(crate) fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+pub(crate) fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+}
+
+pub(crate) fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+pub(crate) fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let len = dot(v, v).sqrt();
+    if len == 0.0 {
+        [0.0; 3]
+    } else {
+        [v[0] / len, v[1] / len, v[2] / len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_down_camera_sees_the_floor_centre_at_the_image_centre() {
+        let cam = Camera::top_down(10.0);
+        let (ndc, depth) = cam.project([5.0, 0.0, 5.0]).unwrap();
+        assert!(ndc[0].abs() < 1e-9 && ndc[1].abs() < 1e-9);
+        assert!(depth > 0.0);
+        // A corner of the floor lands inside the view volume.
+        let (corner, _) = cam.project([0.0, 0.0, 0.0]).unwrap();
+        assert!(corner[0].abs() <= 1.0 && corner[1].abs() <= 1.0);
+    }
+
+    #[test]
+    fn top_down_row_zero_is_at_the_top_of_the_image() {
+        let cam = Camera::top_down(10.0);
+        // Smaller z (row 0) should project to larger NDC y (top of the image).
+        let (near_row0, _) = cam.project([5.0, 0.0, 1.0]).unwrap();
+        let (near_row9, _) = cam.project([5.0, 0.0, 9.0]).unwrap();
+        assert!(near_row0[1] > near_row9[1]);
+    }
+
+    #[test]
+    fn orbit_rotation_moves_the_eye_but_keeps_the_target() {
+        let a = Camera::orbit_steps(10.0, 0);
+        let b = Camera::orbit_steps(10.0, 2);
+        assert_eq!(a.target, b.target);
+        assert_ne!(a.eye, b.eye);
+        // A full 24-step revolution returns to the start (within rounding).
+        let full = Camera::orbit_steps(10.0, 24);
+        for (x, y) in a.eye.iter().zip(full.eye.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perspective_discards_points_behind_the_camera() {
+        let cam = Camera::orbit(10.0, 0.0);
+        let behind = [cam.eye[0] + 100.0, cam.eye[1], cam.eye[2]];
+        assert!(cam.project(behind).is_none());
+        assert!(cam.project(cam.target).is_some());
+    }
+
+    #[test]
+    fn ndc_to_pixel_maps_corners() {
+        assert_eq!(Camera::ndc_to_pixel([-1.0, 1.0], 101, 51), [0.0, 0.0]);
+        assert_eq!(Camera::ndc_to_pixel([1.0, -1.0], 101, 51), [100.0, 50.0]);
+        let centre = Camera::ndc_to_pixel([0.0, 0.0], 101, 51);
+        assert_eq!(centre, [50.0, 25.0]);
+    }
+
+    #[test]
+    fn view_transform_depth_increases_away_from_camera() {
+        let cam = Camera::top_down(10.0);
+        let high = cam.view_transform([5.0, 5.0, 5.0]);
+        let low = cam.view_transform([5.0, 0.0, 5.0]);
+        assert!(low[2] > high[2], "points farther below the camera have larger depth");
+    }
+}

@@ -1,0 +1,33 @@
+//! # tw-render
+//!
+//! A headless software renderer standing in for Godot's viewport.
+//!
+//! The paper's figures are screenshots of two views of the warehouse: the
+//! top-down 2-D view the student starts in ("how they would generally see a
+//! matrix in a spreadsheet, a textbook, or a presentation") and the rotatable
+//! 3-D view entered with the spacebar. This crate regenerates both views
+//! without a GPU:
+//!
+//! * [`framebuffer::Framebuffer`] — an RGB + depth buffer with PPM and ASCII
+//!   output (the ASCII output is what tests and benches assert against);
+//! * [`camera::Camera`] — the top-down orthographic camera and the orbiting
+//!   perspective camera with the Q/E rotation steps;
+//! * [`raster`] — depth-tested triangle rasterization with simple directional
+//!   shading;
+//! * [`scene::RenderScene`] — a list of placed voxel meshes;
+//! * [`view2d`] — the spreadsheet-style matrix view;
+//! * [`legibility`] — the packet-count legibility model behind the paper's
+//!   "fewer than 15 packets … displays well" guidance (experiment E-S1).
+
+pub mod camera;
+pub mod framebuffer;
+pub mod legibility;
+pub mod raster;
+pub mod scene;
+pub mod view2d;
+
+pub use camera::{Camera, Projection};
+pub use framebuffer::Framebuffer;
+pub use legibility::{legibility_score, stack_layout, DISPLAY_LIMIT};
+pub use scene::{PlacedMesh, RenderScene};
+pub use view2d::render_matrix_2d;

@@ -1,0 +1,144 @@
+//! Triangle rasterization with depth testing and flat directional shading.
+
+use crate::camera::{dot, normalize, Camera};
+use crate::framebuffer::Framebuffer;
+
+/// The directional light used for flat shading (normalized at use site).
+const LIGHT_DIR: [f64; 3] = [0.4, 1.0, 0.3];
+/// Ambient term so faces pointing away from the light stay visible.
+const AMBIENT: f64 = 0.35;
+
+/// Rasterize one triangle given in world space.
+///
+/// `color` is the base RGB; the face normal modulates it with a simple
+/// Lambertian term. Triangles behind the camera are skipped.
+pub fn draw_triangle(
+    fb: &mut Framebuffer,
+    camera: &Camera,
+    vertices: [[f64; 3]; 3],
+    normal: [f64; 3],
+    color: [f64; 3],
+) {
+    let mut projected = [[0.0f64; 2]; 3];
+    let mut depths = [0.0f64; 3];
+    for (i, v) in vertices.iter().enumerate() {
+        match camera.project(*v) {
+            Some((ndc, depth)) => {
+                projected[i] = Camera::ndc_to_pixel(ndc, fb.width(), fb.height());
+                depths[i] = depth;
+            }
+            None => return,
+        }
+    }
+
+    // Flat shading from the face normal.
+    let n = normalize(normal);
+    let l = normalize(LIGHT_DIR);
+    let diffuse = dot(n, l).max(0.0);
+    let intensity = (AMBIENT + (1.0 - AMBIENT) * diffuse).min(1.0);
+    let shaded = [color[0] * intensity, color[1] * intensity, color[2] * intensity];
+
+    // Bounding box clipped to the framebuffer.
+    let min_x = projected.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_x = projected.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max).ceil().min((fb.width() - 1) as f64) as usize;
+    let min_y = projected.iter().map(|p| p[1]).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_y = projected.iter().map(|p| p[1]).fold(f64::NEG_INFINITY, f64::max).ceil().min((fb.height() - 1) as f64) as usize;
+    if min_x > max_x || min_y > max_y {
+        return;
+    }
+
+    let area = edge(projected[0], projected[1], projected[2]);
+    if area.abs() < 1e-12 {
+        return; // Degenerate triangle.
+    }
+
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let p = [x as f64 + 0.5, y as f64 + 0.5];
+            let w0 = edge(projected[1], projected[2], p) / area;
+            let w1 = edge(projected[2], projected[0], p) / area;
+            let w2 = edge(projected[0], projected[1], p) / area;
+            // Accept both windings so callers need not back-face cull.
+            let inside = (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+            if inside {
+                let depth = w0 * depths[0] + w1 * depths[1] + w2 * depths[2];
+                fb.set_pixel(x, y, depth, shaded);
+            }
+        }
+    }
+}
+
+fn edge(a: [f64; 2], b: [f64; 2], p: [f64; 2]) -> f64 {
+    (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_covers_pixels_and_respects_depth() {
+        let cam = Camera::top_down(10.0);
+        let mut fb = Framebuffer::new(32, 32);
+        fb.clear([0.0; 3]);
+        // A floor-plane triangle covering roughly half the view.
+        draw_triangle(
+            &mut fb,
+            &cam,
+            [[0.0, 0.0, 0.0], [10.0, 0.0, 0.0], [0.0, 0.0, 10.0]],
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+        );
+        let covered_floor = fb.covered_pixels();
+        assert!(covered_floor > 100, "covered {covered_floor}");
+
+        // A smaller triangle *above* the floor (closer to the top-down camera)
+        // must overwrite; one below must not.
+        draw_triangle(
+            &mut fb,
+            &cam,
+            [[1.0, 2.0, 1.0], [3.0, 2.0, 1.0], [1.0, 2.0, 3.0]],
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0],
+        );
+        let has_red = (0..32).any(|y| (0..32).any(|x| {
+            let p = fb.pixel(x, y);
+            p[0] > 0.3 && p[1] < 0.2
+        }));
+        assert!(has_red, "the elevated triangle must be visible");
+    }
+
+    #[test]
+    fn degenerate_and_behind_camera_triangles_are_skipped() {
+        let cam = Camera::orbit(10.0, 0.0);
+        let mut fb = Framebuffer::new(16, 16);
+        // Degenerate (zero area).
+        draw_triangle(&mut fb, &cam, [[1.0, 0.0, 1.0]; 3], [0.0, 1.0, 0.0], [1.0; 3]);
+        assert_eq!(fb.covered_pixels(), 0);
+        // Behind the camera.
+        let behind = [cam.eye[0] + 50.0, cam.eye[1], cam.eye[2]];
+        draw_triangle(&mut fb, &cam, [behind, behind, behind], [0.0, 1.0, 0.0], [1.0; 3]);
+        assert_eq!(fb.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn shading_darkens_faces_pointing_away_from_the_light() {
+        let cam = Camera::top_down(4.0);
+        let mut up = Framebuffer::new(16, 16);
+        let mut down = Framebuffer::new(16, 16);
+        let verts = [[0.0, 0.0, 0.0], [4.0, 0.0, 0.0], [0.0, 0.0, 4.0]];
+        draw_triangle(&mut up, &cam, verts, [0.0, 1.0, 0.0], [1.0; 3]);
+        draw_triangle(&mut down, &cam, verts, [0.0, -1.0, 0.0], [1.0; 3]);
+        let brightness = |fb: &Framebuffer| -> f64 {
+            let mut total = 0.0;
+            for y in 0..16 {
+                for x in 0..16 {
+                    total += fb.pixel(x, y)[1];
+                }
+            }
+            total
+        };
+        assert!(brightness(&up) > brightness(&down));
+        assert!(brightness(&down) > 0.0, "ambient keeps back faces visible");
+    }
+}

@@ -1,0 +1,151 @@
+//! The abstract syntax tree for the GDScript subset.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition, string or array concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `null`, `true`, `false`, integer, float or string literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// A variable reference.
+    Ident(String),
+    /// An array literal.
+    Array(Vec<Expr>),
+    /// `$"path"` — a node lookup relative to the script's node.
+    NodePath(String),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.attr`.
+    Attr(Box<Expr>, String),
+    /// `callee(args)`; `callee` may be an identifier (global/builtin function)
+    /// or an attribute access (method call).
+    Call(Box<Expr>, Vec<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `not expr`.
+    Not(Box<Expr>),
+    /// `-expr`.
+    Neg(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A bare expression (usually a call).
+    Expr(Expr),
+    /// `var name = expr` (local declaration).
+    VarDecl { name: String, init: Option<Expr> },
+    /// `target = expr`, `target += expr`, `target -= expr`.
+    Assign { target: Expr, op: AssignOp, value: Expr },
+    /// `if cond: … elif …: … else: …`
+    If { branches: Vec<(Expr, Vec<Stmt>)>, else_body: Vec<Stmt> },
+    /// `for var in iterable: body`
+    For { var: String, iterable: Expr, body: Vec<Stmt> },
+    /// `match expr:` with literal or `_` arms.
+    Match { subject: Expr, arms: Vec<(MatchPattern, Vec<Stmt>)> },
+    /// `return expr?`
+    Return(Option<Expr>),
+    /// `pass`
+    Pass,
+}
+
+/// The assignment flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+}
+
+/// A `match` arm pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchPattern {
+    /// A literal value that must compare equal to the subject.
+    Literal(Expr),
+    /// The `_` wildcard.
+    Wildcard,
+}
+
+/// A top-level variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// The variable name.
+    pub name: String,
+    /// Whether it was annotated `@export`.
+    pub exported: bool,
+    /// Whether it was annotated `@onready`.
+    pub onready: bool,
+    /// The declared type annotation, if any (kept for information only).
+    pub type_annotation: Option<String>,
+    /// The initializer expression, if any.
+    pub init: Option<Expr>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// The function name (e.g. `_ready`).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Script {
+    /// The `extends` base class, if declared.
+    pub extends: Option<String>,
+    /// Top-level variable declarations, in source order.
+    pub variables: Vec<VarDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<FuncDecl>,
+}
+
+impl Script {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,290 @@
+//! Tokenizer with Python/GDScript-style significant indentation.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (unescaped).
+    Str(String),
+    /// A line break between statements.
+    Newline,
+    /// The start of an indented block.
+    Indent,
+    /// The end of an indented block.
+    Dedent,
+    /// A punctuation or operator symbol (`(`, `)`, `[`, `]`, `,`, `:`, `.`,
+    /// `+`, `-`, `*`, `/`, `%`, `=`, `==`, `!=`, `<`, `>`, `<=`, `>=`, `+=`,
+    /// `-=`, `$`, `@`).
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Newline => write!(f, "<newline>"),
+            Token::Indent => write!(f, "<indent>"),
+            Token::Dedent => write!(f, "<dedent>"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexing error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// The offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a script into a flat token stream with INDENT/DEDENT markers.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut indent_stack: Vec<usize> = vec![0];
+
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        // Strip comments (not inside strings — module scripts keep strings simple).
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Indentation: tabs count as 4, spaces as 1.
+        let indent: usize = line
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .map(|c| if c == '\t' { 4 } else { 1 })
+            .sum();
+        let current = *indent_stack.last().expect("stack never empty");
+        if indent > current {
+            indent_stack.push(indent);
+            tokens.push(Token::Indent);
+        } else if indent < current {
+            while *indent_stack.last().expect("stack never empty") > indent {
+                indent_stack.pop();
+                tokens.push(Token::Dedent);
+            }
+            if *indent_stack.last().expect("stack never empty") != indent {
+                return Err(LexError { line: line_no, message: "inconsistent indentation".to_string() });
+            }
+        }
+        tokenize_line(line.trim_start(), line_no, &mut tokens)?;
+        tokens.push(Token::Newline);
+    }
+    while indent_stack.len() > 1 {
+        indent_stack.pop();
+        tokens.push(Token::Dedent);
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn tokenize_line(line: &str, line_no: usize, tokens: &mut Vec<Token>) -> Result<(), LexError> {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => {
+                i += 1;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1) {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some(other) => s.push(*other),
+                                None => {
+                                    return Err(LexError { line: line_no, message: "unterminated escape".into() })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(other) => {
+                            s.push(*other);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError { line: line_no, message: "unterminated string".into() })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let value = text.parse::<f64>().map_err(|_| LexError {
+                        line: line_no,
+                        message: format!("bad float literal {text:?}"),
+                    })?;
+                    tokens.push(Token::Float(value));
+                } else {
+                    let value = text.parse::<i64>().map_err(|_| LexError {
+                        line: line_no,
+                        message: format!("bad integer literal {text:?}"),
+                    })?;
+                    tokens.push(Token::Int(value));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            _ => {
+                // Two-character operators first.
+                let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+                let symbol = match two.as_str() {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "+=" => Some("+="),
+                    "-=" => Some("-="),
+                    ":=" => Some(":="),
+                    _ => None,
+                };
+                if let Some(op) = symbol {
+                    tokens.push(Token::Symbol(op));
+                    i += 2;
+                    continue;
+                }
+                let single = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    '{' => "{",
+                    '}' => "}",
+                    ',' => ",",
+                    ':' => ":",
+                    '.' => ".",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '$' => "$",
+                    '@' => "@",
+                    other => {
+                        return Err(LexError {
+                            line: line_no,
+                            message: format!("unexpected character {other:?}"),
+                        })
+                    }
+                };
+                tokens.push(Token::Symbol(single));
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_hello_world() {
+        let tokens = tokenize("func _ready():\n\tHelloWorld()\n").unwrap();
+        assert_eq!(tokens[0], Token::Ident("func".into()));
+        assert_eq!(tokens[1], Token::Ident("_ready".into()));
+        assert!(tokens.contains(&Token::Indent));
+        assert!(tokens.contains(&Token::Dedent));
+        assert_eq!(*tokens.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn strings_numbers_and_operators() {
+        let tokens = tokenize(r#"var x = "a\"b" + 3 * 2.5"#).unwrap();
+        assert!(tokens.contains(&Token::Str("a\"b".into())));
+        assert!(tokens.contains(&Token::Int(3)));
+        assert!(tokens.contains(&Token::Float(2.5)));
+        assert!(tokens.contains(&Token::Symbol("*")));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let tokens = tokenize("# header\n\nvar x = 1 # trailing\n").unwrap();
+        assert_eq!(tokens.iter().filter(|t| matches!(t, Token::Newline)).count(), 1);
+        assert!(!tokens.iter().any(|t| matches!(t, Token::Str(_))));
+    }
+
+    #[test]
+    fn nested_indentation_produces_matching_dedents() {
+        let src = "func a():\n\tif x:\n\t\tprint(1)\n\tprint(2)\nvar y = 1\n";
+        let tokens = tokenize(src).unwrap();
+        let indents = tokens.iter().filter(|t| matches!(t, Token::Indent)).count();
+        let dedents = tokens.iter().filter(|t| matches!(t, Token::Dedent)).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn inconsistent_indentation_is_an_error() {
+        let src = "func a():\n\t\tprint(1)\n\t print(2)\n";
+        assert!(tokenize(src).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("var x = \"abc").is_err());
+        assert!(tokenize("var x = `bad`").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! # tw-script
+//!
+//! A small GDScript-like interpreter.
+//!
+//! The paper's extensibility story rests on GDScript being "similar to Python
+//! and easy to learn" (Fig. 1 compares Hello World in C#, Python and
+//! GDScript), and its implementation section is a single GDScript file — the
+//! pallet-and-label controller. This crate implements enough of the language
+//! to run that exact script against the headless scene tree from `tw-engine`,
+//! demonstrating the same extension path (attach a script to a node, use
+//! `@export`/`@onready` variables, react to `_ready()`).
+//!
+//! Supported subset: `extends`, `@export`/`@onready` variable declarations
+//! with optional type annotations, `func` definitions, `if`/`elif`/`else`,
+//! `for … in …`, `match` with literal and `_` arms, assignment and `+=`,
+//! arrays, dictionaries-as-node-data, indexing, attribute access and method
+//! calls on nodes (`get_children`, `get_child`), `$"path"` node lookups,
+//! `preload`, `print`, `printerr`, `len`, `str`, `int`, `range`, and the usual
+//! arithmetic/comparison/boolean operators.
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, Script, Stmt};
+pub use interp::{Interpreter, ScriptError};
+pub use parser::parse_script;
+
+/// The GDScript Hello World from the paper's Fig. 1(c).
+pub const HELLO_WORLD_GDSCRIPT: &str = r#"
+func _ready():
+	HelloWorld()
+
+func HelloWorld():
+	print("Hello, world!")
+"#;
+
+/// The pallet-and-label controller script from the paper's Section IV,
+/// re-assembled from the listing fragments (with the engine-specific type
+/// annotations kept, as the parser accepts and ignores them).
+pub const PALLET_CONTROLLER_GDSCRIPT: &str = r#"
+extends Node3D
+
+@export var y_axis : Node3D
+@export var x_axis : Node3D
+@export var pallets : Node3D
+@export var pallets_are_colored : bool = false
+@onready var level_data : Node3D = $"../Data"
+@onready var pallet_array : Array = pallets.get_children()
+
+var pallet_color_array : Array = []
+var pallet_default_material : StandardMaterial3D = preload("res://Assets/Objects/pallet_material.tres")
+var pallet_r_material : StandardMaterial3D = preload("res://Assets/Objects/pallet_material_r.tres")
+var pallet_b_material : StandardMaterial3D = preload("res://Assets/Objects/pallet_material_b.tres")
+var pallet_g_material : StandardMaterial3D = preload("res://Assets/Objects/pallet_material_g.tres")
+var pallet_black_material : StandardMaterial3D = preload("res://Assets/Objects/pallet_material_black.tres")
+
+func _ready():
+	for array in level_data.data["traffic_matrix_colors"]:
+		pallet_color_array += array
+	set_labels()
+
+func set_labels():
+	var y_labels : Array = y_axis.get_children()
+	var x_labels : Array = x_axis.get_children()
+	if len(y_labels) != len(x_labels):
+		printerr("Number of y labels does not match number of x labels!")
+	elif len(level_data.data["axis_labels"]) != len(y_labels):
+		printerr("Level data does not match number of labels!")
+	else:
+		var c : int = 0
+		for label in level_data.data["axis_labels"]:
+			y_labels[c].get_child(1).text = label
+			x_labels[c].get_child(1).text = label
+			c += 1
+
+func change_pallet_color():
+	print("Change pallet color button")
+	var c : int = 0
+	if pallets_are_colored:
+		print("Palets are colored! Making them default")
+		for color in pallet_color_array:
+			pallet_array[c].get_child(0).material_override = pallet_default_material
+			c += 1
+		pallets_are_colored = false
+	else:
+		print("Palets are default! Making them colored")
+		for color in pallet_color_array:
+			print("Matching color: " + str(color))
+			match int(color):
+				0: pallet_array[c].get_child(0).material_override = pallet_g_material
+				1: pallet_array[c].get_child(0).material_override = pallet_b_material
+				2: pallet_array[c].get_child(0).material_override = pallet_r_material
+				_: pallet_array[c].get_child(0).material_override = pallet_black_material
+			c += 1
+		pallets_are_colored = true
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_embedded_scripts_parse() {
+        assert!(parse_script(HELLO_WORLD_GDSCRIPT).is_ok());
+        let script = parse_script(PALLET_CONTROLLER_GDSCRIPT).unwrap();
+        assert_eq!(script.extends.as_deref(), Some("Node3D"));
+        assert_eq!(script.functions.len(), 3);
+        assert!(script.functions.iter().any(|f| f.name == "change_pallet_color"));
+        assert_eq!(script.variables.iter().filter(|v| v.exported).count(), 4);
+        assert_eq!(script.variables.iter().filter(|v| v.onready).count(), 2);
+    }
+}

@@ -1,0 +1,543 @@
+//! Recursive-descent parser for the GDScript subset.
+
+use crate::ast::{AssignOp, BinOp, Expr, FuncDecl, MatchPattern, Script, Stmt, VarDecl};
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parse a full script.
+pub fn parse_script(source: &str) -> Result<Script, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_script()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        self.pos += 1;
+        token
+    }
+
+    fn eat_symbol(&mut self, symbol: &str) -> bool {
+        if matches!(self.peek(), Token::Symbol(s) if *s == symbol) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, symbol: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(symbol) {
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected {symbol:?}, found {}", self.peek()) })
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError { message: format!("expected an identifier, found {other}") }),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_script(&mut self) -> Result<Script, ParseError> {
+        let mut script = Script::default();
+        loop {
+            self.skip_newlines();
+            match self.peek().clone() {
+                Token::Eof => break,
+                Token::Ident(word) if word == "extends" => {
+                    self.pos += 1;
+                    script.extends = Some(self.expect_ident()?);
+                }
+                Token::Symbol("@") => {
+                    self.pos += 1;
+                    let annotation = self.expect_ident()?;
+                    let mut decl = self.parse_var_decl()?;
+                    match annotation.as_str() {
+                        "export" => decl.exported = true,
+                        "onready" => decl.onready = true,
+                        other => {
+                            return Err(ParseError { message: format!("unknown annotation @{other}") })
+                        }
+                    }
+                    script.variables.push(decl);
+                }
+                Token::Ident(word) if word == "var" => {
+                    let decl = self.parse_var_decl()?;
+                    script.variables.push(decl);
+                }
+                Token::Ident(word) if word == "func" => {
+                    script.functions.push(self.parse_func()?);
+                }
+                other => {
+                    return Err(ParseError { message: format!("unexpected top-level token {other}") })
+                }
+            }
+        }
+        Ok(script)
+    }
+
+    /// Parse `var name [: Type] [= expr]` (the leading annotation, if any, has
+    /// already been consumed by the caller).
+    fn parse_var_decl(&mut self) -> Result<VarDecl, ParseError> {
+        if !self.eat_ident("var") {
+            return Err(ParseError { message: format!("expected 'var', found {}", self.peek()) });
+        }
+        let name = self.expect_ident()?;
+        let type_annotation = if self.eat_symbol(":") { Some(self.expect_ident()?) } else { None };
+        let init = if self.eat_symbol("=") || self.eat_symbol(":=") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(VarDecl { name, exported: false, onready: false, type_annotation, init })
+    }
+
+    fn parse_func(&mut self) -> Result<FuncDecl, ParseError> {
+        if !self.eat_ident("func") {
+            return Err(ParseError { message: "expected 'func'".to_string() });
+        }
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut params = Vec::new();
+        while !self.eat_symbol(")") {
+            params.push(self.expect_ident()?);
+            if self.eat_symbol(":") {
+                self.expect_ident()?; // parameter type annotation
+            }
+            if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol(")")) {
+                return Err(ParseError { message: "expected ',' or ')' in parameter list".to_string() });
+            }
+        }
+        self.expect_symbol(":")?;
+        let body = self.parse_block()?;
+        Ok(FuncDecl { name, params, body })
+    }
+
+    /// Parse an indented block (after the `:` and its newline).
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.skip_newlines();
+        if !matches!(self.peek(), Token::Indent) {
+            return Err(ParseError { message: format!("expected an indented block, found {}", self.peek()) });
+        }
+        self.pos += 1;
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Dedent => {
+                    self.pos += 1;
+                    break;
+                }
+                Token::Eof => break,
+                _ => body.push(self.parse_stmt()?),
+            }
+        }
+        Ok(body)
+    }
+
+    /// Parse either an inline statement list (same line after `:`) or an
+    /// indented block — `match` arms in the paper use the inline form.
+    fn parse_block_or_inline(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if matches!(self.peek(), Token::Newline) {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(word) if word == "var" => {
+                let decl = self.parse_var_decl()?;
+                Ok(Stmt::VarDecl { name: decl.name, init: decl.init })
+            }
+            Token::Ident(word) if word == "pass" => {
+                self.pos += 1;
+                Ok(Stmt::Pass)
+            }
+            Token::Ident(word) if word == "return" => {
+                self.pos += 1;
+                if matches!(self.peek(), Token::Newline | Token::Eof | Token::Dedent) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    Ok(Stmt::Return(Some(self.parse_expr()?)))
+                }
+            }
+            Token::Ident(word) if word == "if" => self.parse_if(),
+            Token::Ident(word) if word == "for" => {
+                self.pos += 1;
+                let var = self.expect_ident()?;
+                if !self.eat_ident("in") {
+                    return Err(ParseError { message: "expected 'in' in for loop".to_string() });
+                }
+                let iterable = self.parse_expr()?;
+                self.expect_symbol(":")?;
+                let body = self.parse_block_or_inline()?;
+                Ok(Stmt::For { var, iterable, body })
+            }
+            Token::Ident(word) if word == "match" => {
+                self.pos += 1;
+                let subject = self.parse_expr()?;
+                self.expect_symbol(":")?;
+                self.skip_newlines();
+                if !matches!(self.peek(), Token::Indent) {
+                    return Err(ParseError { message: "expected indented match arms".to_string() });
+                }
+                self.pos += 1;
+                let mut arms = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    match self.peek() {
+                        Token::Dedent => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Token::Eof => break,
+                        _ => {
+                            let pattern = if matches!(self.peek(), Token::Ident(w) if w == "_") {
+                                self.pos += 1;
+                                MatchPattern::Wildcard
+                            } else {
+                                MatchPattern::Literal(self.parse_expr()?)
+                            };
+                            self.expect_symbol(":")?;
+                            let body = self.parse_block_or_inline()?;
+                            arms.push((pattern, body));
+                        }
+                    }
+                }
+                Ok(Stmt::Match { subject, arms })
+            }
+            _ => {
+                // Expression or assignment.
+                let expr = self.parse_expr()?;
+                let op = if self.eat_symbol("=") {
+                    Some(AssignOp::Set)
+                } else if self.eat_symbol("+=") {
+                    Some(AssignOp::Add)
+                } else if self.eat_symbol("-=") {
+                    Some(AssignOp::Sub)
+                } else {
+                    None
+                };
+                match op {
+                    Some(op) => {
+                        let value = self.parse_expr()?;
+                        Ok(Stmt::Assign { target: expr, op, value })
+                    }
+                    None => Ok(Stmt::Expr(expr)),
+                }
+            }
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        // Consumes "if".
+        self.pos += 1;
+        let mut branches = Vec::new();
+        let cond = self.parse_expr()?;
+        self.expect_symbol(":")?;
+        branches.push((cond, self.parse_block_or_inline()?));
+        let mut else_body = Vec::new();
+        loop {
+            // `elif` / `else` appear at the same indentation, i.e. right after
+            // the dedent that closed the previous block.
+            self.skip_newlines();
+            if self.eat_ident("elif") {
+                let cond = self.parse_expr()?;
+                self.expect_symbol(":")?;
+                branches.push((cond, self.parse_block_or_inline()?));
+            } else if matches!(self.peek(), Token::Ident(w) if w == "else") {
+                self.pos += 1;
+                self.expect_symbol(":")?;
+                else_body = self.parse_block_or_inline()?;
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt::If { branches, else_body })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_ident("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_ident("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_ident("not") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Symbol("==") => Some(BinOp::Eq),
+            Token::Symbol("!=") => Some(BinOp::Ne),
+            Token::Symbol("<") => Some(BinOp::Lt),
+            Token::Symbol("<=") => Some(BinOp::Le),
+            Token::Symbol(">") => Some(BinOp::Gt),
+            Token::Symbol(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("+") => Some(BinOp::Add),
+                Token::Symbol("-") => Some(BinOp::Sub),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("*") => Some(BinOp::Mul),
+                Token::Symbol("/") => Some(BinOp::Div),
+                Token::Symbol("%") => Some(BinOp::Mod),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol("-") {
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_postfix()
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.eat_symbol(".") {
+                let attr = self.expect_ident()?;
+                expr = Expr::Attr(Box::new(expr), attr);
+            } else if self.eat_symbol("[") {
+                let index = self.parse_expr()?;
+                self.expect_symbol("]")?;
+                expr = Expr::Index(Box::new(expr), Box::new(index));
+            } else if self.eat_symbol("(") {
+                let mut args = Vec::new();
+                while !self.eat_symbol(")") {
+                    args.push(self.parse_expr()?);
+                    if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol(")")) {
+                        return Err(ParseError { message: "expected ',' or ')' in call".to_string() });
+                    }
+                }
+                expr = Expr::Call(Box::new(expr), args);
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Token::Int(i) => Ok(Expr::Int(i)),
+            Token::Float(x) => Ok(Expr::Float(x)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Ident(word) => match word.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" => Ok(Expr::Null),
+                _ => Ok(Expr::Ident(word)),
+            },
+            Token::Symbol("$") => match self.bump() {
+                Token::Str(path) => Ok(Expr::NodePath(path)),
+                Token::Ident(name) => Ok(Expr::NodePath(name)),
+                other => Err(ParseError { message: format!("expected a node path after '$', found {other}") }),
+            },
+            Token::Symbol("[") => {
+                let mut items = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    if self.eat_symbol("]") {
+                        break;
+                    }
+                    items.push(self.parse_expr()?);
+                    self.skip_newlines();
+                    if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol("]")) {
+                        return Err(ParseError { message: "expected ',' or ']' in array".to_string() });
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Token::Symbol("(") => {
+                let inner = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            other => Err(ParseError { message: format!("unexpected token {other}") }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hello_world_functions() {
+        let script = parse_script(crate::HELLO_WORLD_GDSCRIPT).unwrap();
+        assert_eq!(script.functions.len(), 2);
+        assert_eq!(script.functions[0].name, "_ready");
+        assert_eq!(script.functions[0].body.len(), 1);
+        assert!(matches!(script.functions[0].body[0], Stmt::Expr(Expr::Call(..))));
+    }
+
+    #[test]
+    fn parses_annotated_variables() {
+        let script = parse_script("@export var speed : int = 5\n@onready var data = $\"../Data\"\nvar plain = [1, 2,]\n").unwrap();
+        assert_eq!(script.variables.len(), 3);
+        assert!(script.variables[0].exported);
+        assert_eq!(script.variables[0].type_annotation.as_deref(), Some("int"));
+        assert!(script.variables[1].onready);
+        assert!(matches!(script.variables[1].init, Some(Expr::NodePath(ref p)) if p == "../Data"));
+        assert!(matches!(script.variables[2].init, Some(Expr::Array(ref items)) if items.len() == 2));
+    }
+
+    #[test]
+    fn parses_if_elif_else_and_for() {
+        let src = "func f():\n\tif a == 1:\n\t\tprint(1)\n\telif a > 2 and not b:\n\t\tprint(2)\n\telse:\n\t\tprint(3)\n\tfor x in items:\n\t\ttotal += x\n";
+        let script = parse_script(src).unwrap();
+        let body = &script.functions[0].body;
+        assert_eq!(body.len(), 2);
+        match &body[0] {
+            Stmt::If { branches, else_body } => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+        assert!(matches!(body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_match_with_inline_arms() {
+        let src = "func f():\n\tmatch int(color):\n\t\t0: x = 1\n\t\t1: x = 2\n\t\t_: x = 3\n";
+        let script = parse_script(src).unwrap();
+        match &script.functions[0].body[0] {
+            Stmt::Match { arms, .. } => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[2].0, MatchPattern::Wildcard);
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_method_calls_and_indexing_chains() {
+        let src = "func f():\n\ty_labels[c].get_child(1).text = label\n";
+        let script = parse_script(src).unwrap();
+        match &script.functions[0].body[0] {
+            Stmt::Assign { target: Expr::Attr(base, attr), op: AssignOp::Set, .. } => {
+                assert_eq!(attr, "text");
+                assert!(matches!(**base, Expr::Call(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_for_malformed_input() {
+        assert!(parse_script("func f(:\n\tpass\n").is_err());
+        assert!(parse_script("var = 3\n").is_err());
+        assert!(parse_script("func f():\nprint(1)\n").is_err(), "missing indent");
+        assert!(parse_script("@weird var x = 1\n").is_err());
+        assert!(parse_script("if x:\n\tpass\n").is_err(), "statements only allowed in functions");
+    }
+}

@@ -1,0 +1,203 @@
+//! Classroom simulation: measuring learning outcomes.
+//!
+//! The paper's future work asks for "a rapid method of integrating educational
+//! games into already prepared course material and measuring the outcome and
+//! effect on the student". This module closes that loop synthetically: a
+//! simulated class takes a pre-assessment, plays the real game (every learner
+//! drives a real [`tw_game::GameSession`] over a real module bundle), studies
+//! as they play, then takes a post-assessment. The report compares pre/post
+//! accuracy and the in-game score distribution.
+
+use crate::learner::LearnerPopulation;
+use tw_game::GameSession;
+use tw_module::ModuleBundle;
+use tw_quiz::{AssessmentDesign, AssessmentStats};
+
+/// Configuration of one classroom run.
+#[derive(Debug, Clone)]
+pub struct ClassroomConfig {
+    /// Number of simulated students.
+    pub class_size: usize,
+    /// Number of questions on the pre/post assessments.
+    pub assessment_questions: usize,
+    /// Answer options per assessment question (3 per the paper's design).
+    pub assessment_options: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClassroomConfig {
+    fn default() -> Self {
+        ClassroomConfig { class_size: 24, assessment_questions: 12, assessment_options: 3, seed: 7 }
+    }
+}
+
+/// The measured outcome of a classroom run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassroomReport {
+    /// Pre-game assessment statistics (proportion correct).
+    pub pre: AssessmentStats,
+    /// Post-game assessment statistics.
+    pub post: AssessmentStats,
+    /// In-game score statistics (proportion of module questions answered correctly).
+    pub in_game: AssessmentStats,
+    /// Mean knowledge before and after playing.
+    pub knowledge_before: f64,
+    /// Mean knowledge after playing.
+    pub knowledge_after: f64,
+    /// Number of modules each student played.
+    pub modules_played: usize,
+}
+
+impl ClassroomReport {
+    /// The mean improvement in assessment score.
+    pub fn mean_gain(&self) -> f64 {
+        self.post.mean - self.pre.mean
+    }
+}
+
+/// Run a simulated class through a module bundle.
+pub fn run_classroom(bundle: &ModuleBundle, config: &ClassroomConfig) -> ClassroomReport {
+    let mut population = LearnerPopulation::generate(config.class_size, 0.15, 0.75, config.seed);
+    let design = AssessmentDesign {
+        options_per_question: config.assessment_options,
+        question_count: config.assessment_questions,
+    };
+    let knowledge_before = population.mean_knowledge();
+
+    // Pre-assessment.
+    let pre_scores: Vec<f64> = population
+        .learners_mut()
+        .iter_mut()
+        .map(|l| assessment_score(l, &design))
+        .collect();
+
+    // Play the game: every learner drives a real game session over the bundle.
+    let mut in_game_scores = Vec::with_capacity(config.class_size);
+    for learner in population.learners_mut().iter_mut() {
+        let mut session = GameSession::start(bundle.clone(), config.seed ^ learner.id as u64)
+            .expect("bundle modules are valid");
+        // Capture per-question correctness from the learner model while studying
+        // after each module, as the game advances.
+        while !session.is_finished() {
+            let options = session
+                .current_level()
+                .and_then(|l| l.question().map(|q| q.option_count()))
+                .unwrap_or(3);
+            let knows = learner.answers_correctly(options);
+            let choice = {
+                let level = session.current_level().expect("not finished");
+                match level.question() {
+                    Some(q) => {
+                        if knows {
+                            q.correct_index
+                        } else {
+                            (q.correct_index + 1) % q.option_count()
+                        }
+                    }
+                    None => 0,
+                }
+            };
+            session.answer(choice);
+            session.advance().expect("advance succeeds");
+            learner.study();
+        }
+        let score = session.score();
+        let accuracy = score.accuracy().unwrap_or(0.0);
+        in_game_scores.push(accuracy);
+    }
+
+    // Post-assessment.
+    let post_scores: Vec<f64> = population
+        .learners_mut()
+        .iter_mut()
+        .map(|l| assessment_score(l, &design))
+        .collect();
+    let knowledge_after = population.mean_knowledge();
+
+    ClassroomReport {
+        pre: AssessmentStats::from_scores(&pre_scores).expect("non-empty class"),
+        post: AssessmentStats::from_scores(&post_scores).expect("non-empty class"),
+        in_game: AssessmentStats::from_scores(&in_game_scores).expect("non-empty class"),
+        knowledge_before,
+        knowledge_after,
+        modules_played: bundle.len(),
+    }
+}
+
+fn assessment_score(learner: &mut crate::learner::Learner, design: &AssessmentDesign) -> f64 {
+    let correct = (0..design.question_count)
+        .filter(|_| learner.answers_correctly(design.options_per_question))
+        .count();
+    correct as f64 / design.question_count as f64
+}
+
+/// Compare 3-option and 4-option assessment designs over the same population
+/// (experiment E-S3). Returns `(three_option_stats, four_option_stats)` of the
+/// observed score separation between the strongest and weakest quartiles.
+pub fn compare_option_counts(class_size: usize, questions: usize, seed: u64) -> (f64, f64) {
+    let separation = |options: usize| -> f64 {
+        let mut population = LearnerPopulation::generate(class_size, 0.1, 0.9, seed);
+        let design = AssessmentDesign { options_per_question: options, question_count: questions };
+        let mut scores: Vec<(f64, f64)> = population
+            .learners_mut()
+            .iter_mut()
+            .map(|l| (l.knowledge, assessment_score(l, &design)))
+            .collect();
+        scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let quartile = (class_size / 4).max(1);
+        let weakest: f64 = scores[..quartile].iter().map(|(_, s)| s).sum::<f64>() / quartile as f64;
+        let strongest: f64 =
+            scores[class_size - quartile..].iter().map(|(_, s)| s).sum::<f64>() / quartile as f64;
+        strongest - weakest
+    };
+    (separation(3), separation(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_module::library::{basics_bundle, figure_bundle};
+    use tw_patterns::Figure;
+
+    #[test]
+    fn classroom_run_shows_learning_gains() {
+        let bundle = figure_bundle(Figure::Ddos);
+        let report = run_classroom(&bundle, &ClassroomConfig { class_size: 16, ..Default::default() });
+        assert_eq!(report.modules_played, 4);
+        assert!(report.knowledge_after > report.knowledge_before);
+        assert!(report.mean_gain() > 0.0, "post-assessment should improve: {report:?}");
+        assert!(report.pre.mean > 0.2, "guessing floor keeps pre-scores above zero");
+        assert!(report.post.mean <= 1.0);
+        assert_eq!(report.in_game.count, 16);
+    }
+
+    #[test]
+    fn classroom_runs_are_reproducible() {
+        let bundle = basics_bundle();
+        let config = ClassroomConfig { class_size: 8, seed: 11, ..Default::default() };
+        let a = run_classroom(&bundle, &config);
+        let b = run_classroom(&bundle, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_curricula_produce_bigger_gains() {
+        let small = run_classroom(&basics_bundle(), &ClassroomConfig { class_size: 12, ..Default::default() });
+        let mut big_bundle = figure_bundle(Figure::GraphTheory);
+        for m in figure_bundle(Figure::Ddos).modules() {
+            big_bundle.push(m.clone());
+        }
+        let big = run_classroom(&big_bundle, &ClassroomConfig { class_size: 12, ..Default::default() });
+        assert!(big.knowledge_after > small.knowledge_after);
+    }
+
+    #[test]
+    fn four_options_separate_slightly_better_but_both_discriminate() {
+        let (three, four) = compare_option_counts(40, 20, 5);
+        assert!(three > 0.2, "3-option separation {three}");
+        assert!(four > 0.2, "4-option separation {four}");
+        // The paper's point: the gain from a fourth option is modest.
+        assert!((four - three).abs() < 0.25);
+    }
+}

@@ -1,0 +1,234 @@
+//! The technology decision matrices behind Tables I and II.
+//!
+//! The paper selects Godot and MagicaVoxel by comparing candidates on
+//! qualitative criteria ("the emphasis is on availability and ease-of-use so
+//! that others can readily build on the work"). Each table is reproduced here
+//! as a decision matrix: the same cell text the paper prints, plus a numeric
+//! rating per cell and a weight per criterion reflecting the paper's stated
+//! emphasis, so the choice can be recomputed rather than just asserted.
+
+/// One criterion (a table row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criterion {
+    /// The row label, as printed in the paper's table.
+    pub name: &'static str,
+    /// The weight the paper's goals place on this criterion (higher = more important).
+    pub weight: f64,
+}
+
+/// One cell: the text the paper prints plus a 0-5 suitability rating for the
+/// paper's stated goals (free, easy to learn, low-end hardware, editable by
+/// non-game-developers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rating {
+    /// The cell text from the paper.
+    pub text: &'static str,
+    /// Suitability score in `[0, 5]` for an educational game built by a small team.
+    pub score: f64,
+}
+
+/// A full decision matrix (one of the paper's tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionMatrix {
+    /// The table's caption.
+    pub title: &'static str,
+    /// Candidate names (columns).
+    pub candidates: Vec<&'static str>,
+    /// Criteria (rows).
+    pub criteria: Vec<Criterion>,
+    /// `ratings[row][col]` for criterion `row` and candidate `col`.
+    pub ratings: Vec<Vec<Rating>>,
+}
+
+impl DecisionMatrix {
+    /// The weighted total score of each candidate.
+    pub fn scores(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.candidates.len()];
+        for (row, criterion) in self.criteria.iter().enumerate() {
+            for (col, rating) in self.ratings[row].iter().enumerate() {
+                totals[col] += criterion.weight * rating.score;
+            }
+        }
+        totals
+    }
+
+    /// The winning candidate under the weighted criteria.
+    pub fn winner(&self) -> &'static str {
+        let scores = self.scores();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.candidates[best]
+    }
+
+    /// Render the table in the paper's row-per-criterion layout, with the
+    /// weighted totals and winner appended.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{:<22}", "Criterion"));
+        for candidate in &self.candidates {
+            out.push_str(&format!("| {candidate:<28}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(22 + self.candidates.len() * 30));
+        out.push('\n');
+        for (row, criterion) in self.criteria.iter().enumerate() {
+            out.push_str(&format!("{:<22}", criterion.name));
+            for rating in &self.ratings[row] {
+                out.push_str(&format!("| {:<28}", rating.text));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<22}", "Weighted score"));
+        for score in self.scores() {
+            out.push_str(&format!("| {score:<28.2}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("Selected: {}\n", self.winner()));
+        out
+    }
+}
+
+/// Table I — game engine comparison (Godot, Unity, Unreal).
+pub fn engine_comparison() -> DecisionMatrix {
+    DecisionMatrix {
+        title: "Table I: Game engine comparison (Godot vs Unity vs Unreal)",
+        candidates: vec!["Godot", "Unity", "Unreal"],
+        criteria: vec![
+            Criterion { name: "Cost", weight: 2.0 },
+            Criterion { name: "Language Used", weight: 1.5 },
+            Criterion { name: "Can Import .obj", weight: 1.0 },
+            Criterion { name: "Exports to Platform", weight: 1.5 },
+            Criterion { name: "Online Tutorials", weight: 0.75 },
+            Criterion { name: "Asset Store", weight: 0.25 },
+        ],
+        ratings: vec![
+            vec![
+                Rating { text: "Always Free", score: 5.0 },
+                Rating { text: "Free when making less than $100k/yr", score: 4.0 },
+                Rating { text: "Free when making less than $1mil", score: 4.0 },
+            ],
+            vec![
+                Rating { text: "C#, GDScript", score: 5.0 },
+                Rating { text: "C#", score: 3.5 },
+                Rating { text: "C++", score: 2.0 },
+            ],
+            vec![
+                Rating { text: "Yes", score: 5.0 },
+                Rating { text: "Yes", score: 5.0 },
+                Rating { text: "Yes", score: 5.0 },
+            ],
+            vec![
+                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
+                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
+                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
+            ],
+            vec![
+                Rating { text: "Some", score: 3.0 },
+                Rating { text: "Many", score: 5.0 },
+                Rating { text: "Many", score: 5.0 },
+            ],
+            vec![
+                Rating { text: "Almost non-existent", score: 1.0 },
+                Rating { text: "Many high quality assets", score: 5.0 },
+                Rating { text: "Many high quality assets", score: 5.0 },
+            ],
+        ],
+    }
+}
+
+/// Table II — 3-D modeling tool comparison (MagicaVoxel, Blender, Maya).
+pub fn modeling_comparison() -> DecisionMatrix {
+    DecisionMatrix {
+        title: "Table II: Modeling tool comparison (MagicaVoxel vs Blender vs Maya)",
+        candidates: vec!["MagicaVoxel", "Blender", "Maya"],
+        criteria: vec![
+            Criterion { name: "Cost", weight: 2.0 },
+            Criterion { name: "Model Creation", weight: 2.0 },
+            Criterion { name: "Texture Creation", weight: 1.0 },
+            Criterion { name: "Animation", weight: 0.25 },
+            Criterion { name: "Can export to .obj", weight: 1.5 },
+        ],
+        ratings: vec![
+            vec![
+                Rating { text: "Free to use", score: 5.0 },
+                Rating { text: "Free to use", score: 5.0 },
+                Rating { text: "$1,875/yr", score: 1.0 },
+            ],
+            vec![
+                Rating { text: "LEGO-like voxel building", score: 5.0 },
+                Rating { text: "Polygon mesh, digital sculpting", score: 2.5 },
+                Rating { text: "Polygon mesh, digital sculpting", score: 2.5 },
+            ],
+            vec![
+                Rating { text: "Paint-by-voxel, place colored voxel", score: 5.0 },
+                Rating { text: "UV Unwrapping, paint-on-model", score: 2.5 },
+                Rating { text: "UV Unwrapping, paint-on-model", score: 2.5 },
+            ],
+            vec![
+                Rating { text: "Simple animations", score: 3.0 },
+                Rating { text: "Advanced animations", score: 5.0 },
+                Rating { text: "Advanced animations", score: 5.0 },
+            ],
+            vec![
+                Rating { text: "Yes", score: 5.0 },
+                Rating { text: "Yes", score: 5.0 },
+                Rating { text: "Yes", score: 5.0 },
+            ],
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_selects_godot_under_the_papers_criteria() {
+        let table = engine_comparison();
+        assert_eq!(table.winner(), "Godot");
+        assert_eq!(table.candidates.len(), 3);
+        assert_eq!(table.criteria.len(), 6);
+        assert!(table.ratings.iter().all(|row| row.len() == 3));
+        // Unity/Unreal win on the asset store row alone.
+        let asset_row = &table.ratings[5];
+        assert!(asset_row[1].score > asset_row[0].score);
+    }
+
+    #[test]
+    fn table_two_selects_magicavoxel() {
+        let table = modeling_comparison();
+        assert_eq!(table.winner(), "MagicaVoxel");
+        assert_eq!(table.criteria.len(), 5);
+        // Maya is penalized on cost, as in the paper.
+        assert!(table.ratings[0][2].score < table.ratings[0][0].score);
+    }
+
+    #[test]
+    fn rendered_tables_contain_the_papers_cell_text() {
+        let one = engine_comparison().render();
+        assert!(one.contains("Always Free"));
+        assert!(one.contains("C#, GDScript"));
+        assert!(one.contains("Almost non-existent"));
+        assert!(one.contains("Selected: Godot"));
+        let two = modeling_comparison().render();
+        assert!(two.contains("LEGO-like voxel building"));
+        assert!(two.contains("$1,875/yr"));
+        assert!(two.contains("Selected: MagicaVoxel"));
+    }
+
+    #[test]
+    fn scores_respond_to_weights() {
+        let mut table = engine_comparison();
+        // If the asset store were all that mattered, Godot would lose.
+        for c in &mut table.criteria {
+            c.weight = 0.0;
+        }
+        table.criteria[5].weight = 10.0;
+        assert_ne!(table.winner(), "Godot");
+    }
+}

@@ -1,0 +1,170 @@
+//! Simulated learners.
+//!
+//! A learner is modelled with a per-topic knowledge probability: when asked a
+//! question they either know the answer (probability `knowledge`) or guess
+//! uniformly among the options. Playing modules raises their knowledge — the
+//! simple learning model used to exercise the outcome-measurement pipeline the
+//! paper defers to future work.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated student.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Learner {
+    /// Stable identifier within a population.
+    pub id: usize,
+    /// Probability of actually knowing the answer to a question.
+    pub knowledge: f64,
+    /// Per-module knowledge gain from playing a module (diminishing toward 1.0).
+    pub learning_rate: f64,
+    rng_seed: u64,
+    questions_seen: u64,
+}
+
+impl Learner {
+    /// Create a learner with initial knowledge and learning rate.
+    pub fn new(id: usize, knowledge: f64, learning_rate: f64, rng_seed: u64) -> Self {
+        Learner {
+            id,
+            knowledge: knowledge.clamp(0.0, 1.0),
+            learning_rate: learning_rate.clamp(0.0, 1.0),
+            rng_seed,
+            questions_seen: 0,
+        }
+    }
+
+    /// Decide whether the learner answers a question with `options` choices
+    /// correctly. Deterministic given the learner's seed and question history.
+    pub fn answers_correctly(&mut self, options: usize) -> bool {
+        let mut rng = StdRng::seed_from_u64(self.rng_seed.wrapping_add(self.questions_seen));
+        self.questions_seen += 1;
+        if rng.gen_bool(self.knowledge) {
+            true
+        } else {
+            rng.gen_range(0..options.max(1)) == 0
+        }
+    }
+
+    /// Apply the learning effect of playing one module: knowledge moves toward
+    /// 1.0 by the learning rate.
+    pub fn study(&mut self) {
+        self.knowledge += (1.0 - self.knowledge) * self.learning_rate;
+    }
+}
+
+/// A population of learners with diverse starting knowledge.
+#[derive(Debug, Clone)]
+pub struct LearnerPopulation {
+    learners: Vec<Learner>,
+}
+
+impl LearnerPopulation {
+    /// Generate a population of `size` learners. Starting knowledge is spread
+    /// uniformly over `[min_knowledge, max_knowledge]`; the seed makes the
+    /// population reproducible.
+    pub fn generate(size: usize, min_knowledge: f64, max_knowledge: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let learners = (0..size)
+            .map(|id| {
+                let knowledge = if size <= 1 {
+                    min_knowledge
+                } else {
+                    min_knowledge + (max_knowledge - min_knowledge) * id as f64 / (size - 1) as f64
+                };
+                Learner::new(id, knowledge, rng.gen_range(0.05..0.30), rng.gen())
+            })
+            .collect();
+        LearnerPopulation { learners }
+    }
+
+    /// The learners.
+    pub fn learners(&self) -> &[Learner] {
+        &self.learners
+    }
+
+    /// Mutable access to the learners.
+    pub fn learners_mut(&mut self) -> &mut [Learner] {
+        &mut self.learners
+    }
+
+    /// Number of learners.
+    pub fn len(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.learners.is_empty()
+    }
+
+    /// Mean knowledge across the population.
+    pub fn mean_knowledge(&self) -> f64 {
+        if self.learners.is_empty() {
+            return 0.0;
+        }
+        self.learners.iter().map(|l| l.knowledge).sum::<f64>() / self.learners.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledgeable_learners_answer_more_correctly() {
+        let mut expert = Learner::new(0, 0.95, 0.1, 7);
+        let mut novice = Learner::new(1, 0.05, 0.1, 7);
+        let trials = 400;
+        let expert_correct = (0..trials).filter(|_| expert.answers_correctly(3)).count();
+        let novice_correct = (0..trials).filter(|_| novice.answers_correctly(3)).count();
+        assert!(expert_correct > novice_correct);
+        // The novice still clears a third of questions thanks to guessing.
+        assert!(novice_correct as f64 > trials as f64 * 0.15);
+        assert!((expert_correct as f64) > trials as f64 * 0.85);
+    }
+
+    #[test]
+    fn studying_increases_knowledge_with_diminishing_returns() {
+        let mut l = Learner::new(0, 0.2, 0.5, 1);
+        let first_gain = {
+            let before = l.knowledge;
+            l.study();
+            l.knowledge - before
+        };
+        let later_gain = {
+            for _ in 0..5 {
+                l.study();
+            }
+            let before = l.knowledge;
+            l.study();
+            l.knowledge - before
+        };
+        assert!(first_gain > later_gain);
+        assert!(l.knowledge < 1.0);
+        assert!(l.knowledge > 0.9);
+    }
+
+    #[test]
+    fn population_generation_is_reproducible_and_spread() {
+        let a = LearnerPopulation::generate(20, 0.1, 0.9, 3);
+        let b = LearnerPopulation::generate(20, 0.1, 0.9, 3);
+        assert_eq!(a.learners(), b.learners());
+        assert_eq!(a.len(), 20);
+        assert!(!a.is_empty());
+        assert!(a.learners()[0].knowledge < a.learners()[19].knowledge);
+        assert!((a.mean_knowledge() - 0.5).abs() < 0.05);
+        let single = LearnerPopulation::generate(1, 0.3, 0.9, 3);
+        assert_eq!(single.learners()[0].knowledge, 0.3);
+    }
+
+    #[test]
+    fn answers_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut l = Learner::new(0, 0.5, 0.1, seed);
+            (0..50).map(|_| l.answers_correctly(3)).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

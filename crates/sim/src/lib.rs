@@ -1,0 +1,22 @@
+//! # tw-sim
+//!
+//! The simulation layer of the reproduction. It covers the two parts of the
+//! paper that are not code in the original artifact:
+//!
+//! * [`decision`] — the qualitative technology-selection tables (Table I:
+//!   Godot vs Unity vs Unreal; Table II: MagicaVoxel vs Blender vs Maya),
+//!   modelled as weighted decision matrices so the benches can regenerate the
+//!   tables and show that the paper's choices win under its stated criteria;
+//! * [`learner`] — a simulated student population (knowledge + guessing
+//!   model) used for the 3-option-vs-4-option assessment experiment;
+//! * [`classroom`] — driving real [`tw_game::GameSession`]s with simulated
+//!   learners and measuring pre/post outcomes, the measurement pipeline the
+//!   paper's future-work section calls for.
+
+pub mod classroom;
+pub mod decision;
+pub mod learner;
+
+pub use classroom::{ClassroomConfig, ClassroomReport};
+pub use decision::{engine_comparison, modeling_comparison, Criterion, DecisionMatrix, Rating};
+pub use learner::{Learner, LearnerPopulation};

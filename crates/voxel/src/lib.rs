@@ -1,0 +1,31 @@
+//! # tw-voxel
+//!
+//! The asset substrate standing in for MagicaVoxel.
+//!
+//! The paper builds all of Traffic Warehouse's visual assets in MagicaVoxel
+//! because "LEGO-like voxel building" with "a similar canvas size and a
+//! limited color palette" lets a broad audience create simple assets in a
+//! consistent style, and because the models export to `.obj` for the engine.
+//! This crate reproduces that pipeline headlessly:
+//!
+//! * [`grid::VoxelGrid`] — a bounded voxel canvas with a palette-indexed color
+//!   per filled voxel;
+//! * [`palette::Palette`] — the limited warehouse palette (floor, pallet wood,
+//!   box cardboard, blue/red/grey accents);
+//! * [`assets`] — builders for every model the game uses (pallet, packet box,
+//!   floor tile, label board);
+//! * [`mesh`] — greedy meshing of a voxel grid into quads and triangles;
+//! * [`obj`] — Wavefront OBJ export, the interchange format the paper's
+//!   pipeline relies on ("Can export to .obj — Yes").
+
+pub mod assets;
+pub mod grid;
+pub mod mesh;
+pub mod obj;
+pub mod palette;
+
+pub use assets::{box_asset, floor_tile, label_board, pallet_asset, AssetKind};
+pub use grid::VoxelGrid;
+pub use mesh::{greedy_mesh, Mesh, Quad, Triangle};
+pub use obj::to_obj;
+pub use palette::{Palette, PaletteColor};

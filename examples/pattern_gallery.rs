@@ -1,0 +1,28 @@
+//! Pattern gallery: regenerate every traffic pattern from the paper's figures
+//! (Figs. 6–10) as labelled ASCII matrices, and classify each one.
+//!
+//! Run with: `cargo run --example pattern_gallery`
+
+use tw_core::patterns::{classify, patterns_for_figure, Figure};
+
+fn main() {
+    for figure in Figure::all() {
+        println!("==========================================================");
+        println!("Figure {}: {}", figure.number(), figure.title());
+        println!("==========================================================");
+        for pattern in patterns_for_figure(figure) {
+            println!("\n--- {} ({}) ---", pattern.name, pattern.id);
+            println!("Most relevant to: {}", pattern.relevant_to);
+            println!("{}", pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+            if let Some(hint) = &pattern.hint {
+                println!("Hint: {hint}");
+            }
+            let classification = classify(&pattern.matrix);
+            println!(
+                "Classifier check: best match = {} (similarity {:.2})",
+                classification.best_id, classification.best_score
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerate the paper's Tables I and II: the technology decision matrices
+//! behind the choice of Godot and MagicaVoxel.
+//!
+//! Run with: `cargo run --example tables`
+
+use tw_core::sim::{engine_comparison, modeling_comparison};
+
+fn main() {
+    let table_one = engine_comparison();
+    println!("{}", table_one.render());
+    println!();
+    let table_two = modeling_comparison();
+    println!("{}", table_two.render());
+
+    assert_eq!(table_one.winner(), "Godot");
+    assert_eq!(table_two.winner(), "MagicaVoxel");
+    println!("\nBoth selections match the paper's choices (Godot, MagicaVoxel).");
+}

@@ -1,0 +1,44 @@
+//! The built-in training level (paper Fig. 5): walk through the three panels —
+//! reading the 2-D matrix, exploring the 3-D warehouse, and placing packets.
+//!
+//! Run with: `cargo run --example training_level`
+
+use tw_core::game::{TrainingLevel, TrainingStep};
+
+fn main() {
+    let mut training = TrainingLevel::start().expect("training level builds");
+
+    // Step 1 (Fig. 5a): the 2-D matrix view.
+    println!("=== {:?} ===", training.step());
+    println!("{}\n", training.instruction());
+    println!("{}", training.level.scene.module().matrix.to_ascii());
+
+    // Step 2 (Fig. 5b): the 3-D view before packets are placed.
+    training.advance_step();
+    println!("=== {:?} ===", training.step());
+    println!("{}\n", training.instruction());
+    let empty_warehouse = training.level.render(72, 36);
+    println!("{}", empty_warehouse.to_ascii());
+
+    // Step 3 (Fig. 5c): place every packet, one box at a time.
+    training.advance_step();
+    println!("=== {:?} ===", training.step());
+    println!("{}\n", training.instruction());
+    let (_, total) = training.placement_progress();
+    for placed in 1..=total {
+        training.place_next_packet();
+        println!("placed packet {placed}/{total}");
+    }
+    let full_warehouse = training.level.render(72, 36);
+    println!("\nAll packets placed:\n{}", full_warehouse.to_ascii());
+
+    training.advance_step();
+    assert_eq!(training.step(), TrainingStep::Complete);
+    println!("{}", training.instruction());
+
+    // The training question from the module.
+    if let Some(question) = training.level.question() {
+        println!("\n{}", question.to_text());
+        println!("(correct answer: {})", question.correct_answer());
+    }
+}
