@@ -1,0 +1,65 @@
+//! CLI smoke tests: the educator-facing commands run end to end and produce
+//! non-empty output, both through the library entry points and through the
+//! compiled `traffic-warehouse` binary.
+
+use std::process::Command as Process;
+use tw_cli::{parse_args, run, Command, USAGE};
+
+fn run_args(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let command = parse_args(&args).expect("arguments parse");
+    run(&command).expect("command runs")
+}
+
+#[test]
+fn curriculum_prints_units_with_prerequisites() {
+    let output = run_args(&["curriculum"]);
+    assert!(!output.trim().is_empty());
+    assert!(output.contains("curriculum"), "header missing: {output}");
+    assert!(output.contains("requires"), "prerequisite column missing: {output}");
+}
+
+#[test]
+fn figures_prints_the_pattern_gallery() {
+    let output = run_args(&["figures"]);
+    assert!(!output.trim().is_empty());
+    assert!(output.contains("Figure"), "figure headers missing");
+    // Every gallery row renders an actual matrix, so some traffic must show.
+    assert!(output.lines().count() > 20, "gallery suspiciously short: {output}");
+}
+
+#[test]
+fn help_shows_usage_and_bad_args_error() {
+    let output = run(&Command::Help).expect("help runs");
+    assert_eq!(output, USAGE);
+    let bogus = vec!["no-such-command".to_string()];
+    assert!(parse_args(&bogus).is_err());
+    // No arguments means "show help", matching the binary's behavior.
+    assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+}
+
+/// assert_cmd-style check against the real binary, via the path cargo bakes
+/// into integration tests.
+#[test]
+fn compiled_binary_runs_curriculum_and_figures() {
+    for subcommand in ["curriculum", "figures"] {
+        let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+            .arg(subcommand)
+            .output()
+            .expect("binary spawns");
+        assert!(output.status.success(), "{subcommand} exited nonzero");
+        assert!(!output.stdout.is_empty(), "{subcommand} printed nothing");
+    }
+}
+
+#[test]
+fn compiled_binary_reports_errors_on_stderr() {
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .arg("no-such-command")
+        .output()
+        .expect("binary spawns");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error"), "stderr was: {stderr}");
+    assert!(stderr.contains("Commands"), "usage missing from: {stderr}");
+}

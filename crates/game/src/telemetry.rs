@@ -6,7 +6,7 @@
 //! classroom simulator in `tw-sim`) can consume without coupling to the game
 //! loop.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// A gameplay event.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,11 +63,8 @@ impl TelemetryHub {
     /// Drain every event published so far.
     pub fn drain(&self) -> Vec<TelemetryEvent> {
         let mut events = Vec::new();
-        loop {
-            match self.receiver.try_recv() {
-                Ok(event) => events.push(event),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(event) = self.receiver.try_recv() {
+            events.push(event);
         }
         events
     }

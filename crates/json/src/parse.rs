@@ -502,8 +502,7 @@ mod tests {
     fn rejects_duplicate_keys() {
         let err = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
         assert!(matches!(err.kind(), ErrorKind::DuplicateKey(k) if k == "a"));
-        let mut opts = ParseOptions::default();
-        opts.reject_duplicate_keys = false;
+        let opts = ParseOptions { reject_duplicate_keys: false, ..ParseOptions::default() };
         let v = parse_with_options(r#"{"a": 1, "a": 2}"#, &opts).unwrap();
         assert_eq!(v.get("a").unwrap().as_i64(), Some(2));
     }

@@ -296,7 +296,7 @@ mod tests {
         m.set(4, 5, 1).unwrap();
         m.set(5, 0, 1).unwrap();
         let p = MatrixProfile::of(&m);
-        assert!(p.isolated_pairs.contains(&(0, 1)) == false, "0 has a third peer (5→0)");
+        assert!(!p.isolated_pairs.contains(&(0, 1)), "0 has a third peer (5→0)");
         assert!(p.isolated_pairs.contains(&(2, 3)));
         assert!(!p.isolated_pairs.contains(&(4, 5)));
     }

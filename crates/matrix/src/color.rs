@@ -177,15 +177,11 @@ mod tests {
     fn from_codes_matches_paper_template() {
         // The color grid from the paper's 10×10 template listing.
         let mut grid = vec![vec![0u32; 10]; 10];
-        for r in 0..4 {
-            for c in 6..10 {
-                grid[r][c] = 2;
-            }
+        for row in grid.iter_mut().take(4) {
+            row[6..10].fill(2);
         }
-        for r in 6..10 {
-            for c in 0..4 {
-                grid[r][c] = 1;
-            }
+        for row in grid.iter_mut().skip(6) {
+            row[0..4].fill(1);
         }
         let m = ColorMatrix::from_codes(&grid).unwrap();
         assert_eq!(m.get(0, 6), Some(CellColor::Red));

@@ -147,9 +147,9 @@ impl TrafficMatrix {
     pub fn in_degrees(&self) -> Vec<u64> {
         let n = self.dimension();
         let mut degrees = vec![0u64; n];
-        for r in 0..n {
-            for c in 0..n {
-                degrees[c] += self.values[r * n + c] as u64;
+        for row in self.values.chunks_exact(n) {
+            for (degree, value) in degrees.iter_mut().zip(row) {
+                *degree += *value as u64;
             }
         }
         degrees

@@ -48,9 +48,9 @@ where
         )));
     }
     let mut y = vec![semiring.zero(); a.cols()];
-    for r in 0..a.rows() {
+    for (r, &xr) in x.iter().enumerate() {
         for (c, v) in a.row(r) {
-            y[c] = semiring.add(y[c], semiring.mul(x[r], v));
+            y[c] = semiring.add(y[c], semiring.mul(xr, v));
         }
     }
     Ok(y)
@@ -292,9 +292,9 @@ mod tests {
         // Dense check.
         let ad = a.to_dense();
         let bd = b.to_dense();
-        for r in 0..3 {
+        for (r, ad_row) in ad.iter().enumerate() {
             for col in 0..3 {
-                let expect: u64 = (0..3).map(|k| ad[r][k] * bd[k][col]).sum();
+                let expect: u64 = ad_row.iter().zip(&bd).map(|(av, bd_row)| av * bd_row[col]).sum();
                 assert_eq!(c.get(r, col), expect, "mismatch at ({r},{col})");
             }
         }

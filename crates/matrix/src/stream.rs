@@ -51,7 +51,7 @@ pub fn synthetic_events(node_count: u32, event_count: usize, seed: u64) -> Vec<P
             source,
             destination,
             packets: rng.gen_range(1..16),
-            timestamp_us: i as u64 * 100 + rng.gen_range(0..100),
+            timestamp_us: i as u64 * 100 + rng.gen_range(0..100u64),
         });
     }
     events

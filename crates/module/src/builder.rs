@@ -69,8 +69,7 @@ impl ModuleBuilder {
         if matrix.labels() != &self.labels {
             return Err(crate::error::ModuleError::Invalid(
                 "matrix labels do not match the builder's labels".to_string(),
-            )
-            .into());
+            ));
         }
         self.matrix = matrix;
         Ok(self)

@@ -216,19 +216,15 @@ mod tests {
         let mut matrix_rows = String::new();
         let mut color_rows = String::new();
         for i in 0..10 {
-            let mut m_row = vec![0u32; 10];
+            let mut m_row = [0u32; 10];
             m_row[i] = 1;
             m_row[9 - i] = 2;
-            let mut c_row = vec![0u32; 10];
+            let mut c_row = [0u32; 10];
             if i < 4 {
-                for c in 6..10 {
-                    c_row[c] = 2;
-                }
+                c_row[6..10].fill(2);
             }
             if i >= 6 {
-                for c in 0..4 {
-                    c_row[c] = 1;
-                }
+                c_row[0..4].fill(1);
             }
             matrix_rows.push_str(&format!(
                 "[{}],\n",

@@ -107,7 +107,7 @@ mod tests {
         let first_positions: Vec<usize> =
             (0..32).map(|s| PresentedQuestion::present(&q, ShuffleSeed(s)).correct_index).collect();
         assert!(first_positions.iter().any(|&i| i != 0));
-        assert!(first_positions.iter().any(|&i| i == 0));
+        assert!(first_positions.contains(&0));
     }
 
     #[test]

@@ -116,7 +116,7 @@ mod tests {
         let (m, colors) = template();
         let fb = render_matrix_2d(&m, Some(&colors));
         // Cell (0,9) is in the red quadrant and holds 2 packets: red dominant.
-        let y = 0 * CELL_PIXELS + CELL_PIXELS / 2;
+        let y = CELL_PIXELS / 2;
         let x = 9 * CELL_PIXELS + CELL_PIXELS / 2;
         let [r, g, b] = fb.pixel(x, y);
         assert!(r > g && r > b);

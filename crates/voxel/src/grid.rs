@@ -51,6 +51,7 @@ impl VoxelGrid {
     }
 
     /// Fill the axis-aligned box `[x0..=x1] × [y0..=y1] × [z0..=z1]`.
+    #[allow(clippy::too_many_arguments)] // six box corners + color is the natural signature
     pub fn fill_box(&mut self, x0: usize, y0: usize, z0: usize, x1: usize, y1: usize, z1: usize, color: u8) {
         for y in y0..=y1.min(self.size_y.saturating_sub(1)) {
             for z in z0..=z1.min(self.size_z.saturating_sub(1)) {

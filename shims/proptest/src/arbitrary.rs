@@ -1,0 +1,80 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`, like `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.unit_f64() as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with a sprinkling of wider code points.
+        match rng.below(4) {
+            0..=2 => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+            _ => char::from_u32(0xA1 + rng.below(0x24f - 0xa1) as u32).unwrap_or('¿'),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::from_seed(11);
+        let bytes: Vec<u8> = (0..64).map(|_| any::<u8>().new_value(&mut rng)).collect();
+        assert!(bytes.iter().collect::<std::collections::BTreeSet<_>>().len() > 10);
+        let flags: Vec<bool> = (0..64).map(|_| any::<bool>().new_value(&mut rng)).collect();
+        assert!(flags.contains(&true) && flags.contains(&false));
+    }
+}

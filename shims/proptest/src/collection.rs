@@ -1,0 +1,124 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size window for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { min: *range.start(), max: *range.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`. Key collisions may make the map smaller
+/// than the drawn size, matching upstream's behavior of treating the size as
+/// an upper bound under a saturated key space.
+pub fn btree_map<K, V>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let len = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            map.insert(self.key.new_value(rng), self.value.new_value(rng));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_cover_the_window() {
+        let strat = vec(0u8..4, 1..4);
+        let mut rng = TestRng::from_seed(13);
+        let mut seen = [false; 5];
+        for _ in 0..300 {
+            seen[strat.new_value(&mut rng).len()] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, false]);
+    }
+
+    #[test]
+    fn exact_sizes_and_maps() {
+        let mut rng = TestRng::from_seed(14);
+        let grid = vec(vec(0u32..2, 3..=3), 3..=3).new_value(&mut rng);
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().all(|row| row.len() == 3));
+        let map = btree_map(0u8..50, 0u8..3, 4..5).new_value(&mut rng);
+        assert!(map.len() <= 4);
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a generation-only property-testing harness with proptest's API shape:
+//! the [`proptest!`] macro, the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`prop_recursive`/`boxed`, range and string
+//! (regex-subset) strategies, `prop::collection::{vec, btree_map}`,
+//! `prop::option::of`, `any::<T>()`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports the generated inputs verbatim.
+//! - **Deterministic seeding.** Case `i` of test `t` derives its RNG seed
+//!   from `(t, i)`, so runs are reproducible without a persistence file.
+//!   Set `PROPTEST_RNG_SALT` to explore a different deterministic stream.
+//! - **Regex strategies** support the subset used here: character classes
+//!   (with ranges and escapes), literal atoms, optional literal groups
+//!   `(...)?`, counted repetition `{m,n}`, and `\PC` (any printable char).
+//! - `PROPTEST_CASES` overrides the per-suite case count, as upstream.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias so `prop::collection::vec(..)` works after
+/// `use proptest::prelude::*`, mirroring proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Build a strategy as the uniform union of several strategies with the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current test case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Declare property tests. Supports the upstream surface used in this
+/// workspace: an optional `#![proptest_config(..)]` header and `#[test]`
+/// functions whose arguments are drawn from strategies with `name in strat`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                let cases = config.cases.max(1);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        failed => {
+                            // The body consumed the inputs; the RNG is
+                            // deterministic per (test, case), so regenerate
+                            // them for the report. Passing cases pay nothing.
+                            let mut rng = $crate::test_runner::TestRng::for_case(
+                                concat!(module_path!(), "::", stringify!($name)),
+                                case as u64,
+                            );
+                            $(
+                                let $arg =
+                                    $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                            )+
+                            let described_inputs = format!(
+                                concat!($("\n  ", stringify!($arg), " = {:?}"),+),
+                                $(&$arg),+
+                            );
+                            match failed {
+                                ::std::result::Result::Ok(::std::result::Result::Err(error)) => {
+                                    panic!(
+                                        "proptest case {case}/{cases} of `{}` failed: {error}\ninputs:{}",
+                                        stringify!($name),
+                                        described_inputs,
+                                    );
+                                }
+                                ::std::result::Result::Err(payload) => {
+                                    eprintln!(
+                                        "proptest case {case}/{cases} of `{}` panicked\ninputs:{}",
+                                        stringify!($name),
+                                        described_inputs,
+                                    );
+                                    ::std::panic::resume_unwind(payload);
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, bool)> {
+        (any::<u8>(), any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, f in -2.0f64..2.0, i in -5i64..=5) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((-5..=5).contains(&i));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_ranges(v in prop::collection::vec(1u32..5, 2..6)) {
+            prop_assert!((2..=5).contains(&v.len()), "len = {}", v.len());
+            for x in &v {
+                prop_assert!((1..5).contains(x));
+            }
+        }
+
+        #[test]
+        fn flat_map_links_sizes(grid in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(prop::collection::vec(0u32..3, n..=n), n..=n)
+        })) {
+            let n = grid.len();
+            prop_assert!((1..5).contains(&n));
+            for row in &grid {
+                prop_assert_eq!(row.len(), n);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(0u64),
+            (1u64..10).prop_map(|x| x * 100),
+        ]) {
+            prop_assert!(v == 0 || (100..1000).contains(&v));
+        }
+
+        #[test]
+        fn string_regex_subset_is_honored(s in "[a-z]{2,4}(\\.json)?") {
+            let stem_len = s.trim_end_matches(".json").len();
+            prop_assert!((2..=4).contains(&stem_len), "s = {:?}", s);
+            prop_assert!(s.trim_end_matches(".json").chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn btree_map_and_option_strategies_work(
+            m in prop::collection::btree_map("[a-f]{1,3}", 0u32..9, 0..6),
+            o in prop::option::of(1u8..4),
+        ) {
+            prop_assert!(m.len() <= 5);
+            if let Some(x) = o {
+                prop_assert!((1..4).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_any_compose(pair in arb_pair()) {
+            let (byte, flag) = pair;
+            let encoded = (u16::from(byte) << 1) | u16::from(flag);
+            prop_assert!(encoded <= 511);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Branch(Vec<Tree>),
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Branch)
+            });
+        let mut rng = TestRng::for_case("recursive_strategies_terminate", 0);
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Branch(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        for _ in 0..200 {
+            let tree = strat.new_value(&mut rng);
+            assert!(depth(&tree) <= 4, "depth {} exceeds recursion bound", depth(&tree));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom: 3")]
+    fn panicking_body_keeps_its_message_and_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn body_panics(x in 3u8..4) {
+                panic!("boom: {}", x);
+            }
+        }
+        body_panics();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,40 @@
+//! `prop::option::of` — strategies for `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some` three times out of four, like upstream's
+/// default `prob`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u8..10);
+        let mut rng = TestRng::from_seed(15);
+        let values: Vec<Option<u8>> = (0..100).map(|_| strat.new_value(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_none()));
+        assert!(values.iter().any(|v| v.is_some()));
+    }
+}

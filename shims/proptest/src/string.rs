@@ -1,0 +1,271 @@
+//! String generation from a regex subset.
+//!
+//! Supports the pattern features the workspace's property tests use:
+//!
+//! - character classes `[a-z0-9_€é😀]` with ranges and `\`-escapes
+//! - single literal characters (with `\`-escapes)
+//! - literal groups `(abc)`, usually with an optional quantifier
+//! - quantifiers: `{m,n}`, `{n}`, `?` (applied to the preceding atom)
+//! - `\PC` — "any printable character" (non-control Unicode)
+//!
+//! Anything outside that subset panics with the offending pattern, so a new
+//! test pattern fails loudly instead of generating the wrong language.
+
+use crate::test_runner::TestRng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+enum Part {
+    /// Inclusive code-point ranges with a total weight for uniform choice.
+    Class(Vec<(u32, u32)>),
+    /// A fixed string emitted verbatim per repetition.
+    Literal(String),
+    /// `\PC`: any printable character.
+    AnyPrintable,
+}
+
+struct Atom {
+    part: Part,
+    min: usize,
+    max: usize,
+}
+
+/// Printable ranges used for `\PC` (ASCII, Latin/European, some emoji).
+const PRINTABLE: &[(u32, u32)] = &[(0x20, 0x7e), (0xc0, 0x24f), (0x1f600, 0x1f640)];
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom.part {
+                Part::Literal(text) => out.push_str(text),
+                Part::Class(ranges) => out.push(pick(ranges, rng)),
+                Part::AnyPrintable => out.push(pick(PRINTABLE, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn pick(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|&(lo, hi)| u64::from(hi - lo + 1)).sum();
+    let mut offset = rng.below(total);
+    for &(lo, hi) in ranges {
+        let width = u64::from(hi - lo + 1);
+        if offset < width {
+            return char::from_u32(lo + offset as u32)
+                .expect("string pattern produced an invalid code point");
+        }
+        offset -= width;
+    }
+    unreachable!("offset within total weight")
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let part = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '(' => parse_group(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    match chars.next() {
+                        Some('C') => Part::AnyPrintable,
+                        other => unsupported(pattern, &format!("\\P{other:?}")),
+                    }
+                }
+                Some(escaped) if escaped.is_ascii_alphanumeric() => {
+                    unsupported(pattern, &format!("escape `\\{escaped}`"))
+                }
+                Some(escaped) => Part::Literal(escaped.to_string()),
+                None => unsupported(pattern, "trailing backslash"),
+            },
+            '.' | '*' | '+' | '|' | '^' | '$' => {
+                unsupported(pattern, &format!("metacharacter `{c}`"))
+            }
+            literal => Part::Literal(literal.to_string()),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom { part, min, max });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut Peekable<Chars>, pattern: &str) -> Part {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => class_escape(chars.next(), pattern),
+            Some(c) => c,
+            None => unsupported(pattern, "unterminated character class"),
+        };
+        // `a-z` range (a lone `-` before `]` is a literal dash).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some('\\') => class_escape(chars.next(), pattern),
+                        Some(e) => e,
+                        None => unsupported(pattern, "unterminated class range"),
+                    };
+                    assert!(
+                        (c as u32) <= (end as u32),
+                        "invalid class range {c}-{end} in pattern {pattern:?}"
+                    );
+                    ranges.push((c as u32, end as u32));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        ranges.push((c as u32, c as u32));
+    }
+    if ranges.is_empty() {
+        unsupported(pattern, "empty character class");
+    }
+    Part::Class(ranges)
+}
+
+/// Resolve `\x` inside a character class or literal group. Only punctuation
+/// escapes are literal; alphanumeric escapes (`\n`, `\d`, `\w`, ...) are
+/// regex metasyntax this shim does not implement, so they panic instead of
+/// silently generating the letter. (Real control characters typed directly
+/// into the pattern string — e.g. via Rust's own `"\n"` — need no escape.)
+fn class_escape(escaped: Option<char>, pattern: &str) -> char {
+    match escaped {
+        Some(c) if c.is_ascii_alphanumeric() => {
+            unsupported(pattern, &format!("class escape `\\{c}`"))
+        }
+        Some(c) => c,
+        None => unsupported(pattern, "trailing backslash in class"),
+    }
+}
+
+fn parse_group(chars: &mut Peekable<Chars>, pattern: &str) -> Part {
+    let mut literal = String::new();
+    loop {
+        match chars.next() {
+            Some(')') => break,
+            Some('\\') => literal.push(class_escape(chars.next(), pattern)),
+            Some('[') | Some('(') => unsupported(pattern, "nested class/group"),
+            Some(c) => literal.push(c),
+            None => unsupported(pattern, "unterminated group"),
+        }
+    }
+    Part::Literal(literal)
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars>, pattern: &str) -> (usize, usize) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => unsupported(pattern, "unterminated quantifier"),
+                }
+            }
+            let parse_count = |text: &str| -> usize {
+                text.trim()
+                    .parse()
+                    .unwrap_or_else(|_| unsupported(pattern, &format!("bad quantifier `{spec}`")))
+            };
+            match spec.split_once(',') {
+                Some((min, max)) => {
+                    let (min, max) = (parse_count(min), parse_count(max));
+                    assert!(min <= max, "inverted quantifier {{{spec}}} in {pattern:?}");
+                    (min, max)
+                }
+                None => {
+                    let n = parse_count(&spec);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!(
+        "proptest shim: unsupported regex feature ({what}) in string strategy {pattern:?}; \
+         supported: classes [..], literals, (literal)? groups, {{m,n}} quantifiers, \\PC"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, seed: u64) -> Vec<String> {
+        let mut rng = TestRng::from_seed(seed);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        for s in sample("[a-z0-9_\\-]{1,8}", 1) {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn optional_group_and_exact_counts() {
+        let samples = sample("[a-f]{3}(\\.json)?", 2);
+        assert!(samples.iter().any(|s| s.ends_with(".json")));
+        assert!(samples.iter().any(|s| !s.ends_with(".json")));
+        for s in &samples {
+            assert_eq!(s.trim_end_matches(".json").len(), 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_class_members_appear() {
+        let samples = sample("[aé😀]{1,1}", 3);
+        assert!(samples.iter().any(|s| s == "é"));
+        assert!(samples.iter().any(|s| s == "😀"));
+        assert!(samples.iter().any(|s| s == "a"));
+    }
+
+    #[test]
+    fn printable_escape_generates_no_controls() {
+        for s in sample("\\PC{0,64}", 4) {
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_width_quantifier_allows_empty() {
+        assert!(sample("[a-z]{0,2}", 5).iter().any(|s| s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn unsupported_features_fail_loudly() {
+        let mut rng = TestRng::from_seed(6);
+        generate("a+", &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "class escape `\\d`")]
+    fn alphanumeric_class_escapes_fail_instead_of_going_literal() {
+        let mut rng = TestRng::from_seed(7);
+        generate("[a-z\\d]{1,4}", &mut rng);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic RNG, per-suite configuration, and failure reporting.
+
+use std::fmt;
+
+/// A deterministic generator (splitmix64) seeding each test case from the
+/// test's path and case index, so failures reproduce without a regressions
+/// file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEECE66D }
+    }
+
+    /// The RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        let salt = std::env::var("PROPTEST_RNG_SALT")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng::from_seed(hash ^ case.wrapping_mul(0x9e3779b97f4a7c15) ^ salt)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-suite configuration (subset of proptest's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs. The `PROPTEST_CASES` environment
+    /// variable overrides whatever the suite requests, so CI can pin a
+    /// faster (or more thorough) budget without touching the code.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases: env_cases().unwrap_or(cases) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// A failed property invocation; carried back to the runner which panics
+/// with the generated inputs attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Proptest-compatible alias.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::for_case("suite::test", 3);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::for_case("suite::test", 3);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = TestRng::for_case("suite::test", 4);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_and_unit_are_in_range() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
