@@ -1,0 +1,105 @@
+//! E-S3 — sharded streaming-ingest throughput.
+//!
+//! The scaling claim behind the new ingest subsystem: turning a million-event
+//! scenario stream into windowed hypersparse matrices is faster through the
+//! sharded accumulator (hash-partition by source row, per-shard coalesce,
+//! blocked row-disjoint merge) than through the serial single-COO path, and
+//! the advantage holds per window inside the full pipeline.
+//!
+//! Event count defaults to 1e6; set `TW_INGEST_BENCH_EVENTS` to shrink it
+//! (CI's bench smoke step runs with a tiny count). Medians land in
+//! `BENCH_ingest.json` via the criterion shim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tw_bench::{banner, quick_criterion};
+use tw_core::ingest::{
+    collect_events, window_matrix, Pipeline, PipelineConfig, Scenario, ShardedAccumulator,
+};
+
+fn event_count() -> usize {
+    std::env::var("TW_INGEST_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let nodes = 1024u32;
+    let events = {
+        let mut source = Scenario::Mixed.source(nodes, 11);
+        collect_events(source.as_mut(), event_count())
+    };
+    banner(
+        "E-S3",
+        "Sharded ingest throughput (serial COO vs sharded accumulator, full pipeline)",
+    );
+    println!(
+        "{} events over {nodes} nodes; serial reference nnz {}",
+        events.len(),
+        window_matrix(nodes as usize, &events).nnz()
+    );
+
+    // One-shot accumulation: the whole stream as a single window.
+    let mut group = c.benchmark_group(format!("ingest_{}_events", events.len()));
+    group.bench_function("serial_window_matrix", |b| {
+        b.iter(|| black_box(window_matrix(nodes as usize, &events).nnz()))
+    });
+    for &shards in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sharded_merge", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut acc = ShardedAccumulator::new(nodes as usize, shards);
+                acc.ingest_batch(&events);
+                black_box(acc.merge().nnz())
+            })
+        });
+    }
+    group.finish();
+
+    // Full pipeline: pull → route → window rotation, 10 simulated windows.
+    let window_events = (event_count() / 10).max(1_000);
+    let mut group = c.benchmark_group("ingest_pipeline");
+    for scenario in [Scenario::Background, Scenario::Ddos] {
+        group.bench_with_input(
+            BenchmarkId::new("ten_windows", scenario),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    // The catalog runs at ~100k events per simulated second,
+                    // i.e. one event every ~10 µs: size the window so each
+                    // holds ~window_events events.
+                    let config = PipelineConfig {
+                        window_us: (window_events as u64) * 10,
+                        batch_size: 8_192,
+                        shard_count: 8,
+                    };
+                    let mut pipeline = Pipeline::new(scenario.source(nodes, 3), config);
+                    let reports = pipeline.run(10);
+                    black_box(reports.iter().map(|r| r.stats.events).sum::<u64>())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Events/sec summary for the experiment record.
+    let mut acc = ShardedAccumulator::new(nodes as usize, 8);
+    let started = std::time::Instant::now();
+    acc.ingest_batch(&events);
+    let matrix = acc.merge();
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "sharded(8): {} events -> nnz {} in {:.1} ms = {:.2} M events/s",
+        events.len(),
+        matrix.nnz(),
+        elapsed * 1e3,
+        events.len() as f64 / elapsed / 1e6
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -34,6 +34,16 @@ pub enum Command {
     ExportLibrary { directory: String },
     /// Re-emit a module with its correct answer obfuscated.
     Obfuscate { path: String },
+    /// Run a named ingest scenario and print per-window statistics.
+    Ingest {
+        scenario: String,
+        windows: usize,
+        nodes: u32,
+        seed: u64,
+        shards: usize,
+        batch: usize,
+        window_us: u64,
+    },
     /// Print the default curriculum with prerequisites.
     Curriculum,
     /// Print the figure gallery.
@@ -64,6 +74,11 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N]
+                                              stream a scenario through the sharded ingest
+                                              pipeline and print per-window stats
+                                              (scenarios: background, ddos, scan,
+                                              flash-crowd, p2p, mixed)
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
   help                                        show this message
@@ -123,6 +138,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let path = iter.next().ok_or(CliError("obfuscate needs a module path".to_string()))?;
             Ok(Command::Obfuscate { path: path.clone() })
         }
+        "ingest" => {
+            let mut scenario = None;
+            let mut windows = 4usize;
+            let mut nodes = 1024u32;
+            let mut seed = 7u64;
+            let mut shards = 0usize;
+            let mut batch = 8192usize;
+            let mut window_us = 100_000u64;
+            fn value<'a, T: std::str::FromStr>(
+                iter: &mut std::slice::Iter<'a, String>,
+                flag: &str,
+            ) -> Result<T, CliError> {
+                iter.next()
+                    .ok_or(CliError(format!("{flag} needs a value")))?
+                    .parse()
+                    .map_err(|_| CliError(format!("{flag} value is not valid")))
+            }
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--scenario" => {
+                        scenario =
+                            Some(iter.next().ok_or(CliError("--scenario needs a name".to_string()))?.clone())
+                    }
+                    "--windows" => windows = value(&mut iter, "--windows")?,
+                    "--nodes" => nodes = value(&mut iter, "--nodes")?,
+                    "--seed" => seed = value(&mut iter, "--seed")?,
+                    "--shards" => shards = value(&mut iter, "--shards")?,
+                    "--batch" => batch = value(&mut iter, "--batch")?,
+                    "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            let scenario =
+                scenario.ok_or(CliError("ingest needs --scenario <name>".to_string()))?;
+            if windows == 0 {
+                return Err(CliError("--windows must be at least 1".to_string()));
+            }
+            Ok(Command::Ingest { scenario, windows, nodes, seed, shards, batch, window_us })
+        }
         "curriculum" => Ok(Command::Curriculum),
         "figures" => Ok(Command::Figures),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -173,9 +227,67 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
             to_obfuscated_json(&module).map_err(|e| CliError(e.to_string()))
         }
+        Command::Ingest { scenario, windows, nodes, seed, shards, batch, window_us } => {
+            run_ingest(scenario, *windows, *nodes, *seed, *shards, *batch, *window_us)
+        }
         Command::Curriculum => Ok(render_curriculum()),
         Command::Figures => Ok(render_figures()),
     }
+}
+
+/// Stream a named scenario through the sharded ingest pipeline and render
+/// per-window statistics.
+pub fn run_ingest(
+    scenario_name: &str,
+    windows: usize,
+    nodes: u32,
+    seed: u64,
+    shards: usize,
+    batch: usize,
+    window_us: u64,
+) -> Result<String, CliError> {
+    use tw_core::ingest::{Pipeline, PipelineConfig, Scenario};
+
+    let scenario = Scenario::by_name(scenario_name).ok_or_else(|| {
+        let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
+        CliError(format!(
+            "unknown scenario {scenario_name:?}; known scenarios: {}",
+            known.join(", ")
+        ))
+    })?;
+    if nodes < 20 {
+        return Err(CliError("--nodes must be at least 20".to_string()));
+    }
+    if batch == 0 {
+        return Err(CliError("--batch must be at least 1".to_string()));
+    }
+    if window_us == 0 {
+        return Err(CliError("--window-us must be at least 1".to_string()));
+    }
+    let config = PipelineConfig { window_us, batch_size: batch, shard_count: shards };
+    let mut pipeline = Pipeline::new(scenario.source(nodes, seed), config);
+    let mut out = format!(
+        "scenario {scenario} ({}): {nodes} nodes, {} us windows, {} shard(s), batch {batch}, seed {seed}\n",
+        scenario.describe(),
+        window_us,
+        pipeline.shard_count(),
+    );
+    let reports = pipeline.run(windows);
+    for report in &reports {
+        let _ = writeln!(out, "{}", report.stats.summary());
+    }
+    let events: u64 = reports.iter().map(|r| r.stats.events).sum();
+    let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
+    let late: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
+    let peak_nnz = reports.iter().map(|r| r.stats.nnz).max().unwrap_or(0);
+    let elapsed: f64 = reports.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
+    let _ = writeln!(
+        out,
+        "total: {events} events, {packets} packets, {late} late, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
+        elapsed * 1e3,
+        if elapsed > 0.0 { events as f64 / elapsed / 1e6 } else { 0.0 },
+    );
+    Ok(out)
 }
 
 /// Validation report as printable text.
@@ -302,6 +414,35 @@ mod tests {
             Command::Play { path: "b.zip".into(), seed: 9 }
         );
         assert_eq!(parse_args(&args(&["curriculum"])).unwrap(), Command::Curriculum);
+        assert_eq!(
+            parse_args(&args(&[
+                "ingest", "--scenario", "ddos", "--windows", "2", "--nodes", "256", "--seed",
+                "3", "--shards", "4", "--batch", "512", "--window-us", "50000"
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                scenario: "ddos".into(),
+                windows: 2,
+                nodes: 256,
+                seed: 3,
+                shards: 4,
+                batch: 512,
+                window_us: 50_000
+            }
+        );
+        // Defaults: 4 windows over 1024 nodes with auto shards.
+        assert_eq!(
+            parse_args(&args(&["ingest", "--scenario", "scan"])).unwrap(),
+            Command::Ingest {
+                scenario: "scan".into(),
+                windows: 4,
+                nodes: 1024,
+                seed: 7,
+                shards: 0,
+                batch: 8192,
+                window_us: 100_000
+            }
+        );
     }
 
     #[test]
@@ -311,6 +452,35 @@ mod tests {
         assert!(parse_args(&args(&["render", "m.json", "--bogus"])).is_err());
         assert!(parse_args(&args(&["play", "b.zip", "--seed", "abc"])).is_err());
         assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["ingest"])).is_err(), "--scenario is required");
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--windows", "0"])).is_err());
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--windows", "x"])).is_err());
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn ingest_command_streams_windows() {
+        let out = run(&Command::Ingest {
+            scenario: "ddos".into(),
+            windows: 4,
+            nodes: 256,
+            seed: 7,
+            shards: 2,
+            batch: 2048,
+            window_us: 50_000,
+        })
+        .unwrap();
+        assert!(out.contains("scenario ddos"));
+        assert_eq!(out.lines().filter(|l| l.starts_with("window ")).count(), 4);
+        assert!(out.contains("window   0:"));
+        assert!(out.contains("window   3:"));
+        assert!(out.contains("total: "));
+        // Unknown scenarios name the catalog.
+        let err = run_ingest("wat", 1, 256, 1, 0, 128, 1_000).unwrap_err();
+        assert!(err.0.contains("known scenarios"));
+        assert!(run_ingest("ddos", 1, 4, 1, 0, 128, 1_000).is_err(), "tiny address space");
+        assert!(run_ingest("ddos", 1, 256, 1, 0, 0, 1_000).is_err(), "zero batch");
+        assert!(run_ingest("ddos", 1, 256, 1, 0, 128, 0).is_err(), "zero window");
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub mod matrix {
     pub use tw_matrix::*;
 }
 
+/// The sharded streaming ingest pipeline (scenarios → windowed matrices).
+pub mod ingest {
+    pub use tw_ingest::*;
+}
+
 /// Traffic-pattern generators for every figure in the paper.
 pub mod patterns {
     pub use tw_patterns::*;
@@ -77,7 +82,13 @@ pub mod sim {
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use tw_game::{GameSession, Level, TrainingLevel, ViewMode, ViewState, WarehouseScene};
+    pub use tw_game::{
+        GameSession, Level, LiveWarehouse, TrainingLevel, ViewMode, ViewState, WarehouseScene,
+    };
+    pub use tw_ingest::{
+        EventSource, IngestStats, Pipeline, PipelineConfig, Scenario, ShardedAccumulator,
+        WindowReport,
+    };
     pub use tw_matrix::{CellColor, ColorMatrix, LabelSet, MatrixProfile, TrafficMatrix};
     pub use tw_module::{
         validate, LearningModule, ModuleBuilder, ModuleBundle, Question, ValidationReport,

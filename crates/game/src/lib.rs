@@ -13,12 +13,15 @@
 //! * [`view`] — the 2-D/3-D view state driven by the spacebar and Q/E keys;
 //! * [`level`] — one loaded module: scene + controller + view + question;
 //! * [`training`] — the built-in training level (paper Fig. 5);
+//! * [`live`] — live ingest windows coarsened onto the warehouse floor
+//!   (the scene re-pallets per tumbling window);
 //! * [`session`] — the game state machine walking a module bundle;
 //! * [`telemetry`] — the event stream used for the future-work outcome
 //!   measurement the paper calls for.
 
 pub mod controller;
 pub mod level;
+pub mod live;
 pub mod session;
 pub mod telemetry;
 pub mod training;
@@ -27,6 +30,7 @@ pub mod warehouse;
 
 pub use controller::PalletLabelController;
 pub use level::Level;
+pub use live::{coarsen_window, LiveWarehouse};
 pub use session::{GamePhase, GameSession};
 pub use telemetry::{TelemetryEvent, TelemetryHub};
 pub use training::{TrainingLevel, TrainingStep};

@@ -1,0 +1,213 @@
+//! Live ingest windows on the warehouse floor.
+//!
+//! The paper teaches with small, legible matrices; the ingest pipeline
+//! produces hypersparse thousand-node windows. This module bridges the two:
+//! each [`WindowReport`] is coarsened onto the display dimension (block sums
+//! over contiguous address ranges, rescaled under the paper's 15-packet
+//! display guidance) and the warehouse scene is rebuilt — re-palleted — so a
+//! class can watch a scenario unfold window by window.
+
+use crate::warehouse::WarehouseScene;
+use tw_ingest::{IngestStats, Pipeline, WindowReport};
+use tw_matrix::{CsrMatrix, LabelSet, TrafficMatrix};
+use tw_module::ModuleBuilder;
+
+/// The paper's display guidance: "fewer than 15 packets between any source
+/// and destination displays well".
+const DISPLAY_PACKET_LIMIT: u64 = 14;
+
+/// Coarsen a window matrix onto `dimension` display nodes.
+///
+/// Address `a` of an `n`-node window maps to display block `a·dimension/n`;
+/// block sums are then rescaled so the hottest cell shows
+/// [`DISPLAY_PACKET_LIMIT`] packets (non-zero cells never round down to
+/// zero, so a single scan probe still lights its pallet).
+pub fn coarsen_window(matrix: &CsrMatrix<u64>, dimension: usize) -> TrafficMatrix {
+    assert!(dimension >= 1, "display dimension must be positive");
+    let n = matrix.rows().max(1);
+    let mut grid = vec![vec![0u64; dimension]; dimension];
+    for (r, c, v) in matrix.iter() {
+        let br = (r * dimension / n).min(dimension - 1);
+        let bc = (c * dimension / n).min(dimension - 1);
+        grid[br][bc] += v;
+    }
+    let max = grid.iter().flatten().copied().max().unwrap_or(0);
+    let scaled: Vec<Vec<u32>> = grid
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&v| {
+                    if v == 0 {
+                        0
+                    } else if max <= DISPLAY_PACKET_LIMIT {
+                        v as u32
+                    } else {
+                        ((v * DISPLAY_PACKET_LIMIT) / max).max(1) as u32
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let labels =
+        if dimension == 10 { LabelSet::paper_default_10() } else { LabelSet::numeric(dimension) };
+    TrafficMatrix::from_grid(labels, &scaled).expect("coarsened grid is square")
+}
+
+/// A warehouse scene that re-pallets itself on every ingest window.
+#[derive(Debug)]
+pub struct LiveWarehouse {
+    dimension: usize,
+    scene: Option<WarehouseScene>,
+    windows_seen: u64,
+    last_stats: Option<IngestStats>,
+}
+
+impl LiveWarehouse {
+    /// A live view with `dimension`×`dimension` display pallets (10 matches
+    /// the paper's blue/grey/red labelling).
+    pub fn new(dimension: usize) -> Self {
+        assert!(dimension >= 1, "display dimension must be positive");
+        LiveWarehouse { dimension, scene: None, windows_seen: 0, last_stats: None }
+    }
+
+    /// The display dimension.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Windows received so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Statistics of the most recent window.
+    pub fn last_stats(&self) -> Option<&IngestStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// The current warehouse scene (absent until the first window arrives).
+    pub fn scene(&self) -> Option<&WarehouseScene> {
+        self.scene.as_ref()
+    }
+
+    /// Apply one window: coarsen the matrix and rebuild the scene.
+    pub fn on_window(&mut self, report: &WindowReport) {
+        let display = coarsen_window(&report.matrix, self.dimension);
+        let name = format!("live window {}", report.stats.window_index);
+        let labels = display.labels().labels().to_vec();
+        let module = ModuleBuilder::new(&name, "tw-ingest")
+            .labels(labels)
+            .expect("display labels are valid")
+            .matrix(display)
+            .expect("labels were just taken from the matrix")
+            .build();
+        self.scene = Some(WarehouseScene::build(&module));
+        self.windows_seen += 1;
+        self.last_stats = Some(report.stats.clone());
+    }
+
+    /// Drive a pipeline for up to `max_windows`, re-palleting per window;
+    /// returns the stats of every window received.
+    pub fn follow(&mut self, pipeline: &mut Pipeline, max_windows: usize) -> Vec<IngestStats> {
+        let mut stats = Vec::new();
+        while stats.len() < max_windows {
+            let Some(report) = pipeline.next_window() else { break };
+            self.on_window(&report);
+            stats.push(report.stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::GameSession;
+    use crate::telemetry::TelemetryEvent;
+    use tw_ingest::{PipelineConfig, Scenario};
+    use tw_module::ModuleBundle;
+
+    fn ddos_pipeline() -> Pipeline {
+        let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 2 };
+        Pipeline::new(Scenario::Ddos.source(500, 5), config)
+    }
+
+    #[test]
+    fn coarsening_preserves_structure_and_display_limit() {
+        let mut pipeline = ddos_pipeline();
+        let report = pipeline.next_window().unwrap();
+        let display = coarsen_window(&report.matrix, 10);
+        assert_eq!(display.dimension(), 10);
+        assert!(display.max_value() <= DISPLAY_PACKET_LIMIT as u32);
+        assert!(display.total_packets() > 0);
+        // The scaled Fig. 9 victim block (addresses 150..200 of 500) lands in
+        // display column 3, which the flood makes the hottest column.
+        let col_sums: Vec<u64> =
+            (0..10).map(|c| (0..10).map(|r| u64::from(display.get(r, c).unwrap())).sum()).collect();
+        let hottest = col_sums.iter().enumerate().max_by_key(|&(_, v)| *v).unwrap().0;
+        assert_eq!(hottest, 3, "column sums: {col_sums:?}");
+    }
+
+    #[test]
+    fn live_warehouse_repallets_per_window() {
+        let mut live = LiveWarehouse::new(10);
+        assert!(live.scene().is_none());
+        let mut pipeline = ddos_pipeline();
+        let stats = live.follow(&mut pipeline, 3);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(live.windows_seen(), 3);
+        assert_eq!(live.dimension(), 10);
+        assert_eq!(live.last_stats().unwrap().window_index, 2);
+        let scene = live.scene().expect("scene built");
+        // The scene really is palleted from the live window: its data node
+        // carries the live module name.
+        let name = scene.tree.node(scene.data).unwrap().get("name").unwrap();
+        assert_eq!(format!("{name}"), "live window 2");
+    }
+
+    #[test]
+    fn non_paper_dimensions_use_numeric_labels() {
+        let mut pipeline = ddos_pipeline();
+        let report = pipeline.next_window().unwrap();
+        let display = coarsen_window(&report.matrix, 5);
+        assert_eq!(display.dimension(), 5);
+        let mut live = LiveWarehouse::new(5);
+        live.on_window(&report);
+        assert_eq!(live.windows_seen(), 1);
+        assert!(live.scene().is_some());
+    }
+
+    #[test]
+    fn session_subscribes_to_live_windows() {
+        let mut session = GameSession::start(ModuleBundle::new("live"), 1).unwrap();
+        session.telemetry().drain();
+        session.subscribe_live(10);
+        let mut pipeline = ddos_pipeline();
+        for _ in 0..2 {
+            let report = pipeline.next_window().unwrap();
+            session.ingest_window(&report);
+        }
+        let live = session.live().expect("subscribed");
+        assert_eq!(live.windows_seen(), 2);
+        assert!(live.scene().is_some());
+        let events = session.telemetry().drain();
+        let live_events: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::LiveWindow { .. }))
+            .collect();
+        assert_eq!(live_events.len(), 2);
+        assert!(matches!(
+            live_events[0],
+            TelemetryEvent::LiveWindow { window_index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn unsubscribed_session_ignores_windows() {
+        let mut session = GameSession::start(ModuleBundle::new("idle"), 1).unwrap();
+        let mut pipeline = ddos_pipeline();
+        let report = pipeline.next_window().unwrap();
+        session.ingest_window(&report);
+        assert!(session.live().is_none());
+    }
+}

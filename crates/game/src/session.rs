@@ -4,7 +4,9 @@
 //! contained in it and present them sequentially one at a time."
 
 use crate::level::Level;
+use crate::live::LiveWarehouse;
 use crate::telemetry::{TelemetryEvent, TelemetryHub};
+use tw_ingest::WindowReport;
 use tw_engine::input::{Action, InputEvent};
 use tw_engine::TreeError;
 use tw_module::ModuleBundle;
@@ -31,6 +33,7 @@ pub struct GameSession {
     phase: GamePhase,
     score: SessionScore,
     telemetry: TelemetryHub,
+    live: Option<LiveWarehouse>,
 }
 
 impl GameSession {
@@ -49,6 +52,7 @@ impl GameSession {
             phase: GamePhase::Finished,
             score: SessionScore::default(),
             telemetry,
+            live: None,
         };
         session.load_current()?;
         Ok(session)
@@ -108,6 +112,30 @@ impl GameSession {
     /// True when every module has been completed.
     pub fn is_finished(&self) -> bool {
         self.phase == GamePhase::Finished
+    }
+
+    /// Subscribe this session to live ingest windows: each
+    /// [`WindowReport`] passed to [`GameSession::ingest_window`] re-pallets
+    /// a live warehouse scene with `dimension`×`dimension` display pallets.
+    pub fn subscribe_live(&mut self, dimension: usize) {
+        self.live = Some(LiveWarehouse::new(dimension));
+    }
+
+    /// The live warehouse view, if subscribed.
+    pub fn live(&self) -> Option<&LiveWarehouse> {
+        self.live.as_ref()
+    }
+
+    /// Deliver one ingest window to the live view (no-op when not
+    /// subscribed) and publish it on the telemetry stream.
+    pub fn ingest_window(&mut self, report: &WindowReport) {
+        let Some(live) = self.live.as_mut() else { return };
+        live.on_window(report);
+        self.telemetry.publish(TelemetryEvent::LiveWindow {
+            window_index: report.stats.window_index,
+            events: report.stats.events,
+            nnz: report.stats.nnz,
+        });
     }
 
     /// Answer the current module's question by display index.

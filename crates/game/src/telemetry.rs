@@ -27,6 +27,8 @@ pub enum TelemetryEvent {
     ModuleCompleted { index: usize },
     /// The whole bundle was completed; contains the final correct/answered counts.
     SessionCompleted { correct: usize, answered: usize },
+    /// A live ingest window re-palleted the warehouse scene.
+    LiveWindow { window_index: u64, events: u64, nnz: usize },
 }
 
 /// A telemetry publisher/consumer pair backed by an unbounded channel.

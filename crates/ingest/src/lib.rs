@@ -1,0 +1,73 @@
+//! # tw-ingest
+//!
+//! The sharded streaming ingest pipeline: the layer between synthetic traffic
+//! generation and the Traffic Warehouse game.
+//!
+//! The paper's introduction cites GraphBLAS pipelines that build hypersparse
+//! traffic matrices from "anonymized high performance streaming of network
+//! traffic" at millions of events per second. This crate reproduces that
+//! workflow end to end:
+//!
+//! ```text
+//!  EventSource (scenario mix)      Pipeline              ShardedAccumulator
+//!  ┌──────────────────────┐  pull  ┌────────────┐ route  ┌───────────────┐
+//!  │ background ┐         │ ─────► │ bounded    │ ─────► │ shard 0 (COO) │
+//!  │ ddos burst ├─ Mix ──►│ batch  │ batches,   │ by row │ shard 1 (COO) │
+//!  │ scan sweep ┘         │        │ tumbling   │  hash  │ …             │
+//!  └──────────────────────┘        │ windows    │        └──────┬────────┘
+//!                                  └─────┬──────┘   parallel    │ coalesce
+//!                                        ▼                      ▼
+//!                                  WindowReport ◄── CsrMatrix::from_row_
+//!                                  (matrix + IngestStats)  disjoint_blocks
+//! ```
+//!
+//! * [`source`] — the pull-based [`EventSource`] trait and the scenario
+//!   primitives (heavy-tailed background, DDoS burst, scan sweep, flash
+//!   crowd, P2P mesh, figure-pattern replay, and the timestamp-merging
+//!   [`Mix`] combinator);
+//! * [`scenario`] — the named workload catalog ([`Scenario`]) reusing the
+//!   `tw-patterns` attack shapes;
+//! * [`shard`] — the [`ShardedAccumulator`] with its proven (and
+//!   property-tested) serial-equivalence guarantee;
+//! * [`window`] — tumbling [`WindowClock`], per-window [`IngestStats`] and
+//!   the emitted [`WindowReport`];
+//! * [`pipeline`] — the [`Pipeline`] driver with backpressure via bounded
+//!   batch pulls and late-event drop accounting.
+
+pub mod pipeline;
+pub mod scenario;
+pub mod shard;
+pub mod source;
+pub mod window;
+
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use scenario::Scenario;
+pub use shard::{window_matrix, ShardedAccumulator};
+pub use source::{
+    collect_events, DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Limit, Mix,
+    P2pMeshSource, PatternSource, ScanSweepSource,
+};
+pub use window::{IngestStats, WindowClock, WindowReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance-criteria flow: a named scenario, several windows, stats.
+    #[test]
+    fn end_to_end_scenario_run() {
+        let source = Scenario::Ddos.source(512, 11);
+        let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 4 };
+        let mut pipeline = Pipeline::new(source, config);
+        let reports = pipeline.run(4);
+        assert_eq!(reports.len(), 4);
+        let total_events: u64 = reports.iter().map(|r| r.stats.events).sum();
+        assert!(total_events > 10_000, "a DDoS scenario is busy, got {total_events}");
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.stats.window_index, i as u64);
+            assert_eq!(report.matrix.shape(), (512, 512));
+            assert_eq!(report.stats.nnz, report.matrix.nnz());
+            assert!(!report.stats.summary().is_empty());
+        }
+    }
+}

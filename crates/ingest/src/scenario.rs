@@ -1,0 +1,195 @@
+//! Named scenarios: the workload catalog the CLI and benches run.
+//!
+//! Every scenario is a [`Mix`](crate::source::Mix) of the primitive sources,
+//! and the adversarial ones reuse the paper's figure panels through
+//! [`PatternSource`] / [`DdosBurstSource`] rather than re-encoding the
+//! shapes — the same `tw-patterns` matrices that drive the learning modules
+//! drive the event streams (the "adversarial scenario mixes as first-class
+//! workloads" the traffic-remapping-game literature argues for).
+
+use crate::source::{
+    DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Mix, P2pMeshSource,
+    PatternSource, ScanSweepSource,
+};
+use tw_patterns::pattern_by_id;
+
+/// A named ingest workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Heavy-tailed background traffic only.
+    Background,
+    /// Background plus a bursty Fig. 9 DDoS flood and its C2/backscatter shape.
+    Ddos,
+    /// Background plus a full address-space scan sweep.
+    Scan,
+    /// Background plus a flash crowd converging on a few hot targets.
+    FlashCrowd,
+    /// Background plus a symmetric peer-to-peer mesh.
+    P2pMesh,
+    /// Everything at once: the classroom "what is happening?" composite.
+    Mixed,
+}
+
+impl Scenario {
+    /// All scenarios, in catalog order.
+    pub fn all() -> [Scenario; 6] {
+        [
+            Scenario::Background,
+            Scenario::Ddos,
+            Scenario::Scan,
+            Scenario::FlashCrowd,
+            Scenario::P2pMesh,
+            Scenario::Mixed,
+        ]
+    }
+
+    /// The canonical CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Background => "background",
+            Scenario::Ddos => "ddos",
+            Scenario::Scan => "scan",
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::P2pMesh => "p2p",
+            Scenario::Mixed => "mixed",
+        }
+    }
+
+    /// One-line description for `--help`-style listings.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Scenario::Background => "heavy-tailed background traffic (supernode destinations)",
+            Scenario::Ddos => "background + bursty Fig. 9 DDoS flood with C2 and backscatter",
+            Scenario::Scan => "background + single-scanner sweep of the whole address space",
+            Scenario::FlashCrowd => "background + flash crowd ramping onto a few hot targets",
+            Scenario::P2pMesh => "background + symmetric peer-to-peer mesh",
+            Scenario::Mixed => "all scenario components blended by rate",
+        }
+    }
+
+    /// Parse a scenario name (canonical names plus common aliases).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        match name.to_ascii_lowercase().as_str() {
+            "background" | "heavy-tail" | "noise" => Some(Scenario::Background),
+            "ddos" | "flood" => Some(Scenario::Ddos),
+            "scan" | "sweep" => Some(Scenario::Scan),
+            "flash-crowd" | "flash" | "crowd" => Some(Scenario::FlashCrowd),
+            "p2p" | "mesh" => Some(Scenario::P2pMesh),
+            "mixed" | "all" => Some(Scenario::Mixed),
+            _ => None,
+        }
+    }
+
+    /// Build the scenario's event source over `node_count` addresses.
+    ///
+    /// Rates are chosen so every scenario totals ~100k events per simulated
+    /// second: with the default 100 ms window that is ~10k events per window.
+    pub fn source(&self, node_count: u32, seed: u64) -> Box<dyn EventSource> {
+        assert!(node_count >= 20, "scenarios need at least 20 addresses");
+        let background = |rate: u64, salt: u64| -> Box<dyn EventSource> {
+            Box::new(HeavyTailSource::new(node_count, rate, seed ^ salt))
+        };
+        match self {
+            Scenario::Background => background(100_000, 0),
+            Scenario::Ddos => {
+                let ddos_shape = pattern_by_id("ddos/combined").expect("catalog id");
+                Box::new(Mix::new(vec![
+                    background(30_000, 0x1),
+                    Box::new(DdosBurstSource::new(node_count, 50_000, seed ^ 0x2)),
+                    // C2 tasking + backscatter context around the flood.
+                    Box::new(PatternSource::new(&ddos_shape, node_count, 20_000, seed ^ 0x3)),
+                ]))
+            }
+            Scenario::Scan => Box::new(Mix::new(vec![
+                background(70_000, 0x4),
+                Box::new(ScanSweepSource::new(node_count, 30_000, seed ^ 0x5)),
+            ])),
+            Scenario::FlashCrowd => Box::new(Mix::new(vec![
+                background(30_000, 0x6),
+                Box::new(FlashCrowdSource::new(node_count, 70_000, seed ^ 0x7)),
+            ])),
+            Scenario::P2pMesh => Box::new(Mix::new(vec![
+                background(50_000, 0x8),
+                Box::new(P2pMeshSource::new(node_count, 50_000, seed ^ 0x9)),
+            ])),
+            Scenario::Mixed => {
+                let attack_shape = pattern_by_id("attack/combined").expect("catalog id");
+                Box::new(Mix::new(vec![
+                    background(40_000, 0xA),
+                    Box::new(DdosBurstSource::new(node_count, 20_000, seed ^ 0xB)),
+                    Box::new(ScanSweepSource::new(node_count, 10_000, seed ^ 0xC)),
+                    Box::new(FlashCrowdSource::new(node_count, 15_000, seed ^ 0xD)),
+                    Box::new(P2pMeshSource::new(node_count, 10_000, seed ^ 0xE)),
+                    Box::new(PatternSource::new(&attack_shape, node_count, 5_000, seed ^ 0xF)),
+                ]))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::collect_events;
+
+    #[test]
+    fn names_round_trip_and_aliases_resolve() {
+        for scenario in Scenario::all() {
+            assert_eq!(Scenario::by_name(scenario.name()), Some(scenario));
+            assert!(!scenario.describe().is_empty());
+            assert_eq!(format!("{scenario}"), scenario.name());
+        }
+        assert_eq!(Scenario::by_name("FLOOD"), Some(Scenario::Ddos));
+        assert_eq!(Scenario::by_name("all"), Some(Scenario::Mixed));
+        assert_eq!(Scenario::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_scenario_streams_valid_events() {
+        for scenario in Scenario::all() {
+            let mut source = scenario.source(200, 42);
+            assert_eq!(source.node_count(), 200);
+            let events = collect_events(source.as_mut(), 5_000);
+            assert_eq!(events.len(), 5_000, "{scenario} should be unbounded");
+            assert!(
+                events.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+                "{scenario} must stay timestamp-ordered"
+            );
+            for e in &events {
+                assert!(e.source < 200 && e.destination < 200, "{scenario} address range");
+                assert_ne!(e.source, e.destination, "{scenario} emitted a self-loop");
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        for scenario in [Scenario::Ddos, Scenario::Mixed] {
+            let a = collect_events(scenario.source(100, 7).as_mut(), 2_000);
+            let b = collect_events(scenario.source(100, 7).as_mut(), 2_000);
+            let c = collect_events(scenario.source(100, 8).as_mut(), 2_000);
+            assert_eq!(a, b, "{scenario} must be reproducible");
+            assert_ne!(a, c, "{scenario} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn ddos_scenario_is_dominated_by_the_flood() {
+        let mut source = Scenario::Ddos.source(1000, 3);
+        let events = collect_events(source.as_mut(), 30_000);
+        // The victim block of the scaled Fig. 9 shape is 300..400.
+        let to_victim =
+            events.iter().filter(|e| (300..400).contains(&e.destination)).count() as f64;
+        assert!(
+            to_victim / events.len() as f64 > 0.3,
+            "the flood should dominate, got {}",
+            to_victim / events.len() as f64
+        );
+    }
+}

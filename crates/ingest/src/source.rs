@@ -1,0 +1,712 @@
+//! Pull-based scenario event sources.
+//!
+//! The paper's Traffic Warehouse is fed by GraphBLAS pipelines built from
+//! "anonymized high performance streaming of network traffic". This module is
+//! the synthetic stand-in for that feed: an [`EventSource`] is an unbounded,
+//! seeded generator of [`PacketEvent`]s with non-decreasing timestamps, pulled
+//! in bounded batches by the [`crate::pipeline::Pipeline`] (the bounded pull
+//! is the pipeline's backpressure mechanism — a source can never run ahead of
+//! the consumer by more than one batch).
+//!
+//! Each source carries its own rate (events per simulated second); blending
+//! ratios in a [`Mix`] therefore fall out of the per-source rates rather than
+//! a separate weight table, and the merged stream stays timestamp-ordered.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use tw_matrix::stream::{sample_excluding, PacketEvent};
+use tw_patterns::Pattern;
+
+/// One microsecond-denominated simulated second.
+const SECOND_US: u64 = 1_000_000;
+
+/// A pull-based stream of packet events with non-decreasing timestamps.
+///
+/// `pull` appends at most `max` events to `out` and returns how many were
+/// appended; returning `0` means the source is exhausted (most sources are
+/// unbounded and never return `0` — use [`Limit`] to cap them).
+pub trait EventSource {
+    /// The address-space size: every emitted source/destination is `< node_count`.
+    fn node_count(&self) -> u32;
+
+    /// Pull up to `max` events, appending them to `out` in timestamp order.
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize;
+}
+
+/// Drain up to `count` events from a source into a fresh vector.
+///
+/// Convenience for benches and tests that want a materialized stream.
+pub fn collect_events(source: &mut dyn EventSource, count: usize) -> Vec<PacketEvent> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let before = out.len();
+        source.pull(count - out.len(), &mut out);
+        if out.len() == before {
+            break;
+        }
+    }
+    out
+}
+
+/// Shared pacing state: a simulated clock advanced by a (possibly jittered)
+/// inter-event gap derived from an events-per-second rate.
+#[derive(Debug, Clone)]
+struct Pacer {
+    clock_us: u64,
+    gap_us: u64,
+}
+
+impl Pacer {
+    fn new(events_per_sec: u64) -> Self {
+        assert!(events_per_sec > 0, "rate must be positive");
+        Pacer { clock_us: 0, gap_us: (SECOND_US / events_per_sec).max(1) }
+    }
+
+    /// Advance the clock by one (jittered) gap and return the new timestamp.
+    fn tick(&mut self, rng: &mut StdRng) -> u64 {
+        let jitter = rng.gen_range(0..=self.gap_us / 4 + 1);
+        self.clock_us += self.gap_us + jitter - (self.gap_us / 8).min(jitter);
+        self.clock_us
+    }
+}
+
+/// Heavy-tailed background traffic: uniform sources, 70% of destinations in a
+/// small supernode set — the same endpoint mix as
+/// [`tw_matrix::stream::synthetic_events`], re-expressed as an unbounded
+/// pull-based source.
+#[derive(Debug)]
+pub struct HeavyTailSource {
+    node_count: u32,
+    supernode_count: u32,
+    rng: StdRng,
+    pacer: Pacer,
+}
+
+impl HeavyTailSource {
+    /// Background traffic over `node_count` addresses at `events_per_sec`.
+    pub fn new(node_count: u32, events_per_sec: u64, seed: u64) -> Self {
+        assert!(node_count >= 2, "need at least two nodes");
+        HeavyTailSource {
+            node_count,
+            supernode_count: (node_count / 20).max(1),
+            rng: StdRng::seed_from_u64(seed),
+            pacer: Pacer::new(events_per_sec),
+        }
+    }
+}
+
+impl EventSource for HeavyTailSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            let source = self.rng.gen_range(0..self.node_count);
+            let to_supernode =
+                self.rng.gen_bool(0.7) && !(self.supernode_count == 1 && source == 0);
+            let destination = if to_supernode {
+                sample_excluding(&mut self.rng, self.supernode_count, source)
+            } else {
+                sample_excluding(&mut self.rng, self.node_count, source)
+            };
+            let timestamp_us = self.pacer.tick(&mut self.rng);
+            out.push(PacketEvent {
+                source,
+                destination,
+                packets: self.rng.gen_range(1..16),
+                timestamp_us,
+            });
+        }
+        max
+    }
+}
+
+/// A port/address scan: one scanner walks the whole destination space in
+/// order, one packet per probe.
+#[derive(Debug)]
+pub struct ScanSweepSource {
+    node_count: u32,
+    scanner: u32,
+    next_target: u32,
+    rng: StdRng,
+    pacer: Pacer,
+}
+
+impl ScanSweepSource {
+    /// A sweep over `node_count` addresses from a fixed scanner address.
+    pub fn new(node_count: u32, events_per_sec: u64, seed: u64) -> Self {
+        assert!(node_count >= 2, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scanner = rng.gen_range(0..node_count);
+        ScanSweepSource { node_count, scanner, next_target: 0, rng, pacer: Pacer::new(events_per_sec) }
+    }
+}
+
+impl EventSource for ScanSweepSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            if self.next_target == self.scanner {
+                self.next_target = (self.next_target + 1) % self.node_count;
+            }
+            let destination = self.next_target;
+            self.next_target = (self.next_target + 1) % self.node_count;
+            let timestamp_us = self.pacer.tick(&mut self.rng);
+            out.push(PacketEvent { source: self.scanner, destination, packets: 1, timestamp_us });
+        }
+        max
+    }
+}
+
+/// A flash crowd: the whole address space piles onto a few hot targets, with
+/// the arrival rate ramping up over the first simulated seconds.
+#[derive(Debug)]
+pub struct FlashCrowdSource {
+    node_count: u32,
+    hot_targets: Vec<u32>,
+    ramp_us: u64,
+    base_gap_us: u64,
+    clock_us: u64,
+    rng: StdRng,
+}
+
+impl FlashCrowdSource {
+    /// A crowd over `node_count` addresses converging on `hot_count` targets,
+    /// reaching `peak_events_per_sec` after a 2-simulated-second ramp.
+    pub fn new(node_count: u32, peak_events_per_sec: u64, seed: u64) -> Self {
+        assert!(node_count >= 2, "need at least two nodes");
+        assert!(peak_events_per_sec > 0, "rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hot_count = (node_count / 64).clamp(1, 8);
+        let hot_targets = (0..hot_count).map(|_| rng.gen_range(0..node_count)).collect();
+        FlashCrowdSource {
+            node_count,
+            hot_targets,
+            ramp_us: 2 * SECOND_US,
+            base_gap_us: (SECOND_US / peak_events_per_sec).max(1),
+            clock_us: 0,
+            rng,
+        }
+    }
+}
+
+impl EventSource for FlashCrowdSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            // The gap shrinks linearly from 8x the peak gap down to 1x as the
+            // crowd arrives, then holds at the peak rate.
+            let progress = (self.clock_us.min(self.ramp_us) * 7) / self.ramp_us.max(1);
+            let gap = self.base_gap_us * (8 - progress);
+            self.clock_us += gap.max(1);
+            let destination = self.hot_targets[self.rng.gen_range(0..self.hot_targets.len())];
+            let source = sample_excluding(&mut self.rng, self.node_count, destination);
+            out.push(PacketEvent {
+                source,
+                destination,
+                packets: self.rng.gen_range(1..4),
+                timestamp_us: self.clock_us,
+            });
+        }
+        max
+    }
+}
+
+/// A peer-to-peer mesh: a fixed peer set exchanging roughly symmetric traffic
+/// among random peer pairs.
+#[derive(Debug)]
+pub struct P2pMeshSource {
+    node_count: u32,
+    peers: Vec<u32>,
+    /// Pending reverse event so each exchange appears in both directions.
+    echo: Option<PacketEvent>,
+    rng: StdRng,
+    pacer: Pacer,
+}
+
+impl P2pMeshSource {
+    /// A mesh among ~1/8th of the address space at `events_per_sec`.
+    pub fn new(node_count: u32, events_per_sec: u64, seed: u64) -> Self {
+        assert!(node_count >= 2, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peer_count = (node_count / 8).clamp(2, 256);
+        let mut peers: Vec<u32> =
+            (0..peer_count).map(|_| rng.gen_range(0..node_count)).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        if peers.len() < 2 {
+            // Degenerate draw: widen with the neighbouring address.
+            let extra = (peers[0] + 1) % node_count;
+            peers.push(extra);
+            peers.sort_unstable();
+        }
+        P2pMeshSource { node_count, peers, echo: None, rng, pacer: Pacer::new(events_per_sec) }
+    }
+}
+
+impl EventSource for P2pMeshSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            if let Some(mut echo) = self.echo.take() {
+                echo.timestamp_us = self.pacer.tick(&mut self.rng);
+                out.push(echo);
+                continue;
+            }
+            // Two distinct peer indices; peers are deduped, so distinct
+            // indices mean distinct addresses.
+            let i = self.rng.gen_range(0..self.peers.len());
+            let j = (i + 1 + self.rng.gen_range(0..self.peers.len() - 1)) % self.peers.len();
+            let (a, b) = (self.peers[i], self.peers[j]);
+            let timestamp_us = self.pacer.tick(&mut self.rng);
+            let event =
+                PacketEvent { source: a, destination: b, packets: self.rng.gen_range(1..8), timestamp_us };
+            out.push(event);
+            self.echo = Some(PacketEvent {
+                source: b,
+                destination: a,
+                packets: self.rng.gen_range(1..8),
+                timestamp_us,
+            });
+        }
+        max
+    }
+}
+
+/// Replay a `tw-patterns` figure panel at scale: the pattern's non-zero cells
+/// form a weighted categorical distribution over (source-block,
+/// destination-block) pairs, and each pattern node owns a contiguous block of
+/// the scaled address space.
+///
+/// This is how the ingest scenarios *reuse* the paper's attack shapes (DDoS,
+/// notional-attack stages, …) instead of duplicating them: the same
+/// [`Pattern`] that drives a learning module drives the event stream.
+#[derive(Debug)]
+pub struct PatternSource {
+    node_count: u32,
+    dimension: u32,
+    /// `(pattern_row, pattern_col, cumulative_weight)` over non-zero cells.
+    cumulative: Vec<(u32, u32, u64)>,
+    total_weight: u64,
+    rng: StdRng,
+    pacer: Pacer,
+}
+
+impl PatternSource {
+    /// Replay `pattern` over `node_count` addresses at `events_per_sec`.
+    ///
+    /// Panics when the pattern has no traffic or `node_count` is smaller than
+    /// the pattern dimension.
+    pub fn new(pattern: &Pattern, node_count: u32, events_per_sec: u64, seed: u64) -> Self {
+        let dimension = pattern.dimension() as u32;
+        assert!(node_count >= dimension, "address space smaller than the pattern");
+        let mut cumulative = Vec::new();
+        let mut total_weight = 0u64;
+        for (r, c, v) in pattern.matrix.iter_nonzero() {
+            total_weight += u64::from(v);
+            cumulative.push((r as u32, c as u32, total_weight));
+        }
+        assert!(total_weight > 0, "pattern has no traffic to replay");
+        PatternSource {
+            node_count,
+            dimension,
+            cumulative,
+            total_weight,
+            rng: StdRng::seed_from_u64(seed),
+            pacer: Pacer::new(events_per_sec),
+        }
+    }
+
+    /// The half-open address block owned by pattern node `index`.
+    fn block(&self, index: u32) -> (u32, u32) {
+        let start = index * self.node_count / self.dimension;
+        let end = (index + 1) * self.node_count / self.dimension;
+        (start, end.max(start + 1))
+    }
+
+    fn sample_cell(&mut self) -> (u32, u32) {
+        let roll = self.rng.gen_range(0..self.total_weight);
+        let at = self.cumulative.partition_point(|&(_, _, cum)| cum <= roll);
+        let (r, c, _) = self.cumulative[at.min(self.cumulative.len() - 1)];
+        (r, c)
+    }
+}
+
+impl EventSource for PatternSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            let (pr, pc) = self.sample_cell();
+            let (src_lo, src_hi) = self.block(pr);
+            let (dst_lo, dst_hi) = self.block(pc);
+            let source = self.rng.gen_range(src_lo..src_hi);
+            let mut destination = self.rng.gen_range(dst_lo..dst_hi);
+            if destination == source {
+                // Same block (diagonal pattern cell): shift within the block.
+                destination = if destination + 1 < dst_hi { destination + 1 } else { dst_lo };
+                if destination == source {
+                    destination = sample_excluding(&mut self.rng, self.node_count, source);
+                }
+            }
+            let timestamp_us = self.pacer.tick(&mut self.rng);
+            out.push(PacketEvent {
+                source,
+                destination,
+                packets: self.rng.gen_range(1..8),
+                timestamp_us,
+            });
+        }
+        max
+    }
+}
+
+/// A bursty DDoS flood shaped by the paper's Fig. 9 roles: during the `on`
+/// phase of each duty cycle the botnet-client blocks flood the victim block;
+/// between bursts the source goes quiet and the simulated clock jumps ahead.
+#[derive(Debug)]
+pub struct DdosBurstSource {
+    node_count: u32,
+    client_blocks: Vec<(u32, u32)>,
+    victim_block: (u32, u32),
+    burst_on_us: u64,
+    burst_off_us: u64,
+    clock_us: u64,
+    burst_elapsed_us: u64,
+    rng: StdRng,
+    pacer_gap_us: u64,
+}
+
+impl DdosBurstSource {
+    /// A burst flood over `node_count` addresses at `events_per_sec` during
+    /// bursts, reusing [`tw_patterns::ddos`]'s client/victim roles.
+    pub fn new(node_count: u32, events_per_sec: u64, seed: u64) -> Self {
+        assert!(node_count >= 10, "the Fig. 9 roles need at least 10 addresses");
+        assert!(events_per_sec > 0, "rate must be positive");
+        let dim = 10u32;
+        let block = |i: u32| -> (u32, u32) {
+            let start = i * node_count / dim;
+            let end = ((i + 1) * node_count / dim).max(start + 1);
+            (start, end)
+        };
+        let client_blocks =
+            tw_patterns::ddos::BOTNET_CLIENTS.iter().map(|&c| block(c as u32)).collect();
+        DdosBurstSource {
+            node_count,
+            client_blocks,
+            victim_block: block(tw_patterns::ddos::VICTIM as u32),
+            burst_on_us: 60_000,
+            burst_off_us: 40_000,
+            clock_us: 0,
+            burst_elapsed_us: 0,
+            rng: StdRng::seed_from_u64(seed),
+            pacer_gap_us: (SECOND_US / events_per_sec).max(1),
+        }
+    }
+}
+
+impl EventSource for DdosBurstSource {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        for _ in 0..max {
+            self.clock_us += self.pacer_gap_us;
+            self.burst_elapsed_us += self.pacer_gap_us;
+            if self.burst_elapsed_us >= self.burst_on_us {
+                // Quiet phase: jump the clock to the next burst.
+                self.clock_us += self.burst_off_us;
+                self.burst_elapsed_us = 0;
+            }
+            let (src_lo, src_hi) = self.client_blocks[self.rng.gen_range(0..self.client_blocks.len())];
+            let source = self.rng.gen_range(src_lo..src_hi);
+            let (dst_lo, dst_hi) = self.victim_block;
+            let mut destination = self.rng.gen_range(dst_lo..dst_hi);
+            if destination == source {
+                destination = sample_excluding(&mut self.rng, self.node_count, source);
+            }
+            out.push(PacketEvent {
+                source,
+                destination,
+                packets: tw_patterns::ddos::ATTACK_PACKETS,
+                timestamp_us: self.clock_us,
+            });
+        }
+        max
+    }
+}
+
+/// Cap an unbounded source at a fixed number of events.
+pub struct Limit {
+    inner: Box<dyn EventSource>,
+    remaining: usize,
+}
+
+impl Limit {
+    /// At most `events` events from `inner`.
+    pub fn new(inner: Box<dyn EventSource>, events: usize) -> Self {
+        Limit { inner, remaining: events }
+    }
+}
+
+impl EventSource for Limit {
+    fn node_count(&self) -> u32 {
+        self.inner.node_count()
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        let take = max.min(self.remaining);
+        if take == 0 {
+            return 0;
+        }
+        let pulled = self.inner.pull(take, out);
+        self.remaining -= pulled;
+        pulled
+    }
+}
+
+/// How many events a [`Mix`] buffers per upstream source between merges.
+const MIX_CHUNK: usize = 256;
+
+/// Merge several sources into one timestamp-ordered stream.
+///
+/// Each upstream keeps a small look-ahead buffer; every emitted event is the
+/// minimum-timestamp head across the buffers, so the merged stream is
+/// globally non-decreasing as long as each upstream is. Blend ratios follow
+/// from the per-source rates (a source emitting at 70k events/s contributes
+/// ~70% of a mix with a 30k events/s source).
+pub struct Mix {
+    node_count: u32,
+    entries: Vec<MixEntry>,
+}
+
+struct MixEntry {
+    source: Box<dyn EventSource>,
+    buffer: VecDeque<PacketEvent>,
+    exhausted: bool,
+}
+
+impl Mix {
+    /// Merge `sources` (all over the same address space).
+    pub fn new(sources: Vec<Box<dyn EventSource>>) -> Self {
+        assert!(!sources.is_empty(), "a mix needs at least one source");
+        let node_count = sources[0].node_count();
+        assert!(
+            sources.iter().all(|s| s.node_count() == node_count),
+            "all mixed sources must share one address space"
+        );
+        Mix {
+            node_count,
+            entries: sources
+                .into_iter()
+                .map(|source| MixEntry { source, buffer: VecDeque::new(), exhausted: false })
+                .collect(),
+        }
+    }
+
+    fn refill(&mut self, index: usize) {
+        let entry = &mut self.entries[index];
+        if entry.exhausted || !entry.buffer.is_empty() {
+            return;
+        }
+        let mut chunk = Vec::with_capacity(MIX_CHUNK);
+        if entry.source.pull(MIX_CHUNK, &mut chunk) == 0 {
+            entry.exhausted = true;
+        }
+        entry.buffer.extend(chunk);
+    }
+}
+
+impl EventSource for Mix {
+    fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        let mut emitted = 0;
+        while emitted < max {
+            for i in 0..self.entries.len() {
+                self.refill(i);
+            }
+            let winner = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.buffer.front().map(|ev| (i, ev.timestamp_us)))
+                .min_by_key(|&(_, ts)| ts);
+            let Some((index, _)) = winner else { break };
+            out.push(self.entries[index].buffer.pop_front().expect("head just observed"));
+            emitted += 1;
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_patterns::pattern_by_id;
+
+    fn is_sorted(events: &[PacketEvent]) -> bool {
+        events.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us)
+    }
+
+    fn check_basics(events: &[PacketEvent], nodes: u32) {
+        assert!(is_sorted(events), "timestamps must be non-decreasing");
+        for e in events {
+            assert!(e.source < nodes && e.destination < nodes, "addresses in range");
+            assert_ne!(e.source, e.destination, "no self-loops");
+            assert!(e.packets >= 1);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_source_is_deterministic_and_heavy_tailed() {
+        let mut a = HeavyTailSource::new(200, 50_000, 7);
+        let mut b = HeavyTailSource::new(200, 50_000, 7);
+        let ea = collect_events(&mut a, 20_000);
+        let eb = collect_events(&mut b, 20_000);
+        assert_eq!(ea, eb);
+        check_basics(&ea, 200);
+        let supernode_share =
+            ea.iter().filter(|e| e.destination < 10).count() as f64 / ea.len() as f64;
+        assert!(supernode_share > 0.6, "got {supernode_share}");
+    }
+
+    #[test]
+    fn scan_sweep_touches_every_other_address() {
+        let mut s = ScanSweepSource::new(64, 10_000, 3);
+        let events = collect_events(&mut s, 200);
+        check_basics(&events, 64);
+        let scanner = events[0].source;
+        assert!(events.iter().all(|e| e.source == scanner));
+        let mut seen: Vec<u32> = events.iter().map(|e| e.destination).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 63, "a full sweep covers all non-scanner addresses");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_and_ramps() {
+        let mut s = FlashCrowdSource::new(512, 100_000, 5);
+        let events = collect_events(&mut s, 30_000);
+        check_basics(&events, 512);
+        let mut targets: Vec<u32> = events.iter().map(|e| e.destination).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert!(targets.len() <= 8, "flash crowd hits few targets, got {}", targets.len());
+        // Ramp: the second half of the stream spans less simulated time.
+        let half = events.len() / 2;
+        let first_span = events[half - 1].timestamp_us - events[0].timestamp_us;
+        let second_span = events.last().unwrap().timestamp_us - events[half].timestamp_us;
+        assert!(second_span < first_span, "rate should ramp up: {first_span} vs {second_span}");
+    }
+
+    #[test]
+    fn p2p_mesh_is_symmetric_among_peers() {
+        let mut s = P2pMeshSource::new(256, 40_000, 11);
+        let events = collect_events(&mut s, 10_000);
+        check_basics(&events, 256);
+        let mut endpoints: Vec<u32> =
+            events.iter().flat_map(|e| [e.source, e.destination]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        assert!(endpoints.len() <= 32, "mesh stays within the peer set");
+        // Every link is echoed: the link set is symmetric.
+        let forward: std::collections::HashSet<(u32, u32)> =
+            events.iter().map(|e| (e.source, e.destination)).collect();
+        let symmetric = forward.iter().filter(|&&(a, b)| forward.contains(&(b, a))).count();
+        assert!(symmetric * 10 >= forward.len() * 9, "mesh links should be largely symmetric");
+    }
+
+    #[test]
+    fn pattern_source_replays_the_ddos_shape() {
+        let pattern = pattern_by_id("ddos/attack").unwrap();
+        let mut s = PatternSource::new(&pattern, 1000, 80_000, 13);
+        let events = collect_events(&mut s, 20_000);
+        check_basics(&events, 1000);
+        // Fig. 9c sends everything at the victim (pattern node 3 -> block 300..400).
+        let to_victim =
+            events.iter().filter(|e| (300..400).contains(&e.destination)).count() as f64;
+        assert!(to_victim / events.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn ddos_burst_source_floods_the_victim_in_bursts() {
+        let mut s = DdosBurstSource::new(1000, 100_000, 17);
+        let events = collect_events(&mut s, 20_000);
+        check_basics(&events, 1000);
+        assert!(events.iter().all(|e| (300..400).contains(&e.destination)));
+        assert!(events.iter().all(|e| e.packets == tw_patterns::ddos::ATTACK_PACKETS));
+        // Bursts leave gaps: the maximum inter-event gap dwarfs the median.
+        let gaps: Vec<u64> =
+            events.windows(2).map(|w| w[1].timestamp_us - w[0].timestamp_us).collect();
+        let max_gap = *gaps.iter().max().unwrap();
+        assert!(max_gap >= 40_000, "expected off-phase gaps, max gap {max_gap}");
+    }
+
+    #[test]
+    fn limit_caps_and_exhausts() {
+        let source = Box::new(HeavyTailSource::new(64, 10_000, 1));
+        let mut limited = Limit::new(source, 100);
+        let mut out = Vec::new();
+        assert_eq!(limited.pull(60, &mut out), 60);
+        assert_eq!(limited.pull(60, &mut out), 40);
+        assert_eq!(limited.pull(60, &mut out), 0);
+        assert_eq!(out.len(), 100);
+        assert_eq!(limited.node_count(), 64);
+    }
+
+    #[test]
+    fn mix_merges_by_timestamp_and_blends_by_rate() {
+        let fast = Box::new(HeavyTailSource::new(128, 90_000, 2)) as Box<dyn EventSource>;
+        let slow = Box::new(ScanSweepSource::new(128, 10_000, 3)) as Box<dyn EventSource>;
+        let scanner = {
+            let mut probe = ScanSweepSource::new(128, 10_000, 3);
+            collect_events(&mut probe, 1)[0].source
+        };
+        let mut mix = Mix::new(vec![fast, slow]);
+        let events = collect_events(&mut mix, 20_000);
+        check_basics(&events, 128);
+        let scan_share = events.iter().filter(|e| e.source == scanner && e.packets == 1).count()
+            as f64
+            / events.len() as f64;
+        assert!(
+            (0.02..=0.30).contains(&scan_share),
+            "rate blend should keep the scan a minority, got {scan_share}"
+        );
+    }
+
+    #[test]
+    fn mix_of_limited_sources_exhausts() {
+        let a = Box::new(Limit::new(Box::new(HeavyTailSource::new(32, 10_000, 4)), 50));
+        let b = Box::new(Limit::new(Box::new(HeavyTailSource::new(32, 10_000, 5)), 70));
+        let mut mix = Mix::new(vec![a as Box<dyn EventSource>, b as Box<dyn EventSource>]);
+        let events = collect_events(&mut mix, 10_000);
+        assert_eq!(events.len(), 120);
+        let mut out = Vec::new();
+        assert_eq!(mix.pull(10, &mut out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one address space")]
+    fn mix_rejects_mismatched_address_spaces() {
+        let a = Box::new(HeavyTailSource::new(32, 10_000, 4)) as Box<dyn EventSource>;
+        let b = Box::new(HeavyTailSource::new(64, 10_000, 5)) as Box<dyn EventSource>;
+        let _ = Mix::new(vec![a, b]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tumbling windows and per-window ingest statistics.
+
+use std::time::Duration;
+use tw_matrix::CsrMatrix;
+
+/// Maps event timestamps onto tumbling window indices and tracks the window
+/// currently being filled.
+#[derive(Debug, Clone)]
+pub struct WindowClock {
+    window_us: u64,
+    current: u64,
+}
+
+impl WindowClock {
+    /// A clock with tumbling windows of `window_us` microseconds.
+    pub fn new(window_us: u64) -> Self {
+        assert!(window_us > 0, "window must be positive");
+        WindowClock { window_us, current: 0 }
+    }
+
+    /// Window duration in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// The window index a timestamp belongs to.
+    pub fn window_of(&self, timestamp_us: u64) -> u64 {
+        timestamp_us / self.window_us
+    }
+
+    /// The index of the window currently being filled.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Close the current window and return its index.
+    pub fn advance(&mut self) -> u64 {
+        let closed = self.current;
+        self.current += 1;
+        closed
+    }
+}
+
+/// Per-window ingest statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestStats {
+    /// The window's index (window `w` covers `[w·window_us, (w+1)·window_us)`).
+    pub window_index: u64,
+    /// Events accumulated into this window.
+    pub events: u64,
+    /// Total packets across those events.
+    pub packets: u64,
+    /// Stored entries in the window matrix after coalescing.
+    pub nnz: usize,
+    /// Events dropped because they arrived after their window had closed.
+    pub dropped_late: u64,
+    /// Wall-clock time spent pulling, routing and merging this window.
+    pub elapsed: Duration,
+}
+
+impl IngestStats {
+    /// Ingest throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+
+    /// One printable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "window {:>3}: {:>8} events  {:>9} packets  nnz {:>7}  late {:>4}  {:>8.2} ms  {:>7.2} M ev/s",
+            self.window_index,
+            self.events,
+            self.packets,
+            self.nnz,
+            self.dropped_late,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.events_per_sec() / 1e6,
+        )
+    }
+}
+
+/// One finished window: its hypersparse traffic matrix plus statistics.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// The coalesced window matrix (sources × destinations, packet counts).
+    pub matrix: CsrMatrix<u64>,
+    /// The window's ingest statistics.
+    pub stats: IngestStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_maps_timestamps_and_advances() {
+        let mut clock = WindowClock::new(1_000);
+        assert_eq!(clock.window_us(), 1_000);
+        assert_eq!(clock.window_of(0), 0);
+        assert_eq!(clock.window_of(999), 0);
+        assert_eq!(clock.window_of(1_000), 1);
+        assert_eq!(clock.current(), 0);
+        assert_eq!(clock.advance(), 0);
+        assert_eq!(clock.current(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowClock::new(0);
+    }
+
+    #[test]
+    fn stats_throughput_and_summary() {
+        let stats = IngestStats {
+            window_index: 2,
+            events: 1_000_000,
+            packets: 5_000_000,
+            nnz: 42,
+            dropped_late: 3,
+            elapsed: Duration::from_millis(500),
+        };
+        assert!((stats.events_per_sec() - 2_000_000.0).abs() < 1.0);
+        let line = stats.summary();
+        assert!(line.contains("window   2"));
+        assert!(line.contains("nnz"));
+        let zero = IngestStats { elapsed: Duration::ZERO, ..stats };
+        assert_eq!(zero.events_per_sec(), 0.0);
+    }
+}

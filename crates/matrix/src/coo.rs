@@ -96,7 +96,18 @@ impl<T: Copy + PartialEq + std::ops::Add<Output = T> + Default> CooMatrix<T> {
     /// Convert to CSR, coalescing duplicates first.
     pub fn to_csr(mut self) -> CsrMatrix<T> {
         self.coalesce();
-        CsrMatrix::from_sorted_triples(self.rows, self.cols, &self.entries)
+        CsrMatrix::from_sorted_coo(self.rows, self.cols, self.entries)
+    }
+
+    /// Coalesce and return the sorted, duplicate-free entry vector.
+    ///
+    /// This is the shard-local half of the blocked-COO merge used by the
+    /// ingest pipeline: each shard coalesces independently (in parallel) and
+    /// the sorted blocks are stitched together with
+    /// [`CsrMatrix::from_row_disjoint_blocks`].
+    pub fn into_sorted_entries(mut self) -> Vec<(usize, usize, T)> {
+        self.coalesce();
+        self.entries
     }
 
     /// Merge another COO matrix of the same shape into this one.

@@ -42,6 +42,96 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         CsrMatrix { rows, cols, row_ptr, col_idx, values }
     }
 
+    /// Build from already-coalesced entries, consuming the vector.
+    ///
+    /// This is the hot-path constructor for the streaming ingest pipeline:
+    /// the caller guarantees the entries are sorted by `(row, col)` with no
+    /// duplicate coordinates (the post-condition of
+    /// [`crate::coo::CooMatrix::coalesce`]), so the CSR arrays are filled in
+    /// one pass with no re-sort and no intermediate copy of the triples.
+    pub fn from_sorted_coo(rows: usize, cols: usize, entries: Vec<(usize, usize, T)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "from_sorted_coo requires entries sorted by (row, col) with no duplicates"
+        );
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &entries {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for (_, c, v) in entries {
+            col_idx.push(c);
+            values.push(v);
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Merge per-shard COO blocks whose row sets are pairwise disjoint into
+    /// one CSR matrix, without a global sort.
+    ///
+    /// Each block must be internally sorted by `(row, col)` with no duplicate
+    /// coordinates (again the [`crate::coo::CooMatrix::coalesce`]
+    /// post-condition). Because no row appears in more than one block, every
+    /// row's run of entries comes from exactly one block and is already in
+    /// column order, so the merged matrix is built with a counting pass plus
+    /// a single placement pass — `O(nnz + rows)` instead of
+    /// `O(nnz log nnz)`. This is the serial-equivalence keystone of the
+    /// sharded ingest accumulator: the result is identical to pushing every
+    /// entry into one [`crate::coo::CooMatrix`] and calling
+    /// [`crate::coo::CooMatrix::to_csr`].
+    pub fn from_row_disjoint_blocks(
+        rows: usize,
+        cols: usize,
+        blocks: Vec<Vec<(usize, usize, T)>>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut owner = vec![usize::MAX; rows];
+            for (b, block) in blocks.iter().enumerate() {
+                debug_assert!(
+                    block.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+                    "from_row_disjoint_blocks requires each block sorted by (row, col) with no duplicates"
+                );
+                for &(r, _, _) in block {
+                    debug_assert!(
+                        owner[r] == usize::MAX || owner[r] == b,
+                        "from_row_disjoint_blocks requires pairwise-disjoint row sets (row {r} appears in blocks {} and {b})",
+                        owner[r]
+                    );
+                    owner[r] = b;
+                }
+            }
+        }
+        let nnz: usize = blocks.iter().map(Vec::len).sum();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for block in &blocks {
+            for &(r, _, _) in block {
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![T::default(); nnz];
+        // Per-row write cursors. Rows are disjoint across blocks and each
+        // block is sorted, so entries of one row arrive in column order.
+        let mut next: Vec<usize> = row_ptr[..rows].to_vec();
+        for block in blocks {
+            for (r, c, v) in block {
+                let slot = next[r];
+                col_idx[slot] = c;
+                values[slot] = v;
+                next[r] += 1;
+            }
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
     /// Build from a dense row-major grid, dropping `T::default()` entries.
     pub fn from_dense(grid: &[Vec<T>]) -> Result<Self> {
         let rows = grid.len();
@@ -206,6 +296,33 @@ mod tests {
         assert_eq!(t.get(1, 0), 2);
         assert_eq!(t.get(0, 2), 5);
         assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn from_sorted_coo_matches_from_sorted_triples() {
+        let triples = vec![(0usize, 1usize, 2u32), (0, 3, 1), (2, 0, 5), (2, 2, 3)];
+        let by_ref = CsrMatrix::from_sorted_triples(3, 4, &triples);
+        let by_move = CsrMatrix::from_sorted_coo(3, 4, triples);
+        assert_eq!(by_ref, by_move);
+        assert_eq!(by_move, sample());
+        let empty = CsrMatrix::<u32>::from_sorted_coo(3, 4, Vec::new());
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!(empty.shape(), (3, 4));
+    }
+
+    #[test]
+    fn row_disjoint_blocks_merge_like_a_global_sort() {
+        // Rows 0 and 2 live in one block, row 1 in another; block order is
+        // deliberately not row order.
+        let block_a = vec![(1usize, 0usize, 7u32), (1, 3, 9)];
+        let block_b = vec![(0usize, 1usize, 2u32), (0, 3, 1), (2, 0, 5), (2, 2, 3)];
+        let merged = CsrMatrix::from_row_disjoint_blocks(3, 4, vec![block_a, block_b]);
+        let mut all = vec![(0, 1, 2), (0, 3, 1), (1, 0, 7), (1, 3, 9), (2, 0, 5), (2, 2, 3)];
+        all.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(merged, CsrMatrix::from_sorted_triples(3, 4, &all));
+        let none: Vec<Vec<(usize, usize, u32)>> = Vec::new();
+        assert_eq!(CsrMatrix::from_row_disjoint_blocks(2, 2, none).nnz(), 0);
+        assert_eq!(CsrMatrix::<u32>::from_row_disjoint_blocks(0, 0, vec![Vec::new()]).shape(), (0, 0));
     }
 
     #[test]

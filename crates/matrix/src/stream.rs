@@ -24,6 +24,21 @@ pub struct PacketEvent {
     pub timestamp_us: u64,
 }
 
+/// Sample uniformly from `0..pool` excluding `excluded`, keeping the
+/// remaining candidates exactly uniform (shift-past-excluded trick). When
+/// `excluded >= pool` the whole pool is valid and sampled uniformly.
+///
+/// Shared by the generators here and the `tw-ingest` scenario sources so the
+/// subtle exclusion arithmetic lives in one place. Panics (empty range) when
+/// the pool contains no valid candidate.
+pub fn sample_excluding(rng: &mut StdRng, pool: u32, excluded: u32) -> u32 {
+    if excluded >= pool {
+        return rng.gen_range(0..pool);
+    }
+    let d = rng.gen_range(0..pool - 1);
+    d + u32::from(d >= excluded)
+}
+
 /// Generate a synthetic event stream with a heavy-tailed endpoint distribution
 /// (a few "supernode" servers receive most traffic, as in real networks).
 ///
@@ -36,16 +51,17 @@ pub fn synthetic_events(node_count: u32, event_count: usize, seed: u64) -> Vec<P
     let mut events = Vec::with_capacity(event_count);
     for i in 0..event_count {
         // 70% of traffic goes to a supernode destination, sources are uniform.
+        // Self-loops are excluded by sampling the destination from the chosen
+        // pool *minus* the source (shift-past-source trick), which keeps the
+        // remaining destinations exactly uniform. The old `(d + 1) % n`
+        // rewrite folded the self-loop mass onto the next address, which
+        // could silently promote an arbitrary node into the supernode set.
         let source = rng.gen_range(0..node_count);
-        let destination = if rng.gen_bool(0.7) {
-            rng.gen_range(0..supernode_count)
+        let supernode_roll = rng.gen_bool(0.7) && !(supernode_count == 1 && source == 0);
+        let destination = if supernode_roll {
+            sample_excluding(&mut rng, supernode_count, source)
         } else {
-            rng.gen_range(0..node_count)
-        };
-        let destination = if destination == source {
-            (destination + 1) % node_count
-        } else {
-            destination
+            sample_excluding(&mut rng, node_count, source)
         };
         events.push(PacketEvent {
             source,
@@ -151,6 +167,29 @@ mod tests {
         let to_supernodes =
             events.iter().filter(|e| e.destination < 10).count() as f64 / events.len() as f64;
         assert!(to_supernodes > 0.5, "expected heavy-tailed destinations, got {to_supernodes}");
+    }
+
+    #[test]
+    fn non_supernode_destinations_are_unbiased() {
+        // Regression for the old self-loop rewrite `(d + 1) % n`, which folded
+        // the rejected self-loop mass onto one neighbouring address and could
+        // promote it into an accidental supernode. After the fix, the 30%
+        // uniform share must spread evenly over the non-supernode addresses.
+        let node_count = 40u32;
+        let supernode_count = (node_count / 20).max(1); // = 2
+        let events = synthetic_events(node_count, 200_000, 9);
+        let mut hits = vec![0u64; node_count as usize];
+        for e in &events {
+            hits[e.destination as usize] += 1;
+        }
+        let tail = &hits[supernode_count as usize..];
+        let min = *tail.iter().min().unwrap() as f64;
+        let max = *tail.iter().max().unwrap() as f64;
+        assert!(min > 0.0, "every non-supernode address should receive traffic");
+        assert!(
+            max / min < 1.5,
+            "non-supernode destinations should be near-uniform, got min {min} max {max}"
+        );
     }
 
     #[test]

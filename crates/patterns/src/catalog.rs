@@ -68,6 +68,22 @@ pub fn all_patterns() -> Vec<Pattern> {
     Figure::all().into_iter().flat_map(patterns_for_figure).collect()
 }
 
+/// Look up one panel by its stable id (e.g. `"ddos/attack"`), including the
+/// combined composites that are not part of any figure's panel list.
+///
+/// This is how downstream consumers (the ingest scenario registry, scripts)
+/// reuse the attack shapes without duplicating them.
+pub fn pattern_by_id(id: &str) -> Option<Pattern> {
+    if let Some(pattern) = all_patterns().into_iter().find(|p| p.id == id) {
+        return Some(pattern);
+    }
+    match id {
+        "attack/combined" => Some(attack::combined()),
+        "ddos/combined" => Some(ddos::combined()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +104,14 @@ mod tests {
         assert_eq!(patterns_for_figure(Figure::Ddos).len(), 4);
         assert_eq!(patterns_for_figure(Figure::GraphTheory).len(), 9);
         assert_eq!(all_patterns().len(), 24);
+    }
+
+    #[test]
+    fn pattern_lookup_by_id() {
+        assert_eq!(pattern_by_id("ddos/attack").unwrap().name, "DDoS Attack");
+        assert_eq!(pattern_by_id("ddos/combined").unwrap().id, "ddos/combined");
+        assert_eq!(pattern_by_id("attack/combined").unwrap().id, "attack/combined");
+        assert!(pattern_by_id("no/such_pattern").is_none());
     }
 
     #[test]

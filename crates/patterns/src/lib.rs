@@ -26,7 +26,7 @@ pub mod noise;
 pub mod posture;
 pub mod topology;
 
-pub use catalog::{all_patterns, patterns_for_figure, Figure};
+pub use catalog::{all_patterns, pattern_by_id, patterns_for_figure, Figure};
 pub use classify::{classify, Classification};
 pub use noise::{add_background_noise, NoiseConfig};
 

@@ -8,9 +8,20 @@
 //! `sample_size` samples within `measurement_time` and reports the median
 //! per-iteration time on stdout. There is no statistical analysis, plotting,
 //! or baseline comparison.
+//!
+//! Beyond the upstream API, the shim records every benchmark's median and, at
+//! the end of `criterion_main!`, writes `BENCH_<target>.json` — a flat
+//! `{"bench/name": median_ns}` object — so the repo accumulates a
+//! machine-readable perf trajectory (CI uploads these files as artifacts).
+//! Set `BENCH_JSON_DIR` to redirect the output directory; set it to `-` to
+//! disable writing.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Medians recorded by every benchmark run in this process, in run order.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// Identifier for a parameterized benchmark, e.g. `windowed_ingest/100000`.
 pub struct BenchmarkId {
@@ -167,12 +178,53 @@ fn run_benchmark(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)
     let median = sample_times[sample_times.len() / 2];
     let low = sample_times[0];
     let high = sample_times[sample_times.len() - 1];
+    RESULTS.lock().expect("results lock").push((name.to_string(), median));
     format!(
         "{name:<50} time: [{} {} {}]",
         format_ns(low),
         format_ns(median),
         format_ns(high)
     )
+}
+
+/// Serialize the recorded medians as a flat JSON object. Benchmark names are
+/// ASCII identifiers plus `/`, but escape quotes/backslashes defensively.
+fn results_json(results: &[(String, u128)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {median}"));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Write `BENCH_<target>.json` with the median nanoseconds of every benchmark
+/// run so far. Called by `criterion_main!` after the groups finish; `target`
+/// is the bench target's crate name. Honors `BENCH_JSON_DIR` (`-` disables).
+pub fn write_results(target: &str) {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    if dir == "-" {
+        return;
+    }
+    let results = RESULTS.lock().expect("results lock");
+    if results.is_empty() {
+        return;
+    }
+    let path = format!("{dir}/BENCH_{target}.json");
+    match std::fs::write(&path, results_json(&results)) {
+        Ok(()) => println!("wrote {path} ({} benchmark(s))", results.len()),
+        Err(error) => eprintln!("could not write {path}: {error}"),
+    }
 }
 
 fn format_ns(nanos: u128) -> String {
@@ -214,6 +266,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -236,6 +289,46 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn results_are_recorded_and_serialized() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("shim_json/probe", |b| b.iter(|| black_box(1 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let recorded: Vec<_> =
+            results.iter().filter(|(name, _)| name == "shim_json/probe").collect();
+        assert!(!recorded.is_empty(), "bench_function must record its median");
+        drop(results);
+        let json = results_json(&[
+            ("group/a".to_string(), 123u128),
+            ("quote\"name\\x".to_string(), 7u128),
+        ]);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"group/a\": 123,"));
+        assert!(json.contains("\"quote\\\"name\\\\x\": 7"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn write_results_honors_disable_and_directory() {
+        // `-` disables writing entirely (used by test runs).
+        std::env::set_var("BENCH_JSON_DIR", "-");
+        write_results("shimtest_disabled");
+        assert!(!std::path::Path::new("BENCH_shimtest_disabled.json").exists());
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        RESULTS.lock().unwrap().push(("w/one".to_string(), 42));
+        write_results("shimtest");
+        let path = dir.join("BENCH_shimtest.json");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"w/one\": 42"));
+        std::env::remove_var("BENCH_JSON_DIR");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
