@@ -17,7 +17,11 @@ pub enum ArchiveError {
     /// An entry uses a compression method other than "stored".
     UnsupportedCompression(u16),
     /// The stored CRC-32 does not match the entry data.
-    CrcMismatch { name: String, expected: u32, actual: u32 },
+    CrcMismatch {
+        name: String,
+        expected: u32,
+        actual: u32,
+    },
     /// An entry name is not valid UTF-8.
     InvalidEntryName,
     /// An entry name was rejected (empty, absolute, or containing `..`).
@@ -28,6 +32,14 @@ pub enum ArchiveError {
     EntryNotFound(String),
     /// An entry or the archive exceeds format limits (e.g. > 4 GiB).
     TooLarge(&'static str),
+    /// The end-of-central-directory record declares a different number of
+    /// entries than the central directory actually contains.
+    EntryCountMismatch {
+        /// Entry count declared by the end-of-central-directory record.
+        declared: usize,
+        /// Entries actually walked in the central directory.
+        walked: usize,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -52,6 +64,10 @@ impl fmt::Display for ArchiveError {
             ArchiveError::DuplicateEntry(name) => write!(f, "duplicate entry {name:?}"),
             ArchiveError::EntryNotFound(name) => write!(f, "entry {name:?} not found"),
             ArchiveError::TooLarge(what) => write!(f, "{what} exceeds ZIP format limits"),
+            ArchiveError::EntryCountMismatch { declared, walked } => write!(
+                f,
+                "end-of-central-directory record declares {declared} entries but the central directory holds {walked}"
+            ),
         }
     }
 }
@@ -64,10 +80,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_actionable() {
-        let e = ArchiveError::CrcMismatch { name: "a.json".into(), expected: 1, actual: 2 };
+        let e = ArchiveError::CrcMismatch {
+            name: "a.json".into(),
+            expected: 1,
+            actual: 2,
+        };
         let msg = e.to_string();
         assert!(msg.contains("a.json"));
         assert!(msg.contains("0x00000001"));
-        assert!(ArchiveError::UnsupportedCompression(8).to_string().contains("stored"));
+        assert!(ArchiveError::UnsupportedCompression(8)
+            .to_string()
+            .contains("stored"));
     }
 }

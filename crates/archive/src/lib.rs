@@ -17,7 +17,7 @@
 //! let mut w = ZipWriter::new();
 //! w.add_file("lesson1.json", br#"{"name":"Lesson 1"}"#).unwrap();
 //! w.add_file("lesson2.json", br#"{"name":"Lesson 2"}"#).unwrap();
-//! let bytes = w.finish();
+//! let bytes = w.finish().unwrap();
 //!
 //! let r = ZipReader::parse(&bytes).unwrap();
 //! assert_eq!(r.entry_names().collect::<Vec<_>>(), vec!["lesson1.json", "lesson2.json"]);
@@ -40,7 +40,7 @@ mod tests {
 
     #[test]
     fn empty_archive_round_trips() {
-        let bytes = ZipWriter::new().finish();
+        let bytes = ZipWriter::new().finish().unwrap();
         let r = ZipReader::parse(&bytes).unwrap();
         assert_eq!(r.len(), 0);
         assert!(r.is_empty());
@@ -56,7 +56,7 @@ mod tests {
             w.add_file(&name, &body).unwrap();
             expected.push((name, body));
         }
-        let bytes = w.finish();
+        let bytes = w.finish().unwrap();
         let r = ZipReader::parse(&bytes).unwrap();
         assert_eq!(r.len(), 64);
         for (name, body) in expected {

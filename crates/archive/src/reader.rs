@@ -2,7 +2,9 @@
 
 use crate::crc32::crc32;
 use crate::error::{ArchiveError, Result};
-use crate::writer::{validate_entry_name, CENTRAL_DIR_HEADER_SIG, END_OF_CENTRAL_DIR_SIG, LOCAL_FILE_HEADER_SIG};
+use crate::writer::{
+    validate_entry_name, CENTRAL_DIR_HEADER_SIG, END_OF_CENTRAL_DIR_SIG, LOCAL_FILE_HEADER_SIG,
+};
 
 /// One entry in a parsed archive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,18 +28,32 @@ pub struct ZipEntry {
 pub struct ZipReader<'a> {
     data: &'a [u8],
     entries: Vec<ZipEntry>,
+    /// Entry name → index into `entries`, so `read` is O(log n) — window
+    /// recordings are looked up once per window and can hold tens of
+    /// thousands of entries.
+    index: std::collections::BTreeMap<String, usize>,
 }
 
 impl<'a> ZipReader<'a> {
     /// Parse and validate an archive.
+    ///
+    /// The central directory is walked from its recorded offset up to the
+    /// end-of-central-directory record, and the number of entries actually
+    /// walked must equal the entry count the EOCD declares — archives whose
+    /// EOCD was truncated (e.g. a 16-bit wrap of a >65,535-entry count)
+    /// are rejected instead of silently losing entries.
     pub fn parse(data: &'a [u8]) -> Result<Self> {
         let eocd = find_end_of_central_directory(data)?;
-        let entry_count = read_u16(data, eocd + 10)? as usize;
+        let declared = read_u16(data, eocd + 10)? as usize;
         let central_dir_offset = read_u32(data, eocd + 16)? as usize;
+        if central_dir_offset > eocd {
+            return Err(ArchiveError::Truncated("central directory"));
+        }
 
-        let mut entries = Vec::with_capacity(entry_count);
+        let mut entries = Vec::with_capacity(declared.min(65_535));
+        let mut index = std::collections::BTreeMap::new();
         let mut cursor = central_dir_offset;
-        for _ in 0..entry_count {
+        while cursor != eocd {
             let sig = read_u32(data, cursor)?;
             if sig != CENTRAL_DIR_HEADER_SIG {
                 return Err(ArchiveError::BadSignature(CENTRAL_DIR_HEADER_SIG, sig));
@@ -58,14 +74,32 @@ impl<'a> ZipReader<'a> {
                 .map_err(|_| ArchiveError::InvalidEntryName)?
                 .to_string();
             validate_entry_name(&name)?;
-            if entries.iter().any(|e: &ZipEntry| e.name == name) {
+            if index.insert(name.clone(), entries.len()).is_some() {
                 return Err(ArchiveError::DuplicateEntry(name));
             }
-            entries.push(ZipEntry { name, size, crc, offset: local_offset });
+            entries.push(ZipEntry {
+                name,
+                size,
+                crc,
+                offset: local_offset,
+            });
             cursor = name_start + name_len + extra_len + comment_len;
+            if cursor > eocd {
+                return Err(ArchiveError::Truncated("central directory entry"));
+            }
+        }
+        if entries.len() != declared {
+            return Err(ArchiveError::EntryCountMismatch {
+                declared,
+                walked: entries.len(),
+            });
         }
 
-        let reader = ZipReader { data, entries };
+        let reader = ZipReader {
+            data,
+            entries,
+            index,
+        };
         // Validate every entry's local header and CRC eagerly.
         for entry in &reader.entries {
             let bytes = reader.entry_data(entry)?;
@@ -104,9 +138,9 @@ impl<'a> ZipReader<'a> {
     /// Read the contents of a named entry.
     pub fn read(&self, name: &str) -> Result<&'a [u8]> {
         let entry = self
-            .entries
-            .iter()
-            .find(|e| e.name == name)
+            .index
+            .get(name)
+            .map(|&i| &self.entries[i])
             .ok_or_else(|| ArchiveError::EntryNotFound(name.to_string()))?;
         self.entry_data(entry)
     }
@@ -154,8 +188,13 @@ fn find_end_of_central_directory(data: &[u8]) -> Result<usize> {
 }
 
 fn slice<'a>(data: &'a [u8], start: usize, len: usize, what: &'static str) -> Result<&'a [u8]> {
-    data.get(start..start.checked_add(len).ok_or(ArchiveError::Truncated(what))?)
-        .ok_or(ArchiveError::Truncated(what))
+    data.get(
+        start
+            ..start
+                .checked_add(len)
+                .ok_or(ArchiveError::Truncated(what))?,
+    )
+    .ok_or(ArchiveError::Truncated(what))
 }
 
 fn read_u16(data: &[u8], offset: usize) -> Result<u16> {
@@ -175,9 +214,31 @@ mod tests {
 
     fn sample() -> Vec<u8> {
         let mut w = ZipWriter::new();
-        w.add_file("train.json", b"{\"name\":\"Training\"}").unwrap();
-        w.add_file("modules/ddos.json", b"{\"name\":\"DDoS\"}").unwrap();
-        w.finish()
+        w.add_file("train.json", b"{\"name\":\"Training\"}")
+            .unwrap();
+        w.add_file("modules/ddos.json", b"{\"name\":\"DDoS\"}")
+            .unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn rejects_eocd_entry_count_mismatch() {
+        // The sample holds 2 entries; the EOCD count field is at EOCD+10.
+        // An understating count (what the old `as u16` truncation produced
+        // for >65,535-entry archives) must be rejected, not silently obeyed.
+        for wrong in [0u16, 1, 3, 200] {
+            let mut bytes = sample();
+            let eocd = bytes.len() - 22;
+            bytes[eocd + 10..eocd + 12].copy_from_slice(&wrong.to_le_bytes());
+            assert_eq!(
+                ZipReader::parse(&bytes).unwrap_err(),
+                ArchiveError::EntryCountMismatch {
+                    declared: wrong as usize,
+                    walked: 2
+                },
+                "declared {wrong}"
+            );
+        }
     }
 
     #[test]
@@ -185,7 +246,10 @@ mod tests {
         let bytes = sample();
         let r = ZipReader::parse(&bytes).unwrap();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.read_text("train.json").unwrap(), "{\"name\":\"Training\"}");
+        assert_eq!(
+            r.read_text("train.json").unwrap(),
+            "{\"name\":\"Training\"}"
+        );
         assert_eq!(r.entries()[1].name, "modules/ddos.json");
         assert_eq!(r.entries()[1].size, 15);
     }
@@ -239,6 +303,9 @@ mod tests {
         let sig = CENTRAL_DIR_HEADER_SIG.to_le_bytes();
         let pos = bytes.windows(4).position(|w| w == sig).unwrap();
         bytes[pos + 10] = 8; // deflate
-        assert_eq!(ZipReader::parse(&bytes).unwrap_err(), ArchiveError::UnsupportedCompression(8));
+        assert_eq!(
+            ZipReader::parse(&bytes).unwrap_err(),
+            ArchiveError::UnsupportedCompression(8)
+        );
     }
 }

@@ -29,6 +29,7 @@ pub fn validate_entry_name(name: &str) -> Result<()> {
     Ok(())
 }
 
+#[derive(Debug)]
 struct PendingEntry {
     name: String,
     crc: u32,
@@ -41,9 +42,14 @@ struct PendingEntry {
 /// Output is byte-for-byte deterministic for a given sequence of
 /// `add_file` calls (fixed timestamps, no extra fields), which makes module
 /// bundles reproducible and easy to diff.
+#[derive(Debug)]
 pub struct ZipWriter {
     buffer: Vec<u8>,
     entries: Vec<PendingEntry>,
+    /// Entry names added so far; keeps the duplicate check O(log n) per add
+    /// so archives with tens of thousands of entries (one per recorded
+    /// window) stay fast to build.
+    names: std::collections::BTreeSet<String>,
 }
 
 impl Default for ZipWriter {
@@ -55,7 +61,11 @@ impl Default for ZipWriter {
 impl ZipWriter {
     /// Create an empty archive builder.
     pub fn new() -> Self {
-        ZipWriter { buffer: Vec::new(), entries: Vec::new() }
+        ZipWriter {
+            buffer: Vec::new(),
+            entries: Vec::new(),
+            names: std::collections::BTreeSet::new(),
+        }
     }
 
     /// Number of entries added so far.
@@ -71,7 +81,7 @@ impl ZipWriter {
     /// Add a file entry with the given name and contents.
     pub fn add_file(&mut self, name: &str, data: &[u8]) -> Result<()> {
         validate_entry_name(name)?;
-        if self.entries.iter().any(|e| e.name == name) {
+        if !self.names.insert(name.to_string()) {
             return Err(ArchiveError::DuplicateEntry(name.to_string()));
         }
         let size = u32::try_from(data.len()).map_err(|_| ArchiveError::TooLarge("entry"))?;
@@ -106,9 +116,18 @@ impl ZipWriter {
     }
 
     /// Finish the archive, appending the central directory, and return the bytes.
-    pub fn finish(self) -> Vec<u8> {
+    ///
+    /// Errors with [`ArchiveError::TooLarge`] instead of silently truncating
+    /// when the archive exceeds the classic ZIP format limits: more than
+    /// 65,535 entries, or a central directory whose offset or size does not
+    /// fit in 32 bits. (The old `as u16`/`as u32` casts here produced a
+    /// corrupt end-of-central-directory record with no error.)
+    pub fn finish(self) -> Result<Vec<u8>> {
+        let entry_count =
+            u16::try_from(self.entries.len()).map_err(|_| ArchiveError::TooLarge("entry count"))?;
         let mut buffer = self.buffer;
-        let central_dir_offset = buffer.len() as u32;
+        let central_dir_offset = u32::try_from(buffer.len())
+            .map_err(|_| ArchiveError::TooLarge("central directory offset"))?;
 
         for entry in &self.entries {
             push_u32(&mut buffer, CENTRAL_DIR_HEADER_SIG);
@@ -121,7 +140,11 @@ impl ZipWriter {
             push_u32(&mut buffer, entry.crc);
             push_u32(&mut buffer, entry.size);
             push_u32(&mut buffer, entry.size);
-            push_u16(&mut buffer, entry.name.len() as u16);
+            // Already validated by `add_file`'s checked conversion.
+            push_u16(
+                &mut buffer,
+                u16::try_from(entry.name.len()).expect("name length checked on add"),
+            );
             push_u16(&mut buffer, 0); // extra length
             push_u16(&mut buffer, 0); // comment length
             push_u16(&mut buffer, 0); // disk number start
@@ -131,16 +154,17 @@ impl ZipWriter {
             buffer.extend_from_slice(entry.name.as_bytes());
         }
 
-        let central_dir_size = buffer.len() as u32 - central_dir_offset;
+        let central_dir_size = u32::try_from(buffer.len() - central_dir_offset as usize)
+            .map_err(|_| ArchiveError::TooLarge("central directory size"))?;
         push_u32(&mut buffer, END_OF_CENTRAL_DIR_SIG);
         push_u16(&mut buffer, 0); // this disk
         push_u16(&mut buffer, 0); // disk with central directory
-        push_u16(&mut buffer, self.entries.len() as u16);
-        push_u16(&mut buffer, self.entries.len() as u16);
+        push_u16(&mut buffer, entry_count);
+        push_u16(&mut buffer, entry_count);
         push_u32(&mut buffer, central_dir_size);
         push_u32(&mut buffer, central_dir_offset);
         push_u16(&mut buffer, 0); // comment length
-        buffer
+        Ok(buffer)
     }
 }
 
@@ -162,9 +186,30 @@ mod tests {
             let mut w = ZipWriter::new();
             w.add_file("a.json", b"{}").unwrap();
             w.add_file("b.json", b"{\"x\":1}").unwrap();
-            w.finish()
+            w.finish().unwrap()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn finish_rejects_more_entries_than_the_eocd_can_count() {
+        // The EOCD entry-count field is 16 bits; 65_536 entries used to wrap
+        // to 0 silently. Empty payloads keep this regression test fast.
+        let mut w = ZipWriter::new();
+        for i in 0..=u16::MAX as u32 {
+            w.add_file(&format!("w/{i}"), b"").unwrap();
+        }
+        assert_eq!(w.len(), 65_536);
+        assert_eq!(w.finish(), Err(ArchiveError::TooLarge("entry count")));
+
+        // One fewer entry is the format's maximum and still round-trips.
+        let mut w = ZipWriter::new();
+        for i in 0..u16::MAX {
+            w.add_file(&format!("w/{i}"), b"").unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let r = crate::reader::ZipReader::parse(&bytes).unwrap();
+        assert_eq!(r.len(), 65_535);
     }
 
     #[test]
@@ -195,7 +240,7 @@ mod tests {
     fn local_header_signature_is_pk() {
         let mut w = ZipWriter::new();
         w.add_file("a", b"x").unwrap();
-        let bytes = w.finish();
+        let bytes = w.finish().unwrap();
         assert_eq!(&bytes[0..4], b"PK\x03\x04");
         // End record signature appears near the end.
         let eocd_pos = bytes.len() - 22;

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use tw_archive::{ZipReader, ZipWriter};
+use tw_archive::{ArchiveError, ZipReader, ZipWriter};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -15,7 +15,7 @@ proptest! {
         for (name, data) in &files {
             w.add_file(name, data).unwrap();
         }
-        let bytes = w.finish();
+        let bytes = w.finish().unwrap();
         let r = ZipReader::parse(&bytes).unwrap();
         prop_assert_eq!(r.len(), files.len());
         for (name, data) in &files {
@@ -35,7 +35,7 @@ proptest! {
         let mut w = ZipWriter::new();
         w.add_file("a.json", b"{\"name\":\"A\"}").unwrap();
         w.add_file("b.json", &[7u8; 100]).unwrap();
-        let mut bytes = w.finish();
+        let mut bytes = w.finish().unwrap();
         for (pos, xor) in flips {
             let len = bytes.len();
             bytes[pos % len] ^= xor;
@@ -49,9 +49,30 @@ proptest! {
         let name = segments.join("/");
         let mut w = ZipWriter::new();
         w.add_file(&name, &data).unwrap();
-        let bytes = w.finish();
+        let bytes = w.finish().unwrap();
         let r = ZipReader::parse(&bytes).unwrap();
         prop_assert_eq!(r.read(&name).unwrap(), data.as_slice());
+    }
+
+    #[test]
+    fn tampered_eocd_entry_counts_are_always_rejected(
+        names in prop::collection::btree_map("[a-z]{1,10}", 0u8..1, 1..12),
+        wrong in any::<u16>(),
+    ) {
+        let count = names.len();
+        let mut w = ZipWriter::new();
+        for name in names.keys() {
+            w.add_file(name, name.as_bytes()).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        // Force the declared count to disagree with the walked count.
+        let wrong = if wrong as usize == count { wrong.wrapping_add(1) } else { wrong };
+        let eocd = bytes.len() - 22;
+        bytes[eocd + 10..eocd + 12].copy_from_slice(&wrong.to_le_bytes());
+        prop_assert_eq!(
+            ZipReader::parse(&bytes).unwrap_err(),
+            ArchiveError::EntryCountMismatch { declared: wrong as usize, walked: count }
+        );
     }
 }
 

@@ -12,13 +12,19 @@ use tw_core::sim::classroom::{compare_option_counts, run_classroom};
 use tw_core::sim::ClassroomConfig;
 
 fn print_option_count_comparison() {
-    banner("E-S3", "Three-option vs four-option multiple choice (guessing floor and discrimination)");
+    banner(
+        "E-S3",
+        "Three-option vs four-option multiple choice (guessing floor and discrimination)",
+    );
     println!(
         "{:>8} {:>16} {:>22} {:>22}",
         "options", "guessing floor", "discrimination k=0.5", "separation z (20 q)"
     );
     for options in [2usize, 3, 4, 5] {
-        let design = AssessmentDesign { options_per_question: options, question_count: 20 };
+        let design = AssessmentDesign {
+            options_per_question: options,
+            question_count: 20,
+        };
         println!(
             "{options:>8} {:>16.3} {:>22.3} {:>22.2}",
             design.guessing_floor(),
@@ -34,8 +40,16 @@ fn print_option_count_comparison() {
 }
 
 fn print_classroom_outcomes() {
-    banner("E-S3b", "Classroom outcome measurement over the initial module library (future-work pipeline)");
-    let config = ClassroomConfig { class_size: 16, assessment_questions: 10, assessment_options: 3, seed: 5 };
+    banner(
+        "E-S3b",
+        "Classroom outcome measurement over the initial module library (future-work pipeline)",
+    );
+    let config = ClassroomConfig {
+        class_size: 16,
+        assessment_questions: 10,
+        assessment_options: 3,
+        seed: 5,
+    };
     println!(
         "{:<44} {:>8} {:>10} {:>10} {:>8}",
         "bundle", "modules", "pre mean", "post mean", "gain"
@@ -44,7 +58,11 @@ fn print_classroom_outcomes() {
         let report = run_classroom(&bundle, &config);
         println!(
             "{:<44} {:>8} {:>10.3} {:>10.3} {:>8.3}",
-            bundle.name, report.modules_played, report.pre.mean, report.post.mean, report.mean_gain()
+            bundle.name,
+            report.modules_played,
+            report.pre.mean,
+            report.post.mean,
+            report.mean_gain()
         );
     }
 }
@@ -58,17 +76,26 @@ fn bench_assessment(c: &mut Criterion) {
         b.iter(|| black_box(compare_option_counts(48, 20, 11)))
     });
     let ddos = figure_bundle(Figure::Ddos);
-    let config = ClassroomConfig { class_size: 12, assessment_questions: 8, assessment_options: 3, seed: 5 };
+    let config = ClassroomConfig {
+        class_size: 12,
+        assessment_questions: 8,
+        assessment_options: 3,
+        seed: 5,
+    };
     group.bench_function("classroom_run_ddos_bundle_12_students", |b| {
         b.iter(|| black_box(run_classroom(&ddos, &config).mean_gain()))
     });
     group.bench_function("quiz_session_full_curriculum", |b| {
-        let bundle: tw_core::prelude::ModuleBundle =
-            tw_core::module::library::full_curriculum().into_iter().collect();
+        let bundle: tw_core::prelude::ModuleBundle = tw_core::module::library::full_curriculum()
+            .into_iter()
+            .collect();
         b.iter(|| {
             let mut session = tw_core::quiz::QuizSession::new(&bundle, 3);
             while !session.is_finished() {
-                let choice = session.current_question().map(|q| q.correct_index).unwrap_or(0);
+                let choice = session
+                    .current_question()
+                    .map(|q| q.correct_index)
+                    .unwrap_or(0);
                 session.answer(choice);
             }
             black_box(session.score().correct)

@@ -20,9 +20,14 @@ use tw_core::render::render_matrix_2d;
 use tw_script::{Interpreter, HELLO_WORLD_GDSCRIPT, PALLET_CONTROLLER_GDSCRIPT};
 
 fn print_fig1() {
-    banner("E-F1", "Fig. 1: Hello World in GDScript, executed by the tw-script interpreter");
+    banner(
+        "E-F1",
+        "Fig. 1: Hello World in GDScript, executed by the tw-script interpreter",
+    );
     let mut tree = tw_core::engine::SceneTree::new("Fig1");
-    let host = tree.spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node).unwrap();
+    let host = tree
+        .spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node)
+        .unwrap();
     let mut interp = Interpreter::attach(HELLO_WORLD_GDSCRIPT, host, &[]).unwrap();
     interp.ready(&mut tree).unwrap();
     println!("script output: {:?}", interp.output);
@@ -35,13 +40,19 @@ fn print_fig2_to_4() {
     let scene = WarehouseScene::build(&module);
     println!("{}", scene.tree.print_tree());
 
-    banner("E-F3", "Fig. 3: Inspector view of the pallet controller's exported variables");
+    banner(
+        "E-F3",
+        "Fig. 3: Inspector view of the pallet controller's exported variables",
+    );
     let controller = scene.controller;
     let mut tree = scene.tree;
     let inspector = Inspector::new(&mut tree);
     println!("{}", inspector.render(controller).unwrap());
 
-    banner("E-F4", "Fig. 4: X and Y axis-label nodes populated from the module file");
+    banner(
+        "E-F4",
+        "Fig. 4: X and Y axis-label nodes populated from the module file",
+    );
     let scene = WarehouseScene::build(&tw_core::module::template_10x10());
     let mut tree = scene.tree;
     let controller_state =
@@ -55,7 +66,13 @@ fn print_fig2_to_4() {
             .iter()
             .map(|&holder| {
                 let text = tree.children(holder).unwrap()[1];
-                tree.node(text).unwrap().get("text").unwrap().as_str().unwrap_or("").to_string()
+                tree.node(text)
+                    .unwrap()
+                    .get("text")
+                    .unwrap()
+                    .as_str()
+                    .unwrap_or("")
+                    .to_string()
             })
             .collect();
         println!("{axis_name} axis labels: {labels:?}");
@@ -63,20 +80,35 @@ fn print_fig2_to_4() {
 }
 
 fn print_fig5() {
-    banner("E-F5", "Fig. 5: training level — 2-D view, 3-D view, packets placed");
+    banner(
+        "E-F5",
+        "Fig. 5: training level — 2-D view, 3-D view, packets placed",
+    );
     let mut training = TrainingLevel::start().unwrap();
-    println!("(a) 2-D matrix view:\n{}", training.level.scene.module().matrix.to_ascii());
+    println!(
+        "(a) 2-D matrix view:\n{}",
+        training.level.scene.module().matrix.to_ascii()
+    );
     let [_a, b, c] = training.render_figure_panels(96);
-    println!("(b) 3-D view before packet placement ({} pixels covered)", b.covered_pixels());
+    println!(
+        "(b) 3-D view before packet placement ({} pixels covered)",
+        b.covered_pixels()
+    );
     println!("{}", b.downsample(2).to_ascii());
-    println!("(c) 3-D view with all packets placed ({} pixels covered)", c.covered_pixels());
+    println!(
+        "(c) 3-D view with all packets placed ({} pixels covered)",
+        c.covered_pixels()
+    );
     println!("{}", c.downsample(2).to_ascii());
 }
 
 fn print_pattern_figures() {
     for figure in Figure::all() {
         let experiment = format!("E-F{}", figure.number());
-        banner(&experiment, &format!("Fig. {}: {}", figure.number(), figure.title()));
+        banner(
+            &experiment,
+            &format!("Fig. {}: {}", figure.number(), figure.title()),
+        );
         for pattern in patterns_for_figure(figure) {
             let profile = tw_core::matrix::MatrixProfile::of(&pattern.matrix);
             let classification = classify(&pattern.matrix);
@@ -89,7 +121,10 @@ fn print_pattern_figures() {
                 classification.best_id,
                 classification.best_score
             );
-            println!("{}", pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+            println!(
+                "{}",
+                pattern.matrix.to_ascii_with_colors(Some(&pattern.colors))
+            );
         }
     }
 }
@@ -104,7 +139,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig1_hello_world_interpreter", |b| {
         b.iter(|| {
             let mut tree = tw_core::engine::SceneTree::new("Fig1");
-            let host = tree.spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node).unwrap();
+            let host = tree
+                .spawn(tree.root(), "Host", tw_core::engine::NodeKind::Node)
+                .unwrap();
             let mut interp = Interpreter::attach(HELLO_WORLD_GDSCRIPT, host, &[]).unwrap();
             interp.ready(&mut tree).unwrap();
             black_box(interp.output.len())
@@ -122,7 +159,8 @@ fn bench_figures(c: &mut Criterion) {
                 ("pallets_are_colored", Variant::Bool(false)),
             ];
             let mut interp =
-                Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
+                Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported)
+                    .unwrap();
             interp.ready(&mut tree).unwrap();
             black_box(interp.errors.len())
         })
@@ -152,7 +190,10 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig6_to_10_classifier", |b| {
         let patterns = all_patterns();
         b.iter(|| {
-            let hits = patterns.iter().filter(|p| classify(&p.matrix).best_id == p.id).count();
+            let hits = patterns
+                .iter()
+                .filter(|p| classify(&p.matrix).best_id == p.id)
+                .count();
             black_box(hits)
         })
     });

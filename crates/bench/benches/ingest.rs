@@ -46,13 +46,17 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter(|| black_box(window_matrix(nodes as usize, &events).nnz()))
     });
     for &shards in &[2usize, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("sharded_merge", shards), &shards, |b, &shards| {
-            b.iter(|| {
-                let mut acc = ShardedAccumulator::new(nodes as usize, shards);
-                acc.ingest_batch(&events);
-                black_box(acc.merge().nnz())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sharded_merge", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut acc = ShardedAccumulator::new(nodes as usize, shards);
+                    acc.ingest_batch(&events);
+                    black_box(acc.merge().nnz())
+                })
+            },
+        );
     }
     group.finish();
 

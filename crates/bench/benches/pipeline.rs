@@ -20,11 +20,20 @@ fn synthetic_module(n: usize) -> LearningModule {
         builder = builder.cell(i, (i + 1) % n, 2).expect("in range");
         builder = builder.cell(i, i, 1).expect("in range");
     }
-    builder.question("Which pattern is this?", ["A ring", "A star", "A clique"], 0).build()
+    builder
+        .question(
+            "Which pattern is this?",
+            ["A ring", "A star", "A clique"],
+            0,
+        )
+        .build()
 }
 
 fn print_pipeline_summary() {
-    banner("E-S4", "Module pipeline cost: JSON parse -> validate -> scene build -> render");
+    banner(
+        "E-S4",
+        "Module pipeline cost: JSON parse -> validate -> scene build -> render",
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>14}",
         "size", "json bytes", "zip bytes", "scene nodes", "2-D pixels"
@@ -54,17 +63,23 @@ fn bench_pipeline(c: &mut Criterion) {
     for &n in &[6usize, 10, 16] {
         let module = synthetic_module(n);
         let json = module.to_json();
-        group.bench_with_input(BenchmarkId::new("parse_and_validate", n), &json, |b, json| {
-            b.iter(|| {
-                let (module, report) = tw_core::load_module(json).unwrap();
-                black_box((module.dimension(), report.is_valid()))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_validate", n),
+            &json,
+            |b, json| {
+                b.iter(|| {
+                    let (module, report) = tw_core::load_module(json).unwrap();
+                    black_box((module.dimension(), report.is_valid()))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("scene_build", n), &module, |b, module| {
             b.iter(|| black_box(WarehouseScene::build(module).tree.len()))
         });
         group.bench_with_input(BenchmarkId::new("render_2d", n), &module, |b, module| {
-            b.iter(|| black_box(render_matrix_2d(&module.matrix, Some(&module.colors)).covered_pixels()))
+            b.iter(|| {
+                black_box(render_matrix_2d(&module.matrix, Some(&module.colors)).covered_pixels())
+            })
         });
         let scene = WarehouseScene::build(&module);
         let mut view = tw_core::game::ViewState::new();
@@ -76,7 +91,9 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("bundle_and_session");
-    let library_bundle: ModuleBundle = tw_core::module::library::full_curriculum().into_iter().collect();
+    let library_bundle: ModuleBundle = tw_core::module::library::full_curriculum()
+        .into_iter()
+        .collect();
     let zip = library_bundle.to_zip().unwrap();
     group.bench_function("zip_full_curriculum_26_modules", |b| {
         b.iter(|| black_box(library_bundle.to_zip().unwrap().len()))

@@ -11,23 +11,34 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tw_bench::{banner, quick_criterion};
 use tw_core::prelude::*;
+use tw_core::render::{legibility_score, DISPLAY_LIMIT};
 use tw_matrix::ops::{mxv, reduce_rows};
-use tw_matrix::parallel::{par_matrix_from_events, par_mxv, par_reduce_rows, serial_matrix_from_events};
+use tw_matrix::parallel::{
+    par_matrix_from_events, par_mxv, par_reduce_rows, serial_matrix_from_events,
+};
 use tw_matrix::stream::synthetic_events;
 use tw_matrix::PlusTimes;
-use tw_core::render::{legibility_score, DISPLAY_LIMIT};
 
 fn print_legibility_sweep() {
     banner(
         "E-S1",
         "Packet-count legibility sweep (paper: 'fewer than 15 packets ... displays well')",
     );
-    println!("{:>8} {:>12} {:>14}", "packets", "legibility", "display ok?");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "packets", "legibility", "display ok?"
+    );
     for count in [1u32, 2, 4, 8, 12, 14, 15, 16, 20, 24, 32, 48] {
         let score = legibility_score(count);
         println!(
             "{count:>8} {score:>12.3} {:>14}",
-            if count <= DISPLAY_LIMIT && score >= 1.0 { "yes" } else if score >= 1.0 { "edge" } else { "no" }
+            if count <= DISPLAY_LIMIT && score >= 1.0 {
+                "yes"
+            } else if score >= 1.0 {
+                "edge"
+            } else {
+                "no"
+            }
         );
     }
     println!(
@@ -36,7 +47,10 @@ fn print_legibility_sweep() {
 }
 
 fn print_analytics_sweep() {
-    banner("E-S2", "Sparse traffic-matrix analytics scaling (serial vs rayon)");
+    banner(
+        "E-S2",
+        "Sparse traffic-matrix analytics scaling (serial vs rayon)",
+    );
     println!(
         "{:>10} {:>10} {:>10} {:>14} {:>14}",
         "events", "nodes", "nnz", "total packets", "mean row sum"
@@ -48,7 +62,10 @@ fn print_analytics_sweep() {
         let row_sums = par_reduce_rows(&PlusTimes, &matrix);
         let total: u64 = row_sums.iter().sum();
         let mean = total as f64 / nodes as f64;
-        println!("{events:>10} {nodes:>10} {:>10} {total:>14} {mean:>14.1}", matrix.nnz());
+        println!(
+            "{events:>10} {nodes:>10} {:>10} {total:>14} {mean:>14.1}",
+            matrix.nnz()
+        );
     }
 }
 
@@ -69,9 +86,11 @@ fn bench_scaling(c: &mut Criterion) {
         let scene = tw_core::game::WarehouseScene::build(&module);
         let mut view = tw_core::game::ViewState::new();
         view.toggle_mode();
-        group.bench_with_input(BenchmarkId::new("render_3d_96px", packets), &packets, |b, _| {
-            b.iter(|| black_box(scene.render(&view, 96, 96).covered_pixels()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("render_3d_96px", packets),
+            &packets,
+            |b, _| b.iter(|| black_box(scene.render(&view, 96, 96).covered_pixels())),
+        );
     }
     group.finish();
 
@@ -106,13 +125,17 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_aggregation");
     for &count in &[10_000usize, 100_000] {
         let stream = synthetic_events(256, count, 3);
-        group.bench_with_input(BenchmarkId::new("windowed_ingest", count), &stream, |b, stream| {
-            b.iter(|| {
-                let mut agg = tw_matrix::StreamAggregator::new(256, 10_000);
-                agg.ingest_all(stream);
-                black_box(agg.finish().len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("windowed_ingest", count),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut agg = tw_matrix::StreamAggregator::new(256, 10_000);
+                    agg.ingest_all(stream);
+                    black_box(agg.finish().len())
+                })
+            },
+        );
     }
     group.finish();
 }

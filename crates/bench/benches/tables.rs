@@ -7,9 +7,15 @@ use tw_bench::{banner, quick_criterion};
 use tw_core::sim::{engine_comparison, modeling_comparison};
 
 fn print_tables() {
-    banner("E-T1", "Table I: game engine comparison (Godot vs Unity vs Unreal)");
+    banner(
+        "E-T1",
+        "Table I: game engine comparison (Godot vs Unity vs Unreal)",
+    );
     println!("{}", engine_comparison().render());
-    banner("E-T2", "Table II: modeling tool comparison (MagicaVoxel vs Blender vs Maya)");
+    banner(
+        "E-T2",
+        "Table II: modeling tool comparison (MagicaVoxel vs Blender vs Maya)",
+    );
     println!("{}", modeling_comparison().render());
     assert_eq!(engine_comparison().winner(), "Godot");
     assert_eq!(modeling_comparison().winner(), "MagicaVoxel");
@@ -32,7 +38,9 @@ fn bench_tables(c: &mut Criterion) {
         })
     });
     group.bench_function("table_render_text", |b| {
-        b.iter(|| black_box(engine_comparison().render().len() + modeling_comparison().render().len()))
+        b.iter(|| {
+            black_box(engine_comparison().render().len() + modeling_comparison().render().len())
+        })
     });
     group.finish();
 }

@@ -17,7 +17,9 @@
 
 use std::fmt::Write as _;
 use tw_core::game::{GameSession, ViewState, WarehouseScene};
-use tw_core::module::{default_curriculum, from_json_maybe_obfuscated, to_obfuscated_json, validate};
+use tw_core::module::{
+    default_curriculum, from_json_maybe_obfuscated, to_obfuscated_json, validate,
+};
 use tw_core::patterns::{patterns_for_figure, Figure};
 use tw_core::prelude::*;
 
@@ -27,14 +29,20 @@ pub enum Command {
     /// Validate a module JSON file.
     Validate { path: String },
     /// Render a module to ASCII (and optionally a PPM file).
-    Render { path: String, three_d: bool, colors: bool, out: Option<String> },
+    Render {
+        path: String,
+        three_d: bool,
+        colors: bool,
+        out: Option<String>,
+    },
     /// Auto-play a bundle and print the transcript.
     Play { path: String, seed: u64 },
     /// Write the initial library's ZIP bundles into a directory.
     ExportLibrary { directory: String },
     /// Re-emit a module with its correct answer obfuscated.
     Obfuscate { path: String },
-    /// Run a named ingest scenario and print per-window statistics.
+    /// Run a named ingest scenario and print per-window statistics,
+    /// optionally recording the window stream to a replayable ZIP.
     Ingest {
         scenario: String,
         windows: usize,
@@ -43,7 +51,10 @@ pub enum Command {
         shards: usize,
         batch: usize,
         window_us: u64,
+        record: Option<String>,
     },
+    /// Replay a recorded window stream into the live warehouse view.
+    Replay { path: String, speed: u64 },
     /// Print the default curriculum with prerequisites.
     Curriculum,
     /// Print the figure gallery.
@@ -74,11 +85,16 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
-  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N]
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--record file.zip]
                                               stream a scenario through the sharded ingest
                                               pipeline and print per-window stats
                                               (scenarios: background, ddos, scan,
-                                              flash-crowd, p2p, mixed)
+                                              flash-crowd, p2p, mixed); --record also
+                                              captures the window stream as a replayable ZIP
+  replay <file.zip> [--speed N]               re-emit a recorded window stream into the live
+                                              warehouse view without regenerating any events
+                                              (--speed N paces playback at N x real time;
+                                              default is as fast as possible)
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
   help                                        show this message
@@ -90,11 +106,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let command = iter.next().map(String::as_str).unwrap_or("help");
     match command {
         "validate" => {
-            let path = iter.next().ok_or(CliError("validate needs a module path".to_string()))?;
+            let path = iter
+                .next()
+                .ok_or(CliError("validate needs a module path".to_string()))?;
             Ok(Command::Validate { path: path.clone() })
         }
         "render" => {
-            let path = iter.next().ok_or(CliError("render needs a module path".to_string()))?.clone();
+            let path = iter
+                .next()
+                .ok_or(CliError("render needs a module path".to_string()))?
+                .clone();
             let mut three_d = false;
             let mut colors = false;
             let mut out = None;
@@ -104,16 +125,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--colors" => colors = true,
                     "--out" => {
                         out = Some(
-                            iter.next().ok_or(CliError("--out needs a file path".to_string()))?.clone(),
+                            iter.next()
+                                .ok_or(CliError("--out needs a file path".to_string()))?
+                                .clone(),
                         )
                     }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
-            Ok(Command::Render { path, three_d, colors, out })
+            Ok(Command::Render {
+                path,
+                three_d,
+                colors,
+                out,
+            })
         }
         "play" => {
-            let path = iter.next().ok_or(CliError("play needs a bundle path".to_string()))?.clone();
+            let path = iter
+                .next()
+                .ok_or(CliError("play needs a bundle path".to_string()))?
+                .clone();
             let mut seed = 0u64;
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
@@ -130,12 +161,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Play { path, seed })
         }
         "export-library" => {
-            let directory =
-                iter.next().ok_or(CliError("export-library needs a directory".to_string()))?;
-            Ok(Command::ExportLibrary { directory: directory.clone() })
+            let directory = iter
+                .next()
+                .ok_or(CliError("export-library needs a directory".to_string()))?;
+            Ok(Command::ExportLibrary {
+                directory: directory.clone(),
+            })
         }
         "obfuscate" => {
-            let path = iter.next().ok_or(CliError("obfuscate needs a module path".to_string()))?;
+            let path = iter
+                .next()
+                .ok_or(CliError("obfuscate needs a module path".to_string()))?;
             Ok(Command::Obfuscate { path: path.clone() })
         }
         "ingest" => {
@@ -146,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut shards = 0usize;
             let mut batch = 8192usize;
             let mut window_us = 100_000u64;
+            let mut record = None;
             fn value<'a, T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'a, String>,
                 flag: &str,
@@ -158,8 +195,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--scenario" => {
-                        scenario =
-                            Some(iter.next().ok_or(CliError("--scenario needs a name".to_string()))?.clone())
+                        scenario = Some(
+                            iter.next()
+                                .ok_or(CliError("--scenario needs a name".to_string()))?
+                                .clone(),
+                        )
                     }
                     "--windows" => windows = value(&mut iter, "--windows")?,
                     "--nodes" => nodes = value(&mut iter, "--nodes")?,
@@ -167,6 +207,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--shards" => shards = value(&mut iter, "--shards")?,
                     "--batch" => batch = value(&mut iter, "--batch")?,
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    "--record" => {
+                        record = Some(
+                            iter.next()
+                                .ok_or(CliError("--record needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
@@ -175,12 +222,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if windows == 0 {
                 return Err(CliError("--windows must be at least 1".to_string()));
             }
-            Ok(Command::Ingest { scenario, windows, nodes, seed, shards, batch, window_us })
+            Ok(Command::Ingest {
+                scenario,
+                windows,
+                nodes,
+                seed,
+                shards,
+                batch,
+                window_us,
+                record,
+            })
+        }
+        "replay" => {
+            let path = iter
+                .next()
+                .ok_or(CliError("replay needs a recording path".to_string()))?
+                .clone();
+            let mut speed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--speed" => {
+                        speed = iter
+                            .next()
+                            .ok_or(CliError("--speed needs a value".to_string()))?
+                            .parse()
+                            .map_err(|_| CliError("--speed must be an integer".to_string()))?;
+                        if speed == 0 {
+                            return Err(CliError("--speed must be at least 1".to_string()));
+                        }
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Replay { path, speed })
         }
         "curriculum" => Ok(Command::Curriculum),
         "figures" => Ok(Command::Figures),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(CliError(format!("unknown command {other:?}; run `traffic-warehouse help`"))),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; run `traffic-warehouse help`"
+        ))),
     }
 }
 
@@ -189,12 +270,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Validate { path } => {
-            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
             let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
             Ok(render_validation(&module))
         }
-        Command::Render { path, three_d, colors, out } => {
-            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        Command::Render {
+            path,
+            three_d,
+            colors,
+            out,
+        } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
             let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
             let (ascii, ppm) = render_module(&module, *three_d, *colors);
             if let Some(out_path) = out {
@@ -204,17 +292,23 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Play { path, seed } => {
             let bytes = std::fs::read(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-            let bundle =
-                tw_core::load_bundle(path, &bytes).map_err(|e| CliError(e.to_string()))?;
+            let bundle = tw_core::load_bundle(path, &bytes).map_err(|e| CliError(e.to_string()))?;
             play_bundle(bundle, *seed)
         }
         Command::ExportLibrary { directory } => {
-            std::fs::create_dir_all(directory).map_err(|e| CliError(format!("{directory}: {e}")))?;
+            std::fs::create_dir_all(directory)
+                .map_err(|e| CliError(format!("{directory}: {e}")))?;
             let mut out = String::new();
             for (name, bytes) in tw_core::initial_library_zips() {
                 let slug: String = name
                     .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() {
+                            c.to_ascii_lowercase()
+                        } else {
+                            '_'
+                        }
+                    })
                     .collect();
                 let path = format!("{directory}/{slug}.zip");
                 std::fs::write(&path, &bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -223,20 +317,40 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Obfuscate { path } => {
-            let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
             let module = from_json_maybe_obfuscated(&text).map_err(|e| CliError(e.to_string()))?;
             to_obfuscated_json(&module).map_err(|e| CliError(e.to_string()))
         }
-        Command::Ingest { scenario, windows, nodes, seed, shards, batch, window_us } => {
-            run_ingest(scenario, *windows, *nodes, *seed, *shards, *batch, *window_us)
-        }
+        Command::Ingest {
+            scenario,
+            windows,
+            nodes,
+            seed,
+            shards,
+            batch,
+            window_us,
+            record,
+        } => run_ingest(
+            scenario,
+            *windows,
+            *nodes,
+            *seed,
+            *shards,
+            *batch,
+            *window_us,
+            record.as_deref(),
+        ),
+        Command::Replay { path, speed } => run_replay(path, *speed),
         Command::Curriculum => Ok(render_curriculum()),
         Command::Figures => Ok(render_figures()),
     }
 }
 
 /// Stream a named scenario through the sharded ingest pipeline and render
-/// per-window statistics.
+/// per-window statistics; with `record`, also capture the window stream as
+/// a replayable ZIP at that path.
+#[allow(clippy::too_many_arguments)]
 pub fn run_ingest(
     scenario_name: &str,
     windows: usize,
@@ -245,8 +359,11 @@ pub fn run_ingest(
     shards: usize,
     batch: usize,
     window_us: u64,
+    record: Option<&str>,
 ) -> Result<String, CliError> {
-    use tw_core::ingest::{Pipeline, PipelineConfig, Scenario};
+    use tw_core::ingest::{
+        ArchiveRecorder, Pipeline, PipelineConfig, RecordingMeta, Scenario, MAX_DIMENSION,
+    };
 
     let scenario = Scenario::by_name(scenario_name).ok_or_else(|| {
         let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
@@ -258,13 +375,22 @@ pub fn run_ingest(
     if nodes < 20 {
         return Err(CliError("--nodes must be at least 20".to_string()));
     }
+    if record.is_some() && nodes as usize > MAX_DIMENSION {
+        return Err(CliError(format!(
+            "--record supports at most {MAX_DIMENSION} nodes (the window codec's dimension limit)"
+        )));
+    }
     if batch == 0 {
         return Err(CliError("--batch must be at least 1".to_string()));
     }
     if window_us == 0 {
         return Err(CliError("--window-us must be at least 1".to_string()));
     }
-    let config = PipelineConfig { window_us, batch_size: batch, shard_count: shards };
+    let config = PipelineConfig {
+        window_us,
+        batch_size: batch,
+        shard_count: shards,
+    };
     let mut pipeline = Pipeline::new(scenario.source(nodes, seed), config);
     let mut out = format!(
         "scenario {scenario} ({}): {nodes} nodes, {} us windows, {} shard(s), batch {batch}, seed {seed}\n",
@@ -272,9 +398,22 @@ pub fn run_ingest(
         window_us,
         pipeline.shard_count(),
     );
+    let mut recorder = record.map(|_| {
+        ArchiveRecorder::new(RecordingMeta {
+            scenario: scenario.name().to_string(),
+            seed,
+            node_count: nodes as usize,
+            window_us,
+        })
+    });
     let reports = pipeline.run(windows);
     for report in &reports {
         let _ = writeln!(out, "{}", report.stats.summary());
+        if let Some(recorder) = recorder.as_mut() {
+            recorder
+                .record(report)
+                .map_err(|e| CliError(e.to_string()))?;
+        }
     }
     let events: u64 = reports.iter().map(|r| r.stats.events).sum();
     let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
@@ -287,6 +426,74 @@ pub fn run_ingest(
         elapsed * 1e3,
         if elapsed > 0.0 { events as f64 / elapsed / 1e6 } else { 0.0 },
     );
+    if let (Some(recorder), Some(path)) = (recorder, record) {
+        let recorded = recorder.windows_recorded();
+        let bytes = recorder.finish().map_err(|e| CliError(e.to_string()))?;
+        std::fs::write(path, &bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "recorded {recorded} window(s) to {path} ({} bytes); replay with: traffic-warehouse replay {path}",
+            bytes.len()
+        );
+    }
+    Ok(out)
+}
+
+/// Replay a recorded window stream into a live warehouse session.
+pub fn run_replay(path: &str, speed: u64) -> Result<String, CliError> {
+    use tw_core::ingest::ReplaySource;
+
+    let bytes = std::fs::read(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let mut replay = ReplaySource::parse(&bytes).map_err(|e| CliError(e.to_string()))?;
+    let manifest = replay.manifest().clone();
+    // Paced playback (--speed) streams each line to stdout as its window is
+    // replayed — the class watches the scenario build up live; buffering
+    // everything into the returned string would sleep in silence and then
+    // dump the whole transcript at once. Unpaced replay keeps the buffered
+    // contract of every other subcommand.
+    let mut out = String::new();
+    let pacing = (speed > 0).then(|| std::time::Duration::from_micros(manifest.window_us / speed));
+    let mut emit = |line: std::fmt::Arguments<'_>| {
+        if pacing.is_some() {
+            println!("{line}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        } else {
+            let _ = writeln!(out, "{line}");
+        }
+    };
+    emit(format_args!(
+        "replaying {} ({}): {} nodes, {} us windows, {} window(s), seed {}",
+        path,
+        manifest.scenario,
+        manifest.node_count,
+        manifest.window_us,
+        manifest.window_count(),
+        manifest.seed,
+    ));
+
+    // The replayed stream drives the same live-warehouse path as a live
+    // pipeline: every window re-pallets the 10x10 display scene.
+    let mut session = GameSession::start(ModuleBundle::new(&manifest.scenario), manifest.seed)
+        .map_err(|e| CliError(e.to_string()))?;
+    session.subscribe_live(10);
+    while let Some(report) = replay.next_window().map_err(|e| CliError(e.to_string()))? {
+        session.ingest_window(&report);
+        emit(format_args!("{}", report.stats.summary()));
+        if let Some(pause) = pacing {
+            std::thread::sleep(pause);
+        }
+    }
+    let live = session.live().expect("subscribed above");
+    emit(format_args!(
+        "replayed {} window(s) onto the live warehouse (no events regenerated){}",
+        live.windows_seen(),
+        if speed > 0 {
+            format!(", paced at {speed}x real time")
+        } else {
+            String::new()
+        },
+    ));
     Ok(out)
 }
 
@@ -310,7 +517,11 @@ pub fn render_validation(module: &LearningModule) -> String {
             report.warnings().count()
         );
         for issue in &report.issues {
-            let _ = writeln!(out, "  [{:?}] {}: {}", issue.severity, issue.field, issue.message);
+            let _ = writeln!(
+                out,
+                "  [{:?}] {}: {}",
+                issue.severity, issue.field, issue.message
+            );
         }
     }
     out
@@ -347,7 +558,12 @@ pub fn play_bundle(bundle: ModuleBundle, seed: u64) -> Result<String, CliError> 
             Some(q) => {
                 out.push_str(&q.to_text());
                 let outcome = session.answer(q.correct_index);
-                let _ = writeln!(out, "answered: {} -> {:?}", q.correct_answer(), outcome.expect("answer accepted"));
+                let _ = writeln!(
+                    out,
+                    "answered: {} -> {:?}",
+                    q.correct_answer(),
+                    outcome.expect("answer accepted")
+                );
             }
             None => {
                 let _ = writeln!(out, "(no question; skipping)");
@@ -364,13 +580,20 @@ pub fn play_bundle(bundle: ModuleBundle, seed: u64) -> Result<String, CliError> 
 fn render_curriculum() -> String {
     let curriculum = default_curriculum();
     let mut out = String::from("Default Traffic Warehouse curriculum:\n");
-    for unit in curriculum.schedule().expect("default curriculum is well-formed") {
+    for unit in curriculum
+        .schedule()
+        .expect("default curriculum is well-formed")
+    {
         let _ = writeln!(
             out,
             "  {:<42} {:>2} module(s)   requires: {}",
             unit.name,
             unit.bundle.len(),
-            if unit.prerequisites.is_empty() { "-".to_string() } else { unit.prerequisites.join(", ") }
+            if unit.prerequisites.is_empty() {
+                "-".to_string()
+            } else {
+                unit.prerequisites.join(", ")
+            }
         );
     }
     out
@@ -403,21 +626,55 @@ mod tests {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(
             parse_args(&args(&["validate", "m.json"])).unwrap(),
-            Command::Validate { path: "m.json".into() }
+            Command::Validate {
+                path: "m.json".into()
+            }
         );
         assert_eq!(
-            parse_args(&args(&["render", "m.json", "--three-d", "--colors", "--out", "x.ppm"])).unwrap(),
-            Command::Render { path: "m.json".into(), three_d: true, colors: true, out: Some("x.ppm".into()) }
+            parse_args(&args(&[
+                "render",
+                "m.json",
+                "--three-d",
+                "--colors",
+                "--out",
+                "x.ppm"
+            ]))
+            .unwrap(),
+            Command::Render {
+                path: "m.json".into(),
+                three_d: true,
+                colors: true,
+                out: Some("x.ppm".into())
+            }
         );
         assert_eq!(
             parse_args(&args(&["play", "b.zip", "--seed", "9"])).unwrap(),
-            Command::Play { path: "b.zip".into(), seed: 9 }
+            Command::Play {
+                path: "b.zip".into(),
+                seed: 9
+            }
         );
-        assert_eq!(parse_args(&args(&["curriculum"])).unwrap(), Command::Curriculum);
+        assert_eq!(
+            parse_args(&args(&["curriculum"])).unwrap(),
+            Command::Curriculum
+        );
         assert_eq!(
             parse_args(&args(&[
-                "ingest", "--scenario", "ddos", "--windows", "2", "--nodes", "256", "--seed",
-                "3", "--shards", "4", "--batch", "512", "--window-us", "50000"
+                "ingest",
+                "--scenario",
+                "ddos",
+                "--windows",
+                "2",
+                "--nodes",
+                "256",
+                "--seed",
+                "3",
+                "--shards",
+                "4",
+                "--batch",
+                "512",
+                "--window-us",
+                "50000"
             ]))
             .unwrap(),
             Command::Ingest {
@@ -427,7 +684,8 @@ mod tests {
                 seed: 3,
                 shards: 4,
                 batch: 512,
-                window_us: 50_000
+                window_us: 50_000,
+                record: None
             }
         );
         // Defaults: 4 windows over 1024 nodes with auto shards.
@@ -440,7 +698,42 @@ mod tests {
                 seed: 7,
                 shards: 0,
                 batch: 8192,
-                window_us: 100_000
+                window_us: 100_000,
+                record: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "ingest",
+                "--scenario",
+                "ddos",
+                "--record",
+                "out.zip"
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                scenario: "ddos".into(),
+                windows: 4,
+                nodes: 1024,
+                seed: 7,
+                shards: 0,
+                batch: 8192,
+                window_us: 100_000,
+                record: Some("out.zip".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["replay", "out.zip"])).unwrap(),
+            Command::Replay {
+                path: "out.zip".into(),
+                speed: 0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["replay", "out.zip", "--speed", "4"])).unwrap(),
+            Command::Replay {
+                path: "out.zip".into(),
+                speed: 4
             }
         );
     }
@@ -452,10 +745,21 @@ mod tests {
         assert!(parse_args(&args(&["render", "m.json", "--bogus"])).is_err());
         assert!(parse_args(&args(&["play", "b.zip", "--seed", "abc"])).is_err());
         assert!(parse_args(&args(&["frobnicate"])).is_err());
-        assert!(parse_args(&args(&["ingest"])).is_err(), "--scenario is required");
+        assert!(
+            parse_args(&args(&["ingest"])).is_err(),
+            "--scenario is required"
+        );
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--windows", "0"])).is_err());
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--windows", "x"])).is_err());
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--record"])).is_err());
+        assert!(
+            parse_args(&args(&["replay"])).is_err(),
+            "replay needs a path"
+        );
+        assert!(parse_args(&args(&["replay", "o.zip", "--speed", "0"])).is_err());
+        assert!(parse_args(&args(&["replay", "o.zip", "--speed", "x"])).is_err());
+        assert!(parse_args(&args(&["replay", "o.zip", "--bogus"])).is_err());
     }
 
     #[test]
@@ -468,6 +772,7 @@ mod tests {
             shards: 2,
             batch: 2048,
             window_us: 50_000,
+            record: None,
         })
         .unwrap();
         assert!(out.contains("scenario ddos"));
@@ -476,11 +781,78 @@ mod tests {
         assert!(out.contains("window   3:"));
         assert!(out.contains("total: "));
         // Unknown scenarios name the catalog.
-        let err = run_ingest("wat", 1, 256, 1, 0, 128, 1_000).unwrap_err();
+        let err = run_ingest("wat", 1, 256, 1, 0, 128, 1_000, None).unwrap_err();
         assert!(err.0.contains("known scenarios"));
-        assert!(run_ingest("ddos", 1, 4, 1, 0, 128, 1_000).is_err(), "tiny address space");
-        assert!(run_ingest("ddos", 1, 256, 1, 0, 0, 1_000).is_err(), "zero batch");
-        assert!(run_ingest("ddos", 1, 256, 1, 0, 128, 0).is_err(), "zero window");
+        assert!(
+            run_ingest("ddos", 1, 4, 1, 0, 128, 1_000, None).is_err(),
+            "tiny address space"
+        );
+        assert!(
+            run_ingest("ddos", 1, 256, 1, 0, 0, 1_000, None).is_err(),
+            "zero batch"
+        );
+        assert!(
+            run_ingest("ddos", 1, 256, 1, 0, 128, 0, None).is_err(),
+            "zero window"
+        );
+    }
+
+    #[test]
+    fn record_then_replay_round_trips_the_window_stream() {
+        let dir = std::env::temp_dir().join(format!("tw-cli-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let zip = dir.join("ddos.zip").to_string_lossy().into_owned();
+
+        let ingest_out = run(&Command::Ingest {
+            scenario: "ddos".into(),
+            windows: 8,
+            nodes: 256,
+            seed: 7,
+            shards: 2,
+            batch: 2048,
+            window_us: 50_000,
+            record: Some(zip.clone()),
+        })
+        .unwrap();
+        assert!(ingest_out.contains("recorded 8 window(s)"), "{ingest_out}");
+
+        let replay_out = run(&Command::Replay {
+            path: zip.clone(),
+            speed: 0,
+        })
+        .unwrap();
+        assert!(replay_out.contains("replaying"), "{replay_out}");
+        assert!(replay_out.contains("(ddos)"));
+        assert!(replay_out.contains("8 window(s)"));
+        assert!(replay_out.contains("replayed 8 window(s) onto the live warehouse"));
+
+        // The replayed per-window lines reproduce the recorded statistics
+        // exactly: same window indices, events, packets, nnz (the trailing
+        // wall-clock columns are recorded values too, so whole lines match).
+        let window_lines = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with("window "))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(window_lines(&ingest_out), window_lines(&replay_out));
+
+        // Paced playback streams each line to stdout as it replays, so the
+        // returned (buffered) transcript is empty.
+        let paced = run_replay(&zip, 1_000).unwrap();
+        assert!(paced.is_empty(), "paced replay must stream, not buffer");
+
+        // Recording refuses address spaces beyond the window codec's limit
+        // up front instead of panicking mid-capture.
+        let err = run_ingest("ddos", 1, u32::MAX, 1, 0, 128, 1_000, Some("never.zip")).unwrap_err();
+        assert!(err.0.contains("codec"), "{err}");
+
+        // Replaying garbage fails cleanly.
+        let junk = dir.join("junk.zip").to_string_lossy().into_owned();
+        std::fs::write(&junk, b"not a zip").unwrap();
+        assert!(run_replay(&junk, 0).is_err());
+        assert!(run_replay(dir.join("missing.zip").to_string_lossy().as_ref(), 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -523,12 +895,16 @@ mod tests {
         let module_path = dir.join("module.json");
         std::fs::write(&module_path, tw_core::module::template_6x6().to_json()).unwrap();
 
-        let validate_out =
-            run(&Command::Validate { path: module_path.to_string_lossy().into_owned() }).unwrap();
+        let validate_out = run(&Command::Validate {
+            path: module_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
         assert!(validate_out.contains("OK"));
 
-        let obfuscated =
-            run(&Command::Obfuscate { path: module_path.to_string_lossy().into_owned() }).unwrap();
+        let obfuscated = run(&Command::Obfuscate {
+            path: module_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
         assert!(obfuscated.contains("correct_answer_token"));
 
         let export_out = run(&Command::ExportLibrary {
@@ -545,7 +921,9 @@ mod tests {
         .unwrap();
         assert!(play_out.contains("4/4 correct"));
 
-        let missing = run(&Command::Validate { path: dir.join("nope.json").to_string_lossy().into_owned() });
+        let missing = run(&Command::Validate {
+            path: dir.join("nope.json").to_string_lossy().into_owned(),
+        });
         assert!(missing.is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -16,7 +16,10 @@ fn curriculum_prints_units_with_prerequisites() {
     let output = run_args(&["curriculum"]);
     assert!(!output.trim().is_empty());
     assert!(output.contains("curriculum"), "header missing: {output}");
-    assert!(output.contains("requires"), "prerequisite column missing: {output}");
+    assert!(
+        output.contains("requires"),
+        "prerequisite column missing: {output}"
+    );
 }
 
 #[test]
@@ -25,7 +28,10 @@ fn figures_prints_the_pattern_gallery() {
     assert!(!output.trim().is_empty());
     assert!(output.contains("Figure"), "figure headers missing");
     // Every gallery row renders an actual matrix, so some traffic must show.
-    assert!(output.lines().count() > 20, "gallery suspiciously short: {output}");
+    assert!(
+        output.lines().count() > 20,
+        "gallery suspiciously short: {output}"
+    );
 }
 
 #[test]
@@ -50,6 +56,51 @@ fn compiled_binary_runs_curriculum_and_figures() {
         assert!(output.status.success(), "{subcommand} exited nonzero");
         assert!(!output.stdout.is_empty(), "{subcommand} printed nothing");
     }
+}
+
+/// The acceptance flow from the paper's classroom workflow: record a DDoS
+/// scenario once, then replay it without regenerating events.
+#[test]
+fn compiled_binary_records_and_replays_a_scenario() {
+    let dir = std::env::temp_dir().join(format!("tw-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let zip = dir.join("out.zip");
+    let zip_arg = zip.to_string_lossy().into_owned();
+
+    let record = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--windows",
+            "8",
+            "--record",
+            &zip_arg,
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(record.status.success(), "ingest --record exited nonzero");
+    let record_out = String::from_utf8_lossy(&record.stdout);
+    assert!(record_out.contains("recorded 8 window(s)"), "{record_out}");
+    assert!(zip.exists(), "recording was not written");
+
+    let replay = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args(["replay", &zip_arg])
+        .output()
+        .expect("binary spawns");
+    assert!(replay.status.success(), "replay exited nonzero");
+    let replay_out = String::from_utf8_lossy(&replay.stdout);
+    assert!(replay_out.contains("replayed 8 window(s)"), "{replay_out}");
+
+    // The replayed window statistics match the recorded ones line for line.
+    let windows = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.starts_with("window "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(windows(&record_out), windows(&replay_out));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

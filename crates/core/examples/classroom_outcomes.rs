@@ -8,7 +8,12 @@ use tw_core::module::library::initial_library;
 use tw_core::sim::{ClassroomConfig, ClassroomReport};
 
 fn main() {
-    let config = ClassroomConfig { class_size: 24, assessment_questions: 12, assessment_options: 3, seed: 7 };
+    let config = ClassroomConfig {
+        class_size: 24,
+        assessment_questions: 12,
+        assessment_options: 3,
+        seed: 7,
+    };
     println!(
         "Simulated class of {} students, {}-question pre/post assessments ({}-option MCQs)\n",
         config.class_size, config.assessment_questions, config.assessment_options
@@ -32,11 +37,16 @@ fn main() {
         );
         cumulative_gain += report.mean_gain();
     }
-    println!("\nMean assessment gain across bundles: {:.3}", cumulative_gain / 6.0);
+    println!(
+        "\nMean assessment gain across bundles: {:.3}",
+        cumulative_gain / 6.0
+    );
 
     let (three, four) = tw_core::sim::classroom::compare_option_counts(48, 20, 11);
     println!("\nAssessment discrimination (strongest vs weakest quartile):");
     println!("  3-option questions: {three:.3}");
     println!("  4-option questions: {four:.3}");
-    println!("  (the paper argues the small gain from a 4th option is not worth the authoring cost)");
+    println!(
+        "  (the paper argues the small gain from a 4th option is not worth the authoring cost)"
+    );
 }

@@ -13,7 +13,10 @@ fn main() {
     for pattern in ddos::all() {
         let profile = MatrixProfile::of(&pattern.matrix);
         println!("--- {} ---", pattern.name);
-        println!("{}", pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+        println!(
+            "{}",
+            pattern.matrix.to_ascii_with_colors(Some(&pattern.colors))
+        );
         println!(
             "packets: {} | links: {} | red-space packets: {} | blue↔red contact packets: {}\n",
             profile.total_packets,
@@ -27,7 +30,12 @@ fn main() {
     let combined = ddos::combined();
     let noisy = add_background_noise(
         &combined,
-        &NoiseConfig { cell_probability: 0.10, max_packets: 2, seed: 99, ..NoiseConfig::default() },
+        &NoiseConfig {
+            cell_probability: 0.10,
+            max_packets: 2,
+            seed: 99,
+            ..NoiseConfig::default()
+        },
     );
     println!("=== Combined DDoS with background noise ===");
     println!("{}", noisy.matrix.to_ascii_with_colors(Some(&noisy.colors)));

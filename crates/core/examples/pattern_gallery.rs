@@ -13,7 +13,10 @@ fn main() {
         for pattern in patterns_for_figure(figure) {
             println!("\n--- {} ({}) ---", pattern.name, pattern.id);
             println!("Most relevant to: {}", pattern.relevant_to);
-            println!("{}", pattern.matrix.to_ascii_with_colors(Some(&pattern.colors)));
+            println!(
+                "{}",
+                pattern.matrix.to_ascii_with_colors(Some(&pattern.colors))
+            );
             if let Some(hint) = &pattern.hint {
                 println!("Hint: {hint}");
             }

@@ -29,23 +29,36 @@ fn main() {
 
     // 2. Validate it against the paper's authoring guidance.
     let report = validate(&module);
-    println!("Validation: {} issue(s), valid = {}", report.issues.len(), report.is_valid());
+    println!(
+        "Validation: {} issue(s), valid = {}",
+        report.issues.len(),
+        report.is_valid()
+    );
 
     // 3. Ship it as a ZIP bundle and load it back, as the game would.
     let mut bundle = ModuleBundle::new("Quickstart Bundle");
     bundle.push(module);
     let zip_bytes = bundle.to_zip().expect("bundle serializes");
     let loaded = tw_core::load_bundle("Quickstart Bundle", &zip_bytes).expect("bundle loads");
-    println!("Bundle round-trip: {} module(s), {} bytes of zip", loaded.len(), zip_bytes.len());
+    println!(
+        "Bundle round-trip: {} module(s), {} bytes of zip",
+        loaded.len(),
+        zip_bytes.len()
+    );
 
     // 4. A student plays it: 2-D view, then 3-D, rotate, toggle colors, answer.
     let mut session = GameSession::start(loaded, 2024).expect("session starts");
     {
         let level = session.current_level().expect("one module");
-        println!("\n=== 2-D matrix view ===\n{}", level.scene.module().matrix.to_ascii());
+        println!(
+            "\n=== 2-D matrix view ===\n{}",
+            level.scene.module().matrix.to_ascii()
+        );
         println!("{}", level.question().expect("has question").to_text());
     }
-    session.handle_input(InputEvent::Pressed(Key::Space)).unwrap(); // 3-D mode
+    session
+        .handle_input(InputEvent::Pressed(Key::Space))
+        .unwrap(); // 3-D mode
     session.handle_input(InputEvent::Pressed(Key::E)).unwrap(); // rotate
     session.handle_input(InputEvent::Pressed(Key::C)).unwrap(); // colors on
 
@@ -62,10 +75,16 @@ fn main() {
         .expect("question present");
     let outcome = session.answer(correct_index).expect("answer accepted");
     session.advance().expect("advance");
-    println!("Outcome: {outcome:?}; session finished = {}", session.is_finished());
+    println!(
+        "Outcome: {outcome:?}; session finished = {}",
+        session.is_finished()
+    );
     println!("Score: {}", session.score().summary());
 
     // 5. The scene tree behind the level, as the paper's Fig. 2 shows it.
     let scene = WarehouseScene::build(&tw_core::module::template_6x6());
-    println!("\n=== Scene tree (cf. paper Fig. 2) ===\n{}", scene.tree.print_tree());
+    println!(
+        "\n=== Scene tree (cf. paper Fig. 2) ===\n{}",
+        scene.tree.print_tree()
+    );
 }

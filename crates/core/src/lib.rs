@@ -86,8 +86,8 @@ pub mod prelude {
         GameSession, Level, LiveWarehouse, TrainingLevel, ViewMode, ViewState, WarehouseScene,
     };
     pub use tw_ingest::{
-        EventSource, IngestStats, Pipeline, PipelineConfig, Scenario, ShardedAccumulator,
-        WindowReport,
+        ArchiveRecorder, EventSource, IngestStats, Pipeline, PipelineConfig, RecordingMeta,
+        ReplaySource, Scenario, ShardedAccumulator, WindowReport,
     };
     pub use tw_matrix::{CellColor, ColorMatrix, LabelSet, MatrixProfile, TrafficMatrix};
     pub use tw_module::{
@@ -102,7 +102,9 @@ use tw_module::{LearningModule, ModuleBundle, ModuleError};
 
 /// Load a learning module from JSON text (relaxed syntax, per the paper's
 /// listings) and validate it, returning the module and its validation report.
-pub fn load_module(json_text: &str) -> Result<(LearningModule, tw_module::ValidationReport), ModuleError> {
+pub fn load_module(
+    json_text: &str,
+) -> Result<(LearningModule, tw_module::ValidationReport), ModuleError> {
     let module = LearningModule::from_json(json_text)?;
     let report = tw_module::validate(&module);
     Ok((module, report))

@@ -13,7 +13,12 @@ fn tables_one_and_two_reproduce_the_papers_selections() {
     assert_eq!(engine_comparison().winner(), "Godot");
     assert_eq!(modeling_comparison().winner(), "MagicaVoxel");
     let rendered = engine_comparison().render();
-    for cell in ["Always Free", "C#, GDScript", "HTML5, Windows", "Almost non-existent"] {
+    for cell in [
+        "Always Free",
+        "C#, GDScript",
+        "HTML5, Windows",
+        "Almost non-existent",
+    ] {
         assert!(rendered.contains(cell), "Table I is missing {cell:?}");
     }
 }
@@ -22,12 +27,21 @@ fn tables_one_and_two_reproduce_the_papers_selections() {
 fn figure_2_and_3_scene_tree_and_inspector() {
     let scene = WarehouseScene::build(&tw_core::module::template_10x10());
     let tree_text = scene.tree.print_tree();
-    for node in ["Data", "Camera3D", "Pallet and label controller", "X", "Y", "Pallets"] {
+    for node in [
+        "Data",
+        "Camera3D",
+        "Pallet and label controller",
+        "X",
+        "Y",
+        "Pallets",
+    ] {
         assert!(tree_text.contains(node), "scene tree missing {node}");
     }
     let mut tree = scene.tree;
     let inspector = tw_core::engine::Inspector::new(&mut tree);
-    let panel = inspector.render(scene.controller).expect("controller exists");
+    let panel = inspector
+        .render(scene.controller)
+        .expect("controller exists");
     assert!(panel.contains("pallets_are_colored: bool = false"));
     assert!(panel.contains("x_axis: NodePath"));
 }
@@ -57,8 +71,14 @@ fn figures_6_through_10_have_the_expected_structure() {
     let stages = patterns_for_figure(Figure::NotionalAttack);
     let planning = MatrixProfile::of(&stages[0].matrix);
     let lateral = MatrixProfile::of(&stages[3].matrix);
-    assert_eq!(planning.packets_for(LinkClass::IntraRed), planning.total_packets);
-    assert_eq!(lateral.packets_for(LinkClass::IntraBlue), lateral.total_packets);
+    assert_eq!(
+        planning.packets_for(LinkClass::IntraRed),
+        planning.total_packets
+    );
+    assert_eq!(
+        lateral.packets_for(LinkClass::IntraBlue),
+        lateral.total_packets
+    );
 
     // Fig. 8: only security avoids red contact entirely.
     let postures = patterns_for_figure(Figure::Posture);
@@ -80,7 +100,10 @@ fn figures_6_through_10_have_the_expected_structure() {
     // Every panel renders to a non-trivial 2-D view.
     for pattern in all_patterns() {
         let fb = render_matrix_2d(&pattern.matrix, Some(&pattern.colors));
-        assert_eq!(fb.width(), pattern.dimension() * tw_core::render::view2d::CELL_PIXELS);
+        assert_eq!(
+            fb.width(),
+            pattern.dimension() * tw_core::render::view2d::CELL_PIXELS
+        );
         assert!(fb.covered_pixels() > 0, "{} rendered empty", pattern.id);
     }
 }
@@ -93,12 +116,24 @@ fn every_figure_module_plays_in_the_game_with_correct_color_toggling() {
         let mut session = GameSession::start(bundle, 3).expect("start");
         // Toggle colors on the first module of every figure bundle and check the
         // scene-tree materials follow the module's color plane.
-        session.handle_input(InputEvent::Pressed(Key::C)).expect("input ok");
+        session
+            .handle_input(InputEvent::Pressed(Key::C))
+            .expect("input ok");
         let level = session.current_level().expect("level");
         let module = level.scene.module().clone();
         let n = module.dimension();
-        for (idx, code) in module.colors.to_codes().iter().flatten().enumerate().take(n * n) {
-            let material = level.controller.pallet_material(&level.scene.tree, idx).expect("pallet");
+        for (idx, code) in module
+            .colors
+            .to_codes()
+            .iter()
+            .flatten()
+            .enumerate()
+            .take(n * n)
+        {
+            let material = level
+                .controller
+                .pallet_material(&level.scene.tree, idx)
+                .expect("pallet");
             let expected = match code {
                 0 => "pallet_material_g",
                 1 => "pallet_material_b",

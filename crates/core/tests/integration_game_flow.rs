@@ -19,11 +19,25 @@ fn the_full_curriculum_plays_end_to_end_with_a_quiz_session_in_parallel() {
     while !game.is_finished() {
         let game_choice = game
             .current_level()
-            .and_then(|l| l.question().map(|q| if answer_correct { q.correct_index } else { (q.correct_index + 1) % 3 }))
+            .and_then(|l| {
+                l.question().map(|q| {
+                    if answer_correct {
+                        q.correct_index
+                    } else {
+                        (q.correct_index + 1) % 3
+                    }
+                })
+            })
             .unwrap_or(0);
         let quiz_choice = quiz
             .current_question()
-            .map(|q| if answer_correct { q.correct_index } else { (q.correct_index + 1) % 3 })
+            .map(|q| {
+                if answer_correct {
+                    q.correct_index
+                } else {
+                    (q.correct_index + 1) % 3
+                }
+            })
             .unwrap_or(0);
         game.answer(game_choice);
         game.advance().expect("advance");
@@ -41,12 +55,20 @@ fn classroom_measurement_runs_over_the_real_library() {
     let bundle = &initial_library()[1]; // Traffic Topologies
     let report = tw_core::sim::classroom::run_classroom(
         bundle,
-        &ClassroomConfig { class_size: 10, assessment_questions: 9, assessment_options: 3, seed: 3 },
+        &ClassroomConfig {
+            class_size: 10,
+            assessment_questions: 9,
+            assessment_options: 3,
+            seed: 3,
+        },
     );
     assert_eq!(report.modules_played, 4);
     assert!(report.knowledge_after > report.knowledge_before);
     assert!(report.in_game.count == 10);
-    assert!(report.post.mean >= report.pre.mean - 0.15, "post should not collapse: {report:?}");
+    assert!(
+        report.post.mean >= report.pre.mean - 0.15,
+        "post should not collapse: {report:?}"
+    );
 }
 
 #[test]

@@ -49,13 +49,21 @@ fn educator_authors_module_student_plays_it() {
 
     // Play it through the real game session and verify the telemetry trail.
     let mut session = GameSession::start(loaded, 99).expect("start");
-    let correct = session.current_level().unwrap().question().unwrap().correct_index;
+    let correct = session
+        .current_level()
+        .unwrap()
+        .question()
+        .unwrap()
+        .correct_index;
     assert_eq!(session.answer(correct), Some(QuestionOutcome::Correct));
     session.advance().expect("advance");
     assert!(session.is_finished());
     assert_eq!(session.score().correct, 1);
     let events = session.telemetry().drain();
-    assert!(events.len() >= 4, "expected a full telemetry trail, got {events:?}");
+    assert!(
+        events.len() >= 4,
+        "expected a full telemetry trail, got {events:?}"
+    );
 }
 
 #[test]
@@ -65,7 +73,10 @@ fn every_library_bundle_survives_zip_and_plays_to_completion() {
         let zip = bundle.to_zip().expect("zip");
         let loaded = tw_core::load_bundle(&name, &zip).expect("load");
         assert_eq!(loaded.len(), bundle.len(), "{name}");
-        assert!(loaded.modules().iter().all(|m| m.author == LIBRARY_AUTHOR || m.author == "Chasen Milner"));
+        assert!(loaded
+            .modules()
+            .iter()
+            .all(|m| m.author == LIBRARY_AUTHOR || m.author == "Chasen Milner"));
 
         let mut session = GameSession::start(loaded, 1).expect("start");
         session.autoplay(|i| i % 2 == 0).expect("autoplay");
@@ -94,10 +105,7 @@ fn sparse_analytics_agree_with_dense_module_matrices() {
     // The dense game matrices and the sparse analytics path agree on totals.
     for pattern in patterns_for_figure(Figure::Ddos) {
         let dense_total = pattern.matrix.total_packets();
-        let csr = pattern
-            .matrix
-            .to_coo()
-            .to_csr();
+        let csr = pattern.matrix.to_coo().to_csr();
         let csr64 = tw_core::matrix::CsrMatrix::from_dense(
             &pattern
                 .matrix

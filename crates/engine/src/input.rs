@@ -90,7 +90,10 @@ impl InputMap {
 
     /// The action for a key press, if bound.
     pub fn action_for(&self, key: Key) -> Option<Action> {
-        self.bindings.iter().find(|(k, _)| *k == key).map(|(_, a)| *a)
+        self.bindings
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, a)| *a)
     }
 
     /// Translate an input event into an action. Only presses trigger actions.
@@ -119,11 +122,26 @@ mod tests {
     #[test]
     fn default_bindings_match_the_paper() {
         let map = InputMap::new();
-        assert_eq!(map.translate(InputEvent::Pressed(Key::Space)), Some(Action::ToggleView));
-        assert_eq!(map.translate(InputEvent::Pressed(Key::Q)), Some(Action::RotateLeft));
-        assert_eq!(map.translate(InputEvent::Pressed(Key::E)), Some(Action::RotateRight));
-        assert_eq!(map.translate(InputEvent::Pressed(Key::Digit(1))), Some(Action::ChooseAnswer(0)));
-        assert_eq!(map.translate(InputEvent::Pressed(Key::Digit(3))), Some(Action::ChooseAnswer(2)));
+        assert_eq!(
+            map.translate(InputEvent::Pressed(Key::Space)),
+            Some(Action::ToggleView)
+        );
+        assert_eq!(
+            map.translate(InputEvent::Pressed(Key::Q)),
+            Some(Action::RotateLeft)
+        );
+        assert_eq!(
+            map.translate(InputEvent::Pressed(Key::E)),
+            Some(Action::RotateRight)
+        );
+        assert_eq!(
+            map.translate(InputEvent::Pressed(Key::Digit(1))),
+            Some(Action::ChooseAnswer(0))
+        );
+        assert_eq!(
+            map.translate(InputEvent::Pressed(Key::Digit(3))),
+            Some(Action::ChooseAnswer(2))
+        );
         assert_eq!(map.translate(InputEvent::Released(Key::Q)), None);
         assert_eq!(map.len(), 6 + 9);
         assert!(!map.is_empty());

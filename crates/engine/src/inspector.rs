@@ -40,7 +40,11 @@ impl<'tree> Inspector<'tree> {
             .iter()
             .map(|name| {
                 let value = node.get_or_nil(name);
-                ExportedProperty { name: name.clone(), type_name: value.type_name(), value }
+                ExportedProperty {
+                    name: name.clone(),
+                    type_name: value.type_name(),
+                    value,
+                }
             })
             .collect())
     }
@@ -65,7 +69,10 @@ impl<'tree> Inspector<'tree> {
         let node_name = self.tree.node(id)?.name.clone();
         let mut out = format!("Inspector — {node_name}\n");
         for prop in self.exported_properties(id)? {
-            out.push_str(&format!("  {}: {} = {}\n", prop.name, prop.type_name, prop.value));
+            out.push_str(&format!(
+                "  {}: {} = {}\n",
+                prop.name, prop.type_name, prop.value
+            ));
         }
         Ok(out)
     }
@@ -78,7 +85,9 @@ mod tests {
 
     fn controller_tree() -> (SceneTree, NodeId) {
         let mut tree = SceneTree::new("Level");
-        let controller = tree.spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D).unwrap();
+        let controller = tree
+            .spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D)
+            .unwrap();
         let node = tree.node_mut(controller).unwrap();
         // The export variables from the paper's script listing.
         node.export_with("y_axis", Variant::NodeRef(0));
@@ -95,7 +104,10 @@ mod tests {
         let inspector = Inspector::new(&mut tree);
         let props = inspector.exported_properties(controller).unwrap();
         let names: Vec<&str> = props.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, vec!["y_axis", "x_axis", "pallets", "pallets_are_colored"]);
+        assert_eq!(
+            names,
+            vec!["y_axis", "x_axis", "pallets", "pallets_are_colored"]
+        );
         assert_eq!(props[3].value, Variant::Bool(false));
         assert_eq!(props[3].type_name, "bool");
     }
@@ -104,7 +116,9 @@ mod tests {
     fn editing_exported_properties() {
         let (mut tree, controller) = controller_tree();
         let mut inspector = Inspector::new(&mut tree);
-        inspector.set(controller, "pallets_are_colored", Variant::Bool(true)).unwrap();
+        inspector
+            .set(controller, "pallets_are_colored", Variant::Bool(true))
+            .unwrap();
         assert_eq!(
             tree.node(controller).unwrap().get("pallets_are_colored"),
             Some(&Variant::Bool(true))
@@ -115,8 +129,12 @@ mod tests {
     fn non_exported_properties_are_not_editable() {
         let (mut tree, controller) = controller_tree();
         let mut inspector = Inspector::new(&mut tree);
-        assert!(inspector.set(controller, "internal_only", Variant::Int(0)).is_err());
-        assert!(inspector.set(controller, "does_not_exist", Variant::Int(0)).is_err());
+        assert!(inspector
+            .set(controller, "internal_only", Variant::Int(0))
+            .is_err());
+        assert!(inspector
+            .set(controller, "does_not_exist", Variant::Int(0))
+            .is_err());
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         n.export("y_axis");
         assert_eq!(n.get("pallets_are_colored"), Some(&Variant::Bool(false)));
         assert_eq!(n.get_or_nil("missing"), Variant::Nil);
-        assert_eq!(n.exported(), &["pallets_are_colored".to_string(), "y_axis".to_string()]);
+        assert_eq!(
+            n.exported(),
+            &["pallets_are_colored".to_string(), "y_axis".to_string()]
+        );
         assert_eq!(n.properties().count(), 2);
         // Re-exporting is idempotent.
         n.export("y_axis");

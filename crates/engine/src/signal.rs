@@ -102,7 +102,11 @@ impl SignalBus {
 
     /// Queue an emission.
     pub fn emit(&self, source: NodeId, signal: &str, args: Vec<Variant>) {
-        self.inner.lock().queue.push(SignalEmission { source, signal: signal.to_string(), args });
+        self.inner.lock().queue.push(SignalEmission {
+            source,
+            signal: signal.to_string(),
+            args,
+        });
     }
 
     /// Drain the queue, resolving each emission against the connections, and
@@ -170,7 +174,9 @@ mod tests {
         bus.emit(src, "answered", vec![Variant::Int(2), Variant::Bool(true)]);
         let dispatches = bus.drain();
         assert_eq!(dispatches.len(), 2);
-        assert!(dispatches.iter().all(|d| d.args == vec![Variant::Int(2), Variant::Bool(true)]));
+        assert!(dispatches
+            .iter()
+            .all(|d| d.args == vec![Variant::Int(2), Variant::Bool(true)]));
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub enum TreeError {
     /// The node id does not exist (e.g. it was freed).
     UnknownNode(NodeId),
     /// A path lookup failed; contains the path and the segment that failed.
-    PathNotFound { path: String, failed_segment: String },
+    PathNotFound {
+        path: String,
+        failed_segment: String,
+    },
     /// A sibling with the same name already exists under the parent.
     DuplicateName { parent: NodeId, name: String },
     /// Attempted to remove or reparent the root node.
@@ -21,13 +24,21 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::UnknownNode(id) => write!(f, "node {:?} does not exist", id),
-            TreeError::PathNotFound { path, failed_segment } => {
-                write!(f, "path {path:?} not found (failed at segment {failed_segment:?})")
+            TreeError::PathNotFound {
+                path,
+                failed_segment,
+            } => {
+                write!(
+                    f,
+                    "path {path:?} not found (failed at segment {failed_segment:?})"
+                )
             }
             TreeError::DuplicateName { parent, name } => {
                 write!(f, "node {:?} already has a child named {name:?}", parent)
             }
-            TreeError::CannotModifyRoot => write!(f, "the root node cannot be removed or reparented"),
+            TreeError::CannotModifyRoot => {
+                write!(f, "the root node cannot be removed or reparented")
+            }
         }
     }
 }
@@ -59,8 +70,19 @@ impl SceneTree {
     pub fn new(root_name: &str) -> Self {
         let mut slots = BTreeMap::new();
         let root = NodeId(0);
-        slots.insert(0, Slot { node: Node::new(root_name, NodeKind::Node3D), parent: None, children: Vec::new() });
-        SceneTree { slots, next_id: 1, root }
+        slots.insert(
+            0,
+            Slot {
+                node: Node::new(root_name, NodeKind::Node3D),
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+        SceneTree {
+            slots,
+            next_id: 1,
+            root,
+        }
     }
 
     /// The root node id.
@@ -83,40 +105,74 @@ impl SceneTree {
         if !self.slots.contains_key(&parent.0) {
             return Err(TreeError::UnknownNode(parent));
         }
-        let duplicate = self.children(parent)?.iter().any(|&c| self.node(c).map(|n| n.name == node.name).unwrap_or(false));
+        let duplicate = self
+            .children(parent)?
+            .iter()
+            .any(|&c| self.node(c).map(|n| n.name == node.name).unwrap_or(false));
         if duplicate {
-            return Err(TreeError::DuplicateName { parent, name: node.name });
+            return Err(TreeError::DuplicateName {
+                parent,
+                name: node.name,
+            });
         }
         let id = NodeId(self.next_id);
         self.next_id += 1;
-        self.slots.insert(id.0, Slot { node, parent: Some(parent), children: Vec::new() });
-        self.slots.get_mut(&parent.0).expect("parent checked above").children.push(id);
+        self.slots.insert(
+            id.0,
+            Slot {
+                node,
+                parent: Some(parent),
+                children: Vec::new(),
+            },
+        );
+        self.slots
+            .get_mut(&parent.0)
+            .expect("parent checked above")
+            .children
+            .push(id);
         Ok(id)
     }
 
     /// Convenience: create and add a child with a name and kind.
-    pub fn spawn(&mut self, parent: NodeId, name: &str, kind: NodeKind) -> Result<NodeId, TreeError> {
+    pub fn spawn(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        kind: NodeKind,
+    ) -> Result<NodeId, TreeError> {
         self.add_child(parent, Node::new(name, kind))
     }
 
     /// Immutable access to a node.
     pub fn node(&self, id: NodeId) -> Result<&Node, TreeError> {
-        self.slots.get(&id.0).map(|s| &s.node).ok_or(TreeError::UnknownNode(id))
+        self.slots
+            .get(&id.0)
+            .map(|s| &s.node)
+            .ok_or(TreeError::UnknownNode(id))
     }
 
     /// Mutable access to a node.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, TreeError> {
-        self.slots.get_mut(&id.0).map(|s| &mut s.node).ok_or(TreeError::UnknownNode(id))
+        self.slots
+            .get_mut(&id.0)
+            .map(|s| &mut s.node)
+            .ok_or(TreeError::UnknownNode(id))
     }
 
     /// A node's parent (None for the root).
     pub fn parent(&self, id: NodeId) -> Result<Option<NodeId>, TreeError> {
-        self.slots.get(&id.0).map(|s| s.parent).ok_or(TreeError::UnknownNode(id))
+        self.slots
+            .get(&id.0)
+            .map(|s| s.parent)
+            .ok_or(TreeError::UnknownNode(id))
     }
 
     /// A node's children in insertion order.
     pub fn children(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
-        self.slots.get(&id.0).map(|s| s.children.clone()).ok_or(TreeError::UnknownNode(id))
+        self.slots
+            .get(&id.0)
+            .map(|s| s.children.clone())
+            .ok_or(TreeError::UnknownNode(id))
     }
 
     /// Remove a node and its whole subtree. The root cannot be removed.
@@ -189,10 +245,13 @@ impl SceneTree {
                         path: path.to_string(),
                         failed_segment: segment.to_string(),
                     })?,
-                name => self.child_by_name(current, name).ok_or_else(|| TreeError::PathNotFound {
-                    path: path.to_string(),
-                    failed_segment: format!("{name} (segment {i})"),
-                })?,
+                name => {
+                    self.child_by_name(current, name)
+                        .ok_or_else(|| TreeError::PathNotFound {
+                            path: path.to_string(),
+                            failed_segment: format!("{name} (segment {i})"),
+                        })?
+                }
             };
         }
         Ok(current)
@@ -204,10 +263,12 @@ impl SceneTree {
             if segment.is_empty() || *segment == "." {
                 continue;
             }
-            current = self.child_by_name(current, segment).ok_or_else(|| TreeError::PathNotFound {
-                path: full_path.to_string(),
-                failed_segment: segment.to_string(),
-            })?;
+            current =
+                self.child_by_name(current, segment)
+                    .ok_or_else(|| TreeError::PathNotFound {
+                        path: full_path.to_string(),
+                        failed_segment: segment.to_string(),
+                    })?;
         }
         Ok(current)
     }
@@ -219,7 +280,12 @@ impl SceneTree {
             .children
             .iter()
             .copied()
-            .find(|&c| self.slots.get(&c.0).map(|s| s.node.name == name).unwrap_or(false))
+            .find(|&c| {
+                self.slots
+                    .get(&c.0)
+                    .map(|s| s.node.name == name)
+                    .unwrap_or(false)
+            })
     }
 
     /// The absolute path of a node from the root, e.g. `"/Training level/Data"`.
@@ -288,7 +354,11 @@ impl SceneTree {
             for _ in 0..depth {
                 out.push_str("  ");
             }
-            out.push_str(&format!("{} ({})\n", slot.node.name, slot.node.kind.class_name()));
+            out.push_str(&format!(
+                "{} ({})\n",
+                slot.node.name,
+                slot.node.kind.class_name()
+            ));
             for &child in &slot.children {
                 self.print_node(child, depth + 1, out);
             }
@@ -303,8 +373,9 @@ mod tests {
     fn sample_tree() -> (SceneTree, NodeId, NodeId, NodeId) {
         let mut tree = SceneTree::new("Training level");
         let data = tree.spawn(tree.root(), "Data", NodeKind::Data).unwrap();
-        let controller =
-            tree.spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D).unwrap();
+        let controller = tree
+            .spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D)
+            .unwrap();
         let pallets = tree.spawn(controller, "Pallets", NodeKind::Node3D).unwrap();
         (tree, data, controller, pallets)
     }
@@ -313,7 +384,10 @@ mod tests {
     fn add_children_and_paths() {
         let (tree, data, controller, pallets) = sample_tree();
         assert_eq!(tree.len(), 4);
-        assert_eq!(tree.path_of(pallets).unwrap(), "/Training level/Pallet and label controller/Pallets");
+        assert_eq!(
+            tree.path_of(pallets).unwrap(),
+            "/Training level/Pallet and label controller/Pallets"
+        );
         assert_eq!(tree.parent(data).unwrap(), Some(tree.root()));
         assert_eq!(tree.children(controller).unwrap(), vec![pallets]);
         assert_eq!(tree.child_by_name(tree.root(), "Data"), Some(data));
@@ -337,12 +411,19 @@ mod tests {
         // The paper's @onready lookup: from the controller, "../Data".
         assert_eq!(tree.get_node(controller, "../Data").unwrap(), data);
         assert_eq!(tree.get_node(pallets, "../../Data").unwrap(), data);
-        assert_eq!(tree.get_node(tree.root(), "Pallet and label controller/Pallets").unwrap(), pallets);
+        assert_eq!(
+            tree.get_node(tree.root(), "Pallet and label controller/Pallets")
+                .unwrap(),
+            pallets
+        );
         assert_eq!(tree.get_node(pallets, ".").unwrap(), pallets);
         assert_eq!(tree.get_node(data, "/Training level/Data").unwrap(), data);
         assert!(tree.get_node(data, "/Wrong root/Data").is_err());
         assert!(tree.get_node(controller, "../Missing").is_err());
-        assert!(tree.get_node(tree.root(), "..").is_err(), "root has no parent");
+        assert!(
+            tree.get_node(tree.root(), "..").is_err(),
+            "root has no parent"
+        );
         let freed = tree.spawn(tree.root(), "Temp", NodeKind::Node).unwrap();
         tree.remove(freed).unwrap();
         assert!(tree.get_node(freed, ".").is_err());
@@ -351,8 +432,10 @@ mod tests {
     #[test]
     fn remove_drops_whole_subtree() {
         let (mut tree, _, controller, pallets) = sample_tree();
-        tree.spawn(pallets, "Pallet_0_0", NodeKind::MeshInstance3D).unwrap();
-        tree.spawn(pallets, "Pallet_0_1", NodeKind::MeshInstance3D).unwrap();
+        tree.spawn(pallets, "Pallet_0_0", NodeKind::MeshInstance3D)
+            .unwrap();
+        tree.spawn(pallets, "Pallet_0_1", NodeKind::MeshInstance3D)
+            .unwrap();
         assert_eq!(tree.len(), 6);
         let removed = tree.remove(controller).unwrap();
         assert_eq!(removed, 4);
@@ -382,7 +465,9 @@ mod tests {
     fn groups_across_the_tree() {
         let (mut tree, _, _, pallets) = sample_tree();
         for i in 0..3 {
-            let id = tree.spawn(pallets, &format!("Pallet_{i}"), NodeKind::MeshInstance3D).unwrap();
+            let id = tree
+                .spawn(pallets, &format!("Pallet_{i}"), NodeKind::MeshInstance3D)
+                .unwrap();
             tree.node_mut(id).unwrap().add_to_group("pallets");
         }
         assert_eq!(tree.nodes_in_group("pallets").len(), 3);
@@ -393,12 +478,15 @@ mod tests {
     fn print_tree_matches_fig2_style() {
         let (mut tree, _, controller, pallets) = sample_tree();
         tree.spawn(controller, "Y", NodeKind::Node3D).unwrap();
-        tree.spawn(pallets, "Pallet_0_0", NodeKind::MeshInstance3D).unwrap();
+        tree.spawn(pallets, "Pallet_0_0", NodeKind::MeshInstance3D)
+            .unwrap();
         let text = tree.print_tree();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "Training level (Node3D)");
         assert!(lines.iter().any(|l| l.starts_with("  Data")));
-        assert!(lines.iter().any(|l| l.contains("Pallet_0_0 (MeshInstance3D)")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("Pallet_0_0 (MeshInstance3D)")));
         // Indentation increases with depth.
         let pallet_line = lines.iter().find(|l| l.contains("Pallet_0_0")).unwrap();
         assert!(pallet_line.starts_with("      "));

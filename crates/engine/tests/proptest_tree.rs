@@ -18,7 +18,9 @@ fn build_tree(ops: &[(u8, bool)]) -> SceneTree {
             }
             alive.retain(|&n| tree.node(n).is_ok());
         } else if tree.node(parent).is_ok() {
-            let id = tree.add_child(parent, Node::new(&format!("N{i}"), NodeKind::Node3D)).unwrap();
+            let id = tree
+                .add_child(parent, Node::new(&format!("N{i}"), NodeKind::Node3D))
+                .unwrap();
             alive.push(id);
         }
     }

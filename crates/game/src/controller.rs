@@ -91,18 +91,21 @@ impl PalletLabelController {
         let y_labels = tree.children(self.y_axis)?;
         let x_labels = tree.children(self.x_axis)?;
         let axis_labels: Vec<String> = match tree.node(self.data)?.get("axis_labels") {
-            Some(Variant::Array(items)) => {
-                items.iter().filter_map(|v| v.as_str().map(str::to_string)).collect()
-            }
+            Some(Variant::Array(items)) => items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
             _ => Vec::new(),
         };
 
         if y_labels.len() != x_labels.len() {
-            self.errors.push("Number of y labels does not match number of x labels!".to_string());
+            self.errors
+                .push("Number of y labels does not match number of x labels!".to_string());
             return Ok(());
         }
         if axis_labels.len() != y_labels.len() {
-            self.errors.push("Level data does not match number of labels!".to_string());
+            self.errors
+                .push("Level data does not match number of labels!".to_string());
             return Ok(());
         }
         for (c, label) in axis_labels.iter().enumerate() {
@@ -135,13 +138,16 @@ impl PalletLabelController {
         if pallets_are_colored {
             for &pallet in &pallet_nodes {
                 if let Some(&mesh) = tree.children(pallet)?.first() {
-                    tree.node_mut(mesh)?.set("material_override", MATERIAL_DEFAULT);
+                    tree.node_mut(mesh)?
+                        .set("material_override", MATERIAL_DEFAULT);
                 }
             }
             tree.node_mut(self.node)?.set("pallets_are_colored", false);
         } else {
             for (c, color) in self.pallet_color_array.iter().enumerate() {
-                let Some(&pallet) = pallet_nodes.get(c) else { break };
+                let Some(&pallet) = pallet_nodes.get(c) else {
+                    break;
+                };
                 let material = match color {
                     0 => MATERIAL_GREEN,
                     1 => MATERIAL_BLUE,
@@ -161,7 +167,11 @@ impl PalletLabelController {
     pub fn pallet_material(&self, tree: &SceneTree, i: usize) -> Option<String> {
         let pallet = *tree.children(self.pallets).ok()?.get(i)?;
         let mesh = *tree.children(pallet).ok()?.first()?;
-        tree.node(mesh).ok()?.get("material_override")?.as_str().map(str::to_string)
+        tree.node(mesh)
+            .ok()?
+            .get("material_override")?
+            .as_str()
+            .map(str::to_string)
     }
 }
 
@@ -210,13 +220,18 @@ mod tests {
         let tree = &scene.tree;
         let x_holders = tree.children(scene.x_axis).unwrap();
         let y_holders = tree.children(scene.y_axis).unwrap();
-        for (i, expected) in ["WS1", "WS2", "WS3", "SRV1", "EXT1", "EXT2", "ADV1", "ADV2", "ADV3", "ADV4"]
-            .iter()
-            .enumerate()
+        for (i, expected) in [
+            "WS1", "WS2", "WS3", "SRV1", "EXT1", "EXT2", "ADV1", "ADV2", "ADV3", "ADV4",
+        ]
+        .iter()
+        .enumerate()
         {
             for holders in [&x_holders, &y_holders] {
                 let text_node = tree.children(holders[i]).unwrap()[1];
-                assert_eq!(tree.node(text_node).unwrap().get("text").unwrap().as_str(), Some(*expected));
+                assert_eq!(
+                    tree.node(text_node).unwrap().get("text").unwrap().as_str(),
+                    Some(*expected)
+                );
             }
         }
     }
@@ -229,7 +244,10 @@ mod tests {
         let victim = scene.tree.children(scene.y_axis).unwrap()[9];
         scene.tree.remove(victim).unwrap();
         let controller = PalletLabelController::ready(&mut scene.tree, scene.controller).unwrap();
-        assert_eq!(controller.errors, vec!["Number of y labels does not match number of x labels!"]);
+        assert_eq!(
+            controller.errors,
+            vec!["Number of y labels does not match number of x labels!"]
+        );
 
         // Now remove one from each axis so counts match each other but not the data.
         let mut scene = WarehouseScene::build(&module);
@@ -238,32 +256,62 @@ mod tests {
             scene.tree.remove(victim).unwrap();
         }
         let controller = PalletLabelController::ready(&mut scene.tree, scene.controller).unwrap();
-        assert_eq!(controller.errors, vec!["Level data does not match number of labels!"]);
+        assert_eq!(
+            controller.errors,
+            vec!["Level data does not match number of labels!"]
+        );
     }
 
     #[test]
     fn change_pallet_color_toggles_materials_per_cell() {
         let (mut scene, mut controller) = ready_scene();
         // Initially every pallet mesh carries the default material.
-        assert_eq!(controller.pallet_material(&scene.tree, 0).unwrap(), MATERIAL_DEFAULT);
+        assert_eq!(
+            controller.pallet_material(&scene.tree, 0).unwrap(),
+            MATERIAL_DEFAULT
+        );
 
         controller.change_pallet_color(&mut scene.tree).unwrap();
         // Cell (0,6) is red space → red material; (6,0) is blue; (4,4) grey → green.
-        assert_eq!(controller.pallet_material(&scene.tree, 6).unwrap(), MATERIAL_RED);
-        assert_eq!(controller.pallet_material(&scene.tree, 60).unwrap(), MATERIAL_BLUE);
-        assert_eq!(controller.pallet_material(&scene.tree, 44).unwrap(), MATERIAL_GREEN);
         assert_eq!(
-            scene.tree.node(scene.controller).unwrap().get("pallets_are_colored").unwrap().as_bool(),
+            controller.pallet_material(&scene.tree, 6).unwrap(),
+            MATERIAL_RED
+        );
+        assert_eq!(
+            controller.pallet_material(&scene.tree, 60).unwrap(),
+            MATERIAL_BLUE
+        );
+        assert_eq!(
+            controller.pallet_material(&scene.tree, 44).unwrap(),
+            MATERIAL_GREEN
+        );
+        assert_eq!(
+            scene
+                .tree
+                .node(scene.controller)
+                .unwrap()
+                .get("pallets_are_colored")
+                .unwrap()
+                .as_bool(),
             Some(true)
         );
 
         // Toggling again restores the default everywhere.
         controller.change_pallet_color(&mut scene.tree).unwrap();
         for i in [0usize, 6, 44, 60, 99] {
-            assert_eq!(controller.pallet_material(&scene.tree, i).unwrap(), MATERIAL_DEFAULT);
+            assert_eq!(
+                controller.pallet_material(&scene.tree, i).unwrap(),
+                MATERIAL_DEFAULT
+            );
         }
         assert_eq!(
-            scene.tree.node(scene.controller).unwrap().get("pallets_are_colored").unwrap().as_bool(),
+            scene
+                .tree
+                .node(scene.controller)
+                .unwrap()
+                .get("pallets_are_colored")
+                .unwrap()
+                .as_bool(),
             Some(false)
         );
     }
@@ -274,24 +322,40 @@ mod tests {
         let mut scene = WarehouseScene::build(&module);
         // Corrupt one color code in the Data node before ready() runs.
         let data = scene.data;
-        let mut rows = match scene.tree.node(data).unwrap().get("traffic_matrix_colors").cloned() {
+        let mut rows = match scene
+            .tree
+            .node(data)
+            .unwrap()
+            .get("traffic_matrix_colors")
+            .cloned()
+        {
             Some(Variant::Array(rows)) => rows,
             _ => panic!("colors missing"),
         };
         if let Variant::Array(cells) = &mut rows[0] {
             cells[0] = Variant::Int(7);
         }
-        scene.tree.node_mut(data).unwrap().set("traffic_matrix_colors", Variant::Array(rows));
+        scene
+            .tree
+            .node_mut(data)
+            .unwrap()
+            .set("traffic_matrix_colors", Variant::Array(rows));
 
-        let mut controller = PalletLabelController::ready(&mut scene.tree, scene.controller).unwrap();
+        let mut controller =
+            PalletLabelController::ready(&mut scene.tree, scene.controller).unwrap();
         controller.change_pallet_color(&mut scene.tree).unwrap();
-        assert_eq!(controller.pallet_material(&scene.tree, 0).unwrap(), MATERIAL_BLACK);
+        assert_eq!(
+            controller.pallet_material(&scene.tree, 0).unwrap(),
+            MATERIAL_BLACK
+        );
     }
 
     #[test]
     fn ready_fails_without_a_data_sibling() {
         let mut tree = SceneTree::new("Broken level");
-        let controller = tree.spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D).unwrap();
+        let controller = tree
+            .spawn(tree.root(), "Pallet and label controller", NodeKind::Node3D)
+            .unwrap();
         assert!(PalletLabelController::ready(&mut tree, controller).is_err());
     }
 }

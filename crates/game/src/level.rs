@@ -32,7 +32,13 @@ impl Level {
             .question
             .as_ref()
             .map(|q| PresentedQuestion::present(q, ShuffleSeed(shuffle_seed)));
-        Ok(Level { scene, controller, view: ViewState::new(), question, answered: None })
+        Ok(Level {
+            scene,
+            controller,
+            view: ViewState::new(),
+            question,
+            answered: None,
+        })
     }
 
     /// The module's name.
@@ -85,7 +91,11 @@ impl Level {
     /// regardless of the current mode).
     pub fn render_matrix_view(&self) -> Framebuffer {
         let module = self.scene.module();
-        let colors = if self.view.colors_on { Some(&module.colors) } else { None };
+        let colors = if self.view.colors_on {
+            Some(&module.colors)
+        } else {
+            None
+        };
         tw_render::render_matrix_2d(&module.matrix, colors)
     }
 }
@@ -129,12 +139,30 @@ mod tests {
     #[test]
     fn color_toggle_input_updates_both_view_and_scene_tree() {
         let mut level = Level::load(&template_10x10(), 1).unwrap();
-        assert_eq!(level.controller.pallet_material(&level.scene.tree, 6).unwrap(), "pallet_default_material");
+        assert_eq!(
+            level
+                .controller
+                .pallet_material(&level.scene.tree, 6)
+                .unwrap(),
+            "pallet_default_material"
+        );
         level.handle_input(InputEvent::Pressed(Key::C)).unwrap();
         assert!(level.view.colors_on);
-        assert_eq!(level.controller.pallet_material(&level.scene.tree, 6).unwrap(), "pallet_material_r");
+        assert_eq!(
+            level
+                .controller
+                .pallet_material(&level.scene.tree, 6)
+                .unwrap(),
+            "pallet_material_r"
+        );
         level.handle_input(InputEvent::Pressed(Key::C)).unwrap();
-        assert_eq!(level.controller.pallet_material(&level.scene.tree, 6).unwrap(), "pallet_default_material");
+        assert_eq!(
+            level
+                .controller
+                .pallet_material(&level.scene.tree, 6)
+                .unwrap(),
+            "pallet_default_material"
+        );
     }
 
     #[test]

@@ -25,11 +25,14 @@ const DISPLAY_PACKET_LIMIT: u64 = 14;
 pub fn coarsen_window(matrix: &CsrMatrix<u64>, dimension: usize) -> TrafficMatrix {
     assert!(dimension >= 1, "display dimension must be positive");
     let n = matrix.rows().max(1);
-    let mut grid = vec![vec![0u64; dimension]; dimension];
+    // Block sums and the rescale run in u128: a block can absorb up to n²
+    // u64 cells, and the rescale multiplies by DISPLAY_PACKET_LIMIT — both
+    // overflow u64 for packet counts as low as u64::MAX / 14.
+    let mut grid = vec![vec![0u128; dimension]; dimension];
     for (r, c, v) in matrix.iter() {
         let br = (r * dimension / n).min(dimension - 1);
         let bc = (c * dimension / n).min(dimension - 1);
-        grid[br][bc] += v;
+        grid[br][bc] += u128::from(v);
     }
     let max = grid.iter().flatten().copied().max().unwrap_or(0);
     let scaled: Vec<Vec<u32>> = grid
@@ -39,17 +42,20 @@ pub fn coarsen_window(matrix: &CsrMatrix<u64>, dimension: usize) -> TrafficMatri
                 .map(|&v| {
                     if v == 0 {
                         0
-                    } else if max <= DISPLAY_PACKET_LIMIT {
+                    } else if max <= u128::from(DISPLAY_PACKET_LIMIT) {
                         v as u32
                     } else {
-                        ((v * DISPLAY_PACKET_LIMIT) / max).max(1) as u32
+                        ((v * u128::from(DISPLAY_PACKET_LIMIT)) / max).max(1) as u32
                     }
                 })
                 .collect()
         })
         .collect();
-    let labels =
-        if dimension == 10 { LabelSet::paper_default_10() } else { LabelSet::numeric(dimension) };
+    let labels = if dimension == 10 {
+        LabelSet::paper_default_10()
+    } else {
+        LabelSet::numeric(dimension)
+    };
     TrafficMatrix::from_grid(labels, &scaled).expect("coarsened grid is square")
 }
 
@@ -67,7 +73,12 @@ impl LiveWarehouse {
     /// the paper's blue/grey/red labelling).
     pub fn new(dimension: usize) -> Self {
         assert!(dimension >= 1, "display dimension must be positive");
-        LiveWarehouse { dimension, scene: None, windows_seen: 0, last_stats: None }
+        LiveWarehouse {
+            dimension,
+            scene: None,
+            windows_seen: 0,
+            last_stats: None,
+        }
     }
 
     /// The display dimension.
@@ -111,7 +122,9 @@ impl LiveWarehouse {
     pub fn follow(&mut self, pipeline: &mut Pipeline, max_windows: usize) -> Vec<IngestStats> {
         let mut stats = Vec::new();
         while stats.len() < max_windows {
-            let Some(report) = pipeline.next_window() else { break };
+            let Some(report) = pipeline.next_window() else {
+                break;
+            };
             self.on_window(&report);
             stats.push(report.stats);
         }
@@ -128,7 +141,11 @@ mod tests {
     use tw_module::ModuleBundle;
 
     fn ddos_pipeline() -> Pipeline {
-        let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 2 };
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 4_096,
+            shard_count: 2,
+        };
         Pipeline::new(Scenario::Ddos.source(500, 5), config)
     }
 
@@ -142,9 +159,15 @@ mod tests {
         assert!(display.total_packets() > 0);
         // The scaled Fig. 9 victim block (addresses 150..200 of 500) lands in
         // display column 3, which the flood makes the hottest column.
-        let col_sums: Vec<u64> =
-            (0..10).map(|c| (0..10).map(|r| u64::from(display.get(r, c).unwrap())).sum()).collect();
-        let hottest = col_sums.iter().enumerate().max_by_key(|&(_, v)| *v).unwrap().0;
+        let col_sums: Vec<u64> = (0..10)
+            .map(|c| (0..10).map(|r| u64::from(display.get(r, c).unwrap())).sum())
+            .collect();
+        let hottest = col_sums
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .unwrap()
+            .0;
         assert_eq!(hottest, 3, "column sums: {col_sums:?}");
     }
 
@@ -163,6 +186,45 @@ mod tests {
         // carries the live module name.
         let name = scene.tree.node(scene.data).unwrap().get("name").unwrap();
         assert_eq!(format!("{name}"), "live window 2");
+    }
+
+    #[test]
+    fn coarsening_survives_u64_boundary_packet_counts() {
+        // A single cell at u64::MAX: the old u64 rescale computed
+        // v * 14 before dividing, overflowing for any v > u64::MAX / 14
+        // (debug panic, wrong pallet colors in release).
+        let hot = CsrMatrix::from_dense(&[vec![u64::MAX, 0], vec![0, 3]]).unwrap();
+        let display = coarsen_window(&hot, 2);
+        assert_eq!(display.get(0, 0).unwrap(), DISPLAY_PACKET_LIMIT as u32);
+        // Tiny non-zero cells never round down to zero.
+        assert_eq!(display.get(1, 1).unwrap(), 1);
+
+        // Two u64::MAX cells coarsened into one block: the block sum itself
+        // overflows u64 and must accumulate in u128.
+        let sum_overflow = CsrMatrix::from_dense(&[
+            vec![u64::MAX, u64::MAX, 0, 0],
+            vec![0, 0, 0, 0],
+            vec![0, 0, 0, 0],
+            vec![0, 0, 0, 1],
+        ])
+        .unwrap();
+        let display = coarsen_window(&sum_overflow, 2);
+        assert_eq!(display.get(0, 0).unwrap(), DISPLAY_PACKET_LIMIT as u32);
+        assert_eq!(display.get(1, 1).unwrap(), 1);
+
+        // Exactly at the old overflow boundary, one packet apart.
+        for v in [
+            u64::MAX / DISPLAY_PACKET_LIMIT,
+            u64::MAX / DISPLAY_PACKET_LIMIT + 1,
+        ] {
+            let m = CsrMatrix::from_dense(&[vec![v, 0], vec![0, 1]]).unwrap();
+            let display = coarsen_window(&m, 2);
+            assert_eq!(
+                display.get(0, 0).unwrap(),
+                DISPLAY_PACKET_LIMIT as u32,
+                "v = {v}"
+            );
+        }
     }
 
     #[test]
@@ -198,7 +260,10 @@ mod tests {
         assert_eq!(live_events.len(), 2);
         assert!(matches!(
             live_events[0],
-            TelemetryEvent::LiveWindow { window_index: 0, .. }
+            TelemetryEvent::LiveWindow {
+                window_index: 0,
+                ..
+            }
         ));
     }
 

@@ -6,9 +6,9 @@
 use crate::level::Level;
 use crate::live::LiveWarehouse;
 use crate::telemetry::{TelemetryEvent, TelemetryHub};
-use tw_ingest::WindowReport;
 use tw_engine::input::{Action, InputEvent};
 use tw_engine::TreeError;
+use tw_ingest::WindowReport;
 use tw_module::ModuleBundle;
 use tw_quiz::{QuestionOutcome, SessionScore};
 
@@ -69,7 +69,10 @@ impl GameSession {
             return Ok(());
         }
         let module = &self.bundle.modules()[self.current_index];
-        let shuffle_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.current_index as u64);
+        let shuffle_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.current_index as u64);
         self.current_level = Some(Level::load(module, shuffle_seed)?);
         self.phase = GamePhase::Exploring;
         self.telemetry.publish(TelemetryEvent::ModuleStarted {
@@ -129,7 +132,9 @@ impl GameSession {
     /// Deliver one ingest window to the live view (no-op when not
     /// subscribed) and publish it on the telemetry stream.
     pub fn ingest_window(&mut self, report: &WindowReport) {
-        let Some(live) = self.live.as_mut() else { return };
+        let Some(live) = self.live.as_mut() else {
+            return;
+        };
         live.on_window(report);
         self.telemetry.publish(TelemetryEvent::LiveWindow {
             window_index: report.stats.window_index,
@@ -172,7 +177,9 @@ impl GameSession {
     }
 
     fn complete_current(&mut self) -> Result<(), TreeError> {
-        self.telemetry.publish(TelemetryEvent::ModuleCompleted { index: self.current_index });
+        self.telemetry.publish(TelemetryEvent::ModuleCompleted {
+            index: self.current_index,
+        });
         self.current_index += 1;
         self.load_current()
     }
@@ -181,7 +188,9 @@ impl GameSession {
     /// answer the question, Enter advances after answering.
     pub fn handle_input(&mut self, event: InputEvent) -> Result<Option<Action>, TreeError> {
         let action = {
-            let Some(level) = self.current_level.as_mut() else { return Ok(None) };
+            let Some(level) = self.current_level.as_mut() else {
+                return Ok(None);
+            };
             level.handle_input(event)?
         };
         match action {
@@ -195,18 +204,21 @@ impl GameSession {
                     .as_ref()
                     .map(|l| l.view.mode == crate::view::ViewMode::ThreeD)
                     .unwrap_or(false);
-                self.telemetry.publish(TelemetryEvent::ViewToggled { now_3d });
+                self.telemetry
+                    .publish(TelemetryEvent::ViewToggled { now_3d });
             }
             Some(Action::RotateLeft) | Some(Action::RotateRight) => {
                 if let Some(level) = self.current_level.as_ref() {
-                    self.telemetry
-                        .publish(TelemetryEvent::ViewRotated { steps: level.view.rotation_steps });
+                    self.telemetry.publish(TelemetryEvent::ViewRotated {
+                        steps: level.view.rotation_steps,
+                    });
                 }
             }
             Some(Action::ToggleColors) => {
                 if let Some(level) = self.current_level.as_ref() {
-                    self.telemetry
-                        .publish(TelemetryEvent::ColorsToggled { now_colored: level.view.colors_on });
+                    self.telemetry.publish(TelemetryEvent::ColorsToggled {
+                        now_colored: level.view.colors_on,
+                    });
                 }
             }
             _ => {}
@@ -217,7 +229,10 @@ impl GameSession {
     /// Play the whole bundle automatically, answering every question with the
     /// given per-question policy (`true` = answer correctly). Used by the
     /// classroom simulator and the pipeline benchmark.
-    pub fn autoplay(&mut self, mut answer_correctly: impl FnMut(usize) -> bool) -> Result<(), TreeError> {
+    pub fn autoplay(
+        &mut self,
+        mut answer_correctly: impl FnMut(usize) -> bool,
+    ) -> Result<(), TreeError> {
         while !self.is_finished() {
             let index = self.current_index;
             let choice = {
@@ -257,8 +272,17 @@ mod tests {
         assert_eq!(session.score().correct, 4);
         assert_eq!(session.score().incorrect, 0);
         let events = session.telemetry().drain();
-        assert!(matches!(events[0], TelemetryEvent::BundleLoaded { modules: 4, .. }));
-        assert!(events.iter().any(|e| matches!(e, TelemetryEvent::SessionCompleted { correct: 4, answered: 4 })));
+        assert!(matches!(
+            events[0],
+            TelemetryEvent::BundleLoaded { modules: 4, .. }
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::SessionCompleted {
+                correct: 4,
+                answered: 4
+            }
+        )));
         // 1 bundle + 4 module starts + 4 answers + 4 completions + 1 session end.
         assert_eq!(events.len(), 14);
     }
@@ -278,12 +302,21 @@ mod tests {
         let bundle = basics_bundle();
         let mut session = GameSession::start(bundle, 1).unwrap();
         // Find which display key answers correctly for the first module.
-        let correct = session.current_level().unwrap().question().unwrap().correct_index as u8;
-        session.handle_input(InputEvent::Pressed(Key::Digit(correct + 1))).unwrap();
+        let correct = session
+            .current_level()
+            .unwrap()
+            .question()
+            .unwrap()
+            .correct_index as u8;
+        session
+            .handle_input(InputEvent::Pressed(Key::Digit(correct + 1)))
+            .unwrap();
         assert_eq!(session.phase(), GamePhase::Answered);
         // Answering again in the Answered phase is ignored.
         assert_eq!(session.answer(0), None);
-        session.handle_input(InputEvent::Pressed(Key::Enter)).unwrap();
+        session
+            .handle_input(InputEvent::Pressed(Key::Enter))
+            .unwrap();
         assert_eq!(session.current_index(), 1);
         assert_eq!(session.phase(), GamePhase::Exploring);
     }
@@ -307,7 +340,9 @@ mod tests {
         let bundle = basics_bundle();
         let mut session = GameSession::start(bundle, 1).unwrap();
         session.telemetry().drain();
-        session.handle_input(InputEvent::Pressed(Key::Space)).unwrap();
+        session
+            .handle_input(InputEvent::Pressed(Key::Space))
+            .unwrap();
         session.handle_input(InputEvent::Pressed(Key::E)).unwrap();
         session.handle_input(InputEvent::Pressed(Key::C)).unwrap();
         let events = session.telemetry().drain();

@@ -28,7 +28,11 @@ pub enum TelemetryEvent {
     /// The whole bundle was completed; contains the final correct/answered counts.
     SessionCompleted { correct: usize, answered: usize },
     /// A live ingest window re-palleted the warehouse scene.
-    LiveWindow { window_index: u64, events: u64, nnz: usize },
+    LiveWindow {
+        window_index: u64,
+        events: u64,
+        nnz: usize,
+    },
 }
 
 /// A telemetry publisher/consumer pair backed by an unbounded channel.
@@ -84,12 +88,20 @@ mod tests {
     #[test]
     fn publish_and_drain_in_order() {
         let hub = TelemetryHub::new();
-        hub.publish(TelemetryEvent::BundleLoaded { name: "DDoS".into(), modules: 4 });
-        hub.publish(TelemetryEvent::ModuleStarted { index: 0, name: "C2".into() });
+        hub.publish(TelemetryEvent::BundleLoaded {
+            name: "DDoS".into(),
+            modules: 4,
+        });
+        hub.publish(TelemetryEvent::ModuleStarted {
+            index: 0,
+            name: "C2".into(),
+        });
         assert_eq!(hub.pending(), 2);
         let events = hub.drain();
         assert_eq!(events.len(), 2);
-        assert!(matches!(events[0], TelemetryEvent::BundleLoaded { ref name, modules: 4 } if name == "DDoS"));
+        assert!(
+            matches!(events[0], TelemetryEvent::BundleLoaded { ref name, modules: 4 } if name == "DDoS")
+        );
         assert_eq!(hub.pending(), 0);
         assert!(hub.drain().is_empty());
     }
@@ -100,7 +112,9 @@ mod tests {
         let sender = hub.sender();
         let handle = std::thread::spawn(move || {
             for i in 0..10 {
-                sender.send(TelemetryEvent::ModuleCompleted { index: i }).unwrap();
+                sender
+                    .send(TelemetryEvent::ModuleCompleted { index: i })
+                    .unwrap();
             }
         });
         handle.join().unwrap();

@@ -66,7 +66,12 @@ impl TrainingLevel {
         let mut level = Level::load(&module, 0)?;
         // The walk-through begins with no packets placed.
         level.view.packets_placed = Some(0);
-        Ok(TrainingLevel { level, step: TrainingStep::Read2D, packets_placed: 0, total_packets })
+        Ok(TrainingLevel {
+            level,
+            step: TrainingStep::Read2D,
+            packets_placed: 0,
+            total_packets,
+        })
     }
 
     /// The current walk-through step.
@@ -167,7 +172,10 @@ mod tests {
         assert!(validate(&module).is_valid());
         assert_eq!(module.dimension(), 6);
         assert_eq!(module.matrix.get_by_label("WS1", "SRV1"), Some(3));
-        assert_eq!(module.question.as_ref().unwrap().correct_answer(), Some("3"));
+        assert_eq!(
+            module.question.as_ref().unwrap().correct_answer(),
+            Some("3")
+        );
         assert!(module.hint.is_some());
     }
 
@@ -185,7 +193,11 @@ mod tests {
         assert_eq!(training.step(), TrainingStep::Complete);
         assert!(training.all_packets_placed());
         training.advance_step();
-        assert_eq!(training.step(), TrainingStep::Complete, "complete is terminal");
+        assert_eq!(
+            training.step(),
+            TrainingStep::Complete,
+            "complete is terminal"
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn color_toggle_and_answer_actions() {
         let mut v = ViewState::new();
-        assert_eq!(v.handle_input(InputEvent::Pressed(Key::C)), Some(Action::ToggleColors));
+        assert_eq!(
+            v.handle_input(InputEvent::Pressed(Key::C)),
+            Some(Action::ToggleColors)
+        );
         assert!(v.colors_on);
         v.toggle_colors();
         assert!(!v.colors_on);
@@ -148,7 +151,13 @@ mod tests {
         v.rotate(2);
         let orbit = v.camera(10.0);
         assert_ne!(top.eye, orbit.eye);
-        assert!(matches!(top.projection, tw_render::Projection::Orthographic { .. }));
-        assert!(matches!(orbit.projection, tw_render::Projection::Perspective { .. }));
+        assert!(matches!(
+            top.projection,
+            tw_render::Projection::Orthographic { .. }
+        ));
+        assert!(matches!(
+            orbit.projection,
+            tw_render::Projection::Perspective { .. }
+        ));
     }
 }

@@ -48,7 +48,9 @@ impl WarehouseScene {
 
         // Data node: the parsed module file, stored as node properties the way
         // Godot stores the JSON dictionary.
-        let data = tree.spawn(tree.root(), "Data", NodeKind::Data).expect("fresh tree");
+        let data = tree
+            .spawn(tree.root(), "Data", NodeKind::Data)
+            .expect("fresh tree");
         {
             let node = tree.node_mut(data).expect("data node exists");
             node.set("name", module.name.as_str());
@@ -56,25 +58,45 @@ impl WarehouseScene {
             node.set(
                 "axis_labels",
                 Variant::Array(
-                    module.matrix.labels().labels().iter().map(|l| Variant::from(l.as_str())).collect(),
+                    module
+                        .matrix
+                        .labels()
+                        .labels()
+                        .iter()
+                        .map(|l| Variant::from(l.as_str()))
+                        .collect(),
                 ),
             );
             node.set("traffic_matrix", grid_variant(&module.matrix.to_grid()));
-            node.set("traffic_matrix_colors", grid_variant(&module.colors.to_codes()));
+            node.set(
+                "traffic_matrix_colors",
+                grid_variant(&module.colors.to_codes()),
+            );
             node.set("has_question", module.has_question());
         }
 
-        let camera = tree.spawn(tree.root(), "Camera3D", NodeKind::Camera3D).expect("fresh tree");
+        let camera = tree
+            .spawn(tree.root(), "Camera3D", NodeKind::Camera3D)
+            .expect("fresh tree");
 
         // Floor.
-        let floor = tree.spawn(tree.root(), "Floor", NodeKind::Node3D).expect("fresh tree");
+        let floor = tree
+            .spawn(tree.root(), "Floor", NodeKind::Node3D)
+            .expect("fresh tree");
         for row in 0..n {
             for col in 0..n {
                 let id = tree
-                    .spawn(floor, &format!("Tile_{row}_{col}"), NodeKind::MeshInstance3D)
+                    .spawn(
+                        floor,
+                        &format!("Tile_{row}_{col}"),
+                        NodeKind::MeshInstance3D,
+                    )
                     .expect("unique tile names");
                 let node = tree.node_mut(id).expect("tile exists");
-                node.set("position", Variant::Vector3(col as f64 * CELL_SIZE, 0.0, row as f64 * CELL_SIZE));
+                node.set(
+                    "position",
+                    Variant::Vector3(col as f64 * CELL_SIZE, 0.0, row as f64 * CELL_SIZE),
+                );
                 node.add_to_group("floor");
             }
         }
@@ -87,8 +109,12 @@ impl WarehouseScene {
             let node = tree.node_mut(controller).expect("controller exists");
             node.export_with("pallets_are_colored", false);
         }
-        let x_axis = tree.spawn(controller, "X", NodeKind::Node3D).expect("fresh tree");
-        let y_axis = tree.spawn(controller, "Y", NodeKind::Node3D).expect("fresh tree");
+        let x_axis = tree
+            .spawn(controller, "X", NodeKind::Node3D)
+            .expect("fresh tree");
+        let y_axis = tree
+            .spawn(controller, "Y", NodeKind::Node3D)
+            .expect("fresh tree");
         for (axis, axis_name) in [(x_axis, "X"), (y_axis, "Y")] {
             for i in 0..n {
                 let holder = tree
@@ -96,8 +122,11 @@ impl WarehouseScene {
                     .expect("unique label names");
                 // Child 0: the board mesh; child 1: the text label (the paper's
                 // script reads `get_child(1).text`).
-                tree.spawn(holder, "Board", NodeKind::MeshInstance3D).expect("unique");
-                let text = tree.spawn(holder, "Text", NodeKind::Label3D).expect("unique");
+                tree.spawn(holder, "Board", NodeKind::MeshInstance3D)
+                    .expect("unique");
+                let text = tree
+                    .spawn(holder, "Text", NodeKind::Label3D)
+                    .expect("unique");
                 tree.node_mut(text).expect("text exists").set("text", "");
             }
         }
@@ -110,7 +139,9 @@ impl WarehouseScene {
 
         // Pallets: one per matrix cell, row-major, each with a mesh child whose
         // `material_override` the controller toggles, plus one box child per packet.
-        let pallets = tree.spawn(controller, "Pallets", NodeKind::Node3D).expect("fresh tree");
+        let pallets = tree
+            .spawn(controller, "Pallets", NodeKind::Node3D)
+            .expect("fresh tree");
         {
             let node = tree.node_mut(controller).expect("controller exists");
             node.export_with("pallets", Variant::NodeRef(pallets.0));
@@ -122,12 +153,17 @@ impl WarehouseScene {
                     .expect("unique pallet names");
                 {
                     let node = tree.node_mut(pallet).expect("pallet exists");
-                    node.set("position", Variant::Vector3(col as f64 * CELL_SIZE, 0.0, row as f64 * CELL_SIZE));
+                    node.set(
+                        "position",
+                        Variant::Vector3(col as f64 * CELL_SIZE, 0.0, row as f64 * CELL_SIZE),
+                    );
                     node.set("row", row);
                     node.set("col", col);
                     node.add_to_group("pallets");
                 }
-                let mesh = tree.spawn(pallet, "Mesh", NodeKind::MeshInstance3D).expect("unique");
+                let mesh = tree
+                    .spawn(pallet, "Mesh", NodeKind::MeshInstance3D)
+                    .expect("unique");
                 tree.node_mut(mesh)
                     .expect("mesh exists")
                     .set("material_override", "pallet_default_material");
@@ -143,7 +179,16 @@ impl WarehouseScene {
             }
         }
 
-        WarehouseScene { tree, data, controller, x_axis, y_axis, pallets, camera, module: module.clone() }
+        WarehouseScene {
+            tree,
+            data,
+            controller,
+            x_axis,
+            y_axis,
+            pallets,
+            camera,
+            module: module.clone(),
+        }
     }
 
     /// The module the scene was built from.
@@ -163,7 +208,8 @@ impl WarehouseScene {
 
     /// The pallet node for a cell.
     pub fn pallet_at(&self, row: usize, col: usize) -> Option<NodeId> {
-        self.tree.child_by_name(self.pallets, &format!("Pallet_{row}_{col}"))
+        self.tree
+            .child_by_name(self.pallets, &format!("Pallet_{row}_{col}"))
     }
 
     /// Total number of packet boxes in the scene.
@@ -186,7 +232,12 @@ impl WarehouseScene {
             for col in 0..n {
                 let origin = [col as f64 * CELL_SIZE, 0.0, row as f64 * CELL_SIZE];
                 scene.add(PlacedMesh::from_grid(&floor, origin, PALLET_SCALE));
-                let code = self.module.colors.get(row, col).map(|c| c.code()).unwrap_or(0);
+                let code = self
+                    .module
+                    .colors
+                    .get(row, col)
+                    .map(|c| c.code())
+                    .unwrap_or(0);
                 let accent = if colored {
                     Palette::accent_for_code(code)
                 } else {
@@ -218,8 +269,16 @@ impl WarehouseScene {
         // Axis label boards along the two axes.
         let board = label_board();
         for i in 0..n {
-            scene.add(PlacedMesh::from_grid(&board, [i as f64 * CELL_SIZE, 0.0, -1.2 * CELL_SIZE], PALLET_SCALE));
-            scene.add(PlacedMesh::from_grid(&board, [-1.2 * CELL_SIZE, 0.0, i as f64 * CELL_SIZE], PALLET_SCALE));
+            scene.add(PlacedMesh::from_grid(
+                &board,
+                [i as f64 * CELL_SIZE, 0.0, -1.2 * CELL_SIZE],
+                PALLET_SCALE,
+            ));
+            scene.add(PlacedMesh::from_grid(
+                &board,
+                [-1.2 * CELL_SIZE, 0.0, i as f64 * CELL_SIZE],
+                PALLET_SCALE,
+            ));
         }
         scene
     }
@@ -276,14 +335,20 @@ mod tests {
         let holder = tree.children(scene.y_axis).unwrap()[0];
         let holder_children = tree.children(holder).unwrap();
         assert_eq!(holder_children.len(), 2);
-        assert_eq!(tree.node(holder_children[1]).unwrap().kind, NodeKind::Label3D);
+        assert_eq!(
+            tree.node(holder_children[1]).unwrap().kind,
+            NodeKind::Label3D
+        );
         // 100 pallets, one per cell; template has 30 packets → 30 box nodes.
         assert_eq!(tree.children(scene.pallets).unwrap().len(), 100);
         assert_eq!(scene.total_boxes(), 30);
         assert_eq!(tree.nodes_in_group("pallets").len(), 100);
         // The controller exports the references the Inspector shows in Fig. 3.
         let controller = tree.node(scene.controller).unwrap();
-        assert_eq!(controller.exported(), &["pallets_are_colored", "x_axis", "y_axis", "pallets"]);
+        assert_eq!(
+            controller.exported(),
+            &["pallets_are_colored", "x_axis", "y_axis", "pallets"]
+        );
     }
 
     #[test]
@@ -295,11 +360,18 @@ mod tests {
         let labels = data.get("axis_labels").unwrap().as_array().unwrap();
         assert_eq!(labels.len(), 10);
         assert_eq!(labels[6].as_str(), Some("ADV1"));
-        let colors = data.get("traffic_matrix_colors").unwrap().as_array().unwrap();
+        let colors = data
+            .get("traffic_matrix_colors")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert_eq!(colors.len(), 10);
         assert_eq!(colors[0].as_array().unwrap()[9].as_int(), Some(2));
         // The controller can reach the Data node via the paper's "../Data" path.
-        assert_eq!(scene.tree.get_node(scene.controller, "../Data").unwrap(), scene.data);
+        assert_eq!(
+            scene.tree.get_node(scene.controller, "../Data").unwrap(),
+            scene.data
+        );
     }
 
     #[test]
@@ -333,11 +405,19 @@ mod tests {
         let scene = WarehouseScene::build(&module);
         let view2d = ViewState::new();
         let fb = scene.render(&view2d, 64, 64);
-        assert!(fb.covered_pixels() > 500, "2-D view covered {}", fb.covered_pixels());
+        assert!(
+            fb.covered_pixels() > 500,
+            "2-D view covered {}",
+            fb.covered_pixels()
+        );
         let mut view3d = ViewState::new();
         view3d.toggle_mode();
         let fb3 = scene.render(&view3d, 64, 64);
-        assert!(fb3.covered_pixels() > 300, "3-D view covered {}", fb3.covered_pixels());
+        assert!(
+            fb3.covered_pixels() > 300,
+            "3-D view covered {}",
+            fb3.covered_pixels()
+        );
         assert_ne!(fb.to_ascii(), fb3.to_ascii());
     }
 

@@ -1,0 +1,437 @@
+//! A compact, versioned binary codec for [`WindowReport`]s.
+//!
+//! Recorded scenarios are replayed in class many times from one capture, so
+//! the on-disk window format must be both small and stable. Version 1 encodes
+//! the CSR matrix row by row with LEB128 varints and delta-compressed
+//! coordinates — hypersparse windows (a few entries per row, clustered
+//! columns) shrink to a handful of bytes per stored cell — followed by the
+//! window's [`IngestStats`]. Every integer field is varint-encoded, so the
+//! format has no architecture-dependent widths, and decoding validates
+//! structure (magic, version, bounds, exact length) before any matrix is
+//! built.
+//!
+//! ```
+//! use tw_ingest::codec::{decode_window, encode_window};
+//! use tw_ingest::{Pipeline, PipelineConfig, Scenario};
+//!
+//! let mut pipeline = Pipeline::new(Scenario::Ddos.source(64, 1), PipelineConfig::default());
+//! let report = pipeline.next_window().unwrap();
+//! let bytes = encode_window(&report);
+//! let decoded = decode_window(&bytes).unwrap();
+//! assert_eq!(decoded.matrix, report.matrix);
+//! assert_eq!(decoded.stats, report.stats);
+//! ```
+
+use crate::window::{IngestStats, WindowReport};
+use std::fmt;
+use std::time::Duration;
+use tw_matrix::CsrMatrix;
+
+/// Leading magic of an encoded window.
+pub const WINDOW_MAGIC: [u8; 4] = *b"TWWR";
+/// The codec version this module writes.
+pub const WINDOW_CODEC_VERSION: u8 = 1;
+/// The largest matrix dimension the codec accepts (16 Mi addresses).
+///
+/// This bounds the `row_ptr` allocation a decoder performs for a *claimed*
+/// dimension, so a corrupt or hostile header cannot demand an absurd
+/// allocation (or overflow `Vec`'s capacity) before validation fails.
+/// 16,777,216 addresses is far beyond any classroom scenario and well above
+/// what a dense-row-pointer CSR is sensible for.
+pub const MAX_DIMENSION: usize = 1 << 24;
+
+/// Errors produced while decoding a window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with [`WINDOW_MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this codec understands.
+    UnsupportedVersion(u8),
+    /// The buffer ended inside the named structure.
+    Truncated(&'static str),
+    /// A varint ran past 64 bits.
+    VarintOverflow(&'static str),
+    /// A structurally invalid field; the message names the violation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an encoded window (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "window codec version {v} is newer than supported version {WINDOW_CODEC_VERSION}")
+            }
+            CodecError::Truncated(what) => {
+                write!(f, "encoded window truncated while reading {what}")
+            }
+            CodecError::VarintOverflow(what) => write!(f, "varint overflow while reading {what}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt encoded window: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append a LEB128 varint.
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// A cursor over the encoded bytes.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    #[inline]
+    fn byte(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        let b = *self.data.get(self.pos).ok_or(CodecError::Truncated(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    #[inline]
+    fn varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        // Fast path: hypersparse windows make almost every field (column
+        // deltas, small packet counts, row gaps) a single varint byte.
+        if let Some(&b) = self.data.get(self.pos) {
+            if b < 0x80 {
+                self.pos += 1;
+                return Ok(u64::from(b));
+            }
+        }
+        self.varint_slow(what)
+    }
+
+    #[cold]
+    fn varint_slow(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte(what)?;
+            let payload = u64::from(byte & 0x7F);
+            if shift >= 64 || (shift == 63 && payload > 1) {
+                return Err(CodecError::VarintOverflow(what));
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    #[inline]
+    fn usize_varint(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        usize::try_from(self.varint(what)?).map_err(|_| CodecError::VarintOverflow(what))
+    }
+}
+
+/// Encode one window into the version-1 binary format.
+pub fn encode_window(report: &WindowReport) -> Vec<u8> {
+    let matrix = &report.matrix;
+    let stats = &report.stats;
+    let (rows, cols) = matrix.shape();
+    assert!(
+        rows <= MAX_DIMENSION && cols <= MAX_DIMENSION,
+        "window matrices larger than {MAX_DIMENSION} addresses are not encodable"
+    );
+    // Magic + version + ~2 varints per stored entry is a good initial guess.
+    let mut buf = Vec::with_capacity(32 + matrix.nnz() * 4);
+    buf.extend_from_slice(&WINDOW_MAGIC);
+    buf.push(WINDOW_CODEC_VERSION);
+
+    push_varint(&mut buf, stats.window_index);
+    push_varint(&mut buf, stats.events);
+    push_varint(&mut buf, stats.packets);
+    push_varint(&mut buf, stats.nnz as u64);
+    push_varint(&mut buf, stats.dropped_late);
+    let nanos = u64::try_from(stats.elapsed.as_nanos()).unwrap_or(u64::MAX);
+    push_varint(&mut buf, nanos);
+
+    push_varint(&mut buf, rows as u64);
+    push_varint(&mut buf, cols as u64);
+    push_varint(&mut buf, matrix.nnz() as u64);
+    let occupied = (0..rows).filter(|&r| matrix.row_nnz(r) > 0).count();
+    push_varint(&mut buf, occupied as u64);
+
+    // Rows appear in increasing order, delta-compressed: the first occupied
+    // row is absolute, later ones store (gap - 1). Columns within a row are
+    // strictly increasing, so the first is absolute and later ones store
+    // (delta - 1). Values follow their column inline.
+    let mut prev_row: Option<usize> = None;
+    for r in 0..rows {
+        let row_nnz = matrix.row_nnz(r);
+        if row_nnz == 0 {
+            continue;
+        }
+        match prev_row {
+            None => push_varint(&mut buf, r as u64),
+            Some(p) => push_varint(&mut buf, (r - p - 1) as u64),
+        }
+        prev_row = Some(r);
+        push_varint(&mut buf, row_nnz as u64);
+        let mut prev_col: Option<usize> = None;
+        for (c, v) in matrix.row(r) {
+            match prev_col {
+                None => push_varint(&mut buf, c as u64),
+                Some(p) => push_varint(&mut buf, (c - p - 1) as u64),
+            }
+            prev_col = Some(c);
+            push_varint(&mut buf, v);
+        }
+    }
+    buf
+}
+
+/// Decode a window previously produced by [`encode_window`].
+///
+/// Round-trip guarantee: the decoded matrix equals the encoded one
+/// cell for cell (including shape), and the stats are identical.
+pub fn decode_window(data: &[u8]) -> Result<WindowReport, CodecError> {
+    let mut r = Reader { data, pos: 0 };
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.byte("magic")?;
+    }
+    if magic != WINDOW_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.byte("version")?;
+    if version != WINDOW_CODEC_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+
+    let window_index = r.varint("window_index")?;
+    let events = r.varint("events")?;
+    let packets = r.varint("packets")?;
+    let stats_nnz = r.usize_varint("stats nnz")?;
+    let dropped_late = r.varint("dropped_late")?;
+    let elapsed = Duration::from_nanos(r.varint("elapsed")?);
+
+    let rows = r.usize_varint("rows")?;
+    let cols = r.usize_varint("cols")?;
+    if rows > MAX_DIMENSION || cols > MAX_DIMENSION {
+        return Err(CodecError::Corrupt(
+            "matrix dimension exceeds the codec limit",
+        ));
+    }
+    let nnz = r.usize_varint("nnz")?;
+    let occupied = r.usize_varint("occupied row count")?;
+    if occupied > rows || nnz < occupied {
+        return Err(CodecError::Corrupt("row/entry counts are inconsistent"));
+    }
+
+    // The arrays are assembled directly in CSR layout — no intermediate
+    // triple buffer, no counting pass — which is what makes replay decode
+    // a fraction of live-ingest cost. Capacities are clamped by the buffer
+    // length so a corrupt header cannot force a huge allocation.
+    let mut row_ptr = vec![0usize; rows + 1];
+    let mut col_idx: Vec<usize> = Vec::with_capacity(nnz.min(data.len()));
+    let mut values: Vec<u64> = Vec::with_capacity(nnz.min(data.len()));
+    let mut row = 0usize;
+    let mut next_row_fill = 0usize;
+    for i in 0..occupied {
+        let gap = r.usize_varint("row gap")?;
+        row = if i == 0 {
+            gap
+        } else {
+            row.checked_add(gap + 1)
+                .ok_or(CodecError::Corrupt("row overflow"))?
+        };
+        if row >= rows {
+            return Err(CodecError::Corrupt("row index out of bounds"));
+        }
+        // Rows between the previous occupied row and this one are empty.
+        for slot in &mut row_ptr[next_row_fill..=row] {
+            *slot = col_idx.len();
+        }
+        next_row_fill = row + 1;
+        let row_nnz = r.usize_varint("row nnz")?;
+        if row_nnz == 0 {
+            return Err(CodecError::Corrupt("occupied row with zero entries"));
+        }
+        let mut col = 0usize;
+        for j in 0..row_nnz {
+            let delta = r.usize_varint("column delta")?;
+            col = if j == 0 {
+                delta
+            } else {
+                col.checked_add(delta + 1)
+                    .ok_or(CodecError::Corrupt("column overflow"))?
+            };
+            if col >= cols {
+                return Err(CodecError::Corrupt("column index out of bounds"));
+            }
+            let value = r.varint("value")?;
+            col_idx.push(col);
+            values.push(value);
+        }
+    }
+    if col_idx.len() != nnz {
+        return Err(CodecError::Corrupt("entry count disagrees with header"));
+    }
+    if r.pos != data.len() {
+        return Err(CodecError::Corrupt("trailing bytes after the last entry"));
+    }
+    for slot in &mut row_ptr[next_row_fill..=rows] {
+        *slot = nnz;
+    }
+
+    let matrix = CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+        .map_err(|_| CodecError::Corrupt("decoded arrays are not a valid CSR matrix"))?;
+    Ok(WindowReport {
+        matrix,
+        stats: IngestStats {
+            window_index,
+            events,
+            packets,
+            nnz: stats_nnz,
+            dropped_late,
+            elapsed,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: usize, cols: usize, entries: &[(usize, usize, u64)]) -> WindowReport {
+        let matrix = CsrMatrix::from_sorted_triples(rows, cols, entries);
+        let stats = IngestStats {
+            window_index: 3,
+            events: entries.len() as u64,
+            packets: entries
+                .iter()
+                .fold(0u64, |acc, &(_, _, v)| acc.saturating_add(v)),
+            nnz: entries.len(),
+            dropped_late: 1,
+            elapsed: Duration::from_micros(1234),
+        };
+        WindowReport { matrix, stats }
+    }
+
+    #[test]
+    fn round_trips_a_small_window() {
+        let original = report(6, 6, &[(0, 1, 5), (0, 4, 1), (2, 2, 9), (5, 0, u64::MAX)]);
+        let bytes = encode_window(&original);
+        let decoded = decode_window(&bytes).unwrap();
+        assert_eq!(decoded.matrix, original.matrix);
+        assert_eq!(decoded.stats, original.stats);
+    }
+
+    #[test]
+    fn round_trips_an_empty_window() {
+        let original = report(100, 100, &[]);
+        let decoded = decode_window(&encode_window(&original)).unwrap();
+        assert_eq!(decoded.matrix, original.matrix);
+        assert_eq!(decoded.matrix.shape(), (100, 100));
+        assert_eq!(decoded.stats, original.stats);
+    }
+
+    #[test]
+    fn hypersparse_windows_encode_compactly() {
+        // 4 entries over a 100k-address space: delta compression keeps the
+        // whole window under a hundred bytes where raw CSR arrays (usize
+        // row_ptr alone) would take ~800 KB.
+        let original = report(
+            100_000,
+            100_000,
+            &[
+                (5, 99_999, 1),
+                (70_000, 3, 2),
+                (70_000, 4, 7),
+                (99_999, 0, 1),
+            ],
+        );
+        let bytes = encode_window(&original);
+        assert!(bytes.len() < 100, "got {} bytes", bytes.len());
+        let decoded = decode_window(&bytes).unwrap();
+        assert_eq!(decoded.matrix, original.matrix);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_future_versions() {
+        let mut bytes = encode_window(&report(2, 2, &[(0, 1, 1)]));
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(decode_window(&wrong), Err(CodecError::BadMagic));
+        bytes[4] = WINDOW_CODEC_VERSION + 1;
+        assert_eq!(
+            decode_window(&bytes),
+            Err(CodecError::UnsupportedVersion(WINDOW_CODEC_VERSION + 1))
+        );
+        assert_eq!(decode_window(b""), Err(CodecError::Truncated("magic")));
+    }
+
+    #[test]
+    fn rejects_dimensions_beyond_the_codec_limit() {
+        // Hand-assemble a header claiming a huge dimension: the decoder must
+        // reject it before allocating row storage.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WINDOW_MAGIC);
+        bytes.push(WINDOW_CODEC_VERSION);
+        for _ in 0..6 {
+            super::push_varint(&mut bytes, 0); // stats fields
+        }
+        super::push_varint(&mut bytes, (MAX_DIMENSION as u64) + 1); // rows
+        super::push_varint(&mut bytes, 4); // cols
+        assert_eq!(
+            decode_window(&bytes),
+            Err(CodecError::Corrupt(
+                "matrix dimension exceeds the codec limit"
+            ))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let bytes = encode_window(&report(6, 6, &[(0, 1, 5), (2, 2, 9)]));
+        for len in 0..bytes.len() {
+            assert!(
+                decode_window(&bytes[..len]).is_err(),
+                "truncated at {len} must error"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_window(&padded),
+            Err(CodecError::Corrupt("trailing bytes after the last entry"))
+        );
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupt_flips() {
+        let bytes = encode_window(&report(16, 16, &[(1, 2, 3), (1, 3, 4), (9, 15, 1_000_000)]));
+        for pos in 0..bytes.len() {
+            for xor in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= xor;
+                let _ = decode_window(&corrupt); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(CodecError::Truncated("value").to_string().contains("value"));
+        assert!(CodecError::VarintOverflow("rows")
+            .to_string()
+            .contains("rows"));
+        assert!(CodecError::Corrupt("x").to_string().contains('x'));
+    }
+}

@@ -32,15 +32,24 @@
 //! * [`window`] — tumbling [`WindowClock`], per-window [`IngestStats`] and
 //!   the emitted [`WindowReport`];
 //! * [`pipeline`] — the [`Pipeline`] driver with backpressure via bounded
-//!   batch pulls and late-event drop accounting.
+//!   batch pulls and late-event drop accounting;
+//! * [`codec`] — the compact, versioned binary encoding of a
+//!   [`WindowReport`] (delta-compressed CSR + stats);
+//! * [`record`] — [`ArchiveRecorder`] (window stream → `tw-archive` ZIP with
+//!   a JSON manifest) and [`ReplaySource`] (ZIP → the identical window
+//!   stream, no event generation).
 
+pub mod codec;
 pub mod pipeline;
+pub mod record;
 pub mod scenario;
 pub mod shard;
 pub mod source;
 pub mod window;
 
+pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};
 pub use scenario::Scenario;
 pub use shard::{window_matrix, ShardedAccumulator};
 pub use source::{
@@ -57,12 +66,19 @@ mod tests {
     #[test]
     fn end_to_end_scenario_run() {
         let source = Scenario::Ddos.source(512, 11);
-        let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 4 };
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 4_096,
+            shard_count: 4,
+        };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(4);
         assert_eq!(reports.len(), 4);
         let total_events: u64 = reports.iter().map(|r| r.stats.events).sum();
-        assert!(total_events > 10_000, "a DDoS scenario is busy, got {total_events}");
+        assert!(
+            total_events > 10_000,
+            "a DDoS scenario is busy, got {total_events}"
+        );
         for (i, report) in reports.iter().enumerate() {
             assert_eq!(report.stats.window_index, i as u64);
             assert_eq!(report.matrix.shape(), (512, 512));

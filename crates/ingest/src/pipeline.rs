@@ -27,7 +27,11 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { window_us: 100_000, batch_size: 8_192, shard_count: 0 }
+        PipelineConfig {
+            window_us: 100_000,
+            batch_size: 8_192,
+            shard_count: 0,
+        }
     }
 }
 
@@ -108,9 +112,25 @@ impl Pipeline {
                 }
             }
             if self.source_exhausted {
-                // Flush the in-progress window once, then finish.
+                // Flush the in-progress window once, then finish. Trailing
+                // late drops are folded into this last real report rather
+                // than carried by a synthetic empty window that would
+                // advance `window_index` past the last real window.
+                //
+                // Invariant: `dropped_late > 0` implies the accumulator is
+                // non-empty here. A late pop needs `current > 0`, so a
+                // rotation must have happened, and every rotation is
+                // triggered by an event in a *future* window that is still
+                // at the head of `pending` — that event is always ingested
+                // (making the accumulator non-empty) before exhaustion can
+                // be observed. So no trailing count is ever dropped by
+                // finishing without a report.
                 self.finished = true;
-                if self.accumulator.is_empty() && self.dropped_late == 0 {
+                if self.accumulator.is_empty() {
+                    debug_assert_eq!(
+                        self.dropped_late, 0,
+                        "late drops observed without an in-progress window"
+                    );
                     return None;
                 }
                 self.window_elapsed += started.elapsed();
@@ -164,7 +184,10 @@ mod tests {
     use tw_matrix::PlusTimes;
 
     fn limited_background(nodes: u32, events: usize, seed: u64) -> Box<dyn EventSource> {
-        Box::new(Limit::new(Box::new(HeavyTailSource::new(nodes, 50_000, seed)), events))
+        Box::new(Limit::new(
+            Box::new(HeavyTailSource::new(nodes, 50_000, seed)),
+            events,
+        ))
     }
 
     #[test]
@@ -173,13 +196,21 @@ mod tests {
         let mut flat_source = Limit::new(Box::new(HeavyTailSource::new(64, 50_000, 3)), 20_000);
         let flat = collect_events(&mut flat_source, 20_000);
 
-        let config = PipelineConfig { window_us: 50_000, batch_size: 1_000, shard_count: 4 };
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 1_000,
+            shard_count: 4,
+        };
         let mut pipeline = Pipeline::new(limited_background(64, 20_000, 3), config);
         let mut reports = Vec::new();
         while let Some(report) = pipeline.next_window() {
             reports.push(report);
         }
-        assert!(reports.len() > 2, "expected several windows, got {}", reports.len());
+        assert!(
+            reports.len() > 2,
+            "expected several windows, got {}",
+            reports.len()
+        );
         assert!(pipeline.next_window().is_none(), "pipeline stays finished");
 
         // Cell-for-cell: every window equals the serial reference over the
@@ -209,9 +240,11 @@ mod tests {
 
     #[test]
     fn run_caps_the_window_count() {
-        let config = PipelineConfig { window_us: 20_000, ..PipelineConfig::default() };
-        let mut pipeline =
-            Pipeline::new(Box::new(HeavyTailSource::new(128, 80_000, 9)), config);
+        let config = PipelineConfig {
+            window_us: 20_000,
+            ..PipelineConfig::default()
+        };
+        let mut pipeline = Pipeline::new(Box::new(HeavyTailSource::new(128, 80_000, 9)), config);
         let reports = pipeline.run(4);
         assert_eq!(reports.len(), 4);
         assert!(reports.iter().all(|r| r.stats.events > 0));
@@ -223,8 +256,15 @@ mod tests {
     fn bursty_streams_emit_empty_windows() {
         // A scan at 10k events/s (one event per ~100 µs) with 50 µs windows
         // leaves roughly every other window empty.
-        let source = Box::new(Limit::new(Box::new(ScanSweepSource::new(32, 10_000, 1)), 50));
-        let config = PipelineConfig { window_us: 50, batch_size: 16, shard_count: 2 };
+        let source = Box::new(Limit::new(
+            Box::new(ScanSweepSource::new(32, 10_000, 1)),
+            50,
+        ));
+        let config = PipelineConfig {
+            window_us: 50,
+            batch_size: 16,
+            shard_count: 2,
+        };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(usize::MAX);
         let empty = reports.iter().filter(|r| r.stats.events == 0).count();
@@ -245,9 +285,24 @@ mod tests {
             }
             fn pull(&mut self, _max: usize, out: &mut Vec<PacketEvent>) -> usize {
                 let events: [PacketEvent; 3] = [
-                    PacketEvent { source: 0, destination: 1, packets: 1, timestamp_us: 10 },
-                    PacketEvent { source: 1, destination: 2, packets: 1, timestamp_us: 150_000 },
-                    PacketEvent { source: 2, destination: 3, packets: 1, timestamp_us: 20 },
+                    PacketEvent {
+                        source: 0,
+                        destination: 1,
+                        packets: 1,
+                        timestamp_us: 10,
+                    },
+                    PacketEvent {
+                        source: 1,
+                        destination: 2,
+                        packets: 1,
+                        timestamp_us: 150_000,
+                    },
+                    PacketEvent {
+                        source: 2,
+                        destination: 3,
+                        packets: 1,
+                        timestamp_us: 20,
+                    },
                 ];
                 if self.emitted >= events.len() {
                     return 0;
@@ -257,7 +312,11 @@ mod tests {
                 1
             }
         }
-        let config = PipelineConfig { window_us: 100_000, batch_size: 1, shard_count: 1 };
+        let config = PipelineConfig {
+            window_us: 100_000,
+            batch_size: 1,
+            shard_count: 1,
+        };
         let mut pipeline = Pipeline::new(Box::new(Regressive { emitted: 0 }), config);
         let w0 = pipeline.next_window().unwrap();
         assert_eq!(w0.stats.events, 1);
@@ -266,6 +325,84 @@ mod tests {
         assert_eq!(w1.stats.events, 1, "the regressive event is not ingested");
         assert_eq!(w1.stats.dropped_late, 1, "but it is counted");
         assert!(pipeline.next_window().is_none());
+    }
+
+    #[test]
+    fn trailing_late_drops_fold_into_the_last_real_window() {
+        /// A stream that ends in late events: one real window-0 event, one
+        /// window-1 event, then two stragglers from window 0.
+        struct TrailingLate {
+            emitted: usize,
+        }
+        impl EventSource for TrailingLate {
+            fn node_count(&self) -> u32 {
+                8
+            }
+            fn pull(&mut self, _max: usize, out: &mut Vec<PacketEvent>) -> usize {
+                let events: [PacketEvent; 4] = [
+                    PacketEvent {
+                        source: 0,
+                        destination: 1,
+                        packets: 1,
+                        timestamp_us: 10,
+                    },
+                    PacketEvent {
+                        source: 1,
+                        destination: 2,
+                        packets: 1,
+                        timestamp_us: 150_000,
+                    },
+                    PacketEvent {
+                        source: 2,
+                        destination: 3,
+                        packets: 1,
+                        timestamp_us: 20,
+                    },
+                    PacketEvent {
+                        source: 3,
+                        destination: 4,
+                        packets: 1,
+                        timestamp_us: 30,
+                    },
+                ];
+                if self.emitted >= events.len() {
+                    return 0;
+                }
+                out.push(events[self.emitted]);
+                self.emitted += 1;
+                1
+            }
+        }
+        let config = PipelineConfig {
+            window_us: 100_000,
+            batch_size: 1,
+            shard_count: 1,
+        };
+        let mut pipeline = Pipeline::new(Box::new(TrailingLate { emitted: 0 }), config);
+        let reports = pipeline.run(usize::MAX);
+        // Exactly the two real windows: no synthetic empty window is emitted
+        // to carry the trailing dropped_late count, and window_index never
+        // advances past the last real window.
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].stats.window_index, 0);
+        assert_eq!(reports[0].stats.events, 1);
+        assert_eq!(reports[0].stats.dropped_late, 0);
+        assert_eq!(reports[1].stats.window_index, 1);
+        assert_eq!(
+            reports[1].stats.events, 1,
+            "the last real window keeps its event"
+        );
+        assert_eq!(
+            reports[1].stats.dropped_late, 2,
+            "both stragglers fold into it"
+        );
+        assert!(pipeline.next_window().is_none());
+        // Nothing was lost: events + drops account for the whole stream.
+        let accounted: u64 = reports
+            .iter()
+            .map(|r| r.stats.events + r.stats.dropped_late)
+            .sum();
+        assert_eq!(accounted, 4);
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Record a scenario's window stream once; replay it in class forever.
+//!
+//! The paper distributes lessons as "a zip file containing multiple JSON
+//! files" (§II); this module applies the same packaging to live scenarios. An
+//! [`ArchiveRecorder`] streams every [`WindowReport`] a [`Pipeline`] emits
+//! into a `tw-archive` ZIP — one [`codec`](crate::codec)-encoded entry per
+//! window plus a human-readable `manifest.json` — and a [`ReplaySource`]
+//! reads the ZIP back and re-emits the identical window stream, so a
+//! classroom can watch the same DDoS unfold without regenerating a million
+//! events (and without the generation hardware).
+//!
+//! ```
+//! use tw_ingest::{ArchiveRecorder, Pipeline, PipelineConfig, RecordingMeta, ReplaySource, Scenario};
+//!
+//! // Record four windows of the DDoS scenario.
+//! let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 2 };
+//! let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
+//! let mut recorder = ArchiveRecorder::new(RecordingMeta {
+//!     scenario: "ddos".to_string(),
+//!     seed: 7,
+//!     node_count: 128,
+//!     window_us: 50_000,
+//! });
+//! let reports = pipeline.run(4);
+//! for report in &reports {
+//!     recorder.record(report).unwrap();
+//! }
+//! let bytes = recorder.finish().unwrap();
+//!
+//! // Replay them: the stream is identical, cell for cell.
+//! let mut replay = ReplaySource::parse(&bytes).unwrap();
+//! assert_eq!(replay.manifest().scenario, "ddos");
+//! for recorded in &reports {
+//!     let replayed = replay.next_window().unwrap().unwrap();
+//!     assert_eq!(replayed.matrix, recorded.matrix);
+//!     assert_eq!(replayed.stats, recorded.stats);
+//! }
+//! assert!(replay.next_window().unwrap().is_none());
+//! ```
+
+use crate::codec::{decode_window, encode_window, CodecError};
+use crate::window::{IngestStats, WindowReport};
+use std::fmt;
+use tw_archive::{ArchiveError, ZipReader, ZipWriter};
+use tw_json::{Map, Value};
+
+/// Name of the JSON manifest entry inside a recording.
+pub const MANIFEST_ENTRY: &str = "manifest.json";
+/// The manifest format identifier.
+pub const MANIFEST_FORMAT: &str = "tw-replay";
+/// The manifest version this module writes.
+pub const MANIFEST_VERSION: i64 = 1;
+
+/// Errors produced while recording or replaying a window archive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    /// The underlying ZIP container failed.
+    Archive(ArchiveError),
+    /// A window entry failed to decode.
+    Codec(CodecError),
+    /// The manifest is missing, malformed, or inconsistent; the message
+    /// names the violation.
+    Manifest(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Archive(e) => write!(f, "recording archive: {e}"),
+            RecordError::Codec(e) => write!(f, "recorded window: {e}"),
+            RecordError::Manifest(msg) => write!(f, "recording manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<ArchiveError> for RecordError {
+    fn from(e: ArchiveError) -> Self {
+        RecordError::Archive(e)
+    }
+}
+
+impl From<CodecError> for RecordError {
+    fn from(e: CodecError) -> Self {
+        RecordError::Codec(e)
+    }
+}
+
+/// What was recorded: the scenario identity a replay needs to label itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingMeta {
+    /// Scenario name (a [`Scenario`](crate::Scenario) catalog name, or any
+    /// free-form label for custom sources).
+    pub scenario: String,
+    /// The seed the scenario ran with.
+    pub seed: u64,
+    /// The address-space size (matrix dimension) of every window.
+    pub node_count: usize,
+    /// Tumbling-window duration in simulated microseconds.
+    pub window_us: u64,
+}
+
+/// The entry name of a recorded window.
+fn window_entry_name(window_index: u64) -> String {
+    format!("windows/{window_index:08}.bin")
+}
+
+/// Streams [`WindowReport`]s into an in-memory ZIP recording.
+///
+/// Entries are written in emission order and named by window index
+/// (`windows/00000042.bin`), so standard ZIP tools list them in playback
+/// order; [`ArchiveRecorder::finish`] appends `manifest.json` with the
+/// scenario identity and per-window statistics.
+#[derive(Debug)]
+pub struct ArchiveRecorder {
+    writer: ZipWriter,
+    meta: RecordingMeta,
+    stats: Vec<IngestStats>,
+}
+
+impl ArchiveRecorder {
+    /// Start a recording for the given scenario identity.
+    pub fn new(meta: RecordingMeta) -> Self {
+        ArchiveRecorder {
+            writer: ZipWriter::new(),
+            meta,
+            stats: Vec::new(),
+        }
+    }
+
+    /// Append one window to the recording.
+    pub fn record(&mut self, report: &WindowReport) -> Result<(), RecordError> {
+        let bytes = encode_window(report);
+        self.writer
+            .add_file(&window_entry_name(report.stats.window_index), &bytes)?;
+        self.stats.push(report.stats.clone());
+        Ok(())
+    }
+
+    /// Windows recorded so far.
+    pub fn windows_recorded(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Finish the recording: write the manifest and return the ZIP bytes.
+    pub fn finish(mut self) -> Result<Vec<u8>, RecordError> {
+        let manifest = self.manifest_json();
+        self.writer.add_file(MANIFEST_ENTRY, manifest.as_bytes())?;
+        Ok(self.writer.finish()?)
+    }
+
+    fn manifest_json(&self) -> String {
+        let mut root = Map::new();
+        root.insert("format", MANIFEST_FORMAT);
+        root.insert("version", MANIFEST_VERSION);
+        root.insert("scenario", self.meta.scenario.as_str());
+        // Seeds are full u64s; JSON numbers here are i64/f64, so the seed is
+        // carried as a decimal string to stay lossless.
+        root.insert("seed", self.meta.seed.to_string());
+        root.insert("node_count", self.meta.node_count);
+        root.insert(
+            "window_us",
+            Value::from(i64::try_from(self.meta.window_us).unwrap_or(i64::MAX)),
+        );
+        root.insert("window_count", self.stats.len());
+        let windows: Vec<Value> = self
+            .stats
+            .iter()
+            .map(|s| {
+                let mut w = Map::new();
+                w.insert("entry", window_entry_name(s.window_index).as_str());
+                w.insert(
+                    "window_index",
+                    Value::from(i64::try_from(s.window_index).unwrap_or(i64::MAX)),
+                );
+                w.insert(
+                    "events",
+                    Value::from(i64::try_from(s.events).unwrap_or(i64::MAX)),
+                );
+                w.insert(
+                    "packets",
+                    Value::from(i64::try_from(s.packets).unwrap_or(i64::MAX)),
+                );
+                w.insert("nnz", s.nnz);
+                w.insert(
+                    "dropped_late",
+                    Value::from(i64::try_from(s.dropped_late).unwrap_or(i64::MAX)),
+                );
+                w.insert(
+                    "elapsed_us",
+                    Value::from(i64::try_from(s.elapsed.as_micros()).unwrap_or(i64::MAX)),
+                );
+                Value::Object(w)
+            })
+            .collect();
+        root.insert("windows", Value::Array(windows));
+        tw_json::to_string_pretty(&Value::Object(root))
+    }
+}
+
+/// The parsed identity of a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayManifest {
+    /// Scenario name as recorded.
+    pub scenario: String,
+    /// The seed the scenario ran with.
+    pub seed: u64,
+    /// The address-space size of every window.
+    pub node_count: usize,
+    /// Tumbling-window duration in simulated microseconds.
+    pub window_us: u64,
+    /// Window entry names in playback order.
+    pub entries: Vec<String>,
+}
+
+impl ReplayManifest {
+    /// Number of recorded windows.
+    pub fn window_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Re-emits a recorded window stream from ZIP bytes.
+///
+/// Parsing validates the container (every CRC) and the manifest once;
+/// windows are then decoded lazily, one per [`ReplaySource::next_window`]
+/// call, in the order they were recorded — the same pull discipline as
+/// [`Pipeline::next_window`](crate::Pipeline::next_window), so anything that
+/// can follow a live pipeline (a
+/// [`LiveWarehouse`](../../tw_game/live/struct.LiveWarehouse.html), a
+/// `GameSession`) can follow a replay unchanged.
+#[derive(Debug)]
+pub struct ReplaySource<'a> {
+    reader: ZipReader<'a>,
+    manifest: ReplayManifest,
+    cursor: usize,
+}
+
+impl<'a> ReplaySource<'a> {
+    /// Parse a recording from ZIP bytes (the caller keeps the bytes alive;
+    /// window payloads are decoded zero-copy out of them).
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, RecordError> {
+        let reader = ZipReader::parse(bytes)?;
+        let manifest_text = reader
+            .read_text(MANIFEST_ENTRY)
+            .map_err(|_| RecordError::Manifest(format!("missing {MANIFEST_ENTRY}")))?;
+        let manifest = parse_manifest(manifest_text, &reader)?;
+        Ok(ReplaySource {
+            reader,
+            manifest,
+            cursor: 0,
+        })
+    }
+
+    /// The recording's identity and per-entry table.
+    pub fn manifest(&self) -> &ReplayManifest {
+        &self.manifest
+    }
+
+    /// Windows not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.manifest.entries.len() - self.cursor
+    }
+
+    /// Decode and emit the next recorded window; `Ok(None)` once the
+    /// recording is exhausted.
+    pub fn next_window(&mut self) -> Result<Option<WindowReport>, RecordError> {
+        let Some(entry) = self.manifest.entries.get(self.cursor) else {
+            return Ok(None);
+        };
+        let bytes = self.reader.read(entry)?;
+        let report = decode_window(bytes)?;
+        if report.matrix.shape() != (self.manifest.node_count, self.manifest.node_count) {
+            return Err(RecordError::Manifest(format!(
+                "window {entry} has shape {:?}, manifest says {} nodes",
+                report.matrix.shape(),
+                self.manifest.node_count
+            )));
+        }
+        self.cursor += 1;
+        Ok(Some(report))
+    }
+
+    /// Decode every remaining window into a vector.
+    pub fn collect_windows(&mut self) -> Result<Vec<WindowReport>, RecordError> {
+        let mut out = Vec::with_capacity(self.remaining());
+        while let Some(report) = self.next_window()? {
+            out.push(report);
+        }
+        Ok(out)
+    }
+}
+
+fn manifest_u64(root: &Value, key: &str) -> Result<u64, RecordError> {
+    root.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| RecordError::Manifest(format!("missing or non-integer {key:?}")))
+}
+
+fn parse_manifest(text: &str, reader: &ZipReader<'_>) -> Result<ReplayManifest, RecordError> {
+    let root = tw_json::parse(text)
+        .map_err(|e| RecordError::Manifest(format!("{MANIFEST_ENTRY}: {e}")))?;
+    let format = root.get("format").and_then(Value::as_str).unwrap_or("");
+    if format != MANIFEST_FORMAT {
+        return Err(RecordError::Manifest(format!(
+            "format is {format:?}, expected {MANIFEST_FORMAT:?}"
+        )));
+    }
+    let version = root.get("version").and_then(Value::as_i64).unwrap_or(0);
+    if version != MANIFEST_VERSION {
+        return Err(RecordError::Manifest(format!(
+            "manifest version {version} is not the supported version {MANIFEST_VERSION}"
+        )));
+    }
+    let scenario = root
+        .get("scenario")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RecordError::Manifest("missing scenario name".to_string()))?
+        .to_string();
+    let seed = root
+        .get("seed")
+        .and_then(Value::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| RecordError::Manifest("missing or non-decimal seed".to_string()))?;
+    let node_count = usize::try_from(manifest_u64(&root, "node_count")?)
+        .map_err(|_| RecordError::Manifest("node_count does not fit".to_string()))?;
+    let window_us = manifest_u64(&root, "window_us")?;
+    let declared = manifest_u64(&root, "window_count")? as usize;
+
+    let windows = root
+        .get("windows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| RecordError::Manifest("missing windows table".to_string()))?;
+    if windows.len() != declared {
+        return Err(RecordError::Manifest(format!(
+            "window_count says {declared} but the table lists {}",
+            windows.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(windows.len());
+    for (i, w) in windows.iter().enumerate() {
+        let entry = w
+            .get("entry")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RecordError::Manifest(format!("window {i} has no entry name")))?;
+        if reader.read(entry).is_err() {
+            return Err(RecordError::Manifest(format!(
+                "window table names {entry:?} but the archive has no such entry"
+            )));
+        }
+        entries.push(entry.to_string());
+    }
+    Ok(ReplayManifest {
+        scenario,
+        seed,
+        node_count,
+        window_us,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use crate::scenario::Scenario;
+
+    fn record_ddos(windows: usize) -> (Vec<WindowReport>, Vec<u8>) {
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 4_096,
+            shard_count: 2,
+        };
+        let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
+        let mut recorder = ArchiveRecorder::new(RecordingMeta {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            node_count: 128,
+            window_us: 50_000,
+        });
+        let reports = pipeline.run(windows);
+        for report in &reports {
+            recorder.record(report).unwrap();
+        }
+        assert_eq!(recorder.windows_recorded(), reports.len());
+        (reports, recorder.finish().unwrap())
+    }
+
+    #[test]
+    fn recording_replays_cell_for_cell() {
+        let (reports, bytes) = record_ddos(4);
+        let mut replay = ReplaySource::parse(&bytes).unwrap();
+        assert_eq!(replay.manifest().scenario, "ddos");
+        assert_eq!(replay.manifest().seed, 7);
+        assert_eq!(replay.manifest().node_count, 128);
+        assert_eq!(replay.manifest().window_us, 50_000);
+        assert_eq!(replay.manifest().window_count(), 4);
+        assert_eq!(replay.remaining(), 4);
+        for recorded in &reports {
+            let replayed = replay.next_window().unwrap().unwrap();
+            assert_eq!(replayed.matrix, recorded.matrix);
+            assert_eq!(replayed.stats, recorded.stats);
+        }
+        assert_eq!(replay.remaining(), 0);
+        assert!(replay.next_window().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn collect_windows_drains_the_recording() {
+        let (reports, bytes) = record_ddos(3);
+        let mut replay = ReplaySource::parse(&bytes).unwrap();
+        let windows = replay.collect_windows().unwrap();
+        assert_eq!(windows.len(), reports.len());
+        assert!(replay.collect_windows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn recordings_replay_identically_and_are_standard_zips() {
+        // Two captures of the same seeded scenario replay the same matrices
+        // (the raw bytes differ only in the wall-clock `elapsed` stats).
+        let (_, a) = record_ddos(2);
+        let (_, b) = record_ddos(2);
+        let windows_a = ReplaySource::parse(&a).unwrap().collect_windows().unwrap();
+        let windows_b = ReplaySource::parse(&b).unwrap().collect_windows().unwrap();
+        assert_eq!(windows_a.len(), 2);
+        for (wa, wb) in windows_a.iter().zip(&windows_b) {
+            assert_eq!(wa.matrix, wb.matrix);
+            assert_eq!(wa.stats.events, wb.stats.events);
+            assert_eq!(wa.stats.packets, wb.stats.packets);
+        }
+        let reader = ZipReader::parse(&a).unwrap();
+        let names: Vec<&str> = reader.entry_names().collect();
+        assert_eq!(
+            names,
+            vec![
+                "windows/00000000.bin",
+                "windows/00000001.bin",
+                "manifest.json"
+            ]
+        );
+    }
+
+    #[test]
+    fn manifest_is_human_readable_json() {
+        let (reports, bytes) = record_ddos(2);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let manifest = tw_json::parse(reader.read_text(MANIFEST_ENTRY).unwrap()).unwrap();
+        assert_eq!(
+            manifest.get("format").and_then(Value::as_str),
+            Some(MANIFEST_FORMAT)
+        );
+        assert_eq!(
+            manifest.get("window_count").and_then(Value::as_usize),
+            Some(2)
+        );
+        let table = manifest.get("windows").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            table[0].get("events").and_then(Value::as_u64),
+            Some(reports[0].stats.events)
+        );
+        assert_eq!(
+            table[1].get("nnz").and_then(Value::as_usize),
+            Some(reports[1].stats.nnz)
+        );
+    }
+
+    #[test]
+    fn duplicate_window_indices_are_rejected_at_record_time() {
+        let (reports, _) = record_ddos(1);
+        let mut recorder = ArchiveRecorder::new(RecordingMeta {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            node_count: 128,
+            window_us: 50_000,
+        });
+        recorder.record(&reports[0]).unwrap();
+        assert!(matches!(
+            recorder.record(&reports[0]),
+            Err(RecordError::Archive(ArchiveError::DuplicateEntry(_)))
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_archives_without_a_manifest() {
+        let mut w = ZipWriter::new();
+        w.add_file("windows/00000000.bin", b"junk").unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(matches!(
+            ReplaySource::parse(&bytes),
+            Err(RecordError::Manifest(msg)) if msg.contains(MANIFEST_ENTRY)
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_inconsistent_manifests() {
+        let (_, bytes) = record_ddos(2);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let manifest = reader.read_text(MANIFEST_ENTRY).unwrap();
+
+        // Rebuild the archive with a manifest naming a missing window entry.
+        let mut w = ZipWriter::new();
+        for entry in reader.entries() {
+            if entry.name != MANIFEST_ENTRY {
+                w.add_file(&entry.name, reader.read(&entry.name).unwrap())
+                    .unwrap();
+            }
+        }
+        let tampered = manifest.replace("windows/00000001.bin", "windows/00000009.bin");
+        w.add_file(MANIFEST_ENTRY, tampered.as_bytes()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(matches!(
+            ReplaySource::parse(&bytes),
+            Err(RecordError::Manifest(msg)) if msg.contains("00000009")
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_window_payloads() {
+        let (_, bytes) = record_ddos(1);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let manifest = reader.read_text(MANIFEST_ENTRY).unwrap().to_string();
+        let mut w = ZipWriter::new();
+        w.add_file("windows/00000000.bin", b"not an encoded window")
+            .unwrap();
+        w.add_file(MANIFEST_ENTRY, manifest.as_bytes()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut replay = ReplaySource::parse(&bytes).unwrap();
+        assert!(matches!(
+            replay.next_window(),
+            Err(RecordError::Codec(CodecError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn error_displays_name_their_layer() {
+        assert!(
+            RecordError::from(ArchiveError::MissingEndOfCentralDirectory)
+                .to_string()
+                .contains("archive")
+        );
+        assert!(RecordError::from(CodecError::BadMagic)
+            .to_string()
+            .contains("window"));
+        assert!(RecordError::Manifest("boom".to_string())
+            .to_string()
+            .contains("boom"));
+    }
+}

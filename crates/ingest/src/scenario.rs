@@ -97,7 +97,12 @@ impl Scenario {
                     background(30_000, 0x1),
                     Box::new(DdosBurstSource::new(node_count, 50_000, seed ^ 0x2)),
                     // C2 tasking + backscatter context around the flood.
-                    Box::new(PatternSource::new(&ddos_shape, node_count, 20_000, seed ^ 0x3)),
+                    Box::new(PatternSource::new(
+                        &ddos_shape,
+                        node_count,
+                        20_000,
+                        seed ^ 0x3,
+                    )),
                 ]))
             }
             Scenario::Scan => Box::new(Mix::new(vec![
@@ -120,7 +125,12 @@ impl Scenario {
                     Box::new(ScanSweepSource::new(node_count, 10_000, seed ^ 0xC)),
                     Box::new(FlashCrowdSource::new(node_count, 15_000, seed ^ 0xD)),
                     Box::new(P2pMeshSource::new(node_count, 10_000, seed ^ 0xE)),
-                    Box::new(PatternSource::new(&attack_shape, node_count, 5_000, seed ^ 0xF)),
+                    Box::new(PatternSource::new(
+                        &attack_shape,
+                        node_count,
+                        5_000,
+                        seed ^ 0xF,
+                    )),
                 ]))
             }
         }
@@ -158,11 +168,16 @@ mod tests {
             let events = collect_events(source.as_mut(), 5_000);
             assert_eq!(events.len(), 5_000, "{scenario} should be unbounded");
             assert!(
-                events.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+                events
+                    .windows(2)
+                    .all(|w| w[0].timestamp_us <= w[1].timestamp_us),
                 "{scenario} must stay timestamp-ordered"
             );
             for e in &events {
-                assert!(e.source < 200 && e.destination < 200, "{scenario} address range");
+                assert!(
+                    e.source < 200 && e.destination < 200,
+                    "{scenario} address range"
+                );
                 assert_ne!(e.source, e.destination, "{scenario} emitted a self-loop");
             }
         }
@@ -184,8 +199,10 @@ mod tests {
         let mut source = Scenario::Ddos.source(1000, 3);
         let events = collect_events(source.as_mut(), 30_000);
         // The victim block of the scaled Fig. 9 shape is 300..400.
-        let to_victim =
-            events.iter().filter(|e| (300..400).contains(&e.destination)).count() as f64;
+        let to_victim = events
+            .iter()
+            .filter(|e| (300..400).contains(&e.destination))
+            .count() as f64;
         assert!(
             to_victim / events.len() as f64 > 0.3,
             "the flood should dominate, got {}",

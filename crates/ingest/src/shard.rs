@@ -29,7 +29,11 @@ use tw_matrix::{CooMatrix, CsrMatrix};
 pub fn window_matrix(node_count: usize, events: &[PacketEvent]) -> CsrMatrix<u64> {
     let mut coo = CooMatrix::with_capacity(node_count, node_count, events.len());
     for e in events {
-        coo.push(e.source as usize, e.destination as usize, u64::from(e.packets));
+        coo.push(
+            e.source as usize,
+            e.destination as usize,
+            u64::from(e.packets),
+        );
     }
     coo.to_csr()
 }
@@ -54,7 +58,10 @@ impl ShardedAccumulator {
     /// An accumulator over `node_count` addresses with `shard_count` shards.
     pub fn new(node_count: usize, shard_count: usize) -> Self {
         assert!(shard_count > 0, "need at least one shard");
-        assert!(node_count <= u32::MAX as usize + 1, "row indices must pack into 32 bits");
+        assert!(
+            node_count <= u32::MAX as usize + 1,
+            "row indices must pack into 32 bits"
+        );
         ShardedAccumulator {
             node_count,
             shards: vec![Vec::new(); shard_count],
@@ -149,7 +156,9 @@ fn coalesce_packed(mut entries: Vec<(u64, u64)>) -> Vec<(usize, usize, u64)> {
         }
     };
     let mut iter = entries.into_iter();
-    let Some((mut run_key, mut run_packets)) = iter.next() else { return out };
+    let Some((mut run_key, mut run_packets)) = iter.next() else {
+        return out;
+    };
     for (key, packets) in iter {
         if key == run_key {
             run_packets += packets;
@@ -178,7 +187,11 @@ mod tests {
             acc.ingest_batch(&events);
             assert_eq!(acc.events(), 40_000);
             let merged = acc.merge();
-            assert_eq!(merged, window_matrix(128, &events), "shard_count={shard_count}");
+            assert_eq!(
+                merged,
+                window_matrix(128, &events),
+                "shard_count={shard_count}"
+            );
             assert!(acc.is_empty(), "merge resets the accumulator");
         }
     }
@@ -195,14 +208,27 @@ mod tests {
         assert_eq!(w0, window_matrix(64, first_half));
         assert_eq!(w1, window_matrix(64, second_half));
         let total = reduce_all(&PlusTimes, &w0) + reduce_all(&PlusTimes, &w1);
-        assert_eq!(total, events.iter().map(|e| u64::from(e.packets)).sum::<u64>());
+        assert_eq!(
+            total,
+            events.iter().map(|e| u64::from(e.packets)).sum::<u64>()
+        );
     }
 
     #[test]
     fn packet_and_event_counters_track_ingest() {
         let mut acc = ShardedAccumulator::new(8, 3);
-        acc.ingest(&PacketEvent { source: 1, destination: 2, packets: 5, timestamp_us: 0 });
-        acc.ingest(&PacketEvent { source: 7, destination: 0, packets: 2, timestamp_us: 1 });
+        acc.ingest(&PacketEvent {
+            source: 1,
+            destination: 2,
+            packets: 5,
+            timestamp_us: 0,
+        });
+        acc.ingest(&PacketEvent {
+            source: 7,
+            destination: 0,
+            packets: 2,
+            timestamp_us: 1,
+        });
         assert_eq!(acc.events(), 2);
         assert_eq!(acc.packets(), 7);
         assert_eq!(acc.node_count(), 8);

@@ -60,7 +60,10 @@ struct Pacer {
 impl Pacer {
     fn new(events_per_sec: u64) -> Self {
         assert!(events_per_sec > 0, "rate must be positive");
-        Pacer { clock_us: 0, gap_us: (SECOND_US / events_per_sec).max(1) }
+        Pacer {
+            clock_us: 0,
+            gap_us: (SECOND_US / events_per_sec).max(1),
+        }
     }
 
     /// Advance the clock by one (jittered) gap and return the new timestamp.
@@ -140,7 +143,13 @@ impl ScanSweepSource {
         assert!(node_count >= 2, "need at least two nodes");
         let mut rng = StdRng::seed_from_u64(seed);
         let scanner = rng.gen_range(0..node_count);
-        ScanSweepSource { node_count, scanner, next_target: 0, rng, pacer: Pacer::new(events_per_sec) }
+        ScanSweepSource {
+            node_count,
+            scanner,
+            next_target: 0,
+            rng,
+            pacer: Pacer::new(events_per_sec),
+        }
     }
 }
 
@@ -157,7 +166,12 @@ impl EventSource for ScanSweepSource {
             let destination = self.next_target;
             self.next_target = (self.next_target + 1) % self.node_count;
             let timestamp_us = self.pacer.tick(&mut self.rng);
-            out.push(PacketEvent { source: self.scanner, destination, packets: 1, timestamp_us });
+            out.push(PacketEvent {
+                source: self.scanner,
+                destination,
+                packets: 1,
+                timestamp_us,
+            });
         }
         max
     }
@@ -183,7 +197,9 @@ impl FlashCrowdSource {
         assert!(peak_events_per_sec > 0, "rate must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let hot_count = (node_count / 64).clamp(1, 8);
-        let hot_targets = (0..hot_count).map(|_| rng.gen_range(0..node_count)).collect();
+        let hot_targets = (0..hot_count)
+            .map(|_| rng.gen_range(0..node_count))
+            .collect();
         FlashCrowdSource {
             node_count,
             hot_targets,
@@ -238,8 +254,9 @@ impl P2pMeshSource {
         assert!(node_count >= 2, "need at least two nodes");
         let mut rng = StdRng::seed_from_u64(seed);
         let peer_count = (node_count / 8).clamp(2, 256);
-        let mut peers: Vec<u32> =
-            (0..peer_count).map(|_| rng.gen_range(0..node_count)).collect();
+        let mut peers: Vec<u32> = (0..peer_count)
+            .map(|_| rng.gen_range(0..node_count))
+            .collect();
         peers.sort_unstable();
         peers.dedup();
         if peers.len() < 2 {
@@ -248,7 +265,13 @@ impl P2pMeshSource {
             peers.push(extra);
             peers.sort_unstable();
         }
-        P2pMeshSource { node_count, peers, echo: None, rng, pacer: Pacer::new(events_per_sec) }
+        P2pMeshSource {
+            node_count,
+            peers,
+            echo: None,
+            rng,
+            pacer: Pacer::new(events_per_sec),
+        }
     }
 }
 
@@ -270,8 +293,12 @@ impl EventSource for P2pMeshSource {
             let j = (i + 1 + self.rng.gen_range(0..self.peers.len() - 1)) % self.peers.len();
             let (a, b) = (self.peers[i], self.peers[j]);
             let timestamp_us = self.pacer.tick(&mut self.rng);
-            let event =
-                PacketEvent { source: a, destination: b, packets: self.rng.gen_range(1..8), timestamp_us };
+            let event = PacketEvent {
+                source: a,
+                destination: b,
+                packets: self.rng.gen_range(1..8),
+                timestamp_us,
+            };
             out.push(event);
             self.echo = Some(PacketEvent {
                 source: b,
@@ -310,7 +337,10 @@ impl PatternSource {
     /// the pattern dimension.
     pub fn new(pattern: &Pattern, node_count: u32, events_per_sec: u64, seed: u64) -> Self {
         let dimension = pattern.dimension() as u32;
-        assert!(node_count >= dimension, "address space smaller than the pattern");
+        assert!(
+            node_count >= dimension,
+            "address space smaller than the pattern"
+        );
         let mut cumulative = Vec::new();
         let mut total_weight = 0u64;
         for (r, c, v) in pattern.matrix.iter_nonzero() {
@@ -357,7 +387,11 @@ impl EventSource for PatternSource {
             let mut destination = self.rng.gen_range(dst_lo..dst_hi);
             if destination == source {
                 // Same block (diagonal pattern cell): shift within the block.
-                destination = if destination + 1 < dst_hi { destination + 1 } else { dst_lo };
+                destination = if destination + 1 < dst_hi {
+                    destination + 1
+                } else {
+                    dst_lo
+                };
                 if destination == source {
                     destination = sample_excluding(&mut self.rng, self.node_count, source);
                 }
@@ -394,7 +428,10 @@ impl DdosBurstSource {
     /// A burst flood over `node_count` addresses at `events_per_sec` during
     /// bursts, reusing [`tw_patterns::ddos`]'s client/victim roles.
     pub fn new(node_count: u32, events_per_sec: u64, seed: u64) -> Self {
-        assert!(node_count >= 10, "the Fig. 9 roles need at least 10 addresses");
+        assert!(
+            node_count >= 10,
+            "the Fig. 9 roles need at least 10 addresses"
+        );
         assert!(events_per_sec > 0, "rate must be positive");
         let dim = 10u32;
         let block = |i: u32| -> (u32, u32) {
@@ -402,8 +439,10 @@ impl DdosBurstSource {
             let end = ((i + 1) * node_count / dim).max(start + 1);
             (start, end)
         };
-        let client_blocks =
-            tw_patterns::ddos::BOTNET_CLIENTS.iter().map(|&c| block(c as u32)).collect();
+        let client_blocks = tw_patterns::ddos::BOTNET_CLIENTS
+            .iter()
+            .map(|&c| block(c as u32))
+            .collect();
         DdosBurstSource {
             node_count,
             client_blocks,
@@ -432,7 +471,8 @@ impl EventSource for DdosBurstSource {
                 self.clock_us += self.burst_off_us;
                 self.burst_elapsed_us = 0;
             }
-            let (src_lo, src_hi) = self.client_blocks[self.rng.gen_range(0..self.client_blocks.len())];
+            let (src_lo, src_hi) =
+                self.client_blocks[self.rng.gen_range(0..self.client_blocks.len())];
             let source = self.rng.gen_range(src_lo..src_hi);
             let (dst_lo, dst_hi) = self.victim_block;
             let mut destination = self.rng.gen_range(dst_lo..dst_hi);
@@ -459,7 +499,10 @@ pub struct Limit {
 impl Limit {
     /// At most `events` events from `inner`.
     pub fn new(inner: Box<dyn EventSource>, events: usize) -> Self {
-        Limit { inner, remaining: events }
+        Limit {
+            inner,
+            remaining: events,
+        }
     }
 }
 
@@ -513,7 +556,11 @@ impl Mix {
             node_count,
             entries: sources
                 .into_iter()
-                .map(|source| MixEntry { source, buffer: VecDeque::new(), exhausted: false })
+                .map(|source| MixEntry {
+                    source,
+                    buffer: VecDeque::new(),
+                    exhausted: false,
+                })
                 .collect(),
         }
     }
@@ -549,7 +596,12 @@ impl EventSource for Mix {
                 .filter_map(|(i, e)| e.buffer.front().map(|ev| (i, ev.timestamp_us)))
                 .min_by_key(|&(_, ts)| ts);
             let Some((index, _)) = winner else { break };
-            out.push(self.entries[index].buffer.pop_front().expect("head just observed"));
+            out.push(
+                self.entries[index]
+                    .buffer
+                    .pop_front()
+                    .expect("head just observed"),
+            );
             emitted += 1;
         }
         emitted
@@ -562,13 +614,18 @@ mod tests {
     use tw_patterns::pattern_by_id;
 
     fn is_sorted(events: &[PacketEvent]) -> bool {
-        events.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us)
+        events
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us)
     }
 
     fn check_basics(events: &[PacketEvent], nodes: u32) {
         assert!(is_sorted(events), "timestamps must be non-decreasing");
         for e in events {
-            assert!(e.source < nodes && e.destination < nodes, "addresses in range");
+            assert!(
+                e.source < nodes && e.destination < nodes,
+                "addresses in range"
+            );
             assert_ne!(e.source, e.destination, "no self-loops");
             assert!(e.packets >= 1);
         }
@@ -597,7 +654,11 @@ mod tests {
         let mut seen: Vec<u32> = events.iter().map(|e| e.destination).collect();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), 63, "a full sweep covers all non-scanner addresses");
+        assert_eq!(
+            seen.len(),
+            63,
+            "a full sweep covers all non-scanner addresses"
+        );
     }
 
     #[test]
@@ -608,12 +669,19 @@ mod tests {
         let mut targets: Vec<u32> = events.iter().map(|e| e.destination).collect();
         targets.sort_unstable();
         targets.dedup();
-        assert!(targets.len() <= 8, "flash crowd hits few targets, got {}", targets.len());
+        assert!(
+            targets.len() <= 8,
+            "flash crowd hits few targets, got {}",
+            targets.len()
+        );
         // Ramp: the second half of the stream spans less simulated time.
         let half = events.len() / 2;
         let first_span = events[half - 1].timestamp_us - events[0].timestamp_us;
         let second_span = events.last().unwrap().timestamp_us - events[half].timestamp_us;
-        assert!(second_span < first_span, "rate should ramp up: {first_span} vs {second_span}");
+        assert!(
+            second_span < first_span,
+            "rate should ramp up: {first_span} vs {second_span}"
+        );
     }
 
     #[test]
@@ -621,16 +689,24 @@ mod tests {
         let mut s = P2pMeshSource::new(256, 40_000, 11);
         let events = collect_events(&mut s, 10_000);
         check_basics(&events, 256);
-        let mut endpoints: Vec<u32> =
-            events.iter().flat_map(|e| [e.source, e.destination]).collect();
+        let mut endpoints: Vec<u32> = events
+            .iter()
+            .flat_map(|e| [e.source, e.destination])
+            .collect();
         endpoints.sort_unstable();
         endpoints.dedup();
         assert!(endpoints.len() <= 32, "mesh stays within the peer set");
         // Every link is echoed: the link set is symmetric.
         let forward: std::collections::HashSet<(u32, u32)> =
             events.iter().map(|e| (e.source, e.destination)).collect();
-        let symmetric = forward.iter().filter(|&&(a, b)| forward.contains(&(b, a))).count();
-        assert!(symmetric * 10 >= forward.len() * 9, "mesh links should be largely symmetric");
+        let symmetric = forward
+            .iter()
+            .filter(|&&(a, b)| forward.contains(&(b, a)))
+            .count();
+        assert!(
+            symmetric * 10 >= forward.len() * 9,
+            "mesh links should be largely symmetric"
+        );
     }
 
     #[test]
@@ -640,8 +716,10 @@ mod tests {
         let events = collect_events(&mut s, 20_000);
         check_basics(&events, 1000);
         // Fig. 9c sends everything at the victim (pattern node 3 -> block 300..400).
-        let to_victim =
-            events.iter().filter(|e| (300..400).contains(&e.destination)).count() as f64;
+        let to_victim = events
+            .iter()
+            .filter(|e| (300..400).contains(&e.destination))
+            .count() as f64;
         assert!(to_victim / events.len() as f64 > 0.99);
     }
 
@@ -651,12 +729,19 @@ mod tests {
         let events = collect_events(&mut s, 20_000);
         check_basics(&events, 1000);
         assert!(events.iter().all(|e| (300..400).contains(&e.destination)));
-        assert!(events.iter().all(|e| e.packets == tw_patterns::ddos::ATTACK_PACKETS));
+        assert!(events
+            .iter()
+            .all(|e| e.packets == tw_patterns::ddos::ATTACK_PACKETS));
         // Bursts leave gaps: the maximum inter-event gap dwarfs the median.
-        let gaps: Vec<u64> =
-            events.windows(2).map(|w| w[1].timestamp_us - w[0].timestamp_us).collect();
+        let gaps: Vec<u64> = events
+            .windows(2)
+            .map(|w| w[1].timestamp_us - w[0].timestamp_us)
+            .collect();
         let max_gap = *gaps.iter().max().unwrap();
-        assert!(max_gap >= 40_000, "expected off-phase gaps, max gap {max_gap}");
+        assert!(
+            max_gap >= 40_000,
+            "expected off-phase gaps, max gap {max_gap}"
+        );
     }
 
     #[test]
@@ -682,8 +767,10 @@ mod tests {
         let mut mix = Mix::new(vec![fast, slow]);
         let events = collect_events(&mut mix, 20_000);
         check_basics(&events, 128);
-        let scan_share = events.iter().filter(|e| e.source == scanner && e.packets == 1).count()
-            as f64
+        let scan_share = events
+            .iter()
+            .filter(|e| e.source == scanner && e.packets == 1)
+            .count() as f64
             / events.len() as f64;
         assert!(
             (0.02..=0.30).contains(&scan_share),
@@ -693,8 +780,14 @@ mod tests {
 
     #[test]
     fn mix_of_limited_sources_exhausts() {
-        let a = Box::new(Limit::new(Box::new(HeavyTailSource::new(32, 10_000, 4)), 50));
-        let b = Box::new(Limit::new(Box::new(HeavyTailSource::new(32, 10_000, 5)), 70));
+        let a = Box::new(Limit::new(
+            Box::new(HeavyTailSource::new(32, 10_000, 4)),
+            50,
+        ));
+        let b = Box::new(Limit::new(
+            Box::new(HeavyTailSource::new(32, 10_000, 5)),
+            70,
+        ));
         let mut mix = Mix::new(vec![a as Box<dyn EventSource>, b as Box<dyn EventSource>]);
         let events = collect_events(&mut mix, 10_000);
         assert_eq!(events.len(), 120);

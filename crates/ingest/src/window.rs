@@ -15,7 +15,10 @@ impl WindowClock {
     /// A clock with tumbling windows of `window_us` microseconds.
     pub fn new(window_us: u64) -> Self {
         assert!(window_us > 0, "window must be positive");
-        WindowClock { window_us, current: 0 }
+        WindowClock {
+            window_us,
+            current: 0,
+        }
     }
 
     /// Window duration in microseconds.
@@ -84,7 +87,7 @@ impl IngestStats {
 }
 
 /// One finished window: its hypersparse traffic matrix plus statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
     /// The coalesced window matrix (sources × destinations, packet counts).
     pub matrix: CsrMatrix<u64>,
@@ -128,7 +131,10 @@ mod tests {
         let line = stats.summary();
         assert!(line.contains("window   2"));
         assert!(line.contains("nnz"));
-        let zero = IngestStats { elapsed: Duration::ZERO, ..stats };
+        let zero = IngestStats {
+            elapsed: Duration::ZERO,
+            ..stats
+        };
         assert_eq!(zero.events_per_sec(), 0.0);
     }
 }

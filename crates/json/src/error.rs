@@ -53,7 +53,11 @@ impl JsonError {
 
     /// Construct an error with no position information.
     pub fn new(kind: ErrorKind) -> Self {
-        JsonError { kind, line: 0, column: 0 }
+        JsonError {
+            kind,
+            line: 0,
+            column: 0,
+        }
     }
 
     /// The category of this error.

@@ -74,7 +74,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, options: ParseOptions) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1, options }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            options,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -236,7 +242,9 @@ impl<'a> Parser<'a> {
                 None => return Err(self.error(ErrorKind::UnexpectedEof)),
                 Some(b'"') => return Ok(out),
                 Some(b'\\') => {
-                    let esc = self.bump().ok_or_else(|| self.error(ErrorKind::UnexpectedEof))?;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.error(ErrorKind::UnexpectedEof))?;
                     match esc {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
@@ -257,8 +265,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..=0xDFFF).contains(&low) {
                                     return Err(self.error(ErrorKind::InvalidUnicode(low)));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 match char::from_u32(combined) {
                                     Some(c) => out.push(c),
                                     None => {
@@ -281,7 +288,10 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(b) if b < 0x20 => {
-                    return Err(self.error(ErrorKind::UnexpectedChar(b as char, "escaped control character")))
+                    return Err(self.error(ErrorKind::UnexpectedChar(
+                        b as char,
+                        "escaped control character",
+                    )))
                 }
                 Some(b) => {
                     // Re-assemble multi-byte UTF-8 sequences: the input came from a
@@ -305,9 +315,14 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut cp: u32 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error(ErrorKind::UnexpectedEof))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error(ErrorKind::UnexpectedEof))?;
             let digit = (b as char).to_digit(16).ok_or_else(|| {
-                self.error(ErrorKind::InvalidEscape(format!("\\u with non-hex digit {}", b as char)))
+                self.error(ErrorKind::InvalidEscape(format!(
+                    "\\u with non-hex digit {}",
+                    b as char
+                )))
             })?;
             cp = cp * 16 + digit;
         }
@@ -502,7 +517,10 @@ mod tests {
     fn rejects_duplicate_keys() {
         let err = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
         assert!(matches!(err.kind(), ErrorKind::DuplicateKey(k) if k == "a"));
-        let opts = ParseOptions { reject_duplicate_keys: false, ..ParseOptions::default() };
+        let opts = ParseOptions {
+            reject_duplicate_keys: false,
+            ..ParseOptions::default()
+        };
         let v = parse_with_options(r#"{"a": 1, "a": 2}"#, &opts).unwrap();
         assert_eq!(v.get("a").unwrap().as_i64(), Some(2));
     }
@@ -530,7 +548,9 @@ mod tests {
 
     #[test]
     fn rejects_incomplete_documents() {
-        for doc in ["{", "[", "[1,", "{\"a\":", "\"abc", "tru", "nul", "-", "1.", "1e"] {
+        for doc in [
+            "{", "[", "[1,", "{\"a\":", "\"abc", "tru", "nul", "-", "1.", "1e",
+        ] {
             assert!(parse(doc).is_err(), "should reject {doc:?}");
         }
     }

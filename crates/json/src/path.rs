@@ -36,7 +36,10 @@ impl JsonPath {
                 })
                 .collect()
         };
-        JsonPath { segments, source: path.to_string() }
+        JsonPath {
+            segments,
+            source: path.to_string(),
+        }
     }
 
     /// Number of segments in the path.
@@ -108,8 +111,14 @@ mod tests {
     fn lookup_keys_and_indices() {
         let d = doc();
         assert_eq!(get_path(&d, "name").unwrap().as_str(), Some("DDoS"));
-        assert_eq!(get_path(&d, "traffic_matrix.0.1").unwrap().as_i64(), Some(5));
-        assert_eq!(get_path(&d, "traffic_matrix.1.0").unwrap().as_i64(), Some(7));
+        assert_eq!(
+            get_path(&d, "traffic_matrix.0.1").unwrap().as_i64(),
+            Some(5)
+        );
+        assert_eq!(
+            get_path(&d, "traffic_matrix.1.0").unwrap().as_i64(),
+            Some(7)
+        );
         assert_eq!(get_path(&d, "answers.2").unwrap().as_str(), Some("2"));
         assert_eq!(get_path(&d, "meta.author").unwrap().as_str(), Some("MIT"));
     }
@@ -117,7 +126,10 @@ mod tests {
     #[test]
     fn numeric_segment_falls_back_to_object_key() {
         let d = doc();
-        assert_eq!(get_path(&d, "meta.2").unwrap().as_str(), Some("numeric key"));
+        assert_eq!(
+            get_path(&d, "meta.2").unwrap().as_str(),
+            Some("numeric key")
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        WriteOptions { indent: 2, compact_numeric_rows: true }
+        WriteOptions {
+            indent: 2,
+            compact_numeric_rows: true,
+        }
     }
 }
 
@@ -174,7 +177,10 @@ mod tests {
     fn escaping() {
         assert_eq!(escape_string("a\"b"), r#""a\"b""#);
         assert_eq!(escape_string("line\nbreak"), r#""line\nbreak""#);
-        assert_eq!(escape_string("tab\tcontrol\u{0001}"), "\"tab\\tcontrol\\u0001\"");
+        assert_eq!(
+            escape_string("tab\tcontrol\u{0001}"),
+            "\"tab\\tcontrol\\u0001\""
+        );
         let v = Value::from("emoji 😀 stays");
         assert_eq!(parse(&to_string(&v)).unwrap(), v);
     }
@@ -184,7 +190,10 @@ mod tests {
         let src = r#"{"traffic_matrix":[[1,0,2],[0,1,0]],"name":"x"}"#;
         let v = parse(src).unwrap();
         let pretty = to_string_pretty(&v);
-        assert!(pretty.contains("[1,0,2]"), "rows should stay compact:\n{pretty}");
+        assert!(
+            pretty.contains("[1,0,2]"),
+            "rows should stay compact:\n{pretty}"
+        );
         assert!(pretty.contains("\n"), "top level should still be indented");
         assert_eq!(parse(&pretty).unwrap(), v);
     }
@@ -210,7 +219,10 @@ mod tests {
     #[test]
     fn pretty_indent_width_is_configurable() {
         let v = parse(r#"{"a": {"b": "c"}}"#).unwrap();
-        let opts = WriteOptions { indent: 4, compact_numeric_rows: true };
+        let opts = WriteOptions {
+            indent: 4,
+            compact_numeric_rows: true,
+        };
         let pretty = to_string_pretty_with(&v, &opts);
         assert!(pretty.contains("\n    \"a\""), "{pretty}");
         assert!(pretty.contains("\n        \"b\""), "{pretty}");

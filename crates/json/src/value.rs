@@ -16,12 +16,16 @@ pub struct Map {
 impl Map {
     /// Create an empty object.
     pub fn new() -> Self {
-        Map { entries: Vec::new() }
+        Map {
+            entries: Vec::new(),
+        }
     }
 
     /// Create an empty object with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Map { entries: Vec::with_capacity(cap) }
+        Map {
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of key/value pairs.
@@ -41,7 +45,10 @@ impl Map {
 
     /// Get a mutable value by key.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// True when the key is present.
@@ -395,7 +402,10 @@ mod tests {
 
     #[test]
     fn u32_grid_extraction() {
-        let v = Value::Array(vec![Value::from(vec![0i64, 1, 2]), Value::from(vec![2i64, 0, 1])]);
+        let v = Value::Array(vec![
+            Value::from(vec![0i64, 1, 2]),
+            Value::from(vec![2i64, 0, 1]),
+        ]);
         let grid = v.as_u32_grid().unwrap();
         assert_eq!(grid, vec![vec![0, 1, 2], vec![2, 0, 1]]);
     }
@@ -411,7 +421,10 @@ mod tests {
     #[test]
     fn string_list_extraction() {
         let v = Value::from(vec!["WS1", "WS2"]);
-        assert_eq!(v.as_string_list().unwrap(), vec!["WS1".to_string(), "WS2".to_string()]);
+        assert_eq!(
+            v.as_string_list().unwrap(),
+            vec!["WS1".to_string(), "WS2".to_string()]
+        );
         let mixed = Value::Array(vec![Value::from("WS1"), Value::from(1i64)]);
         assert!(mixed.as_string_list().is_none());
     }

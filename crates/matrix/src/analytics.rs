@@ -37,7 +37,13 @@ impl DegreeSummary {
             .zip(in_fanout.iter())
             .map(|(&o, &i)| o.max(i))
             .collect();
-        DegreeSummary { out_packets, in_packets, out_fanout, in_fanout, max_fanout }
+        DegreeSummary {
+            out_packets,
+            in_packets,
+            out_fanout,
+            in_fanout,
+            max_fanout,
+        }
     }
 
     /// Indices of nodes whose fanout is at least `threshold` — the paper calls
@@ -204,7 +210,8 @@ fn find_isolated_pairs(matrix: &TrafficMatrix, degrees: &DegreeSummary) -> Vec<(
             // Every peer of a and of b must be within {a, b}.
             let a_exclusive = peers_within(matrix, a, &[a, b]);
             let b_exclusive = peers_within(matrix, b, &[a, b]);
-            if a_exclusive && b_exclusive && degrees.max_fanout[a] > 0 && degrees.max_fanout[b] > 0 {
+            if a_exclusive && b_exclusive && degrees.max_fanout[a] > 0 && degrees.max_fanout[b] > 0
+            {
                 pairs.push((a, b));
             }
         }
@@ -215,8 +222,8 @@ fn find_isolated_pairs(matrix: &TrafficMatrix, degrees: &DegreeSummary) -> Vec<(
 fn peers_within(matrix: &TrafficMatrix, node: usize, allowed: &[usize]) -> bool {
     let n = matrix.dimension();
     for other in 0..n {
-        let touches = matrix.get(node, other).unwrap_or(0) > 0
-            || matrix.get(other, node).unwrap_or(0) > 0;
+        let touches =
+            matrix.get(node, other).unwrap_or(0) > 0 || matrix.get(other, node).unwrap_or(0) > 0;
         if touches && !allowed.contains(&other) {
             return false;
         }
@@ -257,15 +264,42 @@ mod tests {
     #[test]
     fn link_classification_covers_spaces() {
         use NodeClass::*;
-        assert_eq!(LinkClass::classify(Workstation, Server, false), LinkClass::IntraBlue);
-        assert_eq!(LinkClass::classify(External, External, false), LinkClass::IntraGrey);
-        assert_eq!(LinkClass::classify(Adversary, Adversary, false), LinkClass::IntraRed);
-        assert_eq!(LinkClass::classify(Workstation, External, false), LinkClass::BlueGreyBorder);
-        assert_eq!(LinkClass::classify(External, Server, false), LinkClass::BlueGreyBorder);
-        assert_eq!(LinkClass::classify(Workstation, Adversary, false), LinkClass::BlueRedContact);
-        assert_eq!(LinkClass::classify(Adversary, Server, false), LinkClass::BlueRedContact);
-        assert_eq!(LinkClass::classify(External, Adversary, false), LinkClass::GreyRedContact);
-        assert_eq!(LinkClass::classify(Workstation, Workstation, true), LinkClass::SelfLoop);
+        assert_eq!(
+            LinkClass::classify(Workstation, Server, false),
+            LinkClass::IntraBlue
+        );
+        assert_eq!(
+            LinkClass::classify(External, External, false),
+            LinkClass::IntraGrey
+        );
+        assert_eq!(
+            LinkClass::classify(Adversary, Adversary, false),
+            LinkClass::IntraRed
+        );
+        assert_eq!(
+            LinkClass::classify(Workstation, External, false),
+            LinkClass::BlueGreyBorder
+        );
+        assert_eq!(
+            LinkClass::classify(External, Server, false),
+            LinkClass::BlueGreyBorder
+        );
+        assert_eq!(
+            LinkClass::classify(Workstation, Adversary, false),
+            LinkClass::BlueRedContact
+        );
+        assert_eq!(
+            LinkClass::classify(Adversary, Server, false),
+            LinkClass::BlueRedContact
+        );
+        assert_eq!(
+            LinkClass::classify(External, Adversary, false),
+            LinkClass::GreyRedContact
+        );
+        assert_eq!(
+            LinkClass::classify(Workstation, Workstation, true),
+            LinkClass::SelfLoop
+        );
     }
 
     #[test]
@@ -296,7 +330,10 @@ mod tests {
         m.set(4, 5, 1).unwrap();
         m.set(5, 0, 1).unwrap();
         let p = MatrixProfile::of(&m);
-        assert!(!p.isolated_pairs.contains(&(0, 1)), "0 has a third peer (5→0)");
+        assert!(
+            !p.isolated_pairs.contains(&(0, 1)),
+            "0 has a third peer (5→0)"
+        );
         assert!(p.isolated_pairs.contains(&(2, 3)));
         assert!(!p.isolated_pairs.contains(&(4, 5)));
     }

@@ -62,7 +62,10 @@ pub struct ColorMatrix {
 impl ColorMatrix {
     /// An all-grey color matrix of the given dimension.
     pub fn grey(dimension: usize) -> Self {
-        ColorMatrix { dimension, cells: vec![CellColor::Grey; dimension * dimension] }
+        ColorMatrix {
+            dimension,
+            cells: vec![CellColor::Grey; dimension * dimension],
+        }
     }
 
     /// Build from a row-major grid of color codes (the module-file encoding).
@@ -72,7 +75,11 @@ impl ColorMatrix {
         let mut cells = Vec::with_capacity(dimension * dimension);
         for (r, row) in grid.iter().enumerate() {
             if row.len() != dimension {
-                return Err(MatrixError::RaggedRows { row: r, expected: dimension, actual: row.len() });
+                return Err(MatrixError::RaggedRows {
+                    row: r,
+                    expected: dimension,
+                    actual: row.len(),
+                });
             }
             for &code in row {
                 let color = CellColor::from_code(code).ok_or_else(|| {
@@ -101,10 +108,18 @@ impl ColorMatrix {
     /// Set the color at `(row, col)`.
     pub fn set(&mut self, row: usize, col: usize, color: CellColor) -> Result<()> {
         if row >= self.dimension {
-            return Err(MatrixError::IndexOutOfBounds { index: row, bound: self.dimension, axis: "row" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: row,
+                bound: self.dimension,
+                axis: "row",
+            });
         }
         if col >= self.dimension {
-            return Err(MatrixError::IndexOutOfBounds { index: col, bound: self.dimension, axis: "column" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: col,
+                bound: self.dimension,
+                axis: "column",
+            });
         }
         self.cells[row * self.dimension + col] = color;
         Ok(())
@@ -123,7 +138,11 @@ impl ColorMatrix {
     /// Encode back into the module-file grid representation.
     pub fn to_codes(&self) -> Vec<Vec<u32>> {
         (0..self.dimension)
-            .map(|r| (0..self.dimension).map(|c| self.cells[r * self.dimension + c].code()).collect())
+            .map(|r| {
+                (0..self.dimension)
+                    .map(|c| self.cells[r * self.dimension + c].code())
+                    .collect()
+            })
             .collect()
     }
 
@@ -153,9 +172,11 @@ impl ColorMatrix {
         let blue = labels.blue_indices();
         let red = labels.red_indices();
         // Traffic *to* adversary space (blue rows × red columns) is flagged red.
-        m.fill_block(&blue, &red, CellColor::Red).expect("indices are in range");
+        m.fill_block(&blue, &red, CellColor::Red)
+            .expect("indices are in range");
         // Traffic *from* adversary space into blue space is shown on blue pallets.
-        m.fill_block(&red, &blue, CellColor::Blue).expect("indices are in range");
+        m.fill_block(&red, &blue, CellColor::Blue)
+            .expect("indices are in range");
         m
     }
 }
@@ -213,7 +234,17 @@ mod tests {
 
     #[test]
     fn glyphs_are_distinct() {
-        let glyphs = [CellColor::Grey.glyph(), CellColor::Blue.glyph(), CellColor::Red.glyph()];
-        assert_eq!(glyphs.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        let glyphs = [
+            CellColor::Grey.glyph(),
+            CellColor::Blue.glyph(),
+            CellColor::Red.glyph(),
+        ];
+        assert_eq!(
+            glyphs
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
     }
 }

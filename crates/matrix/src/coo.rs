@@ -20,12 +20,20 @@ pub struct CooMatrix<T> {
 impl<T: Copy + PartialEq + std::ops::Add<Output = T> + Default> CooMatrix<T> {
     /// An empty matrix with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// An empty matrix with pre-allocated space for `capacity` entries.
     pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::with_capacity(capacity) }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// The shape as `(rows, cols)`.
@@ -48,17 +56,28 @@ impl<T: Copy + PartialEq + std::ops::Add<Output = T> + Default> CooMatrix<T> {
     /// Panics in debug builds when the coordinates are out of range; use
     /// [`CooMatrix::try_push`] for checked insertion.
     pub fn push(&mut self, row: usize, col: usize, value: T) {
-        debug_assert!(row < self.rows && col < self.cols, "coordinate out of range");
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "coordinate out of range"
+        );
         self.entries.push((row, col, value));
     }
 
     /// Append a triple, validating coordinates.
     pub fn try_push(&mut self, row: usize, col: usize, value: T) -> Result<()> {
         if row >= self.rows {
-            return Err(MatrixError::IndexOutOfBounds { index: row, bound: self.rows, axis: "row" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: row,
+                bound: self.rows,
+                axis: "row",
+            });
         }
         if col >= self.cols {
-            return Err(MatrixError::IndexOutOfBounds { index: col, bound: self.cols, axis: "column" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: col,
+                bound: self.cols,
+                axis: "column",
+            });
         }
         self.entries.push((row, col, value));
         Ok(())
@@ -143,8 +162,14 @@ mod tests {
     fn try_push_bounds() {
         let mut m = CooMatrix::<u32>::new(2, 3);
         assert!(m.try_push(1, 2, 1).is_ok());
-        assert!(matches!(m.try_push(2, 0, 1), Err(MatrixError::IndexOutOfBounds { axis: "row", .. })));
-        assert!(matches!(m.try_push(0, 3, 1), Err(MatrixError::IndexOutOfBounds { axis: "column", .. })));
+        assert!(matches!(
+            m.try_push(2, 0, 1),
+            Err(MatrixError::IndexOutOfBounds { axis: "row", .. })
+        ));
+        assert!(matches!(
+            m.try_push(0, 3, 1),
+            Err(MatrixError::IndexOutOfBounds { axis: "column", .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,13 @@ pub struct CsrMatrix<T> {
 impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
     /// An empty matrix with the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from triples that are already sorted by `(row, col)` with no
@@ -39,7 +45,13 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
             col_idx.push(c);
             values.push(v);
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Build from already-coalesced entries, consuming the vector.
@@ -51,7 +63,9 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
     /// one pass with no re-sort and no intermediate copy of the triples.
     pub fn from_sorted_coo(rows: usize, cols: usize, entries: Vec<(usize, usize, T)>) -> Self {
         debug_assert!(
-            entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            entries
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
             "from_sorted_coo requires entries sorted by (row, col) with no duplicates"
         );
         let mut row_ptr = vec![0usize; rows + 1];
@@ -67,7 +81,13 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
             col_idx.push(c);
             values.push(v);
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Merge per-shard COO blocks whose row sets are pairwise disjoint into
@@ -129,7 +149,69 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
                 next[r] += 1;
             }
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Build directly from pre-assembled CSR arrays.
+    ///
+    /// This is the zero-copy constructor for decoders (the `tw-ingest`
+    /// window codec) that already produce the arrays in CSR layout: no
+    /// intermediate triple buffer, no counting pass. Structural invariants
+    /// are validated in O(rows + nnz): `row_ptr` must be monotone from `0`
+    /// to `nnz` with `rows + 1` entries, `col_idx`/`values` must have equal
+    /// length, and every column index must be in bounds. Column *ordering*
+    /// within a row is the caller's contract (checked in debug builds), as
+    /// in [`CsrMatrix::from_sorted_coo`].
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1
+            || col_idx.len() != values.len()
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&col_idx.len())
+            || row_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "row_ptr ({} entries, last {:?}) does not describe {} rows with {} stored entries",
+                row_ptr.len(),
+                row_ptr.last(),
+                rows,
+                col_idx.len()
+            )));
+        }
+        if let Some(&bad) = col_idx.iter().find(|&&c| c >= cols) {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: bad,
+                bound: cols,
+                axis: "column",
+            });
+        }
+        #[cfg(debug_assertions)]
+        for r in 0..rows {
+            debug_assert!(
+                col_idx[row_ptr[r]..row_ptr[r + 1]]
+                    .windows(2)
+                    .all(|w| w[0] < w[1]),
+                "from_raw_parts requires strictly increasing columns within row {r}"
+            );
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Build from a dense row-major grid, dropping `T::default()` entries.
@@ -139,7 +221,11 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         let mut triples = Vec::new();
         for (r, row) in grid.iter().enumerate() {
             if row.len() != cols {
-                return Err(MatrixError::RaggedRows { row: r, expected: cols, actual: row.len() });
+                return Err(MatrixError::RaggedRows {
+                    row: r,
+                    expected: cols,
+                    actual: row.len(),
+                });
             }
             for (c, &v) in row.iter().enumerate() {
                 if v != T::default() {
@@ -190,7 +276,10 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         } else {
             (0, 0)
         };
-        self.col_idx[start..end].iter().copied().zip(self.values[start..end].iter().copied())
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
     }
 
     /// Number of stored entries in one row.
@@ -224,8 +313,7 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
 
     /// The transpose (CSC of the original, re-expressed as CSR).
     pub fn transpose(&self) -> CsrMatrix<T> {
-        let mut triples: Vec<(usize, usize, T)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let mut triples: Vec<(usize, usize, T)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
         CsrMatrix::from_sorted_triples(self.cols, self.rows, &triples)
     }
@@ -282,7 +370,10 @@ mod tests {
     fn iter_and_to_dense_round_trip() {
         let m = sample();
         let dense = m.to_dense();
-        assert_eq!(dense, vec![vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 3, 0]]);
+        assert_eq!(
+            dense,
+            vec![vec![0, 2, 0, 1], vec![0, 0, 0, 0], vec![5, 0, 3, 0]]
+        );
         let rebuilt = CsrMatrix::from_dense(&dense).unwrap();
         assert_eq!(rebuilt, m);
         assert_eq!(m.iter().count(), 4);
@@ -317,12 +408,53 @@ mod tests {
         let block_a = vec![(1usize, 0usize, 7u32), (1, 3, 9)];
         let block_b = vec![(0usize, 1usize, 2u32), (0, 3, 1), (2, 0, 5), (2, 2, 3)];
         let merged = CsrMatrix::from_row_disjoint_blocks(3, 4, vec![block_a, block_b]);
-        let mut all = vec![(0, 1, 2), (0, 3, 1), (1, 0, 7), (1, 3, 9), (2, 0, 5), (2, 2, 3)];
+        let mut all = vec![
+            (0, 1, 2),
+            (0, 3, 1),
+            (1, 0, 7),
+            (1, 3, 9),
+            (2, 0, 5),
+            (2, 2, 3),
+        ];
         all.sort_unstable_by_key(|&(r, c, _)| (r, c));
         assert_eq!(merged, CsrMatrix::from_sorted_triples(3, 4, &all));
         let none: Vec<Vec<(usize, usize, u32)>> = Vec::new();
         assert_eq!(CsrMatrix::from_row_disjoint_blocks(2, 2, none).nnz(), 0);
-        assert_eq!(CsrMatrix::<u32>::from_row_disjoint_blocks(0, 0, vec![Vec::new()]).shape(), (0, 0));
+        assert_eq!(
+            CsrMatrix::<u32>::from_row_disjoint_blocks(0, 0, vec![Vec::new()]).shape(),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_builds_and_validates() {
+        let m = sample();
+        let rebuilt = CsrMatrix::from_raw_parts(
+            3,
+            4,
+            m.row_ptr().to_vec(),
+            m.col_indices().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+        let empty = CsrMatrix::<u32>::from_raw_parts(2, 2, vec![0, 0, 0], vec![], vec![]).unwrap();
+        assert_eq!(empty.nnz(), 0);
+
+        // Wrong row_ptr length, non-monotone row_ptr, bad terminal, length
+        // mismatch, and out-of-bounds columns are all rejected.
+        assert!(CsrMatrix::<u32>::from_raw_parts(3, 4, vec![0, 1], vec![0], vec![1]).is_err());
+        assert!(CsrMatrix::<u32>::from_raw_parts(2, 4, vec![0, 2, 1], vec![0], vec![1]).is_err());
+        assert!(CsrMatrix::<u32>::from_raw_parts(1, 4, vec![0, 2], vec![0], vec![1]).is_err());
+        assert!(CsrMatrix::<u32>::from_raw_parts(1, 4, vec![0, 1], vec![0], vec![1, 2]).is_err());
+        assert_eq!(
+            CsrMatrix::<u32>::from_raw_parts(1, 4, vec![0, 1], vec![9], vec![1]).unwrap_err(),
+            MatrixError::IndexOutOfBounds {
+                index: 9,
+                bound: 4,
+                axis: "column"
+            }
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl TrafficMatrix {
     /// An all-zero matrix with the given labels.
     pub fn zeros(labels: LabelSet) -> Self {
         let n = labels.len();
-        TrafficMatrix { labels, values: vec![0; n * n] }
+        TrafficMatrix {
+            labels,
+            values: vec![0; n * n],
+        }
     }
 
     /// An all-zero matrix with numeric labels `0..n`.
@@ -33,12 +36,19 @@ impl TrafficMatrix {
     pub fn from_grid(labels: LabelSet, grid: &[Vec<u32>]) -> Result<Self> {
         let n = labels.len();
         if grid.len() != n {
-            return Err(MatrixError::LabelCountMismatch { labels: n, dimension: grid.len() });
+            return Err(MatrixError::LabelCountMismatch {
+                labels: n,
+                dimension: grid.len(),
+            });
         }
         let mut values = Vec::with_capacity(n * n);
         for (r, row) in grid.iter().enumerate() {
             if row.len() != n {
-                return Err(MatrixError::RaggedRows { row: r, expected: n, actual: row.len() });
+                return Err(MatrixError::RaggedRows {
+                    row: r,
+                    expected: n,
+                    actual: row.len(),
+                });
             }
             values.extend_from_slice(row);
         }
@@ -88,10 +98,18 @@ impl TrafficMatrix {
     pub fn set(&mut self, row: usize, col: usize, value: u32) -> Result<()> {
         let n = self.dimension();
         if row >= n {
-            return Err(MatrixError::IndexOutOfBounds { index: row, bound: n, axis: "row" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: row,
+                bound: n,
+                axis: "row",
+            });
         }
         if col >= n {
-            return Err(MatrixError::IndexOutOfBounds { index: col, bound: n, axis: "column" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: col,
+                bound: n,
+                axis: "column",
+            });
         }
         self.values[row * n + col] = value;
         Ok(())
@@ -99,16 +117,20 @@ impl TrafficMatrix {
 
     /// Add to the packet count at `(row, col)` (saturating).
     pub fn add(&mut self, row: usize, col: usize, delta: u32) -> Result<()> {
-        let current = self
-            .get(row, col)
-            .ok_or(MatrixError::IndexOutOfBounds { index: row.max(col), bound: self.dimension(), axis: "row/column" })?;
+        let current = self.get(row, col).ok_or(MatrixError::IndexOutOfBounds {
+            index: row.max(col),
+            bound: self.dimension(),
+            axis: "row/column",
+        })?;
         self.set(row, col, current.saturating_add(delta))
     }
 
     /// Row-major export, matching the module-file encoding.
     pub fn to_grid(&self) -> Vec<Vec<u32>> {
         let n = self.dimension();
-        (0..n).map(|r| self.values[r * n..(r + 1) * n].to_vec()).collect()
+        (0..n)
+            .map(|r| self.values[r * n..(r + 1) * n].to_vec())
+            .collect()
     }
 
     /// Total packets in the matrix.
@@ -139,7 +161,12 @@ impl TrafficMatrix {
     pub fn out_degrees(&self) -> Vec<u64> {
         let n = self.dimension();
         (0..n)
-            .map(|r| self.values[r * n..(r + 1) * n].iter().map(|&v| v as u64).sum())
+            .map(|r| {
+                self.values[r * n..(r + 1) * n]
+                    .iter()
+                    .map(|&v| v as u64)
+                    .sum()
+            })
             .collect()
     }
 
@@ -158,13 +185,17 @@ impl TrafficMatrix {
     /// Out-fanout (count of distinct destinations) of every node.
     pub fn out_fanout(&self) -> Vec<usize> {
         let n = self.dimension();
-        (0..n).map(|r| (0..n).filter(|&c| self.values[r * n + c] > 0).count()).collect()
+        (0..n)
+            .map(|r| (0..n).filter(|&c| self.values[r * n + c] > 0).count())
+            .collect()
     }
 
     /// In-fanout (count of distinct sources) of every node.
     pub fn in_fanout(&self) -> Vec<usize> {
         let n = self.dimension();
-        (0..n).map(|c| (0..n).filter(|&r| self.values[r * n + c] > 0).count()).collect()
+        (0..n)
+            .map(|c| (0..n).filter(|&r| self.values[r * n + c] > 0).count())
+            .collect()
     }
 
     /// Iterate over non-zero `(row, col, value)` triples in row-major order.
@@ -391,7 +422,10 @@ mod tests {
         let m = paper_template_matrix();
         let labels = m.labels().clone();
         // Blue→red traffic in the template: rows 0-3, cols 6-9 anti-diagonal 2s.
-        assert_eq!(m.block_total(&labels.blue_indices(), &labels.red_indices()), 8);
+        assert_eq!(
+            m.block_total(&labels.blue_indices(), &labels.red_indices()),
+            8
+        );
         assert_eq!(m.subgraph_total(&labels.blue_indices()), 4); // diagonal ones
         assert_eq!(m.subgraph_total(&[]), 0);
     }
@@ -420,7 +454,10 @@ mod tests {
         assert!(text.contains("ADV4"));
         assert!(text.lines().count() == 11);
         let colored = m.to_ascii_with_colors(Some(&m.default_colors()));
-        assert!(colored.contains("2r"), "blue→adv cells should carry the red glyph:\n{colored}");
+        assert!(
+            colored.contains("2r"),
+            "blue→adv cells should carry the red glyph:\n{colored}"
+        );
     }
 
     #[test]

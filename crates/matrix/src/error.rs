@@ -11,9 +11,17 @@ pub enum MatrixError {
     /// Two operands have incompatible dimensions; contains a description.
     DimensionMismatch(String),
     /// A row or column index is out of bounds; contains (index, bound, axis).
-    IndexOutOfBounds { index: usize, bound: usize, axis: &'static str },
+    IndexOutOfBounds {
+        index: usize,
+        bound: usize,
+        axis: &'static str,
+    },
     /// A dense grid had ragged rows; contains (row, expected, actual).
-    RaggedRows { row: usize, expected: usize, actual: usize },
+    RaggedRows {
+        row: usize,
+        expected: usize,
+        actual: usize,
+    },
     /// The label list length does not match the matrix dimension.
     LabelCountMismatch { labels: usize, dimension: usize },
     /// A label appears more than once in a label set.
@@ -27,9 +35,16 @@ impl fmt::Display for MatrixError {
         match self {
             MatrixError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             MatrixError::IndexOutOfBounds { index, bound, axis } => {
-                write!(f, "{axis} index {index} out of bounds (dimension is {bound})")
+                write!(
+                    f,
+                    "{axis} index {index} out of bounds (dimension is {bound})"
+                )
             }
-            MatrixError::RaggedRows { row, expected, actual } => write!(
+            MatrixError::RaggedRows {
+                row,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "ragged matrix: row {row} has {actual} columns but previous rows have {expected}"
             ),
@@ -51,11 +66,22 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MatrixError::IndexOutOfBounds { index: 12, bound: 10, axis: "row" };
+        let e = MatrixError::IndexOutOfBounds {
+            index: 12,
+            bound: 10,
+            axis: "row",
+        };
         assert!(e.to_string().contains("row index 12"));
-        let e = MatrixError::LabelCountMismatch { labels: 6, dimension: 10 };
+        let e = MatrixError::LabelCountMismatch {
+            labels: 6,
+            dimension: 10,
+        };
         assert!(e.to_string().contains("6 axis labels"));
-        let e = MatrixError::RaggedRows { row: 3, expected: 10, actual: 9 };
+        let e = MatrixError::RaggedRows {
+            row: 3,
+            expected: 10,
+            actual: 9,
+        };
         assert!(e.to_string().contains("row 3"));
     }
 }

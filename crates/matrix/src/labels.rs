@@ -88,7 +88,9 @@ impl LabelSet {
     /// formal definition ("i and j are chosen from pre-fixed initial segments
     /// of the positive integers").
     pub fn numeric(n: usize) -> Self {
-        LabelSet { labels: (0..n).map(|i| i.to_string()).collect() }
+        LabelSet {
+            labels: (0..n).map(|i| i.to_string()).collect(),
+        }
     }
 
     /// The default 10-node labelling used by most of the paper's figures:
@@ -102,7 +104,8 @@ impl LabelSet {
 
     /// A 6-node labelling matching the 6×6 template: `WS1-WS2, SRV1, EXT1, ADV1-ADV2`.
     pub fn paper_default_6() -> Self {
-        LabelSet::new(["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2"]).expect("static labels are valid")
+        LabelSet::new(["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2"])
+            .expect("static labels are valid")
     }
 
     /// Number of labels (the matrix dimension).
@@ -132,7 +135,10 @@ impl LabelSet {
 
     /// The inferred [`NodeClass`] of each label, in order.
     pub fn classes(&self) -> Vec<NodeClass> {
-        self.labels.iter().map(|l| NodeClass::from_label(l)).collect()
+        self.labels
+            .iter()
+            .map(|l| NodeClass::from_label(l))
+            .collect()
     }
 
     /// Indices of all labels with the given class.
@@ -172,7 +178,11 @@ impl LabelSet {
 
     /// The length of the longest label, used for layout in views and reports.
     pub fn max_label_width(&self) -> usize {
-        self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -190,7 +190,10 @@ where
     S: Semiring<T>,
 {
     (0..a.rows())
-        .map(|r| a.row(r).fold(semiring.zero(), |acc, (_, v)| semiring.add(acc, v)))
+        .map(|r| {
+            a.row(r)
+                .fold(semiring.zero(), |acc, (_, v)| semiring.add(acc, v))
+        })
         .collect()
 }
 
@@ -213,7 +216,8 @@ where
     T: Copy + Default + PartialEq,
     S: Semiring<T>,
 {
-    a.iter().fold(semiring.zero(), |acc, (_, _, v)| semiring.add(acc, v))
+    a.iter()
+        .fold(semiring.zero(), |acc, (_, _, v)| semiring.add(acc, v))
 }
 
 /// Extract the sub-matrix selecting `row_idx` rows and `col_idx` columns
@@ -224,12 +228,20 @@ where
 {
     for &r in row_idx {
         if r >= a.rows() {
-            return Err(MatrixError::IndexOutOfBounds { index: r, bound: a.rows(), axis: "row" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: r,
+                bound: a.rows(),
+                axis: "row",
+            });
         }
     }
     for &c in col_idx {
         if c >= a.cols() {
-            return Err(MatrixError::IndexOutOfBounds { index: c, bound: a.cols(), axis: "column" });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: c,
+                bound: a.cols(),
+                axis: "column",
+            });
         }
     }
     // Map original column -> new position.
@@ -251,7 +263,11 @@ where
             triples.push((new_r, c, v));
         }
     }
-    Ok(CsrMatrix::from_sorted_triples(row_idx.len(), col_idx.len(), &triples))
+    Ok(CsrMatrix::from_sorted_triples(
+        row_idx.len(),
+        col_idx.len(),
+        &triples,
+    ))
 }
 
 #[cfg(test)]
@@ -294,7 +310,11 @@ mod tests {
         let bd = b.to_dense();
         for (r, ad_row) in ad.iter().enumerate() {
             for col in 0..3 {
-                let expect: u64 = ad_row.iter().zip(&bd).map(|(av, bd_row)| av * bd_row[col]).sum();
+                let expect: u64 = ad_row
+                    .iter()
+                    .zip(&bd)
+                    .map(|(av, bd_row)| av * bd_row[col])
+                    .sum();
                 assert_eq!(c.get(r, col), expect, "mismatch at ({r},{col})");
             }
         }
@@ -355,11 +375,7 @@ mod tests {
     fn min_plus_single_step_relaxation() {
         // Distances: direct edge 0→2 costs 10, path through 1 costs 3+4=7.
         let inf = f64::INFINITY;
-        let a = CsrMatrix::from_sorted_triples(
-            3,
-            3,
-            &[(0, 1, 3.0f64), (0, 2, 10.0), (1, 2, 4.0)],
-        );
+        let a = CsrMatrix::from_sorted_triples(3, 3, &[(0, 1, 3.0f64), (0, 2, 10.0), (1, 2, 4.0)]);
         let dist0 = vec![0.0, inf, inf];
         // One relaxation step: dist1[c] = min_r (dist0[r] + A[r,c]).
         let dist1 = vxm(&MinPlus, &dist0, &a).unwrap();

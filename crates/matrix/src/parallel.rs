@@ -47,7 +47,10 @@ where
 {
     (0..a.rows())
         .into_par_iter()
-        .map(|r| a.row(r).fold(semiring.zero(), |acc, (_, v)| semiring.add(acc, v)))
+        .map(|r| {
+            a.row(r)
+                .fold(semiring.zero(), |acc, (_, v)| semiring.add(acc, v))
+        })
         .collect()
 }
 
@@ -126,7 +129,9 @@ pub fn par_matrix_from_events(node_count: usize, events: &[PacketEvent]) -> CsrM
         .collect();
     let mut merged = CooMatrix::with_capacity(node_count, node_count, events.len());
     for shard in &shards {
-        merged.extend_from(shard).expect("shards share the aggregate shape");
+        merged
+            .extend_from(shard)
+            .expect("shards share the aggregate shape");
     }
     merged.to_csr()
 }
@@ -153,7 +158,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = CooMatrix::new(n, n);
         for _ in 0..nnz {
-            coo.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..10u64));
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1..10u64),
+            );
         }
         coo.to_csr()
     }
@@ -162,7 +171,10 @@ mod tests {
     fn par_mxv_matches_serial() {
         let a = random_sparse(200, 3000, 1);
         let x: Vec<u64> = (0..200).map(|i| (i % 7) as u64).collect();
-        assert_eq!(par_mxv(&PlusTimes, &a, &x).unwrap(), mxv(&PlusTimes, &a, &x).unwrap());
+        assert_eq!(
+            par_mxv(&PlusTimes, &a, &x).unwrap(),
+            mxv(&PlusTimes, &a, &x).unwrap()
+        );
         assert!(par_mxv(&PlusTimes, &a, &x[..10]).is_err());
     }
 

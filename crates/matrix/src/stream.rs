@@ -116,7 +116,11 @@ impl StreamAggregator {
         while window > self.current_window {
             self.rotate();
         }
-        self.current.push(event.source as usize, event.destination as usize, event.packets as u64);
+        self.current.push(
+            event.source as usize,
+            event.destination as usize,
+            event.packets as u64,
+        );
         self.total_events += 1;
     }
 
@@ -128,7 +132,10 @@ impl StreamAggregator {
     }
 
     fn rotate(&mut self) {
-        let full = std::mem::replace(&mut self.current, CooMatrix::new(self.node_count, self.node_count));
+        let full = std::mem::replace(
+            &mut self.current,
+            CooMatrix::new(self.node_count, self.node_count),
+        );
         self.completed.push(full.to_csr());
         self.current_window += 1;
     }
@@ -166,7 +173,10 @@ mod tests {
         let events = synthetic_events(200, 20_000, 42);
         let to_supernodes =
             events.iter().filter(|e| e.destination < 10).count() as f64 / events.len() as f64;
-        assert!(to_supernodes > 0.5, "expected heavy-tailed destinations, got {to_supernodes}");
+        assert!(
+            to_supernodes > 0.5,
+            "expected heavy-tailed destinations, got {to_supernodes}"
+        );
     }
 
     #[test]
@@ -185,7 +195,10 @@ mod tests {
         let tail = &hits[supernode_count as usize..];
         let min = *tail.iter().min().unwrap() as f64;
         let max = *tail.iter().max().unwrap() as f64;
-        assert!(min > 0.0, "every non-supernode address should receive traffic");
+        assert!(
+            min > 0.0,
+            "every non-supernode address should receive traffic"
+        );
         assert!(
             max / min < 1.5,
             "non-supernode destinations should be near-uniform, got min {min} max {max}"
@@ -209,9 +222,24 @@ mod tests {
     #[test]
     fn aggregator_rotates_on_window_boundaries() {
         let mut agg = StreamAggregator::new(4, 1_000);
-        agg.ingest(&PacketEvent { source: 0, destination: 1, packets: 2, timestamp_us: 10 });
-        agg.ingest(&PacketEvent { source: 1, destination: 2, packets: 3, timestamp_us: 2_500 });
-        agg.ingest(&PacketEvent { source: 2, destination: 3, packets: 1, timestamp_us: 3_100 });
+        agg.ingest(&PacketEvent {
+            source: 0,
+            destination: 1,
+            packets: 2,
+            timestamp_us: 10,
+        });
+        agg.ingest(&PacketEvent {
+            source: 1,
+            destination: 2,
+            packets: 3,
+            timestamp_us: 2_500,
+        });
+        agg.ingest(&PacketEvent {
+            source: 2,
+            destination: 3,
+            packets: 1,
+            timestamp_us: 3_100,
+        });
         let windows = agg.finish();
         // Windows 0..=3 exist (0, 1 empty, 2, 3).
         assert_eq!(windows.len(), 4);

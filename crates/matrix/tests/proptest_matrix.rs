@@ -7,9 +7,8 @@ use tw_matrix::{CooMatrix, CsrMatrix, LabelSet, MatrixProfile, PlusTimes, Traffi
 
 /// Strategy for a small dense grid (n×n, n in 1..=12, values 0..15 as the paper suggests).
 fn arb_grid() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    (1usize..=12).prop_flat_map(|n| {
-        prop::collection::vec(prop::collection::vec(0u32..15, n..=n), n..=n)
-    })
+    (1usize..=12)
+        .prop_flat_map(|n| prop::collection::vec(prop::collection::vec(0u32..15, n..=n), n..=n))
 }
 
 fn arb_triples(n: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {

@@ -130,7 +130,11 @@ impl ModuleBuilder {
 /// Convert a generated [`Pattern`] into a learning module with the paper's
 /// canonical question ("Which choice is the displayed traffic pattern most
 /// relevant to?") and two distractor answers.
-pub fn module_from_pattern(pattern: &Pattern, author: &str, distractors: [&str; 2]) -> LearningModule {
+pub fn module_from_pattern(
+    pattern: &Pattern,
+    author: &str,
+    distractors: [&str; 2],
+) -> LearningModule {
     let question = Question {
         text: tw_patterns::CANONICAL_QUESTION.to_string(),
         answers: vec![
@@ -166,7 +170,11 @@ mod tests {
             .unwrap()
             .traffic("WS3", "SRV1", 3)
             .unwrap()
-            .question("Where is this traffic?", ["Blue space", "Grey space", "Red space"], 0)
+            .question(
+                "Where is this traffic?",
+                ["Blue space", "Grey space", "Red space"],
+                0,
+            )
             .hint("Zero Botnets report")
             .build();
         assert!(validate(&module).is_valid());
@@ -177,10 +185,16 @@ mod tests {
 
     #[test]
     fn builder_rejects_unknown_labels_and_bad_indices() {
-        assert!(ModuleBuilder::new("x", "a").traffic("NOPE", "WS1", 1).is_err());
-        assert!(ModuleBuilder::new("x", "a").traffic("WS1", "NOPE", 1).is_err());
+        assert!(ModuleBuilder::new("x", "a")
+            .traffic("NOPE", "WS1", 1)
+            .is_err());
+        assert!(ModuleBuilder::new("x", "a")
+            .traffic("WS1", "NOPE", 1)
+            .is_err());
         assert!(ModuleBuilder::new("x", "a").cell(99, 0, 1).is_err());
-        assert!(ModuleBuilder::new("x", "a").color(0, 99, CellColor::Red).is_err());
+        assert!(ModuleBuilder::new("x", "a")
+            .color(0, 99, CellColor::Red)
+            .is_err());
     }
 
     #[test]
@@ -207,12 +221,19 @@ mod tests {
     #[test]
     fn module_from_pattern_uses_the_canonical_question() {
         let pattern = ddos::attack();
-        let module = module_from_pattern(&pattern, "MIT", ["Normal web browsing", "A software update"]);
+        let module = module_from_pattern(
+            &pattern,
+            "MIT",
+            ["Normal web browsing", "A software update"],
+        );
         assert_eq!(module.name, "DDoS Attack");
         let q = module.question.as_ref().unwrap();
         assert_eq!(q.text, tw_patterns::CANONICAL_QUESTION);
         assert_eq!(q.answers.len(), 3);
-        assert_eq!(q.correct_answer(), Some("A distributed denial-of-service attack"));
+        assert_eq!(
+            q.correct_answer(),
+            Some("A distributed denial-of-service attack")
+        );
         assert!(validate(&module).is_valid());
         // Round trips through JSON like any hand-written module.
         let reparsed = LearningModule::from_json(&module.to_json()).unwrap();

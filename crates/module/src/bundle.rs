@@ -21,7 +21,10 @@ pub struct ModuleBundle {
 impl ModuleBundle {
     /// An empty bundle with a display name.
     pub fn new(name: &str) -> Self {
-        ModuleBundle { name: name.to_string(), modules: Vec::new() }
+        ModuleBundle {
+            name: name.to_string(),
+            modules: Vec::new(),
+        }
     }
 
     /// Append a module; presentation order is append order.
@@ -68,12 +71,18 @@ impl ModuleBundle {
             let slug: String = module
                 .name
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             let entry_name = format!("{i:02}_{slug}.json");
             writer.add_file(&entry_name, module.to_json().as_bytes())?;
         }
-        Ok(writer.finish())
+        Ok(writer.finish()?)
     }
 
     /// Parse a bundle from ZIP bytes. Entries are loaded in name order (which
@@ -97,13 +106,19 @@ impl ModuleBundle {
                 .map_err(|e| ModuleError::Invalid(format!("{entry}: {e}")))?;
             modules.push(module);
         }
-        Ok(ModuleBundle { name: name.to_string(), modules })
+        Ok(ModuleBundle {
+            name: name.to_string(),
+            modules,
+        })
     }
 }
 
 impl FromIterator<LearningModule> for ModuleBundle {
     fn from_iter<T: IntoIterator<Item = LearningModule>>(iter: T) -> Self {
-        ModuleBundle { name: String::new(), modules: iter.into_iter().collect() }
+        ModuleBundle {
+            name: String::new(),
+            modules: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -133,8 +148,11 @@ mod tests {
 
     #[test]
     fn empty_zip_is_rejected() {
-        let bytes = tw_archive::ZipWriter::new().finish();
-        assert_eq!(ModuleBundle::from_zip("x", &bytes).unwrap_err(), ModuleError::EmptyBundle);
+        let bytes = tw_archive::ZipWriter::new().finish().unwrap();
+        assert_eq!(
+            ModuleBundle::from_zip("x", &bytes).unwrap_err(),
+            ModuleError::EmptyBundle
+        );
         assert!(ModuleBundle::new("x").is_empty());
     }
 
@@ -142,7 +160,7 @@ mod tests {
     fn non_json_entries_are_rejected() {
         let mut writer = tw_archive::ZipWriter::new();
         writer.add_file("readme.txt", b"hello").unwrap();
-        let bytes = writer.finish();
+        let bytes = writer.finish().unwrap();
         assert!(matches!(
             ModuleBundle::from_zip("x", &bytes).unwrap_err(),
             ModuleError::NotAModuleFile(name) if name == "readme.txt"
@@ -152,8 +170,10 @@ mod tests {
     #[test]
     fn malformed_module_errors_name_the_entry() {
         let mut writer = tw_archive::ZipWriter::new();
-        writer.add_file("00_bad.json", b"{\"name\": \"incomplete\"}").unwrap();
-        let bytes = writer.finish();
+        writer
+            .add_file("00_bad.json", b"{\"name\": \"incomplete\"}")
+            .unwrap();
+        let bytes = writer.finish().unwrap();
         match ModuleBundle::from_zip("x", &bytes).unwrap_err() {
             ModuleError::Invalid(msg) => assert!(msg.contains("00_bad.json"), "{msg}"),
             other => panic!("unexpected error {other:?}"),
@@ -180,6 +200,9 @@ mod tests {
 
     #[test]
     fn bundles_are_deterministic() {
-        assert_eq!(sample_bundle().to_zip().unwrap(), sample_bundle().to_zip().unwrap());
+        assert_eq!(
+            sample_bundle().to_zip().unwrap(),
+            sample_bundle().to_zip().unwrap()
+        );
     }
 }

@@ -42,7 +42,9 @@ impl Curriculum {
         prerequisites: &[&str],
     ) -> Result<()> {
         if self.unit(name).is_some() {
-            return Err(ModuleError::Invalid(format!("duplicate curriculum unit {name:?}")));
+            return Err(ModuleError::Invalid(format!(
+                "duplicate curriculum unit {name:?}"
+            )));
         }
         for prerequisite in prerequisites {
             if self.unit(prerequisite).is_none() {
@@ -105,8 +107,13 @@ impl Curriculum {
             let next = self
                 .units
                 .iter()
-                .find(|u| !completed.contains(&u.name) && u.prerequisites.iter().all(|p| completed.contains(p)))
-                .ok_or_else(|| ModuleError::Invalid("curriculum prerequisites cannot be satisfied".to_string()))?;
+                .find(|u| {
+                    !completed.contains(&u.name)
+                        && u.prerequisites.iter().all(|p| completed.contains(p))
+                })
+                .ok_or_else(|| {
+                    ModuleError::Invalid("curriculum prerequisites cannot be satisfied".to_string())
+                })?;
             completed.push(next.name.clone());
             schedule.push(next);
         }
@@ -129,14 +136,28 @@ pub fn default_curriculum() -> Curriculum {
 
     let mut curriculum = Curriculum::new();
     curriculum.add_unit("Basics", basics, &[]).expect("valid");
-    curriculum.add_unit("Traffic Topologies", topologies, &["Basics"]).expect("valid");
-    curriculum.add_unit("Graph Theory", graph, &["Basics"]).expect("valid");
     curriculum
-        .add_unit("Security, Defense, and Deterrence", posture, &["Traffic Topologies"])
+        .add_unit("Traffic Topologies", topologies, &["Basics"])
         .expect("valid");
-    curriculum.add_unit("Notional Attack", attack, &["Traffic Topologies"]).expect("valid");
     curriculum
-        .add_unit("DDoS", ddos, &["Notional Attack", "Security, Defense, and Deterrence"])
+        .add_unit("Graph Theory", graph, &["Basics"])
+        .expect("valid");
+    curriculum
+        .add_unit(
+            "Security, Defense, and Deterrence",
+            posture,
+            &["Traffic Topologies"],
+        )
+        .expect("valid");
+    curriculum
+        .add_unit("Notional Attack", attack, &["Traffic Topologies"])
+        .expect("valid");
+    curriculum
+        .add_unit(
+            "DDoS",
+            ddos,
+            &["Notional Attack", "Security, Defense, and Deterrence"],
+        )
         .expect("valid");
     curriculum
 }
@@ -159,7 +180,11 @@ mod tests {
     #[test]
     fn unlocking_follows_prerequisites() {
         let curriculum = default_curriculum();
-        let start: Vec<&str> = curriculum.unlocked_units(&[]).iter().map(|u| u.name.as_str()).collect();
+        let start: Vec<&str> = curriculum
+            .unlocked_units(&[])
+            .iter()
+            .map(|u| u.name.as_str())
+            .collect();
         assert_eq!(start, vec!["Basics"]);
 
         let after_basics: Vec<&str> = curriculum
@@ -179,8 +204,11 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let last: Vec<&str> =
-            curriculum.unlocked_units(&almost_done).iter().map(|u| u.name.as_str()).collect();
+        let last: Vec<&str> = curriculum
+            .unlocked_units(&almost_done)
+            .iter()
+            .map(|u| u.name.as_str())
+            .collect();
         assert_eq!(last, vec!["DDoS"]);
     }
 
@@ -198,10 +226,24 @@ mod tests {
     #[test]
     fn invalid_structures_are_rejected() {
         let mut curriculum = Curriculum::new();
-        curriculum.add_unit("A", ModuleBundle::new("A"), &[]).unwrap();
-        assert!(curriculum.add_unit("A", ModuleBundle::new("A2"), &[]).is_err(), "duplicate name");
-        assert!(curriculum.add_unit("B", ModuleBundle::new("B"), &["missing"]).is_err(), "unknown prerequisite");
+        curriculum
+            .add_unit("A", ModuleBundle::new("A"), &[])
+            .unwrap();
+        assert!(
+            curriculum
+                .add_unit("A", ModuleBundle::new("A2"), &[])
+                .is_err(),
+            "duplicate name"
+        );
+        assert!(
+            curriculum
+                .add_unit("B", ModuleBundle::new("B"), &["missing"])
+                .is_err(),
+            "unknown prerequisite"
+        );
         // Forward references (which would allow cycles) are rejected too.
-        assert!(curriculum.add_unit("C", ModuleBundle::new("C"), &["D"]).is_err());
+        assert!(curriculum
+            .add_unit("C", ModuleBundle::new("C"), &["D"])
+            .is_err());
     }
 }

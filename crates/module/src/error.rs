@@ -39,11 +39,17 @@ impl fmt::Display for ModuleError {
                 write!(f, "module field {field:?} must be {expected}")
             }
             ModuleError::BadSize(s) => {
-                write!(f, "module size {s:?} is not of the form \"NxN\" (e.g. \"10x10\")")
+                write!(
+                    f,
+                    "module size {s:?} is not of the form \"NxN\" (e.g. \"10x10\")"
+                )
             }
             ModuleError::Invalid(msg) => write!(f, "module failed validation: {msg}"),
             ModuleError::NotAModuleFile(name) => {
-                write!(f, "bundle entry {name:?} is not a learning-module JSON file")
+                write!(
+                    f,
+                    "bundle entry {name:?} is not a learning-module JSON file"
+                )
             }
             ModuleError::EmptyBundle => write!(f, "module bundle contains no learning modules"),
         }
@@ -76,9 +82,15 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_field() {
-        assert!(ModuleError::MissingField("traffic_matrix").to_string().contains("traffic_matrix"));
-        assert!(ModuleError::WrongType("answers", "an array of strings").to_string().contains("answers"));
-        assert!(ModuleError::BadSize("10by10".into()).to_string().contains("NxN"));
+        assert!(ModuleError::MissingField("traffic_matrix")
+            .to_string()
+            .contains("traffic_matrix"));
+        assert!(ModuleError::WrongType("answers", "an array of strings")
+            .to_string()
+            .contains("answers"));
+        assert!(ModuleError::BadSize("10by10".into())
+            .to_string()
+            .contains("NxN"));
     }
 
     #[test]

@@ -30,8 +30,10 @@ fn distractors_for(figure: Figure, correct: &str) -> [String; 2] {
     others.truncate(2);
     let mut iter = others.into_iter();
     [
-        iter.next().unwrap_or_else(|| "Normal background traffic".to_string()),
-        iter.next().unwrap_or_else(|| "A network misconfiguration".to_string()),
+        iter.next()
+            .unwrap_or_else(|| "Normal background traffic".to_string()),
+        iter.next()
+            .unwrap_or_else(|| "A network misconfiguration".to_string()),
     ]
 }
 
@@ -76,7 +78,10 @@ pub fn initial_library() -> Vec<ModuleBundle> {
 /// Every module of the initial library flattened into one sequence, in
 /// curriculum order.
 pub fn full_curriculum() -> Vec<LearningModule> {
-    initial_library().into_iter().flat_map(|b| b.modules().to_vec()).collect()
+    initial_library()
+        .into_iter()
+        .flat_map(|b| b.modules().to_vec())
+        .collect()
 }
 
 #[cfg(test)]
@@ -132,7 +137,12 @@ mod tests {
         for bundle in initial_library() {
             let bytes = bundle.to_zip().unwrap();
             let loaded = ModuleBundle::from_zip(&bundle.name, &bytes).unwrap();
-            assert_eq!(loaded.modules(), bundle.modules(), "bundle {:?}", bundle.name);
+            assert_eq!(
+                loaded.modules(),
+                bundle.modules(),
+                "bundle {:?}",
+                bundle.name
+            );
         }
     }
 
@@ -146,7 +156,12 @@ mod tests {
             let mut answers = q.answers.clone();
             answers.sort();
             answers.dedup();
-            assert_eq!(answers.len(), 3, "module {} has duplicate answers", module.name);
+            assert_eq!(
+                answers.len(),
+                3,
+                "module {} has duplicate answers",
+                module.name
+            );
             assert_eq!(q.correct_answer_element, 0);
         }
         assert_eq!(ddos_modules.len(), 4);

@@ -73,11 +73,17 @@ pub fn to_obfuscated_json(module: &LearningModule) -> Result<String> {
         .as_ref()
         .ok_or(ModuleError::MissingField("question"))?;
     let mut value = module.to_value();
-    let obj = value.as_object_mut().expect("module serializes to an object");
+    let obj = value
+        .as_object_mut()
+        .expect("module serializes to an object");
     obj.remove("correct_answer_element");
     obj.insert(
         OBFUSCATED_FIELD,
-        Value::from(encode_token(&question.text, &question.answers, question.correct_answer_element)),
+        Value::from(encode_token(
+            &question.text,
+            &question.answers,
+            question.correct_answer_element,
+        )),
     );
     Ok(tw_json::to_string_pretty(&value))
 }
@@ -123,7 +129,10 @@ mod tests {
         for correct in 0..3 {
             let token = encode_token("How many packets?", &answers, correct);
             assert!(token.starts_with("tw1:"));
-            assert_eq!(decode_token("How many packets?", &answers, &token).unwrap(), correct);
+            assert_eq!(
+                decode_token("How many packets?", &answers, &token).unwrap(),
+                correct
+            );
         }
     }
 
@@ -132,7 +141,10 @@ mod tests {
         let answers: Vec<String> = vec!["0".into(), "1".into(), "2".into()];
         let a = encode_token("Question A?", &answers, 2);
         let b = encode_token("Question B?", &answers, 2);
-        assert_ne!(a, b, "the same index must encode differently for different questions");
+        assert_ne!(
+            a, b,
+            "the same index must encode differently for different questions"
+        );
         assert!(!a.contains("2:"), "token must not leak the index textually");
     }
 
@@ -167,7 +179,10 @@ mod tests {
     fn question_less_modules_cannot_be_obfuscated() {
         let mut module = template_10x10();
         module.question = None;
-        assert_eq!(to_obfuscated_json(&module).unwrap_err(), ModuleError::MissingField("question"));
+        assert_eq!(
+            to_obfuscated_json(&module).unwrap_err(),
+            ModuleError::MissingField("question")
+        );
     }
 
     #[test]

@@ -15,9 +15,17 @@ impl MatrixSize {
     /// Parse from the module-file form, e.g. `"10x10"`.
     pub fn parse(text: &str) -> Result<Self> {
         let lower = text.to_ascii_lowercase();
-        let (a, b) = lower.split_once('x').ok_or_else(|| ModuleError::BadSize(text.to_string()))?;
-        let rows: usize = a.trim().parse().map_err(|_| ModuleError::BadSize(text.to_string()))?;
-        let cols: usize = b.trim().parse().map_err(|_| ModuleError::BadSize(text.to_string()))?;
+        let (a, b) = lower
+            .split_once('x')
+            .ok_or_else(|| ModuleError::BadSize(text.to_string()))?;
+        let rows: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| ModuleError::BadSize(text.to_string()))?;
+        let cols: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| ModuleError::BadSize(text.to_string()))?;
         if rows != cols || rows == 0 {
             return Err(ModuleError::BadSize(text.to_string()));
         }
@@ -54,7 +62,9 @@ pub struct Question {
 impl Question {
     /// The correct answer's text, if the index is in range.
     pub fn correct_answer(&self) -> Option<&str> {
-        self.answers.get(self.correct_answer_element).map(String::as_str)
+        self.answers
+            .get(self.correct_answer_element)
+            .map(String::as_str)
     }
 }
 
@@ -87,23 +97,29 @@ impl LearningModule {
 
     /// Parse a module from an already-parsed JSON value.
     pub fn from_value(value: &Value) -> Result<Self> {
-        let obj = value.as_object().ok_or(ModuleError::WrongType("<root>", "an object"))?;
+        let obj = value
+            .as_object()
+            .ok_or(ModuleError::WrongType("<root>", "an object"))?;
 
         let name = require_str(obj, "name")?.to_string();
         let size = MatrixSize::parse(require_str(obj, "size")?)?;
         let author = require_str(obj, "author")?.to_string();
 
-        let labels_value = obj.get("axis_labels").ok_or(ModuleError::MissingField("axis_labels"))?;
+        let labels_value = obj
+            .get("axis_labels")
+            .ok_or(ModuleError::MissingField("axis_labels"))?;
         let labels_list = labels_value
             .as_string_list()
             .ok_or(ModuleError::WrongType("axis_labels", "an array of strings"))?;
         let labels = LabelSet::new(labels_list)?;
 
-        let matrix_value =
-            obj.get("traffic_matrix").ok_or(ModuleError::MissingField("traffic_matrix"))?;
-        let grid = matrix_value
-            .as_u32_grid()
-            .ok_or(ModuleError::WrongType("traffic_matrix", "an array of arrays of non-negative integers"))?;
+        let matrix_value = obj
+            .get("traffic_matrix")
+            .ok_or(ModuleError::MissingField("traffic_matrix"))?;
+        let grid = matrix_value.as_u32_grid().ok_or(ModuleError::WrongType(
+            "traffic_matrix",
+            "an array of arrays of non-negative integers",
+        ))?;
         let matrix = TrafficMatrix::from_grid(labels.clone(), &grid)?;
 
         let colors = match obj.get("traffic_matrix_colors") {
@@ -118,7 +134,9 @@ impl LearningModule {
         };
 
         let has_question = match obj.get("has_question") {
-            Some(v) => v.as_bool().ok_or(ModuleError::WrongType("has_question", "a boolean"))?,
+            Some(v) => v
+                .as_bool()
+                .ok_or(ModuleError::WrongType("has_question", "a boolean"))?,
             None => false,
         };
         let question = if has_question {
@@ -132,20 +150,37 @@ impl LearningModule {
                 .get("correct_answer_element")
                 .ok_or(ModuleError::MissingField("correct_answer_element"))?
                 .as_usize()
-                .ok_or(ModuleError::WrongType("correct_answer_element", "a non-negative integer"))?;
-            Some(Question { text, answers, correct_answer_element })
+                .ok_or(ModuleError::WrongType(
+                    "correct_answer_element",
+                    "a non-negative integer",
+                ))?;
+            Some(Question {
+                text,
+                answers,
+                correct_answer_element,
+            })
         } else {
             None
         };
 
         let hint = match obj.get("hint") {
             Some(v) => Some(
-                v.as_str().ok_or(ModuleError::WrongType("hint", "a string"))?.to_string(),
+                v.as_str()
+                    .ok_or(ModuleError::WrongType("hint", "a string"))?
+                    .to_string(),
             ),
             None => None,
         };
 
-        Ok(LearningModule { name, size, author, matrix, colors, question, hint })
+        Ok(LearningModule {
+            name,
+            size,
+            author,
+            matrix,
+            colors,
+            question,
+            hint,
+        })
     }
 
     /// Serialize to a JSON value using the paper's field names and ordering.
@@ -156,10 +191,20 @@ impl LearningModule {
         obj.insert("author", self.author.as_str());
         obj.insert(
             "axis_labels",
-            Value::Array(self.matrix.labels().labels().iter().map(|l| Value::from(l.as_str())).collect()),
+            Value::Array(
+                self.matrix
+                    .labels()
+                    .labels()
+                    .iter()
+                    .map(|l| Value::from(l.as_str()))
+                    .collect(),
+            ),
         );
         obj.insert("traffic_matrix", grid_to_value(&self.matrix.to_grid()));
-        obj.insert("traffic_matrix_colors", grid_to_value(&self.colors.to_codes()));
+        obj.insert(
+            "traffic_matrix_colors",
+            grid_to_value(&self.colors.to_codes()),
+        );
         obj.insert("has_question", self.question.is_some());
         if let Some(q) = &self.question {
             obj.insert("question", q.text.as_str());
@@ -228,11 +273,19 @@ mod tests {
             }
             matrix_rows.push_str(&format!(
                 "[{}],\n",
-                m_row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                m_row
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ));
             color_rows.push_str(&format!(
                 "[{}],\n",
-                c_row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                c_row
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ));
         }
         format!(
@@ -304,7 +357,8 @@ mod tests {
     fn missing_fields_are_reported_by_name() {
         let err = LearningModule::from_json(r#"{"size":"6x6"}"#).unwrap_err();
         assert_eq!(err, ModuleError::MissingField("name"));
-        let err = LearningModule::from_json(r#"{"name":"x","size":"6x6","author":"a"}"#).unwrap_err();
+        let err =
+            LearningModule::from_json(r#"{"name":"x","size":"6x6","author":"a"}"#).unwrap_err();
         assert_eq!(err, ModuleError::MissingField("axis_labels"));
     }
 
@@ -366,6 +420,9 @@ mod tests {
             "axis_labels":["A","B","C"],
             "traffic_matrix":[[0,1],[1,0]]
         }"#;
-        assert!(matches!(LearningModule::from_json(bad).unwrap_err(), ModuleError::Matrix(_)));
+        assert!(matches!(
+            LearningModule::from_json(bad).unwrap_err(),
+            ModuleError::Matrix(_)
+        ));
     }
 }

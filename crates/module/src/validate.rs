@@ -56,15 +56,25 @@ impl ValidationReport {
 
     /// Warning-severity findings.
     pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
-        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
     }
 
     fn error(&mut self, field: &'static str, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Error, field, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Error,
+            field,
+            message,
+        });
     }
 
     fn warning(&mut self, field: &'static str, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Warning, field, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Warning,
+            field,
+            message,
+        });
     }
 }
 
@@ -107,7 +117,10 @@ pub fn validate(module: &LearningModule) -> ValidationReport {
         );
     }
     if module.matrix.total_packets() == 0 {
-        report.warning("traffic_matrix", "the traffic matrix is empty (all zeros)".to_string());
+        report.warning(
+            "traffic_matrix",
+            "the traffic matrix is empty (all zeros)".to_string(),
+        );
     }
 
     for label in module.matrix.labels().labels() {
@@ -127,7 +140,10 @@ pub fn validate(module: &LearningModule) -> ValidationReport {
 
     if let Some(q) = &module.question {
         if q.text.trim().is_empty() {
-            report.error("question", "has_question is true but the question text is empty".to_string());
+            report.error(
+                "question",
+                "has_question is true but the question text is empty".to_string(),
+            );
         }
         if q.answers.is_empty() {
             report.error("answers", "the answer list is empty".to_string());
@@ -192,7 +208,9 @@ mod tests {
         module.matrix.set(0, 1, 40).unwrap();
         let report = validate(&module);
         assert!(report.is_valid());
-        assert!(report.warnings().any(|i| i.field == "traffic_matrix" && i.message.contains("40")));
+        assert!(report
+            .warnings()
+            .any(|i| i.field == "traffic_matrix" && i.message.contains("40")));
     }
 
     #[test]
@@ -245,12 +263,21 @@ mod tests {
         let warning_fields: Vec<_> = report.warnings().map(|w| w.field).collect();
         assert!(warning_fields.contains(&"axis_labels"));
         // Both the too-long and the lowercase warnings fire for the same label.
-        assert!(report.warnings().filter(|w| w.field == "axis_labels").count() >= 2);
+        assert!(
+            report
+                .warnings()
+                .filter(|w| w.field == "axis_labels")
+                .count()
+                >= 2
+        );
     }
 
     #[test]
     fn empty_matrix_and_name_are_flagged() {
-        let module = ModuleBuilder::new("", "").labels(["A", "B"]).unwrap().build();
+        let module = ModuleBuilder::new("", "")
+            .labels(["A", "B"])
+            .unwrap()
+            .build();
         let report = validate(&module);
         assert!(!report.is_valid());
         assert!(report.errors().any(|i| i.field == "name"));

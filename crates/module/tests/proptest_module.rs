@@ -16,8 +16,15 @@ fn arb_module() -> impl Strategy<Value = LearningModule> {
             prop::collection::vec("[a-z0-9 ]{1,10}", 3..=3),
             0usize..3,
         ));
-        (Just(labels), matrix, colors, question, "[A-Za-z0-9 ]{1,20}", "[A-Za-z ]{0,16}").prop_map(
-            move |(labels, grid, colors, question, name, author)| {
+        (
+            Just(labels),
+            matrix,
+            colors,
+            question,
+            "[A-Za-z0-9 ]{1,20}",
+            "[A-Za-z ]{0,16}",
+        )
+            .prop_map(move |(labels, grid, colors, question, name, author)| {
                 let label_set = LabelSet::new(labels.clone()).unwrap();
                 let matrix = TrafficMatrix::from_grid(label_set, &grid).unwrap();
                 let colors = ColorMatrix::from_codes(&colors).unwrap();
@@ -26,7 +33,11 @@ fn arb_module() -> impl Strategy<Value = LearningModule> {
                     for (i, a) in answers.iter_mut().enumerate() {
                         a.push_str(&format!("_{i}"));
                     }
-                    Question { text, answers, correct_answer_element: correct }
+                    Question {
+                        text,
+                        answers,
+                        correct_answer_element: correct,
+                    }
                 });
                 LearningModule {
                     name,
@@ -37,8 +48,7 @@ fn arb_module() -> impl Strategy<Value = LearningModule> {
                     question,
                     hint: None,
                 }
-            },
-        )
+            })
     })
 }
 

@@ -136,7 +136,10 @@ mod tests {
     fn planning_stays_in_red_space() {
         let p = planning();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::IntraRed), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::IntraRed),
+            p.matrix.total_packets()
+        );
         assert_eq!(profile.packets_for(LinkClass::BlueRedContact), 0);
         assert_eq!(profile.self_loops, 0);
     }
@@ -145,7 +148,10 @@ mod tests {
     fn staging_is_red_to_grey_only() {
         let p = staging();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::GreyRedContact), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::GreyRedContact),
+            p.matrix.total_packets()
+        );
         // 4 adversaries × 2 externals × 2 packets.
         assert_eq!(p.matrix.total_packets(), 16);
     }
@@ -154,7 +160,10 @@ mod tests {
     fn infiltration_crosses_the_border() {
         let p = infiltration();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::BlueGreyBorder), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::BlueGreyBorder),
+            p.matrix.total_packets()
+        );
         // Every flow originates in grey space.
         for (r, _, _) in p.matrix.iter_nonzero() {
             assert!(p.matrix.labels().grey_indices().contains(&r));
@@ -165,7 +174,10 @@ mod tests {
     fn lateral_movement_stays_in_blue_space() {
         let p = lateral_movement();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::IntraBlue), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::IntraBlue),
+            p.matrix.total_packets()
+        );
         assert!(!profile.has_red_contact());
     }
 
@@ -191,6 +203,9 @@ mod tests {
     #[test]
     fn stage_order_matches_figure() {
         let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["Planning", "Staging", "Infiltration", "Lateral Movement"]);
+        assert_eq!(
+            names,
+            vec!["Planning", "Staging", "Infiltration", "Lateral Movement"]
+        );
     }
 }

@@ -65,7 +65,10 @@ pub fn patterns_for_figure(figure: Figure) -> Vec<Pattern> {
 
 /// Every panel of every figure, in paper order.
 pub fn all_patterns() -> Vec<Pattern> {
-    Figure::all().into_iter().flat_map(patterns_for_figure).collect()
+    Figure::all()
+        .into_iter()
+        .flat_map(patterns_for_figure)
+        .collect()
 }
 
 /// Look up one panel by its stable id (e.g. `"ddos/attack"`), including the
@@ -110,13 +113,21 @@ mod tests {
     fn pattern_lookup_by_id() {
         assert_eq!(pattern_by_id("ddos/attack").unwrap().name, "DDoS Attack");
         assert_eq!(pattern_by_id("ddos/combined").unwrap().id, "ddos/combined");
-        assert_eq!(pattern_by_id("attack/combined").unwrap().id, "attack/combined");
+        assert_eq!(
+            pattern_by_id("attack/combined").unwrap().id,
+            "attack/combined"
+        );
         assert!(pattern_by_id("no/such_pattern").is_none());
     }
 
     #[test]
     fn security_patterns_carry_hints_and_graph_patterns_do_not() {
-        for figure in [Figure::Topologies, Figure::NotionalAttack, Figure::Posture, Figure::Ddos] {
+        for figure in [
+            Figure::Topologies,
+            Figure::NotionalAttack,
+            Figure::Posture,
+            Figure::Ddos,
+        ] {
             for p in patterns_for_figure(figure) {
                 assert!(p.hint.is_some(), "{} should carry a hint", p.id);
             }

@@ -63,7 +63,12 @@ pub fn classify_against(matrix: &TrafficMatrix, candidates: &[Pattern]) -> Class
         .find(|p| p.id == best_id)
         .map(|p| p.name.clone())
         .unwrap_or_default();
-    Classification { best_id, best_name, best_score, ranking }
+    Classification {
+        best_id,
+        best_name,
+        best_score,
+        ranking,
+    }
 }
 
 /// Classify a matrix against the full figure catalog.
@@ -81,18 +86,36 @@ mod tests {
     fn every_clean_pattern_classifies_as_itself() {
         for p in all_patterns() {
             let result = classify(&p.matrix);
-            assert_eq!(result.best_id, p.id, "clean {} must classify as itself", p.id);
+            assert_eq!(
+                result.best_id, p.id,
+                "clean {} must classify as itself",
+                p.id
+            );
             assert!((result.best_score - 1.0).abs() < 1e-9);
         }
     }
 
     #[test]
     fn noisy_patterns_still_classify_correctly_at_moderate_noise() {
-        let config = NoiseConfig { cell_probability: 0.05, max_packets: 1, seed: 3, ..NoiseConfig::default() };
-        for p in [ddos::attack(), attack::planning(), topology::internal_supernode(), graph_theory::star()] {
+        let config = NoiseConfig {
+            cell_probability: 0.05,
+            max_packets: 1,
+            seed: 3,
+            ..NoiseConfig::default()
+        };
+        for p in [
+            ddos::attack(),
+            attack::planning(),
+            topology::internal_supernode(),
+            graph_theory::star(),
+        ] {
             let noisy = add_background_noise(&p, &config);
             let result = classify(&noisy.matrix);
-            assert_eq!(result.best_id, p.id, "noisy {} misclassified as {}", p.id, result.best_id);
+            assert_eq!(
+                result.best_id, p.id,
+                "noisy {} misclassified as {}",
+                p.id, result.best_id
+            );
             assert!(result.best_score > 0.5);
         }
     }
@@ -126,7 +149,11 @@ mod tests {
         assert_eq!(result.ranking.len(), all_patterns().len());
         assert!(result.ranking.windows(2).all(|w| w[0].1 >= w[1].1));
         // The combined DDoS picture should rank a DDoS component highest.
-        assert!(result.best_id.starts_with("ddos/"), "best was {}", result.best_id);
+        assert!(
+            result.best_id.starts_with("ddos/"),
+            "best was {}",
+            result.best_id
+        );
     }
 
     #[test]

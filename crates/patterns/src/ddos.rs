@@ -108,7 +108,12 @@ pub fn backscatter() -> Pattern {
 
 /// All four panels of Fig. 9 in figure order.
 pub fn all() -> Vec<Pattern> {
-    vec![command_and_control(), botnet_clients(), attack(), backscatter()]
+    vec![
+        command_and_control(),
+        botnet_clients(),
+        attack(),
+        backscatter(),
+    ]
 }
 
 /// The combined DDoS picture (all components overlaid), which the paper
@@ -139,15 +144,23 @@ mod tests {
     fn c2_stays_in_red_space() {
         let p = command_and_control();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::IntraRed), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::IntraRed),
+            p.matrix.total_packets()
+        );
     }
 
     #[test]
     fn botnet_tasking_is_identical_per_client() {
         let p = botnet_clients();
-        let values: Vec<u32> =
-            BOTNET_CLIENTS.iter().map(|&c| p.matrix.get(C2_NODE, c).unwrap()).collect();
-        assert!(values.windows(2).all(|w| w[0] == w[1]), "tasking must be identical");
+        let values: Vec<u32> = BOTNET_CLIENTS
+            .iter()
+            .map(|&c| p.matrix.get(C2_NODE, c).unwrap())
+            .collect();
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "tasking must be identical"
+        );
         assert_eq!(p.matrix.nonzero_count(), BOTNET_CLIENTS.len());
     }
 
@@ -185,7 +198,12 @@ mod tests {
         let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["Command and Control (C2)", "Botnet Clients", "DDoS Attack", "Backscatter"]
+            vec![
+                "Command and Control (C2)",
+                "Botnet Clients",
+                "DDoS Attack",
+                "Backscatter"
+            ]
         );
     }
 }

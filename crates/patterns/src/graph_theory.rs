@@ -17,7 +17,10 @@ pub const GRAPH_DIMENSION: usize = 10;
 
 fn base() -> (TrafficMatrix, ColorMatrix) {
     let labels = LabelSet::numeric(GRAPH_DIMENSION);
-    (TrafficMatrix::zeros(labels), ColorMatrix::grey(GRAPH_DIMENSION))
+    (
+        TrafficMatrix::zeros(labels),
+        ColorMatrix::grey(GRAPH_DIMENSION),
+    )
 }
 
 fn pattern(id: &str, name: &str, explanation: &str, m: TrafficMatrix, c: ColorMatrix) -> Pattern {
@@ -105,7 +108,13 @@ pub fn mesh() -> Pattern {
             }
         }
     }
-    pattern("mesh", "Mesh", "Vertices arranged in a grid are connected to their horizontal and vertical neighbours.", m, c)
+    pattern(
+        "mesh",
+        "Mesh",
+        "Vertices arranged in a grid are connected to their horizontal and vertical neighbours.",
+        m,
+        c,
+    )
 }
 
 /// Fig. 10g — toroidal mesh: the mesh with wrap-around connections.
@@ -141,7 +150,13 @@ pub fn self_loop() -> Pattern {
     for v in 0..GRAPH_DIMENSION {
         m.set(v, v, 1).unwrap();
     }
-    pattern("self_loop", "Self Loop", "Each vertex has an edge to itself, filling the matrix diagonal.", m, c)
+    pattern(
+        "self_loop",
+        "Self Loop",
+        "Each vertex has an edge to itself, filling the matrix diagonal.",
+        m,
+        c,
+    )
 }
 
 /// Fig. 10i — triangle: a 3-cycle.

@@ -106,7 +106,11 @@ mod tests {
                 "matrix/color dimensions must agree for {}",
                 pattern.id
             );
-            assert!(pattern.matrix.total_packets() > 0, "{} has no traffic", pattern.id);
+            assert!(
+                pattern.matrix.total_packets() > 0,
+                "{} has no traffic",
+                pattern.id
+            );
             assert!(
                 pattern.matrix.max_value() < 15,
                 "{} exceeds the paper's 15-packet display guidance",

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let p = ddos::attack();
-        let config = NoiseConfig { seed: 7, ..NoiseConfig::default() };
+        let config = NoiseConfig {
+            seed: 7,
+            ..NoiseConfig::default()
+        };
         let a = add_background_noise(&p, &config);
         let b = add_background_noise(&p, &config);
         assert_eq!(a.matrix, b.matrix);
@@ -103,7 +106,11 @@ mod tests {
         let p = ddos::attack();
         let noisy = add_background_noise(
             &p,
-            &NoiseConfig { cell_probability: 0.3, seed: 1, ..NoiseConfig::default() },
+            &NoiseConfig {
+                cell_probability: 0.3,
+                seed: 1,
+                ..NoiseConfig::default()
+            },
         );
         // Every original non-zero cell keeps at least its original value.
         for (r, c, v) in p.matrix.iter_nonzero() {
@@ -118,7 +125,11 @@ mod tests {
         let p = ddos::backscatter();
         let (noisy, cells) = add_noise_to_matrix(
             &p.matrix,
-            &NoiseConfig { cell_probability: 0.0, seed: 3, ..NoiseConfig::default() },
+            &NoiseConfig {
+                cell_probability: 0.0,
+                seed: 3,
+                ..NoiseConfig::default()
+            },
         );
         assert_eq!(cells, 0);
         assert_eq!(noisy, p.matrix);
@@ -138,7 +149,10 @@ mod tests {
         for i in 0..noisy.dimension() {
             assert_eq!(noisy.get(i, i), Some(0), "diagonal must stay empty");
         }
-        let with_loops = NoiseConfig { allow_self_loops: true, ..config };
+        let with_loops = NoiseConfig {
+            allow_self_loops: true,
+            ..config
+        };
         let (noisy, _) = add_noise_to_matrix(&p.matrix, &with_loops);
         assert!((0..noisy.dimension()).any(|i| noisy.get(i, i).unwrap() > 0));
     }
@@ -157,6 +171,9 @@ mod tests {
         let n = p.matrix.dimension();
         let empty_off_diagonal = n * n - n - p.matrix.nonzero_count();
         assert_eq!(cells, empty_off_diagonal);
-        assert_eq!(noisy.nonzero_count(), p.matrix.nonzero_count() + empty_off_diagonal);
+        assert_eq!(
+            noisy.nonzero_count(),
+            p.matrix.nonzero_count() + empty_off_diagonal
+        );
     }
 }

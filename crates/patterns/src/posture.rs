@@ -107,7 +107,10 @@ mod tests {
     fn security_never_leaves_blue_space() {
         let p = security();
         let profile = MatrixProfile::of(&p.matrix);
-        assert_eq!(profile.packets_for(LinkClass::IntraBlue), p.matrix.total_packets());
+        assert_eq!(
+            profile.packets_for(LinkClass::IntraBlue),
+            p.matrix.total_packets()
+        );
         assert!(!profile.has_red_contact());
     }
 
@@ -116,8 +119,15 @@ mod tests {
         let p = defense();
         let profile = MatrixProfile::of(&p.matrix);
         assert!(profile.packets_for(LinkClass::BlueGreyBorder) > 0);
-        assert!(profile.packets_for(LinkClass::GreyRedContact) > 0, "community sensors observe the adversary");
-        assert_eq!(profile.packets_for(LinkClass::BlueRedContact), 0, "defense does not touch red space directly");
+        assert!(
+            profile.packets_for(LinkClass::GreyRedContact) > 0,
+            "community sensors observe the adversary"
+        );
+        assert_eq!(
+            profile.packets_for(LinkClass::BlueRedContact),
+            0,
+            "defense does not touch red space directly"
+        );
     }
 
     #[test]
@@ -141,6 +151,8 @@ mod tests {
         let t = MatrixProfile::of(&deterrence().matrix);
         assert!(!s.has_red_contact());
         assert!(d.has_red_contact());
-        assert!(t.packets_for(LinkClass::BlueRedContact) > d.packets_for(LinkClass::BlueRedContact));
+        assert!(
+            t.packets_for(LinkClass::BlueRedContact) > d.packets_for(LinkClass::BlueRedContact)
+        );
     }
 }

@@ -105,7 +105,12 @@ pub fn external_supernode() -> Pattern {
 
 /// All four panels of Fig. 6 in figure order.
 pub fn all() -> Vec<Pattern> {
-    vec![isolated_links(), single_links(), internal_supernode(), external_supernode()]
+    vec![
+        isolated_links(),
+        single_links(),
+        internal_supernode(),
+        external_supernode(),
+    ]
 }
 
 #[cfg(test)]
@@ -169,7 +174,12 @@ mod tests {
         let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["Isolated Links", "Single Links", "Internal Supernode", "External Supernode"]
+            vec![
+                "Isolated Links",
+                "Single Links",
+                "Internal Supernode",
+                "External Supernode"
+            ]
         );
     }
 

@@ -21,12 +21,18 @@ pub struct AssessmentDesign {
 impl AssessmentDesign {
     /// The paper's design: three options.
     pub fn three_option(question_count: usize) -> Self {
-        AssessmentDesign { options_per_question: 3, question_count }
+        AssessmentDesign {
+            options_per_question: 3,
+            question_count,
+        }
     }
 
     /// The conventional alternative: four options.
     pub fn four_option(question_count: usize) -> Self {
-        AssessmentDesign { options_per_question: 4, question_count }
+        AssessmentDesign {
+            options_per_question: 4,
+            question_count,
+        }
     }
 
     /// Probability of answering one question correctly by pure guessing.
@@ -95,7 +101,13 @@ impl AssessmentStats {
         let variance = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
         let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Some(AssessmentStats { count, mean, stddev: variance.sqrt(), min, max })
+        Some(AssessmentStats {
+            count,
+            mean,
+            stddev: variance.sqrt(),
+            min,
+            max,
+        })
     }
 }
 

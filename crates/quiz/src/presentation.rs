@@ -104,8 +104,9 @@ mod tests {
         assert_eq!(a, b);
         // Across many seeds the correct answer must not always land first:
         // that is the whole point of shuffling.
-        let first_positions: Vec<usize> =
-            (0..32).map(|s| PresentedQuestion::present(&q, ShuffleSeed(s)).correct_index).collect();
+        let first_positions: Vec<usize> = (0..32)
+            .map(|s| PresentedQuestion::present(&q, ShuffleSeed(s)).correct_index)
+            .collect();
         assert!(first_positions.iter().any(|&i| i != 0));
         assert!(first_positions.contains(&0));
     }

@@ -52,13 +52,18 @@ impl QuizSession {
     pub fn current_question(&self) -> Option<PresentedQuestion> {
         let module = self.current_module()?;
         let question = module.question.as_ref()?;
-        Some(PresentedQuestion::present(question, ShuffleSeed(self.module_seed(self.cursor))))
+        Some(PresentedQuestion::present(
+            question,
+            ShuffleSeed(self.module_seed(self.cursor)),
+        ))
     }
 
     fn module_seed(&self, index: usize) -> u64 {
         // Mix the session seed with the module index so each module gets a
         // different but reproducible shuffle.
-        self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index as u64)
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64)
     }
 
     /// Answer the current module's question by display index and advance.

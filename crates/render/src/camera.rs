@@ -34,7 +34,9 @@ impl Camera {
             target: [extent / 2.0, 0.0, extent / 2.0],
             // Looking straight down, so "up" on screen maps to -z (row 0 at the top).
             up: [0.0, 0.0, -1.0],
-            projection: Projection::Orthographic { half_extent: extent * 0.55 },
+            projection: Projection::Orthographic {
+                half_extent: extent * 0.55,
+            },
         }
     }
 
@@ -53,7 +55,9 @@ impl Camera {
             eye,
             target: centre,
             up: [0.0, 1.0, 0.0],
-            projection: Projection::Perspective { fov_y: 50f64.to_radians() },
+            projection: Projection::Perspective {
+                fov_y: 50f64.to_radians(),
+            },
         }
     }
 
@@ -86,7 +90,10 @@ impl Camera {
                     return None;
                 }
                 let scale = 1.0 / (fov_y / 2.0).tan();
-                Some(([view[0] * scale / view[2], view[1] * scale / view[2]], view[2]))
+                Some((
+                    [view[0] * scale / view[2], view[1] * scale / view[2]],
+                    view[2],
+                ))
             }
         }
     }
@@ -105,7 +112,11 @@ pub(crate) fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
 }
 
 pub(crate) fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
-    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
 }
 
 pub(crate) fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
@@ -179,6 +190,9 @@ mod tests {
         let cam = Camera::top_down(10.0);
         let high = cam.view_transform([5.0, 5.0, 5.0]);
         let low = cam.view_transform([5.0, 0.0, 5.0]);
-        assert!(low[2] > high[2], "points farther below the camera have larger depth");
+        assert!(
+            low[2] > high[2],
+            "points farther below the camera have larger depth"
+        );
     }
 }

@@ -138,7 +138,15 @@ impl Framebuffer {
                         count += 1;
                     }
                 }
-                out.set_pixel_flat(x, y, [acc[0] / count as f64, acc[1] / count as f64, acc[2] / count as f64]);
+                out.set_pixel_flat(
+                    x,
+                    y,
+                    [
+                        acc[0] / count as f64,
+                        acc[1] / count as f64,
+                        acc[2] / count as f64,
+                    ],
+                );
             }
         }
         out
@@ -153,8 +161,14 @@ mod tests {
     fn depth_test() {
         let mut fb = Framebuffer::new(4, 4);
         assert!(fb.set_pixel(1, 1, 5.0, [1.0, 0.0, 0.0]));
-        assert!(!fb.set_pixel(1, 1, 6.0, [0.0, 1.0, 0.0]), "farther fragment must be rejected");
-        assert!(fb.set_pixel(1, 1, 2.0, [0.0, 0.0, 1.0]), "closer fragment must win");
+        assert!(
+            !fb.set_pixel(1, 1, 6.0, [0.0, 1.0, 0.0]),
+            "farther fragment must be rejected"
+        );
+        assert!(
+            fb.set_pixel(1, 1, 2.0, [0.0, 0.0, 1.0]),
+            "closer fragment must win"
+        );
         assert_eq!(fb.pixel(1, 1), [0.0, 0.0, 1.0]);
         assert_eq!(fb.depth_at(1, 1), 2.0);
         assert_eq!(fb.covered_pixels(), 1);

@@ -65,7 +65,11 @@ mod tests {
     #[test]
     fn counts_below_the_paper_limit_are_fully_legible() {
         for count in 0..=DISPLAY_LIMIT {
-            assert_eq!(legibility_score(count), 1.0, "count {count} should be fully legible");
+            assert_eq!(
+                legibility_score(count),
+                1.0,
+                "count {count} should be fully legible"
+            );
         }
     }
 
@@ -73,7 +77,10 @@ mod tests {
     fn counts_above_the_footprint_lose_legibility_monotonically() {
         let scores: Vec<f64> = (17..40).map(legibility_score).collect();
         assert!(scores[0] < 1.0);
-        assert!(scores.windows(2).all(|w| w[1] <= w[0]), "legibility must not increase with count");
+        assert!(
+            scores.windows(2).all(|w| w[1] <= w[0]),
+            "legibility must not increase with count"
+        );
         assert!((legibility_score(32) - 0.5).abs() < 1e-12);
     }
 

@@ -36,13 +36,37 @@ pub fn draw_triangle(
     let l = normalize(LIGHT_DIR);
     let diffuse = dot(n, l).max(0.0);
     let intensity = (AMBIENT + (1.0 - AMBIENT) * diffuse).min(1.0);
-    let shaded = [color[0] * intensity, color[1] * intensity, color[2] * intensity];
+    let shaded = [
+        color[0] * intensity,
+        color[1] * intensity,
+        color[2] * intensity,
+    ];
 
     // Bounding box clipped to the framebuffer.
-    let min_x = projected.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_x = projected.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max).ceil().min((fb.width() - 1) as f64) as usize;
-    let min_y = projected.iter().map(|p| p[1]).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_y = projected.iter().map(|p| p[1]).fold(f64::NEG_INFINITY, f64::max).ceil().min((fb.height() - 1) as f64) as usize;
+    let min_x = projected
+        .iter()
+        .map(|p| p[0])
+        .fold(f64::INFINITY, f64::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_x = projected
+        .iter()
+        .map(|p| p[0])
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil()
+        .min((fb.width() - 1) as f64) as usize;
+    let min_y = projected
+        .iter()
+        .map(|p| p[1])
+        .fold(f64::INFINITY, f64::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_y = projected
+        .iter()
+        .map(|p| p[1])
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil()
+        .min((fb.height() - 1) as f64) as usize;
     if min_x > max_x || min_y > max_y {
         return;
     }
@@ -59,7 +83,8 @@ pub fn draw_triangle(
             let w1 = edge(projected[2], projected[0], p) / area;
             let w2 = edge(projected[0], projected[1], p) / area;
             // Accept both windings so callers need not back-face cull.
-            let inside = (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+            let inside =
+                (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
             if inside {
                 let depth = w0 * depths[0] + w1 * depths[1] + w2 * depths[2];
                 fb.set_pixel(x, y, depth, shaded);
@@ -101,10 +126,12 @@ mod tests {
             [0.0, 1.0, 0.0],
             [1.0, 0.0, 0.0],
         );
-        let has_red = (0..32).any(|y| (0..32).any(|x| {
-            let p = fb.pixel(x, y);
-            p[0] > 0.3 && p[1] < 0.2
-        }));
+        let has_red = (0..32).any(|y| {
+            (0..32).any(|x| {
+                let p = fb.pixel(x, y);
+                p[0] > 0.3 && p[1] < 0.2
+            })
+        });
         assert!(has_red, "the elevated triangle must be visible");
     }
 
@@ -113,11 +140,23 @@ mod tests {
         let cam = Camera::orbit(10.0, 0.0);
         let mut fb = Framebuffer::new(16, 16);
         // Degenerate (zero area).
-        draw_triangle(&mut fb, &cam, [[1.0, 0.0, 1.0]; 3], [0.0, 1.0, 0.0], [1.0; 3]);
+        draw_triangle(
+            &mut fb,
+            &cam,
+            [[1.0, 0.0, 1.0]; 3],
+            [0.0, 1.0, 0.0],
+            [1.0; 3],
+        );
         assert_eq!(fb.covered_pixels(), 0);
         // Behind the camera.
         let behind = [cam.eye[0] + 50.0, cam.eye[1], cam.eye[2]];
-        draw_triangle(&mut fb, &cam, [behind, behind, behind], [0.0, 1.0, 0.0], [1.0; 3]);
+        draw_triangle(
+            &mut fb,
+            &cam,
+            [behind, behind, behind],
+            [0.0, 1.0, 0.0],
+            [1.0; 3],
+        );
         assert_eq!(fb.covered_pixels(), 0);
     }
 

@@ -19,7 +19,11 @@ pub struct PlacedMesh {
 impl PlacedMesh {
     /// Place a voxel grid's mesh at a translation with a uniform scale.
     pub fn from_grid(grid: &VoxelGrid, translation: [f64; 3], scale: f64) -> Self {
-        PlacedMesh { mesh: greedy_mesh(grid), translation, scale }
+        PlacedMesh {
+            mesh: greedy_mesh(grid),
+            translation,
+            scale,
+        }
     }
 }
 
@@ -60,7 +64,13 @@ impl RenderScene {
                     ]
                 });
                 let material = Palette::color(tri.color);
-                draw_triangle(fb, camera, transformed, tri.normal, [material.r, material.g, material.b]);
+                draw_triangle(
+                    fb,
+                    camera,
+                    transformed,
+                    tri.normal,
+                    [material.r, material.g, material.b],
+                );
             }
         }
     }
@@ -74,7 +84,11 @@ mod tests {
     #[test]
     fn placed_meshes_render_into_the_buffer() {
         let mut scene = RenderScene::new();
-        scene.add(PlacedMesh::from_grid(&pallet_asset(tw_voxel::palette::ACCENT_BLUE), [0.0, 0.0, 0.0], 0.1));
+        scene.add(PlacedMesh::from_grid(
+            &pallet_asset(tw_voxel::palette::ACCENT_BLUE),
+            [0.0, 0.0, 0.0],
+            0.1,
+        ));
         scene.add(PlacedMesh::from_grid(&box_asset(), [0.2, 0.3, 0.2], 0.1));
         assert!(scene.triangle_count() > 12);
 
@@ -93,7 +107,11 @@ mod tests {
         let mut b = Framebuffer::new(32, 32);
         scene.render(&Camera::orbit_steps(4.0, 0), &mut a);
         scene.render(&Camera::orbit_steps(4.0, 3), &mut b);
-        assert_ne!(a.to_ascii(), b.to_ascii(), "Q/E rotation must change the view");
+        assert_ne!(
+            a.to_ascii(),
+            b.to_ascii(),
+            "Q/E rotation must change the view"
+        );
     }
 
     #[test]

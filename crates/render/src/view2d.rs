@@ -26,7 +26,9 @@ pub fn render_matrix_2d(matrix: &TrafficMatrix, colors: Option<&ColorMatrix>) ->
     for row in 0..n {
         for col in 0..n {
             let value = matrix.get(row, col).unwrap_or(0) as f64;
-            let cell_color = colors.and_then(|c| c.get(row, col)).unwrap_or(CellColor::Grey);
+            let cell_color = colors
+                .and_then(|c| c.get(row, col))
+                .unwrap_or(CellColor::Grey);
             let base = match cell_color {
                 CellColor::Grey => [0.72, 0.72, 0.72],
                 CellColor::Blue => [0.25, 0.45, 0.9],
@@ -34,8 +36,16 @@ pub fn render_matrix_2d(matrix: &TrafficMatrix, colors: Option<&ColorMatrix>) ->
             };
             // Empty cells show a faint tint of the plane color; filled cells
             // brighten with the packet count.
-            let intensity = if value == 0.0 { 0.12 } else { 0.35 + 0.65 * (value / max_value) };
-            let rgb = [base[0] * intensity, base[1] * intensity, base[2] * intensity];
+            let intensity = if value == 0.0 {
+                0.12
+            } else {
+                0.35 + 0.65 * (value / max_value)
+            };
+            let rgb = [
+                base[0] * intensity,
+                base[1] * intensity,
+                base[2] * intensity,
+            ];
             fill_cell(&mut fb, row, col, rgb);
         }
     }
@@ -108,7 +118,10 @@ mod tests {
         let heavier = cell_brightness(&fb, 0, 9);
         let empty = cell_brightness(&fb, 0, 5);
         assert!(filled > empty, "filled {filled} vs empty {empty}");
-        assert!(heavier > filled, "2-packet cell must be brighter than 1-packet cell");
+        assert!(
+            heavier > filled,
+            "2-packet cell must be brighter than 1-packet cell"
+        );
     }
 
     #[test]

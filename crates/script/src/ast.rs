@@ -73,13 +73,27 @@ pub enum Stmt {
     /// `var name = expr` (local declaration).
     VarDecl { name: String, init: Option<Expr> },
     /// `target = expr`, `target += expr`, `target -= expr`.
-    Assign { target: Expr, op: AssignOp, value: Expr },
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+    },
     /// `if cond: … elif …: … else: …`
-    If { branches: Vec<(Expr, Vec<Stmt>)>, else_body: Vec<Stmt> },
+    If {
+        branches: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Vec<Stmt>,
+    },
     /// `for var in iterable: body`
-    For { var: String, iterable: Expr, body: Vec<Stmt> },
+    For {
+        var: String,
+        iterable: Expr,
+        body: Vec<Stmt>,
+    },
     /// `match expr:` with literal or `_` arms.
-    Match { subject: Expr, arms: Vec<(MatchPattern, Vec<Stmt>)> },
+    Match {
+        subject: Expr,
+        arms: Vec<(MatchPattern, Vec<Stmt>)>,
+    },
     /// `return expr?`
     Return(Option<Expr>),
     /// `pass`

@@ -73,7 +73,13 @@ impl Interpreter {
         for (name, value) in exported_values {
             globals.insert((*name).to_string(), value.clone());
         }
-        Ok(Interpreter { script, node, globals, output: Vec::new(), errors: Vec::new() })
+        Ok(Interpreter {
+            script,
+            node,
+            globals,
+            output: Vec::new(),
+            errors: Vec::new(),
+        })
     }
 
     /// Read a script global (useful for assertions after a run).
@@ -86,7 +92,13 @@ impl Interpreter {
     pub fn ready(&mut self, tree: &mut SceneTree) -> RunResult<()> {
         let variables = self.script.variables.clone();
         for var in &variables {
-            if var.exported && self.globals.get(&var.name).map(|v| *v != Variant::Nil).unwrap_or(false) {
+            if var.exported
+                && self
+                    .globals
+                    .get(&var.name)
+                    .map(|v| *v != Variant::Nil)
+                    .unwrap_or(false)
+            {
                 // Keep the Inspector-assigned value.
                 continue;
             }
@@ -189,7 +201,10 @@ impl Interpreter {
                 self.assign(target, final_value, tree, frame)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { branches, else_body } => {
+            Stmt::If {
+                branches,
+                else_body,
+            } => {
                 for (cond, body) in branches {
                     if self.eval(cond, tree, frame)?.truthy() {
                         return self.exec_block(body, tree, frame);
@@ -197,7 +212,11 @@ impl Interpreter {
                 }
                 self.exec_block(else_body, tree, frame)
             }
-            Stmt::For { var, iterable, body } => {
+            Stmt::For {
+                var,
+                iterable,
+                body,
+            } => {
                 let items = match self.eval(iterable, tree, frame)? {
                     Variant::Array(items) => items,
                     Variant::Str(s) => s.chars().map(|c| Variant::Str(c.to_string())).collect(),
@@ -264,7 +283,9 @@ impl Interpreter {
                     ))),
                 }
             }
-            other => Err(ScriptError::Runtime(format!("invalid assignment target {other:?}"))),
+            other => Err(ScriptError::Runtime(format!(
+                "invalid assignment target {other:?}"
+            ))),
         }
     }
 
@@ -306,14 +327,16 @@ impl Interpreter {
                 let base = self.eval(base, tree, frame)?;
                 let index = self.eval(index, tree, frame)?;
                 match (&base, &index) {
-                    (Variant::Array(items), Variant::Int(i)) => items
-                        .get(*i as usize)
-                        .cloned()
-                        .ok_or_else(|| ScriptError::Runtime(format!("array index {i} out of range"))),
-                    (Variant::Dict(map), Variant::Str(key)) => map
-                        .get(key)
-                        .cloned()
-                        .ok_or_else(|| ScriptError::Runtime(format!("dictionary key {key:?} not found"))),
+                    (Variant::Array(items), Variant::Int(i)) => {
+                        items.get(*i as usize).cloned().ok_or_else(|| {
+                            ScriptError::Runtime(format!("array index {i} out of range"))
+                        })
+                    }
+                    (Variant::Dict(map), Variant::Str(key)) => {
+                        map.get(key).cloned().ok_or_else(|| {
+                            ScriptError::Runtime(format!("dictionary key {key:?} not found"))
+                        })
+                    }
                     _ => Err(ScriptError::Runtime(format!(
                         "cannot index a {} value with a {}",
                         base.type_name(),
@@ -337,7 +360,10 @@ impl Interpreter {
                 match value {
                     Variant::Int(i) => Ok(Variant::Int(-i)),
                     Variant::Float(f) => Ok(Variant::Float(-f)),
-                    other => Err(ScriptError::Runtime(format!("cannot negate a {}", other.type_name()))),
+                    other => Err(ScriptError::Runtime(format!(
+                        "cannot negate a {}",
+                        other.type_name()
+                    ))),
                 }
             }
             Expr::Binary(op, left, right) => {
@@ -384,32 +410,48 @@ impl Interpreter {
     ) -> RunResult<Variant> {
         match name {
             "print" => {
-                self.output.push(args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(""));
+                self.output.push(
+                    args.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(""),
+                );
                 Ok(Variant::Nil)
             }
             "printerr" => {
-                self.errors.push(args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(""));
+                self.errors.push(
+                    args.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(""),
+                );
                 Ok(Variant::Nil)
             }
             "len" => match args.first() {
                 Some(Variant::Array(items)) => Ok(Variant::Int(items.len() as i64)),
                 Some(Variant::Str(s)) => Ok(Variant::Int(s.chars().count() as i64)),
                 Some(Variant::Dict(map)) => Ok(Variant::Int(map.len() as i64)),
-                other => Err(ScriptError::Runtime(format!("len() of unsupported value {other:?}"))),
+                other => Err(ScriptError::Runtime(format!(
+                    "len() of unsupported value {other:?}"
+                ))),
             },
-            "str" => Ok(Variant::Str(args.first().map(|v| v.to_string()).unwrap_or_default())),
+            "str" => Ok(Variant::Str(
+                args.first().map(|v| v.to_string()).unwrap_or_default(),
+            )),
             "int" => match args.first() {
                 Some(Variant::Int(i)) => Ok(Variant::Int(*i)),
                 Some(Variant::Float(f)) => Ok(Variant::Int(*f as i64)),
                 Some(Variant::Bool(b)) => Ok(Variant::Int(*b as i64)),
                 Some(Variant::Str(s)) => Ok(Variant::Int(s.trim().parse().unwrap_or(0))),
-                other => Err(ScriptError::Runtime(format!("int() of unsupported value {other:?}"))),
+                other => Err(ScriptError::Runtime(format!(
+                    "int() of unsupported value {other:?}"
+                ))),
             },
             "range" => match args.first() {
-                Some(Variant::Int(n)) => {
-                    Ok(Variant::Array((0..*n).map(Variant::Int).collect()))
-                }
-                other => Err(ScriptError::Runtime(format!("range() needs an int, got {other:?}"))),
+                Some(Variant::Int(n)) => Ok(Variant::Array((0..*n).map(Variant::Int).collect())),
+                other => Err(ScriptError::Runtime(format!(
+                    "range() needs an int, got {other:?}"
+                ))),
             },
             "preload" => match args.first() {
                 Some(Variant::Str(path)) => {
@@ -423,7 +465,9 @@ impl Interpreter {
                         .to_string();
                     Ok(Variant::Str(stem))
                 }
-                other => Err(ScriptError::Runtime(format!("preload() needs a path string, got {other:?}"))),
+                other => Err(ScriptError::Runtime(format!(
+                    "preload() needs a path string, got {other:?}"
+                ))),
             },
             _ => {
                 if self.script.function(name).is_some() {
@@ -450,33 +494,43 @@ impl Interpreter {
                         let children = tree
                             .children(id)
                             .map_err(|e| ScriptError::Runtime(e.to_string()))?;
-                        Ok(Variant::Array(children.into_iter().map(|c| Variant::NodeRef(c.0)).collect()))
+                        Ok(Variant::Array(
+                            children
+                                .into_iter()
+                                .map(|c| Variant::NodeRef(c.0))
+                                .collect(),
+                        ))
                     }
                     "get_child" => {
-                        let index = args
-                            .first()
-                            .and_then(Variant::as_int)
-                            .ok_or_else(|| ScriptError::Runtime("get_child() needs an index".to_string()))?;
+                        let index = args.first().and_then(Variant::as_int).ok_or_else(|| {
+                            ScriptError::Runtime("get_child() needs an index".to_string())
+                        })?;
                         let children = tree
                             .children(id)
                             .map_err(|e| ScriptError::Runtime(e.to_string()))?;
                         children
                             .get(index as usize)
                             .map(|c| Variant::NodeRef(c.0))
-                            .ok_or_else(|| ScriptError::Runtime(format!("child index {index} out of range")))
+                            .ok_or_else(|| {
+                                ScriptError::Runtime(format!("child index {index} out of range"))
+                            })
                     }
                     "get_node" => {
                         let path = args
                             .first()
                             .and_then(Variant::as_str)
-                            .ok_or_else(|| ScriptError::Runtime("get_node() needs a path".to_string()))?
+                            .ok_or_else(|| {
+                                ScriptError::Runtime("get_node() needs a path".to_string())
+                            })?
                             .to_string();
                         let found = tree
                             .get_node(id, &path)
                             .map_err(|e| ScriptError::Runtime(e.to_string()))?;
                         Ok(Variant::NodeRef(found.0))
                     }
-                    other => Err(ScriptError::Runtime(format!("unknown node method {other:?}"))),
+                    other => Err(ScriptError::Runtime(format!(
+                        "unknown node method {other:?}"
+                    ))),
                 }
             }
             Variant::Array(items) => match method {
@@ -484,7 +538,9 @@ impl Interpreter {
                 "append" => Err(ScriptError::Runtime(
                     "append() on a temporary array has no effect; use += instead".to_string(),
                 )),
-                other => Err(ScriptError::Runtime(format!("unknown array method {other:?}"))),
+                other => Err(ScriptError::Runtime(format!(
+                    "unknown array method {other:?}"
+                ))),
             },
             other => Err(ScriptError::Runtime(format!(
                 "cannot call method {method:?} on a {} value",
@@ -498,13 +554,17 @@ impl Interpreter {
     /// (how the controller script reads the pre-loaded module file from the
     /// `Data` node).
     fn node_attribute(&self, tree: &SceneTree, id: NodeId, attr: &str) -> RunResult<Variant> {
-        let node = tree.node(id).map_err(|e| ScriptError::Runtime(e.to_string()))?;
+        let node = tree
+            .node(id)
+            .map_err(|e| ScriptError::Runtime(e.to_string()))?;
         if let Some(value) = node.get(attr) {
             return Ok(value.clone());
         }
         if attr == "data" {
-            let map: BTreeMap<String, Variant> =
-                node.properties().map(|(k, v)| (k.to_string(), v.clone())).collect();
+            let map: BTreeMap<String, Variant> = node
+                .properties()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect();
             return Ok(Variant::Dict(map));
         }
         if attr == "name" {
@@ -530,7 +590,8 @@ fn numeric_op(a: &Variant, b: &Variant, op: impl Fn(f64, f64) -> f64) -> RunResu
     match (a.as_float(), b.as_float()) {
         (Some(x), Some(y)) => {
             let result = op(x, y);
-            if matches!(a, Variant::Int(_)) && matches!(b, Variant::Int(_)) && result.fract() == 0.0 {
+            if matches!(a, Variant::Int(_)) && matches!(b, Variant::Int(_)) && result.fract() == 0.0
+            {
                 Ok(Variant::Int(result as i64))
             } else {
                 Ok(Variant::Float(result))
@@ -590,7 +651,9 @@ mod tests {
 
     fn bare_tree() -> (SceneTree, NodeId) {
         let mut tree = SceneTree::new("Root");
-        let node = tree.spawn(tree.root(), "ScriptHost", NodeKind::Node3D).unwrap();
+        let node = tree
+            .spawn(tree.root(), "ScriptHost", NodeKind::Node3D)
+            .unwrap();
         (tree, node)
     }
 
@@ -649,8 +712,14 @@ func _ready():
 
         let mut interp = Interpreter::attach(src, host, &[]).unwrap();
         interp.ready(&mut tree).unwrap();
-        assert_eq!(tree.node(a).unwrap().get("text").unwrap().as_str(), Some("hello 2"));
-        assert_eq!(tree.node(b).unwrap().get("text").unwrap().as_str(), Some("Traffic 101"));
+        assert_eq!(
+            tree.node(a).unwrap().get("text").unwrap().as_str(),
+            Some("hello 2")
+        );
+        assert_eq!(
+            tree.node(b).unwrap().get("text").unwrap().as_str(),
+            Some("Traffic 101")
+        );
     }
 
     #[test]
@@ -669,16 +738,34 @@ func classify(code):
         let (mut tree, node) = bare_tree();
         let mut interp = Interpreter::attach(src, node, &[]).unwrap();
         interp.ready(&mut tree).unwrap();
-        assert_eq!(interp.call_function("classify", &[Variant::Int(2)], &mut tree).unwrap(), Variant::Str("red".into()));
-        assert_eq!(interp.call_function("classify", &[Variant::Int(9)], &mut tree).unwrap(), Variant::Str("unknown".into()));
-        assert_eq!(interp.call_function("classify", &[Variant::Float(1.0)], &mut tree).unwrap(), Variant::Str("blue".into()));
+        assert_eq!(
+            interp
+                .call_function("classify", &[Variant::Int(2)], &mut tree)
+                .unwrap(),
+            Variant::Str("red".into())
+        );
+        assert_eq!(
+            interp
+                .call_function("classify", &[Variant::Int(9)], &mut tree)
+                .unwrap(),
+            Variant::Str("unknown".into())
+        );
+        assert_eq!(
+            interp
+                .call_function("classify", &[Variant::Float(1.0)], &mut tree)
+                .unwrap(),
+            Variant::Str("blue".into())
+        );
     }
 
     #[test]
     fn runtime_errors_are_reported_not_panicked() {
         let (mut tree, node) = bare_tree();
         let cases = [
-            ("func _ready():\n\tundefined_var += 1\n", "undefined variable"),
+            (
+                "func _ready():\n\tundefined_var += 1\n",
+                "undefined variable",
+            ),
             ("func _ready():\n\tvar x = [1][5]\n", "out of range"),
             ("func _ready():\n\tvar x = 1 / 0\n", "division by zero"),
             ("func _ready():\n\tvar x = $\"../Missing\"\n", "not found"),

@@ -88,7 +88,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Dedent);
             }
             if *indent_stack.last().expect("stack never empty") != indent {
-                return Err(LexError { line: line_no, message: "inconsistent indentation".to_string() });
+                return Err(LexError {
+                    line: line_no,
+                    message: "inconsistent indentation".to_string(),
+                });
             }
         }
         tokenize_line(line.trim_start(), line_no, &mut tokens)?;
@@ -140,7 +143,10 @@ fn tokenize_line(line: &str, line_no: usize, tokens: &mut Vec<Token>) -> Result<
                                 Some('\\') => s.push('\\'),
                                 Some(other) => s.push(*other),
                                 None => {
-                                    return Err(LexError { line: line_no, message: "unterminated escape".into() })
+                                    return Err(LexError {
+                                        line: line_no,
+                                        message: "unterminated escape".into(),
+                                    })
                                 }
                             }
                             i += 2;
@@ -150,7 +156,10 @@ fn tokenize_line(line: &str, line_no: usize, tokens: &mut Vec<Token>) -> Result<
                             i += 1;
                         }
                         None => {
-                            return Err(LexError { line: line_no, message: "unterminated string".into() })
+                            return Err(LexError {
+                                line: line_no,
+                                message: "unterminated string".into(),
+                            })
                         }
                     }
                 }
@@ -262,7 +271,13 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let tokens = tokenize("# header\n\nvar x = 1 # trailing\n").unwrap();
-        assert_eq!(tokens.iter().filter(|t| matches!(t, Token::Newline)).count(), 1);
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| matches!(t, Token::Newline))
+                .count(),
+            1
+        );
         assert!(!tokens.iter().any(|t| matches!(t, Token::Str(_))));
     }
 

@@ -107,7 +107,10 @@ mod tests {
         let script = parse_script(PALLET_CONTROLLER_GDSCRIPT).unwrap();
         assert_eq!(script.extends.as_deref(), Some("Node3D"));
         assert_eq!(script.functions.len(), 3);
-        assert!(script.functions.iter().any(|f| f.name == "change_pallet_color"));
+        assert!(script
+            .functions
+            .iter()
+            .any(|f| f.name == "change_pallet_color"));
         assert_eq!(script.variables.iter().filter(|v| v.exported).count(), 4);
         assert_eq!(script.variables.iter().filter(|v| v.onready).count(), 2);
     }

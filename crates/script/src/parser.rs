@@ -21,7 +21,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -61,7 +63,9 @@ impl Parser {
         if self.eat_symbol(symbol) {
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected {symbol:?}, found {}", self.peek()) })
+            Err(ParseError {
+                message: format!("expected {symbol:?}, found {}", self.peek()),
+            })
         }
     }
 
@@ -77,7 +81,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Token::Ident(s) => Ok(s),
-            other => Err(ParseError { message: format!("expected an identifier, found {other}") }),
+            other => Err(ParseError {
+                message: format!("expected an identifier, found {other}"),
+            }),
         }
     }
 
@@ -105,7 +111,9 @@ impl Parser {
                         "export" => decl.exported = true,
                         "onready" => decl.onready = true,
                         other => {
-                            return Err(ParseError { message: format!("unknown annotation @{other}") })
+                            return Err(ParseError {
+                                message: format!("unknown annotation @{other}"),
+                            })
                         }
                     }
                     script.variables.push(decl);
@@ -118,7 +126,9 @@ impl Parser {
                     script.functions.push(self.parse_func()?);
                 }
                 other => {
-                    return Err(ParseError { message: format!("unexpected top-level token {other}") })
+                    return Err(ParseError {
+                        message: format!("unexpected top-level token {other}"),
+                    })
                 }
             }
         }
@@ -129,21 +139,35 @@ impl Parser {
     /// already been consumed by the caller).
     fn parse_var_decl(&mut self) -> Result<VarDecl, ParseError> {
         if !self.eat_ident("var") {
-            return Err(ParseError { message: format!("expected 'var', found {}", self.peek()) });
+            return Err(ParseError {
+                message: format!("expected 'var', found {}", self.peek()),
+            });
         }
         let name = self.expect_ident()?;
-        let type_annotation = if self.eat_symbol(":") { Some(self.expect_ident()?) } else { None };
+        let type_annotation = if self.eat_symbol(":") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
         let init = if self.eat_symbol("=") || self.eat_symbol(":=") {
             Some(self.parse_expr()?)
         } else {
             None
         };
-        Ok(VarDecl { name, exported: false, onready: false, type_annotation, init })
+        Ok(VarDecl {
+            name,
+            exported: false,
+            onready: false,
+            type_annotation,
+            init,
+        })
     }
 
     fn parse_func(&mut self) -> Result<FuncDecl, ParseError> {
         if !self.eat_ident("func") {
-            return Err(ParseError { message: "expected 'func'".to_string() });
+            return Err(ParseError {
+                message: "expected 'func'".to_string(),
+            });
         }
         let name = self.expect_ident()?;
         self.expect_symbol("(")?;
@@ -154,7 +178,9 @@ impl Parser {
                 self.expect_ident()?; // parameter type annotation
             }
             if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol(")")) {
-                return Err(ParseError { message: "expected ',' or ')' in parameter list".to_string() });
+                return Err(ParseError {
+                    message: "expected ',' or ')' in parameter list".to_string(),
+                });
             }
         }
         self.expect_symbol(":")?;
@@ -166,7 +192,9 @@ impl Parser {
     fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
         self.skip_newlines();
         if !matches!(self.peek(), Token::Indent) {
-            return Err(ParseError { message: format!("expected an indented block, found {}", self.peek()) });
+            return Err(ParseError {
+                message: format!("expected an indented block, found {}", self.peek()),
+            });
         }
         self.pos += 1;
         let mut body = Vec::new();
@@ -198,7 +226,10 @@ impl Parser {
         match self.peek().clone() {
             Token::Ident(word) if word == "var" => {
                 let decl = self.parse_var_decl()?;
-                Ok(Stmt::VarDecl { name: decl.name, init: decl.init })
+                Ok(Stmt::VarDecl {
+                    name: decl.name,
+                    init: decl.init,
+                })
             }
             Token::Ident(word) if word == "pass" => {
                 self.pos += 1;
@@ -217,12 +248,18 @@ impl Parser {
                 self.pos += 1;
                 let var = self.expect_ident()?;
                 if !self.eat_ident("in") {
-                    return Err(ParseError { message: "expected 'in' in for loop".to_string() });
+                    return Err(ParseError {
+                        message: "expected 'in' in for loop".to_string(),
+                    });
                 }
                 let iterable = self.parse_expr()?;
                 self.expect_symbol(":")?;
                 let body = self.parse_block_or_inline()?;
-                Ok(Stmt::For { var, iterable, body })
+                Ok(Stmt::For {
+                    var,
+                    iterable,
+                    body,
+                })
             }
             Token::Ident(word) if word == "match" => {
                 self.pos += 1;
@@ -230,7 +267,9 @@ impl Parser {
                 self.expect_symbol(":")?;
                 self.skip_newlines();
                 if !matches!(self.peek(), Token::Indent) {
-                    return Err(ParseError { message: "expected indented match arms".to_string() });
+                    return Err(ParseError {
+                        message: "expected indented match arms".to_string(),
+                    });
                 }
                 self.pos += 1;
                 let mut arms = Vec::new();
@@ -272,7 +311,11 @@ impl Parser {
                 match op {
                     Some(op) => {
                         let value = self.parse_expr()?;
-                        Ok(Stmt::Assign { target: expr, op, value })
+                        Ok(Stmt::Assign {
+                            target: expr,
+                            op,
+                            value,
+                        })
                     }
                     None => Ok(Stmt::Expr(expr)),
                 }
@@ -305,7 +348,10 @@ impl Parser {
                 break;
             }
         }
-        Ok(Stmt::If { branches, else_body })
+        Ok(Stmt::If {
+            branches,
+            else_body,
+        })
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
@@ -414,7 +460,9 @@ impl Parser {
                 while !self.eat_symbol(")") {
                     args.push(self.parse_expr()?);
                     if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol(")")) {
-                        return Err(ParseError { message: "expected ',' or ')' in call".to_string() });
+                        return Err(ParseError {
+                            message: "expected ',' or ')' in call".to_string(),
+                        });
                     }
                 }
                 expr = Expr::Call(Box::new(expr), args);
@@ -439,7 +487,9 @@ impl Parser {
             Token::Symbol("$") => match self.bump() {
                 Token::Str(path) => Ok(Expr::NodePath(path)),
                 Token::Ident(name) => Ok(Expr::NodePath(name)),
-                other => Err(ParseError { message: format!("expected a node path after '$', found {other}") }),
+                other => Err(ParseError {
+                    message: format!("expected a node path after '$', found {other}"),
+                }),
             },
             Token::Symbol("[") => {
                 let mut items = Vec::new();
@@ -451,7 +501,9 @@ impl Parser {
                     items.push(self.parse_expr()?);
                     self.skip_newlines();
                     if !self.eat_symbol(",") && !matches!(self.peek(), Token::Symbol("]")) {
-                        return Err(ParseError { message: "expected ',' or ']' in array".to_string() });
+                        return Err(ParseError {
+                            message: "expected ',' or ']' in array".to_string(),
+                        });
                     }
                 }
                 Ok(Expr::Array(items))
@@ -461,7 +513,9 @@ impl Parser {
                 self.expect_symbol(")")?;
                 Ok(inner)
             }
-            other => Err(ParseError { message: format!("unexpected token {other}") }),
+            other => Err(ParseError {
+                message: format!("unexpected token {other}"),
+            }),
         }
     }
 }
@@ -476,18 +530,26 @@ mod tests {
         assert_eq!(script.functions.len(), 2);
         assert_eq!(script.functions[0].name, "_ready");
         assert_eq!(script.functions[0].body.len(), 1);
-        assert!(matches!(script.functions[0].body[0], Stmt::Expr(Expr::Call(..))));
+        assert!(matches!(
+            script.functions[0].body[0],
+            Stmt::Expr(Expr::Call(..))
+        ));
     }
 
     #[test]
     fn parses_annotated_variables() {
-        let script = parse_script("@export var speed : int = 5\n@onready var data = $\"../Data\"\nvar plain = [1, 2,]\n").unwrap();
+        let script = parse_script(
+            "@export var speed : int = 5\n@onready var data = $\"../Data\"\nvar plain = [1, 2,]\n",
+        )
+        .unwrap();
         assert_eq!(script.variables.len(), 3);
         assert!(script.variables[0].exported);
         assert_eq!(script.variables[0].type_annotation.as_deref(), Some("int"));
         assert!(script.variables[1].onready);
         assert!(matches!(script.variables[1].init, Some(Expr::NodePath(ref p)) if p == "../Data"));
-        assert!(matches!(script.variables[2].init, Some(Expr::Array(ref items)) if items.len() == 2));
+        assert!(
+            matches!(script.variables[2].init, Some(Expr::Array(ref items)) if items.len() == 2)
+        );
     }
 
     #[test]
@@ -497,7 +559,10 @@ mod tests {
         let body = &script.functions[0].body;
         assert_eq!(body.len(), 2);
         match &body[0] {
-            Stmt::If { branches, else_body } => {
+            Stmt::If {
+                branches,
+                else_body,
+            } => {
                 assert_eq!(branches.len(), 2);
                 assert_eq!(else_body.len(), 1);
             }
@@ -524,7 +589,11 @@ mod tests {
         let src = "func f():\n\ty_labels[c].get_child(1).text = label\n";
         let script = parse_script(src).unwrap();
         match &script.functions[0].body[0] {
-            Stmt::Assign { target: Expr::Attr(base, attr), op: AssignOp::Set, .. } => {
+            Stmt::Assign {
+                target: Expr::Attr(base, attr),
+                op: AssignOp::Set,
+                ..
+            } => {
                 assert_eq!(attr, "text");
                 assert!(matches!(**base, Expr::Call(..)));
             }
@@ -536,8 +605,14 @@ mod tests {
     fn reports_errors_for_malformed_input() {
         assert!(parse_script("func f(:\n\tpass\n").is_err());
         assert!(parse_script("var = 3\n").is_err());
-        assert!(parse_script("func f():\nprint(1)\n").is_err(), "missing indent");
+        assert!(
+            parse_script("func f():\nprint(1)\n").is_err(),
+            "missing indent"
+        );
         assert!(parse_script("@weird var x = 1\n").is_err());
-        assert!(parse_script("if x:\n\tpass\n").is_err(), "statements only allowed in functions");
+        assert!(
+            parse_script("if x:\n\tpass\n").is_err(),
+            "statements only allowed in functions"
+        );
     }
 }

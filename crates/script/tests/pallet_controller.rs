@@ -17,7 +17,8 @@ fn scripted_scene() -> (WarehouseScene, Interpreter) {
         ("pallets", Variant::NodeRef(scene.pallets.0)),
         ("pallets_are_colored", Variant::Bool(false)),
     ];
-    let interp = Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
+    let interp =
+        Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
     (scene, interp)
 }
 
@@ -25,10 +26,18 @@ fn scripted_scene() -> (WarehouseScene, Interpreter) {
 fn ready_sets_labels_and_flattens_colors_like_the_paper() {
     let (mut scene, mut interp) = scripted_scene();
     interp.ready(&mut scene.tree).unwrap();
-    assert!(interp.errors.is_empty(), "printerr output: {:?}", interp.errors);
+    assert!(
+        interp.errors.is_empty(),
+        "printerr output: {:?}",
+        interp.errors
+    );
 
     // pallet_color_array is the flattened 100-entry color list.
-    let colors = interp.global("pallet_color_array").unwrap().as_array().unwrap();
+    let colors = interp
+        .global("pallet_color_array")
+        .unwrap()
+        .as_array()
+        .unwrap();
     assert_eq!(colors.len(), 100);
     assert_eq!(colors[6].as_int(), Some(2));
     assert_eq!(colors[60].as_int(), Some(1));
@@ -36,10 +45,28 @@ fn ready_sets_labels_and_flattens_colors_like_the_paper() {
     // Labels were written onto the Text child of every axis holder.
     let x_holders = scene.tree.children(scene.x_axis).unwrap();
     let text_node = scene.tree.children(x_holders[9]).unwrap()[1];
-    assert_eq!(scene.tree.node(text_node).unwrap().get("text").unwrap().as_str(), Some("ADV4"));
+    assert_eq!(
+        scene
+            .tree
+            .node(text_node)
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str(),
+        Some("ADV4")
+    );
     let y_holders = scene.tree.children(scene.y_axis).unwrap();
     let text_node = scene.tree.children(y_holders[3]).unwrap()[1];
-    assert_eq!(scene.tree.node(text_node).unwrap().get("text").unwrap().as_str(), Some("SRV1"));
+    assert_eq!(
+        scene
+            .tree
+            .node(text_node)
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str(),
+        Some("SRV1")
+    );
 }
 
 #[test]
@@ -47,7 +74,9 @@ fn change_pallet_color_matches_the_native_controller() {
     // Scripted version.
     let (mut scripted, mut interp) = scripted_scene();
     interp.ready(&mut scripted.tree).unwrap();
-    interp.call_function("change_pallet_color", &[], &mut scripted.tree).unwrap();
+    interp
+        .call_function("change_pallet_color", &[], &mut scripted.tree)
+        .unwrap();
 
     // Native version.
     let module = template_10x10();
@@ -60,8 +89,15 @@ fn change_pallet_color_matches_the_native_controller() {
     let scripted_pallets = scripted.tree.children(scripted.pallets).unwrap();
     for (i, &pallet) in scripted_pallets.iter().enumerate() {
         let mesh = scripted.tree.children(pallet).unwrap()[0];
-        let scripted_material =
-            scripted.tree.node(mesh).unwrap().get("material_override").unwrap().as_str().unwrap().to_string();
+        let scripted_material = scripted
+            .tree
+            .node(mesh)
+            .unwrap()
+            .get("material_override")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
         let native_material = controller.pallet_material(&native.tree, i).unwrap();
         assert_eq!(scripted_material, native_material, "pallet {i}");
     }
@@ -69,22 +105,44 @@ fn change_pallet_color_matches_the_native_controller() {
     let material_of = |scene: &WarehouseScene, index: usize| -> String {
         let pallet = scene.tree.children(scene.pallets).unwrap()[index];
         let mesh = scene.tree.children(pallet).unwrap()[0];
-        scene.tree.node(mesh).unwrap().get("material_override").unwrap().as_str().unwrap().to_string()
+        scene
+            .tree
+            .node(mesh)
+            .unwrap()
+            .get("material_override")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
     };
     assert_eq!(material_of(&scripted, 6), MATERIAL_RED);
     assert_eq!(material_of(&scripted, 60), MATERIAL_BLUE);
     assert_eq!(material_of(&scripted, 44), MATERIAL_GREEN);
 
     // The script also flips its own pallets_are_colored flag.
-    assert_eq!(interp.global("pallets_are_colored"), Some(&Variant::Bool(true)));
+    assert_eq!(
+        interp.global("pallets_are_colored"),
+        Some(&Variant::Bool(true))
+    );
 
     // Toggling a second time restores the default material everywhere.
-    interp.call_function("change_pallet_color", &[], &mut scripted.tree).unwrap();
-    assert_eq!(interp.global("pallets_are_colored"), Some(&Variant::Bool(false)));
+    interp
+        .call_function("change_pallet_color", &[], &mut scripted.tree)
+        .unwrap();
+    assert_eq!(
+        interp.global("pallets_are_colored"),
+        Some(&Variant::Bool(false))
+    );
     for &pallet in &scripted.tree.children(scripted.pallets).unwrap() {
         let mesh = scripted.tree.children(pallet).unwrap()[0];
         assert_eq!(
-            scripted.tree.node(mesh).unwrap().get("material_override").unwrap().as_str(),
+            scripted
+                .tree
+                .node(mesh)
+                .unwrap()
+                .get("material_override")
+                .unwrap()
+                .as_str(),
             Some("pallet_material")
         );
     }
@@ -103,16 +161,22 @@ fn script_reports_label_mismatch_via_printerr() {
         ("pallets", Variant::NodeRef(scene.pallets.0)),
         ("pallets_are_colored", Variant::Bool(false)),
     ];
-    let mut interp = Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
+    let mut interp =
+        Interpreter::attach(PALLET_CONTROLLER_GDSCRIPT, scene.controller, &exported).unwrap();
     interp.ready(&mut scene.tree).unwrap();
-    assert_eq!(interp.errors, vec!["Number of y labels does not match number of x labels!"]);
+    assert_eq!(
+        interp.errors,
+        vec!["Number of y labels does not match number of x labels!"]
+    );
 }
 
 #[test]
 fn script_print_log_matches_the_papers_trace() {
     let (mut scene, mut interp) = scripted_scene();
     interp.ready(&mut scene.tree).unwrap();
-    interp.call_function("change_pallet_color", &[], &mut scene.tree).unwrap();
+    interp
+        .call_function("change_pallet_color", &[], &mut scene.tree)
+        .unwrap();
     assert_eq!(interp.output[0], "Change pallet color button");
     assert_eq!(interp.output[1], "Palets are default! Making them colored");
     assert!(interp.output.iter().any(|l| l == "Matching color: 2"));

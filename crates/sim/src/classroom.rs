@@ -28,7 +28,12 @@ pub struct ClassroomConfig {
 
 impl Default for ClassroomConfig {
     fn default() -> Self {
-        ClassroomConfig { class_size: 24, assessment_questions: 12, assessment_options: 3, seed: 7 }
+        ClassroomConfig {
+            class_size: 24,
+            assessment_questions: 12,
+            assessment_options: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -138,7 +143,10 @@ fn assessment_score(learner: &mut crate::learner::Learner, design: &AssessmentDe
 pub fn compare_option_counts(class_size: usize, questions: usize, seed: u64) -> (f64, f64) {
     let separation = |options: usize| -> f64 {
         let mut population = LearnerPopulation::generate(class_size, 0.1, 0.9, seed);
-        let design = AssessmentDesign { options_per_question: options, question_count: questions };
+        let design = AssessmentDesign {
+            options_per_question: options,
+            question_count: questions,
+        };
         let mut scores: Vec<(f64, f64)> = population
             .learners_mut()
             .iter_mut()
@@ -147,8 +155,11 @@ pub fn compare_option_counts(class_size: usize, questions: usize, seed: u64) -> 
         scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let quartile = (class_size / 4).max(1);
         let weakest: f64 = scores[..quartile].iter().map(|(_, s)| s).sum::<f64>() / quartile as f64;
-        let strongest: f64 =
-            scores[class_size - quartile..].iter().map(|(_, s)| s).sum::<f64>() / quartile as f64;
+        let strongest: f64 = scores[class_size - quartile..]
+            .iter()
+            .map(|(_, s)| s)
+            .sum::<f64>()
+            / quartile as f64;
         strongest - weakest
     };
     (separation(3), separation(4))
@@ -163,11 +174,23 @@ mod tests {
     #[test]
     fn classroom_run_shows_learning_gains() {
         let bundle = figure_bundle(Figure::Ddos);
-        let report = run_classroom(&bundle, &ClassroomConfig { class_size: 16, ..Default::default() });
+        let report = run_classroom(
+            &bundle,
+            &ClassroomConfig {
+                class_size: 16,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.modules_played, 4);
         assert!(report.knowledge_after > report.knowledge_before);
-        assert!(report.mean_gain() > 0.0, "post-assessment should improve: {report:?}");
-        assert!(report.pre.mean > 0.2, "guessing floor keeps pre-scores above zero");
+        assert!(
+            report.mean_gain() > 0.0,
+            "post-assessment should improve: {report:?}"
+        );
+        assert!(
+            report.pre.mean > 0.2,
+            "guessing floor keeps pre-scores above zero"
+        );
         assert!(report.post.mean <= 1.0);
         assert_eq!(report.in_game.count, 16);
     }
@@ -175,7 +198,11 @@ mod tests {
     #[test]
     fn classroom_runs_are_reproducible() {
         let bundle = basics_bundle();
-        let config = ClassroomConfig { class_size: 8, seed: 11, ..Default::default() };
+        let config = ClassroomConfig {
+            class_size: 8,
+            seed: 11,
+            ..Default::default()
+        };
         let a = run_classroom(&bundle, &config);
         let b = run_classroom(&bundle, &config);
         assert_eq!(a, b);
@@ -183,12 +210,24 @@ mod tests {
 
     #[test]
     fn bigger_curricula_produce_bigger_gains() {
-        let small = run_classroom(&basics_bundle(), &ClassroomConfig { class_size: 12, ..Default::default() });
+        let small = run_classroom(
+            &basics_bundle(),
+            &ClassroomConfig {
+                class_size: 12,
+                ..Default::default()
+            },
+        );
         let mut big_bundle = figure_bundle(Figure::GraphTheory);
         for m in figure_bundle(Figure::Ddos).modules() {
             big_bundle.push(m.clone());
         }
-        let big = run_classroom(&big_bundle, &ClassroomConfig { class_size: 12, ..Default::default() });
+        let big = run_classroom(
+            &big_bundle,
+            &ClassroomConfig {
+                class_size: 12,
+                ..Default::default()
+            },
+        );
         assert!(big.knowledge_after > small.knowledge_after);
     }
 

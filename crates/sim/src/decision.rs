@@ -99,43 +99,115 @@ pub fn engine_comparison() -> DecisionMatrix {
         title: "Table I: Game engine comparison (Godot vs Unity vs Unreal)",
         candidates: vec!["Godot", "Unity", "Unreal"],
         criteria: vec![
-            Criterion { name: "Cost", weight: 2.0 },
-            Criterion { name: "Language Used", weight: 1.5 },
-            Criterion { name: "Can Import .obj", weight: 1.0 },
-            Criterion { name: "Exports to Platform", weight: 1.5 },
-            Criterion { name: "Online Tutorials", weight: 0.75 },
-            Criterion { name: "Asset Store", weight: 0.25 },
+            Criterion {
+                name: "Cost",
+                weight: 2.0,
+            },
+            Criterion {
+                name: "Language Used",
+                weight: 1.5,
+            },
+            Criterion {
+                name: "Can Import .obj",
+                weight: 1.0,
+            },
+            Criterion {
+                name: "Exports to Platform",
+                weight: 1.5,
+            },
+            Criterion {
+                name: "Online Tutorials",
+                weight: 0.75,
+            },
+            Criterion {
+                name: "Asset Store",
+                weight: 0.25,
+            },
         ],
         ratings: vec![
             vec![
-                Rating { text: "Always Free", score: 5.0 },
-                Rating { text: "Free when making less than $100k/yr", score: 4.0 },
-                Rating { text: "Free when making less than $1mil", score: 4.0 },
+                Rating {
+                    text: "Always Free",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Free when making less than $100k/yr",
+                    score: 4.0,
+                },
+                Rating {
+                    text: "Free when making less than $1mil",
+                    score: 4.0,
+                },
             ],
             vec![
-                Rating { text: "C#, GDScript", score: 5.0 },
-                Rating { text: "C#", score: 3.5 },
-                Rating { text: "C++", score: 2.0 },
+                Rating {
+                    text: "C#, GDScript",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "C#",
+                    score: 3.5,
+                },
+                Rating {
+                    text: "C++",
+                    score: 2.0,
+                },
             ],
             vec![
-                Rating { text: "Yes", score: 5.0 },
-                Rating { text: "Yes", score: 5.0 },
-                Rating { text: "Yes", score: 5.0 },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
             ],
             vec![
-                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
-                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
-                Rating { text: "HTML5, Windows, Mac, *NIX", score: 5.0 },
+                Rating {
+                    text: "HTML5, Windows, Mac, *NIX",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "HTML5, Windows, Mac, *NIX",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "HTML5, Windows, Mac, *NIX",
+                    score: 5.0,
+                },
             ],
             vec![
-                Rating { text: "Some", score: 3.0 },
-                Rating { text: "Many", score: 5.0 },
-                Rating { text: "Many", score: 5.0 },
+                Rating {
+                    text: "Some",
+                    score: 3.0,
+                },
+                Rating {
+                    text: "Many",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Many",
+                    score: 5.0,
+                },
             ],
             vec![
-                Rating { text: "Almost non-existent", score: 1.0 },
-                Rating { text: "Many high quality assets", score: 5.0 },
-                Rating { text: "Many high quality assets", score: 5.0 },
+                Rating {
+                    text: "Almost non-existent",
+                    score: 1.0,
+                },
+                Rating {
+                    text: "Many high quality assets",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Many high quality assets",
+                    score: 5.0,
+                },
             ],
         ],
     }
@@ -147,37 +219,97 @@ pub fn modeling_comparison() -> DecisionMatrix {
         title: "Table II: Modeling tool comparison (MagicaVoxel vs Blender vs Maya)",
         candidates: vec!["MagicaVoxel", "Blender", "Maya"],
         criteria: vec![
-            Criterion { name: "Cost", weight: 2.0 },
-            Criterion { name: "Model Creation", weight: 2.0 },
-            Criterion { name: "Texture Creation", weight: 1.0 },
-            Criterion { name: "Animation", weight: 0.25 },
-            Criterion { name: "Can export to .obj", weight: 1.5 },
+            Criterion {
+                name: "Cost",
+                weight: 2.0,
+            },
+            Criterion {
+                name: "Model Creation",
+                weight: 2.0,
+            },
+            Criterion {
+                name: "Texture Creation",
+                weight: 1.0,
+            },
+            Criterion {
+                name: "Animation",
+                weight: 0.25,
+            },
+            Criterion {
+                name: "Can export to .obj",
+                weight: 1.5,
+            },
         ],
         ratings: vec![
             vec![
-                Rating { text: "Free to use", score: 5.0 },
-                Rating { text: "Free to use", score: 5.0 },
-                Rating { text: "$1,875/yr", score: 1.0 },
+                Rating {
+                    text: "Free to use",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Free to use",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "$1,875/yr",
+                    score: 1.0,
+                },
             ],
             vec![
-                Rating { text: "LEGO-like voxel building", score: 5.0 },
-                Rating { text: "Polygon mesh, digital sculpting", score: 2.5 },
-                Rating { text: "Polygon mesh, digital sculpting", score: 2.5 },
+                Rating {
+                    text: "LEGO-like voxel building",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Polygon mesh, digital sculpting",
+                    score: 2.5,
+                },
+                Rating {
+                    text: "Polygon mesh, digital sculpting",
+                    score: 2.5,
+                },
             ],
             vec![
-                Rating { text: "Paint-by-voxel, place colored voxel", score: 5.0 },
-                Rating { text: "UV Unwrapping, paint-on-model", score: 2.5 },
-                Rating { text: "UV Unwrapping, paint-on-model", score: 2.5 },
+                Rating {
+                    text: "Paint-by-voxel, place colored voxel",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "UV Unwrapping, paint-on-model",
+                    score: 2.5,
+                },
+                Rating {
+                    text: "UV Unwrapping, paint-on-model",
+                    score: 2.5,
+                },
             ],
             vec![
-                Rating { text: "Simple animations", score: 3.0 },
-                Rating { text: "Advanced animations", score: 5.0 },
-                Rating { text: "Advanced animations", score: 5.0 },
+                Rating {
+                    text: "Simple animations",
+                    score: 3.0,
+                },
+                Rating {
+                    text: "Advanced animations",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Advanced animations",
+                    score: 5.0,
+                },
             ],
             vec![
-                Rating { text: "Yes", score: 5.0 },
-                Rating { text: "Yes", score: 5.0 },
-                Rating { text: "Yes", score: 5.0 },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
+                Rating {
+                    text: "Yes",
+                    score: 5.0,
+                },
             ],
         ],
     }

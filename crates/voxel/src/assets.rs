@@ -57,7 +57,15 @@ pub fn box_asset() -> VoxelGrid {
 /// Build a floor tile: a flat slab of warehouse concrete.
 pub fn floor_tile() -> VoxelGrid {
     let mut g = VoxelGrid::new(ASSET_CANVAS, 1, ASSET_CANVAS);
-    g.fill_box(0, 0, 0, ASSET_CANVAS - 1, 0, ASSET_CANVAS - 1, palette::FLOOR_GREY);
+    g.fill_box(
+        0,
+        0,
+        0,
+        ASSET_CANVAS - 1,
+        0,
+        ASSET_CANVAS - 1,
+        palette::FLOOR_GREY,
+    );
     g
 }
 
@@ -93,7 +101,12 @@ mod tests {
 
     #[test]
     fn all_assets_are_nonempty_and_bounded() {
-        for kind in [AssetKind::Pallet, AssetKind::PacketBox, AssetKind::FloorTile, AssetKind::LabelBoard] {
+        for kind in [
+            AssetKind::Pallet,
+            AssetKind::PacketBox,
+            AssetKind::FloorTile,
+            AssetKind::LabelBoard,
+        ] {
             let asset = build(kind);
             assert!(asset.filled_count() > 0, "{kind:?} is empty");
             let (x, y, z) = asset.size();
@@ -103,12 +116,20 @@ mod tests {
 
     #[test]
     fn pallet_accent_follows_color_codes() {
-        assert!(pallet_for_color_code(0).colors_used().contains(&ACCENT_GREY));
-        assert!(pallet_for_color_code(1).colors_used().contains(&ACCENT_BLUE));
+        assert!(pallet_for_color_code(0)
+            .colors_used()
+            .contains(&ACCENT_GREY));
+        assert!(pallet_for_color_code(1)
+            .colors_used()
+            .contains(&ACCENT_BLUE));
         assert!(pallet_for_color_code(2).colors_used().contains(&ACCENT_RED));
-        assert!(pallet_for_color_code(9).colors_used().contains(&ACCENT_BLACK));
+        assert!(pallet_for_color_code(9)
+            .colors_used()
+            .contains(&ACCENT_BLACK));
         // Default pallet uses the green default material like the paper's script.
-        assert!(build(AssetKind::Pallet).colors_used().contains(&ACCENT_GREEN));
+        assert!(build(AssetKind::Pallet)
+            .colors_used()
+            .contains(&ACCENT_GREEN));
     }
 
     #[test]

@@ -17,7 +17,12 @@ pub struct VoxelGrid {
 impl VoxelGrid {
     /// An empty canvas of the given size.
     pub fn new(size_x: usize, size_y: usize, size_z: usize) -> Self {
-        VoxelGrid { size_x, size_y, size_z, voxels: vec![EMPTY; size_x * size_y * size_z] }
+        VoxelGrid {
+            size_x,
+            size_y,
+            size_z,
+            voxels: vec![EMPTY; size_x * size_y * size_z],
+        }
     }
 
     /// The canvas dimensions as `(x, y, z)`.
@@ -52,7 +57,16 @@ impl VoxelGrid {
 
     /// Fill the axis-aligned box `[x0..=x1] × [y0..=y1] × [z0..=z1]`.
     #[allow(clippy::too_many_arguments)] // six box corners + color is the natural signature
-    pub fn fill_box(&mut self, x0: usize, y0: usize, z0: usize, x1: usize, y1: usize, z1: usize, color: u8) {
+    pub fn fill_box(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        z0: usize,
+        x1: usize,
+        y1: usize,
+        z1: usize,
+        color: u8,
+    ) {
         for y in y0..=y1.min(self.size_y.saturating_sub(1)) {
             for z in z0..=z1.min(self.size_z.saturating_sub(1)) {
                 for x in x0..=x1.min(self.size_x.saturating_sub(1)) {
@@ -93,7 +107,12 @@ impl VoxelGrid {
 
     /// The set of distinct colors present (excluding empty), sorted.
     pub fn colors_used(&self) -> Vec<u8> {
-        let mut colors: Vec<u8> = self.voxels.iter().copied().filter(|&v| v != EMPTY).collect();
+        let mut colors: Vec<u8> = self
+            .voxels
+            .iter()
+            .copied()
+            .filter(|&v| v != EMPTY)
+            .collect();
         colors.sort_unstable();
         colors.dedup();
         colors

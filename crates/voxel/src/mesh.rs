@@ -73,7 +73,11 @@ fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
 }
 
 fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
-    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
 }
 
 fn length(v: [f64; 3]) -> f64 {
@@ -149,7 +153,9 @@ pub fn greedy_mesh(grid: &VoxelGrid) -> Mesh {
                             mask[((v + dv2) * du + u + du2) as usize] = 0;
                         }
                     }
-                    mesh.quads.push(build_quad(normal, u_axis, v_axis, w_axis, u, v, w, width, height, color));
+                    mesh.quads.push(build_quad(
+                        normal, u_axis, v_axis, w_axis, u, v, w, width, height, color,
+                    ));
                     u += width;
                 }
                 v += 1;
@@ -181,7 +187,11 @@ fn build_quad(
 ) -> Quad {
     // The face sits on the positive side of the voxel when the normal is
     // positive, on the voxel's own plane when negative.
-    let face_w = if normal.iter().sum::<i64>() > 0 { w + 1 } else { w };
+    let face_w = if normal.iter().sum::<i64>() > 0 {
+        w + 1
+    } else {
+        w
+    };
     let corner = |du: i64, dv: i64| -> [f64; 3] {
         let mut p = [0f64; 3];
         p[u_axis] = (u + du) as f64;
@@ -192,11 +202,25 @@ fn build_quad(
     let normal_f = [normal[0] as f64, normal[1] as f64, normal[2] as f64];
     // Wind counter-clockwise as seen from the outside (normal direction).
     let corners = if normal.iter().sum::<i64>() > 0 {
-        [corner(0, 0), corner(width, 0), corner(width, height), corner(0, height)]
+        [
+            corner(0, 0),
+            corner(width, 0),
+            corner(width, height),
+            corner(0, height),
+        ]
     } else {
-        [corner(0, 0), corner(0, height), corner(width, height), corner(width, 0)]
+        [
+            corner(0, 0),
+            corner(0, height),
+            corner(width, height),
+            corner(width, 0),
+        ]
     };
-    Quad { corners, normal: normal_f, color }
+    Quad {
+        corners,
+        normal: normal_f,
+        color,
+    }
 }
 
 #[cfg(test)]

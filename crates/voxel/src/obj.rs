@@ -82,7 +82,10 @@ mod tests {
         assert!(obj.contains("o packet_box"));
         let (vertices, faces) = obj_stats(&obj);
         assert_eq!(faces, mesh.quads.len());
-        assert!(vertices >= 8, "a box needs at least 8 distinct vertices, got {vertices}");
+        assert!(
+            vertices >= 8,
+            "a box needs at least 8 distinct vertices, got {vertices}"
+        );
         assert!(obj.contains("usemtl box_cardboard"));
         assert!(obj.contains("usemtl accent_grey"));
     }
@@ -104,7 +107,10 @@ mod tests {
         for line in obj.lines().filter(|l| l.starts_with("f ")) {
             for idx in line.split_whitespace().skip(1) {
                 let i: usize = idx.parse().unwrap();
-                assert!(i >= 1 && i <= vertices, "face index {i} out of range 1..={vertices}");
+                assert!(
+                    i >= 1 && i <= vertices,
+                    "face index {i} out of range 1..={vertices}"
+                );
             }
         }
     }

@@ -45,16 +45,76 @@ pub const ACCENT_BLACK: u8 = 8;
 pub const LABEL_WHITE: u8 = 9;
 
 const COLORS: [PaletteColor; 10] = [
-    PaletteColor { index: EMPTY, name: "empty", r: 0.0, g: 0.0, b: 0.0 },
-    PaletteColor { index: FLOOR_GREY, name: "floor_grey", r: 0.55, g: 0.55, b: 0.58 },
-    PaletteColor { index: PALLET_WOOD, name: "pallet_wood", r: 0.72, g: 0.53, b: 0.30 },
-    PaletteColor { index: BOX_CARDBOARD, name: "box_cardboard", r: 0.82, g: 0.68, b: 0.45 },
-    PaletteColor { index: ACCENT_GREY, name: "accent_grey", r: 0.65, g: 0.65, b: 0.65 },
-    PaletteColor { index: ACCENT_BLUE, name: "accent_blue", r: 0.22, g: 0.42, b: 0.85 },
-    PaletteColor { index: ACCENT_RED, name: "accent_red", r: 0.85, g: 0.22, b: 0.22 },
-    PaletteColor { index: ACCENT_GREEN, name: "accent_green", r: 0.30, g: 0.70, b: 0.35 },
-    PaletteColor { index: ACCENT_BLACK, name: "accent_black", r: 0.05, g: 0.05, b: 0.05 },
-    PaletteColor { index: LABEL_WHITE, name: "label_white", r: 0.95, g: 0.95, b: 0.95 },
+    PaletteColor {
+        index: EMPTY,
+        name: "empty",
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    },
+    PaletteColor {
+        index: FLOOR_GREY,
+        name: "floor_grey",
+        r: 0.55,
+        g: 0.55,
+        b: 0.58,
+    },
+    PaletteColor {
+        index: PALLET_WOOD,
+        name: "pallet_wood",
+        r: 0.72,
+        g: 0.53,
+        b: 0.30,
+    },
+    PaletteColor {
+        index: BOX_CARDBOARD,
+        name: "box_cardboard",
+        r: 0.82,
+        g: 0.68,
+        b: 0.45,
+    },
+    PaletteColor {
+        index: ACCENT_GREY,
+        name: "accent_grey",
+        r: 0.65,
+        g: 0.65,
+        b: 0.65,
+    },
+    PaletteColor {
+        index: ACCENT_BLUE,
+        name: "accent_blue",
+        r: 0.22,
+        g: 0.42,
+        b: 0.85,
+    },
+    PaletteColor {
+        index: ACCENT_RED,
+        name: "accent_red",
+        r: 0.85,
+        g: 0.22,
+        b: 0.22,
+    },
+    PaletteColor {
+        index: ACCENT_GREEN,
+        name: "accent_green",
+        r: 0.30,
+        g: 0.70,
+        b: 0.35,
+    },
+    PaletteColor {
+        index: ACCENT_BLACK,
+        name: "accent_black",
+        r: 0.05,
+        g: 0.05,
+        b: 0.05,
+    },
+    PaletteColor {
+        index: LABEL_WHITE,
+        name: "label_white",
+        r: 0.95,
+        g: 0.95,
+        b: 0.95,
+    },
 ];
 
 impl Palette {
@@ -96,7 +156,11 @@ mod tests {
     #[test]
     fn lookup_by_index() {
         assert_eq!(Palette::color(ACCENT_BLUE).name, "accent_blue");
-        assert_eq!(Palette::color(200).name, "accent_black", "unknown indices fall back to black");
+        assert_eq!(
+            Palette::color(200).name,
+            "accent_black",
+            "unknown indices fall back to black"
+        );
         assert_eq!(Palette::all().len(), Palette::LEN);
     }
 

@@ -30,17 +30,23 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> Self {
-        BenchmarkId { id: name.to_string() }
+        BenchmarkId {
+            id: name.to_string(),
+        }
     }
 }
 
@@ -90,7 +96,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
@@ -107,7 +116,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into().id);
         let report = run_benchmark(self.criterion, &full, f);
         println!("{report}");
@@ -146,7 +159,10 @@ impl Bencher {
 }
 
 fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
-    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut bencher);
     bencher.elapsed
 }
@@ -165,8 +181,7 @@ fn run_benchmark(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)
     let per_iter = warm_up_start.elapsed().as_nanos().max(1) / u128::from(warm_up_iters.max(1));
 
     let samples = config.sample_size.max(2);
-    let budget_per_sample =
-        config.measurement_time.as_nanos().max(1) / samples as u128;
+    let budget_per_sample = config.measurement_time.as_nanos().max(1) / samples as u128;
     let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1 << 24) as u64;
 
     let mut sample_times: Vec<u128> = Vec::with_capacity(samples);
@@ -178,7 +193,10 @@ fn run_benchmark(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)
     let median = sample_times[sample_times.len() / 2];
     let low = sample_times[0];
     let high = sample_times[sample_times.len() - 1];
-    RESULTS.lock().expect("results lock").push((name.to_string(), median));
+    RESULTS
+        .lock()
+        .expect("results lock")
+        .push((name.to_string(), median));
     format!(
         "{name:<50} time: [{} {} {}]",
         format_ns(low),
@@ -299,9 +317,14 @@ mod tests {
             .measurement_time(Duration::from_millis(2));
         c.bench_function("shim_json/probe", |b| b.iter(|| black_box(1 + 1)));
         let results = RESULTS.lock().unwrap();
-        let recorded: Vec<_> =
-            results.iter().filter(|(name, _)| name == "shim_json/probe").collect();
-        assert!(!recorded.is_empty(), "bench_function must record its median");
+        let recorded: Vec<_> = results
+            .iter()
+            .filter(|(name, _)| name == "shim_json/probe")
+            .collect();
+        assert!(
+            !recorded.is_empty(),
+            "bench_function must record its median"
+        );
         drop(results);
         let json = results_json(&[
             ("group/a".to_string(), 123u128),

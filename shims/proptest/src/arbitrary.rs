@@ -73,7 +73,13 @@ mod tests {
     fn any_generates_varied_values() {
         let mut rng = TestRng::from_seed(11);
         let bytes: Vec<u8> = (0..64).map(|_| any::<u8>().new_value(&mut rng)).collect();
-        assert!(bytes.iter().collect::<std::collections::BTreeSet<_>>().len() > 10);
+        assert!(
+            bytes
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 10
+        );
         let flags: Vec<bool> = (0..64).map(|_| any::<bool>().new_value(&mut rng)).collect();
         assert!(flags.contains(&true) && flags.contains(&false));
     }

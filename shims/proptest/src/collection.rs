@@ -21,26 +21,38 @@ impl SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(range: Range<usize>) -> Self {
         assert!(range.start < range.end, "empty collection size range");
-        SizeRange { min: range.start, max: range.end - 1 }
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(range: RangeInclusive<usize>) -> Self {
         assert!(range.start() <= range.end(), "empty collection size range");
-        SizeRange { min: *range.start(), max: *range.end() }
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(exact: usize) -> Self {
-        SizeRange { min: exact, max: exact }
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
     }
 }
 
 /// Strategy for `Vec<T>` with sizes drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 pub struct VecStrategy<S> {
@@ -60,17 +72,17 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// Strategy for `BTreeMap<K, V>`. Key collisions may make the map smaller
 /// than the drawn size, matching upstream's behavior of treating the size as
 /// an upper bound under a saturated key space.
-pub fn btree_map<K, V>(
-    key: K,
-    value: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,
     V: Strategy,
 {
-    BTreeMapStrategy { key, value, size: size.into() }
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }
 
 pub struct BTreeMapStrategy<K, V> {

@@ -20,8 +20,8 @@
 pub mod arbitrary;
 pub mod collection;
 pub mod option;
-pub mod string;
 pub mod strategy;
+pub mod string;
 pub mod test_runner;
 
 /// Namespace alias so `prop::collection::vec(..)` works after
@@ -107,14 +107,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
         if left == right {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} != {}`\n  both: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    left
-                ),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
         }
     }};
 }
@@ -298,14 +296,16 @@ mod tests {
         fn depth(t: &Tree) -> usize {
             match t {
                 Tree::Leaf(_) => 1,
-                Tree::Branch(children) => {
-                    1 + children.iter().map(depth).max().unwrap_or(0)
-                }
+                Tree::Branch(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
         for _ in 0..200 {
             let tree = strat.new_value(&mut rng);
-            assert!(depth(&tree) <= 4, "depth {} exceeds recursion bound", depth(&tree));
+            assert!(
+                depth(&tree) <= 4,
+                "depth {} exceeds recursion bound",
+                depth(&tree)
+            );
         }
     }
 

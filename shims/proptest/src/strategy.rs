@@ -239,7 +239,11 @@ mod tests {
 
     #[test]
     fn union_covers_every_option() {
-        let union = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let union = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
         let mut rng = TestRng::from_seed(5);
         let mut seen = [false; 4];
         for _ in 0..200 {

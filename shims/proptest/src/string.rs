@@ -72,12 +72,10 @@ fn parse(pattern: &str) -> Vec<Atom> {
             '[' => parse_class(&mut chars, pattern),
             '(' => parse_group(&mut chars, pattern),
             '\\' => match chars.next() {
-                Some('P') => {
-                    match chars.next() {
-                        Some('C') => Part::AnyPrintable,
-                        other => unsupported(pattern, &format!("\\P{other:?}")),
-                    }
-                }
+                Some('P') => match chars.next() {
+                    Some('C') => Part::AnyPrintable,
+                    other => unsupported(pattern, &format!("\\P{other:?}")),
+                },
                 Some(escaped) if escaped.is_ascii_alphanumeric() => {
                     unsupported(pattern, &format!("escape `\\{escaped}`"))
                 }
@@ -220,7 +218,9 @@ mod tests {
     fn class_with_ranges_and_escapes() {
         for s in sample("[a-z0-9_\\-]{1,8}", 1) {
             assert!((1..=8).contains(&s.chars().count()), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
         }
     }
 

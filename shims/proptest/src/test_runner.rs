@@ -12,7 +12,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x5DEECE66D }
+        TestRng {
+            state: seed ^ 0x5DEECE66D,
+        }
     }
 
     /// The RNG for case `case` of the test named `name`.
@@ -60,7 +62,9 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases: env_cases().unwrap_or(cases) }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
@@ -83,7 +87,9 @@ pub struct TestCaseError {
 
 impl TestCaseError {
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 
     /// Proptest-compatible alias.

@@ -317,6 +317,9 @@ mod tests {
         let mut sorted = data.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(data, sorted, "50 elements virtually never shuffle to identity");
+        assert_ne!(
+            data, sorted,
+            "50 elements virtually never shuffle to identity"
+        );
     }
 }

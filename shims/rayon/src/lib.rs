@@ -13,7 +13,9 @@ use std::ops::Range;
 
 /// Number of worker threads a parallel `map` will use.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Run `f` over every item on a pool of scoped threads, preserving order.
@@ -64,7 +66,9 @@ impl<T: Send> ParIter<T> {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        ParIter { items: parallel_map(self.items, f) }
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
     }
 
     pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
@@ -73,7 +77,9 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> Option<R> + Sync,
     {
         let mapped = parallel_map(self.items, f);
-        ParIter { items: mapped.into_iter().flatten().collect() }
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+        }
     }
 
     pub fn for_each<F>(self, f: F)
@@ -137,7 +143,9 @@ pub trait ParallelSlice<T: Sync> {
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
         assert!(chunk_size > 0, "chunk_size must be positive");
-        ParIter { items: self.chunks(chunk_size).collect() }
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
     }
 }
 
@@ -157,7 +165,10 @@ mod tests {
 
     #[test]
     fn reduce_matches_serial_fold() {
-        let total = (0..1000u64).collect::<Vec<_>>().into_par_iter().reduce(|| 0, |a, b| a + b);
+        let total = (0..1000u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 499_500);
     }
 
