@@ -40,6 +40,16 @@ pub enum ArchiveError {
         /// Entries actually walked in the central directory.
         walked: usize,
     },
+    /// An I/O operation on a seekable archive source failed; carries the
+    /// rendered `std::io::Error` (kept as a string so the error stays
+    /// `Clone`/`PartialEq` like every other variant).
+    Io(String),
+}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for ArchiveError {
@@ -68,6 +78,7 @@ impl fmt::Display for ArchiveError {
                 f,
                 "end-of-central-directory record declares {declared} entries but the central directory holds {walked}"
             ),
+            ArchiveError::Io(message) => write!(f, "archive I/O: {message}"),
         }
     }
 }

@@ -27,11 +27,13 @@
 pub mod crc32;
 pub mod error;
 pub mod reader;
+pub mod seek;
 pub mod writer;
 
 pub use crc32::crc32;
 pub use error::{ArchiveError, Result};
 pub use reader::{ZipEntry, ZipReader};
+pub use seek::SeekZipReader;
 pub use writer::ZipWriter;
 
 #[cfg(test)]

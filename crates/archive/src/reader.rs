@@ -16,7 +16,7 @@ pub struct ZipEntry {
     /// CRC-32 of the entry data as recorded in the central directory.
     pub crc: u32,
     /// Byte offset of the local file header within the archive.
-    offset: u32,
+    pub(crate) offset: u32,
 }
 
 /// A parsed, validated ZIP archive held in memory.
@@ -50,50 +50,7 @@ impl<'a> ZipReader<'a> {
             return Err(ArchiveError::Truncated("central directory"));
         }
 
-        let mut entries = Vec::with_capacity(declared.min(65_535));
-        let mut index = std::collections::BTreeMap::new();
-        let mut cursor = central_dir_offset;
-        while cursor != eocd {
-            let sig = read_u32(data, cursor)?;
-            if sig != CENTRAL_DIR_HEADER_SIG {
-                return Err(ArchiveError::BadSignature(CENTRAL_DIR_HEADER_SIG, sig));
-            }
-            let method = read_u16(data, cursor + 10)?;
-            if method != 0 {
-                return Err(ArchiveError::UnsupportedCompression(method));
-            }
-            let crc = read_u32(data, cursor + 16)?;
-            let size = read_u32(data, cursor + 24)?;
-            let name_len = read_u16(data, cursor + 28)? as usize;
-            let extra_len = read_u16(data, cursor + 30)? as usize;
-            let comment_len = read_u16(data, cursor + 32)? as usize;
-            let local_offset = read_u32(data, cursor + 42)?;
-            let name_start = cursor + 46;
-            let name_bytes = slice(data, name_start, name_len, "central directory entry name")?;
-            let name = std::str::from_utf8(name_bytes)
-                .map_err(|_| ArchiveError::InvalidEntryName)?
-                .to_string();
-            validate_entry_name(&name)?;
-            if index.insert(name.clone(), entries.len()).is_some() {
-                return Err(ArchiveError::DuplicateEntry(name));
-            }
-            entries.push(ZipEntry {
-                name,
-                size,
-                crc,
-                offset: local_offset,
-            });
-            cursor = name_start + name_len + extra_len + comment_len;
-            if cursor > eocd {
-                return Err(ArchiveError::Truncated("central directory entry"));
-            }
-        }
-        if entries.len() != declared {
-            return Err(ArchiveError::EntryCountMismatch {
-                declared,
-                walked: entries.len(),
-            });
-        }
+        let (entries, index) = walk_central_directory(&data[central_dir_offset..eocd], declared)?;
 
         let reader = ZipReader {
             data,
@@ -168,6 +125,62 @@ impl<'a> ZipReader<'a> {
     }
 }
 
+/// Walk a central directory held in `cd` (the byte range between the
+/// directory's recorded offset and the end-of-central-directory record) and
+/// return the validated entry table plus its name index. Shared by the
+/// in-memory [`ZipReader`] and the seekable
+/// [`SeekZipReader`](crate::seek::SeekZipReader).
+pub(crate) fn walk_central_directory(
+    cd: &[u8],
+    declared: usize,
+) -> Result<(Vec<ZipEntry>, std::collections::BTreeMap<String, usize>)> {
+    let mut entries = Vec::with_capacity(declared.min(65_535));
+    let mut index = std::collections::BTreeMap::new();
+    let mut cursor = 0usize;
+    while cursor != cd.len() {
+        let sig = read_u32(cd, cursor)?;
+        if sig != CENTRAL_DIR_HEADER_SIG {
+            return Err(ArchiveError::BadSignature(CENTRAL_DIR_HEADER_SIG, sig));
+        }
+        let method = read_u16(cd, cursor + 10)?;
+        if method != 0 {
+            return Err(ArchiveError::UnsupportedCompression(method));
+        }
+        let crc = read_u32(cd, cursor + 16)?;
+        let size = read_u32(cd, cursor + 24)?;
+        let name_len = read_u16(cd, cursor + 28)? as usize;
+        let extra_len = read_u16(cd, cursor + 30)? as usize;
+        let comment_len = read_u16(cd, cursor + 32)? as usize;
+        let local_offset = read_u32(cd, cursor + 42)?;
+        let name_start = cursor + 46;
+        let name_bytes = slice(cd, name_start, name_len, "central directory entry name")?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| ArchiveError::InvalidEntryName)?
+            .to_string();
+        validate_entry_name(&name)?;
+        if index.insert(name.clone(), entries.len()).is_some() {
+            return Err(ArchiveError::DuplicateEntry(name));
+        }
+        entries.push(ZipEntry {
+            name,
+            size,
+            crc,
+            offset: local_offset,
+        });
+        cursor = name_start + name_len + extra_len + comment_len;
+        if cursor > cd.len() {
+            return Err(ArchiveError::Truncated("central directory entry"));
+        }
+    }
+    if entries.len() != declared {
+        return Err(ArchiveError::EntryCountMismatch {
+            declared,
+            walked: entries.len(),
+        });
+    }
+    Ok((entries, index))
+}
+
 fn find_end_of_central_directory(data: &[u8]) -> Result<usize> {
     // The EOCD record is 22 bytes plus an optional comment of up to 65535
     // bytes; scan backwards for its signature.
@@ -187,7 +200,12 @@ fn find_end_of_central_directory(data: &[u8]) -> Result<usize> {
     }
 }
 
-fn slice<'a>(data: &'a [u8], start: usize, len: usize, what: &'static str) -> Result<&'a [u8]> {
+pub(crate) fn slice<'a>(
+    data: &'a [u8],
+    start: usize,
+    len: usize,
+    what: &'static str,
+) -> Result<&'a [u8]> {
     data.get(
         start
             ..start
@@ -197,12 +215,12 @@ fn slice<'a>(data: &'a [u8], start: usize, len: usize, what: &'static str) -> Re
     .ok_or(ArchiveError::Truncated(what))
 }
 
-fn read_u16(data: &[u8], offset: usize) -> Result<u16> {
+pub(crate) fn read_u16(data: &[u8], offset: usize) -> Result<u16> {
     let b = slice(data, offset, 2, "u16 field")?;
     Ok(u16::from_le_bytes([b[0], b[1]]))
 }
 
-fn read_u32(data: &[u8], offset: usize) -> Result<u32> {
+pub(crate) fn read_u32(data: &[u8], offset: usize) -> Result<u32> {
     let b = slice(data, offset, 4, "u32 field")?;
     Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }

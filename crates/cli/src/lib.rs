@@ -55,6 +55,22 @@ pub enum Command {
     },
     /// Replay a recorded window stream into the live warehouse view.
     Replay { path: String, speed: u64 },
+    /// Serve one scenario (live or replayed) to a classroom of student
+    /// sessions over the broadcast hub.
+    Classroom {
+        scenario: Option<String>,
+        replay: Option<String>,
+        students: usize,
+        windows: Option<usize>,
+        nodes: u32,
+        seed: u64,
+        shards: usize,
+        window_us: u64,
+        speed: u64,
+        late: Option<usize>,
+    },
+    /// List the ingest scenario catalog.
+    Scenarios,
     /// Print the default curriculum with prerequisites.
     Curriculum,
     /// Print the figure gallery.
@@ -92,9 +108,18 @@ Commands:
                                               flash-crowd, p2p, mixed); --record also
                                               captures the window stream as a replayable ZIP
   replay <file.zip> [--speed N]               re-emit a recorded window stream into the live
-                                              warehouse view without regenerating any events
-                                              (--speed N paces playback at N x real time;
-                                              default is as fast as possible)
+                                              warehouse view without regenerating any events,
+                                              streamed incrementally from disk (--speed N
+                                              paces playback at N x real time; default is as
+                                              fast as possible)
+  classroom --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N] [--shards N]
+            [--window-us N] [--replay file.zip] [--speed N] [--late N]
+                                              fan one window stream (live scenario, or a
+                                              recording with --replay) out to N student
+                                              sessions over the broadcast hub and print
+                                              per-student summaries; --late students join
+                                              mid-scenario and catch up from the ring
+  scenarios                                   list the ingest scenario catalog
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
   help                                        show this message
@@ -256,6 +281,85 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Replay { path, speed })
         }
+        "classroom" => {
+            let mut scenario = None;
+            let mut replay = None;
+            let mut students = 8usize;
+            let mut windows = None;
+            let mut nodes = 256u32;
+            let mut seed = 7u64;
+            let mut shards = 0usize;
+            let mut window_us = 100_000u64;
+            let mut speed = 0u64;
+            let mut late = None;
+            fn value<T: std::str::FromStr>(
+                iter: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<T, CliError> {
+                iter.next()
+                    .ok_or(CliError(format!("{flag} needs a value")))?
+                    .parse()
+                    .map_err(|_| CliError(format!("{flag} value is not valid")))
+            }
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--scenario" => {
+                        scenario = Some(
+                            iter.next()
+                                .ok_or(CliError("--scenario needs a name".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            iter.next()
+                                .ok_or(CliError("--replay needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--students" => students = value(&mut iter, "--students")?,
+                    "--windows" => windows = Some(value(&mut iter, "--windows")?),
+                    "--nodes" => nodes = value(&mut iter, "--nodes")?,
+                    "--seed" => seed = value(&mut iter, "--seed")?,
+                    "--shards" => shards = value(&mut iter, "--shards")?,
+                    "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    "--speed" => speed = value(&mut iter, "--speed")?,
+                    "--late" => late = Some(value(&mut iter, "--late")?),
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if scenario.is_none() && replay.is_none() {
+                return Err(CliError(
+                    "classroom needs --scenario <name> or --replay <file.zip>".to_string(),
+                ));
+            }
+            if scenario.is_some() && replay.is_some() {
+                return Err(CliError(
+                    "--scenario and --replay are mutually exclusive (a recording \
+                     carries its own scenario)"
+                        .to_string(),
+                ));
+            }
+            if students == 0 {
+                return Err(CliError("--students must be at least 1".to_string()));
+            }
+            if windows == Some(0) {
+                return Err(CliError("--windows must be at least 1".to_string()));
+            }
+            Ok(Command::Classroom {
+                scenario,
+                replay,
+                students,
+                windows,
+                nodes,
+                seed,
+                shards,
+                window_us,
+                speed,
+                late,
+            })
+        }
+        "scenarios" => Ok(Command::Scenarios),
         "curriculum" => Ok(Command::Curriculum),
         "figures" => Ok(Command::Figures),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -342,6 +446,30 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             record.as_deref(),
         ),
         Command::Replay { path, speed } => run_replay(path, *speed),
+        Command::Classroom {
+            scenario,
+            replay,
+            students,
+            windows,
+            nodes,
+            seed,
+            shards,
+            window_us,
+            speed,
+            late,
+        } => run_classroom(&ClassroomArgs {
+            scenario: scenario.clone(),
+            replay: replay.clone(),
+            students: *students,
+            windows: *windows,
+            nodes: *nodes,
+            seed: *seed,
+            shards: *shards,
+            window_us: *window_us,
+            speed: *speed,
+            late: *late,
+        }),
+        Command::Scenarios => Ok(render_scenarios()),
         Command::Curriculum => Ok(render_curriculum()),
         Command::Figures => Ok(render_figures()),
     }
@@ -439,22 +567,31 @@ pub fn run_ingest(
     Ok(out)
 }
 
-/// Replay a recorded window stream into a live warehouse session.
+/// Replay a recorded window stream into a live warehouse session, decoding
+/// one window at a time from disk.
 pub fn run_replay(path: &str, speed: u64) -> Result<String, CliError> {
-    use tw_core::ingest::ReplaySource;
+    use tw_core::ingest::{FileReplaySource, Paced, WindowStream};
 
-    let bytes = std::fs::read(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-    let mut replay = ReplaySource::parse(&bytes).map_err(|e| CliError(e.to_string()))?;
+    let replay = FileReplaySource::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
     let manifest = replay.manifest().clone();
+    // The recording streams incrementally: only the directory and manifest
+    // are resident; each window entry is read, CRC-checked and decoded as it
+    // is pulled. Pacing is the stream's job now — the Paced adapter holds
+    // each window until its slot on the classroom cadence.
+    let mut stream: Box<dyn WindowStream> = if speed > 0 {
+        Box::new(Paced::new(replay, speed))
+    } else {
+        Box::new(replay)
+    };
     // Paced playback (--speed) streams each line to stdout as its window is
     // replayed — the class watches the scenario build up live; buffering
     // everything into the returned string would sleep in silence and then
     // dump the whole transcript at once. Unpaced replay keeps the buffered
     // contract of every other subcommand.
     let mut out = String::new();
-    let pacing = (speed > 0).then(|| std::time::Duration::from_micros(manifest.window_us / speed));
+    let pacing = speed > 0;
     let mut emit = |line: std::fmt::Arguments<'_>| {
-        if pacing.is_some() {
+        if pacing {
             println!("{line}");
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
@@ -477,12 +614,9 @@ pub fn run_replay(path: &str, speed: u64) -> Result<String, CliError> {
     let mut session = GameSession::start(ModuleBundle::new(&manifest.scenario), manifest.seed)
         .map_err(|e| CliError(e.to_string()))?;
     session.subscribe_live(10);
-    while let Some(report) = replay.next_window().map_err(|e| CliError(e.to_string()))? {
+    while let Some(report) = stream.next_window().map_err(|e| CliError(e.to_string()))? {
         session.ingest_window(&report);
         emit(format_args!("{}", report.stats.summary()));
-        if let Some(pause) = pacing {
-            std::thread::sleep(pause);
-        }
     }
     let live = session.live().expect("subscribed above");
     emit(format_args!(
@@ -495,6 +629,255 @@ pub fn run_replay(path: &str, speed: u64) -> Result<String, CliError> {
         },
     ));
     Ok(out)
+}
+
+/// Arguments for [`run_classroom`] (one scenario fanned out to N students).
+#[derive(Debug, Clone)]
+pub struct ClassroomArgs {
+    /// Scenario name (required unless `replay` is given).
+    pub scenario: Option<String>,
+    /// Recording to broadcast instead of generating events live.
+    pub replay: Option<String>,
+    /// Number of student sessions.
+    pub students: usize,
+    /// Windows to broadcast (default: 8 live, the whole recording on replay).
+    pub windows: Option<usize>,
+    /// Address-space size for live scenarios.
+    pub nodes: u32,
+    /// Scenario seed for live scenarios.
+    pub seed: u64,
+    /// Shard count for live scenarios (0 = auto).
+    pub shards: usize,
+    /// Tumbling-window duration for live scenarios.
+    pub window_us: u64,
+    /// Pace the broadcast at N x real time (0 = as fast as possible).
+    pub speed: u64,
+    /// Students that join mid-scenario (default: one in five).
+    pub late: Option<usize>,
+}
+
+/// Serve one scenario to a classroom: drive the stream once through the
+/// broadcast hub on this thread while every student session consumes its own
+/// subscription on its own thread; returns per-student summaries.
+pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
+    use tw_core::game::{
+        BroadcastConfig, Broadcaster, GameSession, StartOffset, TelemetryEvent, TelemetryHub,
+    };
+    use tw_core::ingest::{
+        FileReplaySource, Paced, Pipeline, PipelineConfig, Scenario, WindowStream,
+    };
+
+    if args.students > 10_000 {
+        return Err(CliError("--students is capped at 10000".to_string()));
+    }
+    // Build the one stream the whole class shares.
+    let (stream, scenario_name, description, node_count): (Box<dyn WindowStream>, _, _, _) =
+        match &args.replay {
+            Some(path) => {
+                let replay =
+                    FileReplaySource::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+                let manifest = replay.manifest().clone();
+                (
+                    Box::new(replay),
+                    manifest.scenario.clone(),
+                    format!("replayed from {path}"),
+                    manifest.node_count,
+                )
+            }
+            None => {
+                let name = args.scenario.as_deref().expect("checked at parse time");
+                let scenario = Scenario::by_name(name).ok_or_else(|| {
+                    let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
+                    CliError(format!(
+                        "unknown scenario {name:?}; known scenarios: {}",
+                        known.join(", ")
+                    ))
+                })?;
+                if args.nodes < 20 {
+                    return Err(CliError("--nodes must be at least 20".to_string()));
+                }
+                if args.window_us == 0 {
+                    return Err(CliError("--window-us must be at least 1".to_string()));
+                }
+                let config = PipelineConfig {
+                    window_us: args.window_us,
+                    batch_size: 8_192,
+                    shard_count: args.shards,
+                };
+                let pipeline = Pipeline::new(scenario.source(args.nodes, args.seed), config);
+                (
+                    Box::new(pipeline),
+                    scenario.name().to_string(),
+                    scenario.describe().to_string(),
+                    args.nodes as usize,
+                )
+            }
+        };
+    let planned = match stream.remaining_windows() {
+        Some(recorded) => args.windows.unwrap_or(recorded).min(recorded),
+        None => args.windows.unwrap_or(8),
+    };
+    if planned == 0 {
+        return Err(CliError("the recording holds no windows".to_string()));
+    }
+    let mut stream: Box<dyn WindowStream> = if args.speed > 0 {
+        Box::new(Paced::new(stream, args.speed))
+    } else {
+        stream
+    };
+
+    // Size the dashboard buffer to the class — joins, detaches, the close,
+    // and one lag event per window per student — so the printed lag count is
+    // exact. The clamp bounds memory for absurd classes; beyond it the count
+    // can undercount and the eviction note below says so.
+    let telemetry_capacity = args
+        .students
+        .saturating_mul(planned.saturating_add(3))
+        .clamp(1024, 1 << 18);
+    let telemetry = TelemetryHub::with_capacity(telemetry_capacity);
+    let mut caster = Broadcaster::with_telemetry(
+        BroadcastConfig {
+            channel_capacity: planned.clamp(64, 1024),
+            ring_capacity: planned.clamp(32, 1024),
+        },
+        telemetry.clone(),
+    );
+    let handle = caster.handle();
+    let late = args.late.unwrap_or(args.students / 5);
+    let late = late.min(args.students.saturating_sub(1));
+    let on_time = args.students - late;
+    let late_at = (planned / 2) as u64;
+
+    struct StudentLine {
+        id: usize,
+        joined: u64,
+        seen: u64,
+        last: Option<u64>,
+        dropped: u64,
+        missed: u64,
+    }
+
+    let (summary, lines) = std::thread::scope(|scope| {
+        let consumers: Vec<_> = (0..args.students)
+            .map(|sid| {
+                // On-time students subscribe before the first window; late
+                // ones wait for the scenario's midpoint, then catch up from
+                // the ring.
+                let early = (sid < on_time).then(|| caster.subscribe(StartOffset::Origin));
+                let handle = handle.clone();
+                let scenario_name = scenario_name.clone();
+                let seed = args.seed;
+                scope.spawn(move || {
+                    let subscription = early.unwrap_or_else(|| {
+                        while handle.windows_broadcast() < late_at && !handle.is_closed() {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        handle.subscribe(StartOffset::Window(late_at))
+                    });
+                    let joined = subscription.start_window();
+                    let mut session =
+                        GameSession::start(ModuleBundle::new(&scenario_name), seed ^ sid as u64)
+                            .expect("empty bundle always loads");
+                    session.join_broadcast(10, subscription);
+                    session.follow_broadcast(usize::MAX);
+                    let live = session.live().expect("joined above");
+                    let subscription = session.subscription().expect("still joined");
+                    StudentLine {
+                        id: sid,
+                        joined,
+                        seen: live.windows_seen(),
+                        last: live.last_stats().map(|s| s.window_index),
+                        dropped: subscription.dropped(),
+                        missed: subscription.missed(),
+                    }
+                })
+            })
+            .collect();
+        // This thread is the producer: drive the stream once for everyone.
+        let mut broadcast = 0usize;
+        let run = loop {
+            if broadcast >= planned {
+                break Ok(());
+            }
+            match caster.step(stream.as_mut()) {
+                Ok(Some(_)) => broadcast += 1,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        // An unpaced broadcast can outrun the roster: hold the summary until
+        // every planned student has subscribed (late joiners still catch up
+        // from the ring), so the final count covers the whole class. The
+        // deadline only guards against a wedged student thread.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while handle.subscribers_joined() < args.students && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let summary = run.map(|()| caster.close());
+        let mut lines: Vec<StudentLine> = consumers
+            .into_iter()
+            .map(|c| c.join().expect("student threads do not panic"))
+            .collect();
+        lines.sort_by_key(|l| l.id);
+        (summary, lines)
+    });
+    let summary = summary.map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = format!(
+        "classroom: {scenario_name} ({description}) over {node_count} nodes -> {} student(s) ({} on time, {late} late at w{late_at})\n",
+        args.students, on_time,
+    );
+    for line in &lines {
+        let _ = writeln!(
+            out,
+            "  student {:>3}: joined w{:<4} {:>4} window(s)  dropped {:>3}  missed {:>3}  last {}",
+            line.id,
+            line.joined,
+            line.seen,
+            line.dropped,
+            line.missed,
+            line.last.map_or("-".to_string(), |w| format!("w{w}")),
+        );
+    }
+    let delivered: u64 = summary.reports.iter().map(|r| r.delivered).sum();
+    let dropped: u64 = summary.reports.iter().map(|r| r.dropped).sum();
+    let missed: u64 = summary.reports.iter().map(|r| r.missed).sum();
+    let lag_events = telemetry
+        .drain()
+        .into_iter()
+        .filter(|e| matches!(e, TelemetryEvent::SubscriberLagged { .. }))
+        .count();
+    let _ = writeln!(
+        out,
+        "broadcast: {} window(s) served once to {} subscriber(s); {delivered} delivered, {dropped} dropped, {missed} missed, {lag_events} lag event(s){}{}",
+        summary.windows,
+        summary.subscribers,
+        if telemetry.dropped() > 0 {
+            format!(" ({} telemetry event(s) evicted)", telemetry.dropped())
+        } else {
+            String::new()
+        },
+        if args.speed > 0 {
+            format!(", paced at {}x real time", args.speed)
+        } else {
+            String::new()
+        },
+    );
+    Ok(out)
+}
+
+/// The scenario catalog as printable text.
+pub fn render_scenarios() -> String {
+    use tw_core::ingest::Scenario;
+    let mut out = String::from("Ingest scenario catalog:\n");
+    for scenario in Scenario::all() {
+        let _ = writeln!(out, "  {:<12} {}", scenario.name(), scenario.describe());
+    }
+    out.push_str(
+        "\nrun one with:  traffic-warehouse ingest --scenario <name>\n\
+         serve a class: traffic-warehouse classroom --scenario <name> --students 30\n",
+    );
+    out
 }
 
 /// Validation report as printable text.
@@ -736,6 +1119,66 @@ mod tests {
                 speed: 4
             }
         );
+        assert_eq!(
+            parse_args(&args(&["scenarios"])).unwrap(),
+            Command::Scenarios
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "classroom",
+                "--scenario",
+                "ddos",
+                "--students",
+                "30"
+            ]))
+            .unwrap(),
+            Command::Classroom {
+                scenario: Some("ddos".into()),
+                replay: None,
+                students: 30,
+                windows: None,
+                nodes: 256,
+                seed: 7,
+                shards: 0,
+                window_us: 100_000,
+                speed: 0,
+                late: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "classroom",
+                "--replay",
+                "c.zip",
+                "--windows",
+                "4",
+                "--speed",
+                "8",
+                "--late",
+                "2",
+                "--seed",
+                "9",
+                "--shards",
+                "2",
+                "--nodes",
+                "128",
+                "--window-us",
+                "50000",
+            ]))
+            .unwrap(),
+            Command::Classroom {
+                scenario: None,
+                replay: Some("c.zip".into()),
+                students: 8,
+                windows: Some(4),
+                nodes: 128,
+                seed: 9,
+                shards: 2,
+                window_us: 50_000,
+                speed: 8,
+                late: Some(2),
+            }
+        );
     }
 
     #[test]
@@ -760,6 +1203,39 @@ mod tests {
         assert!(parse_args(&args(&["replay", "o.zip", "--speed", "0"])).is_err());
         assert!(parse_args(&args(&["replay", "o.zip", "--speed", "x"])).is_err());
         assert!(parse_args(&args(&["replay", "o.zip", "--bogus"])).is_err());
+        assert!(
+            parse_args(&args(&["classroom"])).is_err(),
+            "needs a scenario or a recording"
+        );
+        assert!(parse_args(&args(&[
+            "classroom",
+            "--scenario",
+            "ddos",
+            "--students",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "classroom",
+            "--scenario",
+            "ddos",
+            "--windows",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["classroom", "--scenario", "ddos", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["classroom", "--replay"])).is_err());
+        assert!(
+            parse_args(&args(&[
+                "classroom",
+                "--scenario",
+                "ddos",
+                "--replay",
+                "c.zip"
+            ]))
+            .is_err(),
+            "a recording carries its own scenario"
+        );
     }
 
     #[test]
@@ -852,6 +1328,98 @@ mod tests {
         std::fs::write(&junk, b"not a zip").unwrap();
         assert!(run_replay(&junk, 0).is_err());
         assert!(run_replay(dir.join("missing.zip").to_string_lossy().as_ref(), 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenarios_lists_the_whole_catalog() {
+        let out = run(&Command::Scenarios).unwrap();
+        use tw_core::ingest::Scenario;
+        for scenario in Scenario::all() {
+            assert!(out.contains(scenario.name()), "{out}");
+            assert!(out.contains(scenario.describe()), "{out}");
+        }
+        assert!(out.contains("classroom"));
+    }
+
+    #[test]
+    fn classroom_serves_live_and_replayed_scenarios() {
+        // Live: 6 students, one late, 3 windows.
+        let out = run_classroom(&ClassroomArgs {
+            scenario: Some("ddos".into()),
+            replay: None,
+            students: 6,
+            windows: Some(3),
+            nodes: 128,
+            seed: 7,
+            shards: 2,
+            window_us: 50_000,
+            speed: 0,
+            late: Some(1),
+        })
+        .unwrap();
+        assert!(
+            out.contains("6 student(s) (5 on time, 1 late at w1)"),
+            "{out}"
+        );
+        assert_eq!(
+            out.lines().filter(|l| l.contains("student ")).count(),
+            6,
+            "{out}"
+        );
+        assert!(out.contains("3 window(s) served once to 6 subscriber(s)"));
+        // On-time students saw all 3 windows; the late one joined at w1.
+        assert!(out.contains("joined w0       3 window(s)"), "{out}");
+        assert!(out.contains("joined w1       2 window(s)"), "{out}");
+
+        // Replay: record 4 windows, broadcast the file to 4 students.
+        let dir = std::env::temp_dir().join(format!("tw-cli-classroom-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let zip = dir.join("class.zip").to_string_lossy().into_owned();
+        run_ingest("scan", 4, 128, 3, 2, 2048, 50_000, Some(&zip)).unwrap();
+        let out = run_classroom(&ClassroomArgs {
+            scenario: None,
+            replay: Some(zip.clone()),
+            students: 4,
+            windows: None,
+            nodes: 256,
+            seed: 7,
+            shards: 0,
+            window_us: 100_000,
+            speed: 0,
+            late: Some(0),
+        })
+        .unwrap();
+        assert!(out.contains("scan (replayed from"), "{out}");
+        assert!(out.contains("4 window(s) served once to 4 subscriber(s)"));
+        assert!(out.contains("(4 on time, 0 late"), "{out}");
+
+        // Errors: unknown scenario, missing recording, tiny address space.
+        let bad = |scenario: Option<&str>, replay: Option<String>, nodes| {
+            run_classroom(&ClassroomArgs {
+                scenario: scenario.map(String::from),
+                replay,
+                students: 2,
+                windows: Some(1),
+                nodes,
+                seed: 1,
+                shards: 0,
+                window_us: 1_000,
+                speed: 0,
+                late: None,
+            })
+        };
+        assert!(bad(Some("wat"), None, 128)
+            .unwrap_err()
+            .0
+            .contains("known scenarios"));
+        assert!(bad(
+            None,
+            Some(dir.join("gone.zip").to_string_lossy().into_owned()),
+            128
+        )
+        .is_err());
+        assert!(bad(Some("ddos"), None, 4).is_err(), "tiny address space");
         std::fs::remove_dir_all(&dir).ok();
     }
 

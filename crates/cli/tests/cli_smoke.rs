@@ -103,6 +103,89 @@ fn compiled_binary_records_and_replays_a_scenario() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The classroom acceptance flow: one scenario broadcast once to a full
+/// class of 30 student sessions, live and from a recording.
+#[test]
+fn compiled_binary_serves_a_classroom() {
+    let dir = std::env::temp_dir().join(format!("tw-cli-classroom-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Live: the ISSUE's acceptance command, shrunk to 4 windows for CI.
+    let live = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "classroom",
+            "--scenario",
+            "ddos",
+            "--students",
+            "30",
+            "--windows",
+            "4",
+            "--nodes",
+            "128",
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(live.status.success(), "classroom exited nonzero");
+    let live_out = String::from_utf8_lossy(&live.stdout);
+    assert!(live_out.contains("30 student(s)"), "{live_out}");
+    assert_eq!(
+        live_out.lines().filter(|l| l.contains("student ")).count(),
+        30,
+        "{live_out}"
+    );
+    assert!(
+        live_out.contains("4 window(s) served once to 30 subscriber(s)"),
+        "{live_out}"
+    );
+
+    // Replay: record once, then broadcast the file.
+    let zip = dir.join("class.zip");
+    let zip_arg = zip.to_string_lossy().into_owned();
+    let record = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--windows",
+            "4",
+            "--nodes",
+            "128",
+            "--record",
+            &zip_arg,
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(record.status.success(), "ingest --record exited nonzero");
+    let replayed = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args(["classroom", "--replay", &zip_arg, "--students", "6"])
+        .output()
+        .expect("binary spawns");
+    assert!(
+        replayed.status.success(),
+        "classroom --replay exited nonzero"
+    );
+    let replay_out = String::from_utf8_lossy(&replayed.stdout);
+    assert!(replay_out.contains("replayed from"), "{replay_out}");
+    assert!(
+        replay_out.contains("4 window(s) served once to 6 subscriber(s)"),
+        "{replay_out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compiled_binary_lists_scenarios() {
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .arg("scenarios")
+        .output()
+        .expect("binary spawns");
+    assert!(output.status.success(), "scenarios exited nonzero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["background", "ddos", "scan", "flash-crowd", "p2p", "mixed"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
 #[test]
 fn compiled_binary_reports_errors_on_stderr() {
     let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))

@@ -83,11 +83,13 @@ pub mod sim {
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use tw_game::{
-        GameSession, Level, LiveWarehouse, TrainingLevel, ViewMode, ViewState, WarehouseScene,
+        BroadcastConfig, Broadcaster, GameSession, Level, LiveWarehouse, StartOffset, Subscription,
+        TelemetryHub, TrainingLevel, ViewMode, ViewState, WarehouseScene,
     };
     pub use tw_ingest::{
-        ArchiveRecorder, EventSource, IngestStats, Pipeline, PipelineConfig, RecordingMeta,
-        ReplaySource, Scenario, ShardedAccumulator, WindowReport,
+        ArchiveRecorder, EventSource, FileReplaySource, IngestStats, Paced, Pipeline,
+        PipelineConfig, RecordingMeta, ReplaySource, Scenario, SeekReplaySource,
+        ShardedAccumulator, WindowReport, WindowStream,
     };
     pub use tw_matrix::{CellColor, ColorMatrix, LabelSet, MatrixProfile, TrafficMatrix};
     pub use tw_module::{

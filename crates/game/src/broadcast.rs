@@ -1,0 +1,791 @@
+//! Classroom broadcast serving: one window stream fanned out to many
+//! sessions.
+//!
+//! The paper's premise is a *classroom* inspecting the same traffic-matrix
+//! scenario together. Before this module, one [`Pipeline`] fed exactly one
+//! consumer via pull-based `next_window()`; the [`Broadcaster`] inverts that
+//! seam: it drives any [`WindowStream`] **once** and pushes each
+//! [`WindowReport`] — wrapped in an [`Arc`], so fan-out cost is a pointer
+//! clone per student, not a matrix copy — over bounded crossbeam channels to
+//! every subscribed session.
+//!
+//! * **Late joiners** catch up from a bounded ring of the most recent
+//!   windows: a student connecting mid-scenario receives the ring suffix
+//!   from their requested offset immediately, and anything older than the
+//!   ring is counted as `missed` rather than silently skipped.
+//! * **Slow consumers** never stall the class: when a subscriber's bounded
+//!   channel is full, that window is dropped *for that subscriber only* and
+//!   counted (`dropped`), with a [`TelemetryEvent::SubscriberLagged`] event
+//!   for the educator dashboard.
+//! * **Detach is clean**: dropping a [`Subscription`] disconnects its
+//!   channel; the broadcaster notices on the next delivery, retires the
+//!   slot, and reports its final counters.
+//!
+//! The hub is deliberately synchronous and lock-based (one mutex around the
+//! subscriber table and ring): broadcasting is O(subscribers) pointer sends
+//! per window, and every blocking wait lives in the channels, not the lock.
+
+use crate::telemetry::{TelemetryEvent, TelemetryHub};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tw_ingest::{StreamError, WindowReport, WindowStream};
+
+/// Tuning knobs for a [`Broadcaster`].
+#[derive(Debug, Clone)]
+pub struct BroadcastConfig {
+    /// Bounded depth of each subscriber's window channel; a subscriber more
+    /// than this many windows behind starts dropping (and counting) them.
+    pub channel_capacity: usize,
+    /// Recent windows retained for late-joiner catch-up.
+    pub ring_capacity: usize,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            channel_capacity: 64,
+            ring_capacity: 32,
+        }
+    }
+}
+
+/// Where in the stream a new subscriber wants to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartOffset {
+    /// From the first window of the scenario (windows that already left the
+    /// catch-up ring are counted as missed).
+    Origin,
+    /// From the next window broadcast after subscribing.
+    Live,
+    /// From the given window index, catching up from the ring where possible.
+    Window(u64),
+}
+
+/// Per-subscriber counters, shared between the hub and the [`Subscription`].
+#[derive(Debug, Default)]
+struct SharedCounters {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    missed: AtomicU64,
+}
+
+/// One subscriber's final accounting, as reported in a [`BroadcastSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriberReport {
+    /// The subscriber's id (assigned in subscription order from 0).
+    pub id: usize,
+    /// The window index the subscriber asked to start from.
+    pub start_window: u64,
+    /// Windows enqueued to the subscriber's channel.
+    pub delivered: u64,
+    /// Windows dropped because the subscriber's channel was full.
+    pub dropped: u64,
+    /// Wanted windows that had already left the catch-up ring at join time.
+    pub missed: u64,
+}
+
+/// The outcome of a finished broadcast.
+#[derive(Debug, Clone)]
+pub struct BroadcastSummary {
+    /// Windows broadcast before the stream ended (or the cap was reached).
+    pub windows: u64,
+    /// Subscribers that ever joined.
+    pub subscribers: usize,
+    /// Final per-subscriber accounting, in subscription order.
+    pub reports: Vec<SubscriberReport>,
+}
+
+struct Slot {
+    id: usize,
+    start_window: u64,
+    sender: Sender<Arc<WindowReport>>,
+    counters: Arc<SharedCounters>,
+    detached: bool,
+}
+
+impl Slot {
+    fn report(&self) -> SubscriberReport {
+        SubscriberReport {
+            id: self.id,
+            start_window: self.start_window,
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            missed: self.counters.missed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct HubState {
+    config: BroadcastConfig,
+    telemetry: Option<TelemetryHub>,
+    ring: VecDeque<Arc<WindowReport>>,
+    /// The index the next broadcast window will carry (== windows broadcast
+    /// so far, since window indices are consecutive from 0).
+    next_index: u64,
+    closed: bool,
+    next_id: usize,
+    active: Vec<Slot>,
+    /// Reports of subscribers that already detached.
+    finished: Vec<SubscriberReport>,
+}
+
+impl HubState {
+    fn publish(&self, event: TelemetryEvent) {
+        if let Some(hub) = &self.telemetry {
+            hub.publish(event);
+        }
+    }
+
+    /// First window index the ring still holds (= `next_index` when empty).
+    fn ring_start(&self) -> u64 {
+        self.ring
+            .front()
+            .map(|r| r.stats.window_index)
+            .unwrap_or(self.next_index)
+    }
+
+    fn subscribe(&mut self, offset: StartOffset) -> Subscription {
+        let id = self.next_id;
+        self.next_id += 1;
+        let start_window = match offset {
+            StartOffset::Origin => 0,
+            StartOffset::Live => self.next_index,
+            StartOffset::Window(index) => index,
+        };
+        let (sender, receiver) = bounded(self.config.channel_capacity);
+        let counters = Arc::new(SharedCounters::default());
+        // Windows the subscriber wanted but that already left the ring.
+        let missed = self.ring_start().saturating_sub(start_window);
+        counters.missed.store(missed, Ordering::Relaxed);
+        let mut slot = Slot {
+            id,
+            start_window,
+            sender,
+            counters: counters.clone(),
+            detached: false,
+        };
+        // Catch up from the ring: everything at or past the requested start.
+        let mut caught_up = 0u64;
+        for report in self
+            .ring
+            .iter()
+            .filter(|r| r.stats.window_index >= start_window)
+        {
+            deliver(&mut slot, report, self.telemetry.as_ref());
+            caught_up += 1;
+        }
+        self.publish(TelemetryEvent::SubscriberJoined {
+            subscriber: id,
+            start_window,
+            caught_up,
+            missed,
+        });
+        if self.closed || slot.detached {
+            // Joining a finished broadcast still yields the ring suffix; the
+            // slot is retired immediately so its sender drops and the
+            // subscription sees disconnect after draining.
+            self.finished.push(slot.report());
+        } else {
+            self.active.push(slot);
+        }
+        Subscription {
+            id,
+            start_window,
+            receiver,
+            counters,
+        }
+    }
+
+    fn broadcast(&mut self, report: WindowReport) -> u64 {
+        let report = Arc::new(report);
+        let index = report.stats.window_index;
+        self.ring.push_back(report.clone());
+        while self.ring.len() > self.config.ring_capacity {
+            self.ring.pop_front();
+        }
+        let telemetry = self.telemetry.clone();
+        for slot in &mut self.active {
+            // A subscriber that asked to start in the future receives
+            // nothing (and counts nothing) until its start window arrives.
+            if index >= slot.start_window {
+                deliver(slot, &report, telemetry.as_ref());
+            }
+        }
+        self.retire_detached();
+        self.next_index = index + 1;
+        index
+    }
+
+    fn retire_detached(&mut self) {
+        if self.active.iter().any(|s| s.detached) {
+            let slots = std::mem::take(&mut self.active);
+            for slot in slots {
+                if slot.detached {
+                    let report = slot.report();
+                    self.publish(TelemetryEvent::SubscriberDetached {
+                        subscriber: report.id,
+                        delivered: report.delivered,
+                        dropped: report.dropped,
+                    });
+                    self.finished.push(report);
+                } else {
+                    self.active.push(slot);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> BroadcastSummary {
+        if !self.closed {
+            self.closed = true;
+            // Dropping each sender disconnects its channel: subscribers
+            // drain what is buffered, then see the end of the stream. Every
+            // still-attached subscriber detaches here, and says so on
+            // telemetry just like an early leaver would.
+            let slots = std::mem::take(&mut self.active);
+            for slot in slots {
+                let report = slot.report();
+                self.publish(TelemetryEvent::SubscriberDetached {
+                    subscriber: report.id,
+                    delivered: report.delivered,
+                    dropped: report.dropped,
+                });
+                self.finished.push(report);
+            }
+            self.publish(TelemetryEvent::BroadcastClosed {
+                windows: self.next_index,
+                subscribers: self.next_id,
+            });
+        }
+        let mut reports = self.finished.clone();
+        reports.sort_by_key(|r| r.id);
+        BroadcastSummary {
+            windows: self.next_index,
+            subscribers: self.next_id,
+            reports,
+        }
+    }
+}
+
+/// Enqueue one window to one subscriber, with lag accounting.
+fn deliver(slot: &mut Slot, report: &Arc<WindowReport>, telemetry: Option<&TelemetryHub>) {
+    if slot.detached {
+        return;
+    }
+    match slot.sender.try_send(report.clone()) {
+        Ok(()) => {
+            slot.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(_)) => {
+            let dropped = slot.counters.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(hub) = telemetry {
+                hub.publish(TelemetryEvent::SubscriberLagged {
+                    subscriber: slot.id,
+                    window_index: report.stats.window_index,
+                    dropped,
+                });
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            slot.detached = true;
+        }
+    }
+}
+
+/// A handle for subscribing to (and observing) a broadcast from any thread.
+#[derive(Clone)]
+pub struct BroadcastHandle {
+    state: Arc<Mutex<HubState>>,
+}
+
+impl BroadcastHandle {
+    fn lock(&self) -> MutexGuard<'_, HubState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Subscribe a new consumer starting at `offset`. Works before, during
+    /// and after the broadcast; ring catch-up is delivered immediately.
+    pub fn subscribe(&self, offset: StartOffset) -> Subscription {
+        self.lock().subscribe(offset)
+    }
+
+    /// Windows broadcast so far.
+    pub fn windows_broadcast(&self) -> u64 {
+        self.lock().next_index
+    }
+
+    /// Whether the broadcast has closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Currently attached subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.lock().active.len()
+    }
+
+    /// Subscribers that ever joined (attached or not).
+    pub fn subscribers_joined(&self) -> usize {
+        self.lock().next_id
+    }
+}
+
+impl std::fmt::Debug for BroadcastHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BroadcastHandle { .. }")
+    }
+}
+
+/// The hub that drives one [`WindowStream`] and fans it out to N subscribers.
+pub struct Broadcaster {
+    state: Arc<Mutex<HubState>>,
+}
+
+impl Broadcaster {
+    /// A broadcaster with the given configuration and no telemetry.
+    pub fn new(config: BroadcastConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// A broadcaster publishing subscriber lifecycle and lag events to the
+    /// given telemetry hub.
+    pub fn with_telemetry(config: BroadcastConfig, telemetry: TelemetryHub) -> Self {
+        Self::build(config, Some(telemetry))
+    }
+
+    fn build(config: BroadcastConfig, telemetry: Option<TelemetryHub>) -> Self {
+        assert!(
+            config.channel_capacity >= 1,
+            "subscriber channels need capacity"
+        );
+        assert!(
+            config.ring_capacity >= 1,
+            "the catch-up ring needs capacity"
+        );
+        Broadcaster {
+            state: Arc::new(Mutex::new(HubState {
+                config,
+                telemetry,
+                ring: VecDeque::new(),
+                next_index: 0,
+                closed: false,
+                next_id: 0,
+                active: Vec::new(),
+                finished: Vec::new(),
+            })),
+        }
+    }
+
+    /// A clonable handle for subscribing from other threads.
+    pub fn handle(&self) -> BroadcastHandle {
+        BroadcastHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Subscribe a consumer (convenience for [`BroadcastHandle::subscribe`]).
+    pub fn subscribe(&self, offset: StartOffset) -> Subscription {
+        self.handle().subscribe(offset)
+    }
+
+    /// Pull one window from the stream and broadcast it; `Ok(None)` once the
+    /// stream is exhausted (which closes the broadcast) or the broadcast is
+    /// already closed. Returns the broadcast window's index otherwise.
+    pub fn step(&mut self, stream: &mut dyn WindowStream) -> Result<Option<u64>, StreamError> {
+        if self.handle().is_closed() {
+            return Ok(None);
+        }
+        match stream.next_window() {
+            Ok(Some(report)) => {
+                let mut state = self.lock();
+                Ok(Some(state.broadcast(report)))
+            }
+            Ok(None) => {
+                self.close();
+                Ok(None)
+            }
+            Err(e) => {
+                // Close so blocked subscribers unblock instead of hanging on
+                // a broadcast that will never produce another window.
+                self.close();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drive the stream to exhaustion (or `max_windows`), then close the
+    /// broadcast and return the final per-subscriber accounting.
+    pub fn run(
+        &mut self,
+        stream: &mut dyn WindowStream,
+        max_windows: usize,
+    ) -> Result<BroadcastSummary, StreamError> {
+        let mut broadcast = 0usize;
+        while broadcast < max_windows {
+            match self.step(stream)? {
+                Some(_) => broadcast += 1,
+                None => break,
+            }
+        }
+        Ok(self.close())
+    }
+
+    /// Close the broadcast: every subscriber channel disconnects once
+    /// drained. Idempotent; returns the (final) summary.
+    pub fn close(&mut self) -> BroadcastSummary {
+        self.lock().close()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Dropping the broadcaster closes the hub unconditionally (idempotent), so
+/// subscribers blocked in `recv()` always unblock — even when a panic or an
+/// early return skips the explicit [`Broadcaster::close`] (surviving
+/// [`BroadcastHandle`] clones keep the channel senders alive otherwise).
+impl Drop for Broadcaster {
+    fn drop(&mut self) {
+        self.lock().close();
+    }
+}
+
+impl std::fmt::Debug for Broadcaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("Broadcaster")
+            .field("windows", &state.next_index)
+            .field("subscribers", &state.active.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+/// One subscriber's receiving end of a broadcast.
+///
+/// Dropping the subscription detaches it: the hub retires the slot on its
+/// next delivery attempt. Counters are shared with the hub, so they remain
+/// readable (and final) after the broadcast closes.
+#[derive(Debug)]
+pub struct Subscription {
+    id: usize,
+    start_window: u64,
+    receiver: Receiver<Arc<WindowReport>>,
+    counters: Arc<SharedCounters>,
+}
+
+impl Subscription {
+    /// The subscriber id the hub assigned (subscription order from 0).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The window index this subscription asked to start from.
+    pub fn start_window(&self) -> u64 {
+        self.start_window
+    }
+
+    /// Block until the next window arrives; `None` once the broadcast has
+    /// closed and everything buffered has been received.
+    pub fn recv(&self) -> Option<Arc<WindowReport>> {
+        self.receiver.recv().ok()
+    }
+
+    /// The next window, if one is already buffered.
+    pub fn try_recv(&self) -> Option<Arc<WindowReport>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Drain every currently buffered window.
+    pub fn drain(&self) -> Vec<Arc<WindowReport>> {
+        let mut out = Vec::new();
+        while let Some(report) = self.try_recv() {
+            out.push(report);
+        }
+        out
+    }
+
+    /// Windows the hub enqueued to this subscription.
+    pub fn delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Windows the hub dropped because this subscription's channel was full.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Wanted windows that had already left the ring when this subscription
+    /// joined.
+    pub fn missed(&self) -> u64 {
+        self.counters.missed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_ingest::{Pipeline, PipelineConfig, Scenario};
+
+    fn ddos_pipeline(windows_us: u64) -> Pipeline {
+        let config = PipelineConfig {
+            window_us: windows_us,
+            batch_size: 4_096,
+            shard_count: 2,
+        };
+        Pipeline::new(Scenario::Ddos.source(128, 7), config)
+    }
+
+    fn roomy() -> BroadcastConfig {
+        BroadcastConfig {
+            channel_capacity: 64,
+            ring_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn every_subscriber_sees_the_identical_stream() {
+        let mut reference = ddos_pipeline(50_000);
+        let reference = reference.run(4);
+
+        let mut caster = Broadcaster::new(roomy());
+        let subs: Vec<Subscription> = (0..3)
+            .map(|_| caster.subscribe(StartOffset::Origin))
+            .collect();
+        let mut stream = ddos_pipeline(50_000);
+        let summary = caster.run(&mut stream, 4).unwrap();
+        assert_eq!(summary.windows, 4);
+        assert_eq!(summary.subscribers, 3);
+        for sub in &subs {
+            let received = sub.drain();
+            assert_eq!(received.len(), 4);
+            assert_eq!(sub.delivered(), 4);
+            assert_eq!(sub.dropped(), 0);
+            assert_eq!(sub.missed(), 0);
+            for (reference, received) in reference.iter().zip(&received) {
+                assert_eq!(reference.matrix, received.matrix, "cell-for-cell");
+                // Everything but the wall-clock elapsed is deterministic
+                // across two runs of the same seeded scenario.
+                assert_eq!(reference.stats.window_index, received.stats.window_index);
+                assert_eq!(reference.stats.events, received.stats.events);
+                assert_eq!(reference.stats.packets, received.stats.packets);
+                assert_eq!(reference.stats.nnz, received.stats.nnz);
+            }
+            assert!(sub.recv().is_none(), "closed after drain");
+        }
+    }
+
+    #[test]
+    fn late_joiner_catches_up_from_the_ring() {
+        let mut stream = ddos_pipeline(50_000);
+        let mut caster = Broadcaster::new(roomy());
+        let early = caster.subscribe(StartOffset::Origin);
+        // Broadcast two windows, then join late asking for window 1.
+        caster.step(&mut stream).unwrap();
+        caster.step(&mut stream).unwrap();
+        let late = caster.subscribe(StartOffset::Window(1));
+        let live = caster.subscribe(StartOffset::Live);
+        caster.step(&mut stream).unwrap();
+        caster.close();
+
+        let early: Vec<u64> = early.drain().iter().map(|r| r.stats.window_index).collect();
+        let late_seen: Vec<u64> = late.drain().iter().map(|r| r.stats.window_index).collect();
+        let live_seen: Vec<u64> = live.drain().iter().map(|r| r.stats.window_index).collect();
+        assert_eq!(early, vec![0, 1, 2]);
+        assert_eq!(late_seen, vec![1, 2], "ring caught the late joiner up");
+        assert_eq!(live_seen, vec![2], "live join sees only the future");
+        assert_eq!(late.missed(), 0);
+    }
+
+    #[test]
+    fn future_start_offsets_skip_earlier_windows() {
+        let mut caster = Broadcaster::new(roomy());
+        let sub = caster.subscribe(StartOffset::Window(2));
+        let mut stream = ddos_pipeline(50_000);
+        caster.run(&mut stream, 4).unwrap();
+        let seen: Vec<u64> = sub.drain().iter().map(|r| r.stats.window_index).collect();
+        assert_eq!(seen, vec![2, 3], "windows before the start are skipped");
+        assert_eq!(sub.delivered(), 2);
+        assert_eq!(sub.dropped(), 0, "skipped windows are not drops");
+        assert_eq!(sub.missed(), 0, "nor misses");
+    }
+
+    #[test]
+    fn windows_older_than_the_ring_are_counted_missed() {
+        let mut stream = ddos_pipeline(50_000);
+        let mut caster = Broadcaster::new(BroadcastConfig {
+            channel_capacity: 8,
+            ring_capacity: 2,
+        });
+        for _ in 0..4 {
+            caster.step(&mut stream).unwrap();
+        }
+        // Ring now holds windows {2, 3}; an Origin joiner wanted 0..=3.
+        let sub = caster.subscribe(StartOffset::Origin);
+        let seen: Vec<u64> = sub.drain().iter().map(|r| r.stats.window_index).collect();
+        assert_eq!(seen, vec![2, 3]);
+        assert_eq!(sub.missed(), 2, "windows 0 and 1 already left the ring");
+        caster.close();
+    }
+
+    #[test]
+    fn slow_subscribers_drop_with_accounting_instead_of_stalling() {
+        let telemetry = TelemetryHub::new();
+        let mut caster = Broadcaster::with_telemetry(
+            BroadcastConfig {
+                channel_capacity: 2,
+                ring_capacity: 8,
+            },
+            telemetry.clone(),
+        );
+        let slow = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        let summary = caster.run(&mut stream, 5).unwrap();
+        assert_eq!(summary.windows, 5);
+        // Capacity 2 and nobody draining: 2 delivered, 3 dropped.
+        assert_eq!(slow.delivered(), 2);
+        assert_eq!(slow.dropped(), 3);
+        assert_eq!(summary.reports[0].dropped, 3);
+        let lag_events = telemetry
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e, TelemetryEvent::SubscriberLagged { .. }))
+            .count();
+        assert_eq!(lag_events, 3, "every drop surfaced on telemetry");
+        // The windows that did arrive are the oldest (head-of-line), in order.
+        let seen: Vec<u64> = slow.drain().iter().map(|r| r.stats.window_index).collect();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn dropped_subscription_detaches_cleanly() {
+        let telemetry = TelemetryHub::new();
+        let mut caster = Broadcaster::with_telemetry(roomy(), telemetry.clone());
+        let keep = caster.subscribe(StartOffset::Origin);
+        let leave = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        caster.step(&mut stream).unwrap();
+        assert_eq!(caster.handle().subscriber_count(), 2);
+        drop(leave);
+        // The hub notices on the next delivery and retires the slot.
+        caster.step(&mut stream).unwrap();
+        assert_eq!(caster.handle().subscriber_count(), 1);
+        let summary = caster.close();
+        assert_eq!(summary.subscribers, 2);
+        let detached = summary.reports.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(detached.delivered, 1, "got window 0 before leaving");
+        assert!(telemetry
+            .drain()
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::SubscriberDetached { subscriber: 1, .. })));
+        assert_eq!(keep.drain().len(), 2);
+    }
+
+    #[test]
+    fn subscribing_after_close_yields_the_ring_suffix_then_disconnect() {
+        let mut caster = Broadcaster::new(roomy());
+        let mut stream = ddos_pipeline(50_000);
+        caster.run(&mut stream, 3).unwrap();
+        assert!(caster.handle().is_closed());
+        let sub = caster.subscribe(StartOffset::Window(1));
+        let seen: Vec<u64> = sub.drain().iter().map(|r| r.stats.window_index).collect();
+        assert_eq!(seen, vec![1, 2]);
+        assert!(sub.recv().is_none());
+    }
+
+    #[test]
+    fn threaded_consumers_all_receive_every_window() {
+        let mut caster = Broadcaster::new(roomy());
+        let subs: Vec<Subscription> = (0..8)
+            .map(|_| caster.subscribe(StartOffset::Origin))
+            .collect();
+        let handle = caster.handle();
+        std::thread::scope(|scope| {
+            let consumers: Vec<_> = subs
+                .into_iter()
+                .map(|sub| {
+                    scope.spawn(move || {
+                        let mut indices = Vec::new();
+                        while let Some(report) = sub.recv() {
+                            indices.push(report.stats.window_index);
+                        }
+                        indices
+                    })
+                })
+                .collect();
+            let mut stream = ddos_pipeline(50_000);
+            let summary = caster.run(&mut stream, 6).unwrap();
+            assert_eq!(summary.windows, 6);
+            for consumer in consumers {
+                assert_eq!(consumer.join().unwrap(), vec![0, 1, 2, 3, 4, 5]);
+            }
+        });
+        assert!(handle.is_closed());
+        assert_eq!(handle.windows_broadcast(), 6);
+    }
+
+    #[test]
+    fn telemetry_reports_joins_and_close() {
+        let telemetry = TelemetryHub::new();
+        let mut caster = Broadcaster::with_telemetry(roomy(), telemetry.clone());
+        let _sub = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        caster.run(&mut stream, 2).unwrap();
+        let events = telemetry.drain();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::SubscriberJoined {
+                subscriber: 0,
+                start_window: 0,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::BroadcastClosed {
+                windows: 2,
+                subscribers: 1
+            }
+        )));
+        // A subscriber still attached at close detaches (and reports) too.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::SubscriberDetached {
+                subscriber: 0,
+                delivered: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dropping_the_broadcaster_closes_the_hub() {
+        let caster = Broadcaster::new(roomy());
+        let sub = caster.subscribe(StartOffset::Origin);
+        let handle = caster.handle();
+        // No explicit close(): the Drop impl must unblock subscribers even
+        // though `handle` keeps the hub state alive.
+        drop(caster);
+        assert!(handle.is_closed());
+        assert!(sub.recv().is_none(), "recv unblocks on drop-close");
+    }
+
+    #[test]
+    fn step_after_close_is_a_no_op() {
+        let mut caster = Broadcaster::new(roomy());
+        let mut stream = ddos_pipeline(50_000);
+        caster.run(&mut stream, 1).unwrap();
+        assert_eq!(caster.step(&mut stream).unwrap(), None);
+        let again = caster.close();
+        assert_eq!(again.windows, 1);
+    }
+}

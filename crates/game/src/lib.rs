@@ -15,10 +15,15 @@
 //! * [`training`] — the built-in training level (paper Fig. 5);
 //! * [`live`] — live ingest windows coarsened onto the warehouse floor
 //!   (the scene re-pallets per tumbling window);
+//! * [`broadcast`] — the classroom hub: one
+//!   [`WindowStream`](tw_ingest::WindowStream) driven once and fanned out to
+//!   N subscribed sessions over bounded channels, with late-joiner catch-up
+//!   and per-subscriber lag accounting;
 //! * [`session`] — the game state machine walking a module bundle;
 //! * [`telemetry`] — the event stream used for the future-work outcome
-//!   measurement the paper calls for.
+//!   measurement the paper calls for (bounded, drop-oldest).
 
+pub mod broadcast;
 pub mod controller;
 pub mod level;
 pub mod live;
@@ -28,11 +33,15 @@ pub mod training;
 pub mod view;
 pub mod warehouse;
 
+pub use broadcast::{
+    BroadcastConfig, BroadcastHandle, BroadcastSummary, Broadcaster, StartOffset, SubscriberReport,
+    Subscription,
+};
 pub use controller::PalletLabelController;
 pub use level::Level;
 pub use live::{coarsen_window, LiveWarehouse};
 pub use session::{GamePhase, GameSession};
-pub use telemetry::{TelemetryEvent, TelemetryHub};
+pub use telemetry::{TelemetryEvent, TelemetryHub, DEFAULT_TELEMETRY_CAPACITY};
 pub use training::{TrainingLevel, TrainingStep};
 pub use view::{ViewMode, ViewState};
 pub use warehouse::WarehouseScene;

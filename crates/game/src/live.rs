@@ -7,8 +7,9 @@
 //! display guidance) and the warehouse scene is rebuilt — re-palleted — so a
 //! class can watch a scenario unfold window by window.
 
+use crate::broadcast::Subscription;
 use crate::warehouse::WarehouseScene;
-use tw_ingest::{IngestStats, Pipeline, WindowReport};
+use tw_ingest::{IngestStats, StreamError, WindowReport, WindowStream};
 use tw_matrix::{CsrMatrix, LabelSet, TrafficMatrix};
 use tw_module::ModuleBuilder;
 
@@ -117,16 +118,41 @@ impl LiveWarehouse {
         self.last_stats = Some(report.stats.clone());
     }
 
-    /// Drive a pipeline for up to `max_windows`, re-palleting per window;
-    /// returns the stats of every window received.
-    pub fn follow(&mut self, pipeline: &mut Pipeline, max_windows: usize) -> Vec<IngestStats> {
+    /// Drive any [`WindowStream`] (a live `Pipeline`, a replay, a paced
+    /// replay) for up to `max_windows`, re-palleting per window; returns the
+    /// stats of every window received.
+    pub fn follow<S: WindowStream + ?Sized>(
+        &mut self,
+        stream: &mut S,
+        max_windows: usize,
+    ) -> Result<Vec<IngestStats>, StreamError> {
         let mut stats = Vec::new();
         while stats.len() < max_windows {
-            let Some(report) = pipeline.next_window() else {
+            let Some(report) = stream.next_window()? else {
                 break;
             };
             self.on_window(&report);
             stats.push(report.stats);
+        }
+        Ok(stats)
+    }
+
+    /// Consume a broadcast [`Subscription`] until the broadcast closes (or
+    /// `max_windows` arrive), re-palleting per window; returns the stats of
+    /// every window received. Blocks between windows like a student's screen
+    /// would.
+    pub fn follow_subscription(
+        &mut self,
+        subscription: &Subscription,
+        max_windows: usize,
+    ) -> Vec<IngestStats> {
+        let mut stats = Vec::new();
+        while stats.len() < max_windows {
+            let Some(report) = subscription.recv() else {
+                break;
+            };
+            self.on_window(&report);
+            stats.push(report.stats.clone());
         }
         stats
     }
@@ -137,7 +163,7 @@ mod tests {
     use super::*;
     use crate::session::GameSession;
     use crate::telemetry::TelemetryEvent;
-    use tw_ingest::{PipelineConfig, Scenario};
+    use tw_ingest::{Pipeline, PipelineConfig, Scenario};
     use tw_module::ModuleBundle;
 
     fn ddos_pipeline() -> Pipeline {
@@ -176,7 +202,7 @@ mod tests {
         let mut live = LiveWarehouse::new(10);
         assert!(live.scene().is_none());
         let mut pipeline = ddos_pipeline();
-        let stats = live.follow(&mut pipeline, 3);
+        let stats = live.follow(&mut pipeline, 3).unwrap();
         assert_eq!(stats.len(), 3);
         assert_eq!(live.windows_seen(), 3);
         assert_eq!(live.dimension(), 10);
@@ -265,6 +291,44 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn follow_accepts_any_window_stream() {
+        use tw_ingest::{ArchiveRecorder, RecordingMeta, ReplaySource};
+        // Record two windows, then follow the replay through the same
+        // `follow` entry point as the live pipeline.
+        let mut pipeline = ddos_pipeline();
+        let mut recorder = ArchiveRecorder::new(RecordingMeta {
+            scenario: "ddos".to_string(),
+            seed: 5,
+            node_count: 500,
+            window_us: 50_000,
+        });
+        for report in pipeline.run(2) {
+            recorder.record(&report).unwrap();
+        }
+        let bytes = recorder.finish().unwrap();
+        let mut replay = ReplaySource::parse(&bytes).unwrap();
+        let mut live = LiveWarehouse::new(10);
+        let stats = live.follow(&mut replay, usize::MAX).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(live.windows_seen(), 2);
+        assert!(live.scene().is_some());
+    }
+
+    #[test]
+    fn follow_subscription_consumes_a_broadcast() {
+        use crate::broadcast::{BroadcastConfig, Broadcaster, StartOffset};
+        let mut caster = Broadcaster::new(BroadcastConfig::default());
+        let sub = caster.subscribe(StartOffset::Origin);
+        let mut pipeline = ddos_pipeline();
+        caster.run(&mut pipeline, 3).unwrap();
+        let mut live = LiveWarehouse::new(10);
+        let stats = live.follow_subscription(&sub, usize::MAX);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(live.windows_seen(), 3);
+        assert_eq!(live.last_stats().unwrap().window_index, 2);
     }
 
     #[test]

@@ -5,8 +5,20 @@
 //! event is published on a channel that an educator dashboard (or, here, the
 //! classroom simulator in `tw-sim`) can consume without coupling to the game
 //! loop.
+//!
+//! The hub's channel is **bounded** with a drop-oldest policy: a dashboard
+//! that stops draining can never grow the game's memory without bound.
+//! When the buffer is full, [`TelemetryHub::publish`] discards the *oldest*
+//! buffered event to make room for the new one (the most recent events are
+//! the ones an educator reconnecting mid-lesson needs) and counts the loss
+//! in [`TelemetryHub::dropped`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default event buffer capacity (see [`TelemetryHub::with_capacity`]).
+pub const DEFAULT_TELEMETRY_CAPACITY: usize = 1024;
 
 /// A gameplay event.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,13 +45,42 @@ pub enum TelemetryEvent {
         events: u64,
         nnz: usize,
     },
+    /// A student session subscribed to a window broadcast; `missed` counts
+    /// wanted windows that had already left the catch-up ring.
+    SubscriberJoined {
+        subscriber: usize,
+        start_window: u64,
+        caught_up: u64,
+        missed: u64,
+    },
+    /// A subscriber's channel was full when a window was broadcast, so the
+    /// window was dropped for that subscriber; `dropped` is its running total.
+    SubscriberLagged {
+        subscriber: usize,
+        window_index: u64,
+        dropped: u64,
+    },
+    /// A subscriber detached (its receiving half was dropped) or the
+    /// broadcast closed while it was still attached.
+    SubscriberDetached {
+        subscriber: usize,
+        delivered: u64,
+        dropped: u64,
+    },
+    /// The broadcast finished; contains the window count and how many
+    /// subscribers ever joined.
+    BroadcastClosed { windows: u64, subscribers: usize },
 }
 
-/// A telemetry publisher/consumer pair backed by an unbounded channel.
+/// A telemetry publisher/consumer pair backed by a bounded channel with a
+/// drop-oldest overflow policy.
 #[derive(Debug, Clone)]
 pub struct TelemetryHub {
     sender: Sender<TelemetryEvent>,
     receiver: Receiver<TelemetryEvent>,
+    /// Events discarded by the drop-oldest policy; shared by every clone of
+    /// this hub.
+    dropped: Arc<AtomicU64>,
 }
 
 impl Default for TelemetryHub {
@@ -49,21 +90,45 @@ impl Default for TelemetryHub {
 }
 
 impl TelemetryHub {
-    /// Create a hub.
+    /// Create a hub buffering up to [`DEFAULT_TELEMETRY_CAPACITY`] events.
     pub fn new() -> Self {
-        let (sender, receiver) = unbounded();
-        TelemetryHub { sender, receiver }
+        Self::with_capacity(DEFAULT_TELEMETRY_CAPACITY)
     }
 
-    /// Publish an event (never blocks).
+    /// Create a hub buffering up to `capacity` events (at least 1). When the
+    /// buffer is full the oldest buffered event is discarded — and counted —
+    /// to admit the new one.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let (sender, receiver) = bounded(capacity.max(1));
+        TelemetryHub {
+            sender,
+            receiver,
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Publish an event (never blocks). On a full buffer the oldest buffered
+    /// event is dropped to make room, and the drop is counted.
     pub fn publish(&self, event: TelemetryEvent) {
-        // The receiver half lives as long as self, so send cannot fail.
-        let _ = self.sender.send(event);
-    }
-
-    /// A sender handle that can be moved to another thread.
-    pub fn sender(&self) -> Sender<TelemetryEvent> {
-        self.sender.clone()
+        let mut event = event;
+        loop {
+            match self.sender.try_send(event) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    // Drop-oldest: evict the head and retry. Another consumer
+                    // may race the eviction; either way a slot opens up (or
+                    // the queue empties), so this loop terminates.
+                    if self.receiver.try_recv().is_ok() {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    event = back;
+                }
+                // The receiver half lives as long as self, so this is
+                // unreachable; drop the event rather than panic if a future
+                // refactor changes that.
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
     }
 
     /// Drain every event published so far.
@@ -78,6 +143,12 @@ impl TelemetryHub {
     /// Number of events waiting to be drained.
     pub fn pending(&self) -> usize {
         self.receiver.len()
+    }
+
+    /// Total events discarded by the drop-oldest overflow policy since the
+    /// hub was created (shared across clones).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -104,20 +175,66 @@ mod tests {
         );
         assert_eq!(hub.pending(), 0);
         assert!(hub.drain().is_empty());
+        assert_eq!(hub.dropped(), 0);
     }
 
     #[test]
-    fn senders_work_across_threads() {
-        let hub = TelemetryHub::new();
-        let sender = hub.sender();
+    fn publishers_work_across_threads() {
+        // A hub clone is the cross-thread publishing handle; unlike a raw
+        // channel sender it preserves the drop-oldest policy (publish never
+        // blocks, even against a stopped consumer).
+        let hub = TelemetryHub::with_capacity(4);
+        let publisher = hub.clone();
         let handle = std::thread::spawn(move || {
             for i in 0..10 {
-                sender
-                    .send(TelemetryEvent::ModuleCompleted { index: i })
-                    .unwrap();
+                publisher.publish(TelemetryEvent::ModuleCompleted { index: i });
             }
         });
         handle.join().unwrap();
-        assert_eq!(hub.drain().len(), 10);
+        assert_eq!(hub.drain().len(), 4, "bounded even from another thread");
+        assert_eq!(hub.dropped(), 6);
+    }
+
+    #[test]
+    fn full_buffer_drops_the_oldest_and_counts_it() {
+        let hub = TelemetryHub::with_capacity(3);
+        for i in 0..8 {
+            hub.publish(TelemetryEvent::ModuleCompleted { index: i });
+        }
+        // Capacity 3: the 8 publishes kept only the newest 3 events.
+        assert_eq!(hub.pending(), 3);
+        assert_eq!(hub.dropped(), 5);
+        let events = hub.drain();
+        assert_eq!(
+            events,
+            vec![
+                TelemetryEvent::ModuleCompleted { index: 5 },
+                TelemetryEvent::ModuleCompleted { index: 6 },
+                TelemetryEvent::ModuleCompleted { index: 7 },
+            ],
+            "the newest events survive"
+        );
+        // Clones share the dropped counter.
+        let clone = hub.clone();
+        assert_eq!(clone.dropped(), 5);
+    }
+
+    #[test]
+    fn slow_consumer_memory_stays_bounded() {
+        let hub = TelemetryHub::with_capacity(16);
+        for i in 0..10_000 {
+            hub.publish(TelemetryEvent::LiveWindow {
+                window_index: i,
+                events: 1,
+                nnz: 1,
+            });
+        }
+        assert_eq!(hub.pending(), 16, "buffer never exceeds its capacity");
+        assert_eq!(hub.dropped(), 10_000 - 16);
+        // The retained suffix is the newest windows, in order.
+        let events = hub.drain();
+        assert!(
+            matches!(events[0], TelemetryEvent::LiveWindow { window_index, .. } if window_index == 10_000 - 16)
+        );
     }
 }

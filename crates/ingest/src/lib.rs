@@ -37,25 +37,35 @@
 //!   [`WindowReport`] (delta-compressed CSR + stats);
 //! * [`record`] — [`ArchiveRecorder`] (window stream → `tw-archive` ZIP with
 //!   a JSON manifest) and [`ReplaySource`] (ZIP → the identical window
-//!   stream, no event generation).
+//!   stream, no event generation);
+//! * [`replay`] — [`SeekReplaySource`] / [`FileReplaySource`]: the same
+//!   playback streamed incrementally from disk, one window entry per pull;
+//! * [`stream`] — the [`WindowStream`] trait unifying every producer above
+//!   (plus the rate-pacing [`Paced`] adapter), so consumers like the
+//!   `tw-game` broadcast hub drive live scenarios and replays through one
+//!   code path.
 
 pub mod codec;
 pub mod pipeline;
 pub mod record;
+pub mod replay;
 pub mod scenario;
 pub mod shard;
 pub mod source;
+pub mod stream;
 pub mod window;
 
 pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};
+pub use replay::{FileReplaySource, SeekReplaySource};
 pub use scenario::Scenario;
 pub use shard::{window_matrix, ShardedAccumulator};
 pub use source::{
     collect_events, DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Limit, Mix,
     P2pMeshSource, PatternSource, ScanSweepSource,
 };
+pub use stream::{collect_stream, Paced, StreamError, WindowStream};
 pub use window::{IngestStats, WindowClock, WindowReport};
 
 #[cfg(test)]

@@ -86,6 +86,11 @@ impl Pipeline {
         self.accumulator.shard_count()
     }
 
+    /// Tumbling-window duration in simulated microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.clock.window_us()
+    }
+
     /// Drive the pipeline until the current window closes; `None` once the
     /// source is exhausted and every window has been emitted.
     pub fn next_window(&mut self) -> Option<WindowReport> {
@@ -172,6 +177,22 @@ impl Pipeline {
         };
         self.window_elapsed = Duration::ZERO;
         WindowReport { matrix, stats }
+    }
+}
+
+/// Live generation as a [`WindowStream`](crate::WindowStream): the pipeline
+/// cannot fail, so every pull is `Ok`.
+impl crate::stream::WindowStream for Pipeline {
+    fn next_window(&mut self) -> Result<Option<WindowReport>, crate::stream::StreamError> {
+        Ok(Pipeline::next_window(self))
+    }
+
+    fn node_count(&self) -> usize {
+        Pipeline::node_count(self)
+    }
+
+    fn window_us(&self) -> u64 {
+        Pipeline::window_us(self)
     }
 }
 

@@ -245,7 +245,7 @@ impl<'a> ReplaySource<'a> {
         let manifest_text = reader
             .read_text(MANIFEST_ENTRY)
             .map_err(|_| RecordError::Manifest(format!("missing {MANIFEST_ENTRY}")))?;
-        let manifest = parse_manifest(manifest_text, &reader)?;
+        let manifest = parse_manifest(manifest_text, |name| reader.read(name).is_ok())?;
         Ok(ReplaySource {
             reader,
             manifest,
@@ -292,13 +292,39 @@ impl<'a> ReplaySource<'a> {
     }
 }
 
+/// In-memory recording playback as a [`WindowStream`](crate::WindowStream).
+impl crate::stream::WindowStream for ReplaySource<'_> {
+    fn next_window(&mut self) -> Result<Option<WindowReport>, crate::stream::StreamError> {
+        ReplaySource::next_window(self).map_err(Into::into)
+    }
+
+    fn node_count(&self) -> usize {
+        self.manifest.node_count
+    }
+
+    fn window_us(&self) -> u64 {
+        self.manifest.window_us
+    }
+
+    fn remaining_windows(&self) -> Option<usize> {
+        Some(self.remaining())
+    }
+}
+
 fn manifest_u64(root: &Value, key: &str) -> Result<u64, RecordError> {
     root.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| RecordError::Manifest(format!("missing or non-integer {key:?}")))
 }
 
-fn parse_manifest(text: &str, reader: &ZipReader<'_>) -> Result<ReplayManifest, RecordError> {
+/// Parse and validate a recording manifest. `has_entry` answers whether the
+/// backing archive holds a named entry, so the same validation serves both
+/// the in-memory [`ReplaySource`] and the seekable
+/// [`SeekReplaySource`](crate::replay::SeekReplaySource).
+pub(crate) fn parse_manifest(
+    text: &str,
+    has_entry: impl Fn(&str) -> bool,
+) -> Result<ReplayManifest, RecordError> {
     let root = tw_json::parse(text)
         .map_err(|e| RecordError::Manifest(format!("{MANIFEST_ENTRY}: {e}")))?;
     let format = root.get("format").and_then(Value::as_str).unwrap_or("");
@@ -344,7 +370,7 @@ fn parse_manifest(text: &str, reader: &ZipReader<'_>) -> Result<ReplayManifest, 
             .get("entry")
             .and_then(Value::as_str)
             .ok_or_else(|| RecordError::Manifest(format!("window {i} has no entry name")))?;
-        if reader.read(entry).is_err() {
+        if !has_entry(entry) {
             return Err(RecordError::Manifest(format!(
                 "window table names {entry:?} but the archive has no such entry"
             )));

@@ -1,20 +1,27 @@
 //! Offline shim for the subset of `crossbeam` used by this workspace.
 //!
 //! The build environment has no access to crates.io, so this crate provides
-//! `crossbeam::channel::{unbounded, Sender, Receiver, TryRecvError}` with the
-//! same semantics (clonable MPMC handles, disconnect detection) backed by an
-//! `Arc<Mutex<VecDeque<T>>>`.
+//! `crossbeam::channel::{unbounded, bounded, Sender, Receiver, ...}` with the
+//! same semantics (clonable MPMC handles, disconnect detection, blocking and
+//! non-blocking operations on both halves) backed by an
+//! `Arc<Mutex<VecDeque<T>>>` plus two condition variables (`not_empty` wakes
+//! blocked receivers, `not_full` wakes senders blocked on a bounded channel).
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Mutex};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` buffered values.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        not_empty: Condvar,
+        not_full: Condvar,
     }
 
     impl<T> Shared<T> {
@@ -24,20 +31,32 @@ pub mod channel {
                 Err(poisoned) => poisoned.into_inner(),
             }
         }
+
+        fn is_full(&self, queue: &VecDeque<T>) -> bool {
+            self.capacity.is_some_and(|cap| queue.len() >= cap)
+        }
     }
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the value is handed back.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,12 +67,28 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Receiver::recv`]: the channel is empty and every
+    /// sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
         });
         (
             Sender {
@@ -63,13 +98,54 @@ pub mod channel {
         )
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `capacity` values.
+    ///
+    /// Unlike upstream crossbeam, a zero capacity (rendezvous channel) is not
+    /// supported by this shim; the capacity is clamped to at least 1.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(capacity.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Push a value; fails only when every receiver has been dropped.
+        /// Push a value, blocking while a bounded channel is at capacity;
+        /// fails only when every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::Acquire) == 0 {
-                return Err(SendError(value));
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                if !self.shared.is_full(&queue) {
+                    queue.push_back(value);
+                    drop(queue);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = match self.shared.not_full.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
-            self.shared.lock().push_back(value);
+        }
+
+        /// Push a value without blocking; hands it back when the channel is
+        /// full or every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.lock();
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if self.shared.is_full(&queue) {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.not_empty.notify_one();
             Ok(())
         }
     }
@@ -79,11 +155,62 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.lock();
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    Ok(value)
+                }
                 None if self.shared.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Pop the oldest value, blocking until one arrives; fails once the
+        /// channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = match self.shared.not_empty.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Pop the oldest value, blocking for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                queue = match self.shared.not_empty.wait_timeout(queue, remaining) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         }
 
@@ -118,13 +245,22 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            self.shared.senders.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: take the queue lock so the count change
+                // cannot race a receiver between its empty check and its
+                // wait, then wake every blocked receiver to observe it.
+                drop(self.shared.lock());
+                self.shared.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                drop(self.shared.lock());
+                self.shared.not_full.notify_all();
+            }
         }
     }
 
@@ -152,6 +288,24 @@ pub mod channel {
         }
     }
 
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl std::fmt::Display for TryRecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match self {
@@ -160,6 +314,27 @@ pub mod channel {
             }
         }
     }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+    impl std::error::Error for RecvTimeoutError {}
+    impl std::error::Error for TryRecvError {}
 
     #[cfg(test)]
     mod tests {
@@ -183,6 +358,7 @@ pub mod channel {
             drop(tx);
             drop(tx2);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(1).is_err());
@@ -198,6 +374,71 @@ pub mod channel {
             });
             handle.join().unwrap();
             assert_eq!((0..100).map(|_| rx.try_recv().unwrap()).sum::<i32>(), 4950);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_slot_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let producer = std::thread::spawn(move || tx.send(2).unwrap());
+            // The producer is blocked on the full channel until this recv.
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn recv_blocks_until_a_value_arrives() {
+            let (tx, rx) = bounded(4);
+            let consumer = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42).unwrap();
+            assert_eq!(consumer.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn recv_unblocks_when_the_last_sender_drops() {
+            let (tx, rx) = bounded::<u8>(4);
+            let consumer = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(5));
+            drop(tx);
+            assert_eq!(consumer.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = bounded(4);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn zero_capacity_is_clamped_to_one() {
+            let (tx, rx) = bounded(0);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.try_recv(), Ok(1));
         }
     }
 }
