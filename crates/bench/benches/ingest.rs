@@ -76,6 +76,7 @@ fn bench_ingest(c: &mut Criterion) {
                         window_us: (window_events as u64) * 10,
                         batch_size: 8_192,
                         shard_count: 8,
+                        reorder_horizon_us: 0,
                     };
                     let mut pipeline = Pipeline::new(scenario.source(nodes, 3), config);
                     let reports = pipeline.run(10);

@@ -41,6 +41,7 @@ fn pipeline(windows: usize) -> Pipeline {
         window_us: WINDOW_US,
         batch_size: 8_192,
         shard_count: 8,
+        reorder_horizon_us: 0,
     };
     Pipeline::new(Scenario::Ddos.source(NODES, SEED), config)
 }

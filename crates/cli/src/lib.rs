@@ -51,6 +51,8 @@ pub enum Command {
         shards: usize,
         batch: usize,
         window_us: u64,
+        horizon_us: u64,
+        skew_us: u64,
         record: Option<String>,
     },
     /// Replay a recorded window stream into the live warehouse view.
@@ -66,6 +68,8 @@ pub enum Command {
         seed: u64,
         shards: usize,
         window_us: u64,
+        horizon_us: u64,
+        skew_us: u64,
         speed: u64,
         late: Option<usize>,
     },
@@ -101,19 +105,23 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
-  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--record file.zip]
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip]
                                               stream a scenario through the sharded ingest
                                               pipeline and print per-window stats
                                               (scenarios: background, ddos, scan,
-                                              flash-crowd, p2p, mixed); --record also
-                                              captures the window stream as a replayable ZIP
+                                              flash-crowd, p2p, mixed); --skew-us drifts
+                                              the per-source clocks (out-of-order stream)
+                                              and --horizon-us sets the watermark
+                                              reordering horizon that absorbs it;
+                                              --record also captures the window stream
+                                              as a replayable ZIP
   replay <file.zip> [--speed N]               re-emit a recorded window stream into the live
                                               warehouse view without regenerating any events,
                                               streamed incrementally from disk (--speed N
                                               paces playback at N x real time; default is as
                                               fast as possible)
   classroom --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N] [--shards N]
-            [--window-us N] [--replay file.zip] [--speed N] [--late N]
+            [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N] [--late N]
                                               fan one window stream (live scenario, or a
                                               recording with --replay) out to N student
                                               sessions over the broadcast hub and print
@@ -207,6 +215,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut shards = 0usize;
             let mut batch = 8192usize;
             let mut window_us = 100_000u64;
+            let mut horizon_us = 0u64;
+            let mut skew_us = 0u64;
             let mut record = None;
             fn value<'a, T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'a, String>,
@@ -232,6 +242,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--shards" => shards = value(&mut iter, "--shards")?,
                     "--batch" => batch = value(&mut iter, "--batch")?,
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
+                    "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
                     "--record" => {
                         record = Some(
                             iter.next()
@@ -255,6 +267,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 shards,
                 batch,
                 window_us,
+                horizon_us,
+                skew_us,
                 record,
             })
         }
@@ -290,6 +304,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 7u64;
             let mut shards = 0usize;
             let mut window_us = 100_000u64;
+            let mut horizon_us = 0u64;
+            let mut skew_us = 0u64;
             let mut speed = 0u64;
             let mut late = None;
             fn value<T: std::str::FromStr>(
@@ -323,6 +339,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => seed = value(&mut iter, "--seed")?,
                     "--shards" => shards = value(&mut iter, "--shards")?,
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
+                    "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
                     "--speed" => speed = value(&mut iter, "--speed")?,
                     "--late" => late = Some(value(&mut iter, "--late")?),
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
@@ -337,6 +355,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError(
                     "--scenario and --replay are mutually exclusive (a recording \
                      carries its own scenario)"
+                        .to_string(),
+                ));
+            }
+            if replay.is_some() && (horizon_us > 0 || skew_us > 0) {
+                return Err(CliError(
+                    "--skew-us/--horizon-us shape live ingestion; a recording was \
+                     already windowed when it was captured"
                         .to_string(),
                 ));
             }
@@ -355,6 +380,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 shards,
                 window_us,
+                horizon_us,
+                skew_us,
                 speed,
                 late,
             })
@@ -434,17 +461,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             shards,
             batch,
             window_us,
+            horizon_us,
+            skew_us,
             record,
-        } => run_ingest(
-            scenario,
-            *windows,
-            *nodes,
-            *seed,
-            *shards,
-            *batch,
-            *window_us,
-            record.as_deref(),
-        ),
+        } => run_ingest(&IngestArgs {
+            scenario: scenario.clone(),
+            windows: *windows,
+            nodes: *nodes,
+            seed: *seed,
+            shards: *shards,
+            batch: *batch,
+            window_us: *window_us,
+            horizon_us: *horizon_us,
+            skew_us: *skew_us,
+            record: record.clone(),
+        }),
         Command::Replay { path, speed } => run_replay(path, *speed),
         Command::Classroom {
             scenario,
@@ -455,6 +486,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             seed,
             shards,
             window_us,
+            horizon_us,
+            skew_us,
             speed,
             late,
         } => run_classroom(&ClassroomArgs {
@@ -466,6 +499,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             seed: *seed,
             shards: *shards,
             window_us: *window_us,
+            horizon_us: *horizon_us,
+            skew_us: *skew_us,
             speed: *speed,
             late: *late,
         }),
@@ -475,24 +510,60 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     }
 }
 
+/// Arguments for [`run_ingest`] (one scenario streamed through the pipeline).
+#[derive(Debug, Clone)]
+pub struct IngestArgs {
+    /// Scenario name.
+    pub scenario: String,
+    /// Windows to emit.
+    pub windows: usize,
+    /// Address-space size.
+    pub nodes: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Shard count (0 = auto).
+    pub shards: usize,
+    /// Batch size (the backpressure bound).
+    pub batch: usize,
+    /// Tumbling-window duration in simulated microseconds.
+    pub window_us: u64,
+    /// Watermark reordering horizon in simulated microseconds (0 = strict).
+    pub horizon_us: u64,
+    /// Per-source clock skew in simulated microseconds (0 = sorted stream).
+    pub skew_us: u64,
+    /// Record the window stream to a replayable ZIP at this path.
+    pub record: Option<String>,
+}
+
+impl IngestArgs {
+    /// Defaults matching the CLI parser, for tests and embedding callers.
+    pub fn new(scenario: &str) -> Self {
+        IngestArgs {
+            scenario: scenario.to_string(),
+            windows: 4,
+            nodes: 1024,
+            seed: 7,
+            shards: 0,
+            batch: 8192,
+            window_us: 100_000,
+            horizon_us: 0,
+            skew_us: 0,
+            record: None,
+        }
+    }
+}
+
 /// Stream a named scenario through the sharded ingest pipeline and render
 /// per-window statistics; with `record`, also capture the window stream as
-/// a replayable ZIP at that path.
-#[allow(clippy::too_many_arguments)]
-pub fn run_ingest(
-    scenario_name: &str,
-    windows: usize,
-    nodes: u32,
-    seed: u64,
-    shards: usize,
-    batch: usize,
-    window_us: u64,
-    record: Option<&str>,
-) -> Result<String, CliError> {
+/// a replayable ZIP at that path. A non-zero `skew_us` drifts the source
+/// clocks (an out-of-order stream) and `horizon_us` sets the watermark
+/// reordering horizon that absorbs the disorder.
+pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
     use tw_core::ingest::{
         ArchiveRecorder, Pipeline, PipelineConfig, RecordingMeta, Scenario, MAX_DIMENSION,
     };
 
+    let scenario_name = args.scenario.as_str();
     let scenario = Scenario::by_name(scenario_name).ok_or_else(|| {
         let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
         CliError(format!(
@@ -500,41 +571,60 @@ pub fn run_ingest(
             known.join(", ")
         ))
     })?;
-    if nodes < 20 {
+    if args.nodes < 20 {
         return Err(CliError("--nodes must be at least 20".to_string()));
     }
-    if record.is_some() && nodes as usize > MAX_DIMENSION {
+    if args.record.is_some() && args.nodes as usize > MAX_DIMENSION {
         return Err(CliError(format!(
             "--record supports at most {MAX_DIMENSION} nodes (the window codec's dimension limit)"
         )));
     }
-    if batch == 0 {
+    if args.batch == 0 {
         return Err(CliError("--batch must be at least 1".to_string()));
     }
-    if window_us == 0 {
+    if args.window_us == 0 {
         return Err(CliError("--window-us must be at least 1".to_string()));
     }
     let config = PipelineConfig {
-        window_us,
-        batch_size: batch,
-        shard_count: shards,
+        window_us: args.window_us,
+        batch_size: args.batch,
+        shard_count: args.shards,
+        reorder_horizon_us: args.horizon_us,
     };
-    let mut pipeline = Pipeline::new(scenario.source(nodes, seed), config);
+    let (source, max_disorder_us) = scenario.skewed_source(args.nodes, args.seed, args.skew_us);
+    let mut pipeline = Pipeline::new(source, config);
     let mut out = format!(
-        "scenario {scenario} ({}): {nodes} nodes, {} us windows, {} shard(s), batch {batch}, seed {seed}\n",
+        "scenario {scenario} ({}): {} nodes, {} us windows, {} shard(s), batch {}, seed {}\n",
         scenario.describe(),
-        window_us,
+        args.nodes,
+        args.window_us,
         pipeline.shard_count(),
+        args.batch,
+        args.seed,
     );
-    let mut recorder = record.map(|_| {
+    if args.skew_us > 0 || args.horizon_us > 0 {
+        let _ = writeln!(
+            out,
+            "out-of-order: clock skew up to {} us (max disorder {} us), reorder horizon {} us{}",
+            args.skew_us,
+            max_disorder_us,
+            args.horizon_us,
+            if max_disorder_us > args.horizon_us {
+                " [WARNING: horizon below the disorder bound; late drops expected]"
+            } else {
+                ""
+            },
+        );
+    }
+    let mut recorder = args.record.as_ref().map(|_| {
         ArchiveRecorder::new(RecordingMeta {
             scenario: scenario.name().to_string(),
-            seed,
-            node_count: nodes as usize,
-            window_us,
+            seed: args.seed,
+            node_count: args.nodes as usize,
+            window_us: args.window_us,
         })
     });
-    let reports = pipeline.run(windows);
+    let reports = pipeline.run(args.windows);
     for report in &reports {
         let _ = writeln!(out, "{}", report.stats.summary());
         if let Some(recorder) = recorder.as_mut() {
@@ -546,15 +636,16 @@ pub fn run_ingest(
     let events: u64 = reports.iter().map(|r| r.stats.events).sum();
     let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
     let late: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
+    let reordered: u64 = reports.iter().map(|r| r.stats.reordered).sum();
     let peak_nnz = reports.iter().map(|r| r.stats.nnz).max().unwrap_or(0);
     let elapsed: f64 = reports.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
     let _ = writeln!(
         out,
-        "total: {events} events, {packets} packets, {late} late, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
+        "total: {events} events, {packets} packets, {late} late, {reordered} reordered, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
         elapsed * 1e3,
         if elapsed > 0.0 { events as f64 / elapsed / 1e6 } else { 0.0 },
     );
-    if let (Some(recorder), Some(path)) = (recorder, record) {
+    if let (Some(recorder), Some(path)) = (recorder, args.record.as_deref()) {
         let recorded = recorder.windows_recorded();
         let bytes = recorder.finish().map_err(|e| CliError(e.to_string()))?;
         std::fs::write(path, &bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -650,6 +741,10 @@ pub struct ClassroomArgs {
     pub shards: usize,
     /// Tumbling-window duration for live scenarios.
     pub window_us: u64,
+    /// Watermark reordering horizon for live scenarios (0 = strict).
+    pub horizon_us: u64,
+    /// Per-source clock skew for live scenarios (0 = sorted stream).
+    pub skew_us: u64,
     /// Pace the broadcast at N x real time (0 = as fast as possible).
     pub speed: u64,
     /// Students that join mid-scenario (default: one in five).
@@ -669,6 +764,13 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
 
     if args.students > 10_000 {
         return Err(CliError("--students is capped at 10000".to_string()));
+    }
+    if args.replay.is_some() && (args.horizon_us > 0 || args.skew_us > 0) {
+        return Err(CliError(
+            "--skew-us/--horizon-us shape live ingestion; a recording was \
+             already windowed when it was captured"
+                .to_string(),
+        ));
     }
     // Build the one stream the whole class shares.
     let (stream, scenario_name, description, node_count): (Box<dyn WindowStream>, _, _, _) =
@@ -703,12 +805,30 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
                     window_us: args.window_us,
                     batch_size: 8_192,
                     shard_count: args.shards,
+                    reorder_horizon_us: args.horizon_us,
                 };
-                let pipeline = Pipeline::new(scenario.source(args.nodes, args.seed), config);
+                let (source, max_disorder_us) =
+                    scenario.skewed_source(args.nodes, args.seed, args.skew_us);
+                let pipeline = Pipeline::new(source, config);
+                let description = if args.skew_us > 0 || args.horizon_us > 0 {
+                    format!(
+                        "{}; clock skew {} us, horizon {} us{}",
+                        scenario.describe(),
+                        args.skew_us,
+                        args.horizon_us,
+                        if max_disorder_us > args.horizon_us {
+                            " [WARNING: horizon below the disorder bound; late drops expected]"
+                        } else {
+                            ""
+                        },
+                    )
+                } else {
+                    scenario.describe().to_string()
+                };
                 (
                     Box::new(pipeline),
                     scenario.name().to_string(),
-                    scenario.describe().to_string(),
+                    description,
                     args.nodes as usize,
                 )
             }
@@ -1068,6 +1188,8 @@ mod tests {
                 shards: 4,
                 batch: 512,
                 window_us: 50_000,
+                horizon_us: 0,
+                skew_us: 0,
                 record: None
             }
         );
@@ -1082,6 +1204,8 @@ mod tests {
                 shards: 0,
                 batch: 8192,
                 window_us: 100_000,
+                horizon_us: 0,
+                skew_us: 0,
                 record: None
             }
         );
@@ -1102,7 +1226,33 @@ mod tests {
                 shards: 0,
                 batch: 8192,
                 window_us: 100_000,
+                horizon_us: 0,
+                skew_us: 0,
                 record: Some("out.zip".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "ingest",
+                "--scenario",
+                "ddos",
+                "--skew-us",
+                "5000",
+                "--horizon-us",
+                "20000"
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                scenario: "ddos".into(),
+                windows: 4,
+                nodes: 1024,
+                seed: 7,
+                shards: 0,
+                batch: 8192,
+                window_us: 100_000,
+                horizon_us: 20_000,
+                skew_us: 5_000,
+                record: None
             }
         );
         assert_eq!(
@@ -1141,6 +1291,8 @@ mod tests {
                 seed: 7,
                 shards: 0,
                 window_us: 100_000,
+                horizon_us: 0,
+                skew_us: 0,
                 speed: 0,
                 late: None,
             }
@@ -1175,6 +1327,8 @@ mod tests {
                 seed: 9,
                 shards: 2,
                 window_us: 50_000,
+                horizon_us: 0,
+                skew_us: 0,
                 speed: 8,
                 late: Some(2),
             }
@@ -1236,6 +1390,37 @@ mod tests {
             .is_err(),
             "a recording carries its own scenario"
         );
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--skew-us"])).is_err());
+        assert!(parse_args(&args(&[
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--horizon-us",
+            "x"
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&args(&[
+                "classroom",
+                "--replay",
+                "c.zip",
+                "--skew-us",
+                "5000"
+            ]))
+            .is_err(),
+            "skew applies to live ingestion only"
+        );
+        assert!(
+            parse_args(&args(&[
+                "classroom",
+                "--replay",
+                "c.zip",
+                "--horizon-us",
+                "100"
+            ]))
+            .is_err(),
+            "horizon applies to live ingestion only"
+        );
     }
 
     #[test]
@@ -1248,6 +1433,8 @@ mod tests {
             shards: 2,
             batch: 2048,
             window_us: 50_000,
+            horizon_us: 0,
+            skew_us: 0,
             record: None,
         })
         .unwrap();
@@ -1257,19 +1444,68 @@ mod tests {
         assert!(out.contains("window   3:"));
         assert!(out.contains("total: "));
         // Unknown scenarios name the catalog.
-        let err = run_ingest("wat", 1, 256, 1, 0, 128, 1_000, None).unwrap_err();
+        let small = |scenario: &str, nodes, batch, window_us| IngestArgs {
+            windows: 1,
+            nodes,
+            seed: 1,
+            batch,
+            window_us,
+            ..IngestArgs::new(scenario)
+        };
+        let err = run_ingest(&small("wat", 256, 128, 1_000)).unwrap_err();
         assert!(err.0.contains("known scenarios"));
         assert!(
-            run_ingest("ddos", 1, 4, 1, 0, 128, 1_000, None).is_err(),
+            run_ingest(&small("ddos", 4, 128, 1_000)).is_err(),
             "tiny address space"
         );
         assert!(
-            run_ingest("ddos", 1, 256, 1, 0, 0, 1_000, None).is_err(),
+            run_ingest(&small("ddos", 256, 0, 1_000)).is_err(),
             "zero batch"
         );
         assert!(
-            run_ingest("ddos", 1, 256, 1, 0, 128, 0, None).is_err(),
+            run_ingest(&small("ddos", 256, 128, 0)).is_err(),
             "zero window"
+        );
+    }
+
+    #[test]
+    fn ingest_with_skew_and_horizon_loses_nothing() {
+        // The ISSUE's acceptance smoke: a skewed DDoS stream with a horizon
+        // covering the disorder bound (5000 + 5000/4 = 6250 <= 20000)
+        // ingests with zero late drops and a busy reordered counter.
+        let out = run_ingest(&IngestArgs {
+            windows: 3,
+            nodes: 256,
+            shards: 2,
+            window_us: 50_000,
+            horizon_us: 20_000,
+            skew_us: 5_000,
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap();
+        assert!(
+            out.contains(
+                "clock skew up to 5000 us (max disorder 6250 us), reorder horizon 20000 us"
+            ),
+            "{out}"
+        );
+        assert!(out.contains(" 0 late"), "{out}");
+        assert!(!out.contains(" 0 reordered,"), "{out}");
+        assert!(!out.contains("WARNING"), "{out}");
+
+        // An undersized horizon warns up front and reports its drops.
+        let out = run_ingest(&IngestArgs {
+            windows: 3,
+            nodes: 256,
+            window_us: 50_000,
+            horizon_us: 100,
+            skew_us: 20_000,
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap();
+        assert!(
+            out.contains("WARNING: horizon below the disorder bound"),
+            "{out}"
         );
     }
 
@@ -1287,6 +1523,8 @@ mod tests {
             shards: 2,
             batch: 2048,
             window_us: 50_000,
+            horizon_us: 0,
+            skew_us: 0,
             record: Some(zip.clone()),
         })
         .unwrap();
@@ -1320,7 +1558,16 @@ mod tests {
 
         // Recording refuses address spaces beyond the window codec's limit
         // up front instead of panicking mid-capture.
-        let err = run_ingest("ddos", 1, u32::MAX, 1, 0, 128, 1_000, Some("never.zip")).unwrap_err();
+        let err = run_ingest(&IngestArgs {
+            windows: 1,
+            nodes: u32::MAX,
+            seed: 1,
+            batch: 128,
+            window_us: 1_000,
+            record: Some("never.zip".into()),
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap_err();
         assert!(err.0.contains("codec"), "{err}");
 
         // Replaying garbage fails cleanly.
@@ -1354,6 +1601,8 @@ mod tests {
             seed: 7,
             shards: 2,
             window_us: 50_000,
+            horizon_us: 0,
+            skew_us: 0,
             speed: 0,
             late: Some(1),
         })
@@ -1376,7 +1625,17 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tw-cli-classroom-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let zip = dir.join("class.zip").to_string_lossy().into_owned();
-        run_ingest("scan", 4, 128, 3, 2, 2048, 50_000, Some(&zip)).unwrap();
+        run_ingest(&IngestArgs {
+            windows: 4,
+            nodes: 128,
+            seed: 3,
+            shards: 2,
+            batch: 2048,
+            window_us: 50_000,
+            record: Some(zip.clone()),
+            ..IngestArgs::new("scan")
+        })
+        .unwrap();
         let out = run_classroom(&ClassroomArgs {
             scenario: None,
             replay: Some(zip.clone()),
@@ -1386,6 +1645,8 @@ mod tests {
             seed: 7,
             shards: 0,
             window_us: 100_000,
+            horizon_us: 0,
+            skew_us: 0,
             speed: 0,
             late: Some(0),
         })
@@ -1405,6 +1666,8 @@ mod tests {
                 seed: 1,
                 shards: 0,
                 window_us: 1_000,
+                horizon_us: 0,
+                skew_us: 0,
                 speed: 0,
                 late: None,
             })
@@ -1420,6 +1683,68 @@ mod tests {
         )
         .is_err());
         assert!(bad(Some("ddos"), None, 4).is_err(), "tiny address space");
+
+        // A skewed live classroom: the whole class still sees every window.
+        let out = run_classroom(&ClassroomArgs {
+            scenario: Some("ddos".into()),
+            replay: None,
+            students: 3,
+            windows: Some(2),
+            nodes: 128,
+            seed: 7,
+            shards: 2,
+            window_us: 50_000,
+            horizon_us: 20_000,
+            skew_us: 5_000,
+            speed: 0,
+            late: Some(0),
+        })
+        .unwrap();
+        assert!(
+            out.contains("clock skew 5000 us, horizon 20000 us"),
+            "{out}"
+        );
+        assert!(!out.contains("WARNING"), "covered horizon: {out}");
+        assert!(out.contains("2 window(s) served once to 3 subscriber(s)"));
+
+        // An undersized horizon warns up front, like `ingest` does.
+        let out = run_classroom(&ClassroomArgs {
+            scenario: Some("ddos".into()),
+            replay: None,
+            students: 1,
+            windows: Some(1),
+            nodes: 128,
+            seed: 7,
+            shards: 1,
+            window_us: 50_000,
+            horizon_us: 100,
+            skew_us: 20_000,
+            speed: 0,
+            late: Some(0),
+        })
+        .unwrap();
+        assert!(
+            out.contains("WARNING: horizon below the disorder bound"),
+            "{out}"
+        );
+
+        // Programmatic callers hit the same skew-vs-replay guard as the parser.
+        let err = run_classroom(&ClassroomArgs {
+            scenario: None,
+            replay: Some(zip.clone()),
+            students: 1,
+            windows: Some(1),
+            nodes: 128,
+            seed: 1,
+            shards: 0,
+            window_us: 1_000,
+            horizon_us: 0,
+            skew_us: 5_000,
+            speed: 0,
+            late: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("live ingestion"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -173,6 +173,42 @@ fn compiled_binary_serves_a_classroom() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The out-of-order acceptance flow: a skewed DDoS stream whose horizon
+/// covers the disorder bound ingests with zero late drops.
+#[test]
+fn compiled_binary_ingests_a_skewed_scenario_losslessly() {
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--skew-us",
+            "5000",
+            "--horizon-us",
+            "20000",
+            "--windows",
+            "4",
+            "--nodes",
+            "256",
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(output.status.success(), "skewed ingest exited nonzero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("reorder horizon 20000 us"),
+        "horizon line missing: {stdout}"
+    );
+    assert!(
+        stdout.contains(" 0 late"),
+        "a covered horizon must lose nothing: {stdout}"
+    );
+    assert!(
+        !stdout.contains(" 0 reordered,"),
+        "a skewed stream should exercise the buffer: {stdout}"
+    );
+}
+
 #[test]
 fn compiled_binary_lists_scenarios() {
     let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))

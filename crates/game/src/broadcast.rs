@@ -541,6 +541,7 @@ mod tests {
             window_us: windows_us,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         Pipeline::new(Scenario::Ddos.source(128, 7), config)
     }

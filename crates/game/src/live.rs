@@ -171,6 +171,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         Pipeline::new(Scenario::Ddos.source(500, 5), config)
     }

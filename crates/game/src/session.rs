@@ -420,6 +420,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(200, 9), config);
         caster.step(&mut pipeline).unwrap();

@@ -14,6 +14,7 @@ fn pipeline(scenario: Scenario, nodes: u32, seed: u64, shards: usize) -> Pipelin
         window_us: 50_000,
         batch_size: 2_048,
         shard_count: shards,
+        reorder_horizon_us: 0,
     };
     Pipeline::new(scenario.source(nodes, seed), config)
 }

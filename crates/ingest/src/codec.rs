@@ -30,7 +30,11 @@ use tw_matrix::CsrMatrix;
 /// Leading magic of an encoded window.
 pub const WINDOW_MAGIC: [u8; 4] = *b"TWWR";
 /// The codec version this module writes.
-pub const WINDOW_CODEC_VERSION: u8 = 1;
+///
+/// Version 2 appends the [`IngestStats::reordered`] counter to the stats
+/// block; version-1 windows (recorded before the watermark stage existed)
+/// still decode, with `reordered` reported as `0`.
+pub const WINDOW_CODEC_VERSION: u8 = 2;
 /// The largest matrix dimension the codec accepts (16 Mi addresses).
 ///
 /// This bounds the `row_ptr` allocation a decoder performs for a *claimed*
@@ -60,7 +64,10 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::BadMagic => write!(f, "not an encoded window (bad magic)"),
             CodecError::UnsupportedVersion(v) => {
-                write!(f, "window codec version {v} is newer than supported version {WINDOW_CODEC_VERSION}")
+                write!(
+                    f,
+                    "window codec version {v} is not supported (this build reads versions 1..={WINDOW_CODEC_VERSION})"
+                )
             }
             CodecError::Truncated(what) => {
                 write!(f, "encoded window truncated while reading {what}")
@@ -137,7 +144,8 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Encode one window into the version-1 binary format.
+/// Encode one window into the current ([`WINDOW_CODEC_VERSION`]) binary
+/// format.
 pub fn encode_window(report: &WindowReport) -> Vec<u8> {
     let matrix = &report.matrix;
     let stats = &report.stats;
@@ -156,6 +164,7 @@ pub fn encode_window(report: &WindowReport) -> Vec<u8> {
     push_varint(&mut buf, stats.packets);
     push_varint(&mut buf, stats.nnz as u64);
     push_varint(&mut buf, stats.dropped_late);
+    push_varint(&mut buf, stats.reordered);
     let nanos = u64::try_from(stats.elapsed.as_nanos()).unwrap_or(u64::MAX);
     push_varint(&mut buf, nanos);
 
@@ -208,7 +217,7 @@ pub fn decode_window(data: &[u8]) -> Result<WindowReport, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = r.byte("version")?;
-    if version != WINDOW_CODEC_VERSION {
+    if version == 0 || version > WINDOW_CODEC_VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
 
@@ -217,6 +226,13 @@ pub fn decode_window(data: &[u8]) -> Result<WindowReport, CodecError> {
     let packets = r.varint("packets")?;
     let stats_nnz = r.usize_varint("stats nnz")?;
     let dropped_late = r.varint("dropped_late")?;
+    // Version 1 predates the reordering stage; its streams were strictly
+    // sorted, so a zero count is the accurate value, not a placeholder.
+    let reordered = if version >= 2 {
+        r.varint("reordered")?
+    } else {
+        0
+    };
     let elapsed = Duration::from_nanos(r.varint("elapsed")?);
 
     let rows = r.usize_varint("rows")?;
@@ -298,6 +314,7 @@ pub fn decode_window(data: &[u8]) -> Result<WindowReport, CodecError> {
             packets,
             nnz: stats_nnz,
             dropped_late,
+            reordered,
             elapsed,
         },
     })
@@ -317,6 +334,7 @@ mod tests {
                 .fold(0u64, |acc, &(_, _, v)| acc.saturating_add(v)),
             nnz: entries.len(),
             dropped_late: 1,
+            reordered: 2,
             elapsed: Duration::from_micros(1234),
         };
         WindowReport { matrix, stats }
@@ -382,7 +400,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&WINDOW_MAGIC);
         bytes.push(WINDOW_CODEC_VERSION);
-        for _ in 0..6 {
+        for _ in 0..7 {
             super::push_varint(&mut bytes, 0); // stats fields
         }
         super::push_varint(&mut bytes, (MAX_DIMENSION as u64) + 1); // rows
@@ -392,6 +410,39 @@ mod tests {
             Err(CodecError::Corrupt(
                 "matrix dimension exceeds the codec limit"
             ))
+        );
+    }
+
+    #[test]
+    fn version_one_windows_still_decode() {
+        // Hand-assemble a pre-watermark (version 1) window: the stats block
+        // has no `reordered` varint. Recordings captured before the codec
+        // bump must keep replaying, with `reordered` reported as zero.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WINDOW_MAGIC);
+        bytes.push(1); // version 1
+        for v in [3u64, 1, 5, 1, 7] {
+            super::push_varint(&mut bytes, v); // index, events, packets, nnz, late
+        }
+        super::push_varint(&mut bytes, 1_234_000); // elapsed ns
+        for v in [2u64, 2, 1, 1] {
+            super::push_varint(&mut bytes, v); // rows, cols, nnz, occupied rows
+        }
+        for v in [0u64, 1, 1, 5] {
+            super::push_varint(&mut bytes, v); // row 0, one entry, col 1, value 5
+        }
+        let decoded = decode_window(&bytes).unwrap();
+        assert_eq!(decoded.stats.window_index, 3);
+        assert_eq!(decoded.stats.dropped_late, 7);
+        assert_eq!(decoded.stats.reordered, 0, "v1 predates the counter");
+        assert_eq!(decoded.stats.elapsed, Duration::from_nanos(1_234_000));
+        assert_eq!(decoded.matrix.nnz(), 1);
+        assert_eq!(decoded.matrix.get(0, 1), 5);
+        // Version 0 never existed; reject it rather than guessing a layout.
+        bytes[4] = 0;
+        assert_eq!(
+            decode_window(&bytes),
+            Err(CodecError::UnsupportedVersion(0))
         );
     }
 

@@ -31,8 +31,13 @@
 //!   property-tested) serial-equivalence guarantee;
 //! * [`window`] — tumbling [`WindowClock`], per-window [`IngestStats`] and
 //!   the emitted [`WindowReport`];
+//! * [`reorder`] — the watermark-based [`ReorderBuffer`]: a bounded
+//!   min-timestamp buffer that absorbs out-of-order arrivals (drifting
+//!   source clocks, modeled by the [`Skewed`] adapter) up to a configurable
+//!   horizon instead of dropping them;
 //! * [`pipeline`] — the [`Pipeline`] driver with backpressure via bounded
-//!   batch pulls and late-event drop accounting;
+//!   batch pulls, the optional reordering stage, and late-event drop
+//!   accounting;
 //! * [`codec`] — the compact, versioned binary encoding of a
 //!   [`WindowReport`] (delta-compressed CSR + stats);
 //! * [`record`] — [`ArchiveRecorder`] (window stream → `tw-archive` ZIP with
@@ -48,6 +53,7 @@
 pub mod codec;
 pub mod pipeline;
 pub mod record;
+pub mod reorder;
 pub mod replay;
 pub mod scenario;
 pub mod shard;
@@ -58,12 +64,13 @@ pub mod window;
 pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};
+pub use reorder::{PushOutcome, ReorderBuffer};
 pub use replay::{FileReplaySource, SeekReplaySource};
 pub use scenario::Scenario;
 pub use shard::{window_matrix, ShardedAccumulator};
 pub use source::{
     collect_events, DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Limit, Mix,
-    P2pMeshSource, PatternSource, ScanSweepSource,
+    P2pMeshSource, PatternSource, ScanSweepSource, Skewed,
 };
 pub use stream::{collect_stream, Paced, StreamError, WindowStream};
 pub use window::{IngestStats, WindowClock, WindowReport};
@@ -80,6 +87,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 4,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(4);

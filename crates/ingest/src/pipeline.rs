@@ -4,9 +4,13 @@
 //! the backpressure: the source can never run more than one batch ahead of
 //! the consumer), routes each event into the [`ShardedAccumulator`] of the
 //! window it belongs to, and emits a [`WindowReport`] every time the tumbling
-//! window rotates. Events that arrive after their window has already been
-//! emitted are counted as late drops rather than corrupting a closed matrix.
+//! window rotates. With a non-zero [`PipelineConfig::reorder_horizon_us`], a
+//! watermark-based [`ReorderBuffer`] sits between the pull and the routing,
+//! so out-of-order streams (bounded disorder) lose nothing; events that still
+//! arrive after their window has been emitted — beyond the horizon — are
+//! counted as late drops rather than corrupting a closed matrix.
 
+use crate::reorder::ReorderBuffer;
 use crate::shard::ShardedAccumulator;
 use crate::source::EventSource;
 use crate::window::{IngestStats, WindowClock, WindowReport};
@@ -23,6 +27,16 @@ pub struct PipelineConfig {
     pub batch_size: usize,
     /// Shard count for the accumulator; `0` = one shard per hardware thread.
     pub shard_count: usize,
+    /// Reordering horizon in simulated microseconds: how much timestamp
+    /// disorder the pipeline absorbs before an event counts as late.
+    ///
+    /// `0` (the default) is the strict pre-watermark behavior: input is
+    /// assumed sorted and anything behind the current window is dropped.
+    /// With a positive horizon, events are buffered in a [`ReorderBuffer`]
+    /// and released in timestamp order once `watermark = max_ts − horizon`
+    /// passes them; only events older than the watermark itself are dropped
+    /// (and counted in [`IngestStats::dropped_late`]).
+    pub reorder_horizon_us: u64,
 }
 
 impl Default for PipelineConfig {
@@ -31,6 +45,7 @@ impl Default for PipelineConfig {
             window_us: 100_000,
             batch_size: 8_192,
             shard_count: 0,
+            reorder_horizon_us: 0,
         }
     }
 }
@@ -41,11 +56,14 @@ pub struct Pipeline {
     clock: WindowClock,
     accumulator: ShardedAccumulator,
     batch_size: usize,
-    /// Pulled events not yet routed (head of the stream).
+    /// The watermark stage; `None` runs the strict sorted-input fast path.
+    reorder: Option<ReorderBuffer>,
+    /// Released (timestamp-ordered) events not yet routed.
     pending: VecDeque<PacketEvent>,
     /// Scratch buffer reused across pulls.
     scratch: Vec<PacketEvent>,
     dropped_late: u64,
+    reordered: u64,
     /// Wall-clock time attributed to the window being filled.
     window_elapsed: Duration,
     source_exhausted: bool,
@@ -67,9 +85,12 @@ impl Pipeline {
             clock: WindowClock::new(config.window_us),
             accumulator,
             batch_size: config.batch_size,
+            reorder: (config.reorder_horizon_us > 0)
+                .then(|| ReorderBuffer::new(config.reorder_horizon_us)),
             pending: VecDeque::new(),
             scratch: Vec::new(),
             dropped_late: 0,
+            reordered: 0,
             window_elapsed: Duration::ZERO,
             source_exhausted: false,
             finished: false,
@@ -91,6 +112,11 @@ impl Pipeline {
         self.clock.window_us()
     }
 
+    /// The reordering horizon in simulated microseconds (`0` = strict mode).
+    pub fn reorder_horizon_us(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, ReorderBuffer::horizon_us)
+    }
+
     /// Drive the pipeline until the current window closes; `None` once the
     /// source is exhausted and every window has been emitted.
     pub fn next_window(&mut self) -> Option<WindowReport> {
@@ -103,6 +129,13 @@ impl Pipeline {
                 let window = self.clock.window_of(event.timestamp_us);
                 let current = self.clock.current();
                 if window < current {
+                    // Strict mode only: with a reorder stage, `pending` is
+                    // released in window order, so nothing ever lands
+                    // behind the window that ingested it.
+                    debug_assert!(
+                        self.reorder.is_none(),
+                        "watermark released an event behind the current window"
+                    );
                     self.dropped_late += 1;
                     self.pending.pop_front();
                 } else if window == current {
@@ -123,13 +156,22 @@ impl Pipeline {
                 // advance `window_index` past the last real window.
                 //
                 // Invariant: `dropped_late > 0` implies the accumulator is
-                // non-empty here. A late pop needs `current > 0`, so a
-                // rotation must have happened, and every rotation is
-                // triggered by an event in a *future* window that is still
-                // at the head of `pending` — that event is always ingested
-                // (making the accumulator non-empty) before exhaustion can
-                // be observed. So no trailing count is ever dropped by
-                // finishing without a report.
+                // non-empty here, in both modes, so no trailing count is
+                // ever lost by finishing without a report.
+                //
+                // * Strict mode: a late pop needs `current > 0`, so a
+                //   rotation must have happened, and every rotation is
+                //   triggered by an event in a *future* window that is still
+                //   at the head of `pending` — that event is always ingested
+                //   (making the accumulator non-empty) before exhaustion can
+                //   be observed.
+                // * Reorder mode: drops are counted at push time, which
+                //   needs a prior event to have raised the watermark above
+                //   zero. That newer event is buffered, not dropped, and the
+                //   end-of-stream flush below routes the whole buffer before
+                //   this branch runs again — so the maximum-timestamp event
+                //   has always been ingested into the final window by the
+                //   time any trailing count is folded in.
                 self.finished = true;
                 if self.accumulator.is_empty() {
                     debug_assert_eq!(
@@ -142,10 +184,33 @@ impl Pipeline {
                 return Some(self.rotate());
             }
             self.scratch.clear();
-            if self.source.pull(self.batch_size, &mut self.scratch) == 0 {
-                self.source_exhausted = true;
+            let exhausted = self.source.pull(self.batch_size, &mut self.scratch) == 0;
+            match self.reorder.as_mut() {
+                None => self.pending.extend(self.scratch.drain(..)),
+                Some(reorder) => {
+                    // Late events are counted inside the buffer; the
+                    // counters transfer to the window stats at rotation.
+                    // Releasing once per batch (not per event) amortizes the
+                    // ordering work over the whole pull, and the windowed
+                    // release replaces a full timestamp sort with a linear
+                    // bucket pass — window routing only needs window
+                    // boundaries in order.
+                    for event in self.scratch.drain(..) {
+                        reorder.push_quiet(event);
+                    }
+                    let window_us = self.clock.window_us();
+                    if exhausted {
+                        // End of stream: no watermark will ever pass the
+                        // held-back suffix, so release all of it.
+                        reorder.flush_windowed(window_us, &mut self.pending);
+                    } else {
+                        reorder.release_ready_windowed(window_us, &mut self.pending);
+                    }
+                    self.dropped_late += reorder.take_late();
+                    self.reordered += reorder.take_reordered();
+                }
             }
-            self.pending.extend(self.scratch.drain(..));
+            self.source_exhausted = exhausted;
         }
     }
 
@@ -173,6 +238,7 @@ impl Pipeline {
             packets,
             nnz: matrix.nnz(),
             dropped_late: std::mem::take(&mut self.dropped_late),
+            reordered: std::mem::take(&mut self.reordered),
             elapsed,
         };
         self.window_elapsed = Duration::ZERO;
@@ -221,6 +287,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 1_000,
             shard_count: 4,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(limited_background(64, 20_000, 3), config);
         let mut reports = Vec::new();
@@ -285,6 +352,7 @@ mod tests {
             window_us: 50,
             batch_size: 16,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(usize::MAX);
@@ -337,6 +405,7 @@ mod tests {
             window_us: 100_000,
             batch_size: 1,
             shard_count: 1,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(Box::new(Regressive { emitted: 0 }), config);
         let w0 = pipeline.next_window().unwrap();
@@ -398,6 +467,7 @@ mod tests {
             window_us: 100_000,
             batch_size: 1,
             shard_count: 1,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(Box::new(TrailingLate { emitted: 0 }), config);
         let reports = pipeline.run(usize::MAX);
@@ -424,6 +494,149 @@ mod tests {
             .map(|r| r.stats.events + r.stats.dropped_late)
             .sum();
         assert_eq!(accounted, 4);
+    }
+
+    /// A fixed event list replayed in arrival order, one event per pull.
+    struct Scripted {
+        events: Vec<PacketEvent>,
+        emitted: usize,
+    }
+
+    impl Scripted {
+        fn new(timestamps: &[u64]) -> Self {
+            Scripted {
+                events: timestamps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ts)| PacketEvent {
+                        source: (i % 7) as u32,
+                        destination: (i % 7) as u32 + 1,
+                        packets: 1,
+                        timestamp_us: ts,
+                    })
+                    .collect(),
+                emitted: 0,
+            }
+        }
+    }
+
+    impl EventSource for Scripted {
+        fn node_count(&self) -> u32 {
+            8
+        }
+        fn pull(&mut self, _max: usize, out: &mut Vec<PacketEvent>) -> usize {
+            if self.emitted >= self.events.len() {
+                return 0;
+            }
+            out.push(self.events[self.emitted]);
+            self.emitted += 1;
+            1
+        }
+    }
+
+    #[test]
+    fn reorder_horizon_rescues_what_strict_mode_drops() {
+        // Arrival order: 80 runs 40 behind 120, 130 runs 70 behind 200.
+        let timestamps = [10, 120, 80, 200, 130, 300];
+
+        // Strict mode loses both stragglers.
+        let strict = PipelineConfig {
+            window_us: 100,
+            batch_size: 1,
+            shard_count: 1,
+            reorder_horizon_us: 0,
+        };
+        let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), strict.clone());
+        assert_eq!(pipeline.reorder_horizon_us(), 0);
+        let reports = pipeline.run(usize::MAX);
+        let dropped: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
+        let events: u64 = reports.iter().map(|r| r.stats.events).sum();
+        assert_eq!(dropped, 2);
+        assert_eq!(events, 4);
+        assert!(reports.iter().all(|r| r.stats.reordered == 0));
+
+        // A horizon covering the worst disorder (70) loses nothing and
+        // windows the stream exactly as if it had arrived sorted.
+        let config = PipelineConfig {
+            reorder_horizon_us: 100,
+            ..strict
+        };
+        let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), config);
+        assert_eq!(pipeline.reorder_horizon_us(), 100);
+        let reports = pipeline.run(usize::MAX);
+        assert_eq!(reports.iter().map(|r| r.stats.dropped_late).sum::<u64>(), 0);
+        assert_eq!(reports.iter().map(|r| r.stats.events).sum::<u64>(), 6);
+        assert_eq!(
+            reports.iter().map(|r| r.stats.reordered).sum::<u64>(),
+            2,
+            "both stragglers were resequenced"
+        );
+        let per_window: Vec<(u64, u64)> = reports
+            .iter()
+            .map(|r| (r.stats.window_index, r.stats.events))
+            .collect();
+        assert_eq!(per_window, [(0, 2), (1, 2), (2, 1), (3, 1)]);
+
+        // Every window matrix equals the serial reference over the events
+        // whose timestamps fall inside it: the reorder stage is invisible
+        // once disorder is absorbed.
+        let all_events = Scripted::new(&timestamps).events;
+        for report in &reports {
+            let w = report.stats.window_index;
+            let slice: Vec<_> = all_events
+                .iter()
+                .copied()
+                .filter(|e| e.timestamp_us / 100 == w)
+                .collect();
+            assert_eq!(report.matrix, window_matrix(8, &slice), "window {w}");
+        }
+    }
+
+    #[test]
+    fn disorder_beyond_the_horizon_is_still_counted() {
+        // 500 arrives, then 10: with a horizon of 100 the watermark is 400,
+        // so 10 is late; 450 is within the horizon and survives.
+        let timestamps = [500, 10, 450, 600];
+        let config = PipelineConfig {
+            window_us: 1_000,
+            batch_size: 2,
+            shard_count: 1,
+            reorder_horizon_us: 100,
+        };
+        let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), config);
+        let reports = pipeline.run(usize::MAX);
+        assert_eq!(reports.len(), 1, "everything lands in window 0");
+        assert_eq!(reports[0].stats.events, 3);
+        assert_eq!(reports[0].stats.dropped_late, 1);
+        assert_eq!(reports[0].stats.reordered, 1, "450 was resequenced");
+        // Conservation: nothing vanishes unaccounted.
+        assert_eq!(
+            reports[0].stats.events + reports[0].stats.dropped_late,
+            timestamps.len() as u64
+        );
+    }
+
+    #[test]
+    fn trailing_buffered_events_flush_in_order_at_exhaustion() {
+        // The last horizon's worth of stream is still in the buffer when the
+        // source runs dry; it must flush sorted, not drop.
+        let timestamps = [100, 90, 80, 70, 60];
+        let config = PipelineConfig {
+            window_us: 50,
+            batch_size: 8,
+            shard_count: 1,
+            reorder_horizon_us: 1_000,
+        };
+        let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), config);
+        let reports = pipeline.run(usize::MAX);
+        let events: u64 = reports.iter().map(|r| r.stats.events).sum();
+        let dropped: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
+        assert_eq!(events, 5, "the whole buffered suffix is ingested");
+        assert_eq!(dropped, 0);
+        // 60..=90 land in window 1, 100 in window 2; window 0 is empty.
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[1].stats.events, 4);
+        assert_eq!(reports[2].stats.events, 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! use tw_ingest::{ArchiveRecorder, Pipeline, PipelineConfig, RecordingMeta, ReplaySource, Scenario};
 //!
 //! // Record four windows of the DDoS scenario.
-//! let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, shard_count: 2 };
+//! let config = PipelineConfig { window_us: 50_000, batch_size: 4_096, ..PipelineConfig::default() };
 //! let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
 //! let mut recorder = ArchiveRecorder::new(RecordingMeta {
 //!     scenario: "ddos".to_string(),
@@ -397,6 +397,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
         let mut recorder = ArchiveRecorder::new(RecordingMeta {

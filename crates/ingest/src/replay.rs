@@ -121,6 +121,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
         let mut recorder = ArchiveRecorder::new(RecordingMeta {

@@ -9,7 +9,7 @@
 
 use crate::source::{
     DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Mix, P2pMeshSource,
-    PatternSource, ScanSweepSource,
+    PatternSource, ScanSweepSource, Skewed,
 };
 use tw_patterns::pattern_by_id;
 
@@ -135,6 +135,30 @@ impl Scenario {
             }
         }
     }
+
+    /// The scenario's event stream as seen by a collector whose feeds have
+    /// drifting clocks: [`source`](Self::source) wrapped in a [`Skewed`]
+    /// adapter with per-source-address offsets up to `skew_us` and per-event
+    /// jitter up to `skew_us / 4`.
+    ///
+    /// Returns the source together with its maximum timestamp disorder in
+    /// microseconds — a pipeline `reorder_horizon_us` of at least that bound
+    /// ingests the stream with zero late drops. `skew_us = 0` degenerates to
+    /// the plain (sorted) source with a zero bound.
+    pub fn skewed_source(
+        &self,
+        node_count: u32,
+        seed: u64,
+        skew_us: u64,
+    ) -> (Box<dyn EventSource>, u64) {
+        if skew_us == 0 {
+            // Keep the plain path zero-cost: no per-event adapter pass.
+            return (self.source(node_count, seed), 0);
+        }
+        let skewed = Skewed::new(self.source(node_count, seed), skew_us, skew_us / 4, seed);
+        let max_disorder_us = skewed.max_disorder_us();
+        (Box::new(skewed), max_disorder_us)
+    }
 }
 
 impl std::fmt::Display for Scenario {
@@ -192,6 +216,36 @@ mod tests {
             assert_eq!(a, b, "{scenario} must be reproducible");
             assert_ne!(a, c, "{scenario} must vary with the seed");
         }
+    }
+
+    #[test]
+    fn skewed_sources_disorder_every_scenario_within_the_bound() {
+        for scenario in Scenario::all() {
+            let (mut source, bound) = scenario.skewed_source(200, 42, 4_000);
+            assert_eq!(bound, 5_000, "offset + jitter budget");
+            assert_eq!(source.node_count(), 200);
+            let events = collect_events(source.as_mut(), 5_000);
+            assert_eq!(events.len(), 5_000);
+            assert!(
+                events
+                    .windows(2)
+                    .any(|w| w[0].timestamp_us > w[1].timestamp_us),
+                "{scenario} skewed stream should be out of order"
+            );
+            let mut max_seen = 0u64;
+            for e in &events {
+                assert!(
+                    e.timestamp_us + bound >= max_seen,
+                    "{scenario} disorder exceeded the bound"
+                );
+                max_seen = max_seen.max(e.timestamp_us);
+            }
+        }
+        // Zero skew falls back to the plain sorted stream.
+        let (mut source, bound) = Scenario::Ddos.skewed_source(100, 7, 0);
+        assert_eq!(bound, 0);
+        let plain = collect_events(Scenario::Ddos.source(100, 7).as_mut(), 1_000);
+        assert_eq!(collect_events(source.as_mut(), 1_000), plain);
     }
 
     #[test]

@@ -67,9 +67,16 @@ impl Pacer {
     }
 
     /// Advance the clock by one (jittered) gap and return the new timestamp.
+    ///
+    /// Jitter is zero-mean: the increment is uniform over
+    /// `gap − gap/8 ..= gap + gap/8`, so the long-run rate matches the
+    /// configured events/sec exactly (an earlier formula added a
+    /// non-negative jitter on top of every gap, which slowed every source
+    /// below its configured rate and skewed `Mix` blend ratios away from
+    /// the documented rate-proportional blending).
     fn tick(&mut self, rng: &mut StdRng) -> u64 {
-        let jitter = rng.gen_range(0..=self.gap_us / 4 + 1);
-        self.clock_us += self.gap_us + jitter - (self.gap_us / 8).min(jitter);
+        let half_spread = self.gap_us / 8;
+        self.clock_us += self.gap_us - half_spread + rng.gen_range(0..=2 * half_spread);
         self.clock_us
     }
 }
@@ -490,6 +497,101 @@ impl EventSource for DdosBurstSource {
     }
 }
 
+/// SplitMix64: a tiny stateless mixer for per-address clock offsets.
+///
+/// Each network source address needs a stable, seed-deterministic offset
+/// without storing a table over the whole address space.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Drifting clocks: every emitted timestamp is re-stamped by its *network
+/// source's* skewed clock, turning a sorted stream into a realistically
+/// out-of-order one.
+///
+/// Real multi-sensor feeds deliver events in collector order while the
+/// timestamps come from the emitting hosts, whose clocks disagree. `Skewed`
+/// models exactly that: events keep their arrival (pull) order, but each
+/// timestamp gains a per-source-address clock offset in `0..=skew_us`
+/// (stable per address, derived from the seed) plus an independent bounded
+/// per-event jitter in `0..=jitter_us`. Two events from differently-skewed
+/// hosts can therefore swap timestamp order — which is what the pipeline's
+/// reordering horizon exists to absorb.
+///
+/// The disorder is *bounded*: since the inner stream is timestamp-sorted and
+/// every perturbation lies in `0..=skew_us + jitter_us`, no event's
+/// timestamp can run behind an earlier-emitted one by more than
+/// [`max_disorder_us`](Skewed::max_disorder_us). A pipeline whose
+/// `reorder_horizon_us` is at least that bound ingests a skewed stream with
+/// zero late drops, cell-for-cell identical to the sorted stream (property
+/// tested in `tests/proptest_reorder.rs`).
+pub struct Skewed {
+    inner: Box<dyn EventSource>,
+    skew_us: u64,
+    jitter_us: u64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl Skewed {
+    /// Skew `inner`: per-source-address offsets up to `skew_us`, per-event
+    /// jitter up to `jitter_us`, both seeded by `seed`.
+    ///
+    /// `skew_us = jitter_us = 0` is the identity adapter.
+    pub fn new(inner: Box<dyn EventSource>, skew_us: u64, jitter_us: u64, seed: u64) -> Self {
+        Skewed {
+            inner,
+            skew_us,
+            jitter_us,
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0x05EE_DC10_C4B1_A5ED_u64),
+        }
+    }
+
+    /// The maximum timestamp disorder this adapter can introduce: a
+    /// reordering horizon at least this large loses nothing.
+    pub fn max_disorder_us(&self) -> u64 {
+        self.skew_us.saturating_add(self.jitter_us)
+    }
+
+    /// The stable clock offset of one network source address.
+    fn offset_of(&self, source: u32) -> u64 {
+        if self.skew_us == 0 {
+            return 0;
+        }
+        // Saturating guards the absurd-but-representable skew of u64::MAX,
+        // where `+ 1` would wrap to a zero modulus.
+        let modulus = self.skew_us.saturating_add(1);
+        splitmix64(self.seed ^ u64::from(source)) % modulus
+    }
+}
+
+impl EventSource for Skewed {
+    fn node_count(&self) -> u32 {
+        self.inner.node_count()
+    }
+
+    fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        let start = out.len();
+        let pulled = self.inner.pull(max, out);
+        for event in &mut out[start..] {
+            let jitter = if self.jitter_us == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=self.jitter_us)
+            };
+            event.timestamp_us = event
+                .timestamp_us
+                .saturating_add(self.offset_of(event.source))
+                .saturating_add(jitter);
+        }
+        pulled
+    }
+}
+
 /// Cap an unbounded source at a fixed number of events.
 pub struct Limit {
     inner: Box<dyn EventSource>,
@@ -621,6 +723,12 @@ mod tests {
 
     fn check_basics(events: &[PacketEvent], nodes: u32) {
         assert!(is_sorted(events), "timestamps must be non-decreasing");
+        check_basics_unordered(events, nodes);
+    }
+
+    /// The address/self-loop/packet invariants without the sortedness one —
+    /// for `Skewed` streams, which are out of order by design.
+    fn check_basics_unordered(events: &[PacketEvent], nodes: u32) {
         for e in events {
             assert!(
                 e.source < nodes && e.destination < nodes,
@@ -741,6 +849,135 @@ mod tests {
         assert!(
             max_gap >= 40_000,
             "expected off-phase gaps, max gap {max_gap}"
+        );
+    }
+
+    #[test]
+    fn pacer_long_run_rate_matches_the_configured_rate() {
+        // Regression: the old jitter formula inflated every gap (each
+        // increment was >= gap_us), so sources drifted below their
+        // configured events/sec. The zero-mean jitter must keep the long-run
+        // rate within 1% for gaps that divide the spread unevenly too.
+        for events_per_sec in [1_000u64, 10_000, 33_333, 100_000, 1_000_000] {
+            let mut pacer = Pacer::new(events_per_sec);
+            let mut rng = StdRng::seed_from_u64(42);
+            let ticks = 200_000u64;
+            let mut last = 0;
+            for _ in 0..ticks {
+                last = pacer.tick(&mut rng);
+            }
+            let expected = ticks * pacer.gap_us;
+            let error = (last as f64 - expected as f64).abs() / expected as f64;
+            assert!(
+                error < 0.01,
+                "{events_per_sec} ev/s: {ticks} ticks reached {last} vs expected {expected} ({:.3}% off)",
+                error * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn pacer_timestamps_stay_strictly_increasing() {
+        // gap 1 (rates above 1M ev/s) must still advance every tick.
+        let mut pacer = Pacer::new(5_000_000);
+        assert_eq!(pacer.gap_us, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev = 0;
+        for _ in 0..1_000 {
+            let ts = pacer.tick(&mut rng);
+            assert!(ts > prev, "clock must advance");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn skewed_with_zero_skew_is_the_identity() {
+        let plain = collect_events(&mut HeavyTailSource::new(64, 50_000, 9), 2_000);
+        let mut skewed = Skewed::new(Box::new(HeavyTailSource::new(64, 50_000, 9)), 0, 0, 123);
+        assert_eq!(skewed.max_disorder_us(), 0);
+        assert_eq!(skewed.node_count(), 64);
+        let events = collect_events(&mut skewed, 2_000);
+        assert_eq!(events, plain);
+    }
+
+    #[test]
+    fn skewed_disorder_is_nonzero_but_bounded() {
+        let inner = Box::new(HeavyTailSource::new(128, 100_000, 5));
+        let mut skewed = Skewed::new(inner, 5_000, 1_000, 77);
+        let bound = skewed.max_disorder_us();
+        assert_eq!(bound, 6_000);
+        let events = collect_events(&mut skewed, 20_000);
+        check_basics_unordered(&events, 128);
+        // Genuinely out of order...
+        let inversions = events
+            .windows(2)
+            .filter(|w| w[0].timestamp_us > w[1].timestamp_us)
+            .count();
+        assert!(inversions > 100, "expected real disorder, got {inversions}");
+        // ...but never by more than the advertised bound: every event's
+        // timestamp stays within `bound` of the running maximum.
+        let mut max_seen = 0u64;
+        for e in &events {
+            assert!(
+                e.timestamp_us + bound >= max_seen,
+                "disorder exceeded the bound: ts {} vs max {max_seen}",
+                e.timestamp_us
+            );
+            max_seen = max_seen.max(e.timestamp_us);
+        }
+    }
+
+    #[test]
+    fn skewed_offsets_are_stable_per_address_and_seed() {
+        let make = |seed| {
+            Skewed::new(
+                Box::new(ScanSweepSource::new(64, 10_000, 3)),
+                10_000,
+                0,
+                seed,
+            )
+        };
+        let a = collect_events(&mut make(1), 500);
+        let b = collect_events(&mut make(1), 500);
+        let c = collect_events(&mut make(2), 500);
+        assert_eq!(a, b, "same seed, same skew");
+        assert_ne!(a, c, "different seed, different clocks");
+        // One scanner address => one constant offset: with zero jitter the
+        // scan stream stays sorted (all events share a clock).
+        assert!(a.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn skewed_survives_absurd_skew_values() {
+        // u64::MAX skew: the offset modulus must not wrap to zero (a
+        // divide-by-zero panic) and the disorder bound must saturate.
+        let mut skewed = Skewed::new(
+            Box::new(HeavyTailSource::new(32, 10_000, 1)),
+            u64::MAX,
+            u64::MAX,
+            9,
+        );
+        assert_eq!(skewed.max_disorder_us(), u64::MAX);
+        let events = collect_events(&mut skewed, 100);
+        assert_eq!(events.len(), 100, "pull must not panic");
+    }
+
+    #[test]
+    fn skewed_mix_interleaves_drifting_clocks() {
+        // A mix whose members land on different skewed clocks produces the
+        // out-of-order stream the reordering stage exists for.
+        let mix = Box::new(Mix::new(vec![
+            Box::new(HeavyTailSource::new(96, 60_000, 4)) as Box<dyn EventSource>,
+            Box::new(ScanSweepSource::new(96, 40_000, 5)) as Box<dyn EventSource>,
+        ]));
+        let mut skewed = Skewed::new(mix, 8_000, 500, 21);
+        let events = collect_events(&mut skewed, 10_000);
+        check_basics_unordered(&events, 96);
+        assert!(
+            events
+                .windows(2)
+                .any(|w| w[0].timestamp_us > w[1].timestamp_us),
+            "a skewed mix must actually be out of order"
         );
     }
 

@@ -107,7 +107,14 @@ impl<S: WindowStream> Paced<S> {
     /// Pace `inner` at `speed`× real time (`speed >= 1`).
     pub fn new(inner: S, speed: u64) -> Self {
         assert!(speed >= 1, "playback speed must be at least 1");
-        let interval = Duration::from_micros(inner.window_us() / speed);
+        // Compute the cadence in nanoseconds: microsecond division truncated
+        // to a zero interval whenever `speed > window_us` (turning paced
+        // playback into a busy spin) and lost sub-microsecond precision for
+        // every speed that does not divide the window evenly. The 1 ns floor
+        // keeps even absurd speeds (beyond `window_us * 1000`) on a nonzero
+        // cadence rather than silently degenerating to unpaced playback.
+        let interval =
+            Duration::from_nanos((inner.window_us().saturating_mul(1_000) / speed).max(1));
         Paced {
             inner,
             interval,
@@ -184,6 +191,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 4_096,
             shard_count: 2,
+            reorder_horizon_us: 0,
         };
         Pipeline::new(Scenario::Ddos.source(64, 3), config)
     }
@@ -274,6 +282,19 @@ mod tests {
     fn paced_speed_divides_the_interval() {
         let paced = Paced::new(short_pipeline(), 10);
         assert_eq!(paced.interval(), Duration::from_micros(5_000));
+    }
+
+    #[test]
+    fn paced_interval_survives_speeds_beyond_the_window() {
+        // Regression: `window_us / speed` in microseconds truncated to zero
+        // whenever speed > window_us, making "very fast" playback a busy
+        // spin instead of a fast cadence. The 50 ms window at 80_000x is a
+        // 625 ns interval, not zero.
+        let paced = Paced::new(short_pipeline(), 80_000);
+        assert_eq!(paced.interval(), Duration::from_nanos(625));
+        // Sub-microsecond precision is kept for uneven divisions too.
+        let paced = Paced::new(short_pipeline(), 3);
+        assert_eq!(paced.interval(), Duration::from_nanos(16_666_666));
     }
 
     #[test]

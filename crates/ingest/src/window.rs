@@ -55,8 +55,18 @@ pub struct IngestStats {
     pub packets: u64,
     /// Stored entries in the window matrix after coalescing.
     pub nnz: usize,
-    /// Events dropped because they arrived after their window had closed.
+    /// Events lost to lateness.
+    ///
+    /// In strict mode (reorder horizon 0) an event is late as soon as its
+    /// window has been emitted. With a reordering horizon, an event is late
+    /// only when it is older than the watermark (`max timestamp seen −
+    /// horizon`) on arrival — everything inside the horizon is resequenced
+    /// instead of dropped.
     pub dropped_late: u64,
+    /// Events that arrived out of timestamp order but within the reordering
+    /// horizon: the watermark stage buffered and resequenced them instead of
+    /// dropping them. Always `0` in strict mode (reorder horizon 0).
+    pub reordered: u64,
     /// Wall-clock time spent pulling, routing and merging this window.
     pub elapsed: Duration,
 }
@@ -74,12 +84,13 @@ impl IngestStats {
     /// One printable summary line.
     pub fn summary(&self) -> String {
         format!(
-            "window {:>3}: {:>8} events  {:>9} packets  nnz {:>7}  late {:>4}  {:>8.2} ms  {:>7.2} M ev/s",
+            "window {:>3}: {:>8} events  {:>9} packets  nnz {:>7}  late {:>4}  reord {:>4}  {:>8.2} ms  {:>7.2} M ev/s",
             self.window_index,
             self.events,
             self.packets,
             self.nnz,
             self.dropped_late,
+            self.reordered,
             self.elapsed.as_secs_f64() * 1e3,
             self.events_per_sec() / 1e6,
         )
@@ -125,12 +136,15 @@ mod tests {
             packets: 5_000_000,
             nnz: 42,
             dropped_late: 3,
+            reordered: 9,
             elapsed: Duration::from_millis(500),
         };
         assert!((stats.events_per_sec() - 2_000_000.0).abs() < 1.0);
         let line = stats.summary();
         assert!(line.contains("window   2"));
         assert!(line.contains("nnz"));
+        assert!(line.contains("late    3"));
+        assert!(line.contains("reord    9"));
         let zero = IngestStats {
             elapsed: Duration::ZERO,
             ..stats

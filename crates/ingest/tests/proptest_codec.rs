@@ -18,11 +18,18 @@ fn arb_report(n: usize) -> impl Strategy<Value = WindowReport> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
-        any::<u64>(),
+        (any::<u64>(), any::<u64>()),
         any::<u64>(),
     )
         .prop_map(
-            move |(entries, window_index, events, packets, dropped_late, elapsed_ns)| {
+            move |(
+                entries,
+                window_index,
+                events,
+                packets,
+                (dropped_late, reordered),
+                elapsed_ns,
+            )| {
                 let mut triples: Vec<(usize, usize, u64)> = entries
                     .into_iter()
                     .map(|(r, c, v)| (r as usize, c as usize, v))
@@ -41,6 +48,7 @@ fn arb_report(n: usize) -> impl Strategy<Value = WindowReport> {
                         packets,
                         nnz,
                         dropped_late,
+                        reordered,
                         elapsed: Duration::from_nanos(elapsed_ns),
                     },
                 }
@@ -138,6 +146,7 @@ proptest! {
                 packets: events.iter().map(|e| u64::from(e.packets)).sum(),
                 nnz,
                 dropped_late: 0,
+                reordered: 0,
                 elapsed: Duration::from_micros(7),
             },
         };
