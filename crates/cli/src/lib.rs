@@ -57,6 +57,14 @@ pub enum Command {
     },
     /// Replay a recorded window stream into the live warehouse view.
     Replay { path: String, speed: u64 },
+    /// Serve one scenario (live or replayed) to remote `connect` clients
+    /// over TCP, framing the v2 window codec.
+    Serve(ServeArgs),
+    /// Join a `serve` session and follow its window stream.
+    Connect {
+        addr: String,
+        windows: Option<usize>,
+    },
     /// Serve one scenario (live or replayed) to a classroom of student
     /// sessions over the broadcast hub.
     Classroom {
@@ -127,6 +135,20 @@ Commands:
                                               sessions over the broadcast hub and print
                                               per-student summaries; --late students join
                                               mid-scenario and catch up from the ring
+  serve --listen <addr> --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N]
+        [--shards N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N]
+                                              serve one window stream (live scenario, or a
+                                              recording with --replay) to remote connect
+                                              clients as length-prefixed, CRC-checked
+                                              frames carrying the v2 window codec;
+                                              --students holds the first window until that
+                                              many clients have joined, and a slow reader
+                                              drops frames (with accounting) instead of
+                                              stalling the class; port 0 picks a free port
+                                              (printed on the eager `listening on` line)
+  connect <addr> [--windows N]                join a serve session: follow the remote
+                                              window stream into a live warehouse view and
+                                              print the server's close accounting
   scenarios                                   list the ingest scenario catalog
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
@@ -294,6 +316,125 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Replay { path, speed })
+        }
+        "serve" => {
+            let mut listen = None;
+            let mut scenario = None;
+            let mut replay = None;
+            let mut students = 0usize;
+            let mut windows = None;
+            let mut nodes = 256u32;
+            let mut seed = 7u64;
+            let mut shards = 0usize;
+            let mut window_us = 100_000u64;
+            let mut horizon_us = 0u64;
+            let mut skew_us = 0u64;
+            let mut speed = 0u64;
+            fn value<T: std::str::FromStr>(
+                iter: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<T, CliError> {
+                iter.next()
+                    .ok_or(CliError(format!("{flag} needs a value")))?
+                    .parse()
+                    .map_err(|_| CliError(format!("{flag} value is not valid")))
+            }
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--listen" => {
+                        listen = Some(
+                            iter.next()
+                                .ok_or(CliError("--listen needs an address".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--scenario" => {
+                        scenario = Some(
+                            iter.next()
+                                .ok_or(CliError("--scenario needs a name".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            iter.next()
+                                .ok_or(CliError("--replay needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--students" => students = value(&mut iter, "--students")?,
+                    "--windows" => windows = Some(value(&mut iter, "--windows")?),
+                    "--nodes" => nodes = value(&mut iter, "--nodes")?,
+                    "--seed" => seed = value(&mut iter, "--seed")?,
+                    "--shards" => shards = value(&mut iter, "--shards")?,
+                    "--window-us" => window_us = value(&mut iter, "--window-us")?,
+                    "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
+                    "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
+                    "--speed" => speed = value(&mut iter, "--speed")?,
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            let listen = listen.ok_or(CliError("serve needs --listen <addr>".to_string()))?;
+            if scenario.is_none() && replay.is_none() {
+                return Err(CliError(
+                    "serve needs --scenario <name> or --replay <file.zip>".to_string(),
+                ));
+            }
+            if scenario.is_some() && replay.is_some() {
+                return Err(CliError(
+                    "--scenario and --replay are mutually exclusive (a recording \
+                     carries its own scenario)"
+                        .to_string(),
+                ));
+            }
+            if replay.is_some() && (horizon_us > 0 || skew_us > 0) {
+                return Err(CliError(
+                    "--skew-us/--horizon-us shape live ingestion; a recording was \
+                     already windowed when it was captured"
+                        .to_string(),
+                ));
+            }
+            if windows == Some(0) {
+                return Err(CliError("--windows must be at least 1".to_string()));
+            }
+            Ok(Command::Serve(ServeArgs {
+                listen,
+                scenario,
+                replay,
+                students,
+                windows,
+                nodes,
+                seed,
+                shards,
+                window_us,
+                horizon_us,
+                skew_us,
+                speed,
+            }))
+        }
+        "connect" => {
+            let addr = iter
+                .next()
+                .ok_or(CliError("connect needs a server address".to_string()))?
+                .clone();
+            let mut windows = None;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--windows" => {
+                        let n: usize = iter
+                            .next()
+                            .ok_or(CliError("--windows needs a value".to_string()))?
+                            .parse()
+                            .map_err(|_| CliError("--windows value is not valid".to_string()))?;
+                        if n == 0 {
+                            return Err(CliError("--windows must be at least 1".to_string()));
+                        }
+                        windows = Some(n);
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Connect { addr, windows })
         }
         "classroom" => {
             let mut scenario = None;
@@ -477,6 +618,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             record: record.clone(),
         }),
         Command::Replay { path, speed } => run_replay(path, *speed),
+        Command::Serve(args) => run_serve(args),
+        Command::Connect { addr, windows } => run_connect(addr, *windows),
         Command::Classroom {
             scenario,
             replay,
@@ -722,6 +865,134 @@ pub fn run_replay(path: &str, speed: u64) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The stream half that `classroom` and `serve` share: one window stream
+/// (live scenario or recording) plus the banner facts a serving front end
+/// prints.
+struct ClassStream {
+    stream: Box<dyn tw_core::ingest::WindowStream>,
+    scenario: String,
+    description: String,
+    node_count: usize,
+    /// The seed the stream was generated with (a recording carries its own).
+    seed: u64,
+}
+
+/// Build the one stream a whole class shares — a live scenario or a recorded
+/// capture — validating the same invariants for every front end that serves
+/// it (in-process classroom or TCP serve).
+#[allow(clippy::too_many_arguments)]
+fn open_class_stream(
+    scenario: Option<&str>,
+    replay: Option<&str>,
+    nodes: u32,
+    seed: u64,
+    shards: usize,
+    window_us: u64,
+    horizon_us: u64,
+    skew_us: u64,
+) -> Result<ClassStream, CliError> {
+    use tw_core::ingest::{FileReplaySource, Pipeline, PipelineConfig, Scenario};
+
+    if replay.is_some() && (horizon_us > 0 || skew_us > 0) {
+        return Err(CliError(
+            "--skew-us/--horizon-us shape live ingestion; a recording was \
+             already windowed when it was captured"
+                .to_string(),
+        ));
+    }
+    match replay {
+        Some(path) => {
+            let replay =
+                FileReplaySource::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let manifest = replay.manifest().clone();
+            Ok(ClassStream {
+                stream: Box::new(replay),
+                scenario: manifest.scenario.clone(),
+                description: format!("replayed from {path}"),
+                node_count: manifest.node_count,
+                seed: manifest.seed,
+            })
+        }
+        None => {
+            let name = scenario.ok_or(CliError(
+                "a scenario name or a recording is required".to_string(),
+            ))?;
+            let scenario = Scenario::by_name(name).ok_or_else(|| {
+                let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
+                CliError(format!(
+                    "unknown scenario {name:?}; known scenarios: {}",
+                    known.join(", ")
+                ))
+            })?;
+            if nodes < 20 {
+                return Err(CliError("--nodes must be at least 20".to_string()));
+            }
+            if window_us == 0 {
+                return Err(CliError("--window-us must be at least 1".to_string()));
+            }
+            let config = PipelineConfig {
+                window_us,
+                batch_size: 8_192,
+                shard_count: shards,
+                reorder_horizon_us: horizon_us,
+            };
+            let (source, max_disorder_us) = scenario.skewed_source(nodes, seed, skew_us);
+            let pipeline = Pipeline::new(source, config);
+            let description = if skew_us > 0 || horizon_us > 0 {
+                format!(
+                    "{}; clock skew {} us, horizon {} us{}",
+                    scenario.describe(),
+                    skew_us,
+                    horizon_us,
+                    if max_disorder_us > horizon_us {
+                        " [WARNING: horizon below the disorder bound; late drops expected]"
+                    } else {
+                        ""
+                    },
+                )
+            } else {
+                scenario.describe().to_string()
+            };
+            Ok(ClassStream {
+                stream: Box::new(pipeline),
+                scenario: scenario.name().to_string(),
+                description,
+                node_count: nodes as usize,
+                seed,
+            })
+        }
+    }
+}
+
+/// How many windows a class run plans to broadcast: the whole recording by
+/// default, eight windows of an unbounded live scenario, and never more than
+/// a recording actually holds.
+fn planned_windows(
+    stream: &dyn tw_core::ingest::WindowStream,
+    requested: Option<usize>,
+) -> Result<usize, CliError> {
+    let planned = match stream.remaining_windows() {
+        Some(recorded) => requested.unwrap_or(recorded).min(recorded),
+        None => requested.unwrap_or(8),
+    };
+    if planned == 0 {
+        return Err(CliError("the recording holds no windows".to_string()));
+    }
+    Ok(planned)
+}
+
+/// Wrap a stream in real-time pacing when a speed multiplier is given.
+fn paced(
+    stream: Box<dyn tw_core::ingest::WindowStream>,
+    speed: u64,
+) -> Box<dyn tw_core::ingest::WindowStream> {
+    if speed > 0 {
+        Box::new(tw_core::ingest::Paced::new(stream, speed))
+    } else {
+        stream
+    }
+}
+
 /// Arguments for [`run_classroom`] (one scenario fanned out to N students).
 #[derive(Debug, Clone)]
 pub struct ClassroomArgs {
@@ -758,93 +1029,25 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
     use tw_core::game::{
         BroadcastConfig, Broadcaster, GameSession, StartOffset, TelemetryEvent, TelemetryHub,
     };
-    use tw_core::ingest::{
-        FileReplaySource, Paced, Pipeline, PipelineConfig, Scenario, WindowStream,
-    };
 
     if args.students > 10_000 {
         return Err(CliError("--students is capped at 10000".to_string()));
     }
-    if args.replay.is_some() && (args.horizon_us > 0 || args.skew_us > 0) {
-        return Err(CliError(
-            "--skew-us/--horizon-us shape live ingestion; a recording was \
-             already windowed when it was captured"
-                .to_string(),
-        ));
-    }
     // Build the one stream the whole class shares.
-    let (stream, scenario_name, description, node_count): (Box<dyn WindowStream>, _, _, _) =
-        match &args.replay {
-            Some(path) => {
-                let replay =
-                    FileReplaySource::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-                let manifest = replay.manifest().clone();
-                (
-                    Box::new(replay),
-                    manifest.scenario.clone(),
-                    format!("replayed from {path}"),
-                    manifest.node_count,
-                )
-            }
-            None => {
-                let name = args.scenario.as_deref().expect("checked at parse time");
-                let scenario = Scenario::by_name(name).ok_or_else(|| {
-                    let known: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
-                    CliError(format!(
-                        "unknown scenario {name:?}; known scenarios: {}",
-                        known.join(", ")
-                    ))
-                })?;
-                if args.nodes < 20 {
-                    return Err(CliError("--nodes must be at least 20".to_string()));
-                }
-                if args.window_us == 0 {
-                    return Err(CliError("--window-us must be at least 1".to_string()));
-                }
-                let config = PipelineConfig {
-                    window_us: args.window_us,
-                    batch_size: 8_192,
-                    shard_count: args.shards,
-                    reorder_horizon_us: args.horizon_us,
-                };
-                let (source, max_disorder_us) =
-                    scenario.skewed_source(args.nodes, args.seed, args.skew_us);
-                let pipeline = Pipeline::new(source, config);
-                let description = if args.skew_us > 0 || args.horizon_us > 0 {
-                    format!(
-                        "{}; clock skew {} us, horizon {} us{}",
-                        scenario.describe(),
-                        args.skew_us,
-                        args.horizon_us,
-                        if max_disorder_us > args.horizon_us {
-                            " [WARNING: horizon below the disorder bound; late drops expected]"
-                        } else {
-                            ""
-                        },
-                    )
-                } else {
-                    scenario.describe().to_string()
-                };
-                (
-                    Box::new(pipeline),
-                    scenario.name().to_string(),
-                    description,
-                    args.nodes as usize,
-                )
-            }
-        };
-    let planned = match stream.remaining_windows() {
-        Some(recorded) => args.windows.unwrap_or(recorded).min(recorded),
-        None => args.windows.unwrap_or(8),
-    };
-    if planned == 0 {
-        return Err(CliError("the recording holds no windows".to_string()));
-    }
-    let mut stream: Box<dyn WindowStream> = if args.speed > 0 {
-        Box::new(Paced::new(stream, args.speed))
-    } else {
-        stream
-    };
+    let class = open_class_stream(
+        args.scenario.as_deref(),
+        args.replay.as_deref(),
+        args.nodes,
+        args.seed,
+        args.shards,
+        args.window_us,
+        args.horizon_us,
+        args.skew_us,
+    )?;
+    let planned = planned_windows(class.stream.as_ref(), args.windows)?;
+    let (scenario_name, description, node_count) =
+        (class.scenario, class.description, class.node_count);
+    let mut stream = paced(class.stream, args.speed);
 
     // Size the dashboard buffer to the class — joins, detaches, the close,
     // and one lag event per window per student — so the printed lag count is
@@ -959,9 +1162,9 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
             line.last.map_or("-".to_string(), |w| format!("w{w}")),
         );
     }
-    let delivered: u64 = summary.reports.iter().map(|r| r.delivered).sum();
-    let dropped: u64 = summary.reports.iter().map(|r| r.dropped).sum();
-    let missed: u64 = summary.reports.iter().map(|r| r.missed).sum();
+    // One accounting authority: the roster totals and the printed summary
+    // come from the same arithmetic the conservation check audits.
+    let totals = summary.totals();
     let lag_events = telemetry
         .drain()
         .into_iter()
@@ -969,9 +1172,12 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
         .count();
     let _ = writeln!(
         out,
-        "broadcast: {} window(s) served once to {} subscriber(s); {delivered} delivered, {dropped} dropped, {missed} missed, {lag_events} lag event(s){}{}",
+        "broadcast: {} window(s) served once to {} subscriber(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s){}{}",
         summary.windows,
         summary.subscribers,
+        totals.delivered,
+        totals.dropped,
+        totals.missed,
         if telemetry.dropped() > 0 {
             format!(" ({} telemetry event(s) evicted)", telemetry.dropped())
         } else {
@@ -983,6 +1189,233 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
             String::new()
         },
     );
+    if let Some(error) = summary.conservation_error() {
+        let _ = writeln!(out, "WARNING: roster accounting out of balance: {error}");
+    }
+    Ok(out)
+}
+
+/// Arguments for [`run_serve`] (one scenario served to remote clients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Address to listen on (e.g. `127.0.0.1:7000`; port 0 picks a free one).
+    pub listen: String,
+    /// Scenario name (required unless `replay` is given).
+    pub scenario: Option<String>,
+    /// Recording to serve instead of generating events live.
+    pub replay: Option<String>,
+    /// Hold the first window until this many clients have connected
+    /// (0 = start streaming immediately).
+    pub students: usize,
+    /// Windows to serve (default: 8 live, the whole recording on replay).
+    pub windows: Option<usize>,
+    /// Address-space size for live scenarios.
+    pub nodes: u32,
+    /// Scenario seed for live scenarios.
+    pub seed: u64,
+    /// Shard count for live scenarios (0 = auto).
+    pub shards: usize,
+    /// Tumbling-window duration for live scenarios.
+    pub window_us: u64,
+    /// Watermark reordering horizon for live scenarios (0 = strict).
+    pub horizon_us: u64,
+    /// Per-source clock skew for live scenarios (0 = sorted stream).
+    pub skew_us: u64,
+    /// Pace the serve at N x real time (0 = as fast as possible).
+    pub speed: u64,
+}
+
+impl ServeArgs {
+    /// Defaults matching the CLI parser, for tests and embedding callers.
+    pub fn new(listen: &str) -> Self {
+        ServeArgs {
+            listen: listen.to_string(),
+            scenario: None,
+            replay: None,
+            students: 0,
+            windows: None,
+            nodes: 256,
+            seed: 7,
+            shards: 0,
+            window_us: 100_000,
+            horizon_us: 0,
+            skew_us: 0,
+            speed: 0,
+        }
+    }
+}
+
+/// Bind the listen address and serve one scenario over TCP.
+pub fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
+    let listener = std::net::TcpListener::bind(&args.listen)
+        .map_err(|e| CliError(format!("{}: {e}", args.listen)))?;
+    run_serve_on(listener, args)
+}
+
+/// Serve one scenario on an already-bound listener: drive the stream once,
+/// encode each window once, and fan identical frames out to every connected
+/// client; returns per-student accounting once the serve ends.
+pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result<String, CliError> {
+    use tw_core::game::{TelemetryEvent, TelemetryHub};
+    use tw_core::serve::{serve, ServeConfig};
+
+    if args.students > 10_000 {
+        return Err(CliError("--students is capped at 10000".to_string()));
+    }
+    let class = open_class_stream(
+        args.scenario.as_deref(),
+        args.replay.as_deref(),
+        args.nodes,
+        args.seed,
+        args.shards,
+        args.window_us,
+        args.horizon_us,
+        args.skew_us,
+    )?;
+    let planned = planned_windows(class.stream.as_ref(), args.windows)?;
+    let mut stream = paced(class.stream, args.speed);
+    let addr = listener.local_addr().map_err(|e| CliError(e.to_string()))?;
+    // The listening line streams eagerly (like paced replay) so students —
+    // and scripts parsing the bound port — see the address while the serve
+    // itself blocks; the accounting below stays on the buffered contract.
+    println!(
+        "listening on {addr}: {} ({}) over {} nodes, {} window(s){}{}",
+        class.scenario,
+        class.description,
+        class.node_count,
+        planned,
+        if args.students > 0 {
+            format!(", waiting for {} student(s)", args.students)
+        } else {
+            String::new()
+        },
+        if args.speed > 0 {
+            format!(", paced at {}x real time", args.speed)
+        } else {
+            String::new()
+        },
+    );
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+
+    let telemetry_capacity = args
+        .students
+        .max(1)
+        .saturating_mul(planned.saturating_add(3))
+        .clamp(1024, 1 << 18);
+    let telemetry = TelemetryHub::with_capacity(telemetry_capacity);
+    let config = ServeConfig {
+        scenario: class.scenario.clone(),
+        seed: class.seed,
+        channel_capacity: planned.clamp(64, 1024),
+        ring_capacity: planned.clamp(32, 1024),
+        wait_for: args.students,
+        max_windows: planned,
+        // With a roster gate the class defines the session: once every
+        // student has left there is no one to serve, even mid-stream.
+        stop_when_empty: args.students > 0,
+        ..ServeConfig::default()
+    };
+    let summary = serve(listener, stream.as_mut(), &config, Some(telemetry.clone()))
+        .map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = String::new();
+    for report in &summary.broadcast.reports {
+        let _ = writeln!(
+            out,
+            "  student {:>3}: joined w{:<4} delivered {:>4}  dropped {:>3}  missed {:>3}{}",
+            report.id,
+            report.start_window,
+            report.delivered,
+            report.dropped,
+            report.missed,
+            if report.left_early {
+                "  [left early]"
+            } else {
+                ""
+            },
+        );
+    }
+    let totals = summary.broadcast.totals();
+    let lag_events = telemetry
+        .drain()
+        .into_iter()
+        .filter(|e| matches!(e, TelemetryEvent::SubscriberLagged { .. }))
+        .count();
+    let _ = writeln!(
+        out,
+        "served {} window(s) ({} encoded bytes) to {} connection(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s)",
+        summary.windows(),
+        summary.encoded_bytes,
+        summary.connections(),
+        totals.delivered,
+        totals.dropped,
+        totals.missed,
+    );
+    if let Some(error) = summary.broadcast.conservation_error() {
+        let _ = writeln!(out, "WARNING: roster accounting out of balance: {error}");
+    }
+    Ok(out)
+}
+
+/// Join a serve session: follow the remote window stream into a live
+/// warehouse view and report the server's close accounting.
+pub fn run_connect(addr: &str, windows: Option<usize>) -> Result<String, CliError> {
+    use tw_core::ingest::WindowStream;
+    use tw_core::serve::ClientStream;
+
+    let mut client = ClientStream::connect(addr).map_err(|e| CliError(format!("{addr}: {e}")))?;
+    let manifest = client.manifest().clone();
+    let mut out = format!(
+        "connected to {addr}: {} over {} nodes, {} us windows, seed {}{}\n",
+        manifest.scenario,
+        manifest.node_count,
+        manifest.window_us,
+        manifest.seed,
+        manifest
+            .windows
+            .map_or(String::new(), |w| format!(", {w} window(s) planned")),
+    );
+    // The remote stream drives the same live-warehouse path as a local
+    // replay: every window re-pallets the 10x10 display scene.
+    let mut session = GameSession::start(ModuleBundle::new(&manifest.scenario), manifest.seed)
+        .map_err(|e| CliError(e.to_string()))?;
+    session.subscribe_live(10);
+    let cap = windows.unwrap_or(usize::MAX);
+    let mut seen = 0usize;
+    while seen < cap {
+        match client.next_window().map_err(|e| CliError(e.to_string()))? {
+            Some(report) => {
+                session.ingest_window(&report);
+                let _ = writeln!(out, "{}", report.stats.summary());
+                seen += 1;
+            }
+            None => break,
+        }
+    }
+    let live = session.live().expect("subscribed above");
+    match client.close_summary() {
+        Some(close) => {
+            let _ = writeln!(
+                out,
+                "server closed: {} window(s) broadcast; delivered {} dropped {} missed {} (saw {})",
+                close.windows,
+                close.delivered,
+                close.dropped,
+                close.missed,
+                live.windows_seen(),
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "left after {} window(s) with the stream still live",
+                live.windows_seen()
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -1275,6 +1708,57 @@ mod tests {
         );
         assert_eq!(
             parse_args(&args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--scenario",
+                "ddos",
+                "--students",
+                "30",
+                "--windows",
+                "6",
+                "--speed",
+                "4",
+            ]))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                scenario: Some("ddos".into()),
+                students: 30,
+                windows: Some(6),
+                speed: 4,
+                ..ServeArgs::new("127.0.0.1:0")
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--listen",
+                "0.0.0.0:7000",
+                "--replay",
+                "c.zip",
+            ]))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                replay: Some("c.zip".into()),
+                ..ServeArgs::new("0.0.0.0:7000")
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["connect", "127.0.0.1:7000"])).unwrap(),
+            Command::Connect {
+                addr: "127.0.0.1:7000".into(),
+                windows: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["connect", "127.0.0.1:7000", "--windows", "5"])).unwrap(),
+            Command::Connect {
+                addr: "127.0.0.1:7000".into(),
+                windows: Some(5)
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
                 "classroom",
                 "--scenario",
                 "ddos",
@@ -1390,6 +1874,65 @@ mod tests {
             .is_err(),
             "a recording carries its own scenario"
         );
+        assert!(
+            parse_args(&args(&["serve", "--scenario", "ddos"])).is_err(),
+            "--listen is required"
+        );
+        assert!(
+            parse_args(&args(&["serve", "--listen", "127.0.0.1:0"])).is_err(),
+            "needs a scenario or a recording"
+        );
+        assert!(
+            parse_args(&args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--scenario",
+                "ddos",
+                "--replay",
+                "c.zip"
+            ]))
+            .is_err(),
+            "a recording carries its own scenario"
+        );
+        assert!(
+            parse_args(&args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--replay",
+                "c.zip",
+                "--skew-us",
+                "100"
+            ]))
+            .is_err(),
+            "skew applies to live ingestion only"
+        );
+        assert!(parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--scenario",
+            "ddos",
+            "--windows",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--scenario",
+            "ddos",
+            "--bogus"
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&args(&["connect"])).is_err(),
+            "connect needs an address"
+        );
+        assert!(parse_args(&args(&["connect", "a:1", "--windows", "0"])).is_err());
+        assert!(parse_args(&args(&["connect", "a:1", "--bogus"])).is_err());
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--skew-us"])).is_err());
         assert!(parse_args(&args(&[
             "ingest",
@@ -1746,6 +2289,76 @@ mod tests {
         .unwrap_err();
         assert!(err.0.contains("live ingestion"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_connect_round_trip_over_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let args = ServeArgs {
+            scenario: Some("ddos".into()),
+            students: 2,
+            windows: Some(3),
+            nodes: 128,
+            shards: 2,
+            window_us: 50_000,
+            ..ServeArgs::new("127.0.0.1:0")
+        };
+        let (serve_out, client_outs) = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..2)
+                .map(|_| {
+                    let addr = addr.clone();
+                    scope.spawn(move || run_connect(&addr, None).unwrap())
+                })
+                .collect();
+            let out = run_serve_on(listener, &args).unwrap();
+            let outs: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+            (out, outs)
+        });
+        assert!(serve_out.contains("served 3 window(s)"), "{serve_out}");
+        assert_eq!(
+            serve_out.lines().filter(|l| l.contains("student ")).count(),
+            2,
+            "{serve_out}"
+        );
+        assert!(!serve_out.contains("WARNING"), "{serve_out}");
+        for out in &client_outs {
+            assert!(out.contains("connected to"), "{out}");
+            assert_eq!(
+                out.lines().filter(|l| l.starts_with("window ")).count(),
+                3,
+                "{out}"
+            );
+            assert!(
+                out.contains("delivered 3 dropped 0 missed 0 (saw 3)"),
+                "{out}"
+            );
+        }
+
+        // Error paths: an unbindable address, an unreachable server, and the
+        // same stream validation the classroom applies.
+        assert!(run_serve(&ServeArgs {
+            scenario: Some("ddos".into()),
+            ..ServeArgs::new("256.0.0.1:0")
+        })
+        .is_err());
+        assert!(run_connect("127.0.0.1:1", None).is_err(), "nothing listens");
+        assert!(run_serve(&ServeArgs {
+            scenario: Some("wat".into()),
+            ..ServeArgs::new("127.0.0.1:0")
+        })
+        .unwrap_err()
+        .0
+        .contains("known scenarios"));
+        assert!(
+            run_serve(&ServeArgs {
+                scenario: Some("ddos".into()),
+                nodes: 4,
+                ..ServeArgs::new("127.0.0.1:0")
+            })
+            .is_err(),
+            "tiny address space"
+        );
     }
 
     #[test]

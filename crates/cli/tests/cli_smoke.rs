@@ -173,6 +173,115 @@ fn compiled_binary_serves_a_classroom() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The campus acceptance flow: record a capture once, serve it on an
+/// ephemeral loopback port, and point 30 `connect` students at it — every
+/// student follows the stream to the close frame, and the server prints
+/// per-student accounting.
+#[test]
+fn compiled_binary_serves_a_campus_over_tcp() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join(format!("tw-cli-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let zip = dir.join("campus.zip");
+    let zip_arg = zip.to_string_lossy().into_owned();
+    let record = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--windows",
+            "4",
+            "--nodes",
+            "128",
+            "--record",
+            &zip_arg,
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(record.status.success(), "ingest --record exited nonzero");
+
+    let students = 30;
+    let mut server = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replay",
+            &zip_arg,
+            "--students",
+            &students.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The listening line streams eagerly, before the serve blocks on the
+    // roster gate; the ephemeral port rides on it.
+    let mut server_stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    server_stdout
+        .read_line(&mut banner)
+        .expect("server prints its banner");
+    assert!(banner.starts_with("listening on "), "{banner}");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| {
+            rest.split(':').next().map(|host| {
+                let port = rest
+                    .split(':')
+                    .nth(1)
+                    .and_then(|p| p.split_whitespace().next())
+                    .expect("port in banner");
+                format!("{host}:{port}")
+            })
+        })
+        .expect("address in banner");
+
+    let clients: Vec<_> = (0..students)
+        .map(|_| {
+            Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+                .args(["connect", &addr])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("client spawns")
+        })
+        .collect();
+    for client in clients {
+        let output = client.wait_with_output().expect("client runs");
+        assert!(output.status.success(), "connect exited nonzero");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("connected to"), "{stdout}");
+        assert_eq!(
+            stdout.lines().filter(|l| l.starts_with("window ")).count(),
+            4,
+            "{stdout}"
+        );
+        assert!(
+            stdout.contains("server closed: 4 window(s) broadcast"),
+            "{stdout}"
+        );
+    }
+
+    let mut rest = String::new();
+    server_stdout
+        .read_to_string(&mut rest)
+        .expect("server accounting");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve exited nonzero");
+    assert_eq!(
+        rest.lines().filter(|l| l.contains("student ")).count(),
+        students,
+        "{rest}"
+    );
+    assert!(rest.contains("served 4 window(s)"), "{rest}");
+    assert!(
+        rest.contains(&format!("to {students} connection(s)")),
+        "{rest}"
+    );
+    assert!(!rest.contains("WARNING"), "{rest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The out-of-order acceptance flow: a skewed DDoS stream whose horizon
 /// covers the disorder bound ingests with zero late drops.
 #[test]

@@ -80,6 +80,11 @@ pub mod sim {
     pub use tw_sim::*;
 }
 
+/// The network serving tier (`serve`/`connect` over TCP frames).
+pub mod serve {
+    pub use tw_serve::*;
+}
+
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use tw_game::{
@@ -98,6 +103,7 @@ pub mod prelude {
     pub use tw_patterns::{all_patterns, patterns_for_figure, Figure, Pattern};
     pub use tw_quiz::{PresentedQuestion, QuestionOutcome, QuizSession, SessionScore};
     pub use tw_render::{render_matrix_2d, Framebuffer};
+    pub use tw_serve::{ClientStream, ServeConfig, ServeSummary};
 }
 
 use tw_module::{LearningModule, ModuleBundle, ModuleError};

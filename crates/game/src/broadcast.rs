@@ -24,6 +24,14 @@
 //! The hub is deliberately synchronous and lock-based (one mutex around the
 //! subscriber table and ring): broadcasting is O(subscribers) pointer sends
 //! per window, and every blocking wait lives in the channels, not the lock.
+//!
+//! The hub is generic over its payload: [`BroadcastHub<T>`] fans out any
+//! cheaply clonable item tagged with a window index. [`Broadcaster`] (the
+//! in-process classroom, `T = Arc<WindowReport>`) is one instantiation; the
+//! network serving tier in `tw-serve` is another (`T = Arc<[u8]>`, windows
+//! encoded **once** and the same frame bytes fanned out to every TCP
+//! connection). Both share the ring catch-up, lag-drop and roster
+//! accounting verified here.
 
 use crate::telemetry::{TelemetryEvent, TelemetryHub};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -84,6 +92,34 @@ pub struct SubscriberReport {
     pub dropped: u64,
     /// Wanted windows that had already left the catch-up ring at join time.
     pub missed: u64,
+    /// Whether the subscriber detached before the broadcast closed (its
+    /// receiving half was dropped mid-broadcast). Counters freeze at the
+    /// detach, so window conservation is only guaranteed for subscribers
+    /// that stayed to the end.
+    pub left_early: bool,
+}
+
+impl SubscriberReport {
+    /// Every window this subscriber accounted for, one way or another:
+    /// `delivered + dropped + missed`. For a subscriber that stayed to the
+    /// end this equals the windows broadcast past its start offset — the
+    /// conservation law [`BroadcastSummary::conservation_error`] checks.
+    pub fn accounted(&self) -> u64 {
+        self.delivered + self.dropped + self.missed
+    }
+}
+
+/// Roster-wide totals over every subscriber of a broadcast, summed in one
+/// place so the classroom CLI, the serving tier and tests agree on the
+/// arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RosterTotals {
+    /// Windows enqueued across all subscribers.
+    pub delivered: u64,
+    /// Windows dropped (full channel) across all subscribers.
+    pub dropped: u64,
+    /// Windows missed (left the ring before join) across all subscribers.
+    pub missed: u64,
 }
 
 /// The outcome of a finished broadcast.
@@ -97,41 +133,86 @@ pub struct BroadcastSummary {
     pub reports: Vec<SubscriberReport>,
 }
 
-struct Slot {
+impl BroadcastSummary {
+    /// Sum the per-subscriber counters into roster-wide totals.
+    pub fn totals(&self) -> RosterTotals {
+        let mut totals = RosterTotals::default();
+        for r in &self.reports {
+            totals.delivered += r.delivered;
+            totals.dropped += r.dropped;
+            totals.missed += r.missed;
+        }
+        totals
+    }
+
+    /// Check the conservation law: every subscriber that stayed to the end
+    /// accounted for exactly the windows broadcast past its start offset
+    /// (`delivered + dropped + missed == windows - start_window`). Returns a
+    /// description of the first violation, or `None` when the books balance.
+    /// Early leavers are skipped — their counters froze at the detach.
+    pub fn conservation_error(&self) -> Option<String> {
+        for r in &self.reports {
+            if r.left_early {
+                continue;
+            }
+            let wanted = self.windows.saturating_sub(r.start_window);
+            if r.accounted() != wanted {
+                return Some(format!(
+                    "subscriber {} accounted {} window(s) (delivered {} + dropped {} + \
+                     missed {}) but the broadcast served {} past its start w{}",
+                    r.id,
+                    r.accounted(),
+                    r.delivered,
+                    r.dropped,
+                    r.missed,
+                    wanted,
+                    r.start_window
+                ));
+            }
+        }
+        None
+    }
+}
+
+struct Slot<T> {
     id: usize,
     start_window: u64,
-    sender: Sender<Arc<WindowReport>>,
+    sender: Sender<T>,
     counters: Arc<SharedCounters>,
     detached: bool,
 }
 
-impl Slot {
-    fn report(&self) -> SubscriberReport {
+impl<T> Slot<T> {
+    fn report(&self, left_early: bool) -> SubscriberReport {
         SubscriberReport {
             id: self.id,
             start_window: self.start_window,
             delivered: self.counters.delivered.load(Ordering::Relaxed),
             dropped: self.counters.dropped.load(Ordering::Relaxed),
             missed: self.counters.missed.load(Ordering::Relaxed),
+            left_early,
         }
     }
 }
 
-struct HubState {
+struct HubState<T: Clone> {
     config: BroadcastConfig,
     telemetry: Option<TelemetryHub>,
-    ring: VecDeque<Arc<WindowReport>>,
+    /// Recent payloads with the window index each one carries. The index
+    /// rides alongside the payload because an encoded frame (unlike a
+    /// `WindowReport`) cannot answer for its own position in the stream.
+    ring: VecDeque<(u64, T)>,
     /// The index the next broadcast window will carry (== windows broadcast
     /// so far, since window indices are consecutive from 0).
     next_index: u64,
     closed: bool,
     next_id: usize,
-    active: Vec<Slot>,
+    active: Vec<Slot<T>>,
     /// Reports of subscribers that already detached.
     finished: Vec<SubscriberReport>,
 }
 
-impl HubState {
+impl<T: Clone> HubState<T> {
     fn publish(&self, event: TelemetryEvent) {
         if let Some(hub) = &self.telemetry {
             hub.publish(event);
@@ -142,11 +223,11 @@ impl HubState {
     fn ring_start(&self) -> u64 {
         self.ring
             .front()
-            .map(|r| r.stats.window_index)
+            .map(|(index, _)| *index)
             .unwrap_or(self.next_index)
     }
 
-    fn subscribe(&mut self, offset: StartOffset) -> Subscription {
+    fn subscribe(&mut self, offset: StartOffset) -> HubSubscription<T> {
         let id = self.next_id;
         self.next_id += 1;
         let start_window = match offset {
@@ -168,12 +249,8 @@ impl HubState {
         };
         // Catch up from the ring: everything at or past the requested start.
         let mut caught_up = 0u64;
-        for report in self
-            .ring
-            .iter()
-            .filter(|r| r.stats.window_index >= start_window)
-        {
-            deliver(&mut slot, report, self.telemetry.as_ref());
+        for (index, item) in self.ring.iter().filter(|(i, _)| *i >= start_window) {
+            deliver(&mut slot, *index, item, self.telemetry.as_ref());
             caught_up += 1;
         }
         self.publish(TelemetryEvent::SubscriberJoined {
@@ -186,11 +263,11 @@ impl HubState {
             // Joining a finished broadcast still yields the ring suffix; the
             // slot is retired immediately so its sender drops and the
             // subscription sees disconnect after draining.
-            self.finished.push(slot.report());
+            self.finished.push(slot.report(slot.detached));
         } else {
             self.active.push(slot);
         }
-        Subscription {
+        HubSubscription {
             id,
             start_window,
             receiver,
@@ -198,10 +275,8 @@ impl HubState {
         }
     }
 
-    fn broadcast(&mut self, report: WindowReport) -> u64 {
-        let report = Arc::new(report);
-        let index = report.stats.window_index;
-        self.ring.push_back(report.clone());
+    fn broadcast(&mut self, index: u64, item: T) -> u64 {
+        self.ring.push_back((index, item.clone()));
         while self.ring.len() > self.config.ring_capacity {
             self.ring.pop_front();
         }
@@ -210,7 +285,7 @@ impl HubState {
             // A subscriber that asked to start in the future receives
             // nothing (and counts nothing) until its start window arrives.
             if index >= slot.start_window {
-                deliver(slot, &report, telemetry.as_ref());
+                deliver(slot, index, &item, telemetry.as_ref());
             }
         }
         self.retire_detached();
@@ -223,7 +298,7 @@ impl HubState {
             let slots = std::mem::take(&mut self.active);
             for slot in slots {
                 if slot.detached {
-                    let report = slot.report();
+                    let report = slot.report(true);
                     self.publish(TelemetryEvent::SubscriberDetached {
                         subscriber: report.id,
                         delivered: report.delivered,
@@ -246,7 +321,7 @@ impl HubState {
             // telemetry just like an early leaver would.
             let slots = std::mem::take(&mut self.active);
             for slot in slots {
-                let report = slot.report();
+                let report = slot.report(slot.detached);
                 self.publish(TelemetryEvent::SubscriberDetached {
                     subscriber: report.id,
                     delivered: report.delivered,
@@ -270,11 +345,11 @@ impl HubState {
 }
 
 /// Enqueue one window to one subscriber, with lag accounting.
-fn deliver(slot: &mut Slot, report: &Arc<WindowReport>, telemetry: Option<&TelemetryHub>) {
+fn deliver<T: Clone>(slot: &mut Slot<T>, index: u64, item: &T, telemetry: Option<&TelemetryHub>) {
     if slot.detached {
         return;
     }
-    match slot.sender.try_send(report.clone()) {
+    match slot.sender.try_send(item.clone()) {
         Ok(()) => {
             slot.counters.delivered.fetch_add(1, Ordering::Relaxed);
         }
@@ -283,7 +358,7 @@ fn deliver(slot: &mut Slot, report: &Arc<WindowReport>, telemetry: Option<&Telem
             if let Some(hub) = telemetry {
                 hub.publish(TelemetryEvent::SubscriberLagged {
                     subscriber: slot.id,
-                    window_index: report.stats.window_index,
+                    window_index: index,
                     dropped,
                 });
             }
@@ -295,13 +370,23 @@ fn deliver(slot: &mut Slot, report: &Arc<WindowReport>, telemetry: Option<&Telem
 }
 
 /// A handle for subscribing to (and observing) a broadcast from any thread.
-#[derive(Clone)]
-pub struct BroadcastHandle {
-    state: Arc<Mutex<HubState>>,
+pub struct HubHandle<T: Clone> {
+    state: Arc<Mutex<HubState<T>>>,
 }
 
-impl BroadcastHandle {
-    fn lock(&self) -> MutexGuard<'_, HubState> {
+/// The in-process classroom handle (`T = Arc<WindowReport>`).
+pub type BroadcastHandle = HubHandle<Arc<WindowReport>>;
+
+impl<T: Clone> Clone for HubHandle<T> {
+    fn clone(&self) -> Self {
+        HubHandle {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T: Clone> HubHandle<T> {
+    fn lock(&self) -> MutexGuard<'_, HubState<T>> {
         match self.state.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -310,7 +395,7 @@ impl BroadcastHandle {
 
     /// Subscribe a new consumer starting at `offset`. Works before, during
     /// and after the broadcast; ring catch-up is delivered immediately.
-    pub fn subscribe(&self, offset: StartOffset) -> Subscription {
+    pub fn subscribe(&self, offset: StartOffset) -> HubSubscription<T> {
         self.lock().subscribe(offset)
     }
 
@@ -335,25 +420,32 @@ impl BroadcastHandle {
     }
 }
 
-impl std::fmt::Debug for BroadcastHandle {
+impl<T: Clone> std::fmt::Debug for HubHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("BroadcastHandle { .. }")
+        f.write_str("HubHandle { .. }")
     }
 }
 
-/// The hub that drives one [`WindowStream`] and fans it out to N subscribers.
-pub struct Broadcaster {
-    state: Arc<Mutex<HubState>>,
+/// The hub that fans one indexed payload stream out to N subscribers.
+///
+/// `T` is whatever one broadcast window costs a pointer clone to share:
+/// `Arc<WindowReport>` for the in-process classroom (see [`Broadcaster`]),
+/// `Arc<[u8]>` for the encoded wire frames of the `tw-serve` network tier.
+pub struct BroadcastHub<T: Clone> {
+    state: Arc<Mutex<HubState<T>>>,
 }
 
-impl Broadcaster {
-    /// A broadcaster with the given configuration and no telemetry.
+/// The hub that drives one [`WindowStream`] and fans it out to N subscribers.
+pub type Broadcaster = BroadcastHub<Arc<WindowReport>>;
+
+impl<T: Clone> BroadcastHub<T> {
+    /// A hub with the given configuration and no telemetry.
     pub fn new(config: BroadcastConfig) -> Self {
         Self::build(config, None)
     }
 
-    /// A broadcaster publishing subscriber lifecycle and lag events to the
-    /// given telemetry hub.
+    /// A hub publishing subscriber lifecycle and lag events to the given
+    /// telemetry hub.
     pub fn with_telemetry(config: BroadcastConfig, telemetry: TelemetryHub) -> Self {
         Self::build(config, Some(telemetry))
     }
@@ -367,7 +459,7 @@ impl Broadcaster {
             config.ring_capacity >= 1,
             "the catch-up ring needs capacity"
         );
-        Broadcaster {
+        BroadcastHub {
             state: Arc::new(Mutex::new(HubState {
                 config,
                 telemetry,
@@ -382,17 +474,45 @@ impl Broadcaster {
     }
 
     /// A clonable handle for subscribing from other threads.
-    pub fn handle(&self) -> BroadcastHandle {
-        BroadcastHandle {
+    pub fn handle(&self) -> HubHandle<T> {
+        HubHandle {
             state: self.state.clone(),
         }
     }
 
-    /// Subscribe a consumer (convenience for [`BroadcastHandle::subscribe`]).
-    pub fn subscribe(&self, offset: StartOffset) -> Subscription {
+    /// Subscribe a consumer (convenience for [`HubHandle::subscribe`]).
+    pub fn subscribe(&self, offset: StartOffset) -> HubSubscription<T> {
         self.handle().subscribe(offset)
     }
 
+    /// Broadcast one payload carrying the given window index.
+    ///
+    /// Indices must be consecutive from 0 (the contract every
+    /// [`WindowStream`] already honors) for missed/ring accounting to be
+    /// exact. Publishing on a closed hub is a no-op. Returns the index.
+    pub fn publish_window(&self, index: u64, item: T) -> u64 {
+        let mut state = self.lock();
+        if state.closed {
+            return index;
+        }
+        state.broadcast(index, item)
+    }
+
+    /// Close the broadcast: every subscriber channel disconnects once
+    /// drained. Idempotent; returns the (final) summary.
+    pub fn close(&mut self) -> BroadcastSummary {
+        self.lock().close()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubState<T>> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Broadcaster {
     /// Pull one window from the stream and broadcast it; `Ok(None)` once the
     /// stream is exhausted (which closes the broadcast) or the broadcast is
     /// already closed. Returns the broadcast window's index otherwise.
@@ -402,8 +522,9 @@ impl Broadcaster {
         }
         match stream.next_window() {
             Ok(Some(report)) => {
+                let index = report.stats.window_index;
                 let mut state = self.lock();
-                Ok(Some(state.broadcast(report)))
+                Ok(Some(state.broadcast(index, Arc::new(report))))
             }
             Ok(None) => {
                 self.close();
@@ -434,35 +555,22 @@ impl Broadcaster {
         }
         Ok(self.close())
     }
-
-    /// Close the broadcast: every subscriber channel disconnects once
-    /// drained. Idempotent; returns the (final) summary.
-    pub fn close(&mut self) -> BroadcastSummary {
-        self.lock().close()
-    }
-
-    fn lock(&self) -> MutexGuard<'_, HubState> {
-        match self.state.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
 }
 
-/// Dropping the broadcaster closes the hub unconditionally (idempotent), so
-/// subscribers blocked in `recv()` always unblock — even when a panic or an
-/// early return skips the explicit [`Broadcaster::close`] (surviving
-/// [`BroadcastHandle`] clones keep the channel senders alive otherwise).
-impl Drop for Broadcaster {
+/// Dropping the hub closes it unconditionally (idempotent), so subscribers
+/// blocked in `recv()` always unblock — even when a panic or an early return
+/// skips the explicit [`BroadcastHub::close`] (surviving [`HubHandle`]
+/// clones keep the channel senders alive otherwise).
+impl<T: Clone> Drop for BroadcastHub<T> {
     fn drop(&mut self) {
         self.lock().close();
     }
 }
 
-impl std::fmt::Debug for Broadcaster {
+impl<T: Clone> std::fmt::Debug for BroadcastHub<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.lock();
-        f.debug_struct("Broadcaster")
+        f.debug_struct("BroadcastHub")
             .field("windows", &state.next_index)
             .field("subscribers", &state.active.len())
             .field("closed", &state.closed)
@@ -476,14 +584,17 @@ impl std::fmt::Debug for Broadcaster {
 /// next delivery attempt. Counters are shared with the hub, so they remain
 /// readable (and final) after the broadcast closes.
 #[derive(Debug)]
-pub struct Subscription {
+pub struct HubSubscription<T> {
     id: usize,
     start_window: u64,
-    receiver: Receiver<Arc<WindowReport>>,
+    receiver: Receiver<T>,
     counters: Arc<SharedCounters>,
 }
 
-impl Subscription {
+/// The in-process classroom subscription (`T = Arc<WindowReport>`).
+pub type Subscription = HubSubscription<Arc<WindowReport>>;
+
+impl<T> HubSubscription<T> {
     /// The subscriber id the hub assigned (subscription order from 0).
     pub fn id(&self) -> usize {
         self.id
@@ -496,17 +607,17 @@ impl Subscription {
 
     /// Block until the next window arrives; `None` once the broadcast has
     /// closed and everything buffered has been received.
-    pub fn recv(&self) -> Option<Arc<WindowReport>> {
+    pub fn recv(&self) -> Option<T> {
         self.receiver.recv().ok()
     }
 
     /// The next window, if one is already buffered.
-    pub fn try_recv(&self) -> Option<Arc<WindowReport>> {
+    pub fn try_recv(&self) -> Option<T> {
         self.receiver.try_recv().ok()
     }
 
     /// Drain every currently buffered window.
-    pub fn drain(&self) -> Vec<Arc<WindowReport>> {
+    pub fn drain(&self) -> Vec<T> {
         let mut out = Vec::new();
         while let Some(report) = self.try_recv() {
             out.push(report);
@@ -583,6 +694,7 @@ mod tests {
             }
             assert!(sub.recv().is_none(), "closed after drain");
         }
+        assert_eq!(summary.conservation_error(), None);
     }
 
     #[test]
@@ -665,6 +777,8 @@ mod tests {
         // The windows that did arrive are the oldest (head-of-line), in order.
         let seen: Vec<u64> = slow.drain().iter().map(|r| r.stats.window_index).collect();
         assert_eq!(seen, vec![0, 1]);
+        // Drops still conserve: 2 delivered + 3 dropped == 5 windows.
+        assert_eq!(summary.conservation_error(), None);
     }
 
     #[test]
@@ -684,11 +798,19 @@ mod tests {
         assert_eq!(summary.subscribers, 2);
         let detached = summary.reports.iter().find(|r| r.id == 1).unwrap();
         assert_eq!(detached.delivered, 1, "got window 0 before leaving");
+        assert!(
+            detached.left_early,
+            "mid-broadcast detach is an early leave"
+        );
         assert!(telemetry
             .drain()
             .iter()
             .any(|e| matches!(e, TelemetryEvent::SubscriberDetached { subscriber: 1, .. })));
         assert_eq!(keep.drain().len(), 2);
+        let stayed = summary.reports.iter().find(|r| r.id == 0).unwrap();
+        assert!(!stayed.left_early);
+        // Conservation skips the early leaver but still holds for the class.
+        assert_eq!(summary.conservation_error(), None);
     }
 
     #[test]
@@ -788,5 +910,106 @@ mod tests {
         assert_eq!(caster.step(&mut stream).unwrap(), None);
         let again = caster.close();
         assert_eq!(again.windows, 1);
+    }
+
+    #[test]
+    fn frame_payloads_fan_out_the_same_bytes_to_everyone() {
+        // The serving-tier instantiation: encoded frames, shared by pointer.
+        let mut hub: BroadcastHub<Arc<[u8]>> = BroadcastHub::new(roomy());
+        let subs: Vec<HubSubscription<Arc<[u8]>>> =
+            (0..3).map(|_| hub.subscribe(StartOffset::Origin)).collect();
+        let frames: Vec<Arc<[u8]>> = (0u8..4).map(|i| Arc::from(vec![i; 8])).collect();
+        for (i, frame) in frames.iter().enumerate() {
+            hub.publish_window(i as u64, frame.clone());
+        }
+        let summary = hub.close();
+        assert_eq!(summary.windows, 4);
+        for sub in &subs {
+            let received = sub.drain();
+            assert_eq!(received.len(), 4);
+            for (frame, got) in frames.iter().zip(&received) {
+                assert!(Arc::ptr_eq(frame, got), "fan-out shares, never copies");
+            }
+        }
+        assert_eq!(summary.conservation_error(), None);
+    }
+
+    #[test]
+    fn frame_payload_lag_drop_is_deterministic() {
+        // Nothing drains the channel, so capacity bounds delivery exactly:
+        // the first `capacity` frames are delivered, every later one drops.
+        let hub: BroadcastHub<Arc<[u8]>> = BroadcastHub::new(BroadcastConfig {
+            channel_capacity: 1,
+            ring_capacity: 8,
+        });
+        let stalled = hub.subscribe(StartOffset::Origin);
+        for i in 0..5u64 {
+            hub.publish_window(i, Arc::from(vec![0u8; 4]));
+        }
+        assert_eq!(stalled.delivered(), 1);
+        assert_eq!(stalled.dropped(), 4);
+    }
+
+    #[test]
+    fn publish_after_close_is_a_no_op() {
+        let mut hub: BroadcastHub<Arc<[u8]>> = BroadcastHub::new(roomy());
+        let sub = hub.subscribe(StartOffset::Origin);
+        hub.publish_window(0, Arc::from(vec![1u8]));
+        hub.close();
+        hub.publish_window(1, Arc::from(vec![2u8]));
+        assert_eq!(sub.drain().len(), 1, "post-close publishes go nowhere");
+        assert_eq!(hub.handle().windows_broadcast(), 1);
+    }
+
+    #[test]
+    fn roster_totals_sum_every_counter_once() {
+        let mut caster = Broadcaster::new(BroadcastConfig {
+            channel_capacity: 2,
+            ring_capacity: 2,
+        });
+        let _slow = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        for _ in 0..4 {
+            caster.step(&mut stream).unwrap();
+        }
+        // Joins after the ring slid: missed counts too.
+        let _late = caster.subscribe(StartOffset::Origin);
+        caster.step(&mut stream).unwrap();
+        let summary = caster.run(&mut stream, 1).unwrap();
+        let totals = summary.totals();
+        assert_eq!(
+            totals.delivered,
+            summary.reports.iter().map(|r| r.delivered).sum::<u64>()
+        );
+        assert_eq!(
+            totals.dropped,
+            summary.reports.iter().map(|r| r.dropped).sum::<u64>()
+        );
+        assert_eq!(
+            totals.missed,
+            summary.reports.iter().map(|r| r.missed).sum::<u64>()
+        );
+        // Slow subscriber dropped, late subscriber missed — and the books
+        // still balance for both.
+        assert!(totals.dropped > 0);
+        assert!(totals.missed > 0);
+        assert_eq!(summary.conservation_error(), None);
+    }
+
+    #[test]
+    fn conservation_error_pinpoints_a_cooked_report() {
+        let mut caster = Broadcaster::new(roomy());
+        let _sub = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        let mut summary = caster.run(&mut stream, 3).unwrap();
+        assert_eq!(summary.conservation_error(), None);
+        summary.reports[0].delivered += 1;
+        let err = summary
+            .conservation_error()
+            .expect("books no longer balance");
+        assert!(err.contains("subscriber 0"), "{err}");
+        // An early leaver with the same cooked counters is exempt.
+        summary.reports[0].left_early = true;
+        assert_eq!(summary.conservation_error(), None);
     }
 }

@@ -70,6 +70,9 @@ pub enum TelemetryEvent {
     /// The broadcast finished; contains the window count and how many
     /// subscribers ever joined.
     BroadcastClosed { windows: u64, subscribers: usize },
+    /// A remote peer connected to the serving tier and was subscribed; the
+    /// subscriber id ties later `Subscriber*` events back to the address.
+    PeerConnected { subscriber: usize, peer: String },
 }
 
 /// A telemetry publisher/consumer pair backed by a bounded channel with a

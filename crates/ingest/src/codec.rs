@@ -81,7 +81,7 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Append a LEB128 varint.
-fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -94,21 +94,21 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 /// A cursor over the encoded bytes.
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
     #[inline]
-    fn byte(&mut self, what: &'static str) -> Result<u8, CodecError> {
+    pub(crate) fn byte(&mut self, what: &'static str) -> Result<u8, CodecError> {
         let b = *self.data.get(self.pos).ok_or(CodecError::Truncated(what))?;
         self.pos += 1;
         Ok(b)
     }
 
     #[inline]
-    fn varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
+    pub(crate) fn varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
         // Fast path: hypersparse windows make almost every field (column
         // deltas, small packet counts, row gaps) a single varint byte.
         if let Some(&b) = self.data.get(self.pos) {
@@ -139,7 +139,7 @@ impl<'a> Reader<'a> {
     }
 
     #[inline]
-    fn usize_varint(&mut self, what: &'static str) -> Result<usize, CodecError> {
+    pub(crate) fn usize_varint(&mut self, what: &'static str) -> Result<usize, CodecError> {
         usize::try_from(self.varint(what)?).map_err(|_| CodecError::VarintOverflow(what))
     }
 }

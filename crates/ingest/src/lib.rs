@@ -40,6 +40,10 @@
 //!   accounting;
 //! * [`codec`] — the compact, versioned binary encoding of a
 //!   [`WindowReport`] (delta-compressed CSR + stats);
+//! * [`frame`] — the wire framing atop the codec (magic, version, kind,
+//!   length prefix, CRC32) that the `tw-serve` network tier streams over
+//!   TCP: manifest / window / close frames with typed, alloc-guarded
+//!   decoding;
 //! * [`record`] — [`ArchiveRecorder`] (window stream → `tw-archive` ZIP with
 //!   a JSON manifest) and [`ReplaySource`] (ZIP → the identical window
 //!   stream, no event generation);
@@ -51,6 +55,7 @@
 //!   code path.
 
 pub mod codec;
+pub mod frame;
 pub mod pipeline;
 pub mod record;
 pub mod reorder;
@@ -62,6 +67,12 @@ pub mod stream;
 pub mod window;
 
 pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
+pub use frame::{
+    decode_frame, encode_close_frame, encode_frame, encode_manifest_frame, encode_report_frame,
+    encode_window_frame, parse_frame_payload, read_frame, read_raw_frame, write_frame,
+    CloseSummary, Frame, FrameError, FrameKind, StreamManifest, FRAME_MAGIC, FRAME_VERSION,
+    MAX_FRAME_LEN,
+};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};
 pub use reorder::{PushOutcome, ReorderBuffer};

@@ -18,6 +18,7 @@
 //! `tw-game`, the live warehouse, the CLI) therefore serves live scenarios,
 //! instant replays and paced replays through the same code path.
 
+use crate::frame::FrameError;
 use crate::record::RecordError;
 use crate::window::WindowReport;
 use std::fmt;
@@ -25,17 +26,21 @@ use std::time::{Duration, Instant};
 
 /// Errors produced while pulling from a [`WindowStream`].
 ///
-/// Live pipelines cannot fail; replay sources can (corrupt archive, I/O).
+/// Live pipelines cannot fail; replay sources can (corrupt archive, I/O),
+/// and network streams can (truncated or corrupt frames, dead peers).
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamError {
     /// A replayed recording failed to parse or decode.
     Replay(RecordError),
+    /// A network stream delivered a bad frame or lost its transport.
+    Frame(FrameError),
 }
 
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamError::Replay(e) => write!(f, "window stream: {e}"),
+            StreamError::Frame(e) => write!(f, "window stream: {e}"),
         }
     }
 }
@@ -45,6 +50,12 @@ impl std::error::Error for StreamError {}
 impl From<RecordError> for StreamError {
     fn from(e: RecordError) -> Self {
         StreamError::Replay(e)
+    }
+}
+
+impl From<FrameError> for StreamError {
+    fn from(e: FrameError) -> Self {
+        StreamError::Frame(e)
     }
 }
 

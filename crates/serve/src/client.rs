@@ -1,0 +1,97 @@
+//! The connecting side: a TCP frame stream as a [`WindowStream`].
+//!
+//! [`ClientStream`] dials a serving endpoint, reads the manifest frame, and
+//! then yields decoded windows through the same [`WindowStream`] contract
+//! every local producer implements — so a [`GameSession`], the classroom
+//! CLI, or `collect_stream` drives a remote scenario exactly as it would a
+//! local pipeline or replay. The close frame ends the stream (`Ok(None)`)
+//! and leaves the server's per-connection accounting readable via
+//! [`ClientStream::close_summary`].
+//!
+//! [`GameSession`]: tw_game::GameSession
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use tw_ingest::frame::{read_frame, CloseSummary, Frame, FrameError, StreamManifest};
+use tw_ingest::{StreamError, WindowReport, WindowStream};
+
+/// A connected window-stream client.
+#[derive(Debug)]
+pub struct ClientStream {
+    reader: BufReader<TcpStream>,
+    manifest: StreamManifest,
+    close: Option<CloseSummary>,
+    seen: u64,
+}
+
+impl ClientStream {
+    /// Connect and read the manifest frame; ready to stream windows after.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FrameError> {
+        let socket = TcpStream::connect(addr).map_err(|e| FrameError::Io(e.kind()))?;
+        let _ = socket.set_nodelay(true);
+        let mut reader = BufReader::new(socket);
+        match read_frame(&mut reader)? {
+            Frame::Manifest(manifest) => Ok(ClientStream {
+                reader,
+                manifest,
+                close: None,
+                seen: 0,
+            }),
+            _ => Err(FrameError::Corrupt("first frame must be the manifest")),
+        }
+    }
+
+    /// The session header the server announced.
+    pub fn manifest(&self) -> &StreamManifest {
+        &self.manifest
+    }
+
+    /// The server's accounting for this connection, once the close frame
+    /// has arrived (i.e. after `next_window` returned `Ok(None)`).
+    pub fn close_summary(&self) -> Option<&CloseSummary> {
+        self.close.as_ref()
+    }
+
+    /// Windows decoded so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl WindowStream for ClientStream {
+    fn next_window(&mut self) -> Result<Option<WindowReport>, StreamError> {
+        if self.close.is_some() {
+            return Ok(None);
+        }
+        match read_frame(&mut self.reader) {
+            Ok(Frame::Window(report)) => {
+                self.seen += 1;
+                Ok(Some(report))
+            }
+            Ok(Frame::Close(summary)) => {
+                self.close = Some(summary);
+                Ok(None)
+            }
+            Ok(Frame::Manifest(_)) => {
+                Err(FrameError::Corrupt("manifest frame arrived mid-stream").into())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.manifest.node_count
+    }
+
+    fn window_us(&self) -> u64 {
+        self.manifest.window_us
+    }
+
+    fn remaining_windows(&self) -> Option<usize> {
+        // Advisory: the server may stop early (max_windows, empty roster),
+        // and lag drops can shrink what actually arrives.
+        self.manifest
+            .windows
+            .map(|w| w.saturating_sub(self.seen) as usize)
+    }
+}

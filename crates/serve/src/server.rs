@@ -1,0 +1,446 @@
+//! The serving side: one window stream, many TCP connections.
+//!
+//! [`serve`] drives any [`WindowStream`] exactly once on the calling thread
+//! and fans each window out to every connected peer:
+//!
+//! ```text
+//!            main thread                 acceptor thread
+//!  ┌───────────────────────────┐   ┌──────────────────────────┐
+//!  │ next_window()             │   │ listener.accept() loop   │
+//!  │   → encode_window (once)  │   │   → subscribe(Origin)    │
+//!  │   → frame → Arc<[u8]>     │   │   → spawn writer thread  │
+//!  │   → hub.publish_window()  │   └──────────┬───────────────┘
+//!  └───────────┬───────────────┘              │ per connection
+//!              ▼                              ▼
+//!   BroadcastHub<Arc<[u8]>>  ──bounded──►  writer: manifest frame,
+//!   (ring catch-up, lag-drop              recv() → write_all(frame),
+//!    accounting from tw-game)             close frame with accounting
+//! ```
+//!
+//! Each window is encoded **once**; every connection shares the same frame
+//! bytes behind an `Arc`. A slow connection fills its bounded channel and
+//! starts dropping frames — counted per subscriber, surfaced on telemetry,
+//! and echoed to the peer in its close frame — but it never stalls the
+//! class. A dead connection fails its next write, the writer thread exits,
+//! and the hub retires the slot on the next delivery.
+//!
+//! All threads live inside one [`std::thread::scope`]: when [`serve`]
+//! returns, the acceptor and every writer have been joined — no leaks, no
+//! orphan sockets.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tw_game::broadcast::{
+    BroadcastConfig, BroadcastHub, BroadcastSummary, HubHandle, HubSubscription, StartOffset,
+};
+use tw_game::telemetry::{TelemetryEvent, TelemetryHub};
+use tw_ingest::frame::{
+    encode_close_frame, encode_manifest_frame, encode_window_frame, write_frame, CloseSummary,
+    StreamManifest,
+};
+use tw_ingest::{encode_window, StreamError, WindowStream};
+
+/// Tuning knobs for one [`serve`] session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scenario name announced in the manifest frame.
+    pub scenario: String,
+    /// Seed announced in the manifest frame.
+    pub seed: u64,
+    /// Bounded per-connection frame channel depth (lag-drop threshold).
+    pub channel_capacity: usize,
+    /// Recent frames retained for late-joiner catch-up.
+    pub ring_capacity: usize,
+    /// Connections to wait for before the first window is served (0 starts
+    /// immediately); bounded by `roster_timeout`.
+    pub wait_for: usize,
+    /// Stop after this many windows even if the stream has more.
+    pub max_windows: usize,
+    /// Stop once at least one peer has joined and all of them have left.
+    /// Combine with `wait_for` so an infinite live stream has a roster to
+    /// watch; with no peer ever joining the stream runs to exhaustion.
+    pub stop_when_empty: bool,
+    /// Per-write timeout on each connection: a peer that stops reading for
+    /// this long (with full socket buffers) is disconnected, not waited on.
+    pub write_timeout: Duration,
+    /// Upper bound on the `wait_for` roster wait; serving starts with
+    /// whoever has joined when it expires.
+    pub roster_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            scenario: "live".to_string(),
+            seed: 0,
+            channel_capacity: 64,
+            ring_capacity: 32,
+            wait_for: 0,
+            max_windows: usize::MAX,
+            stop_when_empty: false,
+            write_timeout: Duration::from_secs(5),
+            roster_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything that can end a [`serve`] session abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The window stream failed mid-serve (connected peers still received
+    /// a clean close frame).
+    Stream(StreamError),
+    /// The listener could not be configured or polled.
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Stream(e) => write!(f, "serve: {e}"),
+            ServeError::Io(msg) => write!(f, "serve: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+/// The outcome of a finished [`serve`] session.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Total v2-codec payload bytes encoded (once per window, regardless of
+    /// connection count).
+    pub encoded_bytes: u64,
+    /// The hub's roster accounting — the same [`BroadcastSummary`] the
+    /// in-process classroom reports, one entry per connection.
+    pub broadcast: BroadcastSummary,
+}
+
+impl ServeSummary {
+    /// Windows served.
+    pub fn windows(&self) -> u64 {
+        self.broadcast.windows
+    }
+
+    /// Connections that ever joined.
+    pub fn connections(&self) -> usize {
+        self.broadcast.subscribers
+    }
+}
+
+/// Serve `stream` to every connection the listener accepts until the stream
+/// ends, `config.max_windows` is reached, or (with `stop_when_empty`) the
+/// roster empties. Returns once every connection thread has been joined.
+///
+/// The listener is switched to non-blocking mode and polled, so shutdown
+/// needs no self-connect trick. Callers wanting an ephemeral port bind
+/// `127.0.0.1:0` themselves and read `listener.local_addr()` first.
+pub fn serve(
+    listener: TcpListener,
+    stream: &mut dyn WindowStream,
+    config: &ServeConfig,
+    telemetry: Option<TelemetryHub>,
+) -> Result<ServeSummary, ServeError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Io(format!("listener nonblocking: {e}")))?;
+    let windows_hint = {
+        let remaining = stream.remaining_windows().map(|w| w as u64);
+        let cap = (config.max_windows != usize::MAX).then_some(config.max_windows as u64);
+        match (remaining, cap) {
+            (Some(r), Some(c)) => Some(r.min(c)),
+            (one, other) => one.or(other),
+        }
+    };
+    let manifest = StreamManifest {
+        scenario: config.scenario.clone(),
+        seed: config.seed,
+        node_count: stream.node_count(),
+        window_us: stream.window_us(),
+        windows: windows_hint,
+    };
+    let manifest_frame: Arc<[u8]> = encode_manifest_frame(&manifest).into();
+    let hub_config = BroadcastConfig {
+        channel_capacity: config.channel_capacity,
+        ring_capacity: config.ring_capacity,
+    };
+    let mut hub: BroadcastHub<Arc<[u8]>> = match &telemetry {
+        Some(t) => BroadcastHub::with_telemetry(hub_config, t.clone()),
+        None => BroadcastHub::new(hub_config),
+    };
+    let handle = hub.handle();
+    let stop = AtomicBool::new(false);
+    let mut encoded_bytes = 0u64;
+    let mut drive_result: Result<(), StreamError> = Ok(());
+
+    std::thread::scope(|scope| {
+        let acceptor_handle = handle.clone();
+        let acceptor_telemetry = telemetry.clone();
+        let manifest_frame = &manifest_frame;
+        let stop = &stop;
+        let listener = &listener;
+        let write_timeout = config.write_timeout;
+        scope.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((socket, peer)) => {
+                        let sub = acceptor_handle.subscribe(StartOffset::Origin);
+                        if let Some(t) = &acceptor_telemetry {
+                            t.publish(TelemetryEvent::PeerConnected {
+                                subscriber: sub.id(),
+                                peer: peer.to_string(),
+                            });
+                        }
+                        let conn_handle = acceptor_handle.clone();
+                        let manifest_frame = manifest_frame.clone();
+                        scope.spawn(move || {
+                            write_connection(
+                                socket,
+                                sub,
+                                manifest_frame,
+                                conn_handle,
+                                write_timeout,
+                            )
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // Hold the first window until the expected roster has joined (or
+        // the wait times out), so classes start together.
+        let roster_deadline = Instant::now() + config.roster_timeout;
+        while handle.subscribers_joined() < config.wait_for && Instant::now() < roster_deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut sent = 0usize;
+        while sent < config.max_windows {
+            if config.stop_when_empty
+                && handle.subscribers_joined() > 0
+                && handle.subscriber_count() == 0
+            {
+                break;
+            }
+            match stream.next_window() {
+                Ok(Some(report)) => {
+                    let index = report.stats.window_index;
+                    let encoded = encode_window(&report);
+                    encoded_bytes += encoded.len() as u64;
+                    let frame: Arc<[u8]> = encode_window_frame(&encoded).into();
+                    hub.publish_window(index, frame);
+                    sent += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    drive_result = Err(e);
+                    break;
+                }
+            }
+        }
+
+        // Stop accepting, then disconnect the hub: writers drain whatever
+        // is buffered, append their close frames, and exit. The scope join
+        // proves no writer thread outlives the serve call.
+        stop.store(true, Ordering::Relaxed);
+        hub.close();
+    });
+
+    // A peer that squeezed in between close and the acceptor noticing the
+    // stop flag still lands in the final summary: close is idempotent.
+    let broadcast = hub.close();
+    drive_result?;
+    Ok(ServeSummary {
+        encoded_bytes,
+        broadcast,
+    })
+}
+
+/// One connection's writer: manifest, every received frame, close summary.
+///
+/// Any write failure (dead peer, `write_timeout` elapsed against a stalled
+/// one) drops the subscription, which the hub retires with its counters
+/// intact — the class never waits on this connection again.
+fn write_connection(
+    mut socket: TcpStream,
+    sub: HubSubscription<Arc<[u8]>>,
+    manifest_frame: Arc<[u8]>,
+    handle: HubHandle<Arc<[u8]>>,
+    write_timeout: Duration,
+) {
+    let _ = socket.set_nodelay(true);
+    let _ = socket.set_write_timeout(Some(write_timeout));
+    if write_frame(&mut socket, &manifest_frame).is_err() {
+        return;
+    }
+    while let Some(frame) = sub.recv() {
+        if write_frame(&mut socket, &frame).is_err() {
+            return;
+        }
+    }
+    // The channel disconnected: the broadcast is over and the counters are
+    // final. Echo this connection's accounting so the peer knows whether
+    // the stream it saw was complete.
+    let close = CloseSummary {
+        windows: handle.windows_broadcast(),
+        delivered: sub.delivered(),
+        dropped: sub.dropped(),
+        missed: sub.missed(),
+    };
+    let _ = write_frame(&mut socket, &encode_close_frame(&close));
+}
+
+/// Bind an ephemeral loopback listener (test/CLI convenience).
+pub fn loopback_listener() -> Result<TcpListener, ServeError> {
+    TcpListener::bind("127.0.0.1:0").map_err(|e| ServeError::Io(format!("bind 127.0.0.1:0: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientStream;
+    use tw_ingest::{collect_stream, Pipeline, PipelineConfig, Scenario};
+
+    fn ddos_pipeline(nodes: u32) -> Pipeline {
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 4_096,
+            shard_count: 2,
+            reorder_horizon_us: 0,
+        };
+        Pipeline::new(Scenario::Ddos.source(nodes, 7), config)
+    }
+
+    #[test]
+    fn serves_a_pipeline_to_two_clients_cell_for_cell() {
+        let reference = ddos_pipeline(64).run(3);
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            wait_for: 2,
+            max_windows: 3,
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = ClientStream::connect(addr).unwrap();
+                        let windows = collect_stream(&mut client, usize::MAX).unwrap();
+                        (windows, client)
+                    })
+                })
+                .collect();
+            let mut stream = ddos_pipeline(64);
+            let summary = serve(listener, &mut stream, &config, None).unwrap();
+            assert_eq!(summary.windows(), 3);
+            assert_eq!(summary.connections(), 2);
+            assert!(summary.encoded_bytes > 0);
+            assert_eq!(summary.broadcast.conservation_error(), None);
+            for client in clients {
+                let (windows, client) = client.join().unwrap();
+                assert_eq!(windows.len(), 3);
+                for (reference, got) in reference.iter().zip(&windows) {
+                    assert_eq!(reference.matrix, got.matrix, "cell-for-cell");
+                    assert_eq!(reference.stats.window_index, got.stats.window_index);
+                }
+                assert_eq!(client.manifest().scenario, "ddos");
+                assert_eq!(client.manifest().node_count, 64);
+                assert_eq!(client.manifest().windows, Some(3));
+                let close = client.close_summary().expect("close frame arrived");
+                assert_eq!(close.windows, 3);
+                assert_eq!(close.delivered, 3);
+                assert_eq!(close.dropped, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn late_joiner_receives_a_contiguous_window_suffix() {
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            wait_for: 1,
+            max_windows: 6,
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let on_time = scope.spawn(move || {
+                let mut client = ClientStream::connect(addr).unwrap();
+                collect_stream(&mut client, usize::MAX).unwrap().len()
+            });
+            let late = scope.spawn(move || {
+                // Join mid-broadcast; the ring catches us up, so whatever we
+                // see is a contiguous suffix ending at the last window.
+                std::thread::sleep(Duration::from_millis(30));
+                let mut client = ClientStream::connect(addr).unwrap();
+                let windows = collect_stream(&mut client, usize::MAX).unwrap();
+                let close = *client.close_summary().expect("clean close");
+                let indices: Vec<u64> = windows.iter().map(|w| w.stats.window_index).collect();
+                (indices, close)
+            });
+            // Pace the stream a little (50 ms windows at 5x = one window
+            // every 10 ms) so "late" lands mid-broadcast.
+            let mut stream = tw_ingest::Paced::new(ddos_pipeline(32), 5);
+            let summary = serve(listener, &mut stream, &config, None).unwrap();
+            assert_eq!(summary.windows(), 6);
+            assert_eq!(on_time.join().unwrap(), 6);
+            let (indices, close) = late.join().unwrap();
+            // A contiguous run ending at the final window (possibly all 6 if
+            // the ring covered everything, possibly fewer).
+            assert!(!indices.is_empty(), "ring catch-up yields at least one");
+            assert_eq!(*indices.last().unwrap(), 5);
+            for pair in indices.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1, "suffix is contiguous");
+            }
+            assert_eq!(close.windows, 6);
+            assert_eq!(
+                close.delivered + close.missed,
+                6,
+                "delivered + missed accounts every window for an undropped peer"
+            );
+        });
+    }
+
+    #[test]
+    fn stream_error_mid_serve_still_closes_peers_cleanly() {
+        use crate::chaos::ChaosStream;
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            wait_for: 1,
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let client = scope.spawn(move || {
+                let mut client = ClientStream::connect(addr).unwrap();
+                let windows = collect_stream(&mut client, usize::MAX).unwrap();
+                (windows.len(), *client.close_summary().unwrap())
+            });
+            let mut stream = ChaosStream::new(ddos_pipeline(32), 2);
+            let err = serve(listener, &mut stream, &config, None).unwrap_err();
+            assert!(matches!(err, ServeError::Stream(StreamError::Frame(_))));
+            let (seen, close) = client.join().unwrap();
+            assert_eq!(seen, 2, "both pre-fault windows arrived");
+            assert_eq!(close.windows, 2);
+            assert_eq!(close.delivered, 2);
+        });
+    }
+}
