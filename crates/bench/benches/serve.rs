@@ -99,7 +99,7 @@ fn serve_campus(recording: &[u8], windows: usize, connections: usize) -> u64 {
                         match read_raw_frame(&mut reader).expect("frames arrive intact") {
                             (FrameKind::Window, _) => seen += 1,
                             (FrameKind::Close, _) => break,
-                            (FrameKind::Manifest, _) => {}
+                            (FrameKind::Manifest | FrameKind::Stats, _) => {}
                         }
                     }
                     seen

@@ -54,6 +54,9 @@ pub enum Command {
         horizon_us: u64,
         skew_us: u64,
         record: Option<String>,
+        json: bool,
+        metrics_json: Option<String>,
+        stats_every: u64,
     },
     /// Replay a recorded window stream into the live warehouse view.
     Replay { path: String, speed: u64 },
@@ -64,6 +67,7 @@ pub enum Command {
     Connect {
         addr: String,
         windows: Option<usize>,
+        stats: bool,
     },
     /// Serve one scenario (live or replayed) to a classroom of student
     /// sessions over the broadcast hub.
@@ -80,6 +84,8 @@ pub enum Command {
         skew_us: u64,
         speed: u64,
         late: Option<usize>,
+        metrics_json: Option<String>,
+        stats_every: u64,
     },
     /// List the ingest scenario catalog.
     Scenarios,
@@ -113,7 +119,7 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
-  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip]
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip] [--json] [--metrics-json file.json] [--stats-every N]
                                               stream a scenario through the sharded ingest
                                               pipeline and print per-window stats
                                               (scenarios: background, ddos, scan,
@@ -122,7 +128,12 @@ Commands:
                                               and --horizon-us sets the watermark
                                               reordering horizon that absorbs it;
                                               --record also captures the window stream
-                                              as a replayable ZIP
+                                              as a replayable ZIP; --json emits one
+                                              tw-json object per window instead of the
+                                              human transcript; --metrics-json writes
+                                              the final pipeline metrics snapshot,
+                                              --stats-every N prints a one-line stats
+                                              summary every N windows
   replay <file.zip> [--speed N]               re-emit a recorded window stream into the live
                                               warehouse view without regenerating any events,
                                               streamed incrementally from disk (--speed N
@@ -130,13 +141,17 @@ Commands:
                                               fast as possible)
   classroom --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N] [--shards N]
             [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N] [--late N]
+            [--metrics-json file.json] [--stats-every N]
                                               fan one window stream (live scenario, or a
                                               recording with --replay) out to N student
                                               sessions over the broadcast hub and print
                                               per-student summaries; --late students join
-                                              mid-scenario and catch up from the ring
+                                              mid-scenario and catch up from the ring;
+                                              --metrics-json / --stats-every export the
+                                              pipeline+broadcast metrics
   serve --listen <addr> --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N]
         [--shards N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N]
+        [--metrics-json file.json] [--stats-every N]
                                               serve one window stream (live scenario, or a
                                               recording with --replay) to remote connect
                                               clients as length-prefixed, CRC-checked
@@ -145,10 +160,17 @@ Commands:
                                               many clients have joined, and a slow reader
                                               drops frames (with accounting) instead of
                                               stalling the class; port 0 picks a free port
-                                              (printed on the eager `listening on` line)
-  connect <addr> [--windows N]                join a serve session: follow the remote
+                                              (printed on the eager `listening on` line);
+                                              --metrics-json writes the final snapshot,
+                                              --stats-every N also streams Stats frames
+                                              to every client every N windows
+                                              (readable with connect --stats)
+  connect <addr> [--windows N] [--stats]      join a serve session: follow the remote
                                               window stream into a live warehouse view and
-                                              print the server's close accounting
+                                              print the server's close accounting;
+                                              --stats prints the server's live metrics
+                                              snapshots as they arrive (the server must
+                                              serve with --stats-every)
   scenarios                                   list the ingest scenario catalog
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
@@ -240,6 +262,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut horizon_us = 0u64;
             let mut skew_us = 0u64;
             let mut record = None;
+            let mut json = false;
+            let mut metrics_json = None;
+            let mut stats_every = 0u64;
             fn value<'a, T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'a, String>,
                 flag: &str,
@@ -273,6 +298,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
+                    "--json" => json = true,
+                    "--metrics-json" => {
+                        metrics_json = Some(
+                            iter.next()
+                                .ok_or(CliError("--metrics-json needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--stats-every" => stats_every = value(&mut iter, "--stats-every")?,
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
@@ -292,6 +326,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 horizon_us,
                 skew_us,
                 record,
+                json,
+                metrics_json,
+                stats_every,
             })
         }
         "replay" => {
@@ -330,6 +367,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut horizon_us = 0u64;
             let mut skew_us = 0u64;
             let mut speed = 0u64;
+            let mut metrics_json = None;
+            let mut stats_every = 0u64;
             fn value<T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'_, String>,
                 flag: &str,
@@ -371,6 +410,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
                     "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
                     "--speed" => speed = value(&mut iter, "--speed")?,
+                    "--metrics-json" => {
+                        metrics_json = Some(
+                            iter.next()
+                                .ok_or(CliError("--metrics-json needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--stats-every" => stats_every = value(&mut iter, "--stats-every")?,
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
@@ -410,6 +457,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 horizon_us,
                 skew_us,
                 speed,
+                metrics_json,
+                stats_every,
             }))
         }
         "connect" => {
@@ -418,6 +467,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or(CliError("connect needs a server address".to_string()))?
                 .clone();
             let mut windows = None;
+            let mut stats = false;
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--windows" => {
@@ -431,10 +481,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                         windows = Some(n);
                     }
+                    "--stats" => stats = true,
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
-            Ok(Command::Connect { addr, windows })
+            Ok(Command::Connect {
+                addr,
+                windows,
+                stats,
+            })
         }
         "classroom" => {
             let mut scenario = None;
@@ -449,6 +504,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut skew_us = 0u64;
             let mut speed = 0u64;
             let mut late = None;
+            let mut metrics_json = None;
+            let mut stats_every = 0u64;
             fn value<T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'_, String>,
                 flag: &str,
@@ -484,6 +541,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
                     "--speed" => speed = value(&mut iter, "--speed")?,
                     "--late" => late = Some(value(&mut iter, "--late")?),
+                    "--metrics-json" => {
+                        metrics_json = Some(
+                            iter.next()
+                                .ok_or(CliError("--metrics-json needs a file path".to_string()))?
+                                .clone(),
+                        )
+                    }
+                    "--stats-every" => stats_every = value(&mut iter, "--stats-every")?,
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
@@ -525,6 +590,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 skew_us,
                 speed,
                 late,
+                metrics_json,
+                stats_every,
             })
         }
         "scenarios" => Ok(Command::Scenarios),
@@ -605,6 +672,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             horizon_us,
             skew_us,
             record,
+            json,
+            metrics_json,
+            stats_every,
         } => run_ingest(&IngestArgs {
             scenario: scenario.clone(),
             windows: *windows,
@@ -616,10 +686,17 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             horizon_us: *horizon_us,
             skew_us: *skew_us,
             record: record.clone(),
+            json: *json,
+            metrics_json: metrics_json.clone(),
+            stats_every: *stats_every,
         }),
         Command::Replay { path, speed } => run_replay(path, *speed),
         Command::Serve(args) => run_serve(args),
-        Command::Connect { addr, windows } => run_connect(addr, *windows),
+        Command::Connect {
+            addr,
+            windows,
+            stats,
+        } => run_connect(addr, *windows, *stats),
         Command::Classroom {
             scenario,
             replay,
@@ -633,6 +710,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             skew_us,
             speed,
             late,
+            metrics_json,
+            stats_every,
         } => run_classroom(&ClassroomArgs {
             scenario: scenario.clone(),
             replay: replay.clone(),
@@ -646,6 +725,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             skew_us: *skew_us,
             speed: *speed,
             late: *late,
+            metrics_json: metrics_json.clone(),
+            stats_every: *stats_every,
         }),
         Command::Scenarios => Ok(render_scenarios()),
         Command::Curriculum => Ok(render_curriculum()),
@@ -676,6 +757,14 @@ pub struct IngestArgs {
     pub skew_us: u64,
     /// Record the window stream to a replayable ZIP at this path.
     pub record: Option<String>,
+    /// Emit one tw-json object per window (machine-readable transcript)
+    /// instead of the human per-window lines, banner and totals.
+    pub json: bool,
+    /// Write the final pipeline metrics snapshot (pretty tw-json) here.
+    pub metrics_json: Option<String>,
+    /// Print a one-line metrics summary every N windows (0 = never;
+    /// suppressed by `json`, which keeps the transcript pure JSONL).
+    pub stats_every: u64,
 }
 
 impl IngestArgs {
@@ -692,8 +781,48 @@ impl IngestArgs {
             horizon_us: 0,
             skew_us: 0,
             record: None,
+            json: false,
+            metrics_json: None,
+            stats_every: 0,
         }
     }
+}
+
+/// A `u64` as a tw-json number: exact while it fits the wire integer
+/// (`i64`), a float beyond (same lossy convention as `MetricsSnapshot`).
+fn json_u64(value: u64) -> tw_core::json::Value {
+    use tw_core::json::{Number, Value};
+    i64::try_from(value).map_or_else(
+        |_| Value::Number(Number::Float(value as f64)),
+        |v| Value::Number(Number::Int(v)),
+    )
+}
+
+/// One window's [`IngestStats`] as a compact tw-json object (one line of
+/// `ingest --json` output).
+///
+/// [`IngestStats`]: tw_core::ingest::IngestStats
+fn ingest_stats_json(stats: &tw_core::ingest::IngestStats) -> String {
+    use tw_core::json::{Map, Value};
+    let mut object = Map::new();
+    object.insert("window", json_u64(stats.window_index));
+    object.insert("events", json_u64(stats.events));
+    object.insert("packets", json_u64(stats.packets));
+    object.insert("nnz", json_u64(stats.nnz as u64));
+    object.insert("dropped_late", json_u64(stats.dropped_late));
+    object.insert("reordered", json_u64(stats.reordered));
+    object.insert("elapsed_us", json_u64(stats.elapsed.as_micros() as u64));
+    tw_core::json::to_string(&Value::Object(object))
+}
+
+/// Write a final metrics snapshot where `--metrics-json` asked for it.
+fn write_metrics_json(
+    path: &str,
+    snapshot: &tw_core::metrics::MetricsSnapshot,
+) -> Result<(), CliError> {
+    let mut text = tw_core::json::to_string_pretty(&snapshot.to_json());
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
 /// Stream a named scenario through the sharded ingest pipeline and render
@@ -705,6 +834,7 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
     use tw_core::ingest::{
         ArchiveRecorder, Pipeline, PipelineConfig, RecordingMeta, Scenario, MAX_DIMENSION,
     };
+    use tw_core::metrics::MetricsRegistry;
 
     let scenario_name = args.scenario.as_str();
     let scenario = Scenario::by_name(scenario_name).ok_or_else(|| {
@@ -735,29 +865,39 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
         reorder_horizon_us: args.horizon_us,
     };
     let (source, max_disorder_us) = scenario.skewed_source(args.nodes, args.seed, args.skew_us);
+    // One registry spans the whole run when any metrics output was asked
+    // for; the pipeline records its stage timings and counters into it.
+    let registry = (args.metrics_json.is_some() || args.stats_every > 0).then(MetricsRegistry::new);
     let mut pipeline = Pipeline::new(source, config);
-    let mut out = format!(
-        "scenario {scenario} ({}): {} nodes, {} us windows, {} shard(s), batch {}, seed {}\n",
-        scenario.describe(),
-        args.nodes,
-        args.window_us,
-        pipeline.shard_count(),
-        args.batch,
-        args.seed,
-    );
-    if args.skew_us > 0 || args.horizon_us > 0 {
+    if let Some(registry) = &registry {
+        pipeline.instrument(registry);
+    }
+    let mut out = String::new();
+    if !args.json {
         let _ = writeln!(
             out,
-            "out-of-order: clock skew up to {} us (max disorder {} us), reorder horizon {} us{}",
-            args.skew_us,
-            max_disorder_us,
-            args.horizon_us,
-            if max_disorder_us > args.horizon_us {
-                " [WARNING: horizon below the disorder bound; late drops expected]"
-            } else {
-                ""
-            },
+            "scenario {scenario} ({}): {} nodes, {} us windows, {} shard(s), batch {}, seed {}",
+            scenario.describe(),
+            args.nodes,
+            args.window_us,
+            pipeline.shard_count(),
+            args.batch,
+            args.seed,
         );
+        if args.skew_us > 0 || args.horizon_us > 0 {
+            let _ = writeln!(
+                out,
+                "out-of-order: clock skew up to {} us (max disorder {} us), reorder horizon {} us{}",
+                args.skew_us,
+                max_disorder_us,
+                args.horizon_us,
+                if max_disorder_us > args.horizon_us {
+                    " [WARNING: horizon below the disorder bound; late drops expected]"
+                } else {
+                    ""
+                },
+            );
+        }
     }
     let mut recorder = args.record.as_ref().map(|_| {
         ArchiveRecorder::new(RecordingMeta {
@@ -767,36 +907,65 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
             window_us: args.window_us,
         })
     });
-    let reports = pipeline.run(args.windows);
-    for report in &reports {
-        let _ = writeln!(out, "{}", report.stats.summary());
+    // Pull windows one at a time (instead of the batch `run`) so periodic
+    // stats lines interleave with the transcript at the cadence asked for.
+    let mut reports = Vec::with_capacity(args.windows);
+    while reports.len() < args.windows {
+        let report = match pipeline.next_window() {
+            Some(report) => report,
+            None => break,
+        };
+        if args.json {
+            let _ = writeln!(out, "{}", ingest_stats_json(&report.stats));
+        } else {
+            let _ = writeln!(out, "{}", report.stats.summary());
+        }
         if let Some(recorder) = recorder.as_mut() {
             recorder
-                .record(report)
+                .record(&report)
                 .map_err(|e| CliError(e.to_string()))?;
         }
+        reports.push(report);
+        if !args.json
+            && args.stats_every > 0
+            && (reports.len() as u64).is_multiple_of(args.stats_every)
+        {
+            if let Some(registry) = &registry {
+                let _ = writeln!(out, "stats: {}", registry.snapshot().one_line());
+            }
+        }
     }
-    let events: u64 = reports.iter().map(|r| r.stats.events).sum();
-    let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
-    let late: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
-    let reordered: u64 = reports.iter().map(|r| r.stats.reordered).sum();
-    let peak_nnz = reports.iter().map(|r| r.stats.nnz).max().unwrap_or(0);
-    let elapsed: f64 = reports.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
-    let _ = writeln!(
-        out,
-        "total: {events} events, {packets} packets, {late} late, {reordered} reordered, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
-        elapsed * 1e3,
-        if elapsed > 0.0 { events as f64 / elapsed / 1e6 } else { 0.0 },
-    );
+    if !args.json {
+        let events: u64 = reports.iter().map(|r| r.stats.events).sum();
+        let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
+        let late: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
+        let reordered: u64 = reports.iter().map(|r| r.stats.reordered).sum();
+        let peak_nnz = reports.iter().map(|r| r.stats.nnz).max().unwrap_or(0);
+        let elapsed: f64 = reports.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
+        let _ = writeln!(
+            out,
+            "total: {events} events, {packets} packets, {late} late, {reordered} reordered, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
+            elapsed * 1e3,
+            if elapsed > 0.0 { events as f64 / elapsed / 1e6 } else { 0.0 },
+        );
+    }
     if let (Some(recorder), Some(path)) = (recorder, args.record.as_deref()) {
         let recorded = recorder.windows_recorded();
         let bytes = recorder.finish().map_err(|e| CliError(e.to_string()))?;
         std::fs::write(path, &bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
-        let _ = writeln!(
-            out,
-            "recorded {recorded} window(s) to {path} ({} bytes); replay with: traffic-warehouse replay {path}",
-            bytes.len()
-        );
+        if !args.json {
+            let _ = writeln!(
+                out,
+                "recorded {recorded} window(s) to {path} ({} bytes); replay with: traffic-warehouse replay {path}",
+                bytes.len()
+            );
+        }
+    }
+    if let (Some(path), Some(registry)) = (args.metrics_json.as_deref(), &registry) {
+        write_metrics_json(path, &registry.snapshot())?;
+        if !args.json {
+            let _ = writeln!(out, "wrote metrics snapshot to {path}");
+        }
     }
     Ok(out)
 }
@@ -890,6 +1059,7 @@ fn open_class_stream(
     window_us: u64,
     horizon_us: u64,
     skew_us: u64,
+    metrics: Option<&tw_core::metrics::MetricsRegistry>,
 ) -> Result<ClassStream, CliError> {
     use tw_core::ingest::{FileReplaySource, Pipeline, PipelineConfig, Scenario};
 
@@ -937,7 +1107,10 @@ fn open_class_stream(
                 reorder_horizon_us: horizon_us,
             };
             let (source, max_disorder_us) = scenario.skewed_source(nodes, seed, skew_us);
-            let pipeline = Pipeline::new(source, config);
+            let mut pipeline = Pipeline::new(source, config);
+            if let Some(registry) = metrics {
+                pipeline.instrument(registry);
+            }
             let description = if skew_us > 0 || horizon_us > 0 {
                 format!(
                     "{}; clock skew {} us, horizon {} us{}",
@@ -1020,6 +1193,10 @@ pub struct ClassroomArgs {
     pub speed: u64,
     /// Students that join mid-scenario (default: one in five).
     pub late: Option<usize>,
+    /// Write the final pipeline+broadcast metrics snapshot here.
+    pub metrics_json: Option<String>,
+    /// Print a one-line metrics summary every N broadcast windows.
+    pub stats_every: u64,
 }
 
 /// Serve one scenario to a classroom: drive the stream once through the
@@ -1033,6 +1210,10 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
     if args.students > 10_000 {
         return Err(CliError("--students is capped at 10000".to_string()));
     }
+    // One registry spans the pipeline and the hub when metrics output was
+    // asked for.
+    let registry = (args.metrics_json.is_some() || args.stats_every > 0)
+        .then(tw_core::metrics::MetricsRegistry::new);
     // Build the one stream the whole class shares.
     let class = open_class_stream(
         args.scenario.as_deref(),
@@ -1043,6 +1224,7 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
         args.window_us,
         args.horizon_us,
         args.skew_us,
+        registry.as_ref(),
     )?;
     let planned = planned_windows(class.stream.as_ref(), args.windows)?;
     let (scenario_name, description, node_count) =
@@ -1058,12 +1240,13 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
         .saturating_mul(planned.saturating_add(3))
         .clamp(1024, 1 << 18);
     let telemetry = TelemetryHub::with_capacity(telemetry_capacity);
-    let mut caster = Broadcaster::with_telemetry(
+    let mut caster = Broadcaster::with_instrumentation(
         BroadcastConfig {
             channel_capacity: planned.clamp(64, 1024),
             ring_capacity: planned.clamp(32, 1024),
         },
-        telemetry.clone(),
+        Some(telemetry.clone()),
+        registry.as_ref(),
     );
     let handle = caster.handle();
     let late = args.late.unwrap_or(args.students / 5);
@@ -1118,12 +1301,20 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
             .collect();
         // This thread is the producer: drive the stream once for everyone.
         let mut broadcast = 0usize;
+        let mut stats_lines = Vec::new();
         let run = loop {
             if broadcast >= planned {
                 break Ok(());
             }
             match caster.step(stream.as_mut()) {
-                Ok(Some(_)) => broadcast += 1,
+                Ok(Some(_)) => {
+                    broadcast += 1;
+                    if args.stats_every > 0 && (broadcast as u64).is_multiple_of(args.stats_every) {
+                        if let Some(registry) = &registry {
+                            stats_lines.push((broadcast, registry.snapshot().one_line()));
+                        }
+                    }
+                }
                 Ok(None) => break Ok(()),
                 Err(e) => break Err(e),
             }
@@ -1142,14 +1333,17 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
             .map(|c| c.join().expect("student threads do not panic"))
             .collect();
         lines.sort_by_key(|l| l.id);
-        (summary, lines)
+        (summary.map(|s| (s, stats_lines)), lines)
     });
-    let summary = summary.map_err(|e| CliError(e.to_string()))?;
+    let (summary, stats_lines) = summary.map_err(|e| CliError(e.to_string()))?;
 
     let mut out = format!(
         "classroom: {scenario_name} ({description}) over {node_count} nodes -> {} student(s) ({} on time, {late} late at w{late_at})\n",
         args.students, on_time,
     );
+    for (window, line) in &stats_lines {
+        let _ = writeln!(out, "  stats after w{}: {line}", window - 1);
+    }
     for line in &lines {
         let _ = writeln!(
             out,
@@ -1170,19 +1364,18 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
         .into_iter()
         .filter(|e| matches!(e, TelemetryEvent::SubscriberLagged { .. }))
         .count();
+    // The eviction count prints unconditionally: a zero is the reader's
+    // proof the lag count above is exact, not merely what survived the
+    // telemetry ring.
     let _ = writeln!(
         out,
-        "broadcast: {} window(s) served once to {} subscriber(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s){}{}",
+        "broadcast: {} window(s) served once to {} subscriber(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s), {} telemetry event(s) evicted{}",
         summary.windows,
         summary.subscribers,
         totals.delivered,
         totals.dropped,
         totals.missed,
-        if telemetry.dropped() > 0 {
-            format!(" ({} telemetry event(s) evicted)", telemetry.dropped())
-        } else {
-            String::new()
-        },
+        telemetry.dropped(),
         if args.speed > 0 {
             format!(", paced at {}x real time", args.speed)
         } else {
@@ -1191,6 +1384,14 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
     );
     if let Some(error) = summary.conservation_error() {
         let _ = writeln!(out, "WARNING: roster accounting out of balance: {error}");
+    }
+    if let Some(registry) = &registry {
+        let snapshot = registry.snapshot();
+        let _ = writeln!(out, "metrics: {}", snapshot.one_line());
+        if let Some(path) = args.metrics_json.as_deref() {
+            write_metrics_json(path, &snapshot)?;
+            let _ = writeln!(out, "wrote metrics snapshot to {path}");
+        }
     }
     Ok(out)
 }
@@ -1223,6 +1424,11 @@ pub struct ServeArgs {
     pub skew_us: u64,
     /// Pace the serve at N x real time (0 = as fast as possible).
     pub speed: u64,
+    /// Write the final serving-stack metrics snapshot here.
+    pub metrics_json: Option<String>,
+    /// Also stream a Stats frame to every client after each N window
+    /// frames (0 = none); `connect --stats` prints them.
+    pub stats_every: u64,
 }
 
 impl ServeArgs {
@@ -1241,6 +1447,8 @@ impl ServeArgs {
             horizon_us: 0,
             skew_us: 0,
             speed: 0,
+            metrics_json: None,
+            stats_every: 0,
         }
     }
 }
@@ -1262,6 +1470,10 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
     if args.students > 10_000 {
         return Err(CliError("--students is capped at 10000".to_string()));
     }
+    // One registry spans the pipeline, the hub and the server when metrics
+    // output (file or wire) was asked for.
+    let registry = (args.metrics_json.is_some() || args.stats_every > 0)
+        .then(tw_core::metrics::MetricsRegistry::new);
     let class = open_class_stream(
         args.scenario.as_deref(),
         args.replay.as_deref(),
@@ -1271,6 +1483,7 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
         args.window_us,
         args.horizon_us,
         args.skew_us,
+        registry.as_ref(),
     )?;
     let planned = planned_windows(class.stream.as_ref(), args.windows)?;
     let mut stream = paced(class.stream, args.speed);
@@ -1316,6 +1529,8 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
         // With a roster gate the class defines the session: once every
         // student has left there is no one to serve, even mid-stream.
         stop_when_empty: args.students > 0,
+        metrics: registry.clone(),
+        stats_every: args.stats_every,
         ..ServeConfig::default()
     };
     let summary = serve(listener, stream.as_mut(), &config, Some(telemetry.clone()))
@@ -1344,25 +1559,37 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
         .into_iter()
         .filter(|e| matches!(e, TelemetryEvent::SubscriberLagged { .. }))
         .count();
+    // The eviction count prints unconditionally, like the classroom's: zero
+    // means the lag count is exact.
     let _ = writeln!(
         out,
-        "served {} window(s) ({} encoded bytes) to {} connection(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s)",
+        "served {} window(s) ({} encoded bytes) to {} connection(s); {} delivered, {} dropped, {} missed, {lag_events} lag event(s), {} telemetry event(s) evicted",
         summary.windows(),
         summary.encoded_bytes,
         summary.connections(),
         totals.delivered,
         totals.dropped,
         totals.missed,
+        telemetry.dropped(),
     );
     if let Some(error) = summary.broadcast.conservation_error() {
         let _ = writeln!(out, "WARNING: roster accounting out of balance: {error}");
+    }
+    if let Some(snapshot) = &summary.snapshot {
+        let _ = writeln!(out, "metrics: {}", snapshot.one_line());
+        if let Some(path) = args.metrics_json.as_deref() {
+            write_metrics_json(path, snapshot)?;
+            let _ = writeln!(out, "wrote metrics snapshot to {path}");
+        }
     }
     Ok(out)
 }
 
 /// Join a serve session: follow the remote window stream into a live
-/// warehouse view and report the server's close accounting.
-pub fn run_connect(addr: &str, windows: Option<usize>) -> Result<String, CliError> {
+/// warehouse view and report the server's close accounting. With `stats`,
+/// the server's interleaved metrics snapshots (sent when it serves with
+/// `--stats-every`) print as one-line summaries where they arrived.
+pub fn run_connect(addr: &str, windows: Option<usize>, stats: bool) -> Result<String, CliError> {
     use tw_core::ingest::WindowStream;
     use tw_core::serve::ClientStream;
 
@@ -1385,8 +1612,20 @@ pub fn run_connect(addr: &str, windows: Option<usize>) -> Result<String, CliErro
     session.subscribe_live(10);
     let cap = windows.unwrap_or(usize::MAX);
     let mut seen = 0usize;
-    while seen < cap {
-        match client.next_window().map_err(|e| CliError(e.to_string()))? {
+    let mut stats_seen = 0usize;
+    loop {
+        let next = if seen < cap {
+            client.next_window().map_err(|e| CliError(e.to_string()))?
+        } else {
+            None
+        };
+        if stats {
+            for snapshot in client.take_stats() {
+                stats_seen += 1;
+                let _ = writeln!(out, "stats: {}", snapshot.one_line());
+            }
+        }
+        match next {
             Some(report) => {
                 session.ingest_window(&report);
                 let _ = writeln!(out, "{}", report.stats.summary());
@@ -1394,6 +1633,9 @@ pub fn run_connect(addr: &str, windows: Option<usize>) -> Result<String, CliErro
             }
             None => break,
         }
+    }
+    if stats {
+        let _ = writeln!(out, "received {stats_seen} stats frame(s)");
     }
     let live = session.live().expect("subscribed above");
     match client.close_summary() {
@@ -1623,7 +1865,10 @@ mod tests {
                 window_us: 50_000,
                 horizon_us: 0,
                 skew_us: 0,
-                record: None
+                record: None,
+                json: false,
+                metrics_json: None,
+                stats_every: 0
             }
         );
         // Defaults: 4 windows over 1024 nodes with auto shards.
@@ -1639,7 +1884,10 @@ mod tests {
                 window_us: 100_000,
                 horizon_us: 0,
                 skew_us: 0,
-                record: None
+                record: None,
+                json: false,
+                metrics_json: None,
+                stats_every: 0
             }
         );
         assert_eq!(
@@ -1661,7 +1909,10 @@ mod tests {
                 window_us: 100_000,
                 horizon_us: 0,
                 skew_us: 0,
-                record: Some("out.zip".into())
+                record: Some("out.zip".into()),
+                json: false,
+                metrics_json: None,
+                stats_every: 0
             }
         );
         assert_eq!(
@@ -1685,7 +1936,10 @@ mod tests {
                 window_us: 100_000,
                 horizon_us: 20_000,
                 skew_us: 5_000,
-                record: None
+                record: None,
+                json: false,
+                metrics_json: None,
+                stats_every: 0
             }
         );
         assert_eq!(
@@ -1747,14 +2001,16 @@ mod tests {
             parse_args(&args(&["connect", "127.0.0.1:7000"])).unwrap(),
             Command::Connect {
                 addr: "127.0.0.1:7000".into(),
-                windows: None
+                windows: None,
+                stats: false
             }
         );
         assert_eq!(
             parse_args(&args(&["connect", "127.0.0.1:7000", "--windows", "5"])).unwrap(),
             Command::Connect {
                 addr: "127.0.0.1:7000".into(),
-                windows: Some(5)
+                windows: Some(5),
+                stats: false
             }
         );
         assert_eq!(
@@ -1779,6 +2035,8 @@ mod tests {
                 skew_us: 0,
                 speed: 0,
                 late: None,
+                metrics_json: None,
+                stats_every: 0,
             }
         );
         assert_eq!(
@@ -1815,8 +2073,240 @@ mod tests {
                 skew_us: 0,
                 speed: 8,
                 late: Some(2),
+                metrics_json: None,
+                stats_every: 0,
             }
         );
+    }
+
+    #[test]
+    fn parses_metrics_and_json_flags() {
+        assert_eq!(
+            parse_args(&args(&[
+                "ingest",
+                "--scenario",
+                "ddos",
+                "--json",
+                "--metrics-json",
+                "m.json",
+                "--stats-every",
+                "2",
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                scenario: "ddos".into(),
+                windows: 4,
+                nodes: 1024,
+                seed: 7,
+                shards: 0,
+                batch: 8192,
+                window_us: 100_000,
+                horizon_us: 0,
+                skew_us: 0,
+                record: None,
+                json: true,
+                metrics_json: Some("m.json".into()),
+                stats_every: 2,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--scenario",
+                "ddos",
+                "--metrics-json",
+                "m.json",
+                "--stats-every",
+                "1",
+            ]))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                scenario: Some("ddos".into()),
+                metrics_json: Some("m.json".into()),
+                stats_every: 1,
+                ..ServeArgs::new("127.0.0.1:0")
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["connect", "127.0.0.1:7000", "--stats"])).unwrap(),
+            Command::Connect {
+                addr: "127.0.0.1:7000".into(),
+                windows: None,
+                stats: true,
+            }
+        );
+        match parse_args(&args(&[
+            "classroom",
+            "--scenario",
+            "ddos",
+            "--metrics-json",
+            "m.json",
+            "--stats-every",
+            "3",
+        ]))
+        .unwrap()
+        {
+            Command::Classroom {
+                metrics_json,
+                stats_every,
+                ..
+            } => {
+                assert_eq!(metrics_json.as_deref(), Some("m.json"));
+                assert_eq!(stats_every, 3);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Flags that need values reject their absence.
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--metrics-json"])).is_err());
+        assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--stats-every"])).is_err());
+        assert!(parse_args(&args(&[
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--stats-every",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "serve",
+            "--listen",
+            "a:0",
+            "--scenario",
+            "ddos",
+            "--metrics-json"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["classroom", "--scenario", "ddos", "--stats-every"])).is_err());
+    }
+
+    #[test]
+    fn ingest_json_mode_emits_parseable_window_objects() {
+        use tw_core::json;
+        let out = run_ingest(&IngestArgs {
+            windows: 3,
+            nodes: 256,
+            shards: 2,
+            window_us: 50_000,
+            json: true,
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "pure JSONL, one object per window: {out}");
+        for (index, line) in lines.iter().enumerate() {
+            let value = json::parse(line).expect("each line parses alone");
+            let object = value.as_object().expect("each line is one object");
+            assert_eq!(
+                object.get("window").and_then(json::Value::as_u64),
+                Some(index as u64)
+            );
+            for field in [
+                "events",
+                "packets",
+                "nnz",
+                "dropped_late",
+                "reordered",
+                "elapsed_us",
+            ] {
+                assert!(
+                    object.get(field).and_then(json::Value::as_u64).is_some(),
+                    "{field} missing from {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_metrics_land_in_the_file_and_the_transcript() {
+        use tw_core::metrics::MetricsSnapshot;
+        let dir = std::env::temp_dir().join(format!("tw-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ingest.json").to_string_lossy().into_owned();
+
+        let out = run_ingest(&IngestArgs {
+            windows: 4,
+            nodes: 256,
+            shards: 2,
+            window_us: 50_000,
+            metrics_json: Some(path.clone()),
+            stats_every: 2,
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap();
+        // Two interleaved one-line summaries (after windows 2 and 4).
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("stats: ")).count(),
+            2,
+            "{out}"
+        );
+        assert!(
+            out.contains(&format!("wrote metrics snapshot to {path}")),
+            "{out}"
+        );
+
+        // The file parses back into a snapshot whose counters match the
+        // transcript's own totals.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = MetricsSnapshot::from_json(&tw_core::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snapshot.counter("pipeline.windows"), 4);
+        let events: u64 = out
+            .lines()
+            .find(|l| l.starts_with("total: "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .expect("total line carries the event count");
+        assert_eq!(snapshot.counter("pipeline.events"), events);
+        assert!(
+            snapshot
+                .histogram("pipeline.coalesce_ns")
+                .is_some_and(|h| h.count == 4),
+            "one coalesce sample per window"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classroom_metrics_balance_the_printed_roster() {
+        use tw_core::metrics::MetricsSnapshot;
+        let dir = std::env::temp_dir().join(format!("tw-cli-class-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("class.json").to_string_lossy().into_owned();
+
+        let out = run_classroom(&ClassroomArgs {
+            scenario: Some("ddos".into()),
+            replay: None,
+            students: 4,
+            windows: Some(3),
+            nodes: 128,
+            seed: 7,
+            shards: 2,
+            window_us: 50_000,
+            horizon_us: 0,
+            skew_us: 0,
+            speed: 0,
+            late: Some(0),
+            metrics_json: Some(path.clone()),
+            stats_every: 1,
+        })
+        .unwrap();
+        assert!(out.contains("metrics: "), "{out}");
+        assert!(out.contains("telemetry event(s) evicted"), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.contains("stats after w")).count(),
+            3,
+            "{out}"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = MetricsSnapshot::from_json(&tw_core::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snapshot.counter("pipeline.windows"), 3);
+        assert_eq!(snapshot.counter("broadcast.windows"), 3);
+        // Nothing can lag at these capacities: the roster counters conserve.
+        assert_eq!(snapshot.counter("broadcast.delivered"), 12);
+        assert_eq!(snapshot.counter("broadcast.dropped"), 0);
+        assert_eq!(snapshot.counter("broadcast.missed"), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1979,6 +2469,9 @@ mod tests {
             horizon_us: 0,
             skew_us: 0,
             record: None,
+            json: false,
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(out.contains("scenario ddos"));
@@ -2069,6 +2562,9 @@ mod tests {
             horizon_us: 0,
             skew_us: 0,
             record: Some(zip.clone()),
+            json: false,
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(ingest_out.contains("recorded 8 window(s)"), "{ingest_out}");
@@ -2148,6 +2644,8 @@ mod tests {
             skew_us: 0,
             speed: 0,
             late: Some(1),
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(
@@ -2192,6 +2690,8 @@ mod tests {
             skew_us: 0,
             speed: 0,
             late: Some(0),
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(out.contains("scan (replayed from"), "{out}");
@@ -2213,6 +2713,8 @@ mod tests {
                 skew_us: 0,
                 speed: 0,
                 late: None,
+                metrics_json: None,
+                stats_every: 0,
             })
         };
         assert!(bad(Some("wat"), None, 128)
@@ -2241,6 +2743,8 @@ mod tests {
             skew_us: 5_000,
             speed: 0,
             late: Some(0),
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(
@@ -2264,6 +2768,8 @@ mod tests {
             skew_us: 20_000,
             speed: 0,
             late: Some(0),
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap();
         assert!(
@@ -2285,6 +2791,8 @@ mod tests {
             skew_us: 5_000,
             speed: 0,
             late: None,
+            metrics_json: None,
+            stats_every: 0,
         })
         .unwrap_err();
         assert!(err.0.contains("live ingestion"), "{err}");
@@ -2308,7 +2816,7 @@ mod tests {
             let clients: Vec<_> = (0..2)
                 .map(|_| {
                     let addr = addr.clone();
-                    scope.spawn(move || run_connect(&addr, None).unwrap())
+                    scope.spawn(move || run_connect(&addr, None, false).unwrap())
                 })
                 .collect();
             let out = run_serve_on(listener, &args).unwrap();
@@ -2316,6 +2824,10 @@ mod tests {
             (out, outs)
         });
         assert!(serve_out.contains("served 3 window(s)"), "{serve_out}");
+        assert!(
+            serve_out.contains("telemetry event(s) evicted"),
+            "{serve_out}"
+        );
         assert_eq!(
             serve_out.lines().filter(|l| l.contains("student ")).count(),
             2,
@@ -2342,7 +2854,10 @@ mod tests {
             ..ServeArgs::new("256.0.0.1:0")
         })
         .is_err());
-        assert!(run_connect("127.0.0.1:1", None).is_err(), "nothing listens");
+        assert!(
+            run_connect("127.0.0.1:1", None, false).is_err(),
+            "nothing listens"
+        );
         assert!(run_serve(&ServeArgs {
             scenario: Some("wat".into()),
             ..ServeArgs::new("127.0.0.1:0")
@@ -2359,6 +2874,73 @@ mod tests {
             .is_err(),
             "tiny address space"
         );
+    }
+
+    #[test]
+    fn serve_streams_stats_frames_that_connect_can_print() {
+        use tw_core::metrics::MetricsSnapshot;
+        let dir = std::env::temp_dir().join(format!("tw-cli-wire-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.json").to_string_lossy().into_owned();
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let args = ServeArgs {
+            scenario: Some("ddos".into()),
+            students: 1,
+            windows: Some(3),
+            nodes: 128,
+            shards: 2,
+            window_us: 50_000,
+            metrics_json: Some(path.clone()),
+            stats_every: 1,
+            ..ServeArgs::new("127.0.0.1:0")
+        };
+        let (serve_out, client_out) = std::thread::scope(|scope| {
+            let client = {
+                let addr = addr.clone();
+                scope.spawn(move || run_connect(&addr, None, true).unwrap())
+            };
+            let out = run_serve_on(listener, &args).unwrap();
+            (out, client.join().unwrap())
+        });
+
+        // The client printed interleaved one-line snapshots: one per window
+        // plus the final frame.
+        assert_eq!(
+            client_out
+                .lines()
+                .filter(|l| l.starts_with("stats: "))
+                .count(),
+            4,
+            "{client_out}"
+        );
+        assert!(
+            client_out.contains("received 4 stats frame(s)"),
+            "{client_out}"
+        );
+        assert!(
+            client_out.contains("serve.windows_encoded=3"),
+            "the final wire snapshot carries the full encode count: {client_out}"
+        );
+
+        // The server wrote the same final snapshot to disk, and its books
+        // balance: windows encoded == delivered + dropped + missed per peer.
+        assert!(serve_out.contains("metrics: "), "{serve_out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = MetricsSnapshot::from_json(&tw_core::json::parse(&text).unwrap()).unwrap();
+        let encoded = snapshot.counter("serve.windows_encoded");
+        assert_eq!(encoded, 3);
+        assert_eq!(
+            snapshot.counter("serve.peer.0.delivered")
+                + snapshot.counter("serve.peer.0.dropped")
+                + snapshot.counter("serve.peer.0.missed"),
+            encoded,
+            "{snapshot:?}"
+        );
+        assert_eq!(snapshot.counter("serve.connections"), 1);
+        assert_eq!(snapshot.counter("pipeline.windows"), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -282,6 +282,122 @@ fn compiled_binary_serves_a_campus_over_tcp() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The observability acceptance flow: serve with a metrics file and a wire
+/// stats cadence, point a `connect --stats` student at it, and check the
+/// exported snapshot parses and conserves — every window the server encoded
+/// is delivered, dropped, or missed for the peer.
+#[test]
+fn compiled_binary_exports_conserving_metrics_over_loopback() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join(format!("tw-cli-metrics-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("serve-metrics.json");
+
+    let mut server = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--scenario",
+            "ddos",
+            "--nodes",
+            "128",
+            "--windows",
+            "4",
+            "--students",
+            "1",
+            "--stats-every",
+            "2",
+            "--metrics-json",
+            &metrics_path.to_string_lossy(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut server_stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    server_stdout
+        .read_line(&mut banner)
+        .expect("server prints its banner");
+    assert!(banner.starts_with("listening on "), "{banner}");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .trim_end_matches(':')
+        .to_string();
+
+    let client = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args(["connect", &addr, "--stats"])
+        .output()
+        .expect("client runs");
+    assert!(client.status.success(), "connect --stats exited nonzero");
+    let client_out = String::from_utf8_lossy(&client.stdout);
+    assert!(
+        client_out.lines().any(|l| l.starts_with("stats: ")),
+        "no wire stats arrived: {client_out}"
+    );
+    assert!(
+        client_out.contains("serve.windows_encoded=4"),
+        "final wire snapshot missing the encode count: {client_out}"
+    );
+
+    let mut rest = String::new();
+    server_stdout
+        .read_to_string(&mut rest)
+        .expect("server accounting");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve exited nonzero");
+    assert!(rest.contains("metrics: "), "{rest}");
+
+    // The exported snapshot parses and conserves: windows encoded equals
+    // delivered + dropped + missed for the (only) peer.
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let value = tw_core::json::parse(&text).expect("metrics file parses");
+    let snapshot = tw_core::metrics::MetricsSnapshot::from_json(&value).expect("snapshot decodes");
+    let encoded = snapshot.counter("serve.windows_encoded");
+    assert_eq!(encoded, 4, "{snapshot:?}");
+    assert_eq!(
+        snapshot.counter("serve.peer.0.delivered")
+            + snapshot.counter("serve.peer.0.dropped")
+            + snapshot.counter("serve.peer.0.missed"),
+        encoded,
+        "conservation must hold in the exported snapshot: {snapshot:?}"
+    );
+    assert_eq!(snapshot.counter("pipeline.windows"), encoded);
+    assert_eq!(snapshot.counter("broadcast.windows"), encoded);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `ingest --json` transcript is machine-readable: one object per line.
+#[test]
+fn compiled_binary_emits_jsonl_ingest_transcripts() {
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args([
+            "ingest",
+            "--scenario",
+            "scan",
+            "--windows",
+            "3",
+            "--nodes",
+            "128",
+            "--json",
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(output.status.success(), "ingest --json exited nonzero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 3, "pure JSONL expected: {stdout}");
+    for line in lines {
+        let value = tw_core::json::parse(line).expect("line parses");
+        let object = value.as_object().expect("line is an object");
+        assert!(object.get("events").is_some(), "{line}");
+        assert!(object.get("window").is_some(), "{line}");
+    }
+}
+
 /// The out-of-order acceptance flow: a skewed DDoS stream whose horizon
 /// covers the disorder bound ingests with zero late drops.
 #[test]

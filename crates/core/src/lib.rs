@@ -35,6 +35,11 @@ pub mod matrix {
     pub use tw_matrix::*;
 }
 
+/// Lock-free counters, gauges and log2 histograms with mergeable snapshots.
+pub mod metrics {
+    pub use tw_metrics::*;
+}
+
 /// The sharded streaming ingest pipeline (scenarios → windowed matrices).
 pub mod ingest {
     pub use tw_ingest::*;
@@ -97,6 +102,7 @@ pub mod prelude {
         ShardedAccumulator, WindowReport, WindowStream,
     };
     pub use tw_matrix::{CellColor, ColorMatrix, LabelSet, MatrixProfile, TrafficMatrix};
+    pub use tw_metrics::{MetricsRegistry, MetricsSnapshot};
     pub use tw_module::{
         validate, LearningModule, ModuleBuilder, ModuleBundle, Question, ValidationReport,
     };

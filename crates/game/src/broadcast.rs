@@ -39,6 +39,44 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use tw_ingest::{StreamError, WindowReport, WindowStream};
+use tw_metrics::{Counter, Gauge, Histogram, MetricsRegistry, StageTimer};
+
+/// Pre-resolved metric handles for the fan-out stage, all under the
+/// `broadcast.` prefix. `None` on the hub disables every update.
+#[derive(Clone, Debug)]
+struct HubMetrics {
+    /// `broadcast.windows`: payloads broadcast so far.
+    windows: Counter,
+    /// `broadcast.delivered` / `.dropped` / `.missed`: roster-wide totals,
+    /// updated at the same points as the per-subscriber shared counters.
+    delivered: Counter,
+    dropped: Counter,
+    missed: Counter,
+    /// `broadcast.fanout_ns`: time to enqueue one window to every subscriber.
+    fanout_ns: Histogram,
+    /// `broadcast.queue_depth`: per-subscriber channel occupancy, sampled
+    /// after each fan-out (one observation per subscriber per window).
+    queue_depth: Histogram,
+    /// `broadcast.ring_occupancy`: catch-up ring fill level.
+    ring_occupancy: Gauge,
+    /// `broadcast.subscribers`: currently attached subscribers.
+    subscribers: Gauge,
+}
+
+impl HubMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        HubMetrics {
+            windows: registry.counter("broadcast.windows"),
+            delivered: registry.counter("broadcast.delivered"),
+            dropped: registry.counter("broadcast.dropped"),
+            missed: registry.counter("broadcast.missed"),
+            fanout_ns: registry.histogram("broadcast.fanout_ns"),
+            queue_depth: registry.histogram("broadcast.queue_depth"),
+            ring_occupancy: registry.gauge("broadcast.ring_occupancy"),
+            subscribers: registry.gauge("broadcast.subscribers"),
+        }
+    }
+}
 
 /// Tuning knobs for a [`Broadcaster`].
 #[derive(Debug, Clone)]
@@ -198,6 +236,7 @@ impl<T> Slot<T> {
 struct HubState<T: Clone> {
     config: BroadcastConfig,
     telemetry: Option<TelemetryHub>,
+    metrics: Option<HubMetrics>,
     /// Recent payloads with the window index each one carries. The index
     /// rides alongside the payload because an encoded frame (unlike a
     /// `WindowReport`) cannot answer for its own position in the stream.
@@ -240,6 +279,9 @@ impl<T: Clone> HubState<T> {
         // Windows the subscriber wanted but that already left the ring.
         let missed = self.ring_start().saturating_sub(start_window);
         counters.missed.store(missed, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.missed.add(missed);
+        }
         let mut slot = Slot {
             id,
             start_window,
@@ -250,7 +292,13 @@ impl<T: Clone> HubState<T> {
         // Catch up from the ring: everything at or past the requested start.
         let mut caught_up = 0u64;
         for (index, item) in self.ring.iter().filter(|(i, _)| *i >= start_window) {
-            deliver(&mut slot, *index, item, self.telemetry.as_ref());
+            deliver(
+                &mut slot,
+                *index,
+                item,
+                self.telemetry.as_ref(),
+                self.metrics.as_ref(),
+            );
             caught_up += 1;
         }
         self.publish(TelemetryEvent::SubscriberJoined {
@@ -267,6 +315,9 @@ impl<T: Clone> HubState<T> {
         } else {
             self.active.push(slot);
         }
+        if let Some(m) = &self.metrics {
+            m.subscribers.set(self.active.len() as i64);
+        }
         HubSubscription {
             id,
             start_window,
@@ -281,14 +332,30 @@ impl<T: Clone> HubState<T> {
             self.ring.pop_front();
         }
         let telemetry = self.telemetry.clone();
-        for slot in &mut self.active {
-            // A subscriber that asked to start in the future receives
-            // nothing (and counts nothing) until its start window arrives.
-            if index >= slot.start_window {
-                deliver(slot, index, &item, telemetry.as_ref());
+        let metrics = self.metrics.clone();
+        {
+            let _fanout = StageTimer::start(metrics.as_ref().map(|m| &m.fanout_ns));
+            for slot in &mut self.active {
+                // A subscriber that asked to start in the future receives
+                // nothing (and counts nothing) until its start window arrives.
+                if index >= slot.start_window {
+                    deliver(slot, index, &item, telemetry.as_ref(), metrics.as_ref());
+                }
+            }
+        }
+        if let Some(m) = &metrics {
+            m.windows.inc();
+            m.ring_occupancy.set(self.ring.len() as i64);
+            // One queue-depth sample per subscriber per window: how far each
+            // consumer is running behind right after the fan-out.
+            for slot in &self.active {
+                m.queue_depth.observe(slot.sender.len() as u64);
             }
         }
         self.retire_detached();
+        if let Some(m) = &metrics {
+            m.subscribers.set(self.active.len() as i64);
+        }
         self.next_index = index + 1;
         index
     }
@@ -333,6 +400,9 @@ impl<T: Clone> HubState<T> {
                 windows: self.next_index,
                 subscribers: self.next_id,
             });
+            if let Some(m) = &self.metrics {
+                m.subscribers.set(0);
+            }
         }
         let mut reports = self.finished.clone();
         reports.sort_by_key(|r| r.id);
@@ -345,16 +415,28 @@ impl<T: Clone> HubState<T> {
 }
 
 /// Enqueue one window to one subscriber, with lag accounting.
-fn deliver<T: Clone>(slot: &mut Slot<T>, index: u64, item: &T, telemetry: Option<&TelemetryHub>) {
+fn deliver<T: Clone>(
+    slot: &mut Slot<T>,
+    index: u64,
+    item: &T,
+    telemetry: Option<&TelemetryHub>,
+    metrics: Option<&HubMetrics>,
+) {
     if slot.detached {
         return;
     }
     match slot.sender.try_send(item.clone()) {
         Ok(()) => {
             slot.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.delivered.inc();
+            }
         }
         Err(TrySendError::Full(_)) => {
             let dropped = slot.counters.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(m) = metrics {
+                m.dropped.inc();
+            }
             if let Some(hub) = telemetry {
                 hub.publish(TelemetryEvent::SubscriberLagged {
                     subscriber: slot.id,
@@ -441,16 +523,31 @@ pub type Broadcaster = BroadcastHub<Arc<WindowReport>>;
 impl<T: Clone> BroadcastHub<T> {
     /// A hub with the given configuration and no telemetry.
     pub fn new(config: BroadcastConfig) -> Self {
-        Self::build(config, None)
+        Self::build(config, None, None)
     }
 
     /// A hub publishing subscriber lifecycle and lag events to the given
     /// telemetry hub.
     pub fn with_telemetry(config: BroadcastConfig, telemetry: TelemetryHub) -> Self {
-        Self::build(config, Some(telemetry))
+        Self::build(config, Some(telemetry), None)
     }
 
-    fn build(config: BroadcastConfig, telemetry: Option<TelemetryHub>) -> Self {
+    /// A hub with optional telemetry *and* optional metrics: fan-out timing,
+    /// roster-wide delivered/dropped/missed counters, queue-depth samples,
+    /// and ring/subscriber gauges land on `registry` under `broadcast.*`.
+    pub fn with_instrumentation(
+        config: BroadcastConfig,
+        telemetry: Option<TelemetryHub>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        Self::build(config, telemetry, registry)
+    }
+
+    fn build(
+        config: BroadcastConfig,
+        telemetry: Option<TelemetryHub>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
         assert!(
             config.channel_capacity >= 1,
             "subscriber channels need capacity"
@@ -463,6 +560,7 @@ impl<T: Clone> BroadcastHub<T> {
             state: Arc::new(Mutex::new(HubState {
                 config,
                 telemetry,
+                metrics: registry.map(HubMetrics::new),
                 ring: VecDeque::new(),
                 next_index: 0,
                 closed: false,
@@ -994,6 +1092,42 @@ mod tests {
         assert!(totals.dropped > 0);
         assert!(totals.missed > 0);
         assert_eq!(summary.conservation_error(), None);
+    }
+
+    #[test]
+    fn instrumented_hub_counters_match_the_summary() {
+        let registry = MetricsRegistry::new();
+        let mut caster = Broadcaster::with_instrumentation(
+            BroadcastConfig {
+                channel_capacity: 2,
+                ring_capacity: 2,
+            },
+            None,
+            Some(&registry),
+        );
+        let _slow = caster.subscribe(StartOffset::Origin);
+        let mut stream = ddos_pipeline(50_000);
+        for _ in 0..4 {
+            caster.step(&mut stream).unwrap();
+        }
+        // Joins after the ring slid, so misses land on the registry too.
+        let _late = caster.subscribe(StartOffset::Origin);
+        let summary = caster.run(&mut stream, 2).unwrap();
+        let totals = summary.totals();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("broadcast.windows"), summary.windows);
+        assert_eq!(snapshot.counter("broadcast.delivered"), totals.delivered);
+        assert_eq!(snapshot.counter("broadcast.dropped"), totals.dropped);
+        assert_eq!(snapshot.counter("broadcast.missed"), totals.missed);
+        assert!(totals.dropped > 0, "the slow subscriber lagged");
+        assert!(totals.missed > 0, "the late joiner missed the ring");
+        assert_eq!(
+            snapshot.histogram("broadcast.fanout_ns").unwrap().count,
+            summary.windows
+        );
+        assert!(snapshot.histogram("broadcast.queue_depth").unwrap().count > 0);
+        assert_eq!(snapshot.gauge("broadcast.subscribers"), 0, "closed");
+        assert!(snapshot.gauge("broadcast.ring_occupancy") > 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! |----------|------|----------------------------------------------|
 //! | magic    | 4    | `TWFR`                                       |
 //! | version  | 1    | [`FRAME_VERSION`] (tracks the window codec)  |
-//! | kind     | 1    | 1 = manifest, 2 = window, 3 = close          |
+//! | kind     | 1    | 1 = manifest, 2 = window, 3 = close, 4 = stats |
 //! | length   | 4    | payload byte count, little-endian u32        |
 //! | payload  | n    | kind-specific bytes                          |
 //! | checksum | 4    | CRC32 of the payload, little-endian u32      |
@@ -20,7 +20,11 @@
 //! warehouse before the first window lands), [`Frame::Window`] frames carry
 //! v2-codec-encoded windows, and a [`CloseSummary`] ends it with the
 //! server's per-connection accounting (delivered/dropped/missed), so a
-//! student knows whether the stream they saw was complete.
+//! student knows whether the stream they saw was complete. A fourth,
+//! optional kind interleaves with windows: [`Frame::Stats`] carries the
+//! server's live [`MetricsSnapshot`] as `tw-json` bytes, so `connect
+//! --stats` can watch ingest rates and fan-out lag without a second
+//! connection or a side channel.
 //!
 //! The decoder trusts nothing: a declared length past [`MAX_FRAME_LEN`] is
 //! rejected *before* any allocation (the same discipline as the window
@@ -34,6 +38,7 @@ use crate::window::WindowReport;
 use std::fmt;
 use std::io::{Read, Write};
 use tw_archive::crc32;
+use tw_metrics::MetricsSnapshot;
 
 /// The four magic bytes opening every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"TWFR";
@@ -62,6 +67,8 @@ pub enum FrameKind {
     Window,
     /// Session trailer: one [`CloseSummary`], last frame on the wire.
     Close,
+    /// A live [`MetricsSnapshot`], interleaved with windows on request.
+    Stats,
 }
 
 impl FrameKind {
@@ -70,6 +77,7 @@ impl FrameKind {
             FrameKind::Manifest => 1,
             FrameKind::Window => 2,
             FrameKind::Close => 3,
+            FrameKind::Stats => 4,
         }
     }
 
@@ -78,6 +86,7 @@ impl FrameKind {
             1 => Some(FrameKind::Manifest),
             2 => Some(FrameKind::Window),
             3 => Some(FrameKind::Close),
+            4 => Some(FrameKind::Stats),
             _ => None,
         }
     }
@@ -122,6 +131,8 @@ pub enum Frame {
     Window(WindowReport),
     /// Session trailer.
     Close(CloseSummary),
+    /// A live metrics snapshot from the server.
+    Stats(MetricsSnapshot),
 }
 
 /// Everything that can go wrong pulling a frame off the wire.
@@ -248,6 +259,16 @@ pub fn encode_manifest_frame(manifest: &StreamManifest) -> Vec<u8> {
     encode_frame(FrameKind::Manifest, &payload)
 }
 
+/// Encode a metrics-snapshot frame. The payload is the snapshot's compact
+/// `tw-json` rendering: self-describing, schema-stable, and decodable by
+/// non-Rust peers without knowing the histogram bucket layout.
+pub fn encode_stats_frame(snapshot: &MetricsSnapshot) -> Vec<u8> {
+    encode_frame(
+        FrameKind::Stats,
+        tw_json::to_string(&snapshot.to_json()).as_bytes(),
+    )
+}
+
 /// Encode a session-trailer frame.
 pub fn encode_close_frame(summary: &CloseSummary) -> Vec<u8> {
     let mut payload = Vec::with_capacity(16);
@@ -296,6 +317,13 @@ fn decode_manifest_payload(payload: &[u8]) -> Result<StreamManifest, FrameError>
     })
 }
 
+fn decode_stats_payload(payload: &[u8]) -> Result<MetricsSnapshot, FrameError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| FrameError::Corrupt("stats payload utf-8"))?;
+    let value = tw_json::parse(text).map_err(|_| FrameError::Corrupt("stats payload json"))?;
+    MetricsSnapshot::from_json(&value).map_err(|_| FrameError::Corrupt("stats payload"))
+}
+
 fn decode_close_payload(payload: &[u8]) -> Result<CloseSummary, FrameError> {
     let mut r = codec::Reader {
         data: payload,
@@ -319,6 +347,7 @@ pub fn parse_frame_payload(kind: FrameKind, payload: &[u8]) -> Result<Frame, Fra
         FrameKind::Manifest => Ok(Frame::Manifest(decode_manifest_payload(payload)?)),
         FrameKind::Window => Ok(Frame::Window(decode_window(payload)?)),
         FrameKind::Close => Ok(Frame::Close(decode_close_payload(payload)?)),
+        FrameKind::Stats => Ok(Frame::Stats(decode_stats_payload(payload)?)),
     }
 }
 
@@ -457,6 +486,33 @@ mod tests {
         let (frame, consumed) = decode_frame(&bytes).unwrap();
         assert_eq!(consumed, bytes.len());
         assert_eq!(frame, Frame::Close(summary));
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let registry = tw_metrics::MetricsRegistry::new();
+        registry.counter("serve.windows_encoded").add(42);
+        registry.gauge("broadcast.subscribers").set(3);
+        registry.histogram("serve.encode_ns").observe(12_345);
+        let snapshot = registry.snapshot();
+        let bytes = encode_stats_frame(&snapshot);
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame, Frame::Stats(snapshot));
+    }
+
+    #[test]
+    fn corrupt_stats_payloads_are_typed_not_panics() {
+        // CRC-valid frames whose payload is not a snapshot: invalid UTF-8,
+        // invalid JSON, and valid JSON of the wrong shape.
+        for (payload, what) in [
+            (&[0xFFu8, 0xFE][..], "stats payload utf-8"),
+            (b"{not json".as_slice(), "stats payload json"),
+            (b"[1,2,3]".as_slice(), "stats payload"),
+        ] {
+            let bytes = encode_frame(FrameKind::Stats, payload);
+            assert_eq!(decode_frame(&bytes), Err(FrameError::Corrupt(what)));
+        }
     }
 
     #[test]

@@ -69,9 +69,9 @@ pub mod window;
 pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
 pub use frame::{
     decode_frame, encode_close_frame, encode_frame, encode_manifest_frame, encode_report_frame,
-    encode_window_frame, parse_frame_payload, read_frame, read_raw_frame, write_frame,
-    CloseSummary, Frame, FrameError, FrameKind, StreamManifest, FRAME_MAGIC, FRAME_VERSION,
-    MAX_FRAME_LEN,
+    encode_stats_frame, encode_window_frame, parse_frame_payload, read_frame, read_raw_frame,
+    write_frame, CloseSummary, Frame, FrameError, FrameKind, StreamManifest, FRAME_MAGIC,
+    FRAME_VERSION, MAX_FRAME_LEN,
 };
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};

@@ -17,6 +17,39 @@ use crate::window::{IngestStats, WindowClock, WindowReport};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use tw_matrix::stream::PacketEvent;
+use tw_metrics::{Counter, Gauge, Histogram, MetricsRegistry, StageTimer};
+
+/// Pre-resolved metric handles for the four pipeline stages. Held as an
+/// `Option` on the pipeline: `None` (the default) skips every clock read, so
+/// an uninstrumented pipeline pays one branch per batch, not per event.
+#[derive(Clone, Debug)]
+struct PipelineMetrics {
+    source_pull_ns: Histogram,
+    route_ns: Histogram,
+    coalesce_ns: Histogram,
+    reorder_release_ns: Histogram,
+    events: Counter,
+    windows: Counter,
+    dropped_late: Counter,
+    reordered: Counter,
+    reorder_depth: Gauge,
+}
+
+impl PipelineMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        PipelineMetrics {
+            source_pull_ns: registry.histogram("pipeline.source_pull_ns"),
+            route_ns: registry.histogram("pipeline.route_ns"),
+            coalesce_ns: registry.histogram("pipeline.coalesce_ns"),
+            reorder_release_ns: registry.histogram("pipeline.reorder_release_ns"),
+            events: registry.counter("pipeline.events"),
+            windows: registry.counter("pipeline.windows"),
+            dropped_late: registry.counter("pipeline.dropped_late"),
+            reordered: registry.counter("pipeline.reordered"),
+            reorder_depth: registry.gauge("pipeline.reorder_depth"),
+        }
+    }
+}
 
 /// Tuning knobs for a [`Pipeline`].
 #[derive(Debug, Clone)]
@@ -68,6 +101,8 @@ pub struct Pipeline {
     window_elapsed: Duration,
     source_exhausted: bool,
     finished: bool,
+    /// Per-stage instrumentation; `None` disables every clock read.
+    metrics: Option<PipelineMetrics>,
 }
 
 impl Pipeline {
@@ -94,7 +129,22 @@ impl Pipeline {
             window_elapsed: Duration::ZERO,
             source_exhausted: false,
             finished: false,
+            metrics: None,
         }
+    }
+
+    /// Attach per-stage instrumentation. Stage timings land in
+    /// `pipeline.*_ns` histograms, flow totals in `pipeline.events` /
+    /// `pipeline.windows` / `pipeline.dropped_late` / `pipeline.reordered`
+    /// counters, and the reorder-buffer depth in a gauge — all on `registry`.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(PipelineMetrics::new(registry));
+    }
+
+    /// Builder-style [`Pipeline::instrument`].
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.instrument(registry);
+        self
     }
 
     /// The address-space size.
@@ -123,31 +173,49 @@ impl Pipeline {
         if self.finished {
             return None;
         }
+        let metrics = self.metrics.clone();
         let started = Instant::now();
         loop {
-            while let Some(event) = self.pending.front() {
-                let window = self.clock.window_of(event.timestamp_us);
-                let current = self.clock.current();
-                if window < current {
-                    // Strict mode only: with a reorder stage, `pending` is
-                    // released in window order, so nothing ever lands
-                    // behind the window that ingested it.
-                    debug_assert!(
-                        self.reorder.is_none(),
-                        "watermark released an event behind the current window"
-                    );
-                    self.dropped_late += 1;
-                    self.pending.pop_front();
-                } else if window == current {
-                    let event = self.pending.pop_front().expect("front just observed");
-                    self.accumulator.ingest(&event);
+            let mut close_window = false;
+            {
+                // One route sample per drain pass (not per event): timing is
+                // amortized over the batch, and an empty queue records no
+                // zero-length noise samples.
+                let _route = StageTimer::start(if self.pending.is_empty() {
+                    None
                 } else {
-                    // The head belongs to a later window: close the current
-                    // one. Skipped (empty) windows are emitted one per call,
-                    // like the serial aggregator.
-                    self.window_elapsed += started.elapsed();
-                    return Some(self.rotate());
+                    metrics.as_ref().map(|m| &m.route_ns)
+                });
+                while let Some(event) = self.pending.front() {
+                    let window = self.clock.window_of(event.timestamp_us);
+                    let current = self.clock.current();
+                    if window < current {
+                        // Strict mode only: with a reorder stage, `pending` is
+                        // released in window order, so nothing ever lands
+                        // behind the window that ingested it.
+                        debug_assert!(
+                            self.reorder.is_none(),
+                            "watermark released an event behind the current window"
+                        );
+                        self.dropped_late += 1;
+                        self.pending.pop_front();
+                    } else if window == current {
+                        let event = self.pending.pop_front().expect("front just observed");
+                        self.accumulator.ingest(&event);
+                    } else {
+                        // The head belongs to a later window: close the
+                        // current one (outside the route timer's scope, so
+                        // coalescing is not billed to routing). Skipped
+                        // (empty) windows are emitted one per call, like the
+                        // serial aggregator.
+                        close_window = true;
+                        break;
+                    }
                 }
+            }
+            if close_window {
+                self.window_elapsed += started.elapsed();
+                return Some(self.rotate());
             }
             if self.source_exhausted {
                 // Flush the in-progress window once, then finish. Trailing
@@ -184,10 +252,14 @@ impl Pipeline {
                 return Some(self.rotate());
             }
             self.scratch.clear();
+            let pull = StageTimer::start(metrics.as_ref().map(|m| &m.source_pull_ns));
             let exhausted = self.source.pull(self.batch_size, &mut self.scratch) == 0;
+            pull.finish();
             match self.reorder.as_mut() {
                 None => self.pending.extend(self.scratch.drain(..)),
                 Some(reorder) => {
+                    let _release =
+                        StageTimer::start(metrics.as_ref().map(|m| &m.reorder_release_ns));
                     // Late events are counted inside the buffer; the
                     // counters transfer to the window stats at rotation.
                     // Releasing once per batch (not per event) amortizes the
@@ -208,6 +280,9 @@ impl Pipeline {
                     }
                     self.dropped_late += reorder.take_late();
                     self.reordered += reorder.take_reordered();
+                    if let Some(m) = &metrics {
+                        m.reorder_depth.set(reorder.len() as i64);
+                    }
                 }
             }
             self.source_exhausted = exhausted;
@@ -227,10 +302,14 @@ impl Pipeline {
     }
 
     fn rotate(&mut self) -> WindowReport {
+        let metrics = self.metrics.clone();
         let merge_started = Instant::now();
         let events = self.accumulator.events();
         let packets = self.accumulator.packets();
-        let matrix = self.accumulator.merge();
+        let matrix = {
+            let _coalesce = StageTimer::start(metrics.as_ref().map(|m| &m.coalesce_ns));
+            self.accumulator.merge()
+        };
         let elapsed = self.window_elapsed + merge_started.elapsed();
         let stats = IngestStats {
             window_index: self.clock.advance(),
@@ -241,6 +320,12 @@ impl Pipeline {
             reordered: std::mem::take(&mut self.reordered),
             elapsed,
         };
+        if let Some(m) = &metrics {
+            m.windows.inc();
+            m.events.add(stats.events);
+            m.dropped_late.add(stats.dropped_late);
+            m.reordered.add(stats.reordered);
+        }
         self.window_elapsed = Duration::ZERO;
         WindowReport { matrix, stats }
     }
@@ -637,6 +722,59 @@ mod tests {
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[1].stats.events, 4);
         assert_eq!(reports[2].stats.events, 1);
+    }
+
+    #[test]
+    fn instrumented_pipeline_counts_match_its_reports() {
+        let registry = MetricsRegistry::new();
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 512,
+            shard_count: 2,
+            reorder_horizon_us: 25_000,
+        };
+        let mut pipeline =
+            Pipeline::new(limited_background(32, 10_000, 11), config).with_metrics(&registry);
+        let reports = pipeline.run(usize::MAX);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("pipeline.windows"), reports.len() as u64);
+        assert_eq!(
+            snapshot.counter("pipeline.events"),
+            reports.iter().map(|r| r.stats.events).sum::<u64>()
+        );
+        assert_eq!(
+            snapshot.counter("pipeline.dropped_late"),
+            reports.iter().map(|r| r.stats.dropped_late).sum::<u64>()
+        );
+        assert_eq!(
+            snapshot.counter("pipeline.reordered"),
+            reports.iter().map(|r| r.stats.reordered).sum::<u64>()
+        );
+        // Every stage that ran left timing samples behind.
+        assert!(snapshot.histogram("pipeline.source_pull_ns").unwrap().count > 0);
+        assert!(snapshot.histogram("pipeline.route_ns").unwrap().count > 0);
+        assert_eq!(
+            snapshot.histogram("pipeline.coalesce_ns").unwrap().count,
+            reports.len() as u64
+        );
+        assert!(
+            snapshot
+                .histogram("pipeline.reorder_release_ns")
+                .unwrap()
+                .count
+                > 0
+        );
+        // The buffer drained completely at end of stream.
+        assert_eq!(snapshot.gauge("pipeline.reorder_depth"), 0);
+    }
+
+    #[test]
+    fn uninstrumented_pipeline_registers_nothing() {
+        let registry = MetricsRegistry::new();
+        let mut pipeline =
+            Pipeline::new(limited_background(16, 1_000, 5), PipelineConfig::default());
+        let _ = pipeline.run(usize::MAX);
+        assert_eq!(registry.snapshot(), tw_metrics::MetricsSnapshot::default());
     }
 
     #[test]

@@ -5,11 +5,12 @@
 use proptest::prelude::*;
 use std::time::Duration;
 use tw_ingest::frame::{
-    decode_frame, encode_close_frame, encode_manifest_frame, encode_report_frame, read_frame,
-    CloseSummary, Frame, FrameError, StreamManifest, MAX_FRAME_LEN,
+    decode_frame, encode_close_frame, encode_manifest_frame, encode_report_frame,
+    encode_stats_frame, read_frame, CloseSummary, Frame, FrameError, StreamManifest, MAX_FRAME_LEN,
 };
 use tw_ingest::{IngestStats, WindowReport};
 use tw_matrix::CsrMatrix;
+use tw_metrics::MetricsSnapshot;
 
 fn arb_report(n: usize) -> impl Strategy<Value = WindowReport> {
     let entries = prop::collection::vec((0..n as u32, 0..n as u32, 1u64..1_000), 0..60);
@@ -56,6 +57,38 @@ fn arb_manifest() -> impl Strategy<Value = StreamManifest> {
         )
 }
 
+/// An arbitrary metrics snapshot, built from observations so bucket counts,
+/// totals, and maxima are always mutually consistent. Counter values stay
+/// below 2^62: the JSON integer representation is i64, so larger values
+/// round-trip through a float and lose exactness by design.
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec(("[a-z.]{1,10}", 0u64..1 << 62), 0..5),
+        prop::collection::vec(("[a-z.]{1,10}", any::<i64>()), 0..5),
+        prop::collection::vec(
+            ("[a-z.]{1,10}", prop::collection::vec(0u64..1 << 56, 0..20)),
+            0..4,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms)| {
+            let mut snapshot = MetricsSnapshot::default();
+            for (name, value) in counters {
+                snapshot.counters.insert(name, value);
+            }
+            for (name, value) in gauges {
+                snapshot.gauges.insert(name, value);
+            }
+            for (name, values) in histograms {
+                let histogram = tw_metrics::Histogram::default();
+                for value in values {
+                    histogram.observe(value);
+                }
+                snapshot.histograms.insert(name, histogram.snapshot());
+            }
+            snapshot
+        })
+}
+
 /// An arbitrary well-formed frame of any kind.
 fn arb_frame_bytes() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
@@ -69,6 +102,7 @@ fn arb_frame_bytes() -> impl Strategy<Value = Vec<u8>> {
                 missed,
             })
         ),
+        arb_snapshot().prop_map(|s| encode_stats_frame(&s)),
     ]
 }
 
@@ -88,6 +122,12 @@ proptest! {
         }
         let bytes = encode_manifest_frame(&manifest);
         prop_assert_eq!(decode_frame(&bytes), Ok((Frame::Manifest(manifest), bytes.len())));
+    }
+
+    #[test]
+    fn stats_frames_round_trip_exactly(snapshot in arb_snapshot()) {
+        let bytes = encode_stats_frame(&snapshot);
+        prop_assert_eq!(decode_frame(&bytes), Ok((Frame::Stats(snapshot), bytes.len())));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests for the log2 histogram: observation counts are conserved
+//! under arbitrary thread interleavings and snapshot-merge orders, and the
+//! quantile estimator never strays further from the truth than one bucket
+//! width — the precision the 65-bucket layout promises.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tw_metrics::{bucket_index, bucket_upper, Histogram, HistogramSnapshot};
+
+/// The exact per-bucket counts a correct histogram must hold.
+fn reference_buckets(values: &[u64]) -> BTreeMap<usize, u64> {
+    let mut buckets = BTreeMap::new();
+    for &v in values {
+        *buckets.entry(bucket_index(v)).or_insert(0) += 1;
+    }
+    buckets
+}
+
+fn assert_matches_reference(
+    snapshot: &HistogramSnapshot,
+    values: &[u64],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(snapshot.count, values.len() as u64);
+    let wrapped_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+    prop_assert_eq!(snapshot.sum, wrapped_sum);
+    prop_assert_eq!(snapshot.max, values.iter().copied().max().unwrap_or(0));
+    let reference = reference_buckets(values);
+    for (bucket, &count) in snapshot.buckets.iter().enumerate() {
+        prop_assert_eq!(
+            count,
+            reference.get(&bucket).copied().unwrap_or(0),
+            "bucket {} disagrees with the reference",
+            bucket
+        );
+    }
+    // Bucket counts alone conserve the observation total.
+    prop_assert_eq!(snapshot.buckets.iter().sum::<u64>(), values.len() as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent observers on one shared histogram lose nothing: the
+    /// snapshot equals the single-threaded reference over the union of all
+    /// per-thread observation lists, whatever the interleaving was.
+    #[test]
+    fn concurrent_observations_are_conserved(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..200),
+            1..6,
+        ),
+    ) {
+        let histogram = Histogram::default();
+        std::thread::scope(|scope| {
+            for values in &per_thread {
+                let histogram = histogram.clone();
+                scope.spawn(move || {
+                    for &v in values {
+                        histogram.observe(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<u64> = per_thread.into_iter().flatten().collect();
+        assert_matches_reference(&histogram.snapshot(), &all)?;
+    }
+
+    /// Merging snapshots commutes and associates with observation: fold the
+    /// per-shard snapshots together in the given order and the result is
+    /// indistinguishable from one histogram that saw every value.
+    #[test]
+    fn merge_equals_observing_everything_in_one_histogram(
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..100),
+            1..8,
+        ),
+        fold_from_back in any::<bool>(),
+    ) {
+        let snapshots: Vec<HistogramSnapshot> = shards
+            .iter()
+            .map(|values| {
+                let h = Histogram::default();
+                for &v in values {
+                    h.observe(v);
+                }
+                h.snapshot()
+            })
+            .collect();
+        let mut merged = HistogramSnapshot::default();
+        if fold_from_back {
+            for s in snapshots.iter().rev() {
+                merged.merge(s);
+            }
+        } else {
+            for s in &snapshots {
+                merged.merge(s);
+            }
+        }
+        let all: Vec<u64> = shards.into_iter().flatten().collect();
+        assert_matches_reference(&merged, &all)?;
+    }
+
+    /// The quantile estimate brackets the true order statistic within one
+    /// bucket: for any sample and any q, the true rank-th value and the
+    /// estimate share a bucket, with `true <= estimate <= bucket_upper`.
+    #[test]
+    fn quantiles_bracket_the_true_order_statistic(
+        values in prop::collection::vec(any::<u64>(), 1..500),
+        q_millis in 1u64..=1000,
+    ) {
+        let mut values = values;
+        let h = Histogram::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snapshot = h.snapshot();
+        let q = q_millis as f64 / 1000.0;
+
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        let truth = values[rank - 1];
+        let estimate = snapshot.quantile(q);
+
+        let bucket = bucket_index(truth);
+        prop_assert!(
+            truth <= estimate && estimate <= bucket_upper(bucket),
+            "q={}: estimate {} must lie in [{}, {}] (true value's bucket {})",
+            q, estimate, truth, bucket_upper(bucket), bucket
+        );
+    }
+}

@@ -14,6 +14,7 @@ use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use tw_ingest::frame::{read_frame, CloseSummary, Frame, FrameError, StreamManifest};
 use tw_ingest::{StreamError, WindowReport, WindowStream};
+use tw_metrics::MetricsSnapshot;
 
 /// A connected window-stream client.
 #[derive(Debug)]
@@ -22,6 +23,13 @@ pub struct ClientStream {
     manifest: StreamManifest,
     close: Option<CloseSummary>,
     seen: u64,
+    /// Stats frames that arrived since the last [`take_stats`] drain, in
+    /// wire order. Unbounded growth is capped by the server's cadence: one
+    /// snapshot per `stats_every` windows, so draining once per window (or
+    /// never caring) both stay O(1) amortised.
+    ///
+    /// [`take_stats`]: ClientStream::take_stats
+    stats: Vec<MetricsSnapshot>,
 }
 
 impl ClientStream {
@@ -36,6 +44,7 @@ impl ClientStream {
                 manifest,
                 close: None,
                 seen: 0,
+                stats: Vec::new(),
             }),
             _ => Err(FrameError::Corrupt("first frame must be the manifest")),
         }
@@ -56,6 +65,21 @@ impl ClientStream {
     pub fn windows_seen(&self) -> u64 {
         self.seen
     }
+
+    /// Drain the server stats snapshots received since the last call, in
+    /// wire order. Empty unless the server was started with a stats cadence
+    /// (`serve --stats-every`).
+    pub fn take_stats(&mut self) -> Vec<MetricsSnapshot> {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The most recent undrained server snapshot, if any. After the stream
+    /// ends this is the server's final state for the session — every
+    /// publish precedes the hub close that ends the stream, so
+    /// `serve.windows_encoded` is final in it.
+    pub fn last_stats(&self) -> Option<&MetricsSnapshot> {
+        self.stats.last()
+    }
 }
 
 impl WindowStream for ClientStream {
@@ -63,19 +87,26 @@ impl WindowStream for ClientStream {
         if self.close.is_some() {
             return Ok(None);
         }
-        match read_frame(&mut self.reader) {
-            Ok(Frame::Window(report)) => {
-                self.seen += 1;
-                Ok(Some(report))
+        loop {
+            match read_frame(&mut self.reader) {
+                Ok(Frame::Window(report)) => {
+                    self.seen += 1;
+                    return Ok(Some(report));
+                }
+                Ok(Frame::Stats(snapshot)) => {
+                    // Interleaved telemetry, not part of the window stream:
+                    // stash it for `take_stats` and keep reading.
+                    self.stats.push(snapshot);
+                }
+                Ok(Frame::Close(summary)) => {
+                    self.close = Some(summary);
+                    return Ok(None);
+                }
+                Ok(Frame::Manifest(_)) => {
+                    return Err(FrameError::Corrupt("manifest frame arrived mid-stream").into());
+                }
+                Err(e) => return Err(e.into()),
             }
-            Ok(Frame::Close(summary)) => {
-                self.close = Some(summary);
-                Ok(None)
-            }
-            Ok(Frame::Manifest(_)) => {
-                Err(FrameError::Corrupt("manifest frame arrived mid-stream").into())
-            }
-            Err(e) => Err(e.into()),
         }
     }
 

@@ -38,10 +38,68 @@ use tw_game::broadcast::{
 };
 use tw_game::telemetry::{TelemetryEvent, TelemetryHub};
 use tw_ingest::frame::{
-    encode_close_frame, encode_manifest_frame, encode_window_frame, write_frame, CloseSummary,
-    StreamManifest,
+    encode_close_frame, encode_manifest_frame, encode_stats_frame, encode_window_frame,
+    write_frame, CloseSummary, FrameError, StreamManifest,
 };
 use tw_ingest::{encode_window, StreamError, WindowStream};
+use tw_metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, StageTimer};
+
+/// Pre-resolved handles for the serving tier's own metrics (`serve.*`).
+#[derive(Clone, Debug)]
+struct ServeMetrics {
+    /// `serve.encode_ns`: window codec + framing time, once per window.
+    encode_ns: Histogram,
+    /// `serve.windows_encoded`: windows encoded and published.
+    windows_encoded: Counter,
+    /// `serve.encoded_bytes`: v2-codec payload bytes (pre-framing).
+    encoded_bytes: Counter,
+    /// `serve.accept_ns`: how long after serve start each peer connected.
+    accept_ns: Histogram,
+    /// `serve.connections`: peers accepted.
+    connections: Counter,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            encode_ns: registry.histogram("serve.encode_ns"),
+            windows_encoded: registry.counter("serve.windows_encoded"),
+            encoded_bytes: registry.counter("serve.encoded_bytes"),
+            accept_ns: registry.histogram("serve.accept_ns"),
+            connections: registry.counter("serve.connections"),
+        }
+    }
+}
+
+/// Everything one writer thread needs to meter its socket and emit wire
+/// stats frames. `serve.frame_write_ns` and `serve.wire_bytes` are shared
+/// across all writers: one sample per socket write, whoever wrote it.
+#[derive(Clone, Debug)]
+struct ConnMetrics {
+    registry: MetricsRegistry,
+    /// Emit a [`Frame::Stats`](tw_ingest::frame::Frame) after every N window
+    /// frames, plus one final snapshot before the close frame; 0 sends none.
+    stats_every: u64,
+    frame_write_ns: Histogram,
+    wire_bytes: Counter,
+}
+
+/// Write one frame with optional timing and byte accounting.
+fn write_frame_metered(
+    socket: &mut TcpStream,
+    bytes: &[u8],
+    metrics: Option<&ConnMetrics>,
+) -> Result<(), FrameError> {
+    let timer = StageTimer::start(metrics.map(|m| &m.frame_write_ns));
+    let result = write_frame(socket, bytes);
+    timer.finish();
+    if result.is_ok() {
+        if let Some(m) = metrics {
+            m.wire_bytes.add(bytes.len() as u64);
+        }
+    }
+    result
+}
 
 /// Tuning knobs for one [`serve`] session.
 #[derive(Debug, Clone)]
@@ -69,6 +127,15 @@ pub struct ServeConfig {
     /// Upper bound on the `wait_for` roster wait; serving starts with
     /// whoever has joined when it expires.
     pub roster_timeout: Duration,
+    /// Metrics registry for the whole serving stack. When set, the pipeline
+    /// hub and server record into it, the final snapshot lands in
+    /// [`ServeSummary::snapshot`] (with per-peer `serve.peer.<id>.*`
+    /// counters), and `stats_every` can put it on the wire.
+    pub metrics: Option<MetricsRegistry>,
+    /// With metrics enabled: send a `Stats` frame to every peer after each
+    /// N window frames, plus a final snapshot before the close frame.
+    /// 0 (the default) keeps the wire free of stats frames.
+    pub stats_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +150,8 @@ impl Default for ServeConfig {
             stop_when_empty: false,
             write_timeout: Duration::from_secs(5),
             roster_timeout: Duration::from_secs(30),
+            metrics: None,
+            stats_every: 0,
         }
     }
 }
@@ -123,6 +192,11 @@ pub struct ServeSummary {
     /// The hub's roster accounting — the same [`BroadcastSummary`] the
     /// in-process classroom reports, one entry per connection.
     pub broadcast: BroadcastSummary,
+    /// The final metrics snapshot, when [`ServeConfig::metrics`] was set.
+    /// Taken after the hub closed, so every counter is final and the books
+    /// balance: `serve.windows_encoded == serve.peer.<id>.delivered +
+    /// .dropped + .missed` for every peer that stayed to the end.
+    pub snapshot: Option<MetricsSnapshot>,
 }
 
 impl ServeSummary {
@@ -173,10 +247,16 @@ pub fn serve(
         channel_capacity: config.channel_capacity,
         ring_capacity: config.ring_capacity,
     };
-    let mut hub: BroadcastHub<Arc<[u8]>> = match &telemetry {
-        Some(t) => BroadcastHub::with_telemetry(hub_config, t.clone()),
-        None => BroadcastHub::new(hub_config),
-    };
+    let mut hub: BroadcastHub<Arc<[u8]>> =
+        BroadcastHub::with_instrumentation(hub_config, telemetry.clone(), config.metrics.as_ref());
+    let serve_metrics = config.metrics.as_ref().map(ServeMetrics::new);
+    let conn_metrics = config.metrics.as_ref().map(|registry| ConnMetrics {
+        registry: registry.clone(),
+        stats_every: config.stats_every,
+        frame_write_ns: registry.histogram("serve.frame_write_ns"),
+        wire_bytes: registry.counter("serve.wire_bytes"),
+    });
+    let serve_started = Instant::now();
     let handle = hub.handle();
     let stop = AtomicBool::new(false);
     let mut encoded_bytes = 0u64;
@@ -185,6 +265,8 @@ pub fn serve(
     std::thread::scope(|scope| {
         let acceptor_handle = handle.clone();
         let acceptor_telemetry = telemetry.clone();
+        let acceptor_metrics = serve_metrics.clone();
+        let acceptor_conn_metrics = conn_metrics.clone();
         let manifest_frame = &manifest_frame;
         let stop = &stop;
         let listener = &listener;
@@ -193,6 +275,10 @@ pub fn serve(
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((socket, peer)) => {
+                        if let Some(m) = &acceptor_metrics {
+                            m.accept_ns.record(serve_started.elapsed());
+                            m.connections.inc();
+                        }
                         let sub = acceptor_handle.subscribe(StartOffset::Origin);
                         if let Some(t) = &acceptor_telemetry {
                             t.publish(TelemetryEvent::PeerConnected {
@@ -202,6 +288,7 @@ pub fn serve(
                         }
                         let conn_handle = acceptor_handle.clone();
                         let manifest_frame = manifest_frame.clone();
+                        let conn_metrics = acceptor_conn_metrics.clone();
                         scope.spawn(move || {
                             write_connection(
                                 socket,
@@ -209,6 +296,7 @@ pub fn serve(
                                 manifest_frame,
                                 conn_handle,
                                 write_timeout,
+                                conn_metrics,
                             )
                         });
                     }
@@ -238,9 +326,17 @@ pub fn serve(
             match stream.next_window() {
                 Ok(Some(report)) => {
                     let index = report.stats.window_index;
+                    let encode_timer =
+                        StageTimer::start(serve_metrics.as_ref().map(|m| &m.encode_ns));
                     let encoded = encode_window(&report);
+                    let framed = encode_window_frame(&encoded);
+                    encode_timer.finish();
                     encoded_bytes += encoded.len() as u64;
-                    let frame: Arc<[u8]> = encode_window_frame(&encoded).into();
+                    if let Some(m) = &serve_metrics {
+                        m.windows_encoded.inc();
+                        m.encoded_bytes.add(encoded.len() as u64);
+                    }
+                    let frame: Arc<[u8]> = framed.into();
                     hub.publish_window(index, frame);
                     sent += 1;
                 }
@@ -263,9 +359,21 @@ pub fn serve(
     // stop flag still lands in the final summary: close is idempotent.
     let broadcast = hub.close();
     drive_result?;
+    // Every writer has been joined and the hub is closed, so the roster
+    // reports are final: copy them into per-peer counters, then snapshot.
+    let snapshot = config.metrics.as_ref().map(|registry| {
+        for report in &broadcast.reports {
+            let peer = |what: &str| registry.counter(&format!("serve.peer.{}.{what}", report.id));
+            peer("delivered").add(report.delivered);
+            peer("dropped").add(report.dropped);
+            peer("missed").add(report.missed);
+        }
+        registry.snapshot()
+    });
     Ok(ServeSummary {
         encoded_bytes,
         broadcast,
+        snapshot,
     })
 }
 
@@ -280,27 +388,52 @@ fn write_connection(
     manifest_frame: Arc<[u8]>,
     handle: HubHandle<Arc<[u8]>>,
     write_timeout: Duration,
+    metrics: Option<ConnMetrics>,
 ) {
     let _ = socket.set_nodelay(true);
     let _ = socket.set_write_timeout(Some(write_timeout));
-    if write_frame(&mut socket, &manifest_frame).is_err() {
+    let metrics = metrics.as_ref();
+    let wire_stats_every = metrics.map_or(0, |m| m.stats_every);
+    if write_frame_metered(&mut socket, &manifest_frame, metrics).is_err() {
         return;
     }
+    let mut windows_since_stats = 0u64;
     while let Some(frame) = sub.recv() {
-        if write_frame(&mut socket, &frame).is_err() {
+        if write_frame_metered(&mut socket, &frame, metrics).is_err() {
             return;
+        }
+        if wire_stats_every > 0 {
+            windows_since_stats += 1;
+            if windows_since_stats >= wire_stats_every {
+                windows_since_stats = 0;
+                let m = metrics.expect("wire stats imply metrics");
+                let stats = encode_stats_frame(&m.registry.snapshot());
+                if write_frame_metered(&mut socket, &stats, metrics).is_err() {
+                    return;
+                }
+            }
         }
     }
     // The channel disconnected: the broadcast is over and the counters are
-    // final. Echo this connection's accounting so the peer knows whether
-    // the stream it saw was complete.
+    // final. With wire stats on, one last snapshot captures the session's
+    // final state (`serve.windows_encoded` included, since every publish
+    // precedes the hub close that disconnected us).
+    if wire_stats_every > 0 {
+        let m = metrics.expect("wire stats imply metrics");
+        let stats = encode_stats_frame(&m.registry.snapshot());
+        if write_frame_metered(&mut socket, &stats, metrics).is_err() {
+            return;
+        }
+    }
+    // Echo this connection's accounting so the peer knows whether the
+    // stream it saw was complete.
     let close = CloseSummary {
         windows: handle.windows_broadcast(),
         delivered: sub.delivered(),
         dropped: sub.dropped(),
         missed: sub.missed(),
     };
-    let _ = write_frame(&mut socket, &encode_close_frame(&close));
+    let _ = write_frame_metered(&mut socket, &encode_close_frame(&close), metrics);
 }
 
 /// Bind an ephemeral loopback listener (test/CLI convenience).

@@ -168,7 +168,10 @@ fn stalled_reader_hits_the_lag_drop_path_with_conserved_accounting() {
             // Stall: stop reading until the server has raced through the
             // whole stream. ~90 MB of dense frames dwarf any socket
             // buffering, so the writer blocks and the channel must shed.
-            std::thread::sleep(Duration::from_millis(3_000));
+            // The sleep must outlast the 30 dense encodes even on a loaded
+            // debug build, or the resumed reader keeps pace and nothing
+            // drops.
+            std::thread::sleep(Duration::from_millis(6_000));
             let rest = collect_stream(&mut client, usize::MAX).unwrap();
             (1 + rest.len(), *client.close_summary().unwrap())
         });

@@ -226,6 +226,17 @@ fn results_json(results: &[(String, u128)]) -> String {
     out
 }
 
+/// Record an externally measured median (in nanoseconds) under `name`, next
+/// to the sampled benchmarks in `BENCH_<target>.json`. For hand-timed
+/// measurements the sample loop cannot express — e.g. interleaved A/B rounds
+/// where both sides must alternate within one timing pass.
+pub fn record_measurement(name: &str, median_ns: u128) {
+    RESULTS
+        .lock()
+        .expect("results lock")
+        .push((name.to_string(), median_ns));
+}
+
 /// Write `BENCH_<target>.json` with the median nanoseconds of every benchmark
 /// run so far. Called by `criterion_main!` after the groups finish; `target`
 /// is the bench target's crate name. Honors `BENCH_JSON_DIR` (`-` disables).
