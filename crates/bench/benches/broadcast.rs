@@ -46,6 +46,7 @@ fn record(windows: usize) -> Vec<u8> {
         seed: SEED,
         node_count: NODES as usize,
         window_us: WINDOW_US,
+        keyframe_every: 0,
     });
     for report in pipeline.run(windows) {
         recorder.record(&report).expect("recording in memory");

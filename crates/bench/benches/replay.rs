@@ -52,6 +52,7 @@ fn record(windows: usize) -> Vec<u8> {
         seed: SEED,
         node_count: NODES as usize,
         window_us: WINDOW_US,
+        keyframe_every: 0,
     });
     let mut pipeline = pipeline(windows);
     for report in pipeline.run(windows) {

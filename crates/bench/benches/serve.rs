@@ -56,6 +56,7 @@ fn record(windows: usize) -> Vec<u8> {
         seed: SEED,
         node_count: NODES as usize,
         window_us: WINDOW_US,
+        keyframe_every: 0,
     });
     for report in pipeline.run(windows) {
         recorder.record(&report).expect("recording in memory");
@@ -97,7 +98,7 @@ fn serve_campus(recording: &[u8], windows: usize, connections: usize) -> u64 {
                     let mut seen = 0u64;
                     loop {
                         match read_raw_frame(&mut reader).expect("frames arrive intact") {
-                            (FrameKind::Window, _) => seen += 1,
+                            (FrameKind::Window | FrameKind::DeltaWindow, _) => seen += 1,
                             (FrameKind::Close, _) => break,
                             (FrameKind::Manifest | FrameKind::Stats, _) => {}
                         }

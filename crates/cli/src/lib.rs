@@ -54,6 +54,7 @@ pub enum Command {
         horizon_us: u64,
         skew_us: u64,
         record: Option<String>,
+        keyframe_every: u64,
         json: bool,
         metrics_json: Option<String>,
         stats_every: u64,
@@ -119,7 +120,7 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
-  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip] [--json] [--metrics-json file.json] [--stats-every N]
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip] [--keyframe-every N] [--json] [--metrics-json file.json] [--stats-every N]
                                               stream a scenario through the sharded ingest
                                               pipeline and print per-window stats
                                               (scenarios: background, ddos, scan,
@@ -128,7 +129,11 @@ Commands:
                                               and --horizon-us sets the watermark
                                               reordering horizon that absorbs it;
                                               --record also captures the window stream
-                                              as a replayable ZIP; --json emits one
+                                              as a replayable ZIP (--keyframe-every N
+                                              stores every N-th window in full and the
+                                              rest as sparse v3 deltas — smaller
+                                              archives for steady traffic); --json
+                                              emits one
                                               tw-json object per window instead of the
                                               human transcript; --metrics-json writes
                                               the final pipeline metrics snapshot,
@@ -151,7 +156,7 @@ Commands:
                                               pipeline+broadcast metrics
   serve --listen <addr> --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N]
         [--shards N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N]
-        [--metrics-json file.json] [--stats-every N]
+        [--keyframe-every N] [--metrics-json file.json] [--stats-every N]
                                               serve one window stream (live scenario, or a
                                               recording with --replay) to remote connect
                                               clients as length-prefixed, CRC-checked
@@ -161,6 +166,10 @@ Commands:
                                               drops frames (with accounting) instead of
                                               stalling the class; port 0 picks a free port
                                               (printed on the eager `listening on` line);
+                                              --keyframe-every N serves every N-th
+                                              window in full and the rest as sparse v3
+                                              delta frames (late joiners anchor on a
+                                              key frame from the catch-up ring);
                                               --metrics-json writes the final snapshot,
                                               --stats-every N also streams Stats frames
                                               to every client every N windows
@@ -262,6 +271,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut horizon_us = 0u64;
             let mut skew_us = 0u64;
             let mut record = None;
+            let mut keyframe_every = 0u64;
             let mut json = false;
             let mut metrics_json = None;
             let mut stats_every = 0u64;
@@ -298,6 +308,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
+                    "--keyframe-every" => keyframe_every = value(&mut iter, "--keyframe-every")?,
                     "--json" => json = true,
                     "--metrics-json" => {
                         metrics_json = Some(
@@ -315,6 +326,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if windows == 0 {
                 return Err(CliError("--windows must be at least 1".to_string()));
             }
+            if keyframe_every > 0 && record.is_none() {
+                return Err(CliError(
+                    "--keyframe-every shapes the recorded archive; it needs --record".to_string(),
+                ));
+            }
             Ok(Command::Ingest {
                 scenario,
                 windows,
@@ -326,6 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 horizon_us,
                 skew_us,
                 record,
+                keyframe_every,
                 json,
                 metrics_json,
                 stats_every,
@@ -369,6 +386,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut speed = 0u64;
             let mut metrics_json = None;
             let mut stats_every = 0u64;
+            let mut keyframe_every = 0u64;
             fn value<T: std::str::FromStr>(
                 iter: &mut std::slice::Iter<'_, String>,
                 flag: &str,
@@ -409,7 +427,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
                     "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
                     "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
-                    "--speed" => speed = value(&mut iter, "--speed")?,
+                    "--speed" => {
+                        speed = value(&mut iter, "--speed")?;
+                        if speed == 0 {
+                            return Err(CliError("--speed must be at least 1".to_string()));
+                        }
+                    }
+                    "--keyframe-every" => keyframe_every = value(&mut iter, "--keyframe-every")?,
                     "--metrics-json" => {
                         metrics_json = Some(
                             iter.next()
@@ -459,6 +483,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 speed,
                 metrics_json,
                 stats_every,
+                keyframe_every,
             }))
         }
         "connect" => {
@@ -539,7 +564,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
                     "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
                     "--skew-us" => skew_us = value(&mut iter, "--skew-us")?,
-                    "--speed" => speed = value(&mut iter, "--speed")?,
+                    "--speed" => {
+                        speed = value(&mut iter, "--speed")?;
+                        if speed == 0 {
+                            return Err(CliError("--speed must be at least 1".to_string()));
+                        }
+                    }
                     "--late" => late = Some(value(&mut iter, "--late")?),
                     "--metrics-json" => {
                         metrics_json = Some(
@@ -672,6 +702,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             horizon_us,
             skew_us,
             record,
+            keyframe_every,
             json,
             metrics_json,
             stats_every,
@@ -686,6 +717,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             horizon_us: *horizon_us,
             skew_us: *skew_us,
             record: record.clone(),
+            keyframe_every: *keyframe_every,
             json: *json,
             metrics_json: metrics_json.clone(),
             stats_every: *stats_every,
@@ -757,6 +789,10 @@ pub struct IngestArgs {
     pub skew_us: u64,
     /// Record the window stream to a replayable ZIP at this path.
     pub record: Option<String>,
+    /// Key-frame cadence for the recorded archive: every K-th window is a
+    /// self-contained key frame, the rest sparse v3 deltas against the
+    /// previous window (0 = every window full, a version-1 archive).
+    pub keyframe_every: u64,
     /// Emit one tw-json object per window (machine-readable transcript)
     /// instead of the human per-window lines, banner and totals.
     pub json: bool,
@@ -781,6 +817,7 @@ impl IngestArgs {
             horizon_us: 0,
             skew_us: 0,
             record: None,
+            keyframe_every: 0,
             json: false,
             metrics_json: None,
             stats_every: 0,
@@ -905,6 +942,7 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
             seed: args.seed,
             node_count: args.nodes as usize,
             window_us: args.window_us,
+            keyframe_every: args.keyframe_every,
         })
     });
     // Pull windows one at a time (instead of the batch `run`) so periodic
@@ -1429,6 +1467,10 @@ pub struct ServeArgs {
     /// Also stream a Stats frame to every client after each N window
     /// frames (0 = none); `connect --stats` prints them.
     pub stats_every: u64,
+    /// Key-frame cadence on the wire: every K-th window is served as a
+    /// self-contained full frame, the rest as sparse v3 delta frames
+    /// against the previous window (0 = every window full).
+    pub keyframe_every: u64,
 }
 
 impl ServeArgs {
@@ -1449,6 +1491,7 @@ impl ServeArgs {
             speed: 0,
             metrics_json: None,
             stats_every: 0,
+            keyframe_every: 0,
         }
     }
 }
@@ -1531,6 +1574,7 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
         stop_when_empty: args.students > 0,
         metrics: registry.clone(),
         stats_every: args.stats_every,
+        keyframe_every: args.keyframe_every,
         ..ServeConfig::default()
     };
     let summary = serve(listener, stream.as_mut(), &config, Some(telemetry.clone()))
@@ -1866,6 +1910,7 @@ mod tests {
                 horizon_us: 0,
                 skew_us: 0,
                 record: None,
+                keyframe_every: 0,
                 json: false,
                 metrics_json: None,
                 stats_every: 0
@@ -1885,6 +1930,7 @@ mod tests {
                 horizon_us: 0,
                 skew_us: 0,
                 record: None,
+                keyframe_every: 0,
                 json: false,
                 metrics_json: None,
                 stats_every: 0
@@ -1896,7 +1942,9 @@ mod tests {
                 "--scenario",
                 "ddos",
                 "--record",
-                "out.zip"
+                "out.zip",
+                "--keyframe-every",
+                "4"
             ]))
             .unwrap(),
             Command::Ingest {
@@ -1910,6 +1958,7 @@ mod tests {
                 horizon_us: 0,
                 skew_us: 0,
                 record: Some("out.zip".into()),
+                keyframe_every: 4,
                 json: false,
                 metrics_json: None,
                 stats_every: 0
@@ -1937,6 +1986,7 @@ mod tests {
                 horizon_us: 20_000,
                 skew_us: 5_000,
                 record: None,
+                keyframe_every: 0,
                 json: false,
                 metrics_json: None,
                 stats_every: 0
@@ -1973,6 +2023,8 @@ mod tests {
                 "6",
                 "--speed",
                 "4",
+                "--keyframe-every",
+                "8",
             ]))
             .unwrap(),
             Command::Serve(ServeArgs {
@@ -1980,6 +2032,7 @@ mod tests {
                 students: 30,
                 windows: Some(6),
                 speed: 4,
+                keyframe_every: 8,
                 ..ServeArgs::new("127.0.0.1:0")
             })
         );
@@ -2104,6 +2157,7 @@ mod tests {
                 horizon_us: 0,
                 skew_us: 0,
                 record: None,
+                keyframe_every: 0,
                 json: true,
                 metrics_json: Some("m.json".into()),
                 stats_every: 2,
@@ -2325,6 +2379,27 @@ mod tests {
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--bogus"])).is_err());
         assert!(parse_args(&args(&["ingest", "--scenario", "ddos", "--record"])).is_err());
         assert!(
+            parse_args(&args(&[
+                "ingest",
+                "--scenario",
+                "ddos",
+                "--keyframe-every",
+                "4"
+            ]))
+            .is_err(),
+            "--keyframe-every without --record has nothing to shape"
+        );
+        assert!(parse_args(&args(&[
+            "ingest",
+            "--scenario",
+            "ddos",
+            "--record",
+            "o.zip",
+            "--keyframe-every",
+            "x"
+        ]))
+        .is_err());
+        assert!(
             parse_args(&args(&["replay"])).is_err(),
             "replay needs a path"
         );
@@ -2352,6 +2427,10 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&args(&["classroom", "--scenario", "ddos", "--bogus"])).is_err());
+        assert!(
+            parse_args(&args(&["classroom", "--scenario", "ddos", "--speed", "0"])).is_err(),
+            "a zero pace would serve nothing; rejected at parse time"
+        );
         assert!(parse_args(&args(&["classroom", "--replay"])).is_err());
         assert!(
             parse_args(&args(&[
@@ -2418,6 +2497,29 @@ mod tests {
         ]))
         .is_err());
         assert!(
+            parse_args(&args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--scenario",
+                "ddos",
+                "--speed",
+                "0"
+            ]))
+            .is_err(),
+            "a zero pace would serve nothing; rejected at parse time"
+        );
+        assert!(parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--scenario",
+            "ddos",
+            "--keyframe-every",
+            "x"
+        ]))
+        .is_err());
+        assert!(
             parse_args(&args(&["connect"])).is_err(),
             "connect needs an address"
         );
@@ -2469,6 +2571,7 @@ mod tests {
             horizon_us: 0,
             skew_us: 0,
             record: None,
+            keyframe_every: 0,
             json: false,
             metrics_json: None,
             stats_every: 0,
@@ -2562,6 +2665,7 @@ mod tests {
             horizon_us: 0,
             skew_us: 0,
             record: Some(zip.clone()),
+            keyframe_every: 0,
             json: false,
             metrics_json: None,
             stats_every: 0,
@@ -2614,6 +2718,40 @@ mod tests {
         std::fs::write(&junk, b"not a zip").unwrap();
         assert!(run_replay(&junk, 0).is_err());
         assert!(run_replay(dir.join("missing.zip").to_string_lossy().as_ref(), 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_recordings_replay_like_full_ones() {
+        // A cadence-3 archive (key frames at w0/w3/w6, deltas between)
+        // replays the identical per-window statistics lines.
+        let dir = std::env::temp_dir().join(format!("tw-cli-delta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let zip = dir.join("delta.zip").to_string_lossy().into_owned();
+        let ingest_out = run_ingest(&IngestArgs {
+            windows: 7,
+            nodes: 256,
+            shards: 2,
+            batch: 2048,
+            window_us: 50_000,
+            record: Some(zip.clone()),
+            keyframe_every: 3,
+            ..IngestArgs::new("ddos")
+        })
+        .unwrap();
+        assert!(ingest_out.contains("recorded 7 window(s)"), "{ingest_out}");
+        let replay_out = run_replay(&zip, 0).unwrap();
+        assert!(
+            replay_out.contains("replayed 7 window(s) onto the live warehouse"),
+            "{replay_out}"
+        );
+        let window_lines = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with("window "))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(window_lines(&ingest_out), window_lines(&replay_out));
         std::fs::remove_dir_all(&dir).ok();
     }
 

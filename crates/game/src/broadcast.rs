@@ -233,10 +233,23 @@ impl<T> Slot<T> {
     }
 }
 
+/// Rewrites the catch-up sequence a joining subscriber receives from the
+/// ring. Called with the ring's `(window index, payload)` entries (oldest
+/// first) and the join's requested start window; returns the entries to
+/// deliver instead. The serving tier uses this to materialize a key frame
+/// when the ring holds delta-encoded windows a joiner could not decode
+/// mid-chain. Contract: returned indices are strictly increasing, all
+/// `>= start_window`, and form a suffix of the broadcast stream — the hub
+/// counts everything between `start_window` and the first returned index
+/// as missed, exactly like ring fall-off on the default path.
+pub type CatchupRewrite<T> = Arc<dyn Fn(&[(u64, T)], u64) -> Vec<(u64, T)> + Send + Sync>;
+
 struct HubState<T: Clone> {
     config: BroadcastConfig,
     telemetry: Option<TelemetryHub>,
     metrics: Option<HubMetrics>,
+    /// Optional join-time rewrite of the ring suffix (see [`CatchupRewrite`]).
+    catchup_rewrite: Option<CatchupRewrite<T>>,
     /// Recent payloads with the window index each one carries. The index
     /// rides alongside the payload because an encoded frame (unlike a
     /// `WindowReport`) cannot answer for its own position in the stream.
@@ -276,8 +289,22 @@ impl<T: Clone> HubState<T> {
         };
         let (sender, receiver) = bounded(self.config.channel_capacity);
         let counters = Arc::new(SharedCounters::default());
-        // Windows the subscriber wanted but that already left the ring.
-        let missed = self.ring_start().saturating_sub(start_window);
+        // With a rewrite hook, the hook decides the catch-up sequence (and
+        // thereby what counts as missed); materialize it before the slot so
+        // the ring can be borrowed contiguously.
+        let rewritten = self
+            .catchup_rewrite
+            .clone()
+            .map(|rewrite| rewrite(self.ring.make_contiguous(), start_window));
+        // Windows the subscriber wanted but that already left the ring (or
+        // that the rewrite declined to reconstruct).
+        let missed = match &rewritten {
+            None => self.ring_start().saturating_sub(start_window),
+            Some(entries) => entries
+                .first()
+                .map(|(index, _)| index.saturating_sub(start_window))
+                .unwrap_or_else(|| self.next_index.saturating_sub(start_window)),
+        };
         counters.missed.store(missed, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.missed.add(missed);
@@ -291,15 +318,31 @@ impl<T: Clone> HubState<T> {
         };
         // Catch up from the ring: everything at or past the requested start.
         let mut caught_up = 0u64;
-        for (index, item) in self.ring.iter().filter(|(i, _)| *i >= start_window) {
-            deliver(
-                &mut slot,
-                *index,
-                item,
-                self.telemetry.as_ref(),
-                self.metrics.as_ref(),
-            );
-            caught_up += 1;
+        match &rewritten {
+            None => {
+                for (index, item) in self.ring.iter().filter(|(i, _)| *i >= start_window) {
+                    deliver(
+                        &mut slot,
+                        *index,
+                        item,
+                        self.telemetry.as_ref(),
+                        self.metrics.as_ref(),
+                    );
+                    caught_up += 1;
+                }
+            }
+            Some(entries) => {
+                for (index, item) in entries {
+                    deliver(
+                        &mut slot,
+                        *index,
+                        item,
+                        self.telemetry.as_ref(),
+                        self.metrics.as_ref(),
+                    );
+                    caught_up += 1;
+                }
+            }
         }
         self.publish(TelemetryEvent::SubscriberJoined {
             subscriber: id,
@@ -561,6 +604,7 @@ impl<T: Clone> BroadcastHub<T> {
                 config,
                 telemetry,
                 metrics: registry.map(HubMetrics::new),
+                catchup_rewrite: None,
                 ring: VecDeque::new(),
                 next_index: 0,
                 closed: false,
@@ -576,6 +620,18 @@ impl<T: Clone> BroadcastHub<T> {
         HubHandle {
             state: self.state.clone(),
         }
+    }
+
+    /// Install a join-time rewrite of the catch-up ring suffix (see
+    /// [`CatchupRewrite`]). Without one, joiners receive the raw ring
+    /// entries at or past their start window — the behavior every
+    /// full-window broadcast keeps. Install before subscribers join whose
+    /// catch-up should be rewritten; joins already served are unaffected.
+    pub fn set_catchup_rewrite(
+        &self,
+        rewrite: impl Fn(&[(u64, T)], u64) -> Vec<(u64, T)> + Send + Sync + 'static,
+    ) {
+        self.lock().catchup_rewrite = Some(Arc::new(rewrite));
     }
 
     /// Subscribe a consumer (convenience for [`HubHandle::subscribe`]).
@@ -1128,6 +1184,75 @@ mod tests {
         assert!(snapshot.histogram("broadcast.queue_depth").unwrap().count > 0);
         assert_eq!(snapshot.gauge("broadcast.subscribers"), 0, "closed");
         assert!(snapshot.gauge("broadcast.ring_occupancy") > 0);
+    }
+
+    #[test]
+    fn catchup_rewrite_replaces_the_ring_suffix_for_joiners() {
+        // The serving tier's shape: the ring holds payloads a joiner cannot
+        // use mid-chain, so a rewrite materializes a fresh head entry and
+        // passes the rest through. Entries it declines count as missed.
+        let hub: BroadcastHub<Arc<[u8]>> = BroadcastHub::new(BroadcastConfig {
+            channel_capacity: 8,
+            ring_capacity: 8,
+        });
+        for i in 0..5u64 {
+            hub.publish_window(i, Arc::from(vec![i as u8; 2]));
+        }
+        hub.set_catchup_rewrite(|ring, start| {
+            // Skip up to the requested start, then replace the first
+            // delivered entry with a rewritten payload.
+            let mut out: Vec<(u64, Arc<[u8]>)> =
+                ring.iter().filter(|(i, _)| *i >= start).cloned().collect();
+            if let Some((_, payload)) = out.first_mut() {
+                *payload = Arc::from(vec![0xAAu8; 2]);
+            }
+            out
+        });
+        let sub = hub.subscribe(StartOffset::Window(2));
+        let frames = sub.drain();
+        assert_eq!(frames.len(), 3, "windows 2, 3, 4");
+        assert_eq!(frames[0].as_ref(), &[0xAA, 0xAA], "head was rewritten");
+        assert_eq!(frames[1].as_ref(), &[3, 3], "tail passes through");
+        assert_eq!(sub.missed(), 0);
+
+        // A rewrite that starts later than asked books the gap as missed,
+        // and an empty rewrite books the whole wanted range.
+        hub.set_catchup_rewrite(|ring, start| {
+            ring.iter()
+                .filter(|(i, _)| *i >= start.max(4))
+                .cloned()
+                .collect()
+        });
+        let partial = hub.subscribe(StartOffset::Window(1));
+        assert_eq!(partial.drain().len(), 1, "only window 4");
+        assert_eq!(partial.missed(), 3, "windows 1..=3 were declined");
+        hub.set_catchup_rewrite(|_, _| Vec::new());
+        let none = hub.subscribe(StartOffset::Origin);
+        assert!(none.drain().is_empty());
+        assert_eq!(none.missed(), 5, "all five broadcast windows");
+    }
+
+    #[test]
+    fn catchup_rewrite_keeps_the_conservation_law() {
+        let mut hub: BroadcastHub<Arc<[u8]>> = BroadcastHub::new(BroadcastConfig {
+            channel_capacity: 8,
+            ring_capacity: 4,
+        });
+        hub.set_catchup_rewrite(|ring, start| {
+            ring.iter().filter(|(i, _)| *i >= start).cloned().collect()
+        });
+        for i in 0..6u64 {
+            hub.publish_window(i, Arc::from(vec![0u8]));
+        }
+        // Ring holds 2..=5; an Origin joiner gets those, misses 0 and 1,
+        // then receives 6 and 7 live.
+        let sub = hub.subscribe(StartOffset::Origin);
+        for i in 6..8u64 {
+            hub.publish_window(i, Arc::from(vec![0u8]));
+        }
+        let summary = hub.close();
+        assert_eq!(sub.drain().len(), 6);
+        assert_eq!(summary.conservation_error(), None);
     }
 
     #[test]

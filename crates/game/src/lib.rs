@@ -34,8 +34,8 @@ pub mod view;
 pub mod warehouse;
 
 pub use broadcast::{
-    BroadcastConfig, BroadcastHandle, BroadcastHub, BroadcastSummary, Broadcaster, HubHandle,
-    HubSubscription, RosterTotals, StartOffset, SubscriberReport, Subscription,
+    BroadcastConfig, BroadcastHandle, BroadcastHub, BroadcastSummary, Broadcaster, CatchupRewrite,
+    HubHandle, HubSubscription, RosterTotals, StartOffset, SubscriberReport, Subscription,
 };
 pub use controller::PalletLabelController;
 pub use level::Level;

@@ -305,6 +305,7 @@ mod tests {
             seed: 5,
             node_count: 500,
             window_us: 50_000,
+            keyframe_every: 0,
         });
         for report in pipeline.run(2) {
             recorder.record(&report).unwrap();

@@ -10,7 +10,7 @@
 //! |----------|------|----------------------------------------------|
 //! | magic    | 4    | `TWFR`                                       |
 //! | version  | 1    | [`FRAME_VERSION`] (tracks the window codec)  |
-//! | kind     | 1    | 1 = manifest, 2 = window, 3 = close, 4 = stats |
+//! | kind     | 1    | 1 = manifest, 2 = window, 3 = close, 4 = stats, 5 = delta window |
 //! | length   | 4    | payload byte count, little-endian u32        |
 //! | payload  | n    | kind-specific bytes                          |
 //! | checksum | 4    | CRC32 of the payload, little-endian u32      |
@@ -24,7 +24,14 @@
 //! optional kind interleaves with windows: [`Frame::Stats`] carries the
 //! server's live [`MetricsSnapshot`] as `tw-json` bytes, so `connect
 //! --stats` can watch ingest rates and fan-out lag without a second
-//! connection or a side channel.
+//! connection or a side channel. The fifth kind carries a v3 delta window
+//! ([`encode_window_delta`](crate::codec::encode_window_delta) bytes);
+//! decoding one needs the previous window as its base, so
+//! [`parse_frame_payload`] only validates the payload header and hands the
+//! raw bytes to a stateful consumer holding a
+//! [`DecodeScratch`](crate::codec::DecodeScratch). A server that sticks to
+//! full windows (keyframe cadence 0) emits a byte-identical v2 stream —
+//! older clients interoperate unless deltas are switched on.
 //!
 //! The decoder trusts nothing: a declared length past [`MAX_FRAME_LEN`] is
 //! rejected *before* any allocation (the same discipline as the window
@@ -69,6 +76,8 @@ pub enum FrameKind {
     Close,
     /// A live [`MetricsSnapshot`], interleaved with windows on request.
     Stats,
+    /// One v3-codec delta window, patched against the previous window.
+    DeltaWindow,
 }
 
 impl FrameKind {
@@ -78,6 +87,7 @@ impl FrameKind {
             FrameKind::Window => 2,
             FrameKind::Close => 3,
             FrameKind::Stats => 4,
+            FrameKind::DeltaWindow => 5,
         }
     }
 
@@ -87,6 +97,7 @@ impl FrameKind {
             2 => Some(FrameKind::Window),
             3 => Some(FrameKind::Close),
             4 => Some(FrameKind::Stats),
+            5 => Some(FrameKind::DeltaWindow),
             _ => None,
         }
     }
@@ -133,6 +144,13 @@ pub enum Frame {
     Close(CloseSummary),
     /// A live metrics snapshot from the server.
     Stats(MetricsSnapshot),
+    /// One delta window's raw v3 codec bytes, header-validated only.
+    ///
+    /// A delta is meaningless without its base window, so the frame layer
+    /// does not decode it; feed the bytes to
+    /// [`decode_window_into`](crate::codec::decode_window_into) with the
+    /// connection's [`DecodeScratch`](crate::codec::DecodeScratch).
+    DeltaWindow(Vec<u8>),
 }
 
 /// Everything that can go wrong pulling a frame off the wire.
@@ -232,6 +250,55 @@ pub fn encode_window_frame(encoded_window: &[u8]) -> Vec<u8> {
 /// Encode and frame one window (convenience for tests and single senders).
 pub fn encode_report_frame(report: &WindowReport) -> Vec<u8> {
     encode_window_frame(&encode_window(report))
+}
+
+/// Frame one window that is *already* v3-delta encoded.
+///
+/// Like [`encode_window_frame`] this is fan-out-friendly: the server
+/// diffs each window against its predecessor once and every connection
+/// gets the identical frame bytes.
+pub fn encode_delta_frame(encoded_delta: &[u8]) -> Vec<u8> {
+    encode_frame(FrameKind::DeltaWindow, encoded_delta)
+}
+
+/// Split one complete in-memory frame into its kind and payload slice,
+/// CRC-verified but not decoded — no allocation, no copy.
+///
+/// This is how the serving tier inspects its own catch-up ring: entries
+/// are fully-encoded frames, and a late join needs to know which are key
+/// frames (and patch together the rest) without re-reading a stream.
+pub fn split_frame(bytes: &[u8]) -> Result<(FrameKind, &[u8]), FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated("frame header"));
+    }
+    if bytes[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[4] != FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion(bytes[4]));
+    }
+    let kind = FrameKind::from_byte(bytes[5]).ok_or(FrameError::UnknownKind(bytes[5]))?;
+    let declared = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            declared: declared as u64,
+        });
+    }
+    if bytes.len() != HEADER_LEN + declared + 4 {
+        return Err(FrameError::Truncated("frame payload"));
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + declared];
+    let expected = u32::from_le_bytes([
+        bytes[HEADER_LEN + declared],
+        bytes[HEADER_LEN + declared + 1],
+        bytes[HEADER_LEN + declared + 2],
+        bytes[HEADER_LEN + declared + 3],
+    ]);
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(FrameError::CrcMismatch { expected, actual });
+    }
+    Ok((kind, payload))
 }
 
 /// Encode a session-header frame.
@@ -341,6 +408,23 @@ fn decode_close_payload(payload: &[u8]) -> Result<CloseSummary, FrameError> {
     Ok(summary)
 }
 
+/// Check a delta-window payload's codec header without decoding the body
+/// (the body needs a base window only a stateful consumer holds).
+fn validate_delta_payload(payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() < 5 {
+        return Err(FrameError::Truncated("delta window header"));
+    }
+    if payload[..4] != codec::WINDOW_MAGIC {
+        return Err(FrameError::Window(CodecError::BadMagic));
+    }
+    if payload[4] != codec::DELTA_WINDOW_VERSION {
+        return Err(FrameError::Window(CodecError::UnsupportedVersion(
+            payload[4],
+        )));
+    }
+    Ok(())
+}
+
 /// Decode a raw frame's payload by kind.
 pub fn parse_frame_payload(kind: FrameKind, payload: &[u8]) -> Result<Frame, FrameError> {
     match kind {
@@ -348,6 +432,10 @@ pub fn parse_frame_payload(kind: FrameKind, payload: &[u8]) -> Result<Frame, Fra
         FrameKind::Window => Ok(Frame::Window(decode_window(payload)?)),
         FrameKind::Close => Ok(Frame::Close(decode_close_payload(payload)?)),
         FrameKind::Stats => Ok(Frame::Stats(decode_stats_payload(payload)?)),
+        FrameKind::DeltaWindow => {
+            validate_delta_payload(payload)?;
+            Ok(Frame::DeltaWindow(payload.to_vec()))
+        }
     }
 }
 
@@ -531,6 +619,93 @@ mod tests {
             read_frame(&mut cursor),
             Err(FrameError::Truncated("frame header"))
         );
+    }
+
+    #[test]
+    fn delta_frames_round_trip_through_a_scratch() {
+        use crate::codec::{decode_window_into, encode_window_delta, DecodeScratch};
+        let prev = sample_report();
+        let mut cur = sample_report();
+        cur.stats.window_index = prev.stats.window_index + 1;
+        let delta_bytes = encode_window_delta(&prev, &cur);
+        let frame_bytes = encode_delta_frame(&delta_bytes);
+        let (frame, consumed) = decode_frame(&frame_bytes).unwrap();
+        assert_eq!(consumed, frame_bytes.len());
+        let Frame::DeltaWindow(payload) = frame else {
+            panic!("expected a delta window frame, got {frame:?}");
+        };
+        assert_eq!(payload, delta_bytes);
+        let mut scratch = DecodeScratch::new();
+        decode_window_into(&encode_window(&prev), &mut scratch).unwrap();
+        let decoded = decode_window_into(&payload, &mut scratch).unwrap();
+        assert_eq!(decoded.matrix, cur.matrix);
+        assert_eq!(decoded.stats, cur.stats);
+    }
+
+    #[test]
+    fn delta_frame_payload_headers_are_validated() {
+        // A delta frame whose payload is not a v3 window is refused at the
+        // frame layer, before any stateful decode is attempted.
+        for (payload, want) in [
+            (
+                b"xx".as_slice(),
+                FrameError::Truncated("delta window header"),
+            ),
+            (
+                b"nope!".as_slice(),
+                FrameError::Window(CodecError::BadMagic),
+            ),
+            (
+                b"TWWR\x02rest".as_slice(),
+                FrameError::Window(CodecError::UnsupportedVersion(2)),
+            ),
+        ] {
+            let bytes = encode_frame(FrameKind::DeltaWindow, payload);
+            assert_eq!(decode_frame(&bytes), Err(want));
+        }
+    }
+
+    #[test]
+    fn split_frame_exposes_ring_entries_without_copying() {
+        let report = sample_report();
+        let bytes = encode_report_frame(&report);
+        let (kind, payload) = split_frame(&bytes).unwrap();
+        assert_eq!(kind, FrameKind::Window);
+        assert_eq!(decode_window(payload).unwrap().matrix, report.matrix);
+
+        // Every malformation is a typed error, never a panic.
+        assert_eq!(
+            split_frame(&bytes[..bytes.len() - 1]),
+            Err(FrameError::Truncated("frame payload"))
+        );
+        assert_eq!(
+            split_frame(&bytes[..4]),
+            Err(FrameError::Truncated("frame header"))
+        );
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(split_frame(&wrong), Err(FrameError::BadMagic));
+        let mut wrong = bytes.clone();
+        wrong[4] = 1;
+        assert_eq!(split_frame(&wrong), Err(FrameError::UnsupportedVersion(1)));
+        let mut wrong = bytes.clone();
+        wrong[5] = 9;
+        assert_eq!(split_frame(&wrong), Err(FrameError::UnknownKind(9)));
+        let mut wrong = bytes.clone();
+        wrong[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            split_frame(&wrong),
+            Err(FrameError::Oversized {
+                declared: u64::from(u32::MAX)
+            })
+        );
+        let mut wrong = bytes.clone();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - 4) / 2;
+        wrong[mid] ^= 0x40;
+        assert!(matches!(
+            split_frame(&wrong),
+            Err(FrameError::CrcMismatch { .. })
+        ));
     }
 
     #[test]

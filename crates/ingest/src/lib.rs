@@ -66,12 +66,15 @@ pub mod source;
 pub mod stream;
 pub mod window;
 
-pub use codec::{decode_window, encode_window, CodecError, MAX_DIMENSION};
+pub use codec::{
+    decode_window, decode_window_into, encode_window, encode_window_delta, CodecError,
+    CodecMetrics, DecodeScratch, DELTA_WINDOW_VERSION, FULL_WINDOW_VERSION, MAX_DIMENSION,
+};
 pub use frame::{
-    decode_frame, encode_close_frame, encode_frame, encode_manifest_frame, encode_report_frame,
-    encode_stats_frame, encode_window_frame, parse_frame_payload, read_frame, read_raw_frame,
-    write_frame, CloseSummary, Frame, FrameError, FrameKind, StreamManifest, FRAME_MAGIC,
-    FRAME_VERSION, MAX_FRAME_LEN,
+    decode_frame, encode_close_frame, encode_delta_frame, encode_frame, encode_manifest_frame,
+    encode_report_frame, encode_stats_frame, encode_window_frame, parse_frame_payload, read_frame,
+    read_raw_frame, split_frame, write_frame, CloseSummary, Frame, FrameError, FrameKind,
+    StreamManifest, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_LEN,
 };
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, ReplaySource};

@@ -20,6 +20,7 @@
 //!     seed: 7,
 //!     node_count: 128,
 //!     window_us: 50_000,
+//!     keyframe_every: 0,
 //! });
 //! let reports = pipeline.run(4);
 //! for report in &reports {
@@ -38,18 +39,25 @@
 //! assert!(replay.next_window().unwrap().is_none());
 //! ```
 
-use crate::codec::{decode_window, encode_window, CodecError};
+use crate::codec::{
+    decode_window_into, encode_window, encode_window_delta, CodecError, CodecMetrics, DecodeScratch,
+};
 use crate::window::{IngestStats, WindowReport};
 use std::fmt;
 use tw_archive::{ArchiveError, ZipReader, ZipWriter};
 use tw_json::{Map, Value};
+use tw_metrics::MetricsRegistry;
 
 /// Name of the JSON manifest entry inside a recording.
 pub const MANIFEST_ENTRY: &str = "manifest.json";
 /// The manifest format identifier.
 pub const MANIFEST_FORMAT: &str = "tw-replay";
-/// The manifest version this module writes.
+/// The manifest version written for pure full-window recordings
+/// (`keyframe_every == 0`): byte-compatible with pre-delta readers.
 pub const MANIFEST_VERSION: i64 = 1;
+/// The manifest version written once a recording contains delta windows.
+/// Pre-delta readers reject it cleanly instead of mis-decoding entries.
+pub const MANIFEST_VERSION_DELTA: i64 = 2;
 
 /// Errors produced while recording or replaying a window archive.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +107,10 @@ pub struct RecordingMeta {
     pub node_count: usize,
     /// Tumbling-window duration in simulated microseconds.
     pub window_us: u64,
+    /// Delta-encoding cadence: every `K`th window is a full key frame and
+    /// the rest are deltas against their predecessor; `0` records every
+    /// window in full (pre-delta archive format).
+    pub keyframe_every: u64,
 }
 
 /// The entry name of a recorded window.
@@ -117,6 +129,13 @@ pub struct ArchiveRecorder {
     writer: ZipWriter,
     meta: RecordingMeta,
     stats: Vec<IngestStats>,
+    /// The previously recorded window, kept as the next delta's base
+    /// (`None` until the first window, or always when `keyframe_every == 0`).
+    prev: Option<WindowReport>,
+    /// Encoded size of the last key frame: the steady-state proxy for what
+    /// each delta window would have cost in full, driving `bytes_saved`.
+    last_keyframe_len: usize,
+    metrics: Option<CodecMetrics>,
 }
 
 impl ArchiveRecorder {
@@ -126,15 +145,54 @@ impl ArchiveRecorder {
             writer: ZipWriter::new(),
             meta,
             stats: Vec::new(),
+            prev: None,
+            last_keyframe_len: 0,
+            metrics: None,
         }
     }
 
+    /// Count encoded key frames, deltas, and bytes saved into the `codec.*`
+    /// counters of the given registry.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(CodecMetrics::new(registry));
+    }
+
     /// Append one window to the recording.
+    ///
+    /// With a nonzero `keyframe_every` cadence `K`, every `K`th window (in
+    /// recording order, starting with the first) is stored in full and the
+    /// windows between them as deltas against their predecessor.
     pub fn record(&mut self, report: &WindowReport) -> Result<(), RecordError> {
-        let bytes = encode_window(report);
+        let k = self.meta.keyframe_every;
+        let keyframe = k == 0 || (self.stats.len() as u64).is_multiple_of(k);
+        let bytes = match (&self.prev, keyframe) {
+            (Some(prev), false) => {
+                let delta = encode_window_delta(prev, report);
+                if let Some(m) = &self.metrics {
+                    m.delta_windows.inc();
+                    m.bytes_saved
+                        .add(self.last_keyframe_len.saturating_sub(delta.len()) as u64);
+                }
+                delta
+            }
+            _ => {
+                let full = encode_window(report);
+                self.last_keyframe_len = full.len();
+                if let Some(m) = &self.metrics {
+                    m.keyframes.inc();
+                }
+                full
+            }
+        };
         self.writer
             .add_file(&window_entry_name(report.stats.window_index), &bytes)?;
         self.stats.push(report.stats.clone());
+        if k != 0 {
+            match &mut self.prev {
+                Some(prev) => prev.clone_from(report),
+                None => self.prev = Some(report.clone()),
+            }
+        }
         Ok(())
     }
 
@@ -153,7 +211,15 @@ impl ArchiveRecorder {
     fn manifest_json(&self) -> String {
         let mut root = Map::new();
         root.insert("format", MANIFEST_FORMAT);
-        root.insert("version", MANIFEST_VERSION);
+        // K=0 recordings keep the version-1 manifest so pre-delta readers
+        // replay them unchanged; delta recordings bump the version so those
+        // readers reject the archive instead of choking on a delta entry.
+        let version = if self.meta.keyframe_every == 0 {
+            MANIFEST_VERSION
+        } else {
+            MANIFEST_VERSION_DELTA
+        };
+        root.insert("version", version);
         root.insert("scenario", self.meta.scenario.as_str());
         // Seeds are full u64s; JSON numbers here are i64/f64, so the seed is
         // carried as a decimal string to stay lossless.
@@ -162,6 +228,10 @@ impl ArchiveRecorder {
         root.insert(
             "window_us",
             Value::from(i64::try_from(self.meta.window_us).unwrap_or(i64::MAX)),
+        );
+        root.insert(
+            "keyframe_every",
+            Value::from(i64::try_from(self.meta.keyframe_every).unwrap_or(i64::MAX)),
         );
         root.insert("window_count", self.stats.len());
         let windows: Vec<Value> = self
@@ -210,6 +280,8 @@ pub struct ReplayManifest {
     pub node_count: usize,
     /// Tumbling-window duration in simulated microseconds.
     pub window_us: u64,
+    /// Delta cadence the recording was made with (`0` = all full windows).
+    pub keyframe_every: u64,
     /// Window entry names in playback order.
     pub entries: Vec<String>,
 }
@@ -235,6 +307,9 @@ pub struct ReplaySource<'a> {
     reader: ZipReader<'a>,
     manifest: ReplayManifest,
     cursor: usize,
+    /// Delta base + recycled decode buffers: consecutive windows decode
+    /// into reused allocations, and delta entries patch the previous one.
+    scratch: DecodeScratch,
 }
 
 impl<'a> ReplaySource<'a> {
@@ -250,6 +325,7 @@ impl<'a> ReplaySource<'a> {
             reader,
             manifest,
             cursor: 0,
+            scratch: DecodeScratch::new(),
         })
     }
 
@@ -270,7 +346,7 @@ impl<'a> ReplaySource<'a> {
             return Ok(None);
         };
         let bytes = self.reader.read(entry)?;
-        let report = decode_window(bytes)?;
+        let report = decode_window_into(bytes, &mut self.scratch)?;
         if report.matrix.shape() != (self.manifest.node_count, self.manifest.node_count) {
             return Err(RecordError::Manifest(format!(
                 "window {entry} has shape {:?}, manifest says {} nodes",
@@ -334,9 +410,10 @@ pub(crate) fn parse_manifest(
         )));
     }
     let version = root.get("version").and_then(Value::as_i64).unwrap_or(0);
-    if version != MANIFEST_VERSION {
+    if !(MANIFEST_VERSION..=MANIFEST_VERSION_DELTA).contains(&version) {
         return Err(RecordError::Manifest(format!(
-            "manifest version {version} is not the supported version {MANIFEST_VERSION}"
+            "manifest version {version} is not in the supported range \
+             {MANIFEST_VERSION}..={MANIFEST_VERSION_DELTA}"
         )));
     }
     let scenario = root
@@ -352,6 +429,15 @@ pub(crate) fn parse_manifest(
     let node_count = usize::try_from(manifest_u64(&root, "node_count")?)
         .map_err(|_| RecordError::Manifest("node_count does not fit".to_string()))?;
     let window_us = manifest_u64(&root, "window_us")?;
+    // Version-1 recordings predate the key; absent means all-full windows.
+    let keyframe_every = root
+        .get("keyframe_every")
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| RecordError::Manifest("non-integer keyframe_every".to_string()))
+        })
+        .transpose()?
+        .unwrap_or(0);
     let declared = manifest_u64(&root, "window_count")? as usize;
 
     let windows = root
@@ -382,6 +468,7 @@ pub(crate) fn parse_manifest(
         seed,
         node_count,
         window_us,
+        keyframe_every,
         entries,
     })
 }
@@ -393,6 +480,13 @@ mod tests {
     use crate::scenario::Scenario;
 
     fn record_ddos(windows: usize) -> (Vec<WindowReport>, Vec<u8>) {
+        record_ddos_with_cadence(windows, 0)
+    }
+
+    fn record_ddos_with_cadence(
+        windows: usize,
+        keyframe_every: u64,
+    ) -> (Vec<WindowReport>, Vec<u8>) {
         let config = PipelineConfig {
             window_us: 50_000,
             batch_size: 4_096,
@@ -405,6 +499,7 @@ mod tests {
             seed: 7,
             node_count: 128,
             window_us: 50_000,
+            keyframe_every,
         });
         let reports = pipeline.run(windows);
         for report in &reports {
@@ -500,6 +595,7 @@ mod tests {
             seed: 7,
             node_count: 128,
             window_us: 50_000,
+            keyframe_every: 0,
         });
         recorder.record(&reports[0]).unwrap();
         assert!(matches!(
@@ -557,6 +653,183 @@ mod tests {
             replay.next_window(),
             Err(RecordError::Codec(CodecError::BadMagic))
         ));
+    }
+
+    #[test]
+    fn delta_recordings_replay_cell_for_cell() {
+        let (reports, _) = record_ddos(6);
+        for cadence in [1u64, 2, 3, 5, 10] {
+            let (_, bytes) = record_ddos_with_cadence(6, cadence);
+            let mut replay = ReplaySource::parse(&bytes).unwrap();
+            assert_eq!(replay.manifest().keyframe_every, cadence);
+            for recorded in &reports {
+                let replayed = replay.next_window().unwrap().unwrap();
+                assert_eq!(replayed.matrix, recorded.matrix);
+                assert_eq!(replayed.stats.window_index, recorded.stats.window_index);
+                assert_eq!(replayed.stats.events, recorded.stats.events);
+            }
+            assert!(replay.next_window().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn deltas_shrink_steady_recordings() {
+        // A steady stream — a big fixed matrix with two cells drifting per
+        // window — is where the delta codec earns its keep: each non-key
+        // entry encodes two cells instead of a thousand.
+        use tw_matrix::CsrMatrix;
+        let steady_reports: Vec<WindowReport> = (0..8u64)
+            .map(|w| {
+                let entries: Vec<(usize, usize, u64)> = (0..1_000usize)
+                    .map(|i| {
+                        let row = i / 40;
+                        let col = (i % 40) * 3;
+                        let drift = u64::from(i as u64 % 500 == w);
+                        (row, col, 100 + i as u64 + drift)
+                    })
+                    .collect();
+                WindowReport {
+                    matrix: CsrMatrix::from_sorted_triples(128, 128, &entries),
+                    stats: IngestStats {
+                        window_index: w,
+                        events: 1_000,
+                        packets: 100_000,
+                        nnz: 1_000,
+                        dropped_late: 0,
+                        reordered: 0,
+                        elapsed: std::time::Duration::from_micros(50),
+                    },
+                }
+            })
+            .collect();
+        let record = |cadence: u64| {
+            let mut recorder = ArchiveRecorder::new(RecordingMeta {
+                scenario: "steady".to_string(),
+                seed: 1,
+                node_count: 128,
+                window_us: 50_000,
+                keyframe_every: cadence,
+            });
+            for report in &steady_reports {
+                recorder.record(report).unwrap();
+            }
+            recorder.finish().unwrap()
+        };
+        let full = record(0);
+        let delta = record(4);
+        assert!(
+            (delta.len() as f64) < 0.7 * full.len() as f64,
+            "delta archive {} should be at least 30% smaller than {}",
+            delta.len(),
+            full.len()
+        );
+        // And it still replays cell-for-cell.
+        let mut replay = ReplaySource::parse(&delta).unwrap();
+        for want in &steady_reports {
+            let got = replay.next_window().unwrap().unwrap();
+            assert_eq!(got.matrix, want.matrix);
+        }
+    }
+
+    #[test]
+    fn delta_cadence_places_keyframes_where_the_manifest_says() {
+        // Cadence 3 over 7 windows: entries 0, 3, 6 are full (v2 codec
+        // bytes), everything else is a v3 delta. The manifest bumps to the
+        // delta version so pre-delta readers reject it cleanly.
+        use crate::codec::{DELTA_WINDOW_VERSION, FULL_WINDOW_VERSION};
+        let (_, bytes) = record_ddos_with_cadence(7, 3);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let manifest = tw_json::parse(reader.read_text(MANIFEST_ENTRY).unwrap()).unwrap();
+        assert_eq!(
+            manifest.get("version").and_then(Value::as_i64),
+            Some(MANIFEST_VERSION_DELTA)
+        );
+        assert_eq!(
+            manifest.get("keyframe_every").and_then(Value::as_u64),
+            Some(3)
+        );
+        for i in 0..7u64 {
+            let entry = reader.read(&window_entry_name(i)).unwrap();
+            let want = if i % 3 == 0 {
+                FULL_WINDOW_VERSION
+            } else {
+                DELTA_WINDOW_VERSION
+            };
+            assert_eq!(entry[4], want, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn zero_cadence_recordings_keep_the_version_one_manifest() {
+        // K=0 must stay readable by pre-delta builds: version 1, and every
+        // entry a full v2 window.
+        use crate::codec::FULL_WINDOW_VERSION;
+        let (_, bytes) = record_ddos(2);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let manifest = tw_json::parse(reader.read_text(MANIFEST_ENTRY).unwrap()).unwrap();
+        assert_eq!(
+            manifest.get("version").and_then(Value::as_i64),
+            Some(MANIFEST_VERSION)
+        );
+        for i in 0..2u64 {
+            assert_eq!(
+                reader.read(&window_entry_name(i)).unwrap()[4],
+                FULL_WINDOW_VERSION
+            );
+        }
+        // A manifest from before the delta era (no keyframe_every key at
+        // all) parses with cadence 0.
+        let stripped: String = reader
+            .read_text(MANIFEST_ENTRY)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("keyframe_every"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_manifest(&stripped, |_| true).unwrap();
+        assert_eq!(parsed.keyframe_every, 0);
+    }
+
+    #[test]
+    fn future_manifest_versions_are_rejected() {
+        let (_, bytes) = record_ddos(1);
+        let reader = ZipReader::parse(&bytes).unwrap();
+        let text = reader.read_text(MANIFEST_ENTRY).unwrap();
+        let future = text.replace(
+            &format!("\"version\": {MANIFEST_VERSION}"),
+            &format!("\"version\": {}", MANIFEST_VERSION_DELTA + 1),
+        );
+        assert_ne!(future, text, "replacement must hit the version line");
+        assert!(matches!(
+            parse_manifest(&future, |_| true),
+            Err(RecordError::Manifest(msg)) if msg.contains("version")
+        ));
+    }
+
+    #[test]
+    fn recorder_metrics_count_keyframes_deltas_and_savings() {
+        let config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 4_096,
+            shard_count: 2,
+            reorder_horizon_us: 0,
+        };
+        let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
+        let mut recorder = ArchiveRecorder::new(RecordingMeta {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            node_count: 128,
+            window_us: 50_000,
+            keyframe_every: 2,
+        });
+        let registry = MetricsRegistry::new();
+        recorder.instrument(&registry);
+        for report in pipeline.run(5) {
+            recorder.record(&report).unwrap();
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("codec.keyframes"), 3); // windows 0, 2, 4
+        assert_eq!(snapshot.counter("codec.delta_windows"), 2); // windows 1, 3
     }
 
     #[test]

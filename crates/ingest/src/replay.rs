@@ -13,6 +13,7 @@
 //! emit the identical window sequence, so consumers cannot tell them apart
 //! (property: see `replay_matches_the_in_memory_source`).
 
+use crate::codec::{decode_window_into, DecodeScratch};
 use crate::record::{parse_manifest, RecordError, ReplayManifest, MANIFEST_ENTRY};
 use crate::window::WindowReport;
 use std::io::{Read, Seek};
@@ -25,6 +26,9 @@ pub struct SeekReplaySource<R: Read + Seek> {
     reader: SeekZipReader<R>,
     manifest: ReplayManifest,
     cursor: usize,
+    /// Delta base + recycled decode buffers (see
+    /// [`DecodeScratch`](crate::codec::DecodeScratch)).
+    scratch: DecodeScratch,
 }
 
 impl<R: Read + Seek> SeekReplaySource<R> {
@@ -42,6 +46,7 @@ impl<R: Read + Seek> SeekReplaySource<R> {
             reader,
             manifest,
             cursor: 0,
+            scratch: DecodeScratch::new(),
         })
     }
 
@@ -62,7 +67,7 @@ impl<R: Read + Seek> SeekReplaySource<R> {
             return Ok(None);
         };
         let bytes = self.reader.read(entry)?;
-        let report = crate::codec::decode_window(&bytes)?;
+        let report = decode_window_into(&bytes, &mut self.scratch)?;
         if report.matrix.shape() != (self.manifest.node_count, self.manifest.node_count) {
             return Err(RecordError::Manifest(format!(
                 "window {entry} has shape {:?}, manifest says {} nodes",
@@ -72,6 +77,41 @@ impl<R: Read + Seek> SeekReplaySource<R> {
         }
         self.cursor += 1;
         Ok(Some(report))
+    }
+
+    /// Position playback so the next pull emits the recorded window at
+    /// position `window` (in recording order); returns the position of the
+    /// key frame the seek landed on.
+    ///
+    /// In a delta recording an arbitrary window is not independently
+    /// decodable, so the seek lands on the nearest key frame at or before
+    /// the target and rolls forward, decoding (and discarding) the deltas
+    /// in between. With cadence 0 every window is a key frame and the roll
+    /// is empty.
+    pub fn seek(&mut self, window: usize) -> Result<usize, RecordError> {
+        if window > self.manifest.entries.len() {
+            return Err(RecordError::Manifest(format!(
+                "seek to window {window} past the recording's {} windows",
+                self.manifest.entries.len()
+            )));
+        }
+        let k = self.manifest.keyframe_every as usize;
+        // Seeking *to* the end is an allowed no-decode position; everything
+        // else lands on the covering key frame.
+        let key = if window == self.manifest.entries.len() || k == 0 {
+            window
+        } else {
+            window - window % k
+        };
+        self.cursor = key;
+        // The base no longer matches the cursor; the key frame re-arms it.
+        self.scratch.reset();
+        for _ in key..window {
+            if self.next_window()?.is_none() {
+                break;
+            }
+        }
+        Ok(key)
     }
 }
 
@@ -117,6 +157,13 @@ mod tests {
     use tw_archive::ArchiveError;
 
     fn record_ddos(windows: usize) -> (Vec<WindowReport>, Vec<u8>) {
+        record_ddos_with_cadence(windows, 0)
+    }
+
+    fn record_ddos_with_cadence(
+        windows: usize,
+        keyframe_every: u64,
+    ) -> (Vec<WindowReport>, Vec<u8>) {
         let config = PipelineConfig {
             window_us: 50_000,
             batch_size: 4_096,
@@ -129,6 +176,7 @@ mod tests {
             seed: 7,
             node_count: 128,
             window_us: 50_000,
+            keyframe_every,
         });
         let reports = pipeline.run(windows);
         for report in &reports {
@@ -223,6 +271,52 @@ mod tests {
             replay.next_window(),
             Err(RecordError::Codec(crate::codec::CodecError::BadMagic))
         ));
+    }
+
+    #[test]
+    fn delta_recordings_stream_and_seek_from_disk() {
+        let (reports, bytes) = record_ddos_with_cadence(7, 3);
+        let mut replay = SeekReplaySource::new(Cursor::new(&bytes)).unwrap();
+        for recorded in &reports {
+            let replayed = replay.next_window().unwrap().unwrap();
+            assert_eq!(replayed.matrix, recorded.matrix);
+        }
+
+        // Seeking to any position lands on its covering key frame (cadence
+        // 3: positions 0, 3, 6) and the next pull emits the exact target.
+        for (target, want_key) in [
+            (0usize, 0usize),
+            (1, 0),
+            (2, 0),
+            (3, 3),
+            (4, 3),
+            (5, 3),
+            (6, 6),
+        ] {
+            let key = replay.seek(target).unwrap();
+            assert_eq!(key, want_key, "seek({target})");
+            let report = replay.next_window().unwrap().unwrap();
+            assert_eq!(report.matrix, reports[target].matrix, "seek({target})");
+            assert_eq!(
+                report.stats.window_index,
+                reports[target].stats.window_index
+            );
+        }
+
+        // Seeking to the end positions at exhaustion; past it is an error.
+        assert_eq!(replay.seek(7).unwrap(), 7);
+        assert!(replay.next_window().unwrap().is_none());
+        assert!(matches!(
+            replay.seek(8),
+            Err(RecordError::Manifest(msg)) if msg.contains("past")
+        ));
+
+        // Cadence 0: every window is its own key frame.
+        let (reports, bytes) = record_ddos(3);
+        let mut replay = SeekReplaySource::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(replay.seek(2).unwrap(), 2);
+        let report = replay.next_window().unwrap().unwrap();
+        assert_eq!(report.matrix, reports[2].matrix);
     }
 
     #[test]

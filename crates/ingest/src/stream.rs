@@ -230,6 +230,7 @@ mod tests {
             seed: 3,
             node_count: 64,
             window_us: 50_000,
+            keyframe_every: 0,
         });
         let recorded = pipeline.run(3);
         for report in &recorded {

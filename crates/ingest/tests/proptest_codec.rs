@@ -101,6 +101,7 @@ proptest! {
             seed: 42,
             node_count: 48,
             window_us: 1_000,
+            keyframe_every: 0,
         });
         for report in &reports {
             recorder.record(report).unwrap();

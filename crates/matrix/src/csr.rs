@@ -7,7 +7,7 @@
 use crate::error::{MatrixError, Result};
 
 /// A sparse matrix in compressed sparse row format.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct CsrMatrix<T> {
     rows: usize,
     cols: usize,
@@ -15,6 +15,30 @@ pub struct CsrMatrix<T> {
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<T>,
+}
+
+impl<T: Clone> Clone for CsrMatrix<T> {
+    fn clone(&self) -> Self {
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Clones into `self`'s existing array allocations (`Vec::clone_from`),
+    /// so repeatedly refreshing a matrix from a same-sized source — the
+    /// delta-decode base in `tw-ingest`'s `DecodeScratch` — allocates
+    /// nothing once the buffers have reached their high-water mark.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.row_ptr.clone_from(&source.row_ptr);
+        self.col_idx.clone_from(&source.col_idx);
+        self.values.clone_from(&source.values);
+    }
 }
 
 impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
@@ -326,6 +350,176 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         }
         grid
     }
+
+    /// Decompose into `(rows, cols, row_ptr, col_idx, values)`, the inverse
+    /// of [`CsrMatrix::from_raw_parts`].
+    ///
+    /// This is the recycling half of the zero-copy decode loop: a consumer
+    /// that is done with a decoded window hands its arrays back (e.g. to
+    /// `tw-ingest`'s `DecodeScratch`) so the next decode builds into them
+    /// instead of allocating.
+    pub fn into_raw_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<T>) {
+        (
+            self.rows,
+            self.cols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
+    }
+
+    /// The sparse cell changes that turn `self` into `other`.
+    ///
+    /// Changes are `(row, col, Some(new_value))` for cells stored in `other`
+    /// with a value `self` does not store there, and `(row, col, None)` for
+    /// cells stored in `self` but not in `other`. The list is sorted by
+    /// `(row, col)` — exactly the contract [`CsrMatrix::apply_delta`]
+    /// expects, so `self.apply_delta(&self.diff(other))` reconstructs
+    /// `other` cell for cell (including stored `T::default()` values, which
+    /// survive as `Some(default)` upserts rather than collapsing into
+    /// deletes).
+    ///
+    /// Both matrices must have the same shape.
+    pub fn diff(&self, other: &CsrMatrix<T>) -> Result<Vec<(usize, usize, Option<T>)>> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "diff requires equal shapes, got {:?} and {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        let mut changes = Vec::new();
+        for r in 0..self.rows {
+            let (a_start, a_end) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let (b_start, b_end) = (other.row_ptr[r], other.row_ptr[r + 1]);
+            let (mut a, mut b) = (a_start, b_start);
+            while a < a_end || b < b_end {
+                let ac = self.col_idx.get(a).copied().filter(|_| a < a_end);
+                let bc = other.col_idx.get(b).copied().filter(|_| b < b_end);
+                match (ac, bc) {
+                    (Some(ca), Some(cb)) if ca == cb => {
+                        if self.values[a] != other.values[b] {
+                            changes.push((r, ca, Some(other.values[b])));
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                    (Some(ca), Some(cb)) if ca < cb => {
+                        changes.push((r, ca, None));
+                        a += 1;
+                    }
+                    (Some(_), Some(cb)) => {
+                        changes.push((r, cb, Some(other.values[b])));
+                        b += 1;
+                    }
+                    (Some(ca), None) => {
+                        changes.push((r, ca, None));
+                        a += 1;
+                    }
+                    (None, Some(cb)) => {
+                        changes.push((r, cb, Some(other.values[b])));
+                        b += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+        }
+        Ok(changes)
+    }
+
+    /// Apply sparse cell changes (the output of [`CsrMatrix::diff`]),
+    /// producing the patched matrix.
+    ///
+    /// `Some(v)` upserts a cell, `None` deletes it (deleting an absent cell
+    /// is a no-op). Changes must be sorted strictly by `(row, col)` and in
+    /// bounds.
+    pub fn apply_delta(&self, changes: &[(usize, usize, Option<T>)]) -> Result<CsrMatrix<T>> {
+        let (mut row_ptr, mut col_idx, mut values) = (Vec::new(), Vec::new(), Vec::new());
+        self.apply_delta_into(changes, &mut row_ptr, &mut col_idx, &mut values)?;
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// [`CsrMatrix::apply_delta`], but building into caller-provided arrays.
+    ///
+    /// The arrays are cleared and refilled with a valid CSR layout for the
+    /// patched matrix (`self` shape), reusing their allocations — this is
+    /// the zero-allocation half of the delta-decode hot path; pass the
+    /// result to [`CsrMatrix::from_raw_parts`] to finish. The merge is one
+    /// ordered pass over `self` and the change list, `O(nnz + changes)`.
+    pub fn apply_delta_into(
+        &self,
+        changes: &[(usize, usize, Option<T>)],
+        row_ptr: &mut Vec<usize>,
+        col_idx: &mut Vec<usize>,
+        values: &mut Vec<T>,
+    ) -> Result<()> {
+        for w in changes.windows(2) {
+            if (w[0].0, w[0].1) >= (w[1].0, w[1].1) {
+                return Err(MatrixError::DimensionMismatch(format!(
+                    "delta changes must be sorted strictly by (row, col); \
+                     ({}, {}) does not precede ({}, {})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                )));
+            }
+        }
+        for &(r, c, _) in changes {
+            if r >= self.rows {
+                return Err(MatrixError::IndexOutOfBounds {
+                    index: r,
+                    bound: self.rows,
+                    axis: "row",
+                });
+            }
+            if c >= self.cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    index: c,
+                    bound: self.cols,
+                    axis: "column",
+                });
+            }
+        }
+        row_ptr.clear();
+        col_idx.clear();
+        values.clear();
+        row_ptr.reserve(self.rows + 1);
+        col_idx.reserve(self.col_idx.len() + changes.len());
+        values.reserve(self.values.len() + changes.len());
+        row_ptr.push(0);
+        let mut next = 0usize;
+        for r in 0..self.rows {
+            let end = self.row_ptr[r + 1];
+            let mut base = self.row_ptr[r];
+            while next < changes.len() && changes[next].0 == r {
+                let (_, c, change) = changes[next];
+                while base < end && self.col_idx[base] < c {
+                    col_idx.push(self.col_idx[base]);
+                    values.push(self.values[base]);
+                    base += 1;
+                }
+                if base < end && self.col_idx[base] == c {
+                    base += 1; // superseded by the change
+                }
+                if let Some(v) = change {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+                next += 1;
+            }
+            while base < end {
+                col_idx.push(self.col_idx[base]);
+                values.push(self.values[base]);
+                base += 1;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -478,5 +672,104 @@ mod tests {
         assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
         assert_eq!(m.col_indices(), &[1, 3, 0, 2]);
         assert_eq!(m.values(), &[2, 1, 5, 3]);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let m = sample();
+        let (rows, cols, row_ptr, col_idx, values) = m.clone().into_raw_parts();
+        assert_eq!((rows, cols), (3, 4));
+        let rebuilt = CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values).unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers() {
+        let m = sample();
+        let mut target = CsrMatrix::<u32>::empty(3, 4);
+        // Warm the target's buffers, then refresh from a different source:
+        // the arrays must match without growing fresh allocations (observable
+        // here only as correctness; the no-alloc property is capacity reuse).
+        target.clone_from(&m);
+        assert_eq!(target, m);
+        let empty = CsrMatrix::<u32>::empty(2, 2);
+        target.clone_from(&empty);
+        assert_eq!(target, empty);
+    }
+
+    #[test]
+    fn diff_and_apply_delta_round_trip() {
+        let a = sample();
+        // [0 2 0 1]      [0 2 0 0]   cell (0,3) deleted,
+        // [0 0 0 0]  ->  [0 7 0 0]   cell (1,1) added,
+        // [5 0 3 0]      [5 0 4 0]   cell (2,2) changed.
+        let b =
+            CsrMatrix::from_dense(&[vec![0, 2, 0, 0], vec![0, 7, 0, 0], vec![5, 0, 4, 0]]).unwrap();
+        let changes = a.diff(&b).unwrap();
+        assert_eq!(
+            changes,
+            vec![(0, 3, None), (1, 1, Some(7)), (2, 2, Some(4))]
+        );
+        assert_eq!(a.apply_delta(&changes).unwrap(), b);
+        // The reverse diff restores the original.
+        let back = b.diff(&a).unwrap();
+        assert_eq!(b.apply_delta(&back).unwrap(), a);
+        // An empty diff is the identity.
+        assert_eq!(a.diff(&a).unwrap(), vec![]);
+        assert_eq!(a.apply_delta(&[]).unwrap(), a);
+    }
+
+    #[test]
+    fn diff_preserves_stored_defaults() {
+        // A stored zero is a real entry, distinct from an absent cell: the
+        // diff must carry it as an upsert, not a delete.
+        let a = CsrMatrix::from_sorted_triples(2, 2, &[(0usize, 0usize, 5u32)]);
+        let b = CsrMatrix::from_sorted_triples(2, 2, &[(0usize, 0usize, 0u32)]);
+        let changes = a.diff(&b).unwrap();
+        assert_eq!(changes, vec![(0, 0, Some(0))]);
+        let patched = a.apply_delta(&changes).unwrap();
+        assert_eq!(patched, b);
+        assert_eq!(patched.nnz(), 1, "the stored zero survives");
+    }
+
+    #[test]
+    fn apply_delta_into_reuses_buffers() {
+        let a = sample();
+        let b =
+            CsrMatrix::from_dense(&[vec![1, 0, 0, 1], vec![0, 0, 2, 0], vec![5, 0, 3, 9]]).unwrap();
+        let changes = a.diff(&b).unwrap();
+        let (mut rp, mut ci, mut vs) = (vec![9usize; 50], vec![7usize; 50], vec![1u32; 50]);
+        a.apply_delta_into(&changes, &mut rp, &mut ci, &mut vs)
+            .unwrap();
+        let rebuilt = CsrMatrix::from_raw_parts(3, 4, rp, ci, vs).unwrap();
+        assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_changes() {
+        let a = sample();
+        // Unsorted, duplicate, and out-of-bounds change lists are rejected.
+        assert!(a.apply_delta(&[(1, 1, Some(1)), (0, 0, Some(1))]).is_err());
+        assert!(a.apply_delta(&[(0, 0, Some(1)), (0, 0, None)]).is_err());
+        assert_eq!(
+            a.apply_delta(&[(3, 0, Some(1))]).unwrap_err(),
+            MatrixError::IndexOutOfBounds {
+                index: 3,
+                bound: 3,
+                axis: "row"
+            }
+        );
+        assert_eq!(
+            a.apply_delta(&[(0, 4, Some(1))]).unwrap_err(),
+            MatrixError::IndexOutOfBounds {
+                index: 4,
+                bound: 4,
+                axis: "column"
+            }
+        );
+        // Shape-mismatched diffs are rejected before any work.
+        assert!(a.diff(&CsrMatrix::<u32>::empty(2, 2)).is_err());
+        // Deleting an absent cell is a harmless no-op.
+        assert_eq!(a.apply_delta(&[(1, 2, None)]).unwrap(), a);
     }
 }

@@ -12,9 +12,13 @@
 
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
-use tw_ingest::frame::{read_frame, CloseSummary, Frame, FrameError, StreamManifest};
-use tw_ingest::{StreamError, WindowReport, WindowStream};
-use tw_metrics::MetricsSnapshot;
+use tw_ingest::frame::{
+    parse_frame_payload, read_frame, read_raw_frame, CloseSummary, Frame, FrameError, FrameKind,
+    StreamManifest,
+};
+use tw_ingest::{decode_window_into, DecodeScratch, StreamError, WindowReport, WindowStream};
+use tw_matrix::CsrMatrix;
+use tw_metrics::{MetricsRegistry, MetricsSnapshot};
 
 /// A connected window-stream client.
 #[derive(Debug)]
@@ -23,6 +27,10 @@ pub struct ClientStream {
     manifest: StreamManifest,
     close: Option<CloseSummary>,
     seen: u64,
+    /// Per-connection decode state: recycled CSR buffers plus the base
+    /// window a v3 delta frame applies to. A v2 full-frame stream never
+    /// touches the base but still reuses buffers.
+    scratch: DecodeScratch,
     /// Stats frames that arrived since the last [`take_stats`] drain, in
     /// wire order. Unbounded growth is capped by the server's cadence: one
     /// snapshot per `stats_every` windows, so draining once per window (or
@@ -44,6 +52,7 @@ impl ClientStream {
                 manifest,
                 close: None,
                 seen: 0,
+                scratch: DecodeScratch::new(),
                 stats: Vec::new(),
             }),
             _ => Err(FrameError::Corrupt("first frame must be the manifest")),
@@ -80,6 +89,24 @@ impl ClientStream {
     pub fn last_stats(&self) -> Option<&MetricsSnapshot> {
         self.stats.last()
     }
+
+    /// Count this connection's decode buffer-reuse hits into
+    /// `codec.decode_reuse_hits` of the given registry.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.scratch.instrument(registry);
+    }
+
+    /// Hand a consumed window's matrix buffers back for the next decode:
+    /// a driving loop that is done with a report can keep the client's
+    /// allocations flat instead of freeing and re-growing per window.
+    pub fn recycle(&mut self, matrix: CsrMatrix<u64>) {
+        self.scratch.recycle(matrix);
+    }
+
+    /// Decode buffer-reuse hits on this connection so far.
+    pub fn decode_reuse_hits(&self) -> u64 {
+        self.scratch.reuse_hits()
+    }
 }
 
 impl WindowStream for ClientStream {
@@ -88,11 +115,21 @@ impl WindowStream for ClientStream {
             return Ok(None);
         }
         loop {
-            match read_frame(&mut self.reader) {
-                Ok(Frame::Window(report)) => {
-                    self.seen += 1;
-                    return Ok(Some(report));
+            // Window payloads (full or delta) decode straight into the
+            // connection scratch, so a steady stream reuses the same CSR
+            // buffers instead of allocating per window; everything else
+            // goes through the ordinary frame parser.
+            let (kind, payload) = read_raw_frame(&mut self.reader)?;
+            if matches!(kind, FrameKind::Window | FrameKind::DeltaWindow) {
+                match decode_window_into(&payload, &mut self.scratch) {
+                    Ok(report) => {
+                        self.seen += 1;
+                        return Ok(Some(report));
+                    }
+                    Err(e) => return Err(FrameError::from(e).into()),
                 }
+            }
+            match parse_frame_payload(kind, &payload) {
                 Ok(Frame::Stats(snapshot)) => {
                     // Interleaved telemetry, not part of the window stream:
                     // stash it for `take_stats` and keep reading.
@@ -104,6 +141,9 @@ impl WindowStream for ClientStream {
                 }
                 Ok(Frame::Manifest(_)) => {
                     return Err(FrameError::Corrupt("manifest frame arrived mid-stream").into());
+                }
+                Ok(Frame::Window(_) | Frame::DeltaWindow(_)) => {
+                    unreachable!("window kinds are decoded through the scratch above")
                 }
                 Err(e) => return Err(e.into()),
             }

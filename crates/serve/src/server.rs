@@ -18,7 +18,10 @@
 //! ```
 //!
 //! Each window is encoded **once**; every connection shares the same frame
-//! bytes behind an `Arc`. A slow connection fills its bounded channel and
+//! bytes behind an `Arc`. With [`ServeConfig::keyframe_every`] set, the
+//! windows between key frames go out as v3 delta frames and a late joiner
+//! is caught up from the newest key frame covering its join point (the
+//! hub's [`CatchupRewrite`](tw_game::broadcast::CatchupRewrite) hook). A slow connection fills its bounded channel and
 //! starts dropping frames — counted per subscriber, surfaced on telemetry,
 //! and echoed to the peer in its close frame — but it never stalls the
 //! class. A dead connection fails its next write, the writer thread exits,
@@ -38,10 +41,14 @@ use tw_game::broadcast::{
 };
 use tw_game::telemetry::{TelemetryEvent, TelemetryHub};
 use tw_ingest::frame::{
-    encode_close_frame, encode_manifest_frame, encode_stats_frame, encode_window_frame,
-    write_frame, CloseSummary, FrameError, StreamManifest,
+    encode_close_frame, encode_delta_frame, encode_manifest_frame, encode_stats_frame,
+    encode_window_frame, split_frame, write_frame, CloseSummary, FrameError, FrameKind,
+    StreamManifest,
 };
-use tw_ingest::{encode_window, StreamError, WindowStream};
+use tw_ingest::{
+    decode_window_into, encode_window, encode_window_delta, CodecMetrics, DecodeScratch,
+    StreamError, WindowReport, WindowStream,
+};
 use tw_metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, StageTimer};
 
 /// Pre-resolved handles for the serving tier's own metrics (`serve.*`).
@@ -51,7 +58,8 @@ struct ServeMetrics {
     encode_ns: Histogram,
     /// `serve.windows_encoded`: windows encoded and published.
     windows_encoded: Counter,
-    /// `serve.encoded_bytes`: v2-codec payload bytes (pre-framing).
+    /// `serve.encoded_bytes`: codec payload bytes, full or delta
+    /// (pre-framing).
     encoded_bytes: Counter,
     /// `serve.accept_ns`: how long after serve start each peer connected.
     accept_ns: Histogram,
@@ -136,6 +144,12 @@ pub struct ServeConfig {
     /// N window frames, plus a final snapshot before the close frame.
     /// 0 (the default) keeps the wire free of stats frames.
     pub stats_every: u64,
+    /// Key-frame cadence for v3 delta serving: every K-th window goes out
+    /// as a self-contained full frame, the windows between as sparse deltas
+    /// against the previous window. 0 (the default) serves every window as
+    /// a full v2 frame. Clamped to `ring_capacity` so the catch-up ring
+    /// always holds a key frame for late joiners to anchor on.
+    pub keyframe_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +166,7 @@ impl Default for ServeConfig {
             roster_timeout: Duration::from_secs(30),
             metrics: None,
             stats_every: 0,
+            keyframe_every: 0,
         }
     }
 }
@@ -186,8 +201,8 @@ impl From<StreamError> for ServeError {
 /// The outcome of a finished [`serve`] session.
 #[derive(Debug, Clone)]
 pub struct ServeSummary {
-    /// Total v2-codec payload bytes encoded (once per window, regardless of
-    /// connection count).
+    /// Total codec payload bytes encoded (full or delta, once per window,
+    /// regardless of connection count).
     pub encoded_bytes: u64,
     /// The hub's roster accounting — the same [`BroadcastSummary`] the
     /// in-process classroom reports, one entry per connection.
@@ -256,6 +271,13 @@ pub fn serve(
         frame_write_ns: registry.histogram("serve.frame_write_ns"),
         wire_bytes: registry.counter("serve.wire_bytes"),
     });
+    let codec_metrics = config.metrics.as_ref().map(CodecMetrics::new);
+    // The cadence is clamped to the ring so a joiner's catch-up always
+    // contains a key frame to anchor its delta chain on.
+    let keyframe_every = config.keyframe_every.min(config.ring_capacity as u64);
+    if keyframe_every > 0 {
+        hub.set_catchup_rewrite(rewrite_delta_catchup);
+    }
     let serve_started = Instant::now();
     let handle = hub.handle();
     let stop = AtomicBool::new(false);
@@ -316,6 +338,8 @@ pub fn serve(
         }
 
         let mut sent = 0usize;
+        let mut prev: Option<WindowReport> = None;
+        let mut last_keyframe_len = 0usize;
         while sent < config.max_windows {
             if config.stop_when_empty
                 && handle.subscribers_joined() > 0
@@ -328,8 +352,29 @@ pub fn serve(
                     let index = report.stats.window_index;
                     let encode_timer =
                         StageTimer::start(serve_metrics.as_ref().map(|m| &m.encode_ns));
-                    let encoded = encode_window(&report);
-                    let framed = encode_window_frame(&encoded);
+                    let keyframe =
+                        keyframe_every == 0 || (sent as u64).is_multiple_of(keyframe_every);
+                    let (encoded, framed) = match (&prev, keyframe) {
+                        (Some(base), false) => {
+                            let delta = encode_window_delta(base, &report);
+                            let framed = encode_delta_frame(&delta);
+                            if let Some(m) = &codec_metrics {
+                                m.delta_windows.inc();
+                                m.bytes_saved
+                                    .add(last_keyframe_len.saturating_sub(delta.len()) as u64);
+                            }
+                            (delta, framed)
+                        }
+                        _ => {
+                            let full = encode_window(&report);
+                            let framed = encode_window_frame(&full);
+                            last_keyframe_len = full.len();
+                            if let Some(m) = &codec_metrics {
+                                m.keyframes.inc();
+                            }
+                            (full, framed)
+                        }
+                    };
                     encode_timer.finish();
                     encoded_bytes += encoded.len() as u64;
                     if let Some(m) = &serve_metrics {
@@ -338,6 +383,9 @@ pub fn serve(
                     }
                     let frame: Arc<[u8]> = framed.into();
                     hub.publish_window(index, frame);
+                    if keyframe_every != 0 {
+                        prev = Some(report);
+                    }
                     sent += 1;
                 }
                 Ok(None) => break,
@@ -375,6 +423,60 @@ pub fn serve(
         broadcast,
         snapshot,
     })
+}
+
+/// Join-time rewrite of the catch-up ring for delta serving: a joiner that
+/// lands mid-chain cannot decode a delta frame without its base, so anchor
+/// on the newest key frame at or before the join point, roll the delta
+/// chain forward, and hand the joiner one freshly encoded full frame
+/// followed by the raw remainder of the ring. Joiners landing on a key
+/// frame get the untouched suffix; a join point no key frame covers falls
+/// forward to the next one, booking the gap as missed exactly like ring
+/// fall-off.
+fn rewrite_delta_catchup(ring: &[(u64, Arc<[u8]>)], start_window: u64) -> Vec<(u64, Arc<[u8]>)> {
+    let first = match ring.first() {
+        Some((index, _)) => *index,
+        None => return Vec::new(),
+    };
+    let start = (start_window.saturating_sub(first) as usize).min(ring.len());
+    if start == ring.len() {
+        return Vec::new();
+    }
+    let is_keyframe =
+        |entry: &(u64, Arc<[u8]>)| matches!(split_frame(&entry.1), Ok((FrameKind::Window, _)));
+    if is_keyframe(&ring[start]) {
+        return ring[start..].to_vec();
+    }
+    let Some(anchor) = ring[..start].iter().rposition(is_keyframe) else {
+        return match ring[start..].iter().position(is_keyframe) {
+            Some(offset) => ring[start + offset..].to_vec(),
+            None => Vec::new(),
+        };
+    };
+    let mut scratch = DecodeScratch::new();
+    let mut joined: Option<WindowReport> = None;
+    for (_, frame) in &ring[anchor..=start] {
+        let Ok((_, payload)) = split_frame(frame) else {
+            return ring[start..].to_vec();
+        };
+        match decode_window_into(payload, &mut scratch) {
+            Ok(report) => joined = Some(report),
+            // The server published this chain itself, so it decodes; if it
+            // somehow does not, fall back to the raw suffix rather than
+            // dropping the joiner.
+            Err(_) => return ring[start..].to_vec(),
+        }
+    }
+    let Some(report) = joined else {
+        return ring[start..].to_vec();
+    };
+    let mut out: Vec<(u64, Arc<[u8]>)> = Vec::with_capacity(ring.len() - start);
+    out.push((
+        ring[start].0,
+        encode_window_frame(&encode_window(&report)).into(),
+    ));
+    out.extend(ring[start + 1..].iter().cloned());
+    out
 }
 
 /// One connection's writer: manifest, every received frame, close summary.
@@ -549,6 +651,110 @@ mod tests {
                 6,
                 "delivered + missed accounts every window for an undropped peer"
             );
+        });
+    }
+
+    #[test]
+    fn delta_serving_is_cell_for_cell_and_counts_codec_metrics() {
+        let reference = ddos_pipeline(64).run(6);
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let registry = tw_metrics::MetricsRegistry::new();
+        let config = ServeConfig {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            wait_for: 2,
+            max_windows: 6,
+            keyframe_every: 3,
+            metrics: Some(registry),
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = ClientStream::connect(addr).unwrap();
+                        let windows = collect_stream(&mut client, usize::MAX).unwrap();
+                        (windows, client)
+                    })
+                })
+                .collect();
+            let mut stream = ddos_pipeline(64);
+            let summary = serve(listener, &mut stream, &config, None).unwrap();
+            assert_eq!(summary.windows(), 6);
+            assert_eq!(summary.broadcast.conservation_error(), None);
+            let snapshot = summary.snapshot.as_ref().expect("metrics were on");
+            assert_eq!(snapshot.counter("codec.keyframes"), 2, "windows 0 and 3");
+            assert_eq!(snapshot.counter("codec.delta_windows"), 4);
+            for client in clients {
+                let (windows, _) = client.join().unwrap();
+                assert_eq!(windows.len(), 6);
+                for (reference, got) in reference.iter().zip(&windows) {
+                    assert_eq!(reference.matrix, got.matrix, "cell-for-cell");
+                    assert_eq!(reference.stats.window_index, got.stats.window_index);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn late_joiner_mid_chain_gets_a_materialized_key_frame() {
+        let reference = ddos_pipeline(32).run(6);
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            scenario: "ddos".to_string(),
+            seed: 7,
+            wait_for: 1,
+            max_windows: 6,
+            // Cadence 5 over 6 windows: only windows 0 and 5 are key
+            // frames, so a mid-broadcast join almost surely lands on a
+            // delta and exercises the roll-forward rewrite.
+            keyframe_every: 5,
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let on_time_reference = &reference;
+            let on_time = scope.spawn(move || {
+                // Drive the stream by hand, handing each finished matrix
+                // back: from the second window on, decodes build into the
+                // recycled buffers instead of allocating.
+                let mut client = ClientStream::connect(addr).unwrap();
+                let mut seen = 0usize;
+                while let Some(report) = client.next_window().unwrap() {
+                    let want = &on_time_reference[report.stats.window_index as usize];
+                    assert_eq!(want.matrix, report.matrix, "on-time cell-for-cell");
+                    seen += 1;
+                    client.recycle(report.matrix);
+                }
+                (seen, client.decode_reuse_hits())
+            });
+            let late = scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(25));
+                let mut client = ClientStream::connect(addr).unwrap();
+                let windows = collect_stream(&mut client, usize::MAX).unwrap();
+                let close = *client.close_summary().expect("clean close");
+                (windows, close)
+            });
+            let mut stream = tw_ingest::Paced::new(ddos_pipeline(32), 5);
+            let summary = serve(listener, &mut stream, &config, None).unwrap();
+            assert_eq!(summary.windows(), 6);
+            let (on_time_seen, reuse_hits) = on_time.join().unwrap();
+            assert_eq!(on_time_seen, 6);
+            assert!(reuse_hits > 0, "steady decode recycles buffers");
+            let (late_windows, close) = late.join().unwrap();
+            assert!(!late_windows.is_empty(), "catch-up yields at least one");
+            let indices: Vec<u64> = late_windows.iter().map(|w| w.stats.window_index).collect();
+            assert_eq!(*indices.last().unwrap(), 5);
+            for pair in indices.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1, "suffix is contiguous");
+            }
+            for got in &late_windows {
+                let reference = &reference[got.stats.window_index as usize];
+                assert_eq!(reference.matrix, got.matrix, "late joiner cell-for-cell");
+                assert_eq!(reference.stats.events, got.stats.events);
+            }
+            assert_eq!(close.delivered + close.missed, 6, "conservation");
         });
     }
 
