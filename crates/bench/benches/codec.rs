@@ -197,6 +197,7 @@ fn bench_codec(c: &mut Criterion) {
         batch_size: 8_192,
         shard_count: 4,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     let ddos = Pipeline::new(Scenario::Ddos.source(NODES as u32, SEED), config).run(8);
     let ddos_full = archive_bytes(&ddos, "ddos", 0);

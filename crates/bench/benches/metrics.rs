@@ -37,6 +37,7 @@ fn run_pipeline(nodes: u32, window_events: usize, registry: Option<&MetricsRegis
         batch_size: 8_192,
         shard_count: 8,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     let mut pipeline = Pipeline::new(Scenario::Mixed.source(nodes, 7), config);
     if let Some(registry) = registry {

@@ -53,6 +53,7 @@ fn run(events: &'static [PacketEvent], horizon_us: u64) -> (u64, u64, u64) {
         batch_size: 8_192,
         shard_count: 8,
         reorder_horizon_us: horizon_us,
+        ..Default::default()
     };
     let source = ReplayEvents { events, cursor: 0 };
     let mut pipeline = Pipeline::new(Box::new(source), config);

@@ -42,6 +42,7 @@ fn pipeline(windows: usize) -> Pipeline {
         batch_size: 8_192,
         shard_count: 8,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     Pipeline::new(Scenario::Ddos.source(NODES, SEED), config)
 }

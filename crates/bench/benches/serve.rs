@@ -49,6 +49,7 @@ fn record(windows: usize) -> Vec<u8> {
         batch_size: 8_192,
         shard_count: 8,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     let mut pipeline = Pipeline::new(Scenario::Ddos.source(NODES, SEED), config);
     let mut recorder = ArchiveRecorder::new(RecordingMeta {

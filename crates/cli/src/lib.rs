@@ -49,6 +49,7 @@ pub enum Command {
         nodes: u32,
         seed: u64,
         shards: usize,
+        route_threads: usize,
         batch: usize,
         window_us: u64,
         horizon_us: u64,
@@ -80,6 +81,7 @@ pub enum Command {
         nodes: u32,
         seed: u64,
         shards: usize,
+        route_threads: usize,
         window_us: u64,
         horizon_us: u64,
         skew_us: u64,
@@ -120,7 +122,7 @@ Commands:
   play <bundle.zip> [--seed N]                auto-play a module bundle and print the transcript
   export-library <directory>                  write the built-in module bundles as .zip files
   obfuscate <module.json>                     re-emit the module with its answer obfuscated
-  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip] [--keyframe-every N] [--json] [--metrics-json file.json] [--stats-every N]
+  ingest --scenario <name> [--windows N] [--nodes N] [--seed N] [--shards N] [--route-threads N] [--batch N] [--window-us N] [--skew-us N] [--horizon-us N] [--record file.zip] [--keyframe-every N] [--json] [--metrics-json file.json] [--stats-every N]
                                               stream a scenario through the sharded ingest
                                               pipeline and print per-window stats
                                               (scenarios: background, ddos, scan,
@@ -128,6 +130,9 @@ Commands:
                                               the per-source clocks (out-of-order stream)
                                               and --horizon-us sets the watermark
                                               reordering horizon that absorbs it;
+                                              --route-threads caps the routing
+                                              workers per batch (0 = one per
+                                              hardware thread);
                                               --record also captures the window stream
                                               as a replayable ZIP (--keyframe-every N
                                               stores every N-th window in full and the
@@ -145,7 +150,7 @@ Commands:
                                               paces playback at N x real time; default is as
                                               fast as possible)
   classroom --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N] [--shards N]
-            [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N] [--late N]
+            [--route-threads N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N] [--late N]
             [--metrics-json file.json] [--stats-every N]
                                               fan one window stream (live scenario, or a
                                               recording with --replay) out to N student
@@ -155,7 +160,7 @@ Commands:
                                               --metrics-json / --stats-every export the
                                               pipeline+broadcast metrics
   serve --listen <addr> --scenario <name> [--students N] [--windows N] [--nodes N] [--seed N]
-        [--shards N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N]
+        [--shards N] [--route-threads N] [--window-us N] [--skew-us N] [--horizon-us N] [--replay file.zip] [--speed N]
         [--keyframe-every N] [--metrics-json file.json] [--stats-every N]
                                               serve one window stream (live scenario, or a
                                               recording with --replay) to remote connect
@@ -266,6 +271,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut nodes = 1024u32;
             let mut seed = 7u64;
             let mut shards = 0usize;
+            let mut route_threads = 0usize;
             let mut batch = 8192usize;
             let mut window_us = 100_000u64;
             let mut horizon_us = 0u64;
@@ -297,6 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--nodes" => nodes = value(&mut iter, "--nodes")?,
                     "--seed" => seed = value(&mut iter, "--seed")?,
                     "--shards" => shards = value(&mut iter, "--shards")?,
+                    "--route-threads" => route_threads = value(&mut iter, "--route-threads")?,
                     "--batch" => batch = value(&mut iter, "--batch")?,
                     "--window-us" => window_us = value(&mut iter, "--window-us")?,
                     "--horizon-us" => horizon_us = value(&mut iter, "--horizon-us")?,
@@ -337,6 +344,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 nodes,
                 seed,
                 shards,
+                route_threads,
                 batch,
                 window_us,
                 horizon_us,
@@ -380,6 +388,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut nodes = 256u32;
             let mut seed = 7u64;
             let mut shards = 0usize;
+            let mut route_threads = 0usize;
             let mut window_us = 100_000u64;
             let mut horizon_us = 0u64;
             let mut skew_us = 0u64;
@@ -405,6 +414,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
+                    "--route-threads" => route_threads = value(&mut iter, "--route-threads")?,
                     "--scenario" => {
                         scenario = Some(
                             iter.next()
@@ -477,6 +487,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 nodes,
                 seed,
                 shards,
+                route_threads,
                 window_us,
                 horizon_us,
                 skew_us,
@@ -524,6 +535,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut nodes = 256u32;
             let mut seed = 7u64;
             let mut shards = 0usize;
+            let mut route_threads = 0usize;
             let mut window_us = 100_000u64;
             let mut horizon_us = 0u64;
             let mut skew_us = 0u64;
@@ -571,6 +583,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--late" => late = Some(value(&mut iter, "--late")?),
+                    "--route-threads" => route_threads = value(&mut iter, "--route-threads")?,
                     "--metrics-json" => {
                         metrics_json = Some(
                             iter.next()
@@ -615,6 +628,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 nodes,
                 seed,
                 shards,
+                route_threads,
                 window_us,
                 horizon_us,
                 skew_us,
@@ -697,6 +711,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             nodes,
             seed,
             shards,
+            route_threads,
             batch,
             window_us,
             horizon_us,
@@ -712,6 +727,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             nodes: *nodes,
             seed: *seed,
             shards: *shards,
+            route_threads: *route_threads,
             batch: *batch,
             window_us: *window_us,
             horizon_us: *horizon_us,
@@ -737,6 +753,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             nodes,
             seed,
             shards,
+            route_threads,
             window_us,
             horizon_us,
             skew_us,
@@ -752,6 +769,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             nodes: *nodes,
             seed: *seed,
             shards: *shards,
+            route_threads: *route_threads,
             window_us: *window_us,
             horizon_us: *horizon_us,
             skew_us: *skew_us,
@@ -779,6 +797,8 @@ pub struct IngestArgs {
     pub seed: u64,
     /// Shard count (0 = auto).
     pub shards: usize,
+    /// Routing worker threads per batch (0 = one per hardware thread).
+    pub route_threads: usize,
     /// Batch size (the backpressure bound).
     pub batch: usize,
     /// Tumbling-window duration in simulated microseconds.
@@ -812,6 +832,7 @@ impl IngestArgs {
             nodes: 1024,
             seed: 7,
             shards: 0,
+            route_threads: 0,
             batch: 8192,
             window_us: 100_000,
             horizon_us: 0,
@@ -900,6 +921,8 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
         batch_size: args.batch,
         shard_count: args.shards,
         reorder_horizon_us: args.horizon_us,
+        route_threads: args.route_threads,
+        ..PipelineConfig::default()
     };
     let (source, max_disorder_us) = scenario.skewed_source(args.nodes, args.seed, args.skew_us);
     // One registry spans the whole run when any metrics output was asked
@@ -947,8 +970,11 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
     });
     // Pull windows one at a time (instead of the batch `run`) so periodic
     // stats lines interleave with the transcript at the cadence asked for.
-    let mut reports = Vec::with_capacity(args.windows);
-    while reports.len() < args.windows {
+    // Only the per-window stats are kept for the totals; each matrix goes
+    // back to the pipeline's CSR pool once recorded, so the transcript run
+    // holds one window in memory and rotation reuses the arrays.
+    let mut window_stats = Vec::with_capacity(args.windows);
+    while window_stats.len() < args.windows {
         let report = match pipeline.next_window() {
             Some(report) => report,
             None => break,
@@ -963,10 +989,11 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
                 .record(&report)
                 .map_err(|e| CliError(e.to_string()))?;
         }
-        reports.push(report);
+        pipeline.recycle_window(report.matrix);
+        window_stats.push(report.stats);
         if !args.json
             && args.stats_every > 0
-            && (reports.len() as u64).is_multiple_of(args.stats_every)
+            && (window_stats.len() as u64).is_multiple_of(args.stats_every)
         {
             if let Some(registry) = &registry {
                 let _ = writeln!(out, "stats: {}", registry.snapshot().one_line());
@@ -974,12 +1001,12 @@ pub fn run_ingest(args: &IngestArgs) -> Result<String, CliError> {
         }
     }
     if !args.json {
-        let events: u64 = reports.iter().map(|r| r.stats.events).sum();
-        let packets: u64 = reports.iter().map(|r| r.stats.packets).sum();
-        let late: u64 = reports.iter().map(|r| r.stats.dropped_late).sum();
-        let reordered: u64 = reports.iter().map(|r| r.stats.reordered).sum();
-        let peak_nnz = reports.iter().map(|r| r.stats.nnz).max().unwrap_or(0);
-        let elapsed: f64 = reports.iter().map(|r| r.stats.elapsed.as_secs_f64()).sum();
+        let events: u64 = window_stats.iter().map(|s| s.events).sum();
+        let packets: u64 = window_stats.iter().map(|s| s.packets).sum();
+        let late: u64 = window_stats.iter().map(|s| s.dropped_late).sum();
+        let reordered: u64 = window_stats.iter().map(|s| s.reordered).sum();
+        let peak_nnz = window_stats.iter().map(|s| s.nnz).max().unwrap_or(0);
+        let elapsed: f64 = window_stats.iter().map(|s| s.elapsed.as_secs_f64()).sum();
         let _ = writeln!(
             out,
             "total: {events} events, {packets} packets, {late} late, {reordered} reordered, peak nnz {peak_nnz}, {:.2} ms wall ({:.2} M events/s)",
@@ -1094,6 +1121,7 @@ fn open_class_stream(
     nodes: u32,
     seed: u64,
     shards: usize,
+    route_threads: usize,
     window_us: u64,
     horizon_us: u64,
     skew_us: u64,
@@ -1143,6 +1171,8 @@ fn open_class_stream(
                 batch_size: 8_192,
                 shard_count: shards,
                 reorder_horizon_us: horizon_us,
+                route_threads,
+                ..PipelineConfig::default()
             };
             let (source, max_disorder_us) = scenario.skewed_source(nodes, seed, skew_us);
             let mut pipeline = Pipeline::new(source, config);
@@ -1221,6 +1251,8 @@ pub struct ClassroomArgs {
     pub seed: u64,
     /// Shard count for live scenarios (0 = auto).
     pub shards: usize,
+    /// Routing worker threads per batch (0 = one per hardware thread).
+    pub route_threads: usize,
     /// Tumbling-window duration for live scenarios.
     pub window_us: u64,
     /// Watermark reordering horizon for live scenarios (0 = strict).
@@ -1259,6 +1291,7 @@ pub fn run_classroom(args: &ClassroomArgs) -> Result<String, CliError> {
         args.nodes,
         args.seed,
         args.shards,
+        args.route_threads,
         args.window_us,
         args.horizon_us,
         args.skew_us,
@@ -1454,6 +1487,8 @@ pub struct ServeArgs {
     pub seed: u64,
     /// Shard count for live scenarios (0 = auto).
     pub shards: usize,
+    /// Routing worker threads per batch (0 = one per hardware thread).
+    pub route_threads: usize,
     /// Tumbling-window duration for live scenarios.
     pub window_us: u64,
     /// Watermark reordering horizon for live scenarios (0 = strict).
@@ -1485,6 +1520,7 @@ impl ServeArgs {
             nodes: 256,
             seed: 7,
             shards: 0,
+            route_threads: 0,
             window_us: 100_000,
             horizon_us: 0,
             skew_us: 0,
@@ -1523,6 +1559,7 @@ pub fn run_serve_on(listener: std::net::TcpListener, args: &ServeArgs) -> Result
         args.nodes,
         args.seed,
         args.shards,
+        args.route_threads,
         args.window_us,
         args.horizon_us,
         args.skew_us,
@@ -1913,7 +1950,8 @@ mod tests {
                 keyframe_every: 0,
                 json: false,
                 metrics_json: None,
-                stats_every: 0
+                stats_every: 0,
+                route_threads: 0,
             }
         );
         // Defaults: 4 windows over 1024 nodes with auto shards.
@@ -1933,7 +1971,8 @@ mod tests {
                 keyframe_every: 0,
                 json: false,
                 metrics_json: None,
-                stats_every: 0
+                stats_every: 0,
+                route_threads: 0,
             }
         );
         assert_eq!(
@@ -1961,7 +2000,8 @@ mod tests {
                 keyframe_every: 4,
                 json: false,
                 metrics_json: None,
-                stats_every: 0
+                stats_every: 0,
+                route_threads: 0,
             }
         );
         assert_eq!(
@@ -1989,7 +2029,8 @@ mod tests {
                 keyframe_every: 0,
                 json: false,
                 metrics_json: None,
-                stats_every: 0
+                stats_every: 0,
+                route_threads: 0,
             }
         );
         assert_eq!(
@@ -2090,6 +2131,7 @@ mod tests {
                 late: None,
                 metrics_json: None,
                 stats_every: 0,
+                route_threads: 0,
             }
         );
         assert_eq!(
@@ -2128,6 +2170,7 @@ mod tests {
                 late: Some(2),
                 metrics_json: None,
                 stats_every: 0,
+                route_threads: 0,
             }
         );
     }
@@ -2161,6 +2204,7 @@ mod tests {
                 json: true,
                 metrics_json: Some("m.json".into()),
                 stats_every: 2,
+                route_threads: 0,
             }
         );
         assert_eq!(
@@ -2343,6 +2387,7 @@ mod tests {
             late: Some(0),
             metrics_json: Some(path.clone()),
             stats_every: 1,
+            route_threads: 0,
         })
         .unwrap();
         assert!(out.contains("metrics: "), "{out}");
@@ -2575,6 +2620,7 @@ mod tests {
             json: false,
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(out.contains("scenario ddos"));
@@ -2669,6 +2715,7 @@ mod tests {
             json: false,
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(ingest_out.contains("recorded 8 window(s)"), "{ingest_out}");
@@ -2784,6 +2831,7 @@ mod tests {
             late: Some(1),
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(
@@ -2830,6 +2878,7 @@ mod tests {
             late: Some(0),
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(out.contains("scan (replayed from"), "{out}");
@@ -2853,6 +2902,7 @@ mod tests {
                 late: None,
                 metrics_json: None,
                 stats_every: 0,
+                route_threads: 0,
             })
         };
         assert!(bad(Some("wat"), None, 128)
@@ -2883,6 +2933,7 @@ mod tests {
             late: Some(0),
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(
@@ -2908,6 +2959,7 @@ mod tests {
             late: Some(0),
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap();
         assert!(
@@ -2931,6 +2983,7 @@ mod tests {
             late: None,
             metrics_json: None,
             stats_every: 0,
+            route_threads: 0,
         })
         .unwrap_err();
         assert!(err.0.contains("live ingestion"), "{err}");

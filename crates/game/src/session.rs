@@ -421,6 +421,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(200, 9), config);
         caster.step(&mut pipeline).unwrap();

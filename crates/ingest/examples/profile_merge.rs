@@ -1,0 +1,43 @@
+//! Ad-hoc stage profile for one DDoS window's merge: route a window's worth
+//! of events, then time `merge()` warm over many repetitions.
+//!
+//! Run: `cargo run --release -p tw-ingest --example profile_merge`
+
+use std::time::Instant;
+use tw_ingest::{collect_events, Scenario, ShardedAccumulator};
+
+fn main() {
+    let nodes = 1024usize;
+    let mut source = Scenario::Ddos.source(nodes as u32, 3);
+    let events = collect_events(source.as_mut(), 80_000);
+    let reps = 50;
+
+    for adaptive in [true, false] {
+        let mut acc = ShardedAccumulator::new(nodes, 8);
+        acc.set_adaptive_coalesce(adaptive);
+        // Warm-up rotation so scratch is warm and pools are primed.
+        acc.route_batch(&events, 1);
+        let m = acc.merge();
+        acc.recycle(m);
+
+        let mut route_ns = 0u128;
+        let mut merge_ns = 0u128;
+        let mut nnz = 0usize;
+        for _ in 0..reps {
+            let t = Instant::now();
+            acc.route_batch(&events, 1);
+            route_ns += t.elapsed().as_nanos();
+            let t = Instant::now();
+            let m = acc.merge();
+            merge_ns += t.elapsed().as_nanos();
+            nnz = m.nnz();
+            acc.recycle(m);
+        }
+        println!(
+            "adaptive={adaptive}: route {:.2} ms  merge {:.2} ms  (nnz {nnz}, {} events)",
+            route_ns as f64 / reps as f64 / 1e6,
+            merge_ns as f64 / reps as f64 / 1e6,
+            events.len()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Ad-hoc profile of the DDoS scenario's source composition: time each leaf
+//! generator alone, then the full mix.
+//!
+//! Run: `cargo run --release -p tw-ingest --example profile_source`
+
+use std::time::Instant;
+use tw_ingest::{collect_events, DdosBurstSource, EventSource, HeavyTailSource, Scenario};
+
+fn time_source(name: &str, source: &mut dyn EventSource, events: usize) {
+    let t = Instant::now();
+    let out = collect_events(source, events);
+    println!(
+        "{name}: {} events in {:.2} ms ({:.0} ns/event)",
+        out.len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        t.elapsed().as_nanos() as f64 / out.len() as f64
+    );
+}
+
+fn main() {
+    let nodes = 1024u32;
+    // Mirror Scenario::Ddos's per-leaf seed derivation for seed 3.
+    let seed = 3u64;
+    let mut heavy = HeavyTailSource::new(nodes, 30_000, seed ^ 0x1);
+    time_source("heavy_tail(30k)", &mut heavy, 300_000);
+    let mut burst = DdosBurstSource::new(nodes, 50_000, seed ^ 0x2);
+    time_source("ddos_burst(50k)", &mut burst, 300_000);
+    let shape = tw_patterns::pattern_by_id("ddos/combined").expect("catalog id");
+    let mut pattern = tw_ingest::PatternSource::new(&shape, nodes, 20_000, seed ^ 0x3);
+    time_source("pattern(20k)", &mut pattern, 200_000);
+    let mut mix = Scenario::Ddos.source(nodes, 3);
+    time_source("ddos mix", mix.as_mut(), 803_067);
+    let mut background = Scenario::Background.source(nodes, 3);
+    time_source("background(100k)", background.as_mut(), 1_000_000);
+}

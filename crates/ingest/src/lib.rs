@@ -81,7 +81,7 @@ pub use record::{ArchiveRecorder, RecordError, RecordingMeta, ReplayManifest, Re
 pub use reorder::{PushOutcome, ReorderBuffer};
 pub use replay::{FileReplaySource, SeekReplaySource};
 pub use scenario::Scenario;
-pub use shard::{window_matrix, ShardedAccumulator};
+pub use shard::{window_matrix, MergeTotals, ShardedAccumulator};
 pub use source::{
     collect_events, DdosBurstSource, EventSource, FlashCrowdSource, HeavyTailSource, Limit, Mix,
     P2pMeshSource, PatternSource, ScanSweepSource, Skewed,
@@ -102,6 +102,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 4,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(4);

@@ -9,22 +9,34 @@
 //! so out-of-order streams (bounded disorder) lose nothing; events that still
 //! arrive after their window has been emitted — beyond the horizon — are
 //! counted as late drops rather than corrupting a closed matrix.
+//!
+//! **The hot path.** Draining released events into the accumulator runs in
+//! two phases per pass: a *scan* that classifies the queue head against the
+//! current window with two timestamp compares per event (no division), and a
+//! *route* that hands the whole current-window batch to
+//! [`ShardedAccumulator::route_batch`] — fanned out across
+//! [`PipelineConfig::route_threads`] workers when the batch is large enough.
+//! Window rotation reuses merge scratch, coalesce buffers and (with consumer
+//! cooperation via [`Pipeline::recycle_window`]) the CSR arrays themselves,
+//! so a steady pipeline reaches zero steady-state allocation per window.
 
 use crate::reorder::ReorderBuffer;
-use crate::shard::ShardedAccumulator;
+use crate::shard::{MergeTotals, ShardedAccumulator};
 use crate::source::EventSource;
 use crate::window::{IngestStats, WindowClock, WindowReport};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use tw_matrix::stream::PacketEvent;
+use tw_matrix::CsrMatrix;
 use tw_metrics::{Counter, Gauge, Histogram, MetricsRegistry, StageTimer};
 
-/// Pre-resolved metric handles for the four pipeline stages. Held as an
+/// Pre-resolved metric handles for the pipeline stages. Held as an
 /// `Option` on the pipeline: `None` (the default) skips every clock read, so
 /// an uninstrumented pipeline pays one branch per batch, not per event.
 #[derive(Clone, Debug)]
 struct PipelineMetrics {
     source_pull_ns: Histogram,
+    route_scan_ns: Histogram,
     route_ns: Histogram,
     coalesce_ns: Histogram,
     reorder_release_ns: Histogram,
@@ -32,6 +44,9 @@ struct PipelineMetrics {
     windows: Counter,
     dropped_late: Counter,
     reordered: Counter,
+    scratch_reuse_hits: Counter,
+    coalesce_sort: Counter,
+    coalesce_bucket: Counter,
     reorder_depth: Gauge,
 }
 
@@ -39,6 +54,7 @@ impl PipelineMetrics {
     fn new(registry: &MetricsRegistry) -> Self {
         PipelineMetrics {
             source_pull_ns: registry.histogram("pipeline.source_pull_ns"),
+            route_scan_ns: registry.histogram("pipeline.route_scan_ns"),
             route_ns: registry.histogram("pipeline.route_ns"),
             coalesce_ns: registry.histogram("pipeline.coalesce_ns"),
             reorder_release_ns: registry.histogram("pipeline.reorder_release_ns"),
@@ -46,6 +62,9 @@ impl PipelineMetrics {
             windows: registry.counter("pipeline.windows"),
             dropped_late: registry.counter("pipeline.dropped_late"),
             reordered: registry.counter("pipeline.reordered"),
+            scratch_reuse_hits: registry.counter("pipeline.scratch_reuse_hits"),
+            coalesce_sort: registry.counter("pipeline.coalesce_sort"),
+            coalesce_bucket: registry.counter("pipeline.coalesce_bucket"),
             reorder_depth: registry.gauge("pipeline.reorder_depth"),
         }
     }
@@ -70,6 +89,20 @@ pub struct PipelineConfig {
     /// passes them; only events older than the watermark itself are dropped
     /// (and counted in [`IngestStats::dropped_late`]).
     pub reorder_horizon_us: u64,
+    /// Routing worker threads per batch; `0` = one per hardware thread.
+    /// Independent of [`PipelineConfig::shard_count`]: workers route into
+    /// thread-local per-shard buffers that are handed to the owning shards
+    /// at rotation. `1` routes serially (small batches always do).
+    pub route_threads: usize,
+    /// Keep merge scratch, routing buffers and pooled CSR arrays alive
+    /// across windows (the default). `false` releases everything after each
+    /// rotation — the fresh-allocation reference mode the recycling
+    /// equivalence proptest compares against.
+    pub recycle_scratch: bool,
+    /// Let each shard switch between packed-key sort and dense bucket
+    /// accumulate based on the previous window's observed duplicate density
+    /// (the default). `false` pins the sort path.
+    pub adaptive_coalesce: bool,
 }
 
 impl Default for PipelineConfig {
@@ -79,6 +112,9 @@ impl Default for PipelineConfig {
             batch_size: 8_192,
             shard_count: 0,
             reorder_horizon_us: 0,
+            route_threads: 0,
+            recycle_scratch: true,
+            adaptive_coalesce: true,
         }
     }
 }
@@ -89,14 +125,21 @@ pub struct Pipeline {
     clock: WindowClock,
     accumulator: ShardedAccumulator,
     batch_size: usize,
+    route_threads: usize,
+    recycle_scratch: bool,
     /// The watermark stage; `None` runs the strict sorted-input fast path.
     reorder: Option<ReorderBuffer>,
     /// Released (timestamp-ordered) events not yet routed.
     pending: VecDeque<PacketEvent>,
     /// Scratch buffer reused across pulls.
     scratch: Vec<PacketEvent>,
+    /// Current-window events staged by the scan phase, reused across passes.
+    route_buf: Vec<PacketEvent>,
     dropped_late: u64,
     reordered: u64,
+    /// Merge counters already exported to metrics (the accumulator's totals
+    /// are cumulative; rotation exports the per-window delta).
+    merge_seen: MergeTotals,
     /// Wall-clock time attributed to the window being filled.
     window_elapsed: Duration,
     source_exhausted: bool,
@@ -110,22 +153,32 @@ impl Pipeline {
     pub fn new(source: Box<dyn EventSource>, config: PipelineConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
         let node_count = source.node_count() as usize;
-        let accumulator = if config.shard_count == 0 {
+        let mut accumulator = if config.shard_count == 0 {
             ShardedAccumulator::with_auto_shards(node_count)
         } else {
             ShardedAccumulator::new(node_count, config.shard_count)
+        };
+        accumulator.set_adaptive_coalesce(config.adaptive_coalesce);
+        let route_threads = if config.route_threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            config.route_threads
         };
         Pipeline {
             source,
             clock: WindowClock::new(config.window_us),
             accumulator,
             batch_size: config.batch_size,
+            route_threads,
+            recycle_scratch: config.recycle_scratch,
             reorder: (config.reorder_horizon_us > 0)
                 .then(|| ReorderBuffer::new(config.reorder_horizon_us)),
             pending: VecDeque::new(),
             scratch: Vec::new(),
+            route_buf: Vec::new(),
             dropped_late: 0,
             reordered: 0,
+            merge_seen: MergeTotals::default(),
             window_elapsed: Duration::ZERO,
             source_exhausted: false,
             finished: false,
@@ -136,7 +189,10 @@ impl Pipeline {
     /// Attach per-stage instrumentation. Stage timings land in
     /// `pipeline.*_ns` histograms, flow totals in `pipeline.events` /
     /// `pipeline.windows` / `pipeline.dropped_late` / `pipeline.reordered`
-    /// counters, and the reorder-buffer depth in a gauge — all on `registry`.
+    /// counters, merge recycling and strategy tallies in
+    /// `pipeline.scratch_reuse_hits` / `pipeline.coalesce_sort` /
+    /// `pipeline.coalesce_bucket`, and the reorder-buffer depth in a gauge —
+    /// all on `registry`.
     pub fn instrument(&mut self, registry: &MetricsRegistry) {
         self.metrics = Some(PipelineMetrics::new(registry));
     }
@@ -157,6 +213,11 @@ impl Pipeline {
         self.accumulator.shard_count()
     }
 
+    /// Routing worker threads used for large batches.
+    pub fn route_threads(&self) -> usize {
+        self.route_threads
+    }
+
     /// Tumbling-window duration in simulated microseconds.
     pub fn window_us(&self) -> u64 {
         self.clock.window_us()
@@ -165,6 +226,15 @@ impl Pipeline {
     /// The reordering horizon in simulated microseconds (`0` = strict mode).
     pub fn reorder_horizon_us(&self) -> u64 {
         self.reorder.as_ref().map_or(0, ReorderBuffer::horizon_us)
+    }
+
+    /// Hand a consumed window matrix back for CSR-array reuse: the next
+    /// rotation builds into its storage instead of allocating. A no-op when
+    /// [`PipelineConfig::recycle_scratch`] is off or the pool is full.
+    pub fn recycle_window(&mut self, matrix: CsrMatrix<u64>) {
+        if self.recycle_scratch {
+            self.accumulator.recycle(matrix);
+        }
     }
 
     /// Drive the pipeline until the current window closes; `None` once the
@@ -177,45 +247,29 @@ impl Pipeline {
         let started = Instant::now();
         loop {
             let mut close_window = false;
-            {
-                // One route sample per drain pass (not per event): timing is
-                // amortized over the batch, and an empty queue records no
-                // zero-length noise samples.
-                let _route = StageTimer::start(if self.pending.is_empty() {
-                    None
-                } else {
-                    metrics.as_ref().map(|m| &m.route_ns)
-                });
-                while let Some(event) = self.pending.front() {
-                    let window = self.clock.window_of(event.timestamp_us);
-                    let current = self.clock.current();
-                    if window < current {
-                        // Strict mode only: with a reorder stage, `pending` is
-                        // released in window order, so nothing ever lands
-                        // behind the window that ingested it.
-                        debug_assert!(
-                            self.reorder.is_none(),
-                            "watermark released an event behind the current window"
-                        );
-                        self.dropped_late += 1;
-                        self.pending.pop_front();
-                    } else if window == current {
-                        let event = self.pending.pop_front().expect("front just observed");
-                        self.accumulator.ingest(&event);
-                    } else {
-                        // The head belongs to a later window: close the
-                        // current one (outside the route timer's scope, so
-                        // coalescing is not billed to routing). Skipped
-                        // (empty) windows are emitted one per call, like the
-                        // serial aggregator.
-                        close_window = true;
-                        break;
-                    }
-                }
+            if !self.pending.is_empty() {
+                let window_us = self.clock.window_us();
+                let window_start = self.clock.current() * window_us;
+                // In steady state the deque never wraps (bulk front drains,
+                // bulk back fills), so this is a no-op borrow, not a copy.
+                let pending = self.pending.make_contiguous();
+                let (consumed, close) = scan_and_route(
+                    pending,
+                    window_start,
+                    window_start + window_us,
+                    self.reorder.is_none(),
+                    &mut self.accumulator,
+                    &mut self.route_buf,
+                    self.route_threads,
+                    &mut self.dropped_late,
+                    metrics.as_ref(),
+                );
+                self.pending.drain(..consumed);
+                close_window = close;
             }
             if close_window {
                 self.window_elapsed += started.elapsed();
-                return Some(self.rotate());
+                return Some(self.rotate(false));
             }
             if self.source_exhausted {
                 // Flush the in-progress window once, then finish. Trailing
@@ -227,7 +281,7 @@ impl Pipeline {
                 // non-empty here, in both modes, so no trailing count is
                 // ever lost by finishing without a report.
                 //
-                // * Strict mode: a late pop needs `current > 0`, so a
+                // * Strict mode: a late event needs `current > 0`, so a
                 //   rotation must have happened, and every rotation is
                 //   triggered by an event in a *future* window that is still
                 //   at the head of `pending` — that event is always ingested
@@ -249,13 +303,37 @@ impl Pipeline {
                     return None;
                 }
                 self.window_elapsed += started.elapsed();
-                return Some(self.rotate());
+                return Some(self.rotate(true));
             }
             self.scratch.clear();
             let pull = StageTimer::start(metrics.as_ref().map(|m| &m.source_pull_ns));
             let exhausted = self.source.pull(self.batch_size, &mut self.scratch) == 0;
             pull.finish();
             match self.reorder.as_mut() {
+                None if self.pending.is_empty() => {
+                    // Steady-state strict mode: the freshly pulled batch is
+                    // the head of the queue, so scan and route it straight
+                    // from the pull buffer — zero staging copies — and spill
+                    // only the unconsumed tail (events for later windows)
+                    // into `pending`. A window close discovered here is
+                    // rediscovered from the spilled head on the next loop
+                    // iteration, which keeps rotation on the one path above.
+                    let window_us = self.clock.window_us();
+                    let window_start = self.clock.current() * window_us;
+                    let (consumed, _close) = scan_and_route(
+                        &self.scratch,
+                        window_start,
+                        window_start + window_us,
+                        true,
+                        &mut self.accumulator,
+                        &mut self.route_buf,
+                        self.route_threads,
+                        &mut self.dropped_late,
+                        metrics.as_ref(),
+                    );
+                    self.pending
+                        .extend(self.scratch[consumed..].iter().copied());
+                }
                 None => self.pending.extend(self.scratch.drain(..)),
                 Some(reorder) => {
                     let _release =
@@ -301,14 +379,30 @@ impl Pipeline {
         reports
     }
 
-    fn rotate(&mut self) -> WindowReport {
+    fn rotate(&mut self, last: bool) -> WindowReport {
         let metrics = self.metrics.clone();
         let merge_started = Instant::now();
         let events = self.accumulator.events();
         let packets = self.accumulator.packets();
-        let matrix = {
+        let (matrix, totals) = {
             let _coalesce = StageTimer::start(metrics.as_ref().map(|m| &m.coalesce_ns));
-            self.accumulator.merge()
+            if last {
+                // End of stream: consume the accumulator so every retained
+                // shard, scratch and pool buffer is released, not kept warm
+                // for a window that will never come.
+                let node_count = self.accumulator.node_count();
+                let acc = std::mem::replace(
+                    &mut self.accumulator,
+                    ShardedAccumulator::new(node_count, 1),
+                );
+                acc.finish()
+            } else {
+                let matrix = self.accumulator.merge();
+                if !self.recycle_scratch {
+                    self.accumulator.release_scratch();
+                }
+                (matrix, self.accumulator.merge_totals())
+            }
         };
         let elapsed = self.window_elapsed + merge_started.elapsed();
         let stats = IngestStats {
@@ -325,10 +419,109 @@ impl Pipeline {
             m.events.add(stats.events);
             m.dropped_late.add(stats.dropped_late);
             m.reordered.add(stats.reordered);
+            m.scratch_reuse_hits
+                .add(totals.scratch_reuse_hits - self.merge_seen.scratch_reuse_hits);
+            m.coalesce_sort
+                .add(totals.sort_merges - self.merge_seen.sort_merges);
+            m.coalesce_bucket
+                .add(totals.bucket_merges - self.merge_seen.bucket_merges);
         }
+        self.merge_seen = if last { MergeTotals::default() } else { totals };
         self.window_elapsed = Duration::ZERO;
         WindowReport { matrix, stats }
     }
+}
+
+/// The two-phase ingest hot loop, shared by the `pending` drain and the
+/// direct-from-pull fast path.
+///
+/// Phase 1 (scan): classify events against the current window with two
+/// timestamp compares per event — the bounds are precomputed, so no division
+/// runs on the hot path. The scan stops at the first event belonging to a
+/// later window. Phase 2 (route): the whole in-window run in one
+/// `route_batch` call, fanned out across workers when large enough — routed
+/// straight from the input slice, with `route_buf` staging a compacted copy
+/// only when late drops interleave (strict mode on unsorted input, the rare
+/// case).
+///
+/// Returns `(consumed, close_window)`: how many events were consumed
+/// (routed or dropped late) and whether an event for a later window was hit.
+#[allow(clippy::too_many_arguments)]
+fn scan_and_route(
+    events: &[PacketEvent],
+    window_start: u64,
+    window_end: u64,
+    strict: bool,
+    accumulator: &mut ShardedAccumulator,
+    route_buf: &mut Vec<PacketEvent>,
+    route_threads: usize,
+    dropped_late: &mut u64,
+    metrics: Option<&PipelineMetrics>,
+) -> (usize, bool) {
+    let scan = StageTimer::start(metrics.map(|m| &m.route_scan_ns));
+    // Whole-batch fast path: one branch-free min/max reduction (the
+    // compiler vectorizes it) proves the common case — every event inside
+    // the current window — without per-event classification. Falls through
+    // to the classifying scan only around window boundaries.
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0u64;
+    for event in events {
+        min_ts = min_ts.min(event.timestamp_us);
+        max_ts = max_ts.max(event.timestamp_us);
+    }
+    if min_ts >= window_start && max_ts < window_end {
+        scan.finish();
+        if !events.is_empty() {
+            let route = StageTimer::start(metrics.map(|m| &m.route_ns));
+            accumulator.route_batch(events, route_threads);
+            route.finish();
+        }
+        return (events.len(), false);
+    }
+    route_buf.clear();
+    let mut consumed = 0usize;
+    let mut clean = true;
+    let mut close_window = false;
+    for event in events {
+        if event.timestamp_us >= window_end {
+            // The head belongs to a later window: close the current one
+            // (coalescing is not billed to the scan). Skipped (empty)
+            // windows are emitted one per call, like the serial aggregator.
+            close_window = true;
+            break;
+        }
+        if event.timestamp_us < window_start {
+            // Strict mode only: with a reorder stage, events are released
+            // in window order, so nothing ever lands behind the window
+            // that ingested it.
+            debug_assert!(
+                strict,
+                "watermark released an event behind the current window"
+            );
+            if clean {
+                // First late drop: the in-window prefix can no longer be
+                // routed as one contiguous slice, so stage it.
+                route_buf.extend_from_slice(&events[..consumed]);
+                clean = false;
+            }
+            *dropped_late += 1;
+        } else if !clean {
+            route_buf.push(*event);
+        }
+        consumed += 1;
+    }
+    scan.finish();
+    let batch: &[PacketEvent] = if clean {
+        &events[..consumed]
+    } else {
+        route_buf
+    };
+    if !batch.is_empty() {
+        let route = StageTimer::start(metrics.map(|m| &m.route_ns));
+        accumulator.route_batch(batch, route_threads);
+        route.finish();
+    }
+    (consumed, close_window)
 }
 
 /// Live generation as a [`WindowStream`](crate::WindowStream): the pipeline
@@ -362,6 +555,18 @@ mod tests {
         ))
     }
 
+    /// Everything [`IngestStats`] records except the wall-clock `elapsed`.
+    fn stats_key(s: &IngestStats) -> (u64, u64, u64, usize, u64, u64) {
+        (
+            s.window_index,
+            s.events,
+            s.packets,
+            s.nnz,
+            s.dropped_late,
+            s.reordered,
+        )
+    }
+
     #[test]
     fn pipeline_windows_partition_the_stream_exactly() {
         // Same source pulled twice: once through the pipeline, once flat.
@@ -372,7 +577,7 @@ mod tests {
             window_us: 50_000,
             batch_size: 1_000,
             shard_count: 4,
-            reorder_horizon_us: 0,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(limited_background(64, 20_000, 3), config);
         let mut reports = Vec::new();
@@ -412,6 +617,83 @@ mod tests {
     }
 
     #[test]
+    fn route_thread_fanout_is_invisible_in_the_reports() {
+        // Large windows (well past the fan-out grain) so multi-threaded
+        // routing actually engages, with a recycling consumer on one side:
+        // reports must be identical either way.
+        let reference_config = PipelineConfig {
+            window_us: 400_000,
+            shard_count: 4,
+            route_threads: 1,
+            ..PipelineConfig::default()
+        };
+        let mut reference =
+            Pipeline::new(limited_background(64, 40_000, 17), reference_config.clone());
+        let expected = reference.run(usize::MAX);
+        for route_threads in [2, 4, 7] {
+            let config = PipelineConfig {
+                route_threads,
+                ..reference_config.clone()
+            };
+            let mut pipeline = Pipeline::new(limited_background(64, 40_000, 17), config);
+            assert_eq!(pipeline.route_threads(), route_threads);
+            let mut produced = Vec::new();
+            while let Some(report) = pipeline.next_window() {
+                produced.push(report.stats.clone());
+                pipeline.recycle_window(report.matrix);
+            }
+            assert_eq!(produced.len(), expected.len(), "threads={route_threads}");
+            for (got, want) in produced.iter().zip(&expected) {
+                assert_eq!(stats_key(got), stats_key(&want.stats));
+            }
+            // Matrices too: rerun without recycling to keep them.
+            let config = PipelineConfig {
+                route_threads,
+                ..reference_config.clone()
+            };
+            let mut pipeline = Pipeline::new(limited_background(64, 40_000, 17), config);
+            let produced = pipeline.run(usize::MAX);
+            for (got, want) in produced.iter().zip(&expected) {
+                assert_eq!(got.matrix, want.matrix, "threads={route_threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_allocation_mode_matches_recycled_mode() {
+        let recycled_config = PipelineConfig {
+            window_us: 50_000,
+            batch_size: 2_048,
+            shard_count: 3,
+            ..PipelineConfig::default()
+        };
+        let fresh_config = PipelineConfig {
+            recycle_scratch: false,
+            adaptive_coalesce: false,
+            ..recycled_config.clone()
+        };
+        let mut recycled = Pipeline::new(limited_background(48, 15_000, 23), recycled_config);
+        let mut fresh = Pipeline::new(limited_background(48, 15_000, 23), fresh_config);
+        loop {
+            let a = recycled.next_window();
+            let b = fresh.next_window();
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.matrix, b.matrix);
+                    assert_eq!(stats_key(&a.stats), stats_key(&b.stats));
+                    recycled.recycle_window(a.matrix);
+                }
+                (a, b) => panic!(
+                    "window count diverged: recycled={:?} fresh={:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+
+    #[test]
     fn run_caps_the_window_count() {
         let config = PipelineConfig {
             window_us: 20_000,
@@ -437,7 +719,7 @@ mod tests {
             window_us: 50,
             batch_size: 16,
             shard_count: 2,
-            reorder_horizon_us: 0,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(source, config);
         let reports = pipeline.run(usize::MAX);
@@ -490,7 +772,7 @@ mod tests {
             window_us: 100_000,
             batch_size: 1,
             shard_count: 1,
-            reorder_horizon_us: 0,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(Box::new(Regressive { emitted: 0 }), config);
         let w0 = pipeline.next_window().unwrap();
@@ -552,7 +834,7 @@ mod tests {
             window_us: 100_000,
             batch_size: 1,
             shard_count: 1,
-            reorder_horizon_us: 0,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(Box::new(TrailingLate { emitted: 0 }), config);
         let reports = pipeline.run(usize::MAX);
@@ -629,7 +911,7 @@ mod tests {
             window_us: 100,
             batch_size: 1,
             shard_count: 1,
-            reorder_horizon_us: 0,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), strict.clone());
         assert_eq!(pipeline.reorder_horizon_us(), 0);
@@ -687,6 +969,7 @@ mod tests {
             batch_size: 2,
             shard_count: 1,
             reorder_horizon_us: 100,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), config);
         let reports = pipeline.run(usize::MAX);
@@ -711,6 +994,7 @@ mod tests {
             batch_size: 8,
             shard_count: 1,
             reorder_horizon_us: 1_000,
+            ..PipelineConfig::default()
         };
         let mut pipeline = Pipeline::new(Box::new(Scripted::new(&timestamps)), config);
         let reports = pipeline.run(usize::MAX);
@@ -732,6 +1016,7 @@ mod tests {
             batch_size: 512,
             shard_count: 2,
             reorder_horizon_us: 25_000,
+            ..PipelineConfig::default()
         };
         let mut pipeline =
             Pipeline::new(limited_background(32, 10_000, 11), config).with_metrics(&registry);
@@ -750,8 +1035,21 @@ mod tests {
             snapshot.counter("pipeline.reordered"),
             reports.iter().map(|r| r.stats.reordered).sum::<u64>()
         );
+        // With scratch recycling on (the default), every merge after the
+        // first runs on recycled capacity.
+        assert_eq!(
+            snapshot.counter("pipeline.scratch_reuse_hits"),
+            reports.len() as u64 - 1
+        );
+        // Every non-empty shard coalesce took exactly one strategy.
+        assert!(
+            snapshot.counter("pipeline.coalesce_sort")
+                + snapshot.counter("pipeline.coalesce_bucket")
+                > 0
+        );
         // Every stage that ran left timing samples behind.
         assert!(snapshot.histogram("pipeline.source_pull_ns").unwrap().count > 0);
+        assert!(snapshot.histogram("pipeline.route_scan_ns").unwrap().count > 0);
         assert!(snapshot.histogram("pipeline.route_ns").unwrap().count > 0);
         assert_eq!(
             snapshot.histogram("pipeline.coalesce_ns").unwrap().count,

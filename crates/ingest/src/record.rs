@@ -492,6 +492,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
         let mut recorder = ArchiveRecorder::new(RecordingMeta {
@@ -813,6 +814,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         let mut pipeline = Pipeline::new(Scenario::Ddos.source(128, 7), config);
         let mut recorder = ArchiveRecorder::new(RecordingMeta {

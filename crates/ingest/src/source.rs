@@ -14,7 +14,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 use tw_matrix::stream::{sample_excluding, PacketEvent};
 use tw_patterns::Pattern;
 
@@ -112,7 +111,9 @@ impl EventSource for HeavyTailSource {
     }
 
     fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
-        for _ in 0..max {
+        // `extend` over an exact-size iterator reserves once and skips the
+        // per-event capacity check a push loop pays.
+        out.extend((0..max).map(|_| {
             let source = self.rng.gen_range(0..self.node_count);
             let to_supernode =
                 self.rng.gen_bool(0.7) && !(self.supernode_count == 1 && source == 0);
@@ -122,13 +123,13 @@ impl EventSource for HeavyTailSource {
                 sample_excluding(&mut self.rng, self.node_count, source)
             };
             let timestamp_us = self.pacer.tick(&mut self.rng);
-            out.push(PacketEvent {
+            PacketEvent {
                 source,
                 destination,
                 packets: self.rng.gen_range(1..16),
                 timestamp_us,
-            });
-        }
+            }
+        }));
         max
     }
 }
@@ -333,6 +334,13 @@ pub struct PatternSource {
     /// `(pattern_row, pattern_col, cumulative_weight)` over non-zero cells.
     cumulative: Vec<(u32, u32, u64)>,
     total_weight: u64,
+    /// Guide table for the inverse-CDF lookup: `guide[roll >> guide_shift]`
+    /// is where the answer's search can start, so each sample costs a shift,
+    /// one table load and on average under one linear step instead of a full
+    /// binary search. Pure lookup acceleration — the roll and the cell it
+    /// maps to are exactly the binary search's.
+    guide: Vec<u32>,
+    guide_shift: u32,
     rng: StdRng,
     pacer: Pacer,
 }
@@ -355,11 +363,25 @@ impl PatternSource {
             cumulative.push((r as u32, c as u32, total_weight));
         }
         assert!(total_weight > 0, "pattern has no traffic to replay");
+        // Bucket rolls by their high bits into ~4 buckets per non-zero cell
+        // (power-of-two bucket width, so indexing is one shift).
+        let weight_bits = 64 - (total_weight - 1).leading_zeros();
+        let bucket_bits = usize::BITS - (cumulative.len() * 4).leading_zeros();
+        let guide_shift = weight_bits.saturating_sub(bucket_bits);
+        let buckets = ((total_weight - 1) >> guide_shift) as usize + 1;
+        let guide = (0..=buckets)
+            .map(|k| {
+                let threshold = (k as u64) << guide_shift;
+                cumulative.partition_point(|&(_, _, cum)| cum <= threshold) as u32
+            })
+            .collect();
         PatternSource {
             node_count,
             dimension,
             cumulative,
             total_weight,
+            guide,
+            guide_shift,
             rng: StdRng::seed_from_u64(seed),
             pacer: Pacer::new(events_per_sec),
         }
@@ -374,8 +396,14 @@ impl PatternSource {
 
     fn sample_cell(&mut self) -> (u32, u32) {
         let roll = self.rng.gen_range(0..self.total_weight);
-        let at = self.cumulative.partition_point(|&(_, _, cum)| cum <= roll);
-        let (r, c, _) = self.cumulative[at.min(self.cumulative.len() - 1)];
+        // Start from the guide bucket's lower bound and take the few linear
+        // steps to the first entry with `cum > roll` — the same index the
+        // full `partition_point` would return.
+        let mut at = self.guide[(roll >> self.guide_shift) as usize] as usize;
+        while self.cumulative[at].2 <= roll {
+            at += 1;
+        }
+        let (r, c, _) = self.cumulative[at];
         (r, c)
     }
 }
@@ -386,7 +414,7 @@ impl EventSource for PatternSource {
     }
 
     fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
-        for _ in 0..max {
+        out.extend((0..max).map(|_| {
             let (pr, pc) = self.sample_cell();
             let (src_lo, src_hi) = self.block(pr);
             let (dst_lo, dst_hi) = self.block(pc);
@@ -404,13 +432,13 @@ impl EventSource for PatternSource {
                 }
             }
             let timestamp_us = self.pacer.tick(&mut self.rng);
-            out.push(PacketEvent {
+            PacketEvent {
                 source,
                 destination,
                 packets: self.rng.gen_range(1..8),
                 timestamp_us,
-            });
-        }
+            }
+        }));
         max
     }
 }
@@ -470,7 +498,7 @@ impl EventSource for DdosBurstSource {
     }
 
     fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
-        for _ in 0..max {
+        out.extend((0..max).map(|_| {
             self.clock_us += self.pacer_gap_us;
             self.burst_elapsed_us += self.pacer_gap_us;
             if self.burst_elapsed_us >= self.burst_on_us {
@@ -486,13 +514,13 @@ impl EventSource for DdosBurstSource {
             if destination == source {
                 destination = sample_excluding(&mut self.rng, self.node_count, source);
             }
-            out.push(PacketEvent {
+            PacketEvent {
                 source,
                 destination,
                 packets: tw_patterns::ddos::ATTACK_PACKETS,
                 timestamp_us: self.clock_us,
-            });
-        }
+            }
+        }));
         max
     }
 }
@@ -637,12 +665,25 @@ const MIX_CHUNK: usize = 256;
 pub struct Mix {
     node_count: u32,
     entries: Vec<MixEntry>,
+    /// Head-timestamp scratch, one slot per entry (`u64::MAX` = drained),
+    /// refreshed once per run instead of re-reading every buffer per event.
+    heads: Vec<u64>,
 }
 
 struct MixEntry {
     source: Box<dyn EventSource>,
-    buffer: VecDeque<PacketEvent>,
+    /// Look-ahead buffer; `buf[cursor..]` is the unconsumed tail. Consuming
+    /// by cursor instead of popping a deque keeps the buffer a plain slice,
+    /// so whole runs can be copied out with one `extend_from_slice`.
+    buf: Vec<PacketEvent>,
+    cursor: usize,
     exhausted: bool,
+}
+
+impl MixEntry {
+    fn head_ts(&self) -> Option<u64> {
+        self.buf.get(self.cursor).map(|ev| ev.timestamp_us)
+    }
 }
 
 impl Mix {
@@ -654,29 +695,32 @@ impl Mix {
             sources.iter().all(|s| s.node_count() == node_count),
             "all mixed sources must share one address space"
         );
+        let heads = vec![u64::MAX; sources.len()];
         Mix {
             node_count,
             entries: sources
                 .into_iter()
                 .map(|source| MixEntry {
                     source,
-                    buffer: VecDeque::new(),
+                    buf: Vec::new(),
+                    cursor: 0,
                     exhausted: false,
                 })
                 .collect(),
+            heads,
         }
     }
 
     fn refill(&mut self, index: usize) {
         let entry = &mut self.entries[index];
-        if entry.exhausted || !entry.buffer.is_empty() {
+        if entry.exhausted || entry.cursor < entry.buf.len() {
             return;
         }
-        let mut chunk = Vec::with_capacity(MIX_CHUNK);
-        if entry.source.pull(MIX_CHUNK, &mut chunk) == 0 {
+        entry.buf.clear();
+        entry.cursor = 0;
+        if entry.source.pull(MIX_CHUNK, &mut entry.buf) == 0 {
             entry.exhausted = true;
         }
-        entry.buffer.extend(chunk);
     }
 }
 
@@ -686,25 +730,50 @@ impl EventSource for Mix {
     }
 
     fn pull(&mut self, max: usize, out: &mut Vec<PacketEvent>) -> usize {
+        // Prime every look-ahead buffer and snapshot the head timestamps
+        // once. Only the winner's buffer drains between runs, so only its
+        // head slot needs refreshing afterwards.
+        for i in 0..self.entries.len() {
+            self.refill(i);
+            self.heads[i] = self.entries[i].head_ts().unwrap_or(u64::MAX);
+        }
+        out.reserve(max);
         let mut emitted = 0;
         while emitted < max {
-            for i in 0..self.entries.len() {
-                self.refill(i);
+            // The lowest-indexed entry holding the minimum cached head
+            // timestamp wins — the same tie-break a first-minimum scan over
+            // the buffers produces, at three register compares per event
+            // instead of a refill/filter_map/pop cycle.
+            let mut winner = usize::MAX;
+            let mut winner_ts = u64::MAX;
+            for (i, &ts) in self.heads.iter().enumerate() {
+                if ts < winner_ts {
+                    winner = i;
+                    winner_ts = ts;
+                }
             }
-            let winner = self
-                .entries
-                .iter()
-                .enumerate()
-                .filter_map(|(i, e)| e.buffer.front().map(|ev| (i, ev.timestamp_us)))
-                .min_by_key(|&(_, ts)| ts);
-            let Some((index, _)) = winner else { break };
-            out.push(
-                self.entries[index]
-                    .buffer
-                    .pop_front()
-                    .expect("head just observed"),
-            );
+            if winner == usize::MAX {
+                // `u64::MAX` in the snapshot is ambiguous: usually a drained
+                // buffer, but it could be a genuine end-of-range timestamp.
+                // Resolve against the buffers and emit such stragglers one
+                // at a time (first index wins the all-MAX tie, as before).
+                let Some(i) =
+                    (0..self.entries.len()).find(|&i| self.entries[i].head_ts().is_some())
+                else {
+                    break;
+                };
+                winner = i;
+            }
+            let entry = &mut self.entries[winner];
+            out.push(entry.buf[entry.cursor]);
+            entry.cursor += 1;
             emitted += 1;
+            if entry.cursor < entry.buf.len() {
+                self.heads[winner] = entry.buf[entry.cursor].timestamp_us;
+            } else {
+                self.refill(winner);
+                self.heads[winner] = self.entries[winner].head_ts().unwrap_or(u64::MAX);
+            }
         }
         emitted
     }

@@ -203,6 +203,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         Pipeline::new(Scenario::Ddos.source(64, 3), config)
     }

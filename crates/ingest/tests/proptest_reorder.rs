@@ -68,6 +68,7 @@ fn run_pipeline(
         batch_size,
         shard_count,
         reorder_horizon_us,
+        ..Default::default()
     };
     let mut pipeline = Pipeline::new(Box::new(ReplayEvents::new(NODES, events)), config);
     pipeline.run(usize::MAX)

@@ -132,6 +132,29 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         cols: usize,
         blocks: Vec<Vec<(usize, usize, T)>>,
     ) -> Self {
+        Self::from_row_disjoint_blocks_into(rows, cols, &blocks, Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// [`CsrMatrix::from_row_disjoint_blocks`], but borrowing the blocks and
+    /// building into caller-provided array storage.
+    ///
+    /// This is the rotation-recycling constructor for the streaming ingest
+    /// pipeline: the blocks stay with the caller (so their capacity survives
+    /// the window), and `row_ptr`/`col_idx`/`values` are cleared and refilled
+    /// in place — hand back the arrays of a consumed matrix (via
+    /// [`CsrMatrix::into_raw_parts`]) and a steady stream of same-shaped
+    /// windows allocates nothing once every buffer reaches its high-water
+    /// mark. The contract on the blocks is identical to
+    /// [`CsrMatrix::from_row_disjoint_blocks`]: each internally sorted by
+    /// `(row, col)` with no duplicates, row sets pairwise disjoint.
+    pub fn from_row_disjoint_blocks_into(
+        rows: usize,
+        cols: usize,
+        blocks: &[Vec<(usize, usize, T)>],
+        mut row_ptr: Vec<usize>,
+        mut col_idx: Vec<usize>,
+        mut values: Vec<T>,
+    ) -> Self {
         #[cfg(debug_assertions)]
         {
             let mut owner = vec![usize::MAX; rows];
@@ -151,8 +174,9 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
             }
         }
         let nnz: usize = blocks.iter().map(Vec::len).sum();
-        let mut row_ptr = vec![0usize; rows + 1];
-        for block in &blocks {
+        row_ptr.clear();
+        row_ptr.resize(rows + 1, 0);
+        for block in blocks {
             for &(r, _, _) in block {
                 row_ptr[r + 1] += 1;
             }
@@ -160,17 +184,107 @@ impl<T: Copy + Default + PartialEq> CsrMatrix<T> {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        let mut col_idx = vec![0usize; nnz];
-        let mut values = vec![T::default(); nnz];
-        // Per-row write cursors. Rows are disjoint across blocks and each
-        // block is sorted, so entries of one row arrive in column order.
-        let mut next: Vec<usize> = row_ptr[..rows].to_vec();
+        col_idx.clear();
+        col_idx.resize(nnz, 0);
+        values.clear();
+        values.resize(nnz, T::default());
+        // Row sets are disjoint across blocks and each block is sorted, so
+        // one row's complete run comes from exactly one block, contiguous and
+        // already in column order — each run copies straight into its
+        // `row_ptr[r]..row_ptr[r + 1]` slot with no per-row cursor array.
         for block in blocks {
-            for (r, c, v) in block {
-                let slot = next[r];
-                col_idx[slot] = c;
-                values[slot] = v;
-                next[r] += 1;
+            let mut i = 0;
+            while i < block.len() {
+                let row = block[i].0;
+                let run_start = i;
+                while i < block.len() && block[i].0 == row {
+                    i += 1;
+                }
+                let slot = row_ptr[row];
+                for (slot, &(_, c, v)) in (slot..).zip(&block[run_start..i]) {
+                    col_idx[slot] = c;
+                    values[slot] = v;
+                }
+            }
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// [`CsrMatrix::from_row_disjoint_blocks_into`] over *packed* blocks:
+    /// each entry is `(row << 32 | col, value)` instead of a
+    /// `(row, col, value)` triple.
+    ///
+    /// The packed key is the ingest accumulator's native shard-entry format,
+    /// so its coalesce passes emit blocks without unpacking — and each block
+    /// element is 16 bytes instead of 24, which the rotation hot path reads
+    /// twice (count pass + placement pass). The contract is the triple
+    /// constructor's, restated on keys: each block sorted by key with no
+    /// duplicates, row sets pairwise disjoint across blocks, and every
+    /// `row`/`col` half must fit the matrix shape.
+    pub fn from_row_disjoint_packed_blocks_into(
+        rows: usize,
+        cols: usize,
+        blocks: &[Vec<(u64, T)>],
+        mut row_ptr: Vec<usize>,
+        mut col_idx: Vec<usize>,
+        mut values: Vec<T>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut owner = vec![usize::MAX; rows];
+            for (b, block) in blocks.iter().enumerate() {
+                debug_assert!(
+                    block.windows(2).all(|w| w[0].0 < w[1].0),
+                    "from_row_disjoint_packed_blocks requires each block sorted by key with no duplicates"
+                );
+                for &(key, _) in block {
+                    let r = (key >> 32) as usize;
+                    debug_assert!(
+                        owner[r] == usize::MAX || owner[r] == b,
+                        "from_row_disjoint_packed_blocks requires pairwise-disjoint row sets (row {r} appears in blocks {} and {b})",
+                        owner[r]
+                    );
+                    owner[r] = b;
+                }
+            }
+        }
+        let nnz: usize = blocks.iter().map(Vec::len).sum();
+        row_ptr.clear();
+        row_ptr.resize(rows + 1, 0);
+        for block in blocks {
+            for &(key, _) in block {
+                row_ptr[(key >> 32) as usize + 1] += 1;
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        col_idx.clear();
+        col_idx.resize(nnz, 0);
+        values.clear();
+        values.resize(nnz, T::default());
+        // As in the triple constructor: one row's complete run lives in
+        // exactly one block, contiguous and already column-ordered, so it
+        // copies straight into its `row_ptr[r]..row_ptr[r + 1]` slot.
+        for block in blocks {
+            let mut i = 0;
+            while i < block.len() {
+                let row = block[i].0 >> 32;
+                let run_start = i;
+                while i < block.len() && block[i].0 >> 32 == row {
+                    i += 1;
+                }
+                let slot = row_ptr[row as usize];
+                for (slot, &(key, v)) in (slot..).zip(&block[run_start..i]) {
+                    col_idx[slot] = (key & 0xFFFF_FFFF) as usize;
+                    values[slot] = v;
+                }
             }
         }
         CsrMatrix {
@@ -618,6 +732,32 @@ mod tests {
             CsrMatrix::<u32>::from_row_disjoint_blocks(0, 0, vec![Vec::new()]).shape(),
             (0, 0)
         );
+    }
+
+    #[test]
+    fn row_disjoint_blocks_into_reuses_storage() {
+        let block_a = vec![(1usize, 0usize, 7u32), (1, 3, 9)];
+        let block_b = vec![(0usize, 1usize, 2u32), (0, 3, 1), (2, 0, 5), (2, 2, 3)];
+        let by_value =
+            CsrMatrix::from_row_disjoint_blocks(3, 4, vec![block_a.clone(), block_b.clone()]);
+        // Dirty, over-sized recycled arrays: the builder must clear and
+        // refill them, and the blocks stay with the caller.
+        let blocks = vec![block_a, block_b];
+        let recycled = CsrMatrix::from_row_disjoint_blocks_into(
+            3,
+            4,
+            &blocks,
+            vec![99usize; 32],
+            vec![77usize; 32],
+            vec![42u32; 32],
+        );
+        assert_eq!(recycled, by_value);
+        assert_eq!(blocks.len(), 2, "blocks survive for the next window");
+        // Empty input still produces a valid empty matrix.
+        let empty =
+            CsrMatrix::<u32>::from_row_disjoint_blocks_into(2, 2, &[], vec![5; 9], vec![], vec![]);
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!(empty.row_ptr(), &[0, 0, 0]);
     }
 
     #[test]

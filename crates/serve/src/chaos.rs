@@ -76,6 +76,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         let pipeline = Pipeline::new(Scenario::Ddos.source(32, 5), config);
         let mut chaos = ChaosStream::new(pipeline, 2);

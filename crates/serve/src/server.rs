@@ -555,6 +555,7 @@ mod tests {
             batch_size: 4_096,
             shard_count: 2,
             reorder_horizon_us: 0,
+            ..Default::default()
         };
         Pipeline::new(Scenario::Ddos.source(nodes, 7), config)
     }

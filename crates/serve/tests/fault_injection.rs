@@ -30,6 +30,7 @@ fn ddos_pipeline(nodes: u32) -> Pipeline {
         batch_size: 4_096,
         shard_count: 2,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     Pipeline::new(Scenario::Ddos.source(nodes, 11), config)
 }

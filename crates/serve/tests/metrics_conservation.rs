@@ -20,6 +20,7 @@ fn pipeline(scenario: Scenario, nodes: u32, seed: u64) -> Pipeline {
         batch_size: 2_048,
         shard_count: 2,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     Pipeline::new(scenario.source(nodes, seed), config)
 }
@@ -126,6 +127,23 @@ proptest! {
         // The pipeline tier recorded into the same registry: window counts
         // line up across all three tiers.
         prop_assert_eq!(snapshot.counter("pipeline.windows"), windows as u64);
+
+        // The rotation-scratch conservation law: the first merge builds the
+        // scratch cold, every later window reuses it — exactly windows − 1
+        // warm rotations, never more, never fewer.
+        prop_assert_eq!(
+            snapshot.counter("pipeline.scratch_reuse_hits"),
+            windows as u64 - 1,
+            "every rotation after the first must reuse the warm scratch"
+        );
+        // Each merged window picked a coalesce strategy for every non-empty
+        // shard; these scenarios are busy, so at least one pick per window.
+        let strategy_picks = snapshot.counter("pipeline.coalesce_sort")
+            + snapshot.counter("pipeline.coalesce_bucket");
+        prop_assert!(
+            strategy_picks >= windows as u64,
+            "busy windows must coalesce at least one shard each, got {strategy_picks}"
+        );
 
         // Every client drained at least one wire snapshot (stats_every <=
         // windows delivered, plus the final frame), and the LAST one it saw

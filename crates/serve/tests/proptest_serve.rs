@@ -16,6 +16,7 @@ fn pipeline(scenario: Scenario, nodes: u32, seed: u64, shards: usize) -> Pipelin
         batch_size: 2_048,
         shard_count: shards,
         reorder_horizon_us: 0,
+        ..Default::default()
     };
     Pipeline::new(scenario.source(nodes, seed), config)
 }

@@ -71,6 +71,59 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// `rayon::iter::ParallelIterator::map_init`: like [`ParIter::map`], but
+    /// every worker thread builds one scoped state value with `init` and
+    /// threads `&mut` to it through each of its items. The state never
+    /// crosses threads and is dropped when the worker finishes its chunk —
+    /// scratch buffers built in `init` are shared across a worker's items
+    /// but never contended.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        let len = self.items.len();
+        let threads = current_num_threads().min(len).max(1);
+        if threads <= 1 {
+            let mut state = init();
+            return ParIter {
+                items: self.items.into_iter().map(|t| f(&mut state, t)).collect(),
+            };
+        }
+        let chunk_len = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut iter = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let (init, f) = (&init, &f);
+        let items = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk
+                            .into_iter()
+                            .map(|t| f(&mut state, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(len);
+            for handle in handles {
+                out.extend(handle.join().expect("rayon-shim worker thread panicked"));
+            }
+            out
+        });
+        ParIter { items }
+    }
+
     pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
     where
         R: Send,
@@ -178,6 +231,44 @@ mod tests {
         let sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum()).collect();
         assert_eq!(sums.len(), 11);
         assert_eq!(sums.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn current_num_threads_reports_the_hardware() {
+        // Regression pin: `ShardedAccumulator::with_auto_shards` and the
+        // ingest routing pool size off this value, so it must track the real
+        // hardware (`available_parallelism`), never a baked-in constant.
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(super::current_num_threads(), expected);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_init_builds_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..10_000usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    // The scoped state really is reusable scratch that
+                    // persists across a worker's items.
+                    scratch.push(i);
+                    i * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+        // One state per worker thread (not per item), at most one per
+        // hardware thread and at least one overall.
+        let states = inits.load(Ordering::SeqCst);
+        assert!(states >= 1 && states <= super::current_num_threads());
     }
 
     #[test]
