@@ -1,0 +1,408 @@
+//! A hand-rolled, recursive-descent reader for the TOML subset the analyzer
+//! configures itself with (`analyze.toml`, `metrics.toml`).
+//!
+//! Supported dialect — deliberately humane, in the spirit of the workspace's
+//! extended-JSON parsers:
+//!
+//! - `# comments`, blank lines
+//! - `[section]` / `[dotted.section]` headers
+//! - `key = value` with bare (`ident-chars`) or `"quoted"` keys
+//! - values: `"strings"` (with `\"`/`\\`/`\n`/`\t` escapes), integers,
+//!   `true`/`false`, and `[ "arrays", "of", "strings", ]` — multi-line,
+//!   trailing commas and interior comments allowed
+//!
+//! Everything else is a typed [`ConfigError`] with a line number; the parser
+//! never panics (it shares the total-scanner discipline of `lexer.rs`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` entry, with the line it was declared on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: String,
+    pub value: Value,
+    pub line: usize,
+}
+
+/// A parsed document: sections in declaration order, entries in order.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    pub sections: Vec<(String, Vec<Entry>)>,
+}
+
+impl Document {
+    /// The entries of the first section with this exact name.
+    pub fn section(&self, name: &str) -> Option<&[Entry]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e.as_slice())
+    }
+
+    /// One value looked up by section and key.
+    pub fn get(&self, section: &str, key: &str) -> Option<&Value> {
+        self.section(section)?
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| &e.value)
+    }
+
+    pub fn get_str(&self, section: &str, key: &str) -> Option<&str> {
+        self.get(section, key)?.as_str()
+    }
+
+    pub fn get_bool(&self, section: &str, key: &str) -> Option<bool> {
+        self.get(section, key)?.as_bool()
+    }
+
+    pub fn get_array(&self, section: &str, key: &str) -> Option<&[String]> {
+        self.get(section, key)?.as_array()
+    }
+
+    /// All `key -> (value, line)` pairs of a section as a map.
+    pub fn section_map(&self, name: &str) -> BTreeMap<String, (Value, usize)> {
+        self.section(name)
+            .unwrap_or(&[])
+            .iter()
+            .map(|e| (e.key.clone(), (e.value.clone(), e.line)))
+            .collect()
+    }
+}
+
+/// A parse failure, pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Cursor over one logical piece of text.
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    _src: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skip spaces, newlines, and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip spaces and comments but stop at a newline.
+    fn skip_inline(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c == ' ' || c == '\t' || c == '\r' => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn parse_quoted(&mut self) -> Result<String, ConfigError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(err(start, "unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => {
+                        return Err(err(start, format!("unknown escape \\{other}")));
+                    }
+                    None => return Err(err(start, "unterminated escape")),
+                },
+                Some('\n') => return Err(err(start, "newline inside string")),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_bare(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '*' || c == ':' {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ConfigError> {
+        self.skip_inline();
+        let start = self.line;
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.parse_quoted()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(']') => {
+                            self.bump();
+                            return Ok(Value::Array(items));
+                        }
+                        Some('"') => {
+                            items.push(self.parse_quoted()?);
+                            self.skip_trivia();
+                            match self.peek() {
+                                Some(',') => {
+                                    self.bump();
+                                }
+                                Some(']') => {}
+                                _ => return Err(err(self.line, "expected ',' or ']' in array")),
+                            }
+                        }
+                        _ => return Err(err(start, "arrays hold quoted strings")),
+                    }
+                }
+            }
+            Some(c) if c == 't' || c == 'f' => {
+                let word = self.parse_bare();
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(err(start, format!("unknown value {other:?}"))),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let word = self.parse_bare();
+                word.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| err(start, format!("bad integer {word:?}")))
+            }
+            _ => Err(err(start, "expected a value")),
+        }
+    }
+}
+
+/// Parse a document.
+pub fn parse(src: &str) -> Result<Document, ConfigError> {
+    let mut cur = Cursor::new(src);
+    let mut doc = Document::default();
+    let mut section: Option<usize> = None;
+    loop {
+        cur.skip_trivia();
+        let Some(c) = cur.peek() else {
+            return Ok(doc);
+        };
+        if c == '[' {
+            cur.bump();
+            cur.skip_inline();
+            let name = if cur.peek() == Some('"') {
+                cur.parse_quoted()?
+            } else {
+                cur.parse_bare()
+            };
+            if name.is_empty() {
+                return Err(err(cur.line, "empty section name"));
+            }
+            cur.skip_inline();
+            if cur.peek() != Some(']') {
+                return Err(err(cur.line, "expected ']' after section name"));
+            }
+            cur.bump();
+            doc.sections.push((name, Vec::new()));
+            section = Some(doc.sections.len() - 1);
+        } else {
+            let line = cur.line;
+            let key = if c == '"' {
+                cur.parse_quoted()?
+            } else {
+                cur.parse_bare()
+            };
+            if key.is_empty() {
+                return Err(err(line, format!("expected a key, found {c:?}")));
+            }
+            cur.skip_inline();
+            if cur.peek() != Some('=') {
+                return Err(err(line, format!("expected '=' after key {key:?}")));
+            }
+            cur.bump();
+            let value = cur.parse_value()?;
+            let idx = match section {
+                Some(idx) => idx,
+                None => {
+                    doc.sections.push((String::new(), Vec::new()));
+                    section = Some(doc.sections.len() - 1);
+                    doc.sections.len() - 1
+                }
+            };
+            doc.sections[idx].1.push(Entry { key, value, line });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_values() {
+        let doc = parse(
+            "# top comment\n\
+             [paths]\n\
+             include = [\"crates\"]  # inline comment\n\
+             deny = true\n\
+             limit = 42\n\
+             \n\
+             [rule.no-panic-in-lib]\n\
+             \"quoted.key\" = \"value\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get_array("paths", "include"),
+            Some(&["crates".to_string()][..])
+        );
+        assert_eq!(doc.get_bool("paths", "deny"), Some(true));
+        assert_eq!(doc.get("paths", "limit"), Some(&Value::Int(42)));
+        assert_eq!(
+            doc.get_str("rule.no-panic-in-lib", "quoted.key"),
+            Some("value")
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_with_trailing_commas_and_comments() {
+        let doc = parse(
+            "[rule.hot-path-no-alloc]\n\
+             functions = [\n\
+               # the routing pass\n\
+               \"crates/ingest/src/shard.rs::route_batch\",\n\
+               \"crates/ingest/src/shard.rs::merge\",\n\
+             ]\n",
+        )
+        .unwrap();
+        let fns = doc
+            .get_array("rule.hot-path-no-alloc", "functions")
+            .unwrap();
+        assert_eq!(fns.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("[ok]\nkey value\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("[never-closed\n").unwrap_err();
+        assert!(e.message.contains("']'"));
+    }
+
+    #[test]
+    fn entry_lines_are_recorded() {
+        let doc = parse("[s]\na = 1\n\nb = 2\n").unwrap();
+        let entries = doc.section("s").unwrap();
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(entries[1].line, 4);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = parse("[s]\nk = \"a\\\"b\\\\c\\n\"\n").unwrap();
+        assert_eq!(doc.get_str("s", "k"), Some("a\"b\\c\n"));
+    }
+}

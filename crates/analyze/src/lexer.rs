@@ -1,0 +1,683 @@
+//! A hand-rolled line scanner for Rust source, recursive-descent style.
+//!
+//! The scanner walks a file once, character by character, and produces one
+//! [`ScannedLine`] per source line in which
+//!
+//! - comments (line, doc, and nested block comments) are blanked out,
+//! - string/char literal *bodies* are blanked out (delimiters survive, and
+//!   the literal text is captured separately in [`ScannedFile::strings`]),
+//! - every line knows its brace depth and whether it sits inside a
+//!   `#[cfg(test)]` region (attribute-gated item or `mod tests` block),
+//!
+//! so the rules can pattern-match on *code* without being fooled by strings
+//! or prose. Column positions are preserved exactly: blanked characters are
+//! replaced one-for-one with spaces, so a match at column `c` of
+//! [`ScannedLine::code`] is at column `c` of the original file.
+//!
+//! The scanner is total: it never panics, whatever bytes it is handed
+//! (property-tested in `tests/proptest_lexer.rs`), and unterminated
+//! constructs simply run to end-of-file in their current state.
+
+/// A string (or char) literal captured during the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// 1-based line on which the literal *starts*.
+    pub line: usize,
+    /// 0-based char column of the first character of the literal *body*
+    /// (one past the opening `"` for plain strings).
+    pub col: usize,
+    /// The literal body, escapes left as written (`\n` stays two chars).
+    pub text: String,
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// The line with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Comment text found on this line (including the `//`/`/*` markers).
+    pub comment: String,
+    /// True when the line is inside (or opens) a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Brace depth at the start of the line.
+    pub depth: usize,
+}
+
+/// A fully scanned file.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedFile {
+    pub lines: Vec<ScannedLine>,
+    pub strings: Vec<StringLit>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comment with its nesting level (Rust block comments nest).
+    BlockComment(usize),
+    /// Inside `"…"` or `b"…"`.
+    Str,
+    /// Inside `r"…"`/`r#"…"#`-style raw strings, with the hash count.
+    RawStr(usize),
+}
+
+/// Scanner state threaded through the file walk.
+struct Scanner {
+    state: State,
+    depth: usize,
+    /// Depths of the `#[cfg(test)]` regions currently open.
+    test_stack: Vec<usize>,
+    /// A `#[cfg(test)]` attribute was seen at this depth; the next `{` at
+    /// that depth opens a test region, a `;` at that depth cancels it
+    /// (attribute applied to a braceless item).
+    pending_test: Option<usize>,
+    /// Attribute text being captured (from `#[` to its matching `]`).
+    attr: Option<(String, usize)>,
+    /// Output accumulators for the current line.
+    code: String,
+    comment: String,
+    line_no: usize,
+    line_depth: usize,
+    line_test: bool,
+    /// Current string literal being captured.
+    lit: Option<StringLit>,
+    out: ScannedFile,
+}
+
+impl Scanner {
+    fn new() -> Self {
+        Scanner {
+            state: State::Code,
+            depth: 0,
+            test_stack: Vec::new(),
+            pending_test: None,
+            attr: None,
+            code: String::new(),
+            comment: String::new(),
+            line_no: 1,
+            line_depth: 0,
+            line_test: false,
+            lit: None,
+            out: ScannedFile::default(),
+        }
+    }
+
+    fn in_test(&self) -> bool {
+        !self.test_stack.is_empty()
+    }
+
+    fn emit_code(&mut self, c: char) {
+        self.code.push(c);
+        if let Some((text, _)) = self.attr.as_mut() {
+            text.push(c);
+        }
+    }
+
+    fn blank(&mut self) {
+        self.code.push(' ');
+    }
+
+    fn push_lit_char(&mut self, c: char) {
+        if let Some(lit) = self.lit.as_mut() {
+            lit.text.push(c);
+        }
+    }
+
+    fn open_lit(&mut self) {
+        self.lit = Some(StringLit {
+            line: self.line_no,
+            col: self.code.chars().count(),
+            text: String::new(),
+        });
+    }
+
+    fn close_lit(&mut self) {
+        if let Some(lit) = self.lit.take() {
+            self.out.strings.push(lit);
+        }
+    }
+
+    fn newline(&mut self) {
+        let in_test = self.line_test || self.in_test();
+        self.out.lines.push(ScannedLine {
+            code: std::mem::take(&mut self.code),
+            comment: std::mem::take(&mut self.comment),
+            in_test,
+            depth: self.line_depth,
+        });
+        self.line_no += 1;
+        self.line_depth = self.depth;
+        self.line_test = self.in_test() || self.pending_test.is_some();
+        if self.state == State::LineComment {
+            self.state = State::Code;
+        }
+    }
+
+    /// Close an attribute capture and arm `pending_test` when it names
+    /// `cfg(test)` (not `cfg(not(test))` — the capture is matched after
+    /// stripping whitespace, so `#[cfg( test )]` still counts).
+    fn finish_attr(&mut self) {
+        if let Some((text, _)) = self.attr.take() {
+            let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains("cfg(test") {
+                self.pending_test = Some(self.depth);
+                self.line_test = true;
+            }
+        }
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan UTF-8 text. Invalid UTF-8 should be routed through [`scan_bytes`].
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let peek = |i: usize, k: usize| chars.get(i + k).copied();
+    let mut s = Scanner::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends here; everything else (block comments,
+            // strings) continues across the boundary in its current state.
+            match s.state {
+                State::Str | State::RawStr(_) => s.push_lit_char('\n'),
+                State::BlockComment(_) | State::LineComment => s.comment.push(' '),
+                State::Code => {}
+            }
+            s.newline();
+            i += 1;
+            continue;
+        }
+        match s.state {
+            State::LineComment => {
+                s.blank();
+                s.comment.push(c);
+            }
+            State::BlockComment(level) => {
+                s.blank();
+                s.comment.push(c);
+                if c == '/' && peek(i, 1) == Some('*') {
+                    s.blank();
+                    s.comment.push('*');
+                    s.state = State::BlockComment(level + 1);
+                    i += 1;
+                } else if c == '*' && peek(i, 1) == Some('/') {
+                    s.blank();
+                    s.comment.push('/');
+                    s.state = if level == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(level - 1)
+                    };
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Blank the escape and whatever it escapes.
+                    s.blank();
+                    s.push_lit_char('\\');
+                    if let Some(next) = peek(i, 1) {
+                        if next != '\n' {
+                            s.blank();
+                            s.push_lit_char(next);
+                            i += 1;
+                        }
+                    }
+                } else if c == '"' {
+                    s.emit_code('"');
+                    s.close_lit();
+                    s.state = State::Code;
+                } else {
+                    s.blank();
+                    s.push_lit_char(c);
+                }
+            }
+            State::RawStr(hashes) => {
+                let closes = c == '"' && (0..hashes).all(|k| peek(i, 1 + k) == Some('#'));
+                if closes {
+                    s.emit_code('"');
+                    for _ in 0..hashes {
+                        s.emit_code('#');
+                    }
+                    s.close_lit();
+                    s.state = State::Code;
+                    i += hashes;
+                } else {
+                    s.blank();
+                    s.push_lit_char(c);
+                }
+            }
+            State::Code => {
+                let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                match c {
+                    '/' if peek(i, 1) == Some('/') => {
+                        s.blank();
+                        s.blank();
+                        s.comment.push_str("//");
+                        s.state = State::LineComment;
+                        i += 1;
+                    }
+                    '/' if peek(i, 1) == Some('*') => {
+                        s.blank();
+                        s.blank();
+                        s.comment.push_str("/*");
+                        s.state = State::BlockComment(1);
+                        i += 1;
+                    }
+                    '"' => {
+                        s.emit_code('"');
+                        s.open_lit();
+                        s.state = State::Str;
+                    }
+                    'r' | 'b' if !prev_ident => {
+                        // Raw / byte literal prefixes: r"…", r#"…"#, b"…",
+                        // br#"…"#, b'…'. Anything else is a plain ident char.
+                        let raw_at = if c == 'r' {
+                            Some(i + 1)
+                        } else if peek(i, 1) == Some('r') {
+                            Some(i + 2)
+                        } else {
+                            None
+                        };
+                        let raw = raw_at.and_then(|j| {
+                            let mut hashes = 0;
+                            while chars.get(j + hashes) == Some(&'#') {
+                                hashes += 1;
+                            }
+                            (chars.get(j + hashes) == Some(&'"')).then_some((j, hashes))
+                        });
+                        if let Some((j, hashes)) = raw {
+                            for &ch in &chars[i..=(j + hashes)] {
+                                s.emit_code(ch);
+                            }
+                            s.open_lit();
+                            s.state = State::RawStr(hashes);
+                            i = j + hashes;
+                        } else if c == 'b' && peek(i, 1) == Some('"') {
+                            s.emit_code('b');
+                            s.emit_code('"');
+                            s.open_lit();
+                            s.state = State::Str;
+                            i += 1;
+                        } else if c == 'b' && peek(i, 1) == Some('\'') {
+                            s.emit_code('b');
+                            i += 1;
+                            consume_char_literal(&chars, &mut i, &mut s);
+                        } else {
+                            s.emit_code(c);
+                        }
+                    }
+                    '\'' if !prev_ident => {
+                        consume_char_literal(&chars, &mut i, &mut s);
+                    }
+                    '#' if matches!(peek(i, 1), Some('['))
+                        || (peek(i, 1) == Some('!') && peek(i, 2) == Some('[')) =>
+                    {
+                        s.emit_code('#');
+                        s.attr = Some((String::from("#"), 0));
+                    }
+                    '[' => {
+                        s.emit_code('[');
+                        if let Some((_, brackets)) = s.attr.as_mut() {
+                            *brackets += 1;
+                        }
+                    }
+                    ']' => {
+                        s.emit_code(']');
+                        let done = match s.attr.as_mut() {
+                            Some((_, brackets)) => {
+                                *brackets = brackets.saturating_sub(1);
+                                *brackets == 0
+                            }
+                            None => false,
+                        };
+                        if done {
+                            s.finish_attr();
+                        }
+                    }
+                    '{' => {
+                        if s.pending_test == Some(s.depth) {
+                            s.test_stack.push(s.depth);
+                            s.pending_test = None;
+                            s.line_test = true;
+                        }
+                        s.depth += 1;
+                        s.emit_code('{');
+                    }
+                    '}' => {
+                        s.depth = s.depth.saturating_sub(1);
+                        if s.test_stack.last() == Some(&s.depth) {
+                            s.test_stack.pop();
+                            s.line_test = true;
+                        }
+                        s.emit_code('}');
+                    }
+                    ';' => {
+                        if s.pending_test == Some(s.depth) {
+                            s.pending_test = None;
+                        }
+                        s.emit_code(';');
+                    }
+                    _ => s.emit_code(c),
+                }
+            }
+        }
+        i += 1;
+    }
+    // Flush the final (unterminated) line.
+    if !s.code.is_empty() || !s.comment.is_empty() || s.out.lines.is_empty() {
+        s.newline();
+    }
+    s.close_lit();
+    s.out
+}
+
+/// Consume a `'…'` char literal or a `'ident` lifetime starting at `chars[*i]`
+/// (the opening quote). Leaves `*i` on the last consumed char.
+fn consume_char_literal(chars: &[char], i: &mut usize, s: &mut Scanner) {
+    let peek = |k: usize| chars.get(*i + k).copied();
+    match peek(1) {
+        Some('\\') => {
+            // '\x' escape form: blank until the closing quote (or give up at
+            // end of line — a broken literal must not swallow the file).
+            s.emit_code('\'');
+            s.open_lit();
+            let mut k = 1;
+            while let Some(c) = peek(k) {
+                if c == '\'' && k > 1 {
+                    break;
+                }
+                if c == '\n' || k > 12 {
+                    break;
+                }
+                s.blank();
+                s.push_lit_char(c);
+                k += 1;
+            }
+            if peek(k) == Some('\'') {
+                s.emit_code('\'');
+                *i += k;
+            } else {
+                *i += k - 1;
+            }
+            s.close_lit();
+        }
+        Some(c) if peek(2) == Some('\'') && c != '\'' => {
+            // 'x' one-char literal.
+            s.emit_code('\'');
+            s.open_lit();
+            s.blank();
+            s.push_lit_char(c);
+            s.emit_code('\'');
+            s.close_lit();
+            *i += 2;
+        }
+        _ => {
+            // A lifetime ('a) or a stray quote: plain code.
+            s.emit_code('\'');
+        }
+    }
+}
+
+/// Scan raw bytes, decoding lossily. Never panics.
+pub fn scan_bytes(bytes: &[u8]) -> ScannedFile {
+    scan(&String::from_utf8_lossy(bytes))
+}
+
+/// Find the spans (1-based inclusive line ranges) of every function named
+/// `name` in the scanned file: from the `fn name` line through the line on
+/// which its body brace closes. Bodiless declarations span their own line.
+pub fn function_spans(file: &ScannedFile, name: &str) -> Vec<(usize, usize)> {
+    item_spans(file, "fn", name)
+}
+
+/// Find the spans of every `enum name` in the file.
+pub fn enum_spans(file: &ScannedFile, name: &str) -> Vec<(usize, usize)> {
+    item_spans(file, "enum", name)
+}
+
+fn item_spans(file: &ScannedFile, keyword: &str, name: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(col) = find_item(&line.code, keyword, name) else {
+            continue;
+        };
+        let start = idx + 1;
+        // Walk forward from the declaration: the first `{` opens the body,
+        // the matching `}` ends the span; a `;` before any `{` means a
+        // bodiless declaration.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = start;
+        'walk: for (j, later) in file.lines.iter().enumerate().skip(idx) {
+            let text: Box<dyn Iterator<Item = char>> = if j == idx {
+                Box::new(later.code.chars().skip(col))
+            } else {
+                Box::new(later.code.chars())
+            };
+            for c in text {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            end = j + 1;
+                            break 'walk;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j + 1;
+                        break 'walk;
+                    }
+                    _ => {}
+                }
+            }
+            end = j + 1;
+        }
+        spans.push((start, end));
+    }
+    spans
+}
+
+/// Locate `keyword name` in a code line, requiring word boundaries on both
+/// and an acceptable follower (`(`, `<`, `{`, whitespace, or end of line).
+fn find_item(code: &str, keyword: &str, name: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let pat: Vec<char> = keyword.chars().collect();
+    for start in 0..chars.len().saturating_sub(pat.len()) {
+        if chars[start..start + pat.len()] != pat[..] {
+            continue;
+        }
+        if start > 0 && is_ident(chars[start - 1]) {
+            continue;
+        }
+        // Skip whitespace between keyword and name.
+        let mut j = start + pat.len();
+        if chars.get(j).is_none_or(|c| !c.is_whitespace()) {
+            continue;
+        }
+        while chars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        let name_chars: Vec<char> = name.chars().collect();
+        if chars.len() < j + name_chars.len() || chars[j..j + name_chars.len()] != name_chars[..] {
+            continue;
+        }
+        let after = chars.get(j + name_chars.len()).copied();
+        let boundary = match after {
+            None => true,
+            Some(c) => !is_ident(c),
+        };
+        if boundary {
+            return Some(start);
+        }
+    }
+    None
+}
+
+/// True when `code` contains `needle` starting at a non-identifier boundary
+/// (so `panic!` does not match `dont_panic!`). The needle's own first char
+/// decides what counts as a boundary; needles starting with `.` or `(` match
+/// anywhere.
+pub fn contains_token(code: &str, needle: &str) -> bool {
+    find_token(code, needle).is_some()
+}
+
+/// Char-index of the first boundary-respecting occurrence of `needle`.
+pub fn find_token(code: &str, needle: &str) -> Option<usize> {
+    find_token_from(code, needle, 0)
+}
+
+/// Like [`find_token`], starting the search at char offset `from`.
+pub fn find_token_from(code: &str, needle: &str, from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return None;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    let pat: Vec<char> = needle.chars().collect();
+    let needs_boundary = pat[0].is_alphanumeric() || pat[0] == '_';
+    let mut start = from;
+    while start + pat.len() <= chars.len() {
+        if chars[start..start + pat.len()] == pat[..] {
+            let ok = !needs_boundary || start == 0 || !is_ident(chars[start - 1]);
+            if ok {
+                return Some(start);
+            }
+        }
+        start += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_and_captured() {
+        let f = scan("let x = \"hi // not a comment\";\n");
+        assert_eq!(f.lines.len(), 1);
+        let blanks = " ".repeat("hi // not a comment".chars().count());
+        assert_eq!(f.lines[0].code, format!("let x = \"{blanks}\";"));
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].text, "hi // not a comment");
+        assert_eq!(f.strings[0].line, 1);
+        assert!(f.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let f = scan("let a = r#\"raw \"quoted\" body\"#; let b = b\"bytes\";\n");
+        assert_eq!(f.strings.len(), 2);
+        assert_eq!(f.strings[0].text, "raw \"quoted\" body");
+        assert_eq!(f.strings[1].text, "bytes");
+        assert!(!f.lines[0].code.contains("raw"));
+        assert!(!f.lines[0].code.contains("bytes"));
+    }
+
+    #[test]
+    fn comments_are_stripped_but_kept() {
+        let f = scan("foo(); // tw-analyze: allow(x, \"y\")\n/* block\nstill */ bar();\n");
+        assert_eq!(f.lines[0].code.trim_end(), "foo();");
+        assert!(f.lines[0].comment.contains("tw-analyze"));
+        assert!(f.lines[1].comment.contains("block"));
+        assert!(f.lines[2].code.contains("bar();"));
+        assert!(f.lines[2].comment.contains("still"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("a(); /* one /* two */ still */ b();\n");
+        assert!(f.lines[0].code.contains("a();"));
+        assert!(f.lines[0].code.contains("b();"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan("fn f<'a>(x: &'a str) { let c = '\\n'; let q = '{'; }\n");
+        // The '{' char literal must not affect depth: the line closes back
+        // to depth 0 and the next line would start at 0.
+        let f2 = scan("fn f() { let q = '{'; }\nnext();\n");
+        assert_eq!(f2.lines[1].depth, 0);
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+fn real() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn inner() { x.unwrap(); }\n\
+}\n\
+fn after() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line is test-marked");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test, "closing brace line");
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let f = scan(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = scan("#[cfg(not(test))]\nfn shipping() { x.unwrap(); }\n");
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn function_span_extraction() {
+        let src = "\
+impl Foo {\n\
+    pub fn hot(&mut self) -> usize {\n\
+        let v = compute();\n\
+        v\n\
+    }\n\
+    fn other(&self) {}\n\
+}\n";
+        let f = scan(src);
+        assert_eq!(function_spans(&f, "hot"), vec![(2, 5)]);
+        assert_eq!(function_spans(&f, "other"), vec![(6, 6)]);
+        assert!(function_spans(&f, "absent").is_empty());
+    }
+
+    #[test]
+    fn enum_span_extraction() {
+        let src = "pub enum Kind {\n    A,\n    B,\n}\n";
+        let f = scan(src);
+        assert_eq!(enum_spans(&f, "Kind"), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(contains_token("panic!(\"x\")", "panic!"));
+        assert!(!contains_token("dont_panic!()", "panic!"));
+        assert!(contains_token("x.unwrap()", ".unwrap()"));
+        assert!(!contains_token("x.unwrap_or(0)", ".unwrap()"));
+        assert!(!contains_token("a.clone_from(&b)", ".clone()"));
+    }
+
+    #[test]
+    fn depth_never_underflows() {
+        let f = scan("}}}}}\nfn x() {}\n");
+        assert_eq!(f.lines[1].depth, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! `lock-across-channel`: holding a `Mutex`/`RwLock` guard across a blocking
+//! channel operation (`.send(`, `.recv()`, `.recv_timeout(`) is the classic
+//! deadlock shape in this codebase's fan-out tier — a consumer blocked on the
+//! channel while the producer blocks on the lock. `try_send`/`try_recv` are
+//! fine. The check is a per-file sweep: a `let`-bound guard is considered
+//! live from its binding line until brace depth drops below the binding's
+//! depth (or an explicit `drop(guard)`), which over-approximates scopes
+//! slightly but never misses a real overlap.
+
+use crate::lexer::{contains_token, find_token};
+use crate::{FileClass, Finding, Workspace};
+
+pub const NAME: &str = "lock-across-channel";
+
+const GUARD_SOURCES: &[&str] = &[".lock()", ".read()", ".write()"];
+const BLOCKING_OPS: &[&str] = &[".send(", ".recv()", ".recv_timeout("];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    depth: usize,
+    line: usize,
+}
+
+pub fn check(ws: &Workspace) -> Result<Vec<Finding>, crate::AnalyzeError> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.class != FileClass::Lib {
+            continue;
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        for (idx, line) in file.scanned.lines.iter().enumerate() {
+            guards.retain(|g| line.depth >= g.depth);
+            if line.in_test {
+                continue;
+            }
+            guards.retain(|g| !contains_token(&line.code, &format!("drop({})", g.name)));
+
+            if let Some(op) = BLOCKING_OPS
+                .iter()
+                .find(|op| contains_token(&line.code, op))
+            {
+                if let Some(guard) = guards.first() {
+                    out.push(Finding::new(
+                        NAME,
+                        &file.rel,
+                        idx + 1,
+                        format!(
+                            "blocking `{op}` while lock guard `{}` (line {}) is live \
+                             — drop the guard first or use the try_ variant",
+                            guard.name, guard.line
+                        ),
+                    ));
+                }
+            }
+
+            if GUARD_SOURCES.iter().any(|t| contains_token(&line.code, t)) {
+                if let Some(name) = binding_name(&line.code) {
+                    guards.push(Guard {
+                        name,
+                        depth: line.depth,
+                        line: idx + 1,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The identifier bound by a `let` on this line, looking through `mut`,
+/// `Some(`, and `Ok(` wrappers. `None` when the lock call is a same-statement
+/// temporary (no `let`), whose guard cannot outlive the line.
+fn binding_name(code: &str) -> Option<String> {
+    let pos = find_token(code, "let")?;
+    let mut rest: &str = &code[char_byte_index(code, pos + 3)..];
+    rest = rest.trim_start();
+    for wrapper in ["mut ", "Some(", "Ok("] {
+        if let Some(stripped) = rest.strip_prefix(wrapper) {
+            rest = stripped.trim_start();
+        }
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Byte index of the `n`-th char (the scanner works in char columns).
+fn char_byte_index(s: &str, n: usize) -> usize {
+    s.char_indices().nth(n).map(|(i, _)| i).unwrap_or(s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_names() {
+        assert_eq!(
+            binding_name("let mut state = self.lock();"),
+            Some("state".into())
+        );
+        assert_eq!(
+            binding_name("if let Ok(guard) = m.lock() {"),
+            Some("guard".into())
+        );
+        assert_eq!(
+            binding_name("let Some(g) = m.lock().ok() else {"),
+            Some("g".into())
+        );
+        assert_eq!(binding_name("m.lock().unwrap().push(1);"), None);
+        assert_eq!(binding_name("let _ = m.lock();"), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! `no-panic-in-lib`: non-test library code must not reach for
+//! `.unwrap()`, `.expect("…")`, `panic!`, `todo!`, or `unimplemented!`.
+//! Binaries own the process boundary and may panic; tests may assert
+//! however they like. Everything else converts to a typed error or carries
+//! a waiver explaining why the invariant cannot actually fire.
+
+use crate::lexer::{contains_token, find_token};
+use crate::{FileClass, Finding, Workspace};
+
+pub const NAME: &str = "no-panic-in-lib";
+
+/// Tokens that always panic. `.expect(` is handled separately because the
+/// workspace's JSON parser has its own `expect(byte, what)` *method* that
+/// must not be flagged.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", "panic!", "todo!", "unimplemented!"];
+
+pub fn check(ws: &Workspace) -> Result<Vec<Finding>, crate::AnalyzeError> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.class != FileClass::Lib {
+            continue;
+        }
+        for (idx, line) in file.scanned.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let mut hit = None;
+            for token in PANIC_TOKENS {
+                if contains_token(&line.code, token) {
+                    hit = Some(*token);
+                    break;
+                }
+            }
+            if hit.is_none() && is_option_expect(&line.code) {
+                hit = Some(".expect(\"…\")");
+            }
+            if let Some(token) = hit {
+                out.push(Finding::new(
+                    NAME,
+                    &file.rel,
+                    idx + 1,
+                    format!(
+                        "`{token}` in non-test library code — return a typed error \
+                         or waive with a justification"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// True when the line calls `Option::expect`/`Result::expect`: `.expect(`
+/// whose first argument is a string literal (next non-space char is `"`) or
+/// wraps to the next line (end of line after the paren). Calls like
+/// `self.expect(b'{', "'{'")` — a parser method taking a byte — do not match.
+fn is_option_expect(code: &str) -> bool {
+    let Some(pos) = find_token(code, ".expect(") else {
+        return false;
+    };
+    let rest: String = code.chars().skip(pos + ".expect(".len()).collect();
+    matches!(rest.trim_start().chars().next(), Some('"') | None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_heuristic() {
+        assert!(is_option_expect("let x = maybe.expect(\" \");"));
+        assert!(is_option_expect("value.expect(")); // wrapped literal
+        assert!(!is_option_expect("self.expect(b' ', \"msg\")?;"));
+        assert!(!is_option_expect("fn expect(&mut self) {"));
+        assert!(!is_option_expect("plain line"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: the `Delta` variant is encoded but never decoded and never
+//! property-tested — the exact gap the rule exists to catch.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Manifest = 1,
+    Window = 2,
+    Delta = 3,
+}
+
+impl Kind {
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Kind::Manifest => 1,
+            Kind::Window => 2,
+            Kind::Delta => 3,
+        }
+    }
+
+    pub fn from_byte(byte: u8) -> Option<Kind> {
+        match byte {
+            1 => Some(Kind::Manifest),
+            2 => Some(Kind::Window),
+            _ => None,
+        }
+    }
+}

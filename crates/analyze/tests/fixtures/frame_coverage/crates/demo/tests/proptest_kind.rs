@@ -1,0 +1,7 @@
+//! Fixture proptest file: exercises Manifest and Window, forgets Delta.
+
+#[test]
+fn covered_kinds_round_trip() {
+    assert_eq!(Kind::from_byte(Kind::Manifest.to_byte()), Some(Kind::Manifest));
+    assert_eq!(Kind::from_byte(Kind::Window.to_byte()), Some(Kind::Window));
+}

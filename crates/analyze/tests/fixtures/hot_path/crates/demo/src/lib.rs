@@ -1,0 +1,16 @@
+//! Fixture: a hot function with one offending allocation, one waived one,
+//! and a cold function the rule must leave alone.
+
+pub fn route_hot(input: &[u32], scratch: &mut Vec<u32>) -> usize {
+    // tw-analyze: allow(hot-path-no-alloc, "fixture: the waived allocation case")
+    let seed = vec![0u32; 4];
+    scratch.clear();
+    scratch.extend(seed.iter().copied());
+    let doubled: Vec<u32> = input.iter().map(|v| v * 2).collect();
+    doubled.len() + scratch.len()
+}
+
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    // Allocations are fine outside the configured hot set.
+    (0..n as u32).collect()
+}

@@ -1,0 +1,31 @@
+//! Fixture: a guard held across a blocking send (finding), an explicit drop
+//! before the send (clean), and a try_send under the guard (clean).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn offending(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    tx.send(*guard).ok();
+}
+
+pub fn dropped_first(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    let value = *guard;
+    drop(guard);
+    tx.send(value).ok();
+}
+
+pub fn scoped_out(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let value = {
+        let guard = state.lock().unwrap();
+        *guard
+    };
+    tx.send(value).ok();
+}
+
+pub fn waived_handoff(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    // tw-analyze: allow(lock-across-channel, "fixture: the waived overlap case")
+    tx.send(*guard).ok();
+}

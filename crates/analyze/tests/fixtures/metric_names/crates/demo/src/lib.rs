@@ -1,0 +1,8 @@
+//! Fixture: one good registration, one undeclared name, one kind mismatch.
+
+pub fn register(metrics: &tw_fixture::Registry) {
+    metrics.counter("pipeline.coalesce_sort");
+    metrics.gauge("pipeline.reorder_depth");
+    metrics.counter("pipeline.not_in_manifest");
+    metrics.gauge("pipeline.coalesce_sort");
+}

@@ -1,0 +1,30 @@
+//! Fixture: one offending unwrap, one waived panic, and test-only code the
+//! rule must ignore.
+
+pub fn offending(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn waived() {
+    // tw-analyze: allow(no-panic-in-lib, "fixture: the panic below is the waived case")
+    panic!("never called");
+}
+
+pub fn expect_message(values: &[u32]) -> u32 {
+    *values.first().expect("fixture: a bare expect message")
+}
+
+// tw-analyze: allow(no-panic-in-lib)
+pub fn under_malformed_waiver() {}
+
+// tw-analyze: allow(no-panic-in-lib, "fixture: nothing on this line to waive")
+pub fn under_stale_waiver() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let values = [1u32];
+        assert_eq!(*values.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Adversarial property tests for the source scanner: whatever bytes or
+//! text it is fed — unterminated strings, nested block comments, raw-string
+//! hash soup, stray quotes — scanning never panics and the per-line
+//! structure stays consistent with the input.
+
+use proptest::prelude::*;
+use tw_analyze::lexer::{contains_token, scan, scan_bytes};
+
+/// Text biased toward the characters that drive the scanner's state
+/// machine, so unterminated and nested constructs show up constantly.
+fn arb_tricky_source() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("\"".to_string()),
+        Just("\\".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("//".to_string()),
+        Just("///".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r##\"".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("\n".to_string()),
+        Just("'".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("tw-analyze: allow(".to_string()),
+        "[ a-z0-9_.!()]{0,12}",
+    ];
+    prop::collection::vec(atom, 0..60).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn scanning_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Invalid UTF-8 included: scan_bytes must degrade, not die.
+        let _ = scan_bytes(&bytes);
+    }
+
+    #[test]
+    fn scanning_tricky_source_never_panics(source in arb_tricky_source()) {
+        let _ = scan(&source);
+    }
+
+    #[test]
+    fn blanking_preserves_line_structure(source in arb_tricky_source()) {
+        // One ScannedLine per input line (a file is never zero lines), and
+        // blanking strings/comments never changes a line's width — findings
+        // point at real columns.
+        let file = scan(&source);
+        prop_assert_eq!(file.lines.len(), source.lines().count().max(1));
+        for (line, scanned) in source.lines().zip(&file.lines) {
+            prop_assert_eq!(
+                scanned.code.chars().count(),
+                line.chars().count(),
+                "width changed on line {:?} -> {:?}", line, scanned.code
+            );
+        }
+    }
+
+    #[test]
+    fn string_literals_land_inside_their_lines(source in arb_tricky_source()) {
+        let file = scan(&source);
+        for lit in &file.strings {
+            prop_assert!(lit.line >= 1 && lit.line <= file.lines.len());
+            let width = file.lines[lit.line - 1].code.chars().count();
+            prop_assert!(
+                lit.col <= width,
+                "literal column {} beyond line width {}", lit.col, width
+            );
+        }
+    }
+
+    #[test]
+    fn token_search_never_panics(code in "[ a-z._!()0-9]{0,40}", needle in "[a-z._!()]{1,8}") {
+        // contains_token's boundary logic walks chars by index; any
+        // needle/haystack pair must resolve without slicing mid-char.
+        let _ = contains_token(&code, &needle);
+    }
+}

@@ -1,0 +1,187 @@
+//! Golden tests: each rule runs over a small fixture workspace under
+//! `tests/fixtures/` that contains the offending shape, the waived shape,
+//! and the shapes the rule must ignore. The fixtures are plain source trees
+//! with their own `analyze.toml` — they are never compiled, only scanned.
+
+use std::path::PathBuf;
+use tw_analyze::{analyze_with, Finding, Options, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_rule(fixture_name: &str, rule: &str) -> Report {
+    let options = Options {
+        rule: Some(rule.to_string()),
+    };
+    analyze_with(&fixture(fixture_name), &options)
+        .unwrap_or_else(|e| panic!("analyzing fixture {fixture_name}: {e}"))
+}
+
+fn unwaived<'a>(report: &'a Report, rule: &str) -> Vec<&'a Finding> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.waived.is_none())
+        .collect()
+}
+
+fn waived<'a>(report: &'a Report, rule: &str) -> Vec<&'a Finding> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.waived.is_some())
+        .collect()
+}
+
+#[test]
+fn no_panic_fires_on_unwrap_and_honors_waivers() {
+    let report = run_rule("no_panic", "no-panic-in-lib");
+
+    let hits = unwaived(&report, "no-panic-in-lib");
+    assert_eq!(hits.len(), 2, "expected unwrap + expect hits: {hits:#?}");
+    assert!(hits
+        .iter()
+        .any(|f| f.line == 5 && f.message.contains("unwrap")));
+    assert!(hits.iter().any(|f| f.message.contains("expect")));
+
+    let silenced = waived(&report, "no-panic-in-lib");
+    assert_eq!(silenced.len(), 1, "the panic! is waived: {silenced:#?}");
+    assert!(silenced[0].message.contains("panic!"));
+
+    // The rule ignores the #[cfg(test)] module's unwrap entirely.
+    assert!(
+        !report.findings.iter().any(|f| f.line > 20),
+        "test-module code leaked findings: {:#?}",
+        report.findings
+    );
+
+    // The meta-rules ride along: a reason-less waiver is malformed, an
+    // unused one is stale.
+    assert!(
+        report.findings.iter().any(|f| f.rule == "malformed-waiver"),
+        "missing malformed-waiver: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().any(|f| f.rule == "stale-waiver"),
+        "missing stale-waiver: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn hot_path_fires_inside_configured_functions_only() {
+    let report = run_rule("hot_path", "hot-path-no-alloc");
+
+    let hits = unwaived(&report, "hot-path-no-alloc");
+    // One real allocation in the hot function, plus the config finding for
+    // the spec that names a function the file does not define.
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains(".collect()") && f.file.ends_with("lib.rs")),
+        "missing the .collect() hit: {hits:#?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("no_such_fn")),
+        "missing the bad-spec finding: {hits:#?}"
+    );
+    assert_eq!(hits.len(), 2, "cold code must stay silent: {hits:#?}");
+
+    let silenced = waived(&report, "hot-path-no-alloc");
+    assert_eq!(silenced.len(), 1, "the vec! is waived: {silenced:#?}");
+    assert!(silenced[0].message.contains("vec!"));
+}
+
+#[test]
+fn metric_registry_catches_the_seeded_readme_drift() {
+    // Regression for the drift this PR fixed in the real README: the fixture
+    // README still says `pipeline.sort_merges` while the manifest declares
+    // `pipeline.coalesce_sort`.
+    let report = run_rule("metric_names", "metric-name-registry");
+    let hits = unwaived(&report, "metric-name-registry");
+
+    assert!(
+        hits.iter()
+            .any(|f| f.file == "README.md" && f.message.contains("pipeline.sort_merges")),
+        "missing the README drift finding: {hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.file == "README.md" || f.message.contains("pipeline.coalesce_sort")),
+        "manifest entries absent from the README must be reported: {hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains("pipeline.not_in_manifest")),
+        "missing the undeclared-registration finding: {hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains("pipeline.coalesce_sort") && f.message.contains("gauge")),
+        "missing the kind-mismatch finding: {hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.file == "metrics.toml" && f.message.contains("pipeline.dead_entry")),
+        "missing the never-registered finding: {hits:#?}"
+    );
+}
+
+#[test]
+fn frame_coverage_reports_the_undecoded_variant() {
+    let report = run_rule("frame_coverage", "frame-kind-coverage");
+    let hits = unwaived(&report, "frame-kind-coverage");
+
+    let delta = hits
+        .iter()
+        .find(|f| f.message.contains("Kind::Delta"))
+        .unwrap_or_else(|| panic!("missing the Kind::Delta finding: {hits:#?}"));
+    assert!(
+        delta.message.contains("from_byte"),
+        "decode gap: {delta:#?}"
+    );
+    assert!(
+        delta.message.contains("proptest"),
+        "proptest gap: {delta:#?}"
+    );
+    assert!(
+        !hits
+            .iter()
+            .any(|f| f.message.contains("Kind::Manifest") || f.message.contains("Kind::Window")),
+        "covered variants must stay silent: {hits:#?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("missing.rs")),
+        "missing the absent-proptest-file finding: {hits:#?}"
+    );
+}
+
+#[test]
+fn lock_across_channel_flags_only_the_live_guard() {
+    let report = run_rule("lock_channel", "lock-across-channel");
+
+    let hits = unwaived(&report, "lock-across-channel");
+    assert_eq!(hits.len(), 1, "one live-guard overlap: {hits:#?}");
+    assert_eq!(hits[0].line, 9, "the offending send: {hits:#?}");
+    assert!(hits[0].message.contains("guard"));
+
+    let silenced = waived(&report, "lock-across-channel");
+    assert_eq!(silenced.len(), 1, "the waived overlap: {silenced:#?}");
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    // The same invariant CI enforces: zero unwaived findings over the
+    // actual source tree, with every rule enabled.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tw_analyze::analyze(&root).expect("analyzing the workspace");
+    let open: Vec<&Finding> = report.unwaived().collect();
+    assert!(open.is_empty(), "unwaived findings in the tree: {open:#?}");
+    assert!(
+        report.waived_count() > 0,
+        "the waiver channel should be exercised by the real tree"
+    );
+}

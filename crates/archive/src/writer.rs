@@ -143,6 +143,7 @@ impl ZipWriter {
             // Already validated by `add_file`'s checked conversion.
             push_u16(
                 &mut buffer,
+                // tw-analyze: allow(no-panic-in-lib, "add_file rejects names longer than u16::MAX before they reach the directory writer")
                 u16::try_from(entry.name.len()).expect("name length checked on add"),
             );
             push_u16(&mut buffer, 0); // extra length

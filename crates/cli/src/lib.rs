@@ -90,6 +90,14 @@ pub enum Command {
         metrics_json: Option<String>,
         stats_every: u64,
     },
+    /// Run the workspace static-analysis pass (tw-analyze).
+    Analyze {
+        root: Option<String>,
+        rule: Option<String>,
+        json: Option<String>,
+        deny_warnings: bool,
+        list_waivers: bool,
+    },
     /// List the ingest scenario catalog.
     Scenarios,
     /// Print the default curriculum with prerequisites.
@@ -185,6 +193,15 @@ Commands:
                                               --stats prints the server's live metrics
                                               snapshots as they arrive (the server must
                                               serve with --stats-every)
+  analyze [--root <dir>] [--rule <name>] [--json <file.json>] [--deny-warnings] [--list-waivers]
+                                              run the workspace static-analysis pass
+                                              (lexer + rule engine over the crates'
+                                              own source); --rule runs one rule,
+                                              --json also writes the machine-readable
+                                              report, --deny-warnings fails when any
+                                              unwaived finding remains, and
+                                              --list-waivers prints every active
+                                              inline waiver with its justification
   scenarios                                   list the ingest scenario catalog
   curriculum                                  print the default hierarchical curriculum
   figures                                     print every figure's traffic pattern
@@ -638,6 +655,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 stats_every,
             })
         }
+        "analyze" => {
+            let mut root = None;
+            let mut rule = None;
+            let mut json = None;
+            let mut deny_warnings = false;
+            let mut list_waivers = false;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--root" => {
+                        root = Some(
+                            iter.next()
+                                .ok_or(CliError("--root needs a directory".to_string()))?
+                                .clone(),
+                        );
+                    }
+                    "--rule" => {
+                        rule = Some(
+                            iter.next()
+                                .ok_or(CliError("--rule needs a rule name".to_string()))?
+                                .clone(),
+                        );
+                    }
+                    "--json" => {
+                        json = Some(
+                            iter.next()
+                                .ok_or(CliError("--json needs a file path".to_string()))?
+                                .clone(),
+                        );
+                    }
+                    "--deny-warnings" => deny_warnings = true,
+                    "--list-waivers" => list_waivers = true,
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Analyze {
+                root,
+                rule,
+                json,
+                deny_warnings,
+                list_waivers,
+            })
+        }
         "scenarios" => Ok(Command::Scenarios),
         "curriculum" => Ok(Command::Curriculum),
         "figures" => Ok(Command::Figures),
@@ -778,10 +837,59 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             metrics_json: metrics_json.clone(),
             stats_every: *stats_every,
         }),
+        Command::Analyze {
+            root,
+            rule,
+            json,
+            deny_warnings,
+            list_waivers,
+        } => run_analyze(
+            root.as_deref(),
+            rule.clone(),
+            json.as_deref(),
+            *deny_warnings,
+            *list_waivers,
+        ),
         Command::Scenarios => Ok(render_scenarios()),
         Command::Curriculum => Ok(render_curriculum()),
         Command::Figures => Ok(render_figures()),
     }
+}
+
+/// Run the workspace static-analysis pass and render its report.
+///
+/// Without `--root` the workspace is found by walking up from the current
+/// directory to the nearest `analyze.toml`. With `--deny-warnings` an
+/// unwaived finding is an error (non-zero exit), matching the CI gate.
+fn run_analyze(
+    root: Option<&str>,
+    rule: Option<String>,
+    json: Option<&str>,
+    deny_warnings: bool,
+    list_waivers: bool,
+) -> Result<String, CliError> {
+    let root = match root {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => tw_analyze::find_workspace_root(std::path::Path::new("."))
+            .map_err(|e| CliError(e.to_string()))?,
+    };
+    let options = tw_analyze::Options { rule };
+    let report = tw_analyze::analyze_with(&root, &options).map_err(|e| CliError(e.to_string()))?;
+    if list_waivers {
+        return Ok(report.render_waivers());
+    }
+    if let Some(path) = json {
+        std::fs::write(path, report.render_json())
+            .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+    }
+    let text = report.render_text();
+    if deny_warnings && report.unwaived_count() > 0 {
+        return Err(CliError(format!(
+            "{text}analyze: --deny-warnings with {} unwaived finding(s)",
+            report.unwaived_count()
+        )));
+    }
+    Ok(text)
 }
 
 /// Arguments for [`run_ingest`] (one scenario streamed through the pipeline).

@@ -1,12 +1,23 @@
 //! The `traffic-warehouse` binary entry point.
+//!
+//! Argument errors get the full usage text; runtime failures (a missing
+//! file, a refused connection, a `--deny-warnings` analyze run) print only
+//! the error so the cause is not buried under a screenful of help.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match tw_cli::parse_args(&args).and_then(|command| tw_cli::run(&command)) {
-        Ok(output) => print!("{output}"),
+    let command = match tw_cli::parse_args(&args) {
+        Ok(command) => command,
         Err(error) => {
             eprintln!("error: {error}");
             eprintln!("{}", tw_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match tw_cli::run(&command) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
             std::process::exit(1);
         }
     }

@@ -458,3 +458,81 @@ fn compiled_binary_reports_errors_on_stderr() {
     assert!(stderr.contains("error"), "stderr was: {stderr}");
     assert!(stderr.contains("Commands"), "usage missing from: {stderr}");
 }
+
+#[test]
+fn analyze_args_parse() {
+    let args: Vec<String> = ["analyze", "--deny-warnings", "--rule", "no-panic-in-lib"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        parse_args(&args).unwrap(),
+        Command::Analyze {
+            root: None,
+            rule: Some("no-panic-in-lib".to_string()),
+            json: None,
+            deny_warnings: true,
+            list_waivers: false,
+        }
+    );
+    let bad: Vec<String> = ["analyze", "--rule"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(
+        parse_args(&bad).is_err(),
+        "--rule without a value must fail"
+    );
+    let bogus: Vec<String> = ["analyze", "--fast"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(
+        parse_args(&bogus).is_err(),
+        "unknown analyze flag must fail"
+    );
+}
+
+#[test]
+fn compiled_binary_analyze_is_clean_under_deny_warnings() {
+    // The workspace's own source is the fixture: the analysis pass must pass
+    // on it, or CI (which runs this same invocation) would be red.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args(["analyze", "--root", root, "--deny-warnings"])
+        .output()
+        .expect("binary spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "analyze --deny-warnings failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("0 unwaived"), "summary missing: {stdout}");
+    for rule in [
+        "no-panic-in-lib",
+        "hot-path-no-alloc",
+        "metric-name-registry",
+        "frame-kind-coverage",
+        "lock-across-channel",
+    ] {
+        assert!(stdout.contains(rule), "rule {rule} missing from: {stdout}");
+    }
+}
+
+#[test]
+fn compiled_binary_keeps_usage_out_of_runtime_errors() {
+    // Parse errors get the usage text (checked above); runtime failures must
+    // not bury the actual error under it.
+    let output = Process::new(env!("CARGO_BIN_EXE_traffic-warehouse"))
+        .args(["validate", "/no/such/module.json"])
+        .output()
+        .expect("binary spawns");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error"), "stderr was: {stderr}");
+    assert!(
+        !stderr.contains("Commands"),
+        "usage text leaked into a runtime error: {stderr}"
+    );
+}

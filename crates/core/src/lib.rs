@@ -135,6 +135,7 @@ pub fn initial_library_zips() -> Vec<(String, Vec<u8>)> {
     tw_module::library::initial_library()
         .into_iter()
         .map(|bundle| {
+            // tw-analyze: allow(no-panic-in-lib, "every built-in bundle round-trips through to_zip in the library tests")
             let bytes = bundle.to_zip().expect("library bundles are valid");
             (bundle.name, bytes)
         })

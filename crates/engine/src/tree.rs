@@ -127,6 +127,7 @@ impl SceneTree {
         );
         self.slots
             .get_mut(&parent.0)
+            // tw-analyze: allow(no-panic-in-lib, "the parent id was looked up successfully at the top of this function")
             .expect("parent checked above")
             .children
             .push(id);

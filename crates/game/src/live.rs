@@ -57,6 +57,7 @@ pub fn coarsen_window(matrix: &CsrMatrix<u64>, dimension: usize) -> TrafficMatri
     } else {
         LabelSet::numeric(dimension)
     };
+    // tw-analyze: allow(no-panic-in-lib, "scaled is built above as dimension x dimension, so from_grid cannot reject it")
     TrafficMatrix::from_grid(labels, &scaled).expect("coarsened grid is square")
 }
 
@@ -109,8 +110,10 @@ impl LiveWarehouse {
         let labels = display.labels().labels().to_vec();
         let module = ModuleBuilder::new(&name, "tw-ingest")
             .labels(labels)
+            // tw-analyze: allow(no-panic-in-lib, "labels come from LabelSet constructors that already validated them")
             .expect("display labels are valid")
             .matrix(display)
+            // tw-analyze: allow(no-panic-in-lib, "the matrix was built from these exact labels two lines up")
             .expect("labels were just taken from the matrix")
             .build();
         self.scene = Some(WarehouseScene::build(&module));

@@ -288,6 +288,7 @@ impl GameSession {
         while !self.is_finished() {
             let index = self.current_index;
             let choice = {
+                // tw-analyze: allow(no-panic-in-lib, "the while guard ensures a current level exists until is_finished flips")
                 let level = self.current_level.as_ref().expect("not finished");
                 match level.question() {
                     Some(q) => {

@@ -7,6 +7,7 @@
 //! space for the player to learn the controls of the game without needing to
 //! load in a learning module."
 
+// tw-analyze: allow-file(no-panic-in-lib, "training levels are built from the static paper-default labels already validated by their own constructors")
 use crate::level::Level;
 use crate::view::ViewMode;
 use tw_engine::TreeError;

@@ -7,6 +7,7 @@
 //! child is the text label, matching the `get_child(1).text` access in the
 //! paper's script).
 
+// tw-analyze: allow-file(no-panic-in-lib, "scene construction from vetted module data; every expect proves a shape the module validators already enforced, and the scene builders are exercised by the warehouse tests")
 use crate::view::ViewState;
 use tw_engine::{Node, NodeId, NodeKind, SceneTree, Variant};
 use tw_module::LearningModule;

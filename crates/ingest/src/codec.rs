@@ -433,6 +433,7 @@ pub fn encode_window_delta(prev: &WindowReport, cur: &WindowReport) -> Vec<u8> {
     let changes = prev
         .matrix
         .diff(&cur.matrix)
+        // tw-analyze: allow(no-panic-in-lib, "the shape assert a few lines up guarantees diff cannot reject these matrices")
         .expect("shapes were checked above");
 
     let mut buf = Vec::with_capacity(64 + changes.len() * 4);
@@ -622,6 +623,7 @@ pub fn decode_window_into(
             *index = stats.window_index;
             base.clone_from(&matrix);
         }
+        // tw-analyze: allow(hot-path-no-alloc, "runs once per stream: the first decode seeds the delta base, later windows clone_from into it")
         None => scratch.base = Some((stats.window_index, matrix.clone())),
     }
     Ok(WindowReport { matrix, stats })

@@ -92,6 +92,7 @@ impl Scenario {
         match self {
             Scenario::Background => background(100_000, 0),
             Scenario::Ddos => {
+                // tw-analyze: allow(no-panic-in-lib, "catalog ids are static literals proven present by the pattern catalog tests")
                 let ddos_shape = pattern_by_id("ddos/combined").expect("catalog id");
                 Box::new(Mix::new(vec![
                     background(30_000, 0x1),
@@ -118,6 +119,7 @@ impl Scenario {
                 Box::new(P2pMeshSource::new(node_count, 50_000, seed ^ 0x9)),
             ])),
             Scenario::Mixed => {
+                // tw-analyze: allow(no-panic-in-lib, "catalog ids are static literals proven present by the pattern catalog tests")
                 let attack_shape = pattern_by_id("attack/combined").expect("catalog id");
                 Box::new(Mix::new(vec![
                     background(40_000, 0xA),

@@ -363,6 +363,7 @@ impl ShardedAccumulator {
                 buf.route(chunk, node_count);
                 buf
             })
+            // tw-analyze: allow(hot-path-no-alloc, "the rayon bridge needs an owned job list; the RouteBuffers inside are recycled and the vec holds pointers only")
             .collect();
         for buf in &filled {
             self.events += buf.events;
@@ -416,6 +417,7 @@ impl ShardedAccumulator {
         self.scratch
             .per_shard
             .resize_with(shard_count, ShardScratch::default);
+        // tw-analyze: allow(hot-path-no-alloc, "resize_with constructs only on the first window; the scratch is warm on every later call")
         self.scratch.blocks.resize_with(shard_count, Vec::new);
         let node_count = self.node_count;
         let adaptive = self.adaptive;
@@ -430,6 +432,7 @@ impl ShardedAccumulator {
                 .zip(blocks.iter_mut())
                 .enumerate()
                 .map(|(index, ((shard, sc), block))| (index, shard, sc, block))
+                // tw-analyze: allow(hot-path-no-alloc, "the rayon bridge needs an owned job list; entries are mutable borrows, not copies")
                 .collect();
             jobs.into_par_iter().for_each(|(index, shard, sc, block)| {
                 coalesce_shard_into(shard, sc, block, node_count, adaptive, index, shard_count);

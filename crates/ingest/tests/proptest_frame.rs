@@ -4,9 +4,11 @@
 
 use proptest::prelude::*;
 use std::time::Duration;
+use tw_ingest::codec::{decode_window_into, encode_window, encode_window_delta, DecodeScratch};
 use tw_ingest::frame::{
-    decode_frame, encode_close_frame, encode_manifest_frame, encode_report_frame,
-    encode_stats_frame, read_frame, CloseSummary, Frame, FrameError, StreamManifest, MAX_FRAME_LEN,
+    decode_frame, encode_close_frame, encode_delta_frame, encode_manifest_frame,
+    encode_report_frame, encode_stats_frame, read_frame, CloseSummary, Frame, FrameError,
+    StreamManifest, MAX_FRAME_LEN,
 };
 use tw_ingest::{IngestStats, WindowReport};
 use tw_matrix::CsrMatrix;
@@ -103,6 +105,8 @@ fn arb_frame_bytes() -> impl Strategy<Value = Vec<u8>> {
             })
         ),
         arb_snapshot().prop_map(|s| encode_stats_frame(&s)),
+        (arb_report(32), arb_report(32))
+            .prop_map(|(base, next)| encode_delta_frame(&encode_window_delta(&base, &next))),
     ]
 }
 
@@ -128,6 +132,33 @@ proptest! {
     fn stats_frames_round_trip_exactly(snapshot in arb_snapshot()) {
         let bytes = encode_stats_frame(&snapshot);
         prop_assert_eq!(decode_frame(&bytes), Ok((Frame::Stats(snapshot), bytes.len())));
+    }
+
+    #[test]
+    fn delta_frames_round_trip_and_patch(base in arb_report(24), next in arb_report(24)) {
+        // FrameKind::DeltaWindow end to end: frame the v3 delta bytes, get
+        // them back untouched, then patch a scratch holding the base window
+        // and recover `next` exactly.
+        let delta = encode_window_delta(&base, &next);
+        let bytes = encode_delta_frame(&delta);
+        match decode_frame(&bytes) {
+            Ok((Frame::DeltaWindow(payload), consumed)) => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(&payload, &delta);
+                let mut scratch = DecodeScratch::new();
+                if let Err(e) = decode_window_into(&encode_window(&base), &mut scratch) {
+                    return Err(TestCaseError::fail(format!("base decode failed: {e}")));
+                }
+                match decode_window_into(&payload, &mut scratch) {
+                    Ok(patched) => {
+                        prop_assert_eq!(&patched.matrix, &next.matrix);
+                        prop_assert_eq!(&patched.stats, &next.stats);
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("delta decode failed: {e}"))),
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("expected a delta window, got {other:?}"))),
+        }
     }
 
     #[test]

@@ -304,8 +304,8 @@ impl<'a> Parser<'a> {
                         for _ in 1..width {
                             self.bump();
                         }
-                        let slice = &self.bytes[start..start + width];
-                        out.push_str(std::str::from_utf8(slice).expect("input was valid UTF-8"));
+                        let end = (start + width).min(self.bytes.len());
+                        out.push_str(&String::from_utf8_lossy(&self.bytes[start..end]));
                     }
                 }
             }
@@ -402,7 +402,10 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        // Every byte consumed above is ASCII, so the slice is valid UTF-8;
+        // a lossy view is identical and cannot panic.
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        let text = text.as_ref();
         if is_float {
             text.parse::<f64>()
                 .map(|f| Value::Number(Number::Float(f)))

@@ -99,12 +99,14 @@ impl LabelSet {
         LabelSet::new([
             "WS1", "WS2", "WS3", "SRV1", "EXT1", "EXT2", "ADV1", "ADV2", "ADV3", "ADV4",
         ])
+        // tw-analyze: allow(no-panic-in-lib, "the paper-default label literals are validated by the labels unit tests")
         .expect("static labels are valid")
     }
 
     /// A 6-node labelling matching the 6×6 template: `WS1-WS2, SRV1, EXT1, ADV1-ADV2`.
     pub fn paper_default_6() -> Self {
         LabelSet::new(["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2"])
+            // tw-analyze: allow(no-panic-in-lib, "the paper-default label literals are validated by the labels unit tests")
             .expect("static labels are valid")
     }
 

@@ -131,6 +131,7 @@ pub fn par_matrix_from_events(node_count: usize, events: &[PacketEvent]) -> CsrM
     for shard in &shards {
         merged
             .extend_from(shard)
+            // tw-analyze: allow(no-panic-in-lib, "every shard was constructed with the same node_count as the aggregate")
             .expect("shards share the aggregate shape");
     }
     merged.to_csr()

@@ -227,6 +227,15 @@ struct RegistryInner {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry(Arc<RegistryInner>);
 
+/// Lock one of the registry maps, shrugging off poison: a panicking metrics
+/// caller must not take observability down with it, and every mutation of
+/// these maps (entry insertion) is atomic enough to survive a mid-panic view.
+fn lock_registry<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl MetricsRegistry {
     /// A fresh, empty registry.
     pub fn new() -> Self {
@@ -235,46 +244,34 @@ impl MetricsRegistry {
 
     /// Get or create the counter named `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.0.counters.lock().unwrap();
+        let mut map = lock_registry(&self.0.counters);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.0.gauges.lock().unwrap();
+        let mut map = lock_registry(&self.0.gauges);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.0.histograms.lock().unwrap();
+        let mut map = lock_registry(&self.0.histograms);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Plain-data copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self
-                .0
-                .counters
-                .lock()
-                .unwrap()
+            counters: lock_registry(&self.0.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .0
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock_registry(&self.0.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .0
-                .histograms
-                .lock()
-                .unwrap()
+            histograms: lock_registry(&self.0.histograms)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

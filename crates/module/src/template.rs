@@ -4,6 +4,7 @@
 //! duplicated and modified. … There are template JSON files for 6×6 or 10×10
 //! matrices."
 
+// tw-analyze: allow-file(no-panic-in-lib, "templates are authored as literals; each expect proves a module the template tests validate end to end")
 use crate::schema::{LearningModule, MatrixSize, Question};
 use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
 

@@ -5,6 +5,7 @@
 //! which happens at the border between grey and blue space. The final stage is
 //! lateral movement, which happens inside blue space."
 
+// tw-analyze: allow-file(no-panic-in-lib, "static figure construction: attack patterns are built from hand-written literals and every pattern is round-tripped by the catalog tests")
 use crate::{Pattern, DEFAULT_PACKETS};
 use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
 

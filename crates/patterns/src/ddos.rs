@@ -8,6 +8,7 @@
 //! followed by the backscatter when the servers reply back to the illegitimate
 //! traffic."
 
+// tw-analyze: allow-file(no-panic-in-lib, "static figure construction: ddos patterns are built from hand-written literals and every pattern is round-tripped by the catalog tests")
 use crate::Pattern;
 use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
 

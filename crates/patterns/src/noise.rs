@@ -56,6 +56,7 @@ pub fn add_noise_to_matrix(matrix: &TrafficMatrix, config: &NoiseConfig) -> (Tra
             }
             if rng.gen_bool(config.cell_probability.clamp(0.0, 1.0)) {
                 let packets = rng.gen_range(1..=config.max_packets.max(1));
+                // tw-analyze: allow(no-panic-in-lib, "r and c iterate over the matrix's own dimension")
                 out.add(r, c, packets).expect("indices in range");
                 noisy_cells += 1;
             }

@@ -3,6 +3,7 @@
 //! "A key concept in the protection of any domain is the distinction between
 //! (walls-in) security, (walls-out) defense, and deterrence."
 
+// tw-analyze: allow-file(no-panic-in-lib, "static figure construction: posture patterns are built from hand-written literals and every pattern is round-tripped by the catalog tests")
 use crate::{Pattern, DEFAULT_PACKETS};
 use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
 

@@ -8,6 +8,7 @@
 //! (`WS1-3, SRV1, EXT1-2, ADV1-4`) and the hint points at the multi-temporal
 //! traffic analysis paper the figure references ([50] in the paper).
 
+// tw-analyze: allow-file(no-panic-in-lib, "static figure construction: topology patterns are built from hand-written literals and every pattern is round-tripped by the catalog tests")
 use crate::{Pattern, DEFAULT_PACKETS};
 use tw_matrix::{ColorMatrix, LabelSet, TrafficMatrix};
 

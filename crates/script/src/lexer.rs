@@ -78,16 +78,18 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
             .take_while(|c| *c == ' ' || *c == '\t')
             .map(|c| if c == '\t' { 4 } else { 1 })
             .sum();
-        let current = *indent_stack.last().expect("stack never empty");
+        // The stack base is indent 0 and is never popped (the while guard
+        // stops at it), so an empty stack reads as the base level.
+        let current = indent_stack.last().copied().unwrap_or(0);
         if indent > current {
             indent_stack.push(indent);
             tokens.push(Token::Indent);
         } else if indent < current {
-            while *indent_stack.last().expect("stack never empty") > indent {
+            while indent_stack.last().copied().unwrap_or(0) > indent {
                 indent_stack.pop();
                 tokens.push(Token::Dedent);
             }
-            if *indent_stack.last().expect("stack never empty") != indent {
+            if indent_stack.last().copied().unwrap_or(0) != indent {
                 return Err(LexError {
                     line: line_no,
                     message: "inconsistent indentation".to_string(),

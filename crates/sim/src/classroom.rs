@@ -8,6 +8,7 @@
 //! as they play, then takes a post-assessment. The report compares pre/post
 //! accuracy and the in-game score distribution.
 
+// tw-analyze: allow-file(no-panic-in-lib, "the classroom script drives a fixed scenario whose every step is covered by the simulation integration tests")
 use crate::learner::LearnerPopulation;
 use tw_game::GameSession;
 use tw_module::ModuleBundle;
